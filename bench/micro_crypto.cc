@@ -1,0 +1,78 @@
+// Micro benchmarks for the crypto substrate: SHA-256, HMAC, Merkle trees,
+// Schnorr signing/verification, transaction authentication.
+#include <benchmark/benchmark.h>
+
+#include "crypto/identity.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "wire/transaction.h"
+
+namespace brdb {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  std::string msg(256, 'm');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256("key", msg));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  std::vector<std::string> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    leaves.push_back("writeset-" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    MerkleTree tree(leaves);
+    benchmark::DoNotOptimize(tree.Root());
+  }
+}
+BENCHMARK(BM_MerkleBuild)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  KeyPair kp = Schnorr::DeriveKeyPair("bench");
+  std::string msg(196, 't');  // the paper's transaction size
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Schnorr::Sign(kp, msg));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  KeyPair kp = Schnorr::DeriveKeyPair("bench");
+  std::string msg(196, 't');
+  Signature sig = Schnorr::Sign(kp, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Schnorr::Verify(kp.public_key, msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_TransactionAuthenticate(benchmark::State& state) {
+  Identity alice = Identity::Create("org1", "alice", PrincipalRole::kClient);
+  CertificateRegistry reg;
+  reg.Register(alice.name, alice.organization, alice.role,
+               alice.keys.public_key);
+  Transaction tx = Transaction::MakeOrderThenExecute(
+      alice, "tx-1", "simple", {Value::Int(1), Value::Text("payload")});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tx.Authenticate(reg));
+  }
+}
+BENCHMARK(BM_TransactionAuthenticate);
+
+}  // namespace
+}  // namespace brdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Quickstart: bring up a 3-organization blockchain relational database,
+// deploy a table and a SQL smart contract through the governance flow,
+// invoke it, and read the replicated state back from every node.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/blockchain_network.h"
+
+using namespace brdb;
+
+int main() {
+  // 1. Bootstrap the permissioned network (§3.7): three organizations,
+  // each with an admin, a database peer and an orderer node; Kafka-style
+  // ordering; order-then-execute transaction flow.
+  NetworkOptions options;
+  options.orgs = {"org1", "org2", "org3"};
+  options.flow = TransactionFlow::kOrderThenExecute;
+  options.orderer_type = OrdererType::kKafka;
+  options.orderer_config.block_size = 10;
+  options.orderer_config.block_timeout_us = 50000;  // 50 ms
+  auto net = BlockchainNetwork::Create(options);
+  if (!net->Start().ok()) {
+    std::fprintf(stderr, "network failed to start\n");
+    return 1;
+  }
+  std::printf("network up: %zu database nodes\n", net->num_nodes());
+
+  // 2. Deploy schema and contract through the governance contracts:
+  // create_deployTx by org1's admin, approve_deployTx by the other
+  // admins, submit_deployTx once every organization approved.
+  Status st = net->DeployContract(
+      "CREATE TABLE greetings (id INT PRIMARY KEY, author TEXT, msg TEXT)");
+  if (!st.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = net->DeployContract(
+      "CREATE PROCEDURE greet(2) AS "
+      "n := SELECT COALESCE(MAX(id), 0) + 1 FROM greetings;"
+      "INSERT INTO greetings VALUES ($n, $1, $2)");
+  if (!st.ok()) {
+    std::fprintf(stderr, "contract deploy failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("schema and contract deployed with all-org approval\n");
+
+  // 3. A client invokes the contract; the transaction is signed, ordered
+  // into a block, executed concurrently on every node, and committed in
+  // the same serializable order everywhere.
+  Client* alice = net->CreateClient("org1", "alice");
+  for (const char* msg : {"hello, ledger", "replicated everywhere",
+                          "ordered by consensus"}) {
+    auto txid = alice->Invoke("greet",
+                              {Value::Text("alice"), Value::Text(msg)});
+    if (!txid.ok()) {
+      std::fprintf(stderr, "invoke failed: %s\n",
+                   txid.status().ToString().c_str());
+      return 1;
+    }
+    Status commit = alice->WaitForDecisionOnAllNodes(txid.value());
+    std::printf("tx %.12s... -> %s\n", txid.value().c_str(),
+                commit.ToString().c_str());
+  }
+
+  // 4. Read back from every node: all replicas agree.
+  for (size_t i = 0; i < net->num_nodes(); ++i) {
+    auto rows = net->node(i)->Query(
+        "alice", "SELECT id, msg FROM greetings ORDER BY id");
+    if (!rows.ok()) {
+      std::fprintf(stderr, "query failed\n");
+      return 1;
+    }
+    std::printf("%s:\n", net->node(i)->name().c_str());
+    for (const Row& row : rows.value().rows) {
+      std::printf("  %lld | %s\n",
+                  static_cast<long long>(row[0].AsInt()),
+                  row[1].AsText().c_str());
+    }
+  }
+
+  // 5. Checkpoints: every node computed the same write-set hash per block.
+  BlockNum h = net->node(0)->Height();
+  size_t agree = 0;
+  for (size_t i = 0; i < net->num_nodes(); ++i) {
+    if (net->node(i)->checkpoints()->LocalHash(h) ==
+        net->node(0)->checkpoints()->LocalHash(h)) {
+      ++agree;
+    }
+  }
+  std::printf("height %llu, write-set hash: %.16s... (identical on %zu/%zu "
+              "nodes)\n",
+              static_cast<unsigned long long>(h),
+              net->node(0)->checkpoints()->LocalHash(h).c_str(), agree,
+              net->num_nodes());
+  net->Stop();
+  return 0;
+}

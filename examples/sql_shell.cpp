@@ -1,0 +1,152 @@
+// Interactive SQL shell over a blockchain relational database network.
+//
+// Reads statements from stdin (one per line, or piped). Three verbs:
+//   SELECT ...            read-only query on node 0 (latest committed state)
+//   PROV SELECT ...       provenance query (all row versions + pseudo-cols)
+//   CALL name(arg, ...)   invoke a smart contract as the shell's client
+//   DEPLOY <sql>          run the full governance flow for DDL/procedures
+//   .height / .checkpoints / .quit   shell meta-commands
+//
+// Example session (pipe or type):
+//   DEPLOY CREATE TABLE t (id INT PRIMARY KEY, v INT)
+//   DEPLOY CREATE PROCEDURE put(2) AS INSERT INTO t VALUES ($1, $2)
+//   CALL put(1, 100)
+//   SELECT * FROM t
+//   PROV SELECT id, v, creator FROM t
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "core/blockchain_network.h"
+
+using namespace brdb;
+
+namespace {
+
+void PrintResult(const sql::ResultSet& rs) {
+  if (!rs.columns.empty()) {
+    for (const auto& c : rs.columns) std::printf("%-14s ", c.c_str());
+    std::printf("\n");
+    for (size_t i = 0; i < rs.columns.size(); ++i) std::printf("%-14s ", "---");
+    std::printf("\n");
+  }
+  for (const Row& row : rs.rows) {
+    for (const Value& v : row) std::printf("%-14s ", v.ToString().c_str());
+    std::printf("\n");
+  }
+  if (rs.affected > 0) {
+    std::printf("(%lld rows affected)\n",
+                static_cast<long long>(rs.affected));
+  } else {
+    std::printf("(%zu rows)\n", rs.rows.size());
+  }
+}
+
+/// Parse "name(arg1, arg2, ...)" with int / 'text' / double literals.
+bool ParseCall(const std::string& input, std::string* name,
+               std::vector<Value>* args) {
+  size_t open = input.find('(');
+  size_t close = input.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return false;
+  }
+  *name = input.substr(0, open);
+  while (!name->empty() && std::isspace(name->back())) name->pop_back();
+  std::string body = input.substr(open + 1, close - open - 1);
+  std::stringstream ss(body);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    size_t b = tok.find_first_not_of(" \t");
+    size_t e = tok.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    tok = tok.substr(b, e - b + 1);
+    if (tok.size() >= 2 && tok.front() == '\'' && tok.back() == '\'') {
+      args->push_back(Value::Text(tok.substr(1, tok.size() - 2)));
+    } else if (tok.find('.') != std::string::npos) {
+      args->push_back(Value::Double(std::strtod(tok.c_str(), nullptr)));
+    } else {
+      args->push_back(Value::Int(std::strtoll(tok.c_str(), nullptr, 10)));
+    }
+  }
+  return !name->empty();
+}
+
+}  // namespace
+
+int main() {
+  NetworkOptions options;
+  options.orgs = {"org1", "org2", "org3"};
+  options.flow = TransactionFlow::kOrderThenExecute;
+  options.orderer_config.block_size = 10;
+  options.orderer_config.block_timeout_us = 50000;
+  auto net = BlockchainNetwork::Create(options);
+  if (!net->Start().ok()) {
+    std::fprintf(stderr, "failed to start network\n");
+    return 1;
+  }
+  Client* me = net->CreateClient("org1", "shell");
+  std::printf("brdb shell — 3-organization network up. Commands: SELECT, "
+              "PROV, CALL, DEPLOY, .height, .checkpoints, .quit\n");
+
+  std::string line;
+  while (std::printf("brdb> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ".quit" || line == ".exit") break;
+    if (line == ".height") {
+      for (size_t i = 0; i < net->num_nodes(); ++i) {
+        std::printf("%s: height %llu\n", net->node(i)->name().c_str(),
+                    static_cast<unsigned long long>(net->node(i)->Height()));
+      }
+      continue;
+    }
+    if (line == ".checkpoints") {
+      BlockNum h = net->node(0)->Height();
+      for (size_t i = 0; i < net->num_nodes(); ++i) {
+        std::printf("%s: %.16s...\n", net->node(i)->name().c_str(),
+                    net->node(i)->checkpoints()->LocalHash(h).c_str());
+      }
+      continue;
+    }
+    if (line.rfind("DEPLOY ", 0) == 0 || line.rfind("deploy ", 0) == 0) {
+      Status st = net->DeployContract(line.substr(7));
+      std::printf("%s\n", st.ToString().c_str());
+      continue;
+    }
+    if (line.rfind("CALL ", 0) == 0 || line.rfind("call ", 0) == 0) {
+      std::string name;
+      std::vector<Value> args;
+      if (!ParseCall(line.substr(5), &name, &args)) {
+        std::printf("usage: CALL name(arg, ...)\n");
+        continue;
+      }
+      auto txid = me->Invoke(name, std::move(args));
+      if (!txid.ok()) {
+        std::printf("submit failed: %s\n", txid.status().ToString().c_str());
+        continue;
+      }
+      Status st = me->WaitForDecisionOnAllNodes(txid.value());
+      std::printf("tx %.12s... -> %s\n", txid.value().c_str(),
+                  st.ToString().c_str());
+      continue;
+    }
+    if (line.rfind("PROV ", 0) == 0 || line.rfind("prov ", 0) == 0) {
+      auto r = me->ProvenanceQuery(line.substr(5));
+      if (r.ok()) {
+        PrintResult(r.value());
+      } else {
+        std::printf("%s\n", r.status().ToString().c_str());
+      }
+      continue;
+    }
+    auto r = me->Query(line);
+    if (r.ok()) {
+      PrintResult(r.value());
+    } else {
+      std::printf("%s\n", r.status().ToString().c_str());
+    }
+  }
+  net->Stop();
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace brdb {
+
+void RealClock::SleepMicros(Micros us) {
+  if (us <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+const std::shared_ptr<Clock>& RealClock::Shared() {
+  static std::shared_ptr<Clock> instance = std::make_shared<RealClock>();
+  return instance;
+}
+
+}  // namespace brdb

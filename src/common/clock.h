@@ -1,0 +1,59 @@
+// Clock abstraction. Production code uses the steady monotonic clock; tests
+// and the network simulator can inject a ManualClock to make timeout-driven
+// behaviour (block cutting, client retry) deterministic.
+#ifndef BRDB_COMMON_CLOCK_H_
+#define BRDB_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace brdb {
+
+/// Monotonic microsecond timestamps.
+using Micros = int64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current monotonic time in microseconds.
+  virtual Micros NowMicros() const = 0;
+
+  /// Sleep for the given duration (a ManualClock returns immediately after
+  /// advancing itself so tests never stall).
+  virtual void SleepMicros(Micros us) = 0;
+};
+
+/// Wall-clock-backed implementation used by nodes and benchmarks.
+class RealClock : public Clock {
+ public:
+  Micros NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepMicros(Micros us) override;
+
+  /// Process-wide shared instance.
+  static const std::shared_ptr<Clock>& Shared();
+};
+
+/// Deterministic, manually advanced clock for unit tests.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(Micros start = 0) : now_(start) {}
+
+  Micros NowMicros() const override { return now_.load(); }
+  void SleepMicros(Micros us) override { Advance(us); }
+  void Advance(Micros us) { now_.fetch_add(us); }
+
+ private:
+  std::atomic<Micros> now_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_COMMON_CLOCK_H_

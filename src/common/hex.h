@@ -1,0 +1,19 @@
+// Hex encoding helpers for hashes, keys and signatures in logs and tests.
+#ifndef BRDB_COMMON_HEX_H_
+#define BRDB_COMMON_HEX_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace brdb {
+
+/// Lower-case hex encoding of arbitrary bytes.
+std::string HexEncode(const std::string& bytes);
+
+/// Decode lower/upper-case hex; fails on odd length or non-hex characters.
+Result<std::string> HexDecode(const std::string& hex);
+
+}  // namespace brdb
+
+#endif  // BRDB_COMMON_HEX_H_

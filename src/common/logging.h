@@ -1,0 +1,46 @@
+// Minimal leveled logger. Nodes prefix messages with their identity so the
+// interleaved multi-node output in integration tests stays readable.
+// Default level is kWarn to keep benchmark output clean.
+#ifndef BRDB_COMMON_LOGGING_H_
+#define BRDB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace brdb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Thread-safe write of one formatted log line to stderr.
+void LogMessage(LogLevel level, const std::string& tag,
+                const std::string& message);
+
+/// Stream-style helper: BRDB_LOG(kInfo, "node1") << "committed block " << n;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string tag)
+      : level_(level), tag_(std::move(tag)) {}
+  ~LogStream() {
+    if (level_ >= GetLogLevel()) LogMessage(level_, tag_, os_.str());
+  }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (level_ >= GetLogLevel()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream os_;
+};
+
+#define BRDB_LOG(level, tag) ::brdb::LogStream(::brdb::LogLevel::level, (tag))
+
+}  // namespace brdb
+
+#endif  // BRDB_COMMON_LOGGING_H_

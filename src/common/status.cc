@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace brdb {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kSerializationFailure:
+      return "SerializationFailure";
+    case StatusCode::kWriteConflict:
+      return "WriteConflict";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
+    case StatusCode::kDeterminismViolation:
+      return "DeterminismViolation";
+    case StatusCode::kConstraintViolation:
+      return "ConstraintViolation";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace brdb

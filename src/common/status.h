@@ -1,0 +1,172 @@
+// Status and Result<T>: exception-free error handling used across the
+// library, following the RocksDB/Arrow idiom. Every fallible public API
+// returns a Status (or Result<T> when it produces a value); callers must
+// check ok() before consuming the value.
+#ifndef BRDB_COMMON_STATUS_H_
+#define BRDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace brdb {
+
+/// Canonical error categories. Kept deliberately close to the situations the
+/// paper's transaction flows need to distinguish: serialization failures
+/// (SSI aborts) are retriable, constraint and determinism violations are not.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     ///< malformed input (bad SQL, bad value, bad config)
+  kNotFound,            ///< missing table/row/contract/user
+  kAlreadyExists,       ///< duplicate table/user/transaction identifier
+  kSerializationFailure,///< SSI abort (dangerous structure, phantom, stale)
+  kWriteConflict,       ///< ww-conflict loser chosen at commit
+  kPermissionDenied,    ///< ACL / signature / role failure
+  kDeterminismViolation,///< contract uses a forbidden non-deterministic item
+  kConstraintViolation, ///< NOT NULL / UNIQUE / CHECK / PK violation
+  kAborted,             ///< generic transaction abort (explicit rollback)
+  kUnavailable,         ///< node down / network partition / not ready
+  kCorruption,          ///< hash-chain or signature mismatch on stored data
+  kNotSupported,        ///< feature intentionally outside the SQL subset
+  kInternal,            ///< invariant breakage (bug)
+};
+
+/// Human-readable name for a status code (stable, used in logs and tests).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. Copyable; the OK status carries no
+/// allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status SerializationFailure(std::string msg) {
+    return Status(StatusCode::kSerializationFailure, std::move(msg));
+  }
+  static Status WriteConflict(std::string msg) {
+    return Status(StatusCode::kWriteConflict, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status DeterminismViolation(std::string msg) {
+    return Status(StatusCode::kDeterminismViolation, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True when a transaction hitting this error can be retried on a fresh
+  /// snapshot (SSI aborts and ww-conflict losses).
+  bool IsRetriable() const {
+    return code_ == StatusCode::kSerializationFailure ||
+           code_ == StatusCode::kWriteConflict;
+  }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeToString(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status. Accessing the value of an
+/// errored result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT(implicit)
+  Result(Status status) : status_(std::move(status)) {     // NOLINT(implicit)
+    assert(!status_.ok() && "use Result(T) for success");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define BRDB_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::brdb::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluate a Result<T> expression; on error return its Status, otherwise
+/// bind the value to `lhs`.
+#define BRDB_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto BRDB_CONCAT_(res_, __LINE__) = (expr);  \
+  if (!BRDB_CONCAT_(res_, __LINE__).ok())      \
+    return BRDB_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(BRDB_CONCAT_(res_, __LINE__)).value()
+
+#define BRDB_CONCAT_(a, b) BRDB_CONCAT_IMPL_(a, b)
+#define BRDB_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace brdb
+
+#endif  // BRDB_COMMON_STATUS_H_

@@ -1,0 +1,74 @@
+// PbftOrderingService: byzantine-fault-tolerant ordering via the PBFT
+// three-phase protocol (stand-in for the paper's BFT-SMaRt cluster, §4.4).
+//
+// The primary (view % n) batches transactions and broadcasts PRE-PREPARE;
+// every replica broadcasts PREPARE on a valid pre-prepare, broadcasts
+// COMMIT after 2f matching prepares, and finalizes after 2f+1 commits.
+// All protocol messages travel over the simulated network, reproducing the
+// O(n²) per-block message complexity that makes ordering throughput fall
+// as orderer count grows (paper Fig 8(b)). View changes are not
+// implemented (the primary is assumed live; byzantine *database* nodes are
+// exercised elsewhere) — documented in DESIGN.md.
+#ifndef BRDB_CONSENSUS_PBFT_H_
+#define BRDB_CONSENSUS_PBFT_H_
+
+#include <map>
+#include <set>
+
+#include "consensus/ordering_service.h"
+
+namespace brdb {
+
+inline constexpr const char* kMsgPbftPrePrepare = "pbft_preprepare";
+inline constexpr const char* kMsgPbftPrepare = "pbft_prepare";
+inline constexpr const char* kMsgPbftCommit = "pbft_commit";
+
+class PbftOrderingService : public OrderingCore {
+ public:
+  PbftOrderingService(OrdererConfig config, SimNetwork* net,
+                      std::vector<Identity> orderers);
+  ~PbftOrderingService() override;
+
+  Status SubmitTransaction(const Transaction& tx) override;
+  void SubmitCheckpointVote(const CheckpointVote& vote) override;
+  void Start() override;
+  void Stop() override;
+  std::vector<Identity> OrdererIdentities() const override {
+    return orderers_;
+  }
+
+  size_t FaultTolerance() const { return (orderers_.size() - 1) / 3; }
+
+ private:
+  std::string EndpointOf(size_t i) const {
+    return "orderer:" + orderers_[i].name;
+  }
+  void HandleMessage(size_t node, const NetMessage& m);
+  void PrimaryLoop();
+  void BroadcastFrom(size_t node, const std::string& type,
+                     const std::string& payload);
+
+  std::vector<Identity> orderers_;
+  BlockCutter cutter_;
+
+  // Per-block agreement state.
+  struct Agreement {
+    Block block;
+    bool have_block = false;
+    std::set<size_t> prepares;
+    std::set<size_t> commits;
+    std::set<size_t> sent_prepare;  // replicas that broadcast prepare
+    std::set<size_t> sent_commit;   // replicas that broadcast commit
+    bool finalized = false;
+  };
+  std::mutex agree_mu_;
+  std::map<BlockNum, Agreement> agreements_;
+  std::condition_variable agree_cv_;
+
+  std::atomic<bool> running_{false};
+  std::thread primary_thread_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_CONSENSUS_PBFT_H_

@@ -1,0 +1,277 @@
+#include "consensus/raft.h"
+
+#include "wire/codec.h"
+
+namespace brdb {
+
+RaftOrderingService::RaftOrderingService(OrdererConfig config,
+                                         SimNetwork* net,
+                                         std::vector<Identity> orderers)
+    : OrderingCore(config, net),
+      orderers_(std::move(orderers)),
+      cutter_(config.block_size, config.block_timeout_us) {
+  for (size_t i = 0; i < orderers_.size(); ++i) {
+    net_->RegisterEndpoint(EndpointOf(i), [this, i](const NetMessage& m) {
+      HandleMessage(i, m);
+    });
+  }
+}
+
+RaftOrderingService::~RaftOrderingService() {
+  Stop();
+  for (size_t i = 0; i < orderers_.size(); ++i) {
+    net_->UnregisterEndpoint(EndpointOf(i));
+  }
+}
+
+bool RaftOrderingService::IsAlive(size_t i) const {
+  return crashed_.count(i) == 0;
+}
+
+Status RaftOrderingService::SubmitTransaction(const Transaction& tx) {
+  if (!running_.load()) return Status::Unavailable("orderer not running");
+  size_t leader;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    leader = leader_;
+    if (!IsAlive(leader)) {
+      return Status::Unavailable("raft leader crashed; election in progress");
+    }
+  }
+  // Followers forward to the leader over the network; submitting directly
+  // to the leader skips a hop, as in real deployments where clients learn
+  // the leader address.
+  NetMessage m;
+  m.from = "client";
+  m.to = EndpointOf(leader);
+  m.type = kMsgTx;
+  m.payload = tx.Encode();
+  net_->Send(std::move(m));
+  return Status::OK();
+}
+
+void RaftOrderingService::SubmitCheckpointVote(const CheckpointVote& vote) {
+  cutter_.AddVote(vote);
+}
+
+void RaftOrderingService::HandleMessage(size_t node, const NetMessage& m) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!IsAlive(node)) return;  // crashed nodes drop everything
+  }
+  if (m.type == kMsgTx) {
+    auto tx = Transaction::Decode(m.payload);
+    if (tx.ok()) cutter_.Add(std::move(tx).value());
+    return;
+  }
+  if (m.type == kMsgVote) {
+    auto v = DecodeCheckpointVote(m.payload);
+    if (v.ok()) cutter_.AddVote(v.value());
+    return;
+  }
+  if (m.type == kMsgFetchBlock) {
+    Decoder dec(m.payload);
+    uint64_t number = 0;
+    if (dec.GetU64(&number)) {
+      auto block = GetBlock(number);
+      if (block.ok()) {
+        NetMessage reply;
+        reply.from = EndpointOf(node);
+        reply.to = m.from;
+        reply.type = kMsgBlock;
+        reply.payload = block.value().Encode();
+        net_->Send(std::move(reply));
+      }
+    }
+    return;
+  }
+  if (m.type == kMsgRaftAppend) {
+    // Follower: acknowledge replication of the proposed block.
+    NetMessage ack;
+    ack.from = EndpointOf(node);
+    ack.to = m.from;
+    ack.type = kMsgRaftAck;
+    Decoder dec(m.payload);
+    uint64_t number = 0;
+    std::string block_bytes;
+    if (!dec.GetU64(&number) || !dec.GetString(&block_bytes)) return;
+    Encoder enc;
+    enc.PutU64(number);
+    enc.PutU64(node);
+    ack.payload = enc.Take();
+    net_->Send(std::move(ack));
+    return;
+  }
+  if (m.type == kMsgRaftAck) {
+    Decoder dec(m.payload);
+    uint64_t number = 0, from_node = 0;
+    if (!dec.GetU64(&number) || !dec.GetU64(&from_node)) return;
+    Block to_deliver;
+    bool commit = false;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      auto it = in_flight_.find(number);
+      if (it == in_flight_.end()) return;
+      acks_[number].insert(static_cast<size_t>(from_node));
+      // Majority = floor(n/2) + 1 including the leader itself.
+      if (acks_[number].size() + 1 > orderers_.size() / 2) {
+        to_deliver = it->second;
+        in_flight_.erase(it);
+        acks_.erase(number);
+        commit = true;
+      }
+    }
+    if (commit) {
+      (void)StoreAndDeliver(to_deliver, m.to);
+      // Tell followers the block is committed.
+      for (size_t i = 0; i < orderers_.size(); ++i) {
+        if (EndpointOf(i) == m.to) continue;
+        Encoder enc;
+        enc.PutU64(number);
+        NetMessage cm;
+        cm.from = m.to;
+        cm.to = EndpointOf(i);
+        cm.type = kMsgRaftCommit;
+        cm.payload = enc.Take();
+        net_->Send(std::move(cm));
+      }
+    }
+    return;
+  }
+  if (m.type == kMsgRaftHeartbeat) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    last_heartbeat_seen_ = RealClock::Shared()->NowMicros();
+    return;
+  }
+  // kMsgRaftCommit needs no follower action in this simplified model: the
+  // authoritative store lives in StoreAndDeliver.
+}
+
+void RaftOrderingService::LeaderLoop() {
+  const auto& clock = RealClock::Shared();
+  Micros last_hb = 0;
+  while (running_.load()) {
+    size_t me;
+    bool i_am_leader_alive;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      me = leader_;
+      i_am_leader_alive = IsAlive(me);
+    }
+    if (!i_am_leader_alive) {
+      clock->SleepMicros(config_.tick_us);
+      continue;
+    }
+    // Heartbeats.
+    Micros now = clock->NowMicros();
+    if (now - last_hb > 50000) {
+      last_hb = now;
+      for (size_t i = 0; i < orderers_.size(); ++i) {
+        if (i == me) continue;
+        NetMessage hb;
+        hb.from = EndpointOf(me);
+        hb.to = EndpointOf(i);
+        hb.type = kMsgRaftHeartbeat;
+        net_->Send(std::move(hb));
+      }
+    }
+    if (!cutter_.ShouldCut()) {
+      clock->SleepMicros(config_.tick_us);
+      continue;
+    }
+    auto [txns, votes] = cutter_.Cut();
+    if (txns.empty() && votes.empty()) continue;
+    uint64_t term;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      term = term_;
+    }
+    Block b = AssembleNext(std::move(txns), std::move(votes),
+                           "raft term=" + std::to_string(term),
+                           orderers_[me]);
+    if (orderers_.size() == 1) {
+      (void)StoreAndDeliver(b, EndpointOf(me));
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      in_flight_[b.number()] = b;
+    }
+    std::string bytes = b.Encode();
+    for (size_t i = 0; i < orderers_.size(); ++i) {
+      if (i == me) continue;
+      Encoder enc;
+      enc.PutU64(b.number());
+      enc.PutString(bytes);
+      NetMessage m;
+      m.from = EndpointOf(me);
+      m.to = EndpointOf(i);
+      m.type = kMsgRaftAppend;
+      m.payload = enc.Take();
+      net_->Send(std::move(m));
+    }
+    // Wait for this block to commit before cutting the next (keeps the
+    // log strictly ordered without watermark machinery).
+    while (running_.load()) {
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        if (in_flight_.count(b.number()) == 0) break;
+        if (!IsAlive(leader_) || leader_ != me) break;
+      }
+      clock->SleepMicros(config_.tick_us);
+    }
+  }
+}
+
+void RaftOrderingService::MonitorLoop() {
+  const auto& clock = RealClock::Shared();
+  while (running_.load()) {
+    clock->SleepMicros(20000);
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (IsAlive(leader_)) continue;
+    // Election: lowest-index live node takes over with a higher term.
+    for (size_t i = 0; i < orderers_.size(); ++i) {
+      if (IsAlive(i)) {
+        leader_ = i;
+        ++term_;
+        in_flight_.clear();
+        acks_.clear();
+        break;
+      }
+    }
+  }
+}
+
+void RaftOrderingService::Start() {
+  if (running_.exchange(true)) return;
+  leader_thread_ = std::thread([this] { LeaderLoop(); });
+  monitor_thread_ = std::thread([this] { MonitorLoop(); });
+}
+
+void RaftOrderingService::Stop() {
+  if (!running_.exchange(false)) return;
+  if (leader_thread_.joinable()) leader_thread_.join();
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+}
+
+void RaftOrderingService::CrashNode(size_t index) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  crashed_.insert(index);
+}
+
+void RaftOrderingService::RestartNode(size_t index) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  crashed_.erase(index);
+}
+
+size_t RaftOrderingService::LeaderIndex() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return leader_;
+}
+
+uint64_t RaftOrderingService::Term() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return term_;
+}
+
+}  // namespace brdb

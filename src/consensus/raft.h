@@ -1,0 +1,77 @@
+// RaftOrderingService: crash-fault-tolerant ordering via leader-based log
+// replication (the paper lists Raft among the pluggable CFT protocols).
+//
+// Simplifications relative to full Raft (documented in DESIGN.md): log
+// entries are whole blocks; the election protocol is priority-based (the
+// lowest-index live node becomes leader after missing heartbeats) rather
+// than randomized-timeout voting; and safety relies on the leader being
+// the only block assembler per term. AppendEntries / acks / commit
+// notifications and heartbeats all travel over the simulated network, so
+// replication cost is modeled.
+#ifndef BRDB_CONSENSUS_RAFT_H_
+#define BRDB_CONSENSUS_RAFT_H_
+
+#include <map>
+#include <set>
+
+#include "consensus/ordering_service.h"
+
+namespace brdb {
+
+// Internal message types.
+inline constexpr const char* kMsgRaftAppend = "raft_append";
+inline constexpr const char* kMsgRaftAck = "raft_ack";
+inline constexpr const char* kMsgRaftCommit = "raft_commit";
+inline constexpr const char* kMsgRaftHeartbeat = "raft_hb";
+
+class RaftOrderingService : public OrderingCore {
+ public:
+  RaftOrderingService(OrdererConfig config, SimNetwork* net,
+                      std::vector<Identity> orderers);
+  ~RaftOrderingService() override;
+
+  Status SubmitTransaction(const Transaction& tx) override;
+  void SubmitCheckpointVote(const CheckpointVote& vote) override;
+  void Start() override;
+  void Stop() override;
+  std::vector<Identity> OrdererIdentities() const override {
+    return orderers_;
+  }
+
+  /// Fault injection: crash / restart an orderer node.
+  void CrashNode(size_t index);
+  void RestartNode(size_t index);
+
+  size_t LeaderIndex() const;
+  uint64_t Term() const;
+
+ private:
+  std::string EndpointOf(size_t i) const {
+    return "orderer:" + orderers_[i].name;
+  }
+  void HandleMessage(size_t node, const NetMessage& m);
+  void LeaderLoop();
+  void MonitorLoop();
+  bool IsAlive(size_t i) const;
+
+  std::vector<Identity> orderers_;
+  BlockCutter cutter_;
+
+  mutable std::mutex state_mu_;
+  size_t leader_ = 0;
+  uint64_t term_ = 1;
+  std::set<size_t> crashed_;
+  Micros last_heartbeat_seen_ = 0;
+
+  // Replication state (leader side): block number -> acked nodes.
+  std::map<BlockNum, std::set<size_t>> acks_;
+  std::map<BlockNum, Block> in_flight_;
+
+  std::atomic<bool> running_{false};
+  std::thread leader_thread_;
+  std::thread monitor_thread_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_CONSENSUS_RAFT_H_

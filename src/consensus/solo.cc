@@ -1,0 +1,89 @@
+#include "consensus/solo.h"
+
+#include "wire/codec.h"
+
+namespace brdb {
+
+SoloOrderer::SoloOrderer(OrdererConfig config, SimNetwork* net,
+                         Identity identity)
+    : OrderingCore(config, net),
+      identity_(std::move(identity)),
+      endpoint_("orderer:" + identity_.name),
+      cutter_(config.block_size, config.block_timeout_us) {
+  net_->RegisterEndpoint(endpoint_, [this](const NetMessage& m) {
+    if (m.type == kMsgTx) {
+      auto tx = Transaction::Decode(m.payload);
+      if (tx.ok()) (void)SubmitTransaction(tx.value());
+    } else if (m.type == kMsgVote) {
+      auto v = DecodeCheckpointVote(m.payload);
+      if (v.ok()) SubmitCheckpointVote(v.value());
+    } else if (m.type == kMsgFetchBlock) {
+      Decoder dec(m.payload);
+      uint64_t number = 0;
+      if (dec.GetU64(&number)) {
+        auto block = GetBlock(number);
+        if (block.ok()) {
+          NetMessage reply;
+          reply.from = endpoint_;
+          reply.to = m.from;
+          reply.type = kMsgBlock;
+          reply.payload = block.value().Encode();
+          net_->Send(std::move(reply));
+        }
+      }
+    }
+  });
+}
+
+SoloOrderer::~SoloOrderer() {
+  Stop();
+  net_->UnregisterEndpoint(endpoint_);
+}
+
+Status SoloOrderer::SubmitTransaction(const Transaction& tx) {
+  if (!running_.load()) {
+    return Status::Unavailable("orderer not running");
+  }
+  cutter_.Add(tx);
+  return Status::OK();
+}
+
+void SoloOrderer::SubmitCheckpointVote(const CheckpointVote& vote) {
+  cutter_.AddVote(vote);
+}
+
+void SoloOrderer::Start() {
+  if (running_.exchange(true)) return;
+  cutter_thread_ = std::thread([this] { CutterLoop(); });
+}
+
+void SoloOrderer::Stop() {
+  if (!running_.exchange(false)) return;
+  if (cutter_thread_.joinable()) cutter_thread_.join();
+}
+
+void SoloOrderer::CutterLoop() {
+  const auto& clock = RealClock::Shared();
+  while (running_.load()) {
+    if (cutter_.ShouldCut()) {
+      auto [txns, votes] = cutter_.Cut();
+      if (!txns.empty() || !votes.empty()) {
+        Block b = AssembleNext(std::move(txns), std::move(votes), "solo",
+                               identity_);
+        (void)StoreAndDeliver(b, endpoint_);
+      }
+    } else {
+      clock->SleepMicros(config_.tick_us);
+    }
+  }
+  // Drain remaining transactions so tests can stop cleanly.
+  while (!cutter_.Empty()) {
+    auto [txns, votes] = cutter_.Cut();
+    if (txns.empty()) break;
+    Block b =
+        AssembleNext(std::move(txns), std::move(votes), "solo", identity_);
+    (void)StoreAndDeliver(b, endpoint_);
+  }
+}
+
+}  // namespace brdb

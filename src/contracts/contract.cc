@@ -1,0 +1,276 @@
+#include "contracts/contract.h"
+
+#include <cctype>
+
+#include "sql/eval.h"
+#include "sql/parser.h"
+
+namespace brdb {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWithKeyword(const std::string& s, const std::string& kw) {
+  if (s.size() < kw.size()) return false;
+  for (size_t i = 0; i < kw.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(s[i])) !=
+        std::toupper(static_cast<unsigned char>(kw[i]))) {
+      return false;
+    }
+  }
+  return s.size() == kw.size() ||
+         std::isspace(static_cast<unsigned char>(s[kw.size()]));
+}
+
+/// Detect `name := rest` and split it.
+bool SplitAssignment(const std::string& stmt, std::string* var,
+                     std::string* rest) {
+  size_t i = 0;
+  while (i < stmt.size() &&
+         (std::isalnum(static_cast<unsigned char>(stmt[i])) ||
+          stmt[i] == '_')) {
+    ++i;
+  }
+  if (i == 0 ||
+      std::isdigit(static_cast<unsigned char>(stmt[0]))) {
+    return false;
+  }
+  size_t j = i;
+  while (j < stmt.size() && std::isspace(static_cast<unsigned char>(stmt[j]))) {
+    ++j;
+  }
+  if (j + 1 >= stmt.size() || stmt[j] != ':' || stmt[j + 1] != '=') {
+    return false;
+  }
+  *var = stmt.substr(0, i);
+  *rest = Trim(stmt.substr(j + 2));
+  return true;
+}
+
+}  // namespace
+
+Result<sql::ResultSet> ContractContext::Execute(
+    const std::string& sql, const std::vector<Value>& params) {
+  return engine_->Execute(txn_, sql, params, opts_);
+}
+
+Result<sql::ResultSet> ContractContext::ExecuteDdl(
+    const std::string& sql, const std::vector<Value>& params) {
+  sql::ExecOptions ddl = opts_;
+  ddl.allow_ddl = true;
+  ddl.require_index_for_predicates = false;
+  return engine_->Execute(txn_, sql, params, ddl);
+}
+
+std::vector<std::string> SqlProcedure::SplitStatements(
+    const std::string& body) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_string = false;
+  for (size_t i = 0; i < body.size(); ++i) {
+    char c = body[i];
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      std::string t = Trim(current);
+      if (!t.empty()) out.push_back(std::move(t));
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  std::string t = Trim(current);
+  if (!t.empty()) out.push_back(std::move(t));
+  return out;
+}
+
+Status SqlProcedure::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("procedure needs a name");
+  auto statements = SplitStatements(body);
+  if (statements.empty()) {
+    return Status::InvalidArgument("procedure " + name + " has no statements");
+  }
+  for (const std::string& stmt : statements) {
+    std::string var, rest;
+    std::string to_check = stmt;
+    if (StartsWithKeyword(stmt, "REQUIRE")) {
+      std::string expr_text = Trim(stmt.substr(7));
+      auto e = sql::ParseExpression(expr_text);
+      if (!e.ok()) {
+        return Status::InvalidArgument("procedure " + name +
+                                       ": bad REQUIRE expression: " +
+                                       e.status().message());
+      }
+      BRDB_RETURN_NOT_OK(sql::CheckDeterministic(*e.value()));
+      continue;
+    }
+    if (SplitAssignment(stmt, &var, &rest)) to_check = rest;
+    auto parsed = sql::Parse(to_check);
+    if (parsed.ok()) {
+      BRDB_RETURN_NOT_OK(sql::CheckStatementDeterminism(parsed.value()));
+      continue;
+    }
+    {
+      // Assignments may also bind plain scalar expressions.
+      if (!to_check.empty() && to_check != stmt) {
+        auto e = sql::ParseExpression(to_check);
+        if (e.ok()) {
+          BRDB_RETURN_NOT_OK(sql::CheckDeterministic(*e.value()));
+          continue;
+        }
+      }
+      return Status::InvalidArgument("procedure " + name + ": " +
+                                     parsed.status().message());
+    }
+  }
+  return Status::OK();
+}
+
+Status ContractRegistry::RegisterNative(const std::string& name,
+                                        NativeContractFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (native_.count(name) || procedures_.count(name)) {
+    return Status::AlreadyExists("contract " + name + " already registered");
+  }
+  native_.emplace(name, std::move(fn));
+  return Status::OK();
+}
+
+Status ContractRegistry::RegisterProcedure(SqlProcedure proc) {
+  BRDB_RETURN_NOT_OK(proc.Validate());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (native_.count(proc.name)) {
+    return Status::AlreadyExists("contract " + proc.name +
+                                 " is a system contract");
+  }
+  procedures_[proc.name] = std::move(proc);  // create or replace
+  return Status::OK();
+}
+
+Status ContractRegistry::DropProcedure(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (procedures_.erase(name) == 0) {
+    return Status::NotFound("no procedure named " + name);
+  }
+  return Status::OK();
+}
+
+bool ContractRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return native_.count(name) > 0 || procedures_.count(name) > 0;
+}
+
+std::vector<std::string> ContractRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [n, f] : native_) names.push_back(n);
+  for (const auto& [n, p] : procedures_) names.push_back(n);
+  return names;
+}
+
+Status ContractRegistry::Apply(const RegistryOp& op) {
+  switch (op.kind) {
+    case RegistryOp::Kind::kRegisterProcedure: {
+      SqlProcedure proc;
+      proc.name = op.name;
+      proc.body = op.body;
+      proc.num_params = op.num_params;
+      return RegisterProcedure(std::move(proc));
+    }
+    case RegistryOp::Kind::kDropProcedure:
+      return DropProcedure(op.name);
+  }
+  return Status::Internal("unknown registry op");
+}
+
+Status ContractRegistry::Invoke(const std::string& name,
+                                ContractContext* ctx) const {
+  NativeContractFn native;
+  SqlProcedure proc;
+  bool is_native = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto n = native_.find(name);
+    if (n != native_.end()) {
+      native = n->second;
+      is_native = true;
+    } else {
+      auto p = procedures_.find(name);
+      if (p == procedures_.end()) {
+        return Status::NotFound("no smart contract named " + name);
+      }
+      proc = p->second;
+    }
+  }
+  if (is_native) return native(ctx);
+  return RunProcedure(proc, ctx);
+}
+
+Status ContractRegistry::RunProcedure(const SqlProcedure& proc,
+                                      ContractContext* ctx) const {
+  if (static_cast<int>(ctx->args().size()) != proc.num_params) {
+    return Status::InvalidArgument(
+        "contract " + proc.name + " expects " +
+        std::to_string(proc.num_params) + " arguments, got " +
+        std::to_string(ctx->args().size()));
+  }
+  std::map<std::string, Value> vars;
+  sql::SqlEngine engine(ctx->txn()->db());
+
+  for (const std::string& stmt : SqlProcedure::SplitStatements(proc.body)) {
+    if (StartsWithKeyword(stmt, "REQUIRE")) {
+      std::string expr_text = Trim(stmt.substr(7));
+      auto e = sql::ParseExpression(expr_text);
+      if (!e.ok()) return e.status();
+      sql::EvalContext ec;
+      ec.params = &ctx->args();
+      ec.named_params = &vars;
+      auto v = sql::Eval(*e.value(), ec);
+      if (!v.ok()) return v.status();
+      if (v.value().is_null() || v.value().type() != ValueType::kBool ||
+          !v.value().AsBool()) {
+        return Status::Aborted("REQUIRE failed in " + proc.name + ": " +
+                               expr_text);
+      }
+      continue;
+    }
+
+    std::string var, rest;
+    if (SplitAssignment(stmt, &var, &rest)) {
+      if (StartsWithKeyword(rest, "SELECT")) {
+        auto r = engine.Execute(ctx->txn(), rest, ctx->args(), ctx->options(),
+                                &vars);
+        if (!r.ok()) return r.status();
+        auto scalar = r.value().Scalar();
+        if (!scalar.ok()) {
+          return Status::InvalidArgument(
+              "assignment to $" + var + " in " + proc.name +
+              " requires a single-scalar SELECT");
+        }
+        vars[var] = scalar.value();
+      } else {
+        auto e = sql::ParseExpression(rest);
+        if (!e.ok()) return e.status();
+        sql::EvalContext ec;
+        ec.params = &ctx->args();
+        ec.named_params = &vars;
+        auto v = sql::Eval(*e.value(), ec);
+        if (!v.ok()) return v.status();
+        vars[var] = v.value();
+      }
+      continue;
+    }
+
+    auto r = engine.Execute(ctx->txn(), stmt, ctx->args(), ctx->options(),
+                            &vars);
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace brdb

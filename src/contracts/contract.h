@@ -1,0 +1,148 @@
+// Smart contracts: the only way to mutate the blockchain schema (§3.7).
+//
+// Two contract kinds share one invocation interface:
+//  * native contracts — C++ functions (used for the system contracts:
+//    deployment governance and user management);
+//  * SQL procedures — a deterministic, PL/SQL-inspired list of statements
+//    with $1..$n arguments, named variables, and REQUIRE guards, deployed
+//    through the system contracts and validated for determinism at deploy
+//    time (§2(1), §4.3).
+#ifndef BRDB_CONTRACTS_CONTRACT_H_
+#define BRDB_CONTRACTS_CONTRACT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/identity.h"
+#include "sql/executor.h"
+#include "txn/txn_context.h"
+
+namespace brdb {
+
+class ContractRegistry;
+
+/// A deferred change to the contract registry. Contract execution must not
+/// mutate the registry directly: the transaction may still abort during the
+/// serial commit phase. The block processor applies these ops only for
+/// transactions that actually committed, keeping every node's registry
+/// identical.
+struct RegistryOp {
+  enum class Kind { kRegisterProcedure, kDropProcedure };
+  Kind kind = Kind::kRegisterProcedure;
+  std::string name;
+  std::string body;  // procedure source (kRegisterProcedure)
+  int num_params = 0;
+};
+
+/// Everything a contract invocation can touch.
+class ContractContext {
+ public:
+  ContractContext(TxnContext* txn, sql::SqlEngine* engine,
+                  ContractRegistry* registry, std::string invoker,
+                  std::vector<Value> args, sql::ExecOptions opts)
+      : txn_(txn),
+        engine_(engine),
+        registry_(registry),
+        invoker_(std::move(invoker)),
+        args_(std::move(args)),
+        opts_(opts) {}
+
+  TxnContext* txn() { return txn_; }
+  ContractRegistry* registry() { return registry_; }
+  const std::string& invoker() const { return invoker_; }
+  const std::vector<Value>& args() const { return args_; }
+
+  /// Role of the invoking user (set by the node after authentication; the
+  /// system contracts use it for admin-only checks, §3.7).
+  PrincipalRole invoker_role() const { return invoker_role_; }
+  void set_invoker_role(PrincipalRole role) { invoker_role_ = role; }
+  const sql::ExecOptions& options() const { return opts_; }
+
+  /// Run a SQL statement inside this transaction with the flow's execution
+  /// options; `params` map to $1..$n.
+  Result<sql::ResultSet> Execute(const std::string& sql,
+                                 const std::vector<Value>& params = {});
+
+  /// Run with DDL permitted and index requirements relaxed (system
+  /// contracts only; they operate on small system tables).
+  Result<sql::ResultSet> ExecuteDdl(const std::string& sql,
+                                    const std::vector<Value>& params = {});
+
+  /// Queue a registry change to apply iff this transaction commits.
+  void DeferRegistryOp(RegistryOp op) {
+    pending_registry_ops_.push_back(std::move(op));
+  }
+  const std::vector<RegistryOp>& pending_registry_ops() const {
+    return pending_registry_ops_;
+  }
+
+ private:
+  TxnContext* txn_;
+  sql::SqlEngine* engine_;
+  ContractRegistry* registry_;
+  std::string invoker_;
+  std::vector<Value> args_;
+  PrincipalRole invoker_role_ = PrincipalRole::kClient;
+  sql::ExecOptions opts_;
+  std::vector<RegistryOp> pending_registry_ops_;
+};
+
+using NativeContractFn = std::function<Status(ContractContext*)>;
+
+/// A deployed SQL procedure: `;`-separated statements of three forms:
+///   var := <SELECT returning one scalar>;   -- bind a named variable
+///   REQUIRE <expr>;                         -- abort unless true
+///   <any other SQL statement>;
+/// Later statements reference $1..$n (call arguments) and $var (bound
+/// variables).
+struct SqlProcedure {
+  std::string name;
+  int num_params = 0;
+  std::string body;
+
+  /// Split the body into trimmed statements (quote-aware).
+  static std::vector<std::string> SplitStatements(const std::string& body);
+
+  /// Deploy-time validation: every statement must parse and pass the
+  /// determinism checks.
+  Status Validate() const;
+};
+
+class ContractRegistry {
+ public:
+  ContractRegistry() = default;
+
+  /// Install a native (C++) contract; used at node bootstrap for system
+  /// contracts and by benchmarks/examples for workload contracts.
+  Status RegisterNative(const std::string& name, NativeContractFn fn);
+
+  /// Install or replace a SQL procedure (validated first).
+  Status RegisterProcedure(SqlProcedure proc);
+
+  Status DropProcedure(const std::string& name);
+
+  bool Has(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  /// Apply a deferred registry op (called by the block processor for
+  /// committed transactions only).
+  Status Apply(const RegistryOp& op);
+
+  /// Invoke contract `name`. Runs the native fn or interprets the
+  /// procedure inside ctx's transaction.
+  Status Invoke(const std::string& name, ContractContext* ctx) const;
+
+ private:
+  Status RunProcedure(const SqlProcedure& proc, ContractContext* ctx) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, NativeContractFn> native_;
+  std::map<std::string, SqlProcedure> procedures_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_CONTRACTS_CONTRACT_H_

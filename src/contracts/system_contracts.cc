@@ -1,0 +1,352 @@
+#include "contracts/system_contracts.h"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace brdb {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+Status RequireAdmin(ContractContext* ctx) {
+  if (ctx->invoker_role() != PrincipalRole::kAdmin) {
+    return Status::PermissionDenied("contract requires an organization admin "
+                                    "(invoker: " + ctx->invoker() + ")");
+  }
+  return Status::OK();
+}
+
+Status RequireArgs(ContractContext* ctx, size_t n) {
+  if (ctx->args().size() != n) {
+    return Status::InvalidArgument("expected " + std::to_string(n) +
+                                   " arguments, got " +
+                                   std::to_string(ctx->args().size()));
+  }
+  return Status::OK();
+}
+
+/// Comma-separated set helpers for the approvals/rejections columns.
+bool CsvContains(const std::string& csv, const std::string& item) {
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (Trim(tok) == item) return true;
+  }
+  return false;
+}
+
+std::string CsvAppend(const std::string& csv, const std::string& item) {
+  return csv.empty() ? item : csv + "," + item;
+}
+
+std::vector<std::string> CsvSplit(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    tok = Trim(tok);
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+/// Read one pgdeploy row: (sql_text, proposer, status, approvals,
+/// rejections, comments).
+Result<Row> GetDeployRow(ContractContext* ctx, int64_t deploy_id) {
+  auto r = ctx->ExecuteDdl(
+      "SELECT sql_text, proposer, status, approvals, rejections, comments "
+      "FROM pgdeploy WHERE deploy_id = $1",
+      {Value::Int(deploy_id)});
+  if (!r.ok()) return r.status();
+  if (r.value().rows.size() != 1) {
+    return Status::NotFound("no deployment transaction with id " +
+                            std::to_string(deploy_id));
+  }
+  return r.value().rows[0];
+}
+
+std::string TextOrEmpty(const Value& v) {
+  return v.is_null() ? "" : v.AsText();
+}
+
+// ---- deployment governance ----
+
+Status CreateDeployTx(ContractContext* ctx) {
+  BRDB_RETURN_NOT_OK(RequireAdmin(ctx));
+  BRDB_RETURN_NOT_OK(RequireArgs(ctx, 1));
+  if (ctx->args()[0].type() != ValueType::kText) {
+    return Status::InvalidArgument("create_deployTx expects SQL text");
+  }
+  const std::string& sql_text = ctx->args()[0].AsText();
+
+  // Fail early on malformed deployment SQL; procedures are additionally
+  // validated for determinism.
+  auto parsed = ParseDeploymentSql(sql_text);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed.value().kind == DeploymentSql::Kind::kCreateProcedure) {
+    SqlProcedure proc;
+    proc.name = parsed.value().name;
+    proc.num_params = parsed.value().num_params;
+    proc.body = parsed.value().body;
+    BRDB_RETURN_NOT_OK(proc.Validate());
+  }
+
+  auto next = ctx->ExecuteDdl(
+      "SELECT coalesce(max(deploy_id), 0) + 1 FROM pgdeploy");
+  if (!next.ok()) return next.status();
+  auto id = next.value().Scalar();
+  if (!id.ok()) return id.status();
+
+  // The proposer implicitly approves their own deployment.
+  auto ins = ctx->ExecuteDdl(
+      "INSERT INTO pgdeploy VALUES ($1, $2, $3, 'pending', $4, '', '')",
+      {id.value(), Value::Text(sql_text), Value::Text(ctx->invoker()),
+       Value::Text(ctx->invoker())});
+  if (!ins.ok()) return ins.status();
+  return Status::OK();
+}
+
+Status ApproveDeployTx(ContractContext* ctx) {
+  BRDB_RETURN_NOT_OK(RequireAdmin(ctx));
+  BRDB_RETURN_NOT_OK(RequireArgs(ctx, 1));
+  int64_t id = ctx->args()[0].AsInt();
+  BRDB_ASSIGN_OR_RETURN(Row row, GetDeployRow(ctx, id));
+  if (TextOrEmpty(row[2]) != "pending") {
+    return Status::Aborted("deployment " + std::to_string(id) +
+                           " is not pending");
+  }
+  std::string approvals = TextOrEmpty(row[3]);
+  if (CsvContains(approvals, ctx->invoker())) return Status::OK();
+  auto upd = ctx->ExecuteDdl(
+      "UPDATE pgdeploy SET approvals = $2 WHERE deploy_id = $1",
+      {Value::Int(id), Value::Text(CsvAppend(approvals, ctx->invoker()))});
+  if (!upd.ok()) return upd.status();
+  return Status::OK();
+}
+
+Status RejectDeployTx(ContractContext* ctx) {
+  BRDB_RETURN_NOT_OK(RequireAdmin(ctx));
+  BRDB_RETURN_NOT_OK(RequireArgs(ctx, 2));
+  int64_t id = ctx->args()[0].AsInt();
+  const std::string reason = TextOrEmpty(ctx->args()[1]);
+  BRDB_ASSIGN_OR_RETURN(Row row, GetDeployRow(ctx, id));
+  if (TextOrEmpty(row[2]) != "pending") {
+    return Status::Aborted("deployment " + std::to_string(id) +
+                           " is not pending");
+  }
+  std::string rejections =
+      CsvAppend(TextOrEmpty(row[4]), ctx->invoker() + ": " + reason);
+  auto upd = ctx->ExecuteDdl(
+      "UPDATE pgdeploy SET status = 'rejected', rejections = $2 "
+      "WHERE deploy_id = $1",
+      {Value::Int(id), Value::Text(rejections)});
+  if (!upd.ok()) return upd.status();
+  return Status::OK();
+}
+
+Status CommentDeployTx(ContractContext* ctx) {
+  BRDB_RETURN_NOT_OK(RequireAdmin(ctx));
+  BRDB_RETURN_NOT_OK(RequireArgs(ctx, 2));
+  int64_t id = ctx->args()[0].AsInt();
+  const std::string comment = TextOrEmpty(ctx->args()[1]);
+  BRDB_ASSIGN_OR_RETURN(Row row, GetDeployRow(ctx, id));
+  std::string comments =
+      CsvAppend(TextOrEmpty(row[5]), ctx->invoker() + ": " + comment);
+  auto upd = ctx->ExecuteDdl(
+      "UPDATE pgdeploy SET comments = $2 WHERE deploy_id = $1",
+      {Value::Int(id), Value::Text(comments)});
+  if (!upd.ok()) return upd.status();
+  return Status::OK();
+}
+
+Status SubmitDeployTx(ContractContext* ctx) {
+  BRDB_RETURN_NOT_OK(RequireAdmin(ctx));
+  BRDB_RETURN_NOT_OK(RequireArgs(ctx, 1));
+  int64_t id = ctx->args()[0].AsInt();
+  BRDB_ASSIGN_OR_RETURN(Row row, GetDeployRow(ctx, id));
+  if (TextOrEmpty(row[2]) != "pending") {
+    return Status::Aborted("deployment " + std::to_string(id) +
+                           " is not pending");
+  }
+
+  // Every organization that has an admin must have approved (§3.7).
+  auto orgs_r = ctx->ExecuteDdl(
+      "SELECT DISTINCT org FROM pgcerts WHERE role = 'admin' ORDER BY org");
+  if (!orgs_r.ok()) return orgs_r.status();
+  std::set<std::string> required_orgs;
+  for (const Row& r : orgs_r.value().rows) {
+    required_orgs.insert(r[0].AsText());
+  }
+  std::set<std::string> approved_orgs;
+  for (const std::string& approver : CsvSplit(TextOrEmpty(row[3]))) {
+    auto org_r = ctx->ExecuteDdl(
+        "SELECT org FROM pgcerts WHERE username = $1",
+        {Value::Text(approver)});
+    if (!org_r.ok()) return org_r.status();
+    if (org_r.value().rows.size() == 1) {
+      approved_orgs.insert(org_r.value().rows[0][0].AsText());
+    }
+  }
+  for (const std::string& org : required_orgs) {
+    if (!approved_orgs.count(org)) {
+      return Status::PermissionDenied(
+          "deployment " + std::to_string(id) +
+          " lacks approval from organization " + org);
+    }
+  }
+
+  auto parsed = ParseDeploymentSql(TextOrEmpty(row[0]));
+  if (!parsed.ok()) return parsed.status();
+  const DeploymentSql& dep = parsed.value();
+  switch (dep.kind) {
+    case DeploymentSql::Kind::kCreateProcedure: {
+      RegistryOp op;
+      op.kind = RegistryOp::Kind::kRegisterProcedure;
+      op.name = dep.name;
+      op.body = dep.body;
+      op.num_params = dep.num_params;
+      ctx->DeferRegistryOp(std::move(op));
+      break;
+    }
+    case DeploymentSql::Kind::kDropProcedure: {
+      RegistryOp op;
+      op.kind = RegistryOp::Kind::kDropProcedure;
+      op.name = dep.name;
+      ctx->DeferRegistryOp(std::move(op));
+      break;
+    }
+    case DeploymentSql::Kind::kDdl: {
+      auto r = ctx->ExecuteDdl(dep.ddl);
+      if (!r.ok()) return r.status();
+      break;
+    }
+  }
+  auto upd = ctx->ExecuteDdl(
+      "UPDATE pgdeploy SET status = 'deployed' WHERE deploy_id = $1",
+      {Value::Int(id)});
+  if (!upd.ok()) return upd.status();
+  return Status::OK();
+}
+
+// ---- user management ----
+
+Status CreateUser(ContractContext* ctx) {
+  BRDB_RETURN_NOT_OK(RequireAdmin(ctx));
+  BRDB_RETURN_NOT_OK(RequireArgs(ctx, 4));  // name, org, role, pubkey
+  const std::string role = TextOrEmpty(ctx->args()[2]);
+  if (role != "client" && role != "admin") {
+    return Status::InvalidArgument("role must be client or admin");
+  }
+  auto r = ctx->ExecuteDdl("INSERT INTO pgcerts VALUES ($1, $2, $3, $4)",
+                           ctx->args());
+  if (!r.ok()) return r.status();
+  return Status::OK();
+}
+
+Status UpdateUser(ContractContext* ctx) {
+  BRDB_RETURN_NOT_OK(RequireAdmin(ctx));
+  BRDB_RETURN_NOT_OK(RequireArgs(ctx, 2));  // name, new pubkey
+  auto r = ctx->ExecuteDdl(
+      "UPDATE pgcerts SET pubkey = $2 WHERE username = $1", ctx->args());
+  if (!r.ok()) return r.status();
+  if (r.value().affected == 0) {
+    return Status::NotFound("no user " + TextOrEmpty(ctx->args()[0]));
+  }
+  return Status::OK();
+}
+
+Status DeleteUser(ContractContext* ctx) {
+  BRDB_RETURN_NOT_OK(RequireAdmin(ctx));
+  BRDB_RETURN_NOT_OK(RequireArgs(ctx, 1));
+  auto r = ctx->ExecuteDdl("DELETE FROM pgcerts WHERE username = $1",
+                           ctx->args());
+  if (!r.ok()) return r.status();
+  if (r.value().affected == 0) {
+    return Status::NotFound("no user " + TextOrEmpty(ctx->args()[0]));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DeploymentSql> ParseDeploymentSql(const std::string& text) {
+  std::string t = Trim(text);
+  std::string upper = Upper(t);
+  DeploymentSql out;
+  if (upper.rfind("CREATE PROCEDURE", 0) == 0) {
+    size_t open = t.find('(');
+    size_t close = t.find(')', open == std::string::npos ? 0 : open);
+    if (open == std::string::npos || close == std::string::npos) {
+      return Status::InvalidArgument(
+          "CREATE PROCEDURE requires a parameter count: CREATE PROCEDURE "
+          "name(N) AS body");
+    }
+    out.kind = DeploymentSql::Kind::kCreateProcedure;
+    out.name = Trim(t.substr(16, open - 16));
+    std::string count = Trim(t.substr(open + 1, close - open - 1));
+    char* end = nullptr;
+    out.num_params = static_cast<int>(std::strtol(count.c_str(), &end, 10));
+    if (count.empty() || (end != nullptr && *end != '\0') ||
+        out.num_params < 0) {
+      return Status::InvalidArgument("bad parameter count: " + count);
+    }
+    size_t as = Upper(t).find(" AS ", close);
+    if (as == std::string::npos) {
+      return Status::InvalidArgument("CREATE PROCEDURE requires AS <body>");
+    }
+    out.body = Trim(t.substr(as + 4));
+    if (out.name.empty() || out.body.empty()) {
+      return Status::InvalidArgument("CREATE PROCEDURE needs name and body");
+    }
+    return out;
+  }
+  if (upper.rfind("DROP PROCEDURE", 0) == 0) {
+    out.kind = DeploymentSql::Kind::kDropProcedure;
+    out.name = Trim(t.substr(14));
+    if (out.name.empty()) {
+      return Status::InvalidArgument("DROP PROCEDURE needs a name");
+    }
+    return out;
+  }
+  if (upper.rfind("CREATE TABLE", 0) == 0 ||
+      upper.rfind("CREATE INDEX", 0) == 0 ||
+      upper.rfind("DROP TABLE", 0) == 0) {
+    out.kind = DeploymentSql::Kind::kDdl;
+    out.ddl = t;
+    return out;
+  }
+  return Status::InvalidArgument(
+      "deployment SQL must be CREATE/DROP PROCEDURE or DDL, got: " +
+      t.substr(0, 40));
+}
+
+Status RegisterSystemContracts(ContractRegistry* registry) {
+  BRDB_RETURN_NOT_OK(registry->RegisterNative("create_deployTx",
+                                              CreateDeployTx));
+  BRDB_RETURN_NOT_OK(registry->RegisterNative("approve_deployTx",
+                                              ApproveDeployTx));
+  BRDB_RETURN_NOT_OK(registry->RegisterNative("reject_deployTx",
+                                              RejectDeployTx));
+  BRDB_RETURN_NOT_OK(registry->RegisterNative("comment_deployTx",
+                                              CommentDeployTx));
+  BRDB_RETURN_NOT_OK(registry->RegisterNative("submit_deployTx",
+                                              SubmitDeployTx));
+  BRDB_RETURN_NOT_OK(registry->RegisterNative("create_user", CreateUser));
+  BRDB_RETURN_NOT_OK(registry->RegisterNative("update_user", UpdateUser));
+  BRDB_RETURN_NOT_OK(registry->RegisterNative("delete_user", DeleteUser));
+  return Status::OK();
+}
+
+}  // namespace brdb

@@ -1,0 +1,43 @@
+// System smart contracts (paper §3.7): deployment governance
+// (create/approve/reject/comment/submit_deployTx) and user management
+// (create_user/update_user/delete_user). They are native contracts
+// installed at node bootstrap; invoking them is a blockchain transaction
+// like any other, so the ledger records an immutable history of contract
+// deployments and approvals.
+//
+// Deployment SQL accepted by submit_deployTx:
+//   * `CREATE PROCEDURE <name>(<nargs>) AS <body>` — registers a SQL
+//     procedure (create or replace);
+//   * `DROP PROCEDURE <name>`;
+//   * any DDL statement (CREATE TABLE / CREATE INDEX / DROP TABLE) — the
+//     only way DDL reaches the blockchain schema.
+#ifndef BRDB_CONTRACTS_SYSTEM_CONTRACTS_H_
+#define BRDB_CONTRACTS_SYSTEM_CONTRACTS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "contracts/contract.h"
+
+namespace brdb {
+
+/// Install all system contracts into `registry`.
+Status RegisterSystemContracts(ContractRegistry* registry);
+
+/// Parsed form of a deployment SQL text.
+struct DeploymentSql {
+  enum class Kind { kCreateProcedure, kDropProcedure, kDdl };
+  Kind kind = Kind::kDdl;
+  std::string name;       // procedure name
+  int num_params = 0;     // procedure arity
+  std::string body;       // procedure body
+  std::string ddl;        // raw DDL text
+};
+
+/// Parse `CREATE PROCEDURE name(n) AS body` / `DROP PROCEDURE name` /
+/// plain DDL. Exposed for unit tests.
+Result<DeploymentSql> ParseDeploymentSql(const std::string& text);
+
+}  // namespace brdb
+
+#endif  // BRDB_CONTRACTS_SYSTEM_CONTRACTS_H_

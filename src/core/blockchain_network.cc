@@ -1,0 +1,235 @@
+#include "core/blockchain_network.h"
+
+#include <algorithm>
+
+namespace brdb {
+
+std::unique_ptr<BlockchainNetwork> BlockchainNetwork::Create(
+    const NetworkOptions& options) {
+  auto net = std::unique_ptr<BlockchainNetwork>(new BlockchainNetwork());
+  net->options_ = options;
+  net->registry_ = std::make_shared<CertificateRegistry>();
+  net->net_ = std::make_unique<SimNetwork>(options.profile);
+
+  // Identities: per organization one admin and one peer; orderers are
+  // spread round-robin over the organizations.
+  std::vector<Identity> admin_ids, peer_ids, orderer_ids;
+  for (const std::string& org : options.orgs) {
+    admin_ids.push_back(
+        Identity::Create(org, "admin-" + org, PrincipalRole::kAdmin));
+    peer_ids.push_back(
+        Identity::Create(org, "peer-" + org, PrincipalRole::kPeer));
+  }
+  size_t n_orderers =
+      options.num_orderers == 0 ? options.orgs.size() : options.num_orderers;
+  for (size_t i = 0; i < n_orderers; ++i) {
+    const std::string& org = options.orgs[i % options.orgs.size()];
+    orderer_ids.push_back(Identity::Create(
+        org, "orderer-" + std::to_string(i + 1), PrincipalRole::kOrderer));
+  }
+  auto register_identity = [&](const Identity& id) {
+    net->registry_->Register(id.name, id.organization, id.role,
+                             id.keys.public_key);
+  };
+  for (const auto& id : admin_ids) register_identity(id);
+  for (const auto& id : peer_ids) register_identity(id);
+  for (const auto& id : orderer_ids) register_identity(id);
+
+  // Ordering service.
+  switch (options.orderer_type) {
+    case OrdererType::kSolo:
+      net->ordering_ = std::make_unique<SoloOrderer>(
+          options.orderer_config, net->net_.get(), orderer_ids[0]);
+      break;
+    case OrdererType::kKafka:
+      net->ordering_ = std::make_unique<KafkaOrderingService>(
+          options.orderer_config, net->net_.get(), orderer_ids);
+      break;
+    case OrdererType::kRaft:
+      net->ordering_ = std::make_unique<RaftOrderingService>(
+          options.orderer_config, net->net_.get(), orderer_ids);
+      break;
+    case OrdererType::kPbft:
+      net->ordering_ = std::make_unique<PbftOrderingService>(
+          options.orderer_config, net->net_.get(), orderer_ids);
+      break;
+  }
+
+  // Database nodes, one per organization.
+  for (size_t i = 0; i < options.orgs.size(); ++i) {
+    NodeConfig cfg;
+    cfg.name = "peer-" + options.orgs[i];
+    cfg.org = options.orgs[i];
+    cfg.flow = options.flow;
+    cfg.executor_threads = options.executor_threads;
+    cfg.checkpoint_interval = options.checkpoint_interval;
+    cfg.serial_execution = options.serial_execution;
+    if (!options.block_store_dir.empty()) {
+      cfg.block_store_path =
+          options.block_store_dir + "/" + cfg.name + ".blocks";
+    }
+    cfg.byzantine_skip_commit =
+        std::find(options.byzantine_nodes.begin(),
+                  options.byzantine_nodes.end(),
+                  i) != options.byzantine_nodes.end();
+    auto node = std::make_unique<DatabaseNode>(cfg, peer_ids[i],
+                                               net->registry_,
+                                               net->net_.get(),
+                                               net->ordering_.get());
+    net->nodes_.push_back(std::move(node));
+  }
+
+  // Peer endpoint wiring (EOP forwarding) and block delivery.
+  std::vector<std::string> endpoints;
+  for (const auto& node : net->nodes_) endpoints.push_back(node->endpoint());
+  for (size_t i = 0; i < net->nodes_.size(); ++i) {
+    std::vector<std::string> others;
+    for (size_t j = 0; j < endpoints.size(); ++j) {
+      if (j != i) others.push_back(endpoints[j]);
+    }
+    net->nodes_[i]->SetPeerEndpoints(std::move(others));
+    net->ordering_->ConnectPeer(endpoints[i]);
+  }
+
+  // §3.7 bootstrap: every node records every identity in its pgcerts.
+  for (const auto& node : net->nodes_) {
+    for (const auto& id : admin_ids) (void)node->SeedCertificate(id);
+    for (const auto& id : peer_ids) (void)node->SeedCertificate(id);
+    for (const auto& id : orderer_ids) (void)node->SeedCertificate(id);
+  }
+
+  // Admin clients.
+  std::vector<DatabaseNode*> node_ptrs;
+  for (const auto& node : net->nodes_) node_ptrs.push_back(node.get());
+  for (const auto& admin : admin_ids) {
+    auto client = std::make_unique<Client>(admin, net->ordering_.get(),
+                                           node_ptrs);
+    net->admins_[admin.organization] = client.get();
+    net->clients_.push_back(std::move(client));
+  }
+  return net;
+}
+
+BlockchainNetwork::~BlockchainNetwork() { Stop(); }
+
+Status BlockchainNetwork::Start() {
+  if (started_) return Status::OK();
+  started_ = true;
+  ordering_->Start();
+  for (auto& node : nodes_) BRDB_RETURN_NOT_OK(node->Start());
+  return Status::OK();
+}
+
+void BlockchainNetwork::Stop() {
+  if (!started_) return;
+  started_ = false;
+  for (auto& node : nodes_) node->Stop();
+  ordering_->Stop();
+}
+
+Client* BlockchainNetwork::CreateClient(const std::string& org,
+                                        const std::string& name) {
+  Identity id = Identity::Create(org, name, PrincipalRole::kClient);
+  registry_->Register(id.name, id.organization, id.role, id.keys.public_key);
+  std::vector<DatabaseNode*> node_ptrs;
+  for (const auto& node : nodes_) node_ptrs.push_back(node.get());
+  auto client = std::make_unique<Client>(id, ordering_.get(), node_ptrs);
+  Client* ptr = client.get();
+  clients_.push_back(std::move(client));
+  return ptr;
+}
+
+Client* BlockchainNetwork::AdminOf(const std::string& org) {
+  auto it = admins_.find(org);
+  return it == admins_.end() ? nullptr : it->second;
+}
+
+Status BlockchainNetwork::DeployContract(const std::string& deployment_sql) {
+  Client* proposer = AdminOf(options_.orgs[0]);
+  if (proposer == nullptr) return Status::Internal("no admin client");
+
+  // Each step waits for a majority commit (byzantine-minority tolerant),
+  // then ensures every reachable node processed that block so the next
+  // step's snapshot height covers it on whichever node it lands.
+  auto settle = [&](Client* c, const std::string& txid) -> Status {
+    BRDB_RETURN_NOT_OK(c->WaitForCommit(txid));
+    BlockNum h = c->DecidedBlockOf(txid);
+    if (h > 0) (void)WaitForHeight(h, 5000000);
+    return Status::OK();
+  };
+
+  auto create = proposer->Invoke("create_deployTx",
+                                 {Value::Text(deployment_sql)});
+  if (!create.ok()) return create.status();
+  BRDB_RETURN_NOT_OK(settle(proposer, create.value()));
+
+  auto id_r = proposer->Query("SELECT MAX(deploy_id) FROM pgdeploy");
+  if (!id_r.ok()) return id_r.status();
+  auto scalar = id_r.value().Scalar();
+  if (!scalar.ok()) return scalar.status();
+  Value deploy_id = scalar.value();
+
+  for (size_t i = 1; i < options_.orgs.size(); ++i) {
+    Client* approver = AdminOf(options_.orgs[i]);
+    auto approve = approver->Invoke("approve_deployTx", {deploy_id});
+    if (!approve.ok()) return approve.status();
+    BRDB_RETURN_NOT_OK(settle(approver, approve.value()));
+  }
+
+  auto submit = proposer->Invoke("submit_deployTx", {deploy_id});
+  if (!submit.ok()) return submit.status();
+  return settle(proposer, submit.value());
+}
+
+Status BlockchainNetwork::RegisterNativeContract(const std::string& name,
+                                                 NativeContractFn fn) {
+  for (auto& node : nodes_) {
+    BRDB_RETURN_NOT_OK(node->contracts()->RegisterNative(name, fn));
+  }
+  return Status::OK();
+}
+
+Status BlockchainNetwork::WaitForHeight(BlockNum height, Micros timeout_us) {
+  const auto& clock = RealClock::Shared();
+  Micros deadline = clock->NowMicros() + timeout_us;
+  for (;;) {
+    bool all = true;
+    for (auto& node : nodes_) {
+      if (node->Height() < height) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return Status::OK();
+    if (clock->NowMicros() > deadline) {
+      return Status::Unavailable("timeout waiting for height " +
+                                 std::to_string(height));
+    }
+    clock->SleepMicros(1000);
+  }
+}
+
+void BlockchainNetwork::WaitIdle(Micros settle_us, Micros timeout_us) {
+  const auto& clock = RealClock::Shared();
+  Micros deadline = clock->NowMicros() + timeout_us;
+  uint64_t last_total = 0;
+  Micros stable_since = clock->NowMicros();
+  for (;;) {
+    uint64_t total = 0;
+    for (auto& node : nodes_) {
+      total += node->metrics()->txns_committed() +
+               node->metrics()->txns_aborted();
+    }
+    Micros now = clock->NowMicros();
+    if (total != last_total) {
+      last_total = total;
+      stable_since = now;
+    } else if (now - stable_since >= settle_us) {
+      return;
+    }
+    if (now > deadline) return;
+    clock->SleepMicros(5000);
+  }
+}
+
+}  // namespace brdb

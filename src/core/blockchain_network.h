@@ -1,0 +1,94 @@
+// BlockchainNetwork: the facade that bootstraps a permissioned network
+// (paper §3.7) — identities and certificate exchange, the simulated
+// network, a pluggable ordering service, one database node per
+// organization, and clients. This is the entry point examples, benchmarks
+// and integration tests use.
+#ifndef BRDB_CORE_BLOCKCHAIN_NETWORK_H_
+#define BRDB_CORE_BLOCKCHAIN_NETWORK_H_
+
+#include <memory>
+
+#include "consensus/kafka.h"
+#include "consensus/pbft.h"
+#include "consensus/raft.h"
+#include "consensus/solo.h"
+#include "core/client.h"
+#include "core/node.h"
+
+namespace brdb {
+
+enum class OrdererType { kSolo, kKafka, kRaft, kPbft };
+
+struct NetworkOptions {
+  std::vector<std::string> orgs = {"org1", "org2", "org3"};
+  TransactionFlow flow = TransactionFlow::kOrderThenExecute;
+  OrdererType orderer_type = OrdererType::kKafka;
+  size_t num_orderers = 0;  ///< 0 = one per organization
+  OrdererConfig orderer_config;
+  NetworkProfile profile = NetworkProfile::Lan();
+  size_t executor_threads = 8;
+  size_t checkpoint_interval = 1;
+  std::string block_store_dir;  ///< "" = in-memory block stores
+  bool serial_execution = false;
+
+  /// Node indexes configured to misbehave (skip commits, §3.5(3)).
+  std::vector<size_t> byzantine_nodes;
+};
+
+class BlockchainNetwork {
+ public:
+  static std::unique_ptr<BlockchainNetwork> Create(
+      const NetworkOptions& options);
+
+  ~BlockchainNetwork();
+
+  Status Start();
+  void Stop();
+
+  size_t num_nodes() const { return nodes_.size(); }
+  DatabaseNode* node(size_t i) { return nodes_[i].get(); }
+  OrderingService* ordering() { return ordering_.get(); }
+  SimNetwork* network() { return net_.get(); }
+  CertificateRegistry* registry() { return registry_.get(); }
+  const NetworkOptions& options() const { return options_; }
+
+  /// Create a client identity registered with every node (bootstrap-time
+  /// registration; §3.7 — later users are onboarded on-chain via the
+  /// create_user system contract).
+  Client* CreateClient(const std::string& org, const std::string& name);
+
+  /// The pre-created admin client of an organization.
+  Client* AdminOf(const std::string& org);
+
+  /// Deploy through the full governance flow: create_deployTx by one
+  /// admin, approve_deployTx by every other organization's admin,
+  /// submit_deployTx. Blocks until each step commits.
+  Status DeployContract(const std::string& deployment_sql);
+
+  /// Register a native contract identically on every node (used by
+  /// benchmarks; deterministic because all nodes get the same function).
+  Status RegisterNativeContract(const std::string& name, NativeContractFn fn);
+
+  /// Wait until every node committed at least `height` blocks.
+  Status WaitForHeight(BlockNum height, Micros timeout_us = 30000000);
+
+  /// Wait until every node's committed transaction count stops changing
+  /// (the network drained); used by benchmarks.
+  void WaitIdle(Micros settle_us = 200000, Micros timeout_us = 60000000);
+
+ private:
+  BlockchainNetwork() = default;
+
+  NetworkOptions options_;
+  std::shared_ptr<CertificateRegistry> registry_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<OrderingService> ordering_;
+  std::vector<std::unique_ptr<DatabaseNode>> nodes_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::map<std::string, Client*> admins_;
+  bool started_ = false;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_CORE_BLOCKCHAIN_NETWORK_H_

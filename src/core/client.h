@@ -1,0 +1,83 @@
+// Client: a signing application endpoint (paper §3.1). Submits contract
+// invocations — to the ordering service in order-then-execute, or to a
+// database peer (which forwards) in execute-order-in-parallel — and listens
+// on the nodes' notification channels. A transaction counts as committed in
+// the network once a majority of nodes commit it (§5).
+#ifndef BRDB_CORE_CLIENT_H_
+#define BRDB_CORE_CLIENT_H_
+
+#include <condition_variable>
+#include <map>
+#include <optional>
+
+#include "core/node.h"
+
+namespace brdb {
+
+class Client {
+ public:
+  /// Subscribes to every node's notification channel.
+  Client(Identity identity, OrderingService* ordering,
+         std::vector<DatabaseNode*> nodes);
+
+  const Identity& identity() const { return identity_; }
+  const std::string& name() const { return identity_.name; }
+
+  /// Invoke a smart contract. Picks the flow from the nodes' configuration:
+  /// order-then-execute submits straight to ordering with a client-unique
+  /// id; execute-order-in-parallel fetches the current block height from a
+  /// peer (round-robin) and submits there. Returns the transaction id.
+  Result<std::string> Invoke(const std::string& contract,
+                             std::vector<Value> args);
+
+  /// Build (and sign) the transaction without submitting — used by tests
+  /// that exercise malicious paths.
+  Transaction MakeTransaction(const std::string& contract,
+                              std::vector<Value> args);
+
+  /// Block until a majority of nodes committed (OK) or decided an abort
+  /// (the abort status). Times out with kUnavailable — the caller may
+  /// resubmit (§3.5(2)).
+  Status WaitForCommit(const std::string& txid, Micros timeout_us = 10000000);
+
+  /// Block until every node has decided the transaction. Returns OK only
+  /// when all nodes committed. Used between dependent steps (e.g. the
+  /// deployment governance flow) so the next transaction's snapshot height
+  /// covers this one on whichever node it lands.
+  Status WaitForDecisionOnAllNodes(const std::string& txid,
+                                   Micros timeout_us = 10000000);
+
+  /// Per-node decided statuses so far for a transaction.
+  std::map<std::string, Status> StatusesOf(const std::string& txid);
+
+  /// Highest block any node reported as this transaction's commit block
+  /// (0 when undecided everywhere).
+  BlockNum DecidedBlockOf(const std::string& txid);
+
+  /// Read-only query against one node.
+  Result<sql::ResultSet> Query(const std::string& sql,
+                               const std::vector<Value>& params = {},
+                               size_t node_index = 0);
+  Result<sql::ResultSet> ProvenanceQuery(const std::string& sql,
+                                         const std::vector<Value>& params = {},
+                                         size_t node_index = 0);
+
+ private:
+  void OnNotification(const std::string& node, const TxnNotification& n);
+
+  Identity identity_;
+  OrderingService* ordering_;
+  std::vector<DatabaseNode*> nodes_;
+  std::atomic<uint64_t> counter_{0};
+  std::atomic<uint64_t> rr_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // txid -> node name -> decided status
+  std::map<std::string, std::map<std::string, Status>> decisions_;
+  std::map<std::string, BlockNum> decided_block_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_CORE_CLIENT_H_

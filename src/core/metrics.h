@@ -1,0 +1,128 @@
+// Per-node metrics matching the paper's micro metrics (§5):
+//   brr — block receive rate (blocks/s at the middleware)
+//   bpr — block processing rate (blocks/s committed)
+//   bpt — mean block processing time (ms)
+//   bet — mean block execution time (ms: start of execution of all txns in
+//         a block until all suspend for commit)
+//   bct — mean block commit time (ms: bpt - bet, measured directly)
+//   tet — mean transaction execution time (ms)
+//   mt  — missing transactions per second (EOP only)
+//   su  — system utilization: fraction of wall time the block processor
+//         was busy (bpr * bpt in the paper)
+#ifndef BRDB_CORE_METRICS_H_
+#define BRDB_CORE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace brdb {
+
+struct MetricsSnapshot {
+  double elapsed_s = 0;
+  uint64_t blocks_received = 0;
+  uint64_t blocks_processed = 0;
+  uint64_t txns_committed = 0;
+  uint64_t txns_aborted = 0;
+  uint64_t missing_txns = 0;
+
+  double brr = 0;     // blocks/s
+  double bpr = 0;     // blocks/s
+  double bpt_ms = 0;  // ms/block
+  double bet_ms = 0;  // ms/block
+  double bct_ms = 0;  // ms/block
+  double tet_ms = 0;  // ms/txn
+  double mt = 0;      // missing txns/s
+  double su = 0;      // % busy
+  double commit_tps = 0;
+};
+
+class NodeMetrics {
+ public:
+  NodeMetrics() { Reset(); }
+
+  void Reset() {
+    start_us_.store(RealClock::Shared()->NowMicros());
+    blocks_received_ = 0;
+    blocks_processed_ = 0;
+    txns_committed_ = 0;
+    txns_aborted_ = 0;
+    missing_txns_ = 0;
+    processing_us_ = 0;
+    execution_us_ = 0;
+    commit_us_ = 0;
+    txn_exec_us_ = 0;
+    txns_executed_ = 0;
+  }
+
+  void OnBlockReceived() { blocks_received_.fetch_add(1); }
+  void OnBlockProcessed(Micros processing_us, Micros execution_us,
+                        Micros commit_us) {
+    blocks_processed_.fetch_add(1);
+    processing_us_.fetch_add(static_cast<uint64_t>(processing_us));
+    execution_us_.fetch_add(static_cast<uint64_t>(execution_us));
+    commit_us_.fetch_add(static_cast<uint64_t>(commit_us));
+  }
+  void OnTxnExecuted(Micros exec_us) {
+    txns_executed_.fetch_add(1);
+    txn_exec_us_.fetch_add(static_cast<uint64_t>(exec_us));
+  }
+  void OnTxnCommitted() { txns_committed_.fetch_add(1); }
+  void OnTxnAborted() { txns_aborted_.fetch_add(1); }
+  void OnMissingTxn() { missing_txns_.fetch_add(1); }
+
+  uint64_t txns_committed() const { return txns_committed_.load(); }
+  uint64_t txns_aborted() const { return txns_aborted_.load(); }
+
+  MetricsSnapshot Snapshot() const {
+    MetricsSnapshot s;
+    Micros now = RealClock::Shared()->NowMicros();
+    s.elapsed_s =
+        static_cast<double>(now - start_us_.load()) / 1e6;
+    if (s.elapsed_s <= 0) s.elapsed_s = 1e-9;
+    s.blocks_received = blocks_received_.load();
+    s.blocks_processed = blocks_processed_.load();
+    s.txns_committed = txns_committed_.load();
+    s.txns_aborted = txns_aborted_.load();
+    s.missing_txns = missing_txns_.load();
+    s.brr = static_cast<double>(s.blocks_received) / s.elapsed_s;
+    s.bpr = static_cast<double>(s.blocks_processed) / s.elapsed_s;
+    if (s.blocks_processed > 0) {
+      s.bpt_ms = static_cast<double>(processing_us_.load()) / 1000.0 /
+                 static_cast<double>(s.blocks_processed);
+      s.bet_ms = static_cast<double>(execution_us_.load()) / 1000.0 /
+                 static_cast<double>(s.blocks_processed);
+      s.bct_ms = static_cast<double>(commit_us_.load()) / 1000.0 /
+                 static_cast<double>(s.blocks_processed);
+    }
+    uint64_t executed = txns_executed_.load();
+    if (executed > 0) {
+      s.tet_ms = static_cast<double>(txn_exec_us_.load()) / 1000.0 /
+                 static_cast<double>(executed);
+    }
+    s.mt = static_cast<double>(s.missing_txns) / s.elapsed_s;
+    s.su = 100.0 * static_cast<double>(processing_us_.load()) /
+           (s.elapsed_s * 1e6);
+    if (s.su > 100.0) s.su = 100.0;
+    s.commit_tps = static_cast<double>(s.txns_committed) / s.elapsed_s;
+    return s;
+  }
+
+ private:
+  std::atomic<Micros> start_us_{0};
+  std::atomic<uint64_t> blocks_received_{0};
+  std::atomic<uint64_t> blocks_processed_{0};
+  std::atomic<uint64_t> txns_committed_{0};
+  std::atomic<uint64_t> txns_aborted_{0};
+  std::atomic<uint64_t> missing_txns_{0};
+  std::atomic<uint64_t> processing_us_{0};
+  std::atomic<uint64_t> execution_us_{0};
+  std::atomic<uint64_t> commit_us_{0};
+  std::atomic<uint64_t> txn_exec_us_{0};
+  std::atomic<uint64_t> txns_executed_{0};
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_CORE_METRICS_H_

@@ -1,0 +1,732 @@
+#include "core/node.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "sql/parser.h"
+
+namespace brdb {
+
+DatabaseNode::DatabaseNode(NodeConfig config, Identity identity,
+                           std::shared_ptr<CertificateRegistry> registry,
+                           SimNetwork* net, OrderingService* ordering)
+    : config_(std::move(config)),
+      identity_(std::move(identity)),
+      registry_(std::move(registry)),
+      net_(net),
+      ordering_(ordering),
+      endpoint_("peer:" + config_.name),
+      engine_(&db_),
+      checkpoints_(config_.name, config_.checkpoint_interval) {
+  if (config_.block_store_path.empty()) {
+    block_store_ = std::make_unique<BlockStore>();
+  } else {
+    auto opened = BlockStore::Open(config_.block_store_path);
+    if (opened.ok()) {
+      block_store_ = std::move(opened).value();
+    } else {
+      BRDB_LOG(kError, config_.name)
+          << "block store corrupt: " << opened.status().ToString();
+      block_store_ = std::make_unique<BlockStore>();
+    }
+  }
+  executors_ = std::make_unique<ThreadPool>(config_.executor_threads);
+  Status st = RegisterSystemContracts(&contracts_);
+  if (!st.ok()) {
+    BRDB_LOG(kError, config_.name) << st.ToString();
+  }
+}
+
+DatabaseNode::~DatabaseNode() { Stop(); }
+
+sql::ExecOptions DatabaseNode::FlowOptions() const {
+  sql::ExecOptions opts =
+      config_.flow == TransactionFlow::kExecuteOrderParallel
+          ? sql::ExecOptions::ExecuteOrderParallel()
+          : sql::ExecOptions::OrderThenExecute();
+  // DDL reaches the blockchain schema only through deployment contracts.
+  opts.allow_ddl = false;
+  return opts;
+}
+
+Status DatabaseNode::Start() {
+  if (running_.exchange(true)) return Status::OK();
+  net_->RegisterEndpoint(endpoint_,
+                         [this](const NetMessage& m) { OnNetMessage(m); });
+  processor_thread_ = std::thread([this] { BlockProcessorLoop(); });
+  return Status::OK();
+}
+
+void DatabaseNode::Stop() {
+  if (!running_.exchange(false)) return;
+  blocks_cv_.notify_all();
+  height_cv_.notify_all();
+  exec_cv_.notify_all();
+  if (processor_thread_.joinable()) processor_thread_.join();
+  net_->UnregisterEndpoint(endpoint_);
+  executors_->Wait();
+}
+
+BlockNum DatabaseNode::Height() const {
+  std::lock_guard<std::mutex> lock(blocks_mu_);
+  return committed_height_;
+}
+
+void DatabaseNode::SetPeerEndpoints(std::vector<std::string> endpoints) {
+  peer_endpoints_ = std::move(endpoints);
+}
+
+Status DatabaseNode::SeedCertificate(const Identity& id) {
+  TxnContext ctx(&db_,
+                 db_.txn_manager()->Begin(
+                     Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                 TxnMode::kInternal);
+  sql::ExecOptions lenient;
+  auto r = engine_.Execute(
+      &ctx, "INSERT INTO pgcerts VALUES ($1, $2, $3, $4)",
+      {Value::Text(id.name), Value::Text(id.organization),
+       Value::Text(PrincipalRoleToString(id.role)),
+       Value::Int(static_cast<int64_t>(id.keys.public_key))},
+      lenient);
+  if (!r.ok()) return r.status();
+  return ctx.CommitInternal(0);
+}
+
+void DatabaseNode::Subscribe(NotificationFn fn) {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  subscribers_.push_back(std::move(fn));
+}
+
+void DatabaseNode::Notify(const std::string& txid, const Status& status,
+                          BlockNum block) {
+  std::vector<NotificationFn> subs;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    subs = subscribers_;
+  }
+  TxnNotification n{txid, status, block};
+  for (const auto& fn : subs) fn(n);
+}
+
+Status DatabaseNode::Authenticate(const Transaction& tx,
+                                  PrincipalRole* role_out) {
+  Status st = tx.Authenticate(*registry_);
+  if (st.ok()) {
+    auto role = registry_->RoleOf(tx.user());
+    *role_out = role.ok() ? role.value() : PrincipalRole::kClient;
+    return Status::OK();
+  }
+  if (st.code() != StatusCode::kNotFound) return st;
+
+  // Fall back to pgcerts: users onboarded on-chain via create_user.
+  TxnContext ctx(&db_,
+                 db_.txn_manager()->Begin(
+                     Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                 TxnMode::kInternal);
+  auto r = engine_.Execute(&ctx,
+                           "SELECT pubkey, role FROM pgcerts "
+                           "WHERE username = $1",
+                           {Value::Text(tx.user())});
+  if (!r.ok()) return r.status();
+  if (r.value().rows.size() != 1) {
+    return Status::NotFound("unknown user " + tx.user());
+  }
+  uint64_t pubkey =
+      static_cast<uint64_t>(r.value().rows[0][0].AsInt());
+  if (!Schnorr::Verify(pubkey, tx.SignedPayload(), tx.signature())) {
+    return Status::PermissionDenied("signature verification failed for " +
+                                    tx.user());
+  }
+  const std::string& role = r.value().rows[0][1].AsText();
+  *role_out =
+      role == "admin" ? PrincipalRole::kAdmin : PrincipalRole::kClient;
+  return Status::OK();
+}
+
+bool DatabaseNode::IsDuplicate(const std::string& txid) {
+  // Direct index probe on pgledger.txid — this runs on every submission and
+  // every block transaction, so it bypasses SQL parsing entirely.
+  auto table = db_.GetTable(kLedgerTable);
+  if (!table.ok()) return false;
+  int col = table.value()->schema().ColumnIndex("txid");
+  Value key = Value::Text(txid);
+  auto ids = table.value()->IndexRange(col, &key, true, &key, true);
+  if (!ids.ok()) return false;
+  for (RowId id : ids.value()) {
+    VersionMeta meta = table.value()->MetaOf(id);
+    if (meta.creator_aborted) continue;
+    if (db_.txn_manager()->StateOf(meta.xmin) == TxnState::kCommitted) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status DatabaseNode::SubmitTransaction(const Transaction& tx) {
+  if (!running_.load()) return Status::Unavailable("node not running");
+  if (config_.flow != TransactionFlow::kExecuteOrderParallel) {
+    return Status::InvalidArgument(
+        "order-then-execute clients submit to the ordering service");
+  }
+  PrincipalRole role;
+  BRDB_RETURN_NOT_OK(Authenticate(tx, &role));
+  {
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    if (active_.count(tx.id())) {
+      return Status::AlreadyExists("transaction already submitted");
+    }
+  }
+  if (IsDuplicate(tx.id())) {
+    return Status::AlreadyExists("transaction id already on the ledger");
+  }
+  // Forward to the other peers and to ordering in the background (§3.4.1).
+  std::string bytes = tx.Encode();
+  net_->Broadcast(endpoint_, peer_endpoints_, kMsgForwardTx, bytes);
+  BRDB_RETURN_NOT_OK(ordering_->SubmitTransaction(tx));
+  StartExecution(tx, /*eop_mode=*/true);
+  return Status::OK();
+}
+
+void DatabaseNode::OnNetMessage(const NetMessage& m) {
+  if (m.type == kMsgBlock) {
+    auto block = Block::Decode(m.payload);
+    if (block.ok()) EnqueueBlock(std::move(block).value());
+    return;
+  }
+  if (m.type == kMsgForwardTx) {
+    auto tx = Transaction::Decode(m.payload);
+    if (!tx.ok()) return;
+    PrincipalRole role;
+    if (!Authenticate(tx.value(), &role).ok()) return;
+    StartExecution(tx.value(), /*eop_mode=*/true);
+    return;
+  }
+}
+
+void DatabaseNode::EnqueueBlock(Block block) {
+  metrics_.OnBlockReceived();
+  Status st = block.VerifySignatures(*registry_,
+                                     config_.min_orderer_signatures);
+  if (!st.ok()) {
+    BRDB_LOG(kWarn, config_.name)
+        << "rejecting block " << block.number() << ": " << st.ToString();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(blocks_mu_);
+  if (block.number() <= block_store_->Height()) return;  // duplicate
+  pending_blocks_.emplace(block.number(), std::move(block));
+  // Move any in-sequence prefix into the durable store.
+  for (auto it = pending_blocks_.begin();
+       it != pending_blocks_.end() &&
+       it->first == block_store_->Height() + 1;) {
+    Status append = block_store_->Append(it->second);
+    if (!append.ok()) {
+      BRDB_LOG(kError, config_.name) << append.ToString();
+      break;
+    }
+    it = pending_blocks_.erase(it);
+  }
+  blocks_cv_.notify_all();
+}
+
+void DatabaseNode::BlockProcessorLoop() {
+  uint64_t idle_polls = 0;
+  while (running_.load()) {
+    BlockNum next;
+    {
+      std::lock_guard<std::mutex> lock(blocks_mu_);
+      next = committed_height_ + 1;
+    }
+    if (block_store_->Height() >= next) {
+      auto block = block_store_->Get(next);
+      if (!block.ok()) {
+        BRDB_LOG(kError, config_.name) << block.status().ToString();
+        return;
+      }
+      std::vector<TxnNotification> decided = ProcessBlock(block.value());
+      {
+        std::lock_guard<std::mutex> lock(blocks_mu_);
+        committed_height_ = next;
+      }
+      height_cv_.notify_all();
+      for (const TxnNotification& n : decided) {
+        Notify(n.txid, n.status, n.block);
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(blocks_mu_);
+    bool gap = !pending_blocks_.empty() &&
+               pending_blocks_.begin()->first > block_store_->Height() + 1;
+    lock.unlock();
+    // Missing block (§3.6): an observed gap triggers an immediate
+    // retransmission fetch; even without one, poll ordering periodically —
+    // a node whose deliveries were lost (partition, restart) must catch up
+    // on its own once connectivity returns.
+    if (gap || ++idle_polls % 50 == 0) {
+      auto missing = ordering_->GetBlock(next);
+      if (missing.ok()) {
+        EnqueueBlock(std::move(missing).value());
+        continue;
+      }
+    }
+    lock.lock();
+    blocks_cv_.wait_for(lock, std::chrono::milliseconds(2));
+  }
+}
+
+std::shared_ptr<DatabaseNode::ExecEntry> DatabaseNode::StartExecution(
+    const Transaction& tx, bool eop_mode) {
+  {
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    auto it = active_.find(tx.id());
+    if (it != active_.end()) return it->second;
+  }
+  auto entry = std::make_shared<ExecEntry>();
+  entry->tx = tx;
+
+  PrincipalRole role = PrincipalRole::kClient;
+  Status auth = Authenticate(tx, &role);
+  bool duplicate = auth.ok() && IsDuplicate(tx.id());
+  {
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    auto [it, inserted] = active_.emplace(tx.id(), entry);
+    if (!inserted) return it->second;
+    if (!auth.ok()) {
+      entry->exec_status = auth;
+      entry->done = true;
+      exec_cv_.notify_all();
+      return entry;
+    }
+    if (duplicate) {
+      entry->exec_status =
+          Status::AlreadyExists("duplicate transaction identifier");
+      entry->done = true;
+      exec_cv_.notify_all();
+      return entry;
+    }
+  }
+
+  executors_->Submit([this, entry, eop_mode, role] {
+    Micros t0 = RealClock::Shared()->NowMicros();
+    Snapshot snap;
+    if (eop_mode) {
+      BlockNum h = entry->tx.snapshot_height();
+      std::unique_lock<std::mutex> lock(blocks_mu_);
+      height_cv_.wait(lock, [&] {
+        return !running_.load() || entry->doomed_invalid ||
+               committed_height_ >= h;
+      });
+      if (!running_.load() || entry->doomed_invalid) {
+        entry->exec_status = Status::SerializationFailure(
+            "snapshot height " + std::to_string(h) + " unreachable");
+        std::lock_guard<std::mutex> elock(exec_mu_);
+        entry->done = true;
+        exec_cv_.notify_all();
+        return;
+      }
+      snap = Snapshot::AtBlockHeight(h);
+    } else {
+      snap = Snapshot::AtCsn(db_.txn_manager()->CurrentCsn());
+    }
+    TxnInfo* info = db_.txn_manager()->Begin(snap, entry->tx.id());
+    entry->txn = std::make_unique<TxnContext>(&db_, info, TxnMode::kNormal);
+
+    ContractContext cctx(entry->txn.get(), &engine_, &contracts_,
+                         entry->tx.user(), entry->tx.args(), FlowOptions());
+    cctx.set_invoker_role(role);
+    entry->exec_status = contracts_.Invoke(entry->tx.contract(), &cctx);
+    entry->registry_ops = cctx.pending_registry_ops();
+
+    entry->exec_us = RealClock::Shared()->NowMicros() - t0;
+    metrics_.OnTxnExecuted(entry->exec_us);
+    {
+      std::lock_guard<std::mutex> lock(exec_mu_);
+      entry->done = true;
+    }
+    exec_cv_.notify_all();
+  });
+  return entry;
+}
+
+void DatabaseNode::WriteLedgerRows(
+    const Block& block,
+    const std::vector<std::shared_ptr<ExecEntry>>& entries) {
+  TxnContext ctx(&db_,
+                 db_.txn_manager()->Begin(
+                     Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                 TxnMode::kInternal);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Transaction& tx = entries[i]->tx;
+    std::string args_text;
+    for (size_t a = 0; a < tx.args().size(); ++a) {
+      if (a) args_text += ",";
+      args_text += tx.args()[a].ToString();
+    }
+    auto r = engine_.Execute(
+        &ctx,
+        "INSERT INTO pgledger (block_num, tx_seq, txid, username, contract, "
+        "args, commit_time) VALUES ($1, $2, $3, $4, $5, $6, $7)",
+        {Value::Int(static_cast<int64_t>(block.number())),
+         Value::Int(static_cast<int64_t>(i)), Value::Text(tx.id()),
+         Value::Text(tx.user()), Value::Text(tx.contract()),
+         Value::Text(args_text),
+         Value::Int(RealClock::Shared()->NowMicros())});
+    if (!r.ok()) {
+      BRDB_LOG(kError, config_.name)
+          << "pgledger insert failed: " << r.status().ToString();
+    }
+  }
+  Status st = ctx.CommitInternal(block.number());
+  if (!st.ok()) {
+    BRDB_LOG(kError, config_.name) << st.ToString();
+  }
+}
+
+void DatabaseNode::UpdateLedgerStatuses(
+    const Block& block,
+    const std::vector<std::shared_ptr<ExecEntry>>& entries) {
+  TxnContext ctx(&db_,
+                 db_.txn_manager()->Begin(
+                     Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                 TxnMode::kInternal);
+  for (const auto& entry : entries) {
+    std::string status = entry->exec_status.ok()
+                             ? "committed"
+                             : std::string("aborted: ") +
+                                   StatusCodeToString(
+                                       entry->exec_status.code());
+    int64_t local_id =
+        entry->txn != nullptr ? static_cast<int64_t>(entry->txn->id()) : 0;
+    auto r = engine_.Execute(
+        &ctx,
+        "UPDATE pgledger SET status = $2, local_txn = $3 "
+        "WHERE txid = $1 AND block_num = $4",
+        {Value::Text(entry->tx.id()), Value::Text(status),
+         Value::Int(local_id),
+         Value::Int(static_cast<int64_t>(block.number()))});
+    if (!r.ok()) {
+      BRDB_LOG(kError, config_.name)
+          << "pgledger status update failed: " << r.status().ToString();
+    }
+  }
+  Status st = ctx.CommitInternal(block.number());
+  if (!st.ok()) {
+    BRDB_LOG(kError, config_.name) << st.ToString();
+  }
+}
+
+std::vector<TxnNotification> DatabaseNode::ProcessBlock(const Block& block) {
+  std::vector<TxnNotification> decided;
+  const bool eop = config_.flow == TransactionFlow::kExecuteOrderParallel;
+  Micros t0 = RealClock::Shared()->NowMicros();
+
+  // Collect / start executions. A txid may legitimately already be
+  // executing (EOP forwarding); anything not yet known is "missing" and is
+  // started now (§3.4.3).
+  std::vector<std::shared_ptr<ExecEntry>> entries;
+  std::set<std::string> seen_in_block;
+  for (const Transaction& tx : block.transactions()) {
+    if (!seen_in_block.insert(tx.id()).second) {
+      // Same id twice within one block: only the first instance runs.
+      auto dup = std::make_shared<ExecEntry>();
+      dup->tx = tx;
+      dup->exec_status =
+          Status::AlreadyExists("duplicate transaction id within block");
+      dup->done = true;
+      entries.push_back(std::move(dup));
+      continue;
+    }
+    bool known;
+    {
+      std::lock_guard<std::mutex> lock(exec_mu_);
+      known = active_.count(tx.id()) > 0;
+    }
+    if (eop && !known) metrics_.OnMissingTxn();
+    auto entry = StartExecution(tx, eop);
+    if (eop && tx.snapshot_height() >= block.number()) {
+      // The snapshot height can never be reached before this block
+      // commits; abort deterministically on every node.
+      {
+        std::lock_guard<std::mutex> lock(blocks_mu_);
+        entry->doomed_invalid = true;
+      }
+      height_cv_.notify_all();
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  WriteLedgerRows(block, entries);
+
+  // Local txn ids of the block in block order, for the block-aware rules.
+  auto block_members = [&] {
+    std::vector<TxnId> members;
+    for (const auto& e : entries) {
+      if (e->txn != nullptr) members.push_back(e->txn->id());
+    }
+    return members;
+  };
+
+  Micros exec_done_at = t0;
+  Micros commit_us_total = 0;
+
+  auto wait_done = [&](const std::shared_ptr<ExecEntry>& e) {
+    std::unique_lock<std::mutex> lock(exec_mu_);
+    exec_cv_.wait(lock, [&] { return e->done || !running_.load(); });
+  };
+
+  auto commit_entry = [&](const std::shared_ptr<ExecEntry>& e, int pos,
+                          const std::vector<TxnId>& members) {
+    Micros c0 = RealClock::Shared()->NowMicros();
+    Status st = e->exec_status;
+    bool skip = config_.byzantine_skip_commit &&
+                pos + 1 == static_cast<int>(entries.size());
+    if (st.ok() && e->txn != nullptr && !skip) {
+      st = e->txn->CommitSerially(
+          eop ? SsiPolicy::kBlockAware : SsiPolicy::kAbortDuringCommit,
+          block.number(), pos, members);
+    } else if (e->txn != nullptr) {
+      e->txn->Abort(st.ok() ? Status::Aborted("byzantine skip") : st);
+      if (skip && st.ok()) st = Status::Aborted("byzantine skip");
+    }
+    e->exec_status = st;
+    commit_us_total += RealClock::Shared()->NowMicros() - c0;
+    if (st.ok()) {
+      metrics_.OnTxnCommitted();
+      // Registry changes take effect only now that the transaction
+      // committed; replacing a contract aborts in-flight transactions
+      // that executed the old version (§3.7).
+      for (const RegistryOp& op : e->registry_ops) {
+        Status applied = contracts_.Apply(op);
+        if (!applied.ok()) {
+          BRDB_LOG(kWarn, config_.name)
+              << "registry op failed: " << applied.ToString();
+        }
+        std::lock_guard<std::mutex> lock(exec_mu_);
+        for (auto& [txid, other] : active_) {
+          if (other->done || other->txn == nullptr) continue;
+          if (other->tx.contract() == op.name) {
+            db_.txn_manager()->Doom(
+                other->txn->id(),
+                Status::SerializationFailure(
+                    "smart contract updated during execution"));
+          }
+        }
+      }
+    } else {
+      metrics_.OnTxnAborted();
+    }
+    decided.push_back(TxnNotification{e->tx.id(), st, block.number()});
+    {
+      std::lock_guard<std::mutex> lock(exec_mu_);
+      active_.erase(e->tx.id());
+    }
+  };
+
+  if (config_.serial_execution) {
+    // Ethereum-style baseline (§5.1): execute and commit one at a time.
+    std::vector<TxnId> members;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      wait_done(entries[i]);
+      if (entries[i]->txn != nullptr) members.push_back(entries[i]->txn->id());
+      commit_entry(entries[i], static_cast<int>(i), members);
+    }
+    exec_done_at = RealClock::Shared()->NowMicros();
+  } else {
+    // Execution phase barrier: every transaction of the block must be
+    // ready to commit/abort before the first commit (§3.3.2 step 4).
+    for (const auto& e : entries) wait_done(e);
+    exec_done_at = RealClock::Shared()->NowMicros();
+
+    std::vector<TxnId> members = block_members();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      commit_entry(entries[i], static_cast<int>(i), members);
+    }
+  }
+
+  // Checkpointing phase (§3.3.4): hash of the block's write-set.
+  std::vector<std::string> write_sets;
+  for (const auto& e : entries) {
+    if (e->exec_status.ok() && e->txn != nullptr) {
+      write_sets.push_back(e->txn->EncodeWriteSet());
+    }
+  }
+  std::string ws_hash =
+      CheckpointManager::ComputeWriteSetHash(block.number(), write_sets);
+  bool vote_due = checkpoints_.RecordLocal(block.number(), ws_hash);
+  if (vote_due && config_.submit_checkpoints &&
+      !block.transactions().empty()) {
+    CheckpointVote vote;
+    vote.peer = config_.name;
+    vote.block = block.number();
+    vote.write_set_hash = ws_hash;
+    vote.signature = identity_.Sign(vote.SignedPayload());
+    ordering_->SubmitCheckpointVote(vote);
+  }
+  // Compare other peers' hashes that rode in this block.
+  for (const CheckpointVote& vote : block.checkpoint_votes()) {
+    if (vote.peer == config_.name) continue;
+    if (!registry_->VerifySignature(vote.peer, vote.SignedPayload(),
+                                    vote.signature)
+             .ok()) {
+      continue;  // forged vote; ignore
+    }
+    auto divergence = checkpoints_.ObserveVote(vote);
+    if (divergence.has_value()) {
+      BRDB_LOG(kWarn, config_.name)
+          << "checkpoint divergence: peer " << divergence->peer
+          << " reported a different write-set hash for block "
+          << divergence->block;
+    }
+  }
+
+  UpdateLedgerStatuses(block, entries);
+
+  Micros now = RealClock::Shared()->NowMicros();
+  metrics_.OnBlockProcessed(now - t0, exec_done_at - t0, commit_us_total);
+  db_.txn_manager()->GarbageCollect();
+  return decided;
+}
+
+Result<sql::ResultSet> DatabaseNode::Query(const std::string& user,
+                                           const std::string& sql_text,
+                                           const std::vector<Value>& params) {
+  auto key = registry_->PublicKeyOf(user);
+  if (!key.ok()) {
+    // Also accept users onboarded on-chain.
+    TxnContext probe(&db_,
+                     db_.txn_manager()->Begin(
+                         Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                     TxnMode::kInternal);
+    auto r = engine_.Execute(&probe,
+                             "SELECT COUNT(*) FROM pgcerts WHERE "
+                             "username = $1",
+                             {Value::Text(user)});
+    if (!r.ok() || !r.value().Scalar().ok() ||
+        r.value().Scalar().value().AsInt() == 0) {
+      return Status::PermissionDenied("unknown user " + user);
+    }
+  }
+  auto stmt = sql::Parse(sql_text);
+  if (!stmt.ok()) return stmt.status();
+  if (stmt.value().type != sql::StatementType::kSelect) {
+    return Status::PermissionDenied(
+        "only individual SELECT statements may bypass the transaction flow "
+        "(paper §3.7)");
+  }
+  TxnContext ctx(&db_,
+                 db_.txn_manager()->Begin(
+                     Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                 TxnMode::kInternal);
+  sql::ExecOptions opts;  // reads of the latest committed state
+  return engine_.ExecuteStatement(&ctx, stmt.value(), params, opts);
+}
+
+Result<sql::ResultSet> DatabaseNode::LocalExecute(
+    const std::string& user, const std::string& sql_text,
+    const std::vector<Value>& params) {
+  auto key = registry_->PublicKeyOf(user);
+  if (!key.ok()) return Status::PermissionDenied("unknown user " + user);
+  auto stmt = sql::Parse(sql_text);
+  if (!stmt.ok()) return stmt.status();
+
+  auto table_is_private = [&](const std::string& name) -> Status {
+    auto t = db_.GetTable(name);
+    if (!t.ok()) return t.status();
+    if (t.value()->db_schema() != kPrivateSchema) {
+      return Status::PermissionDenied(
+          "table " + name + " is not in the private schema; blockchain "
+          "tables change only through smart contracts (§3.7)");
+    }
+    return Status::OK();
+  };
+  switch (stmt.value().type) {
+    case sql::StatementType::kInsert:
+      BRDB_RETURN_NOT_OK(table_is_private(stmt.value().insert->table));
+      break;
+    case sql::StatementType::kUpdate:
+      BRDB_RETURN_NOT_OK(table_is_private(stmt.value().update->table));
+      break;
+    case sql::StatementType::kDelete:
+      BRDB_RETURN_NOT_OK(table_is_private(stmt.value().del->table));
+      break;
+    case sql::StatementType::kDropTable:
+      BRDB_RETURN_NOT_OK(table_is_private(stmt.value().drop_table->table));
+      break;
+    case sql::StatementType::kCreateIndex:
+      BRDB_RETURN_NOT_OK(table_is_private(stmt.value().create_index->table));
+      break;
+    case sql::StatementType::kCreateTable: {
+      // Create directly in the private schema.
+      std::vector<ColumnDef> cols;
+      for (const auto& c : stmt.value().create_table->columns) {
+        ColumnDef def;
+        def.name = c.name;
+        def.type = c.type;
+        def.not_null = c.not_null;
+        def.primary_key = c.primary_key;
+        def.unique = c.unique;
+        cols.push_back(std::move(def));
+      }
+      TableSchema schema(stmt.value().create_table->table, std::move(cols));
+      for (const auto& check : stmt.value().create_table->check_exprs) {
+        schema.AddCheckConstraint(check);
+      }
+      auto t = db_.CreateTable(std::move(schema), kPrivateSchema);
+      if (!t.ok()) return t.status();
+      return sql::ResultSet{};
+    }
+    case sql::StatementType::kSelect:
+      break;  // reads may combine private and blockchain tables
+  }
+
+  TxnContext ctx(&db_,
+                 db_.txn_manager()->Begin(
+                     Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                 TxnMode::kInternal);
+  sql::ExecOptions opts;
+  auto r = engine_.ExecuteStatement(&ctx, stmt.value(), params, opts);
+  if (!r.ok()) return r.status();
+  if (stmt.value().type != sql::StatementType::kSelect) {
+    BlockNum h;
+    {
+      std::lock_guard<std::mutex> lock(blocks_mu_);
+      h = committed_height_;
+    }
+    BRDB_RETURN_NOT_OK(ctx.CommitInternal(h));
+  }
+  return r;
+}
+
+size_t DatabaseNode::Vacuum(BlockNum horizon_block) {
+  size_t removed = 0;
+  TxnManager* mgr = db_.txn_manager();
+  for (const std::string& name : db_.TableNames()) {
+    auto t = db_.GetTable(name);
+    if (!t.ok()) continue;
+    removed += t.value()->Vacuum(horizon_block, [mgr](TxnId id) {
+      return mgr->IsAborted(id);
+    });
+  }
+  return removed;
+}
+
+Result<sql::ResultSet> DatabaseNode::ProvenanceQuery(
+    const std::string& user, const std::string& sql_text,
+    const std::vector<Value>& params) {
+  auto key = registry_->PublicKeyOf(user);
+  if (!key.ok()) return Status::PermissionDenied("unknown user " + user);
+  auto stmt = sql::Parse(sql_text);
+  if (!stmt.ok()) return stmt.status();
+  if (stmt.value().type != sql::StatementType::kSelect) {
+    return Status::PermissionDenied("provenance queries are read-only");
+  }
+  TxnContext ctx(&db_,
+                 db_.txn_manager()->Begin(
+                     Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                 TxnMode::kProvenance);
+  sql::ExecOptions opts;
+  return engine_.ExecuteStatement(&ctx, stmt.value(), params, opts);
+}
+
+}  // namespace brdb

@@ -1,0 +1,234 @@
+// DatabaseNode: one organization's database peer (the modified PostgreSQL
+// instance of the paper, §4). It owns the storage engine, SQL engine,
+// contract registry, block store, checkpoint manager and the block
+// processor implementing both transaction flows:
+//
+//   order-then-execute (§3.3): blocks arrive from ordering; all
+//   transactions of a block execute concurrently on the state committed by
+//   the previous block (CSN snapshot); the block processor then signals
+//   each backend serially in block order to validate (abort-during-commit
+//   SSI) and commit.
+//
+//   execute-order-in-parallel (§3.4): clients submit to a peer, which
+//   authenticates, forwards to other peers and the ordering service, and
+//   starts execution immediately at the client-specified snapshot height
+//   (block-height SSI). When the block arrives, missing transactions are
+//   started, execution completion is awaited, and the serial commit runs
+//   the block-aware abort rules of Table 2.
+//
+// Both flows then update the pgledger statuses atomically, compute the
+// block's write-set hash, and take part in checkpointing (§3.3.4).
+#ifndef BRDB_CORE_NODE_H_
+#define BRDB_CORE_NODE_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "consensus/ordering_service.h"
+#include "contracts/contract.h"
+#include "contracts/system_contracts.h"
+#include "core/metrics.h"
+#include "ledger/block_store.h"
+#include "ledger/checkpoint.h"
+#include "network/sim_network.h"
+#include "sql/executor.h"
+#include "storage/database.h"
+#include "txn/txn_context.h"
+
+namespace brdb {
+
+inline constexpr const char* kMsgForwardTx = "fwd_tx";
+
+enum class TransactionFlow {
+  kOrderThenExecute,
+  kExecuteOrderParallel,
+};
+
+struct NodeConfig {
+  std::string name;  ///< unique peer name, e.g. "peer-org1"
+  std::string org;
+  TransactionFlow flow = TransactionFlow::kOrderThenExecute;
+  size_t executor_threads = 8;
+  std::string block_store_path;  ///< "" = in-memory block store
+  size_t checkpoint_interval = 1;
+  size_t min_orderer_signatures = 1;
+  bool submit_checkpoints = true;
+
+  /// Fault injection (§3.5(3)): skip committing the last transaction of
+  /// every block, producing divergent write-set hashes that honest peers
+  /// detect through checkpointing.
+  bool byzantine_skip_commit = false;
+
+  /// Serial execution baseline (§5.1 "Comparison with Ethereum"): execute
+  /// and commit transactions one at a time instead of concurrently.
+  bool serial_execution = false;
+};
+
+/// Final status of a transaction on this node, delivered to subscribers.
+struct TxnNotification {
+  std::string txid;
+  Status status;
+  BlockNum block = 0;
+};
+
+class DatabaseNode {
+ public:
+  DatabaseNode(NodeConfig config, Identity identity,
+               std::shared_ptr<CertificateRegistry> registry, SimNetwork* net,
+               OrderingService* ordering);
+  ~DatabaseNode();
+
+  DatabaseNode(const DatabaseNode&) = delete;
+  DatabaseNode& operator=(const DatabaseNode&) = delete;
+
+  /// Register network endpoints, replay any persisted blocks (recovery,
+  /// §3.6), and start the block processor.
+  Status Start();
+  void Stop();
+
+  const std::string& name() const { return config_.name; }
+  const std::string& endpoint() const { return endpoint_; }
+  const NodeConfig& config() const { return config_; }
+
+  Database* db() { return &db_; }
+  ContractRegistry* contracts() { return &contracts_; }
+  BlockStore* block_store() { return block_store_.get(); }
+  CheckpointManager* checkpoints() { return &checkpoints_; }
+  NodeMetrics* metrics() { return &metrics_; }
+
+  /// Committed block height.
+  BlockNum Height() const;
+
+  /// Other peers' endpoints (for EOP forwarding).
+  void SetPeerEndpoints(std::vector<std::string> endpoints);
+
+  /// Seed identity records (pgcerts) before the network starts — the
+  /// §3.7 bootstrap step. Must be called identically on every node.
+  Status SeedCertificate(const Identity& identity);
+
+  /// Client entry point for execute-order-in-parallel: authenticate,
+  /// forward to peers + ordering, execute locally (§3.4.1).
+  Status SubmitTransaction(const Transaction& tx);
+
+  /// Read-only query on this node (individual SELECT, not recorded on the
+  /// chain, §3.7). `user` must be a registered identity.
+  Result<sql::ResultSet> Query(const std::string& user, const std::string& sql,
+                               const std::vector<Value>& params = {});
+
+  /// Provenance query: sees all committed row versions and the
+  /// xmin/xmax/creator/deleter pseudo-columns (§4.2).
+  Result<sql::ResultSet> ProvenanceQuery(const std::string& user,
+                                         const std::string& sql,
+                                         const std::vector<Value>& params = {});
+
+  /// Non-blockchain ("private") schema (§3.7): organization-local tables on
+  /// this node only, outside consensus. DDL creates tables in the private
+  /// schema; DML may only touch private tables; SELECTs may freely combine
+  /// private and blockchain tables (the paper's report/analytics use case).
+  Result<sql::ResultSet> LocalExecute(const std::string& user,
+                                      const std::string& sql,
+                                      const std::vector<Value>& params = {});
+
+  /// Prune row versions no longer visible to any snapshot at or above
+  /// `horizon_block` (the paper's §7 vacuum extension). Destroys provenance
+  /// for pruned history; returns the number of versions removed.
+  size_t Vacuum(BlockNum horizon_block);
+
+  using NotificationFn = std::function<void(const TxnNotification&)>;
+  void Subscribe(NotificationFn fn);
+
+  /// Number of blocks whose write-set hash matched this node's for the
+  /// given block (checkpoint agreement).
+  size_t CheckpointMatches(BlockNum block) const {
+    return checkpoints_.MatchCount(block);
+  }
+
+ private:
+  /// Execution bookkeeping for one in-flight transaction.
+  struct ExecEntry {
+    Transaction tx;
+    std::unique_ptr<TxnContext> txn;
+    Status exec_status;
+    std::vector<RegistryOp> registry_ops;
+    Micros exec_us = 0;
+    bool done = false;       ///< execution finished (ready to commit/abort)
+    bool doomed_invalid = false;
+  };
+
+  void OnNetMessage(const NetMessage& m);
+  void EnqueueBlock(Block block);
+  void BlockProcessorLoop();
+
+  /// Processes one block; decided statuses are returned (not emitted) so
+  /// the processor loop can advance the committed height *before*
+  /// notifying clients — otherwise a client could react to its commit and
+  /// submit the next transaction against the pre-block snapshot height.
+  std::vector<TxnNotification> ProcessBlock(const Block& block);
+
+  /// Authenticate a transaction: registry first, then the pgcerts table
+  /// (covering users added on-chain via create_user).
+  Status Authenticate(const Transaction& tx, PrincipalRole* role_out);
+
+  /// True if this txid is already recorded in pgledger or executing.
+  bool IsDuplicate(const std::string& txid);
+
+  /// Start concurrent execution of a transaction; returns the entry.
+  std::shared_ptr<ExecEntry> StartExecution(const Transaction& tx,
+                                            bool eop_mode);
+
+  /// Contract invocation inside an entry's transaction.
+  void RunContract(std::shared_ptr<ExecEntry> entry, bool eop_mode);
+
+  void WriteLedgerRows(const Block& block,
+                       const std::vector<std::shared_ptr<ExecEntry>>& entries);
+  void UpdateLedgerStatuses(
+      const Block& block,
+      const std::vector<std::shared_ptr<ExecEntry>>& entries);
+
+  void Notify(const std::string& txid, const Status& status, BlockNum block);
+
+  sql::ExecOptions FlowOptions() const;
+
+  NodeConfig config_;
+  Identity identity_;
+  std::shared_ptr<CertificateRegistry> registry_;
+  SimNetwork* net_;
+  OrderingService* ordering_;
+  std::string endpoint_;
+
+  Database db_;
+  sql::SqlEngine engine_;
+  ContractRegistry contracts_;
+  std::unique_ptr<BlockStore> block_store_;
+  CheckpointManager checkpoints_;
+  NodeMetrics metrics_;
+  std::unique_ptr<ThreadPool> executors_;
+
+  std::vector<std::string> peer_endpoints_;
+
+  // Block intake: blocks may arrive out of order; the processor consumes
+  // them strictly sequentially.
+  mutable std::mutex blocks_mu_;
+  std::condition_variable blocks_cv_;
+  std::map<BlockNum, Block> pending_blocks_;
+  BlockNum committed_height_ = 0;
+  std::condition_variable height_cv_;
+
+  // Active executions by global txid.
+  std::mutex exec_mu_;
+  std::condition_variable exec_cv_;
+  std::map<std::string, std::shared_ptr<ExecEntry>> active_;
+
+  std::mutex subs_mu_;
+  std::vector<NotificationFn> subscribers_;
+
+  std::atomic<bool> running_{false};
+  std::thread processor_thread_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_CORE_NODE_H_

@@ -1,0 +1,92 @@
+#include "crypto/identity.h"
+
+namespace brdb {
+
+const char* PrincipalRoleToString(PrincipalRole role) {
+  switch (role) {
+    case PrincipalRole::kClient:
+      return "client";
+    case PrincipalRole::kAdmin:
+      return "admin";
+    case PrincipalRole::kPeer:
+      return "peer";
+    case PrincipalRole::kOrderer:
+      return "orderer";
+  }
+  return "?";
+}
+
+Identity Identity::Create(const std::string& organization,
+                          const std::string& name, PrincipalRole role) {
+  Identity id;
+  id.name = name;
+  id.organization = organization;
+  id.role = role;
+  id.keys = Schnorr::DeriveKeyPair(organization + "/" + name + "/" +
+                                   PrincipalRoleToString(role));
+  return id;
+}
+
+void CertificateRegistry::Register(const std::string& name,
+                                   const std::string& organization,
+                                   PrincipalRole role, uint64_t public_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[name] = Entry{organization, role, public_key};
+}
+
+Status CertificateRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("no certificate for user " + name);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> CertificateRegistry::PublicKeyOf(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no certificate for user " + name);
+  }
+  return it->second.public_key;
+}
+
+Result<PrincipalRole> CertificateRegistry::RoleOf(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no certificate for user " + name);
+  }
+  return it->second.role;
+}
+
+Result<std::string> CertificateRegistry::OrganizationOf(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no certificate for user " + name);
+  }
+  return it->second.organization;
+}
+
+Status CertificateRegistry::VerifySignature(const std::string& name,
+                                            const std::string& message,
+                                            const Signature& sig) const {
+  auto key = PublicKeyOf(name);
+  if (!key.ok()) return key.status();
+  if (!Schnorr::Verify(key.value(), message, sig)) {
+    return Status::PermissionDenied("signature verification failed for user " +
+                                    name);
+  }
+  return Status::OK();
+}
+
+size_t CertificateRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace brdb

@@ -1,0 +1,77 @@
+// Identities for the permissioned network: clients, admins, database peers
+// and orderer nodes all hold a keypair; public keys are exchanged at network
+// bootstrap (paper §3.7) and stored per-node in the pgcerts system table.
+#ifndef BRDB_CRYPTO_IDENTITY_H_
+#define BRDB_CRYPTO_IDENTITY_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "crypto/schnorr.h"
+
+namespace brdb {
+
+/// Role of a network principal, mirroring the paper's actors.
+enum class PrincipalRole {
+  kClient,
+  kAdmin,    ///< organization administrator (can deploy contracts, add users)
+  kPeer,     ///< database node identity
+  kOrderer,  ///< ordering-service node identity
+};
+
+const char* PrincipalRoleToString(PrincipalRole role);
+
+/// A named principal with its keypair and owning organization.
+struct Identity {
+  std::string name;          ///< unique network-wide user name
+  std::string organization;  ///< owning org
+  PrincipalRole role = PrincipalRole::kClient;
+  KeyPair keys;
+
+  /// Deterministically create an identity from (org, name, role).
+  static Identity Create(const std::string& organization,
+                         const std::string& name, PrincipalRole role);
+
+  Signature Sign(const std::string& message) const {
+    return Schnorr::Sign(keys, message);
+  }
+};
+
+/// The per-node registry of known public keys (the in-memory face of
+/// pgcerts; the durable copy lives in the system table). Thread-safe.
+class CertificateRegistry {
+ public:
+  /// Register or replace a principal's public key.
+  void Register(const std::string& name, const std::string& organization,
+                PrincipalRole role, uint64_t public_key);
+
+  Status Remove(const std::string& name);
+
+  /// Look up the public key for a user; NotFound when unregistered.
+  Result<uint64_t> PublicKeyOf(const std::string& name) const;
+
+  Result<PrincipalRole> RoleOf(const std::string& name) const;
+  Result<std::string> OrganizationOf(const std::string& name) const;
+
+  /// Verify `sig` over `message` as produced by `name`.
+  Status VerifySignature(const std::string& name, const std::string& message,
+                         const Signature& sig) const;
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string organization;
+    PrincipalRole role;
+    uint64_t public_key;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_CRYPTO_IDENTITY_H_

@@ -1,0 +1,67 @@
+#include "crypto/merkle.h"
+
+#include "crypto/sha256.h"
+
+namespace brdb {
+
+// Domain separation between leaves and inner nodes prevents second-preimage
+// tricks where an inner node is reinterpreted as a leaf.
+std::string MerkleTree::HashLeaf(const std::string& data) {
+  return Sha256::Hash(std::string(1, '\x00') + data);
+}
+
+std::string MerkleTree::HashInner(const std::string& left,
+                                  const std::string& right) {
+  return Sha256::Hash(std::string(1, '\x01') + left + right);
+}
+
+MerkleTree::MerkleTree(const std::vector<std::string>& leaves)
+    : leaf_count_(leaves.size()) {
+  std::vector<std::string> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) level.push_back(HashLeaf(leaf));
+  if (level.empty()) level.push_back(Sha256::Hash(""));
+  levels_.push_back(level);
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<std::string> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i < prev.size(); i += 2) {
+      if (i + 1 < prev.size()) {
+        next.push_back(HashInner(prev[i], prev[i + 1]));
+      } else {
+        // Odd node is promoted by pairing with itself (Bitcoin-style).
+        next.push_back(HashInner(prev[i], prev[i]));
+      }
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+Result<MerkleProof> MerkleTree::Prove(size_t index) const {
+  if (index >= leaf_count_) {
+    return Status::InvalidArgument("merkle proof index out of range");
+  }
+  MerkleProof proof;
+  size_t pos = index;
+  for (size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& nodes = levels_[lvl];
+    size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling >= nodes.size()) sibling = pos;  // odd promotion pairs self
+    proof.push_back({nodes[sibling], sibling < pos});
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::Verify(const std::string& leaf, const MerkleProof& proof,
+                        const std::string& root) {
+  std::string digest = HashLeaf(leaf);
+  for (const auto& step : proof) {
+    digest = step.sibling_on_left ? HashInner(step.sibling, digest)
+                                  : HashInner(digest, step.sibling);
+  }
+  return digest == root;
+}
+
+}  // namespace brdb

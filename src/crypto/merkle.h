@@ -1,0 +1,53 @@
+// Binary Merkle tree over SHA-256. Used by the checkpoint manager to hash a
+// block's write-set (paper §3.3.4) and to produce membership proofs that let
+// a light client verify a single row change against a checkpoint hash.
+#ifndef BRDB_CRYPTO_MERKLE_H_
+#define BRDB_CRYPTO_MERKLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace brdb {
+
+/// One step of a Merkle audit path: sibling digest + which side it is on.
+struct MerkleProofStep {
+  std::string sibling;  ///< 32-byte digest
+  bool sibling_on_left = false;
+};
+
+using MerkleProof = std::vector<MerkleProofStep>;
+
+class MerkleTree {
+ public:
+  /// Builds the tree over the given leaves (arbitrary byte strings; they are
+  /// hashed with a leaf-domain prefix first). An empty leaf set yields the
+  /// hash of the empty string as root.
+  explicit MerkleTree(const std::vector<std::string>& leaves);
+
+  /// 32-byte root digest.
+  const std::string& Root() const { return levels_.back().front(); }
+
+  size_t leaf_count() const { return leaf_count_; }
+
+  /// Audit path for leaf `index`.
+  Result<MerkleProof> Prove(size_t index) const;
+
+  /// Verify that `leaf` is at some position under `root` given `proof`.
+  static bool Verify(const std::string& leaf, const MerkleProof& proof,
+                     const std::string& root);
+
+ private:
+  static std::string HashLeaf(const std::string& data);
+  static std::string HashInner(const std::string& left,
+                               const std::string& right);
+
+  size_t leaf_count_;
+  // levels_[0] = leaf digests, levels_.back() = {root}.
+  std::vector<std::vector<std::string>> levels_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_CRYPTO_MERKLE_H_

@@ -1,0 +1,92 @@
+#include "crypto/schnorr.h"
+
+#include <cstring>
+
+#include "common/hex.h"
+#include "crypto/sha256.h"
+
+namespace brdb {
+
+uint64_t Schnorr::MulMod(uint64_t a, uint64_t b) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % kP);
+}
+
+uint64_t Schnorr::PowMod(uint64_t base, uint64_t exp) {
+  uint64_t result = 1;
+  base %= kP;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, base);
+    base = MulMod(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+uint64_t Schnorr::HashToScalar(const std::string& data) {
+  std::string digest = Sha256::Hash(data);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(digest[i]);
+  }
+  // Scalars live in [1, q).
+  return v % (kQ - 1) + 1;
+}
+
+KeyPair Schnorr::DeriveKeyPair(const std::string& seed) {
+  KeyPair kp;
+  kp.private_key = HashToScalar("brdb-key-derivation:" + seed);
+  kp.public_key = PowMod(kG, kp.private_key);
+  return kp;
+}
+
+Signature Schnorr::Sign(const KeyPair& key, const std::string& message) {
+  // Deterministic nonce (RFC 6979 in spirit): k = H(HMAC(priv, msg)).
+  std::string priv_bytes(reinterpret_cast<const char*>(&key.private_key), 8);
+  uint64_t k = HashToScalar(HmacSha256(priv_bytes, message));
+  uint64_t r = PowMod(kG, k);
+
+  std::string r_bytes(reinterpret_cast<const char*>(&r), 8);
+  uint64_t e = HashToScalar(r_bytes + message);
+
+  // s = k + e * x mod q  (group exponent arithmetic).
+  unsigned __int128 s128 =
+      (static_cast<unsigned __int128>(e) * key.private_key + k) % kQ;
+  Signature sig;
+  sig.e = e;
+  sig.s = static_cast<uint64_t>(s128);
+  return sig;
+}
+
+bool Schnorr::Verify(uint64_t public_key, const std::string& message,
+                     const Signature& sig) {
+  if (public_key == 0 || sig.e == 0) return false;
+  // R' = g^s * y^(-e) = g^s * y^(q - e) mod p.
+  uint64_t gs = PowMod(kG, sig.s % kQ);
+  uint64_t y_neg_e = PowMod(public_key, kQ - (sig.e % kQ));
+  uint64_t r_prime = MulMod(gs, y_neg_e);
+
+  std::string r_bytes(reinterpret_cast<const char*>(&r_prime), 8);
+  return HashToScalar(r_bytes + message) == sig.e;
+}
+
+std::string Signature::Serialize() const {
+  char buf[16];
+  std::memcpy(buf, &e, 8);
+  std::memcpy(buf + 8, &s, 8);
+  return HexEncode(std::string(buf, 16));
+}
+
+Result<Signature> Signature::Deserialize(const std::string& data) {
+  auto bytes = HexDecode(data);
+  if (!bytes.ok()) return bytes.status();
+  if (bytes.value().size() != 16) {
+    return Status::InvalidArgument("signature must encode 16 bytes");
+  }
+  Signature sig;
+  std::memcpy(&sig.e, bytes.value().data(), 8);
+  std::memcpy(&sig.s, bytes.value().data() + 8, 8);
+  return sig;
+}
+
+}  // namespace brdb

@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4) implemented from scratch. Used for transaction ids,
+// block hash chaining, write-set checkpoints and as the hash inside HMAC,
+// Merkle trees and Schnorr signatures.
+#ifndef BRDB_CRYPTO_SHA256_H_
+#define BRDB_CRYPTO_SHA256_H_
+
+#include <cstdint>
+#include <string>
+
+namespace brdb {
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorb more input.
+  void Update(const void* data, size_t len);
+  void Update(const std::string& data) { Update(data.data(), data.size()); }
+
+  /// Finalize and return the 32-byte digest. The context must not be used
+  /// again afterwards.
+  std::string Finish();
+
+  /// One-shot convenience.
+  static std::string Hash(const std::string& data);
+
+  /// One-shot digest rendered as lower-case hex (64 chars).
+  static std::string HashHex(const std::string& data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+/// HMAC-SHA-256 per RFC 2104.
+std::string HmacSha256(const std::string& key, const std::string& message);
+
+}  // namespace brdb
+
+#endif  // BRDB_CRYPTO_SHA256_H_

@@ -1,0 +1,133 @@
+#include "ledger/block_store.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace brdb {
+
+Result<std::unique_ptr<BlockStore>> BlockStore::Open(const std::string& path) {
+  auto store = std::make_unique<BlockStore>();
+  store->path_ = path;
+  Status st = store->LoadFromFile();
+  if (!st.ok()) return st;
+  return store;
+}
+
+Status BlockStore::LoadFromFile() {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // fresh store
+  Status result = Status::OK();
+  for (;;) {
+    uint32_t len = 0;
+    size_t n = std::fread(&len, 1, 4, f);
+    if (n == 0) break;  // clean EOF
+    if (n != 4) {
+      result = Status::Corruption("block store: truncated length prefix");
+      break;
+    }
+    std::string buf(len, '\0');
+    if (std::fread(buf.data(), 1, len, f) != len) {
+      result = Status::Corruption("block store: truncated block body");
+      break;
+    }
+    auto block = Block::Decode(buf);
+    if (!block.ok()) {
+      result = block.status();
+      break;
+    }
+    // Verify chain linkage while loading.
+    const Block& b = block.value();
+    if (!b.HashIsValid()) {
+      result = Status::Corruption("block store: block " +
+                                  std::to_string(b.number()) +
+                                  " hash mismatch (tampered?)");
+      break;
+    }
+    if (b.number() != blocks_.size() + 1) {
+      result = Status::Corruption("block store: unexpected sequence number");
+      break;
+    }
+    if (!blocks_.empty() && b.prev_hash() != blocks_.back().hash()) {
+      result = Status::Corruption("block store: broken hash chain at block " +
+                                  std::to_string(b.number()));
+      break;
+    }
+    blocks_.push_back(std::move(block).value());
+  }
+  std::fclose(f);
+  return result;
+}
+
+Status BlockStore::Append(const Block& block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!block.HashIsValid()) {
+    return Status::Corruption("refusing to append block with invalid hash");
+  }
+  if (block.number() != blocks_.size() + 1) {
+    return Status::InvalidArgument(
+        "block " + std::to_string(block.number()) + " out of sequence, have " +
+        std::to_string(blocks_.size()));
+  }
+  if (!blocks_.empty() && block.prev_hash() != blocks_.back().hash()) {
+    return Status::Corruption("block " + std::to_string(block.number()) +
+                              " does not extend the current chain");
+  }
+  if (!path_.empty()) {
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    if (f == nullptr) {
+      return Status::Unavailable("cannot open block store file " + path_);
+    }
+    std::string bytes = block.Encode();
+    uint32_t len = static_cast<uint32_t>(bytes.size());
+    bool ok = std::fwrite(&len, 1, 4, f) == 4 &&
+              std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    std::fflush(f);
+    std::fclose(f);
+    if (!ok) return Status::Unavailable("short write to block store");
+  }
+  blocks_.push_back(block);
+  return Status::OK();
+}
+
+BlockNum BlockStore::Height() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.size();
+}
+
+Result<Block> BlockStore::Get(BlockNum number) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (number == 0 || number > blocks_.size()) {
+    return Status::NotFound("no block " + std::to_string(number));
+  }
+  return blocks_[number - 1];
+}
+
+std::string BlockStore::LatestHash() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.empty() ? "" : blocks_.back().hash();
+}
+
+Status BlockStore::VerifyChain() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string prev;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    if (!b.HashIsValid()) {
+      return Status::Corruption("block " + std::to_string(b.number()) +
+                                " content does not match its hash");
+    }
+    if (b.number() != i + 1) {
+      return Status::Corruption("block sequence gap at index " +
+                                std::to_string(i));
+    }
+    if (i > 0 && b.prev_hash() != prev) {
+      return Status::Corruption("hash chain broken at block " +
+                                std::to_string(b.number()));
+    }
+    prev = b.hash();
+  }
+  return Status::OK();
+}
+
+}  // namespace brdb

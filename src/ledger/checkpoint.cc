@@ -1,0 +1,75 @@
+#include "ledger/checkpoint.h"
+
+#include "common/hex.h"
+#include "crypto/merkle.h"
+#include "wire/codec.h"
+
+namespace brdb {
+
+std::string CheckpointManager::ComputeWriteSetHash(
+    BlockNum block, const std::vector<std::string>& txn_write_sets) {
+  std::vector<std::string> leaves;
+  leaves.reserve(txn_write_sets.size() + 1);
+  Encoder header;
+  header.PutU64(block);
+  leaves.push_back(header.Take());
+  for (const auto& ws : txn_write_sets) leaves.push_back(ws);
+  MerkleTree tree(leaves);
+  return HexEncode(tree.Root());
+}
+
+bool CheckpointManager::RecordLocal(BlockNum block, const std::string& hash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  local_hashes_[block] = hash;
+  // Compare against any votes that arrived before we committed the block.
+  auto it = peer_votes_.find(block);
+  if (it != peer_votes_.end()) {
+    for (const auto& [peer, their_hash] : it->second) {
+      if (their_hash != hash) {
+        divergences_.push_back({peer, block, their_hash, hash});
+      }
+    }
+  }
+  return block % interval_ == 0;
+}
+
+std::optional<CheckpointDivergence> CheckpointManager::ObserveVote(
+    const CheckpointVote& vote) {
+  if (vote.peer == self_) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  peer_votes_[vote.block][vote.peer] = vote.write_set_hash;
+  auto it = local_hashes_.find(vote.block);
+  if (it != local_hashes_.end() && it->second != vote.write_set_hash) {
+    CheckpointDivergence d{vote.peer, vote.block, vote.write_set_hash,
+                           it->second};
+    divergences_.push_back(d);
+    return d;
+  }
+  return std::nullopt;
+}
+
+std::string CheckpointManager::LocalHash(BlockNum block) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = local_hashes_.find(block);
+  return it == local_hashes_.end() ? "" : it->second;
+}
+
+size_t CheckpointManager::MatchCount(BlockNum block) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto local = local_hashes_.find(block);
+  if (local == local_hashes_.end()) return 0;
+  auto votes = peer_votes_.find(block);
+  if (votes == peer_votes_.end()) return 0;
+  size_t matches = 0;
+  for (const auto& [peer, hash] : votes->second) {
+    if (hash == local->second) ++matches;
+  }
+  return matches;
+}
+
+std::vector<CheckpointDivergence> CheckpointManager::Divergences() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return divergences_;
+}
+
+}  // namespace brdb

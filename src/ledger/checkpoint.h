@@ -1,0 +1,73 @@
+// CheckpointManager: the paper's checkpointing phase (§3.3.4).
+//
+// After committing a block, each node computes the hash of the block's
+// write-set (Merkle root over the committed transactions' deterministic
+// write-set encodings) and submits it to the ordering service as a
+// checkpoint vote. Votes ride in later blocks; when a node sees votes from
+// other peers for a block it committed, it compares them with its own hash.
+// A mismatch exposes the faulty/malicious peer (§3.5(3): withholding a
+// commit is detected here).
+#ifndef BRDB_LEDGER_CHECKPOINT_H_
+#define BRDB_LEDGER_CHECKPOINT_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wire/block.h"
+
+namespace brdb {
+
+/// A divergence event: `peer` reported a different write-set hash for
+/// `block` than we computed.
+struct CheckpointDivergence {
+  std::string peer;
+  BlockNum block = 0;
+  std::string their_hash;
+  std::string our_hash;
+};
+
+class CheckpointManager {
+ public:
+  /// `interval`: record a checkpoint every N blocks (1 = every block; the
+  /// paper notes hashes may be batched over several blocks).
+  explicit CheckpointManager(std::string self_name, size_t interval = 1)
+      : self_(std::move(self_name)), interval_(interval == 0 ? 1 : interval) {}
+
+  /// Merkle-root hash (hex) over the per-transaction write-set encodings of
+  /// one block, in block order. Deterministic across nodes.
+  static std::string ComputeWriteSetHash(
+      BlockNum block, const std::vector<std::string>& txn_write_sets);
+
+  /// Record our own hash for `block`; returns true when this block index
+  /// falls on the checkpoint interval (i.e. a vote should be submitted).
+  bool RecordLocal(BlockNum block, const std::string& hash);
+
+  /// Process a peer's vote (signature already verified by the caller).
+  /// Returns a divergence record if the peer's hash conflicts with ours.
+  std::optional<CheckpointDivergence> ObserveVote(const CheckpointVote& vote);
+
+  /// Our hash for `block` ("" if unknown).
+  std::string LocalHash(BlockNum block) const;
+
+  /// Number of peers whose vote for `block` matched ours (excluding us).
+  size_t MatchCount(BlockNum block) const;
+
+  /// All divergences observed so far.
+  std::vector<CheckpointDivergence> Divergences() const;
+
+ private:
+  std::string self_;
+  size_t interval_;
+  mutable std::mutex mu_;
+  std::map<BlockNum, std::string> local_hashes_;
+  std::map<BlockNum, std::map<std::string, std::string>> peer_votes_;
+  std::vector<CheckpointDivergence> divergences_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_LEDGER_CHECKPOINT_H_

@@ -1,0 +1,1104 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "sql/eval.h"
+#include "sql/parser.h"
+
+namespace brdb {
+namespace sql {
+
+namespace {
+
+// ---------- helpers over expressions ----------
+
+void CollectConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kBinary && e.bin_op == BinOp::kAnd) {
+    CollectConjuncts(*e.a, out);
+    CollectConjuncts(*e.b, out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+bool ContainsColumn(const Expr& e) {
+  if (e.kind == ExprKind::kColumn) return true;
+  if (e.a && ContainsColumn(*e.a)) return true;
+  if (e.b && ContainsColumn(*e.b)) return true;
+  for (const auto& arg : e.args) {
+    if (arg && ContainsColumn(*arg)) return true;
+  }
+  for (const auto& [w, t] : e.whens) {
+    if (ContainsColumn(*w) || ContainsColumn(*t)) return true;
+  }
+  if (e.else_expr && ContainsColumn(*e.else_expr)) return true;
+  return false;
+}
+
+Status ValidateColumns(const Expr& e, const EvalScope& scope) {
+  if (e.kind == ExprKind::kColumn) {
+    auto slot = scope.Resolve(e.qualifier, e.column);
+    if (!slot.ok()) return slot.status();
+    return Status::OK();
+  }
+  if (e.a) BRDB_RETURN_NOT_OK(ValidateColumns(*e.a, scope));
+  if (e.b) BRDB_RETURN_NOT_OK(ValidateColumns(*e.b, scope));
+  for (const auto& arg : e.args) {
+    if (arg) BRDB_RETURN_NOT_OK(ValidateColumns(*arg, scope));
+  }
+  for (const auto& [w, t] : e.whens) {
+    BRDB_RETURN_NOT_OK(ValidateColumns(*w, scope));
+    BRDB_RETURN_NOT_OK(ValidateColumns(*t, scope));
+  }
+  if (e.else_expr) BRDB_RETURN_NOT_OK(ValidateColumns(*e.else_expr, scope));
+  return Status::OK();
+}
+
+void CollectAggregates(const Expr& e,
+                       std::map<std::string, const Expr*>* out) {
+  if (e.kind == ExprKind::kFunction && IsAggregateFunction(e.func_name)) {
+    out->emplace(e.ToKey(), &e);
+    return;  // nested aggregates are not supported anyway
+  }
+  if (e.a) CollectAggregates(*e.a, out);
+  if (e.b) CollectAggregates(*e.b, out);
+  for (const auto& arg : e.args) {
+    if (arg) CollectAggregates(*arg, out);
+  }
+  for (const auto& [w, t] : e.whens) {
+    CollectAggregates(*w, out);
+    CollectAggregates(*t, out);
+  }
+  if (e.else_expr) CollectAggregates(*e.else_expr, out);
+}
+
+// ---------- relations ----------
+
+struct Relation {
+  EvalScope scope;
+  std::vector<Row> rows;
+  std::vector<RowId> rids;  // parallel to rows; only for single-table DML
+};
+
+struct SargRange {
+  std::optional<Value> lo;
+  bool lo_inclusive = true;
+  std::optional<Value> hi;
+  bool hi_inclusive = true;
+
+  bool bounded() const { return lo.has_value() || hi.has_value(); }
+  bool is_equality() const {
+    return lo.has_value() && hi.has_value() && lo_inclusive && hi_inclusive &&
+           lo->Compare(*hi) == 0;
+  }
+  void Tighten(BinOp op, const Value& v) {
+    switch (op) {
+      case BinOp::kEq:
+        TightenLo(v, true);
+        TightenHi(v, true);
+        break;
+      case BinOp::kGt:
+        TightenLo(v, false);
+        break;
+      case BinOp::kGe:
+        TightenLo(v, true);
+        break;
+      case BinOp::kLt:
+        TightenHi(v, false);
+        break;
+      case BinOp::kLe:
+        TightenHi(v, true);
+        break;
+      default:
+        break;
+    }
+  }
+  void TightenLo(const Value& v, bool inclusive) {
+    if (!lo.has_value() || v.Compare(*lo) > 0 ||
+        (v.Compare(*lo) == 0 && !inclusive)) {
+      lo = v;
+      lo_inclusive = inclusive;
+    }
+  }
+  void TightenHi(const Value& v, bool inclusive) {
+    if (!hi.has_value() || v.Compare(*hi) < 0 ||
+        (v.Compare(*hi) == 0 && !inclusive)) {
+      hi = v;
+      hi_inclusive = inclusive;
+    }
+  }
+};
+
+BinOp FlipComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kLt: return BinOp::kGt;
+    case BinOp::kLe: return BinOp::kGe;
+    case BinOp::kGt: return BinOp::kLt;
+    case BinOp::kGe: return BinOp::kLe;
+    default: return op;
+  }
+}
+
+// ---------- the statement runner ----------
+
+class Runner {
+ public:
+  Runner(Database* db, TxnContext* ctx, const std::vector<Value>& params,
+         const ExecOptions& opts,
+         const std::map<std::string, Value>* named_params)
+      : db_(db),
+        ctx_(ctx),
+        params_(params),
+        opts_(opts),
+        named_params_(named_params) {}
+
+  Result<ResultSet> Run(const Statement& stmt);
+
+ private:
+  Result<ResultSet> RunSelect(const SelectStmt& stmt);
+  Result<ResultSet> RunInsert(const InsertStmt& stmt);
+  Result<ResultSet> RunUpdate(const UpdateStmt& stmt);
+  Result<ResultSet> RunDelete(const DeleteStmt& stmt);
+  Result<ResultSet> RunCreateTable(const CreateTableStmt& stmt);
+  Result<ResultSet> RunCreateIndex(const CreateIndexStmt& stmt);
+  Result<ResultSet> RunDropTable(const DropTableStmt& stmt);
+
+  /// Scan one base table applying sargable conjuncts of `where`.
+  Result<Relation> ScanBase(const TableRef& ref, const Expr* where,
+                            bool want_rids);
+  Status JoinInto(Relation* left, const JoinClause& join);
+
+  Status EnforceChecks(Table* table, const Row& row);
+
+  EvalContext ConstCtx() const {
+    EvalContext c;
+    c.params = &params_;
+    c.named_params = named_params_;
+    return c;
+  }
+  EvalContext RowCtx(const EvalScope& scope, const Row& row) const {
+    EvalContext c;
+    c.scope = &scope;
+    c.row = &row;
+    c.params = &params_;
+    c.named_params = named_params_;
+    return c;
+  }
+
+  Database* db_;
+  TxnContext* ctx_;
+  const std::vector<Value>& params_;
+  const ExecOptions& opts_;
+  const std::map<std::string, Value>* named_params_;
+};
+
+Result<Relation> Runner::ScanBase(const TableRef& ref, const Expr* where,
+                                  bool want_rids) {
+  auto table_r = db_->GetTable(ref.table);
+  if (!table_r.ok()) return table_r.status();
+  Table* table = table_r.value();
+  const TableSchema& schema = table->schema();
+  const bool provenance = ctx_->mode() == TxnMode::kProvenance;
+
+  Relation rel;
+  for (const auto& col : schema.columns()) {
+    rel.scope.Add(ref.alias, col.name);
+  }
+  if (provenance) {
+    rel.scope.Add(ref.alias, "xmin");
+    rel.scope.Add(ref.alias, "xmax");
+    rel.scope.Add(ref.alias, "creator");
+    rel.scope.Add(ref.alias, "deleter");
+  }
+
+  // Sargable extraction: conjuncts of the form <col> op <constant> where
+  // col belongs to this table and is indexed.
+  int best_col = -1;
+  SargRange best_range;
+  bool where_touches_table = false;
+  if (where != nullptr && !provenance) {
+    std::vector<const Expr*> conjuncts;
+    CollectConjuncts(*where, &conjuncts);
+    std::map<int, SargRange> ranges;
+    for (const Expr* c : conjuncts) {
+      if (c->kind != ExprKind::kBinary) continue;
+      BinOp op = c->bin_op;
+      if (op != BinOp::kEq && op != BinOp::kLt && op != BinOp::kLe &&
+          op != BinOp::kGt && op != BinOp::kGe) {
+        continue;
+      }
+      const Expr* col_side = nullptr;
+      const Expr* const_side = nullptr;
+      if (c->a->kind == ExprKind::kColumn && !ContainsColumn(*c->b)) {
+        col_side = c->a.get();
+        const_side = c->b.get();
+      } else if (c->b->kind == ExprKind::kColumn && !ContainsColumn(*c->a)) {
+        col_side = c->b.get();
+        const_side = c->a.get();
+        op = FlipComparison(op);
+      } else {
+        continue;
+      }
+      if (!col_side->qualifier.empty() && col_side->qualifier != ref.alias) {
+        continue;
+      }
+      int col = schema.ColumnIndex(col_side->column);
+      if (col < 0) continue;
+      where_touches_table = true;
+      if (!table->HasIndexOn(col)) continue;
+      auto v = Eval(*const_side, ConstCtx());
+      if (!v.ok()) return v.status();
+      if (v.value().is_null()) {
+        // col op NULL matches nothing.
+        rel.rows.clear();
+        return rel;
+      }
+      ranges[col].Tighten(op, v.value());
+    }
+    for (auto& [col, range] : ranges) {
+      if (!range.bounded()) continue;
+      if (best_col < 0 || (range.is_equality() && !best_range.is_equality())) {
+        best_col = col;
+        best_range = range;
+      }
+    }
+    // Any column reference into this table counts as a predicate read.
+    if (!where_touches_table) {
+      EvalScope probe;
+      for (const auto& col : schema.columns()) probe.Add(ref.alias, col.name);
+      where_touches_table = probe.References(*where);
+    }
+  }
+
+  if (provenance) {
+    // Provenance sees every committed version with its metadata appended.
+    Status st = ctx_->ScanVersions(
+        table, [&](RowId rid, const Row& values, const VersionMeta& meta) {
+          Row row = values;
+          row.push_back(Value::Int(static_cast<int64_t>(meta.xmin)));
+          row.push_back(meta.xmax == 0
+                            ? Value::Null()
+                            : Value::Int(static_cast<int64_t>(meta.xmax)));
+          row.push_back(meta.creator_block == 0
+                            ? Value::Null()
+                            : Value::Int(static_cast<int64_t>(meta.creator_block)));
+          row.push_back(meta.deleter_block == 0
+                            ? Value::Null()
+                            : Value::Int(static_cast<int64_t>(meta.deleter_block)));
+          rel.rows.push_back(std::move(row));
+          if (want_rids) rel.rids.push_back(rid);
+          return true;
+        });
+    if (!st.ok()) return st;
+    return rel;
+  }
+
+  RowCallback cb = [&](RowId rid, const Row& values) {
+    rel.rows.push_back(values);
+    if (want_rids) rel.rids.push_back(rid);
+    return true;
+  };
+
+  Status st;
+  if (best_col >= 0) {
+    const Value* lo = best_range.lo ? &*best_range.lo : nullptr;
+    const Value* hi = best_range.hi ? &*best_range.hi : nullptr;
+    st = ctx_->ScanRange(table, best_col, lo, best_range.lo_inclusive, hi,
+                         best_range.hi_inclusive, cb);
+  } else {
+    if (opts_.require_index_for_predicates && where != nullptr &&
+        where_touches_table) {
+      // Paper §4.3: in execute-order-in-parallel, predicate reads must be
+      // served by an index; otherwise the node aborts the transaction.
+      return Status::SerializationFailure(
+          "predicate on table " + ref.table +
+          " has no usable index (required by execute-order-in-parallel)");
+    }
+    st = ctx_->ScanAll(table, cb);
+  }
+  if (!st.ok()) return st;
+  return rel;
+}
+
+Status Runner::JoinInto(Relation* left, const JoinClause& join) {
+  auto right_table_r = db_->GetTable(join.table.table);
+  if (!right_table_r.ok()) return right_table_r.status();
+  Table* right_table = right_table_r.value();
+  const TableSchema& rschema = right_table->schema();
+
+  EvalScope combined = left->scope;
+  Relation right_proto;
+  for (const auto& col : rschema.columns()) {
+    right_proto.scope.Add(join.table.alias, col.name);
+  }
+  const bool provenance = ctx_->mode() == TxnMode::kProvenance;
+  if (provenance) {
+    right_proto.scope.Add(join.table.alias, "xmin");
+    right_proto.scope.Add(join.table.alias, "xmax");
+    right_proto.scope.Add(join.table.alias, "creator");
+    right_proto.scope.Add(join.table.alias, "deleter");
+  }
+  combined.Append(right_proto.scope);
+
+  // Find equi-join conjuncts: left-expr = right-column (or flipped).
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(*join.on, &conjuncts);
+  const Expr* left_key = nullptr;
+  int right_key_col = -1;
+  for (const Expr* c : conjuncts) {
+    if (c->kind != ExprKind::kBinary || c->bin_op != BinOp::kEq) continue;
+    auto classify = [&](const Expr& e) -> int {
+      // 2 = column of right table, 1 = refers only to left scope, 0 = other
+      if (e.kind == ExprKind::kColumn &&
+          (e.qualifier == join.table.alias ||
+           (e.qualifier.empty() &&
+            rschema.ColumnIndex(e.column) >= 0 &&
+            !left->scope.Resolve("", e.column).ok()))) {
+        return 2;
+      }
+      if (left->scope.References(e) || !ContainsColumn(e)) return 1;
+      return 0;
+    };
+    int ca = classify(*c->a), cb = classify(*c->b);
+    const Expr* lk = nullptr;
+    const Expr* rk = nullptr;
+    if (ca == 2 && cb == 1) {
+      rk = c->a.get();
+      lk = c->b.get();
+    } else if (cb == 2 && ca == 1) {
+      rk = c->b.get();
+      lk = c->a.get();
+    } else {
+      continue;
+    }
+    int col = rschema.ColumnIndex(rk->column);
+    if (col < 0) continue;
+    left_key = lk;
+    right_key_col = col;
+    break;
+  }
+
+  std::vector<Row> out_rows;
+  const size_t right_width = right_proto.scope.size();
+
+  auto emit = [&](const Row& lrow, const Row& rrow) -> Result<bool> {
+    Row combined_row = lrow;
+    combined_row.insert(combined_row.end(), rrow.begin(), rrow.end());
+    auto cond = EvalCondition(*join.on, RowCtx(combined, combined_row));
+    if (!cond.ok()) return cond.status();
+    if (cond.value()) {
+      out_rows.push_back(std::move(combined_row));
+      return true;
+    }
+    return false;
+  };
+
+  if (left_key != nullptr && right_key_col >= 0 &&
+      right_table->HasIndexOn(right_key_col) && !provenance) {
+    // Index nested-loop join: probe the right index per left row.
+    for (const Row& lrow : left->rows) {
+      auto key = Eval(*left_key, RowCtx(left->scope, lrow));
+      if (!key.ok()) return key.status();
+      bool matched = false;
+      if (!key.value().is_null()) {
+        std::vector<Row> rrows;
+        Status st = ctx_->ScanRange(
+            right_table, right_key_col, &key.value(), true, &key.value(), true,
+            [&](RowId, const Row& values) {
+              rrows.push_back(values);
+              return true;
+            });
+        if (!st.ok()) return st;
+        for (const Row& rrow : rrows) {
+          auto m = emit(lrow, rrow);
+          if (!m.ok()) return m.status();
+          matched = matched || m.value();
+        }
+      }
+      if (!matched && join.left) {
+        Row combined_row = lrow;
+        combined_row.resize(combined_row.size() + right_width, Value::Null());
+        out_rows.push_back(std::move(combined_row));
+      }
+    }
+  } else {
+    // Hash join when an equi key exists, nested loop otherwise.
+    auto right_rel = ScanBase(join.table, nullptr, false);
+    if (!right_rel.ok()) return right_rel.status();
+    const std::vector<Row>& rrows = right_rel.value().rows;
+
+    if (left_key != nullptr && right_key_col >= 0) {
+      std::unordered_map<Value, std::vector<size_t>, ValueHasher> build;
+      // Right key column slot inside the right relation: resolve by name.
+      auto slot = right_rel.value().scope.Resolve(
+          join.table.alias, rschema.columns()[right_key_col].name);
+      if (!slot.ok()) return slot.status();
+      for (size_t i = 0; i < rrows.size(); ++i) {
+        const Value& k = rrows[i][static_cast<size_t>(slot.value())];
+        if (!k.is_null()) build[k].push_back(i);
+      }
+      for (const Row& lrow : left->rows) {
+        auto key = Eval(*left_key, RowCtx(left->scope, lrow));
+        if (!key.ok()) return key.status();
+        bool matched = false;
+        if (!key.value().is_null()) {
+          auto it = build.find(key.value());
+          if (it != build.end()) {
+            for (size_t i : it->second) {
+              auto m = emit(lrow, rrows[i]);
+              if (!m.ok()) return m.status();
+              matched = matched || m.value();
+            }
+          }
+        }
+        if (!matched && join.left) {
+          Row combined_row = lrow;
+          combined_row.resize(combined_row.size() + right_width, Value::Null());
+          out_rows.push_back(std::move(combined_row));
+        }
+      }
+    } else {
+      for (const Row& lrow : left->rows) {
+        bool matched = false;
+        for (const Row& rrow : rrows) {
+          auto m = emit(lrow, rrow);
+          if (!m.ok()) return m.status();
+          matched = matched || m.value();
+        }
+        if (!matched && join.left) {
+          Row combined_row = lrow;
+          combined_row.resize(combined_row.size() + right_width, Value::Null());
+          out_rows.push_back(std::move(combined_row));
+        }
+      }
+    }
+  }
+
+  left->scope = std::move(combined);
+  left->rows = std::move(out_rows);
+  left->rids.clear();
+  return Status::OK();
+}
+
+// Aggregate accumulator (one per aggregate call per group).
+struct AggAcc {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double dsum = 0;
+  bool any_double = false;
+  bool has = false;
+  Value min, max;
+
+  void Update(const std::string& fn, const Value& v) {
+    if (fn == "count") {
+      if (!v.is_null()) ++count;  // COUNT(expr) skips NULLs; COUNT(*)
+      return;                     // passes a non-null marker per row
+    }
+    if (v.is_null()) return;
+    has = true;
+    if (fn == "sum" || fn == "avg") {
+      ++count;
+      if (v.type() == ValueType::kDouble) {
+        any_double = true;
+        dsum += v.AsDouble();
+      } else {
+        isum += v.AsInt();
+        dsum += static_cast<double>(v.AsInt());
+      }
+    } else if (fn == "min") {
+      if (min.is_null() || v.Compare(min) < 0) min = v;
+    } else if (fn == "max") {
+      if (max.is_null() || v.Compare(max) > 0) max = v;
+    }
+  }
+
+  Value Final(const std::string& fn) const {
+    if (fn == "count") return Value::Int(count);
+    if (!has) return Value::Null();
+    if (fn == "sum") return any_double ? Value::Double(dsum) : Value::Int(isum);
+    if (fn == "avg") return Value::Double(dsum / static_cast<double>(count));
+    if (fn == "min") return min;
+    if (fn == "max") return max;
+    return Value::Null();
+  }
+};
+
+Result<ResultSet> Runner::RunSelect(const SelectStmt& stmt) {
+  Relation rel;
+  if (stmt.from.has_value()) {
+    auto base = ScanBase(*stmt.from, stmt.where.get(), false);
+    if (!base.ok()) return base.status();
+    rel = std::move(base).value();
+    for (const auto& join : stmt.joins) {
+      BRDB_RETURN_NOT_OK(JoinInto(&rel, join));
+    }
+  } else {
+    rel.rows.push_back({});  // SELECT 1: one empty row, empty scope
+  }
+
+  // Static name resolution: catches unknown columns even when the input
+  // has zero rows (per-row evaluation would never touch them).
+  if (stmt.where) BRDB_RETURN_NOT_OK(ValidateColumns(*stmt.where, rel.scope));
+  for (const auto& g : stmt.group_by) {
+    BRDB_RETURN_NOT_OK(ValidateColumns(*g, rel.scope));
+  }
+  for (const auto& item : stmt.items) {
+    if (item.expr) {
+      BRDB_RETURN_NOT_OK(ValidateColumns(*item.expr, rel.scope));
+    }
+  }
+
+  // WHERE.
+  if (stmt.where) {
+    std::vector<Row> kept;
+    for (Row& row : rel.rows) {
+      auto c = EvalCondition(*stmt.where, RowCtx(rel.scope, row));
+      if (!c.ok()) return c.status();
+      if (c.value()) kept.push_back(std::move(row));
+    }
+    rel.rows = std::move(kept);
+  }
+
+  // Determine aggregation need.
+  std::map<std::string, const Expr*> aggs;
+  for (const auto& item : stmt.items) {
+    if (item.expr) CollectAggregates(*item.expr, &aggs);
+  }
+  if (stmt.having) CollectAggregates(*stmt.having, &aggs);
+  for (const auto& o : stmt.order_by) CollectAggregates(*o.expr, &aggs);
+  const bool aggregated = !aggs.empty() || !stmt.group_by.empty();
+
+  if (stmt.limit.has_value() && stmt.order_by.empty() &&
+      opts_.require_order_by_with_limit) {
+    return Status::DeterminismViolation(
+        "LIMIT/FETCH requires ORDER BY (paper §4.3 determinism rule)");
+  }
+
+  ResultSet out;
+
+  // Output column names.
+  auto output_name = [&](const SelectItem& item) -> std::string {
+    if (!item.alias.empty()) return item.alias;
+    if (item.expr->kind == ExprKind::kColumn) return item.expr->column;
+    if (item.expr->kind == ExprKind::kFunction) return item.expr->func_name;
+    return "expr";
+  };
+
+  if (aggregated) {
+    for (const auto& item : stmt.items) {
+      if (item.star) {
+        return Status::InvalidArgument("SELECT * cannot be combined with "
+                                       "aggregation");
+      }
+      out.columns.push_back(output_name(item));
+    }
+
+    // Group rows.
+    struct Group {
+      Row key_values;
+      std::map<std::string, AggAcc> accs;
+    };
+    std::unordered_map<Row, Group, RowHasher> groups;
+    std::vector<Row> group_order;  // deterministic iteration
+    for (const Row& row : rel.rows) {
+      Row key;
+      for (const auto& g : stmt.group_by) {
+        auto v = Eval(*g, RowCtx(rel.scope, row));
+        if (!v.ok()) return v.status();
+        key.push_back(std::move(v).value());
+      }
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) {
+        it->second.key_values = key;
+        group_order.push_back(key);
+      }
+      for (const auto& [agg_key, agg_expr] : aggs) {
+        Value arg = Value::Null();
+        if (!agg_expr->star && !agg_expr->args.empty()) {
+          auto v = Eval(*agg_expr->args[0], RowCtx(rel.scope, row));
+          if (!v.ok()) return v.status();
+          arg = std::move(v).value();
+        } else if (agg_expr->star) {
+          arg = Value::Int(1);  // COUNT(*) counts every row
+        }
+        it->second.accs[agg_key].Update(agg_expr->func_name, arg);
+      }
+    }
+    // Global aggregate over zero rows still emits one group.
+    if (groups.empty() && stmt.group_by.empty()) {
+      Row key;
+      groups.try_emplace(key);
+      groups[key].key_values = key;
+      group_order.push_back(key);
+      for (const auto& [agg_key, agg_expr] : aggs) {
+        groups[key].accs[agg_key];  // default-initialized accumulator
+      }
+    }
+
+    // Resolve ORDER BY references to output aliases onto the aliased item
+    // expressions (e.g. ORDER BY total when SELECT SUM(x) AS total).
+    std::vector<const Expr*> agg_order_exprs;
+    for (const auto& o : stmt.order_by) {
+      const Expr* e = o.expr.get();
+      if (e->kind == ExprKind::kColumn && e->qualifier.empty()) {
+        for (const auto& item : stmt.items) {
+          if (item.alias == e->column && item.expr) {
+            e = item.expr.get();
+            break;
+          }
+        }
+      }
+      agg_order_exprs.push_back(e);
+    }
+
+    for (const Row& key : group_order) {
+      Group& g = groups[key];
+      AggBindings bindings;
+      for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+        bindings[stmt.group_by[i]->ToKey()] = g.key_values[i];
+      }
+      for (const auto& [agg_key, agg_expr] : aggs) {
+        bindings[agg_key] = g.accs[agg_key].Final(agg_expr->func_name);
+      }
+      EvalContext agg_ctx;
+      agg_ctx.params = &params_;
+      agg_ctx.named_params = named_params_;
+      agg_ctx.agg = &bindings;
+      if (stmt.having) {
+        auto keep = EvalCondition(*stmt.having, agg_ctx);
+        if (!keep.ok()) return keep.status();
+        if (!keep.value()) continue;
+      }
+      Row out_row;
+      std::vector<Value> order_vals;
+      for (const auto& item : stmt.items) {
+        auto v = Eval(*item.expr, agg_ctx);
+        if (!v.ok()) return v.status();
+        out_row.push_back(std::move(v).value());
+      }
+      for (const Expr* oe : agg_order_exprs) {
+        auto v = Eval(*oe, agg_ctx);
+        if (!v.ok()) return v.status();
+        order_vals.push_back(std::move(v).value());
+      }
+      out_row.insert(out_row.end(), order_vals.begin(), order_vals.end());
+      out.rows.push_back(std::move(out_row));
+    }
+
+    // Sort on trailing order columns, then strip them.
+    size_t width = stmt.items.size();
+    if (!stmt.order_by.empty()) {
+      std::stable_sort(out.rows.begin(), out.rows.end(),
+                       [&](const Row& a, const Row& b) {
+                         for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+                           int c = a[width + i].Compare(b[width + i]);
+                           if (c != 0) {
+                             return stmt.order_by[i].desc ? c > 0 : c < 0;
+                           }
+                         }
+                         return false;
+                       });
+    }
+    for (Row& r : out.rows) r.resize(width);
+  } else {
+    // Non-aggregated path. Resolve ORDER BY aliases to item expressions.
+    std::vector<const Expr*> order_exprs;
+    std::vector<ExprPtr> owned;
+    for (const auto& o : stmt.order_by) {
+      const Expr* e = o.expr.get();
+      if (e->kind == ExprKind::kColumn && e->qualifier.empty() &&
+          !rel.scope.Resolve("", e->column).ok()) {
+        for (const auto& item : stmt.items) {
+          if (item.alias == e->column && item.expr) {
+            e = item.expr.get();
+            break;
+          }
+        }
+      }
+      order_exprs.push_back(e);
+    }
+
+    // Pre-compute sort keys on input rows, then project.
+    struct Pending {
+      Row input;
+      std::vector<Value> keys;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(rel.rows.size());
+    for (Row& row : rel.rows) {
+      Pending p;
+      for (const Expr* e : order_exprs) {
+        auto v = Eval(*e, RowCtx(rel.scope, row));
+        if (!v.ok()) return v.status();
+        p.keys.push_back(std::move(v).value());
+      }
+      p.input = std::move(row);
+      pending.push_back(std::move(p));
+    }
+    if (!stmt.order_by.empty()) {
+      std::stable_sort(pending.begin(), pending.end(),
+                       [&](const Pending& a, const Pending& b) {
+                         for (size_t i = 0; i < a.keys.size(); ++i) {
+                           int c = a.keys[i].Compare(b.keys[i]);
+                           if (c != 0) {
+                             return stmt.order_by[i].desc ? c > 0 : c < 0;
+                           }
+                         }
+                         return false;
+                       });
+    }
+
+    // Column names.
+    for (const auto& item : stmt.items) {
+      if (item.star) {
+        for (const auto& b : rel.scope.bindings()) out.columns.push_back(b.name);
+      } else {
+        out.columns.push_back(output_name(item));
+      }
+    }
+    for (const Pending& p : pending) {
+      Row out_row;
+      for (const auto& item : stmt.items) {
+        if (item.star) {
+          out_row.insert(out_row.end(), p.input.begin(), p.input.end());
+        } else {
+          auto v = Eval(*item.expr, RowCtx(rel.scope, p.input));
+          if (!v.ok()) return v.status();
+          out_row.push_back(std::move(v).value());
+        }
+      }
+      out.rows.push_back(std::move(out_row));
+    }
+  }
+
+  if (stmt.distinct) {
+    std::set<std::string> seen;
+    std::vector<Row> unique;
+    for (Row& r : out.rows) {
+      std::string key = EncodeRow(r);
+      if (seen.insert(key).second) unique.push_back(std::move(r));
+    }
+    out.rows = std::move(unique);
+  }
+
+  if (stmt.limit.has_value() &&
+      out.rows.size() > static_cast<size_t>(*stmt.limit)) {
+    out.rows.resize(static_cast<size_t>(*stmt.limit));
+  }
+  return out;
+}
+
+Status Runner::EnforceChecks(Table* table, const Row& row) {
+  const TableSchema& schema = table->schema();
+  if (schema.check_constraints().empty()) return Status::OK();
+  EvalScope scope;
+  for (const auto& col : schema.columns()) {
+    scope.Add(schema.name(), col.name);
+  }
+  for (const std::string& text : schema.check_constraints()) {
+    auto parsed = ParseExpression(text);
+    if (!parsed.ok()) {
+      return Status::Internal("stored CHECK failed to parse: " + text);
+    }
+    auto v = Eval(*parsed.value(), RowCtx(scope, row));
+    if (!v.ok()) return v.status();
+    // SQL semantics: only an explicit FALSE violates; NULL passes.
+    if (!v.value().is_null() && v.value().type() == ValueType::kBool &&
+        !v.value().AsBool()) {
+      return Status::ConstraintViolation("CHECK (" + text +
+                                         ") violated on table " +
+                                         schema.name());
+    }
+  }
+  return Status::OK();
+}
+
+Result<ResultSet> Runner::RunInsert(const InsertStmt& stmt) {
+  auto table_r = db_->GetTable(stmt.table);
+  if (!table_r.ok()) return table_r.status();
+  Table* table = table_r.value();
+  const TableSchema& schema = table->schema();
+
+  // Map the provided column list to schema slots.
+  std::vector<int> slots;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      slots.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const auto& name : stmt.columns) {
+      int idx = schema.ColumnIndex(name);
+      if (idx < 0) {
+        return Status::NotFound("no column " + name + " in table " +
+                                stmt.table);
+      }
+      slots.push_back(idx);
+    }
+  }
+
+  std::vector<Row> source_rows;
+  if (stmt.select) {
+    auto sub = RunSelect(*stmt.select);
+    if (!sub.ok()) return sub.status();
+    for (Row& r : sub.value().rows) source_rows.push_back(std::move(r));
+  } else {
+    for (const auto& exprs : stmt.rows) {
+      Row r;
+      for (const auto& e : exprs) {
+        auto v = Eval(*e, ConstCtx());
+        if (!v.ok()) return v.status();
+        r.push_back(std::move(v).value());
+      }
+      source_rows.push_back(std::move(r));
+    }
+  }
+
+  ResultSet out;
+  for (const Row& src : source_rows) {
+    if (src.size() != slots.size()) {
+      return Status::InvalidArgument(
+          "INSERT provides " + std::to_string(src.size()) + " values for " +
+          std::to_string(slots.size()) + " columns");
+    }
+    Row full(schema.num_columns(), Value::Null());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      full[static_cast<size_t>(slots[i])] = src[i];
+    }
+    BRDB_RETURN_NOT_OK(EnforceChecks(table, full));
+    BRDB_RETURN_NOT_OK(ctx_->Insert(table, std::move(full)));
+    ++out.affected;
+  }
+  return out;
+}
+
+Result<ResultSet> Runner::RunUpdate(const UpdateStmt& stmt) {
+  if (opts_.forbid_blind_writes && stmt.where == nullptr) {
+    return Status::NotSupported(
+        "blind UPDATE without WHERE is not supported in "
+        "execute-order-in-parallel (paper §3.4.3)");
+  }
+  auto table_r = db_->GetTable(stmt.table);
+  if (!table_r.ok()) return table_r.status();
+  Table* table = table_r.value();
+  const TableSchema& schema = table->schema();
+
+  std::vector<std::pair<int, const Expr*>> sets;
+  for (const auto& [name, expr] : stmt.sets) {
+    int idx = schema.ColumnIndex(name);
+    if (idx < 0) {
+      return Status::NotFound("no column " + name + " in table " + stmt.table);
+    }
+    sets.emplace_back(idx, expr.get());
+  }
+
+  TableRef ref;
+  ref.table = stmt.table;
+  ref.alias = stmt.table;
+  auto rel_r = ScanBase(ref, stmt.where.get(), /*want_rids=*/true);
+  if (!rel_r.ok()) return rel_r.status();
+  Relation rel = std::move(rel_r).value();
+  if (stmt.where) BRDB_RETURN_NOT_OK(ValidateColumns(*stmt.where, rel.scope));
+  for (const auto& [idx, expr] : sets) {
+    (void)idx;
+    BRDB_RETURN_NOT_OK(ValidateColumns(*expr, rel.scope));
+  }
+
+  // Materialize matches first: updating while scanning would revisit our
+  // own new versions.
+  std::vector<std::pair<RowId, Row>> matches;
+  for (size_t i = 0; i < rel.rows.size(); ++i) {
+    if (stmt.where) {
+      auto c = EvalCondition(*stmt.where, RowCtx(rel.scope, rel.rows[i]));
+      if (!c.ok()) return c.status();
+      if (!c.value()) continue;
+    }
+    matches.emplace_back(rel.rids[i], rel.rows[i]);
+  }
+
+  ResultSet out;
+  for (auto& [rid, old_row] : matches) {
+    Row new_row = old_row;
+    for (const auto& [idx, expr] : sets) {
+      auto v = Eval(*expr, RowCtx(rel.scope, old_row));
+      if (!v.ok()) return v.status();
+      new_row[static_cast<size_t>(idx)] = std::move(v).value();
+    }
+    BRDB_RETURN_NOT_OK(EnforceChecks(table, new_row));
+    BRDB_RETURN_NOT_OK(ctx_->Update(table, rid, std::move(new_row)));
+    ++out.affected;
+  }
+  return out;
+}
+
+Result<ResultSet> Runner::RunDelete(const DeleteStmt& stmt) {
+  if (opts_.forbid_blind_writes && stmt.where == nullptr) {
+    return Status::NotSupported(
+        "blind DELETE without WHERE is not supported in "
+        "execute-order-in-parallel (paper §3.4.3)");
+  }
+  auto table_r = db_->GetTable(stmt.table);
+  if (!table_r.ok()) return table_r.status();
+  Table* table = table_r.value();
+
+  TableRef ref;
+  ref.table = stmt.table;
+  ref.alias = stmt.table;
+  auto rel_r = ScanBase(ref, stmt.where.get(), /*want_rids=*/true);
+  if (!rel_r.ok()) return rel_r.status();
+  Relation rel = std::move(rel_r).value();
+  if (stmt.where) BRDB_RETURN_NOT_OK(ValidateColumns(*stmt.where, rel.scope));
+
+  std::vector<RowId> victims;
+  for (size_t i = 0; i < rel.rows.size(); ++i) {
+    if (stmt.where) {
+      auto c = EvalCondition(*stmt.where, RowCtx(rel.scope, rel.rows[i]));
+      if (!c.ok()) return c.status();
+      if (!c.value()) continue;
+    }
+    victims.push_back(rel.rids[i]);
+  }
+
+  ResultSet out;
+  for (RowId rid : victims) {
+    BRDB_RETURN_NOT_OK(ctx_->Delete(table, rid));
+    ++out.affected;
+  }
+  return out;
+}
+
+Result<ResultSet> Runner::RunCreateTable(const CreateTableStmt& stmt) {
+  if (!opts_.allow_ddl) {
+    return Status::PermissionDenied(
+        "DDL must be deployed through system smart contracts (paper §3.7)");
+  }
+  std::vector<ColumnDef> cols;
+  for (const auto& c : stmt.columns) {
+    ColumnDef def;
+    def.name = c.name;
+    def.type = c.type;
+    def.not_null = c.not_null;
+    def.primary_key = c.primary_key;
+    def.unique = c.unique;
+    def.indexed = c.indexed;
+    cols.push_back(std::move(def));
+  }
+  TableSchema schema(stmt.table, std::move(cols));
+  for (const auto& check : stmt.check_exprs) {
+    schema.AddCheckConstraint(check);
+  }
+  auto t = db_->CreateTable(std::move(schema));
+  if (!t.ok()) return t.status();
+  return ResultSet{};
+}
+
+Result<ResultSet> Runner::RunCreateIndex(const CreateIndexStmt& stmt) {
+  if (!opts_.allow_ddl) {
+    return Status::PermissionDenied(
+        "DDL must be deployed through system smart contracts (paper §3.7)");
+  }
+  auto table_r = db_->GetTable(stmt.table);
+  if (!table_r.ok()) return table_r.status();
+  BRDB_RETURN_NOT_OK(table_r.value()->CreateIndex(stmt.column));
+  return ResultSet{};
+}
+
+Result<ResultSet> Runner::RunDropTable(const DropTableStmt& stmt) {
+  if (!opts_.allow_ddl) {
+    return Status::PermissionDenied(
+        "DDL must be deployed through system smart contracts (paper §3.7)");
+  }
+  BRDB_RETURN_NOT_OK(db_->DropTable(stmt.table));
+  return ResultSet{};
+}
+
+}  // namespace
+
+Status CheckStatementDeterminism(const Statement& stmt) {
+  std::vector<const Expr*> exprs;
+  auto add = [&](const ExprPtr& e) {
+    if (e) exprs.push_back(e.get());
+  };
+  auto add_select = [&](const SelectStmt* s, auto&& self) -> void {
+    if (s == nullptr) return;
+    for (const auto& item : s->items) add(item.expr);
+    for (const auto& j : s->joins) add(j.on);
+    add(s->where);
+    for (const auto& g : s->group_by) add(g);
+    add(s->having);
+    for (const auto& o : s->order_by) add(o.expr);
+    (void)self;
+  };
+  switch (stmt.type) {
+    case StatementType::kSelect:
+      add_select(stmt.select.get(), add_select);
+      break;
+    case StatementType::kInsert:
+      for (const auto& row : stmt.insert->rows) {
+        for (const auto& e : row) add(e);
+      }
+      add_select(stmt.insert->select.get(), add_select);
+      break;
+    case StatementType::kUpdate:
+      for (const auto& [col, e] : stmt.update->sets) add(e);
+      add(stmt.update->where);
+      break;
+    case StatementType::kDelete:
+      add(stmt.del->where);
+      break;
+    default:
+      break;
+  }
+  for (const Expr* e : exprs) {
+    BRDB_RETURN_NOT_OK(CheckDeterministic(*e));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<ResultSet> Runner::Run(const Statement& stmt) {
+  BRDB_RETURN_NOT_OK(CheckStatementDeterminism(stmt));
+  switch (stmt.type) {
+    case StatementType::kSelect:
+      return RunSelect(*stmt.select);
+    case StatementType::kInsert:
+      return RunInsert(*stmt.insert);
+    case StatementType::kUpdate:
+      return RunUpdate(*stmt.update);
+    case StatementType::kDelete:
+      return RunDelete(*stmt.del);
+    case StatementType::kCreateTable:
+      return RunCreateTable(*stmt.create_table);
+    case StatementType::kCreateIndex:
+      return RunCreateIndex(*stmt.create_index);
+    case StatementType::kDropTable:
+      return RunDropTable(*stmt.drop_table);
+  }
+  return Status::Internal("unhandled statement type");
+}
+
+}  // namespace
+
+Result<ResultSet> SqlEngine::Execute(
+    TxnContext* ctx, const std::string& sql, const std::vector<Value>& params,
+    const ExecOptions& opts,
+    const std::map<std::string, Value>* named_params) {
+  auto stmt = Parse(sql);
+  if (!stmt.ok()) return stmt.status();
+  return ExecuteStatement(ctx, stmt.value(), params, opts, named_params);
+}
+
+Result<ResultSet> SqlEngine::ExecuteStatement(
+    TxnContext* ctx, const Statement& stmt, const std::vector<Value>& params,
+    const ExecOptions& opts,
+    const std::map<std::string, Value>* named_params) {
+  Runner runner(db_, ctx, params, opts, named_params);
+  return runner.Run(stmt);
+}
+
+}  // namespace sql
+}  // namespace brdb

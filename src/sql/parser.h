@@ -1,0 +1,22 @@
+// Recursive-descent parser for the supported SQL subset (see ast.h).
+#ifndef BRDB_SQL_PARSER_H_
+#define BRDB_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace brdb {
+namespace sql {
+
+/// Parse a single SQL statement (a trailing ';' is accepted).
+Result<Statement> Parse(const std::string& input);
+
+/// Parse a standalone expression (used for CHECK constraints).
+Result<ExprPtr> ParseExpression(const std::string& input);
+
+}  // namespace sql
+}  // namespace brdb
+
+#endif  // BRDB_SQL_PARSER_H_

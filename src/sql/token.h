@@ -1,0 +1,45 @@
+// SQL token stream produced by the lexer.
+#ifndef BRDB_SQL_TOKEN_H_
+#define BRDB_SQL_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace brdb {
+namespace sql {
+
+enum class TokenType {
+  kKeyword,     // normalized upper-case SQL keyword
+  kIdentifier,  // table/column/function name (lower-cased)
+  kInteger,     // integer literal text
+  kFloat,       // floating literal text
+  kString,      // 'single quoted' string (unescaped)
+  kParam,       // $N parameter, value holds N
+  kSymbol,      // punctuation / operator, e.g. "(", ",", "<=", "||"
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // normalized text (see type comments)
+  size_t position = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Tokenize SQL text. Comments (`-- ...`) are skipped. Keywords are
+/// recognized case-insensitively from a fixed list; all other words are
+/// identifiers.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sql
+}  // namespace brdb
+
+#endif  // BRDB_SQL_TOKEN_H_

@@ -1,0 +1,105 @@
+#include "storage/database.h"
+
+namespace brdb {
+
+Database::Database() { CreateSystemTables(); }
+
+void Database::CreateSystemTables() {
+  // pgledger: one row per transaction per block (paper §4.2). Status is
+  // written in a second pass once the whole block is decided (§3.6).
+  {
+    TableSchema schema(
+        kLedgerTable,
+        {{"block_num", ValueType::kInt, true, false, false, true},
+         {"tx_seq", ValueType::kInt, true, false, false, false},
+         {"txid", ValueType::kText, true, false, false, true},
+         {"local_txn", ValueType::kInt, false, false, false, false},
+         {"username", ValueType::kText, true, false, false, true},
+         {"contract", ValueType::kText, true, false, false, false},
+         {"args", ValueType::kText, false, false, false, false},
+         {"status", ValueType::kText, false, false, false, false},
+         {"commit_time", ValueType::kInt, false, false, false, false}});
+    auto r = CreateTable(std::move(schema), kSystemSchema);
+    (void)r;
+  }
+  // pgcerts: user name -> public key and role.
+  {
+    TableSchema schema(
+        kCertsTable,
+        {{"username", ValueType::kText, true, true, false, false},
+         {"org", ValueType::kText, true, false, false, false},
+         {"role", ValueType::kText, true, false, false, false},
+         {"pubkey", ValueType::kInt, true, false, false, false}});
+    auto r = CreateTable(std::move(schema), kSystemSchema);
+    (void)r;
+  }
+  // pgdeploy: smart-contract deployment governance (paper §3.7).
+  {
+    TableSchema schema(
+        kDeployTable,
+        {{"deploy_id", ValueType::kInt, true, true, false, false},
+         {"sql_text", ValueType::kText, true, false, false, false},
+         {"proposer", ValueType::kText, true, false, false, false},
+         {"status", ValueType::kText, true, false, false, false},
+         {"approvals", ValueType::kText, false, false, false, false},
+         {"rejections", ValueType::kText, false, false, false, false},
+         {"comments", ValueType::kText, false, false, false, false}});
+    auto r = CreateTable(std::move(schema), kSystemSchema);
+    (void)r;
+  }
+}
+
+Result<Table*> Database::CreateTable(TableSchema schema,
+                                     const std::string& db_schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string name = schema.name();  // copy: schema is moved below
+  if (name.empty()) return Status::InvalidArgument("table needs a name");
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  TableId id = next_table_id_++;
+  auto table = std::make_unique<Table>(id, std::move(schema), db_schema);
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  by_id_.emplace(id, ptr);
+  return ptr;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + name);
+  }
+  return it->second.get();
+}
+
+Table* Database::GetTableById(TableId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+Status Database::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + name);
+  }
+  if (it->second->db_schema() == kSystemSchema) {
+    return Status::PermissionDenied("cannot drop system table " + name);
+  }
+  by_id_.erase(it->second->id());
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace brdb

@@ -1,0 +1,64 @@
+// Database: the catalog of tables on one node, plus its transaction
+// manager. Each node creates a `blockchain` schema (replicated, transactions
+// flow through consensus) and may create `private` tables (the paper's
+// non-blockchain schema, §3.7) which are local to the organization.
+// System tables (pgledger, pgcerts, pgdeploy) are created at startup.
+#ifndef BRDB_STORAGE_DATABASE_H_
+#define BRDB_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+#include "txn/txn_manager.h"
+
+namespace brdb {
+
+/// Well-known schema names.
+inline constexpr const char* kBlockchainSchema = "blockchain";
+inline constexpr const char* kPrivateSchema = "private";
+inline constexpr const char* kSystemSchema = "system";
+
+// System table names (paper §4.2).
+inline constexpr const char* kLedgerTable = "pgledger";
+inline constexpr const char* kCertsTable = "pgcerts";
+inline constexpr const char* kDeployTable = "pgdeploy";
+
+class Database {
+ public:
+  /// Creates the system tables.
+  Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Create a user table in the given schema.
+  Result<Table*> CreateTable(TableSchema schema,
+                             const std::string& db_schema = kBlockchainSchema);
+
+  Result<Table*> GetTable(const std::string& name);
+  Table* GetTableById(TableId id);
+
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+  TxnManager* txn_manager() { return &txn_manager_; }
+
+ private:
+  void CreateSystemTables();
+
+  mutable std::mutex mu_;
+  TableId next_table_id_ = 1;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<TableId, Table*> by_id_;
+  TxnManager txn_manager_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_STORAGE_DATABASE_H_

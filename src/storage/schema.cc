@@ -1,0 +1,61 @@
+#include "storage/schema.h"
+
+namespace brdb {
+
+TableSchema::TableSchema(std::string name, std::vector<ColumnDef> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].primary_key) {
+      pk_column_ = static_cast<int>(i);
+      columns_[i].not_null = true;
+      columns_[i].unique = true;
+      columns_[i].indexed = true;
+    }
+    if (columns_[i].unique) columns_[i].indexed = true;
+  }
+}
+
+int TableSchema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status TableSchema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, table " + name_ +
+        " has " + std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const ColumnDef& col = columns_[i];
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (col.not_null) {
+        return Status::ConstraintViolation("null value in NOT NULL column " +
+                                           col.name);
+      }
+      continue;
+    }
+    bool type_ok = v.type() == col.type ||
+                   (col.type == ValueType::kDouble && v.type() == ValueType::kInt);
+    if (!type_ok) {
+      return Status::InvalidArgument(
+          "type mismatch for column " + col.name + ": expected " +
+          ValueTypeToString(col.type) + ", got " + ValueTypeToString(v.type()));
+    }
+  }
+  return Status::OK();
+}
+
+Status TableSchema::MarkIndexed(const std::string& column) {
+  int idx = ColumnIndex(column);
+  if (idx < 0) {
+    return Status::NotFound("no column " + column + " in table " + name_);
+  }
+  columns_[idx].indexed = true;
+  return Status::OK();
+}
+
+}  // namespace brdb

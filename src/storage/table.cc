@@ -1,0 +1,214 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace brdb {
+
+Table::Table(TableId id, TableSchema schema, std::string db_schema)
+    : id_(id), schema_(std::move(schema)), db_schema_(std::move(db_schema)) {
+  for (size_t i = 0; i < schema_.columns().size(); ++i) {
+    if (schema_.columns()[i].indexed) {
+      indexes_.emplace(static_cast<int>(i), OrderedIndex{});
+    }
+  }
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int col = schema_.ColumnIndex(column);
+  if (col < 0) {
+    return Status::NotFound("no column " + column + " in table " +
+                            schema_.name());
+  }
+  if (indexes_.count(col)) {
+    return Status::AlreadyExists("index on " + schema_.name() + "." + column);
+  }
+  OrderedIndex index;
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    if (i < dead_.size() && dead_[i]) continue;
+    index[heap_[i].values[col]].push_back(i);
+  }
+  indexes_.emplace(col, std::move(index));
+  BRDB_RETURN_NOT_OK(schema_.MarkIndexed(column));
+  return Status::OK();
+}
+
+bool Table::HasIndexOn(int column) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return indexes_.count(column) > 0;
+}
+
+RowId Table::AppendVersion(TxnId xmin, Row values, RowId prev_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RowId id = heap_.size();
+  RowVersion v;
+  v.xmin = xmin;
+  v.values = std::move(values);
+  v.prev_version = prev_version;
+  for (auto& [col, index] : indexes_) {
+    index[v.values[col]].push_back(id);
+  }
+  heap_.push_back(std::move(v));
+  return id;
+}
+
+size_t Table::NumVersions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_.size();
+}
+
+const Row& Table::ValuesOf(RowId id) const {
+  assert(id < heap_.size());
+  return heap_[id].values;  // immutable after append
+}
+
+TxnId Table::XminOf(RowId id) const {
+  assert(id < heap_.size());
+  return heap_[id].xmin;  // immutable after append
+}
+
+VersionMeta Table::MetaOf(RowId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(id < heap_.size());
+  const RowVersion& v = heap_[id];
+  VersionMeta m;
+  m.xmin = v.xmin;
+  m.creator_aborted = v.creator_aborted;
+  m.xmax = v.xmax;
+  m.xmax_candidates = v.xmax_candidates;
+  m.creator_block = v.creator_block;
+  m.deleter_block = v.deleter_block;
+  m.next_version = v.next_version;
+  m.prev_version = v.prev_version;
+  return m;
+}
+
+Status Table::AddXmaxCandidate(RowId id, TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(id < heap_.size());
+  RowVersion& v = heap_[id];
+  if (v.xmax != 0) {
+    // A committed deleter exists; this write lost before it started.
+    return Status::WriteConflict("row version already deleted");
+  }
+  if (std::find(v.xmax_candidates.begin(), v.xmax_candidates.end(), txn) ==
+      v.xmax_candidates.end()) {
+    v.xmax_candidates.push_back(txn);
+  }
+  return Status::OK();
+}
+
+void Table::RemoveXmaxCandidate(RowId id, TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(id < heap_.size());
+  auto& cands = heap_[id].xmax_candidates;
+  cands.erase(std::remove(cands.begin(), cands.end(), txn), cands.end());
+}
+
+std::vector<TxnId> Table::FinalizeDelete(RowId id, TxnId winner,
+                                         BlockNum block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(id < heap_.size());
+  RowVersion& v = heap_[id];
+  std::vector<TxnId> losers;
+  for (TxnId cand : v.xmax_candidates) {
+    if (cand != winner) losers.push_back(cand);
+  }
+  v.xmax = winner;
+  v.deleter_block = block;
+  v.xmax_candidates.clear();
+  return losers;
+}
+
+void Table::SetCreatorBlock(RowId id, BlockNum block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(id < heap_.size());
+  heap_[id].creator_block = block;
+}
+
+void Table::MarkCreatorAborted(RowId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(id < heap_.size());
+  heap_[id].creator_aborted = true;
+}
+
+void Table::LinkNextVersion(RowId old_id, RowId next_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(old_id < heap_.size());
+  heap_[old_id].next_version = next_id;
+}
+
+std::vector<RowId> Table::ScanAllRowIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RowId> out;
+  out.reserve(heap_.size());
+  for (RowId i = 0; i < heap_.size(); ++i) {
+    if (i < dead_.size() && dead_[i]) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+Result<std::vector<RowId>> Table::IndexRange(int column, const Value* lo,
+                                             bool lo_inclusive,
+                                             const Value* hi,
+                                             bool hi_inclusive) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index on column " +
+                            std::to_string(column) + " of table " +
+                            schema_.name());
+  }
+  const OrderedIndex& index = it->second;
+  auto begin = index.begin();
+  if (lo != nullptr) {
+    begin = lo_inclusive ? index.lower_bound(*lo) : index.upper_bound(*lo);
+  }
+  std::vector<RowId> out;
+  for (auto iter = begin; iter != index.end(); ++iter) {
+    if (hi != nullptr) {
+      int c = iter->first.Compare(*hi);
+      if (c > 0 || (c == 0 && !hi_inclusive)) break;
+    }
+    for (RowId id : iter->second) {
+      if (id < dead_.size() && dead_[id]) continue;
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+size_t Table::Vacuum(BlockNum horizon_block,
+                     const std::function<bool(TxnId)>& aborted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_.resize(heap_.size(), false);
+  size_t removed = 0;
+  for (RowId i = 0; i < heap_.size(); ++i) {
+    if (dead_[i]) continue;
+    const RowVersion& v = heap_[i];
+    bool prune = false;
+    if (v.creator_aborted || aborted(v.xmin)) {
+      prune = true;  // never visible to anyone
+    } else if (v.deleter_block != 0 && v.deleter_block <= horizon_block) {
+      prune = true;  // deleted before the horizon: invisible at/after it
+    }
+    if (prune) {
+      dead_[i] = true;
+      ++removed;
+      for (auto& [col, index] : indexes_) {
+        auto entry = index.find(v.values[col]);
+        if (entry != index.end()) {
+          auto& ids = entry->second;
+          ids.erase(std::remove(ids.begin(), ids.end(), i), ids.end());
+          if (ids.empty()) index.erase(entry);
+        }
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace brdb

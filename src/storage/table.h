@@ -1,0 +1,154 @@
+// Table: an append-only heap of row versions plus ordered indexes.
+//
+// Like PostgreSQL (paper §4.1), an UPDATE never modifies a row in place: it
+// flags the old version as deleted (xmax / deleter block) and appends a new
+// version. All versions are retained, which is what makes the block-height
+// snapshot (Figure 3) and provenance queries (§4.2) possible. Unlike vanilla
+// PostgreSQL, a row version accepts multiple concurrent xmax *candidates*
+// (§3.3.3): competing writers never block; the serial commit phase lets the
+// block-order winner finalize the delete and dooms the losers.
+//
+// Thread-safety: version payloads (values, xmin, prev link) are immutable
+// after append and may be read without locking; the mutable metadata (xmax,
+// candidates, creator/deleter block, next link) is accessed through locked
+// accessors. Index structures are guarded by the same mutex.
+#ifndef BRDB_STORAGE_TABLE_H_
+#define BRDB_STORAGE_TABLE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/schema.h"
+#include "txn/types.h"
+
+namespace brdb {
+
+using RowId = uint64_t;
+inline constexpr RowId kInvalidRowId = ~0ULL;
+
+/// One stored version of a logical row.
+struct RowVersion {
+  // Immutable after append.
+  TxnId xmin = 0;                   ///< creating transaction
+  RowId prev_version = kInvalidRowId;
+  Row values;
+
+  // Mutable, guarded by the table mutex.
+  bool creator_aborted = false;     ///< creating txn aborted: never visible
+  TxnId xmax = 0;                   ///< committed deleter (0 = live)
+  std::vector<TxnId> xmax_candidates;  ///< uncommitted competing deleters
+  BlockNum creator_block = 0;       ///< block whose commit created the row
+  BlockNum deleter_block = 0;       ///< block whose commit deleted the row
+  RowId next_version = kInvalidRowId;
+};
+
+/// Snapshot of the mutable metadata of one version, copied under lock.
+struct VersionMeta {
+  TxnId xmin = 0;
+  bool creator_aborted = false;
+  TxnId xmax = 0;
+  std::vector<TxnId> xmax_candidates;
+  BlockNum creator_block = 0;
+  BlockNum deleter_block = 0;
+  RowId next_version = kInvalidRowId;
+  RowId prev_version = kInvalidRowId;
+};
+
+class Table {
+ public:
+  Table(TableId id, TableSchema schema, std::string db_schema);
+
+  TableId id() const { return id_; }
+  const TableSchema& schema() const { return schema_; }
+  TableSchema* mutable_schema() { return &schema_; }
+
+  /// "blockchain" or "private" (paper §3.7's non-blockchain schema).
+  const std::string& db_schema() const { return db_schema_; }
+
+  /// Create an ordered index on `column`; backfills existing versions.
+  Status CreateIndex(const std::string& column);
+  bool HasIndexOn(int column) const;
+
+  /// Append a new version created by `xmin`; registers it in every index
+  /// immediately (so concurrent scans can detect invisible-but-matching
+  /// versions for SSI phantom tracking). Returns its RowId.
+  RowId AppendVersion(TxnId xmin, Row values, RowId prev_version);
+
+  size_t NumVersions() const;
+
+  /// Immutable payload access (safe without the lock).
+  const Row& ValuesOf(RowId id) const;
+  TxnId XminOf(RowId id) const;
+
+  /// Copy of the mutable metadata.
+  VersionMeta MetaOf(RowId id) const;
+
+  /// Register `txn` as an uncommitted deleter of `id`. Multiple candidates
+  /// are allowed; a committed xmax rejects further candidates.
+  Status AddXmaxCandidate(RowId id, TxnId txn);
+
+  /// Undo a candidate registration (abort path).
+  void RemoveXmaxCandidate(RowId id, TxnId txn);
+
+  /// Commit-time: `winner` becomes the committed deleter at `block`; all
+  /// other candidates are returned so the caller can doom them.
+  std::vector<TxnId> FinalizeDelete(RowId id, TxnId winner, BlockNum block);
+
+  /// Commit-time: stamp the creating block of a version.
+  void SetCreatorBlock(RowId id, BlockNum block);
+
+  /// Abort-time tombstone: the creating transaction rolled back, so this
+  /// version must never become visible (persists across transaction-manager
+  /// garbage collection).
+  void MarkCreatorAborted(RowId id);
+
+  /// Link old -> new version after an update commits (provenance chain).
+  void LinkNextVersion(RowId old_id, RowId next_id);
+
+  /// All version ids, in append order (full scan).
+  std::vector<RowId> ScanAllRowIds() const;
+
+  /// Version ids whose `column` value lies in [lo, hi] (either bound may be
+  /// null = unbounded, inclusive flags per bound), in index order. Requires
+  /// an index on `column`.
+  Result<std::vector<RowId>> IndexRange(int column, const Value* lo,
+                                        bool lo_inclusive, const Value* hi,
+                                        bool hi_inclusive) const;
+
+  /// Remove versions that can never become visible again: versions created
+  /// by aborted transactions, and committed-deleted versions whose deleter
+  /// block is at or below `horizon_block`. `aborted` decides whether a
+  /// transaction id is aborted. Returns the number of versions removed.
+  /// This is the paper's §7 "vacuum based on creator/deleter" pruning tool;
+  /// it breaks provenance for pruned history, so nodes only call it when
+  /// explicitly configured.
+  size_t Vacuum(BlockNum horizon_block,
+                const std::function<bool(TxnId)>& aborted);
+
+ private:
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) < 0;
+    }
+  };
+  using OrderedIndex = std::map<Value, std::vector<RowId>, ValueLess>;
+
+  TableId id_;
+  TableSchema schema_;
+  std::string db_schema_;
+
+  mutable std::mutex mu_;
+  std::deque<RowVersion> heap_;
+  std::map<int, OrderedIndex> indexes_;  // column -> index
+  std::vector<bool> dead_;               // vacuumed tombstones
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_STORAGE_TABLE_H_

@@ -1,0 +1,467 @@
+#include "txn/txn_context.h"
+
+#include <algorithm>
+#include <set>
+
+#include "wire/codec.h"
+
+namespace brdb {
+
+namespace {
+bool Contains(const std::vector<TxnId>& v, TxnId id) {
+  return std::find(v.begin(), v.end(), id) != v.end();
+}
+}  // namespace
+
+TxnContext::TxnContext(Database* db, TxnInfo* info, TxnMode mode)
+    : db_(db), mgr_(db->txn_manager()), info_(info), mode_(mode) {}
+
+// Outcome of classifying one version against this transaction's snapshot.
+// (Declared privately in the header as Visibility; the richer distinctions
+// needed for SSI side effects are computed inline below.)
+Result<TxnContext::Visibility> TxnContext::ClassifyVersion(
+    Table* table, RowId id, const VersionMeta& meta) {
+  (void)table;
+  (void)id;
+  TxnId self = info_->id;
+
+  // Tombstoned versions (creating transaction aborted) are invisible to
+  // everyone, even after the transaction manager garbage-collected the
+  // aborting transaction.
+  if (meta.creator_aborted) return Visibility::kInvisible;
+
+  if (meta.xmin == self) {
+    // Own insert; invisible again if we deleted it ourselves.
+    if (Contains(meta.xmax_candidates, self)) return Visibility::kInvisible;
+    return Visibility::kVisible;
+  }
+
+  TxnState xmin_state = mgr_->StateOf(meta.xmin);
+  if (xmin_state == TxnState::kAborted) return Visibility::kInvisible;
+
+  if (mode_ == TxnMode::kProvenance) {
+    // Provenance sees every committed version, live or superseded.
+    return xmin_state == TxnState::kCommitted ? Visibility::kVisible
+                                              : Visibility::kInvisible;
+  }
+  if (mode_ == TxnMode::kInternal) {
+    // Latest committed state.
+    if (xmin_state != TxnState::kCommitted) return Visibility::kInvisible;
+    if (Contains(meta.xmax_candidates, self)) return Visibility::kInvisible;
+    if (meta.xmax != 0 && mgr_->StateOf(meta.xmax) == TxnState::kCommitted) {
+      return Visibility::kInvisible;
+    }
+    return Visibility::kVisible;
+  }
+
+  const Snapshot& snap = info_->snapshot;
+  bool created_visible;
+  if (snap.kind == Snapshot::Kind::kCsn) {
+    created_visible = xmin_state == TxnState::kCommitted &&
+                      mgr_->CommitCsnOf(meta.xmin) <= snap.csn;
+  } else {
+    created_visible =
+        meta.creator_block != 0 && meta.creator_block <= snap.height;
+  }
+  if (!created_visible) return Visibility::kInvisible;
+
+  if (Contains(meta.xmax_candidates, self)) {
+    return Visibility::kInvisible;  // pending own delete
+  }
+
+  if (snap.kind == Snapshot::Kind::kCsn) {
+    if (meta.xmax != 0) {
+      Csn deleter_csn = mgr_->CommitCsnOf(meta.xmax);
+      if (deleter_csn <= snap.csn) return Visibility::kInvisible;
+      // Deleted by a transaction that committed after our snapshot: the row
+      // is visible to us, and reading it creates an rw edge to the deleter.
+      mgr_->AddRwEdge(info_->id, meta.xmax);
+    }
+    return Visibility::kVisible;
+  }
+
+  // Block-height snapshot.
+  if (meta.deleter_block != 0) {
+    if (meta.deleter_block <= snap.height) return Visibility::kInvisible;
+    // Paper §3.4.1 rule 2: visible at snapshot-height but deleted by a
+    // later committed block — a stale read; the transaction must abort.
+    return Visibility::kStaleRead;
+  }
+  return Visibility::kVisible;
+}
+
+Status TxnContext::ScanRowIds(Table* table, const std::vector<RowId>& ids,
+                              const PredicateRead& predicate,
+                              const RowCallback& cb) {
+  const bool tracked = mode_ == TxnMode::kNormal;
+  TxnId self = info_->id;
+  for (RowId id : ids) {
+    // Full scans may pass versions outside the (trivial) predicate; index
+    // scans pass matching versions only. Re-check for safety with the
+    // recorded predicate (cheap).
+    const Row& values = table->ValuesOf(id);
+    if (!predicate.Covers(values)) continue;
+
+    // SIREAD registration MUST precede the metadata read: a concurrent
+    // writer adds its xmax candidate before scanning the reader map, so
+    // with this ordering either the writer sees our registration
+    // (writer-side edge) or we see its candidate (reader-side edge below).
+    // Recording after the metadata copy would leave a window where the
+    // rw dependency is recorded on some nodes and missed on others.
+    if (tracked) mgr_->RecordRowRead(info_, table->id(), id);
+
+    VersionMeta meta = table->MetaOf(id);
+    auto cls = ClassifyVersion(table, id, meta);
+    if (!cls.ok()) return cls.status();
+    switch (cls.value()) {
+      case Visibility::kVisible: {
+        if (tracked) {
+          // rw edges to concurrent transactions that are deleting /
+          // replacing the version we just read.
+          for (TxnId cand : meta.xmax_candidates) {
+            if (cand != self) mgr_->AddRwEdge(self, cand);
+          }
+        }
+        if (!cb(id, values)) return Status::OK();
+        break;
+      }
+      case Visibility::kStaleRead:
+        return Status::SerializationFailure(
+            "stale read: row deleted by block later than snapshot height " +
+            std::to_string(info_->snapshot.height));
+      case Visibility::kInvisible: {
+        if (!tracked) break;
+        if (meta.xmin == self) break;
+        TxnState xmin_state = mgr_->StateOf(meta.xmin);
+        if (xmin_state == TxnState::kActive) {
+          // Concurrent uncommitted insert matching our predicate: record
+          // the rw (phantom) edge reader -> writer.
+          mgr_->AddRwEdge(self, meta.xmin);
+        } else if (xmin_state == TxnState::kCommitted) {
+          if (info_->snapshot.kind == Snapshot::Kind::kBlockHeight) {
+            // Paper §3.4.1 rule 1: committed row from a block beyond our
+            // snapshot height matches the predicate -> phantom read.
+            if (meta.creator_block > info_->snapshot.height &&
+                meta.deleter_block == 0) {
+              return Status::SerializationFailure(
+                  "phantom read: row created by block " +
+                  std::to_string(meta.creator_block) +
+                  " beyond snapshot height " +
+                  std::to_string(info_->snapshot.height));
+            }
+          } else {
+            // Committed after our CSN snapshot: rw edge.
+            if (mgr_->CommitCsnOf(meta.xmin) > info_->snapshot.csn) {
+              mgr_->AddRwEdge(self, meta.xmin);
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TxnContext::ScanAll(Table* table, const RowCallback& cb) {
+  if (finished_) return Status::Aborted("transaction already finished");
+  PredicateRead predicate;
+  predicate.table = table->id();
+  predicate.column = -1;
+  if (mode_ == TxnMode::kNormal) {
+    mgr_->RecordPredicate(info_, predicate);
+  }
+  // Iterate in primary-key order when available so that scan order — and
+  // therefore any order-sensitive contract logic — is identical on every
+  // node regardless of heap append interleaving.
+  std::vector<RowId> ids;
+  int pk = table->schema().pk_column();
+  if (pk >= 0 && table->HasIndexOn(pk)) {
+    auto r = table->IndexRange(pk, nullptr, true, nullptr, true);
+    if (!r.ok()) return r.status();
+    ids = std::move(r).value();
+  } else {
+    ids = table->ScanAllRowIds();
+  }
+  return ScanRowIds(table, ids, predicate, cb);
+}
+
+Status TxnContext::ScanRange(Table* table, int column, const Value* lo,
+                             bool lo_inclusive, const Value* hi,
+                             bool hi_inclusive, const RowCallback& cb) {
+  if (finished_) return Status::Aborted("transaction already finished");
+  PredicateRead predicate;
+  predicate.table = table->id();
+  predicate.column = column;
+  if (lo != nullptr) predicate.lo = *lo;
+  predicate.lo_inclusive = lo_inclusive;
+  if (hi != nullptr) predicate.hi = *hi;
+  predicate.hi_inclusive = hi_inclusive;
+  if (mode_ == TxnMode::kNormal) {
+    mgr_->RecordPredicate(info_, predicate);
+  }
+  auto ids = table->IndexRange(column, lo, lo_inclusive, hi, hi_inclusive);
+  if (!ids.ok()) return ids.status();
+  return ScanRowIds(table, ids.value(), predicate, cb);
+}
+
+Status TxnContext::ScanVersions(Table* table, const VersionCallback& cb) {
+  if (mode_ != TxnMode::kProvenance) {
+    return Status::PermissionDenied(
+        "version scans are only available to provenance queries");
+  }
+  for (RowId id : table->ScanAllRowIds()) {
+    VersionMeta meta = table->MetaOf(id);
+    if (mgr_->StateOf(meta.xmin) != TxnState::kCommitted) continue;
+    if (!cb(id, table->ValuesOf(id), meta)) break;
+  }
+  return Status::OK();
+}
+
+Status TxnContext::CheckUniqueAtWrite(Table* table, const Row& values,
+                                      RowId exclude_base) {
+  const auto& cols = table->schema().columns();
+  for (size_t c = 0; c < cols.size(); ++c) {
+    if (!cols[c].unique) continue;
+    const Value& v = values[c];
+    if (v.is_null()) continue;
+    auto ids = table->IndexRange(static_cast<int>(c), &v, true, &v, true);
+    if (!ids.ok()) return ids.status();
+    for (RowId id : ids.value()) {
+      if (id == exclude_base) continue;
+      VersionMeta meta = table->MetaOf(id);
+      auto cls = ClassifyVersion(table, id, meta);
+      if (!cls.ok()) return cls.status();
+      // A stale-visible duplicate still counts: under our snapshot the key
+      // exists (deterministic on every node).
+      if (cls.value() != Visibility::kInvisible) {
+        return Status::ConstraintViolation(
+            "duplicate value for unique column " + cols[c].name +
+            " in table " + table->schema().name());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TxnContext::Insert(Table* table, Row values) {
+  if (finished_) return Status::Aborted("transaction already finished");
+  if (mode_ == TxnMode::kProvenance) {
+    return Status::PermissionDenied("provenance queries are read-only");
+  }
+  BRDB_RETURN_NOT_OK(table->schema().ValidateRow(values));
+  if (mode_ == TxnMode::kNormal) {
+    BRDB_RETURN_NOT_OK(CheckUniqueAtWrite(table, values, kInvalidRowId));
+  }
+  RowId id = table->AppendVersion(info_->id, std::move(values), kInvalidRowId);
+  WriteRecord w;
+  w.kind = WriteRecord::Kind::kInsert;
+  w.table = table->id();
+  w.new_row = id;
+  const Row* new_values =
+      mode_ == TxnMode::kNormal ? &table->ValuesOf(id) : nullptr;
+  mgr_->RecordWrite(info_, w, new_values, nullptr);
+  return Status::OK();
+}
+
+Status TxnContext::Update(Table* table, RowId base, Row new_values) {
+  if (finished_) return Status::Aborted("transaction already finished");
+  if (mode_ == TxnMode::kProvenance) {
+    return Status::PermissionDenied("provenance queries are read-only");
+  }
+  BRDB_RETURN_NOT_OK(table->schema().ValidateRow(new_values));
+  if (mode_ == TxnMode::kNormal) {
+    BRDB_RETURN_NOT_OK(CheckUniqueAtWrite(table, new_values, base));
+  }
+  BRDB_RETURN_NOT_OK(table->AddXmaxCandidate(base, info_->id));
+  RowId id = table->AppendVersion(info_->id, std::move(new_values), base);
+  WriteRecord w;
+  w.kind = WriteRecord::Kind::kUpdate;
+  w.table = table->id();
+  w.new_row = id;
+  w.base_row = base;
+  const Row* nv = mode_ == TxnMode::kNormal ? &table->ValuesOf(id) : nullptr;
+  const Row* bv =
+      mode_ == TxnMode::kNormal ? &table->ValuesOf(base) : nullptr;
+  mgr_->RecordWrite(info_, w, nv, bv);
+  return Status::OK();
+}
+
+Status TxnContext::Delete(Table* table, RowId base) {
+  if (finished_) return Status::Aborted("transaction already finished");
+  if (mode_ == TxnMode::kProvenance) {
+    return Status::PermissionDenied("provenance queries are read-only");
+  }
+  BRDB_RETURN_NOT_OK(table->AddXmaxCandidate(base, info_->id));
+  WriteRecord w;
+  w.kind = WriteRecord::Kind::kDelete;
+  w.table = table->id();
+  w.base_row = base;
+  const Row* bv =
+      mode_ == TxnMode::kNormal ? &table->ValuesOf(base) : nullptr;
+  mgr_->RecordWrite(info_, w, nullptr, bv);
+  return Status::OK();
+}
+
+Status TxnContext::CheckUniqueAtCommit() {
+  // Versions written by this transaction (bases it replaced and versions it
+  // created). An update chain x -> v1 -> v2 leaves v1 with xmin == self but
+  // superseded; it must not read as a duplicate of v2.
+  std::set<RowId> own_rows;
+  for (const WriteRecord& w : info_->writes) {
+    if (w.new_row != kInvalidRowId) own_rows.insert(w.new_row);
+    if (w.base_row != kInvalidRowId) own_rows.insert(w.base_row);
+  }
+  for (const WriteRecord& w : info_->writes) {
+    if (w.new_row == kInvalidRowId) continue;
+    Table* table = db_->GetTableById(w.table);
+    if (table == nullptr) return Status::Internal("table vanished");
+    const Row& values = table->ValuesOf(w.new_row);
+    const auto& cols = table->schema().columns();
+    for (size_t c = 0; c < cols.size(); ++c) {
+      if (!cols[c].unique) continue;
+      const Value& v = values[c];
+      if (v.is_null()) continue;
+      auto ids = table->IndexRange(static_cast<int>(c), &v, true, &v, true);
+      if (!ids.ok()) return ids.status();
+      for (RowId id : ids.value()) {
+        if (own_rows.count(id)) continue;
+        VersionMeta meta = table->MetaOf(id);
+        if (Contains(meta.xmax_candidates, info_->id)) {
+          continue;  // base version we are replacing/deleting
+        }
+        bool duplicate = false;
+        if (meta.xmin == info_->id) {
+          duplicate = true;  // an unrelated own insert with the same key
+        } else if (mgr_->StateOf(meta.xmin) == TxnState::kCommitted &&
+                   meta.xmax == 0) {
+          duplicate = true;  // live committed row with the same key
+        }
+        if (duplicate) {
+          return Status::ConstraintViolation(
+              "duplicate value for unique column " + cols[c].name +
+              " in table " + table->schema().name() + " (commit check)");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TxnContext::CommitSerially(SsiPolicy policy, BlockNum block,
+                                  int block_pos,
+                                  const std::vector<TxnId>& block_members) {
+  if (finished_) return Status::Aborted("transaction already finished");
+  Status st =
+      mgr_->ValidateForCommit(info_, policy, block, block_pos, block_members);
+  if (st.ok()) st = CheckUniqueAtCommit();
+  if (!st.ok()) {
+    Abort(st);
+    return st;
+  }
+
+  // Finalize writes: ww resolution (block-order winner takes the row; all
+  // other candidates are doomed, §3.3.3) and block stamping.
+  for (const WriteRecord& w : info_->writes) {
+    Table* table = db_->GetTableById(w.table);
+    switch (w.kind) {
+      case WriteRecord::Kind::kInsert:
+        table->SetCreatorBlock(w.new_row, block);
+        break;
+      case WriteRecord::Kind::kUpdate: {
+        for (TxnId loser : table->FinalizeDelete(w.base_row, info_->id, block)) {
+          mgr_->Doom(loser, Status::WriteConflict(
+                                "lost ww-conflict to transaction committed "
+                                "earlier in block order"));
+        }
+        table->SetCreatorBlock(w.new_row, block);
+        table->LinkNextVersion(w.base_row, w.new_row);
+        break;
+      }
+      case WriteRecord::Kind::kDelete: {
+        for (TxnId loser : table->FinalizeDelete(w.base_row, info_->id, block)) {
+          mgr_->Doom(loser, Status::WriteConflict(
+                                "lost ww-conflict to transaction committed "
+                                "earlier in block order"));
+        }
+        break;
+      }
+    }
+  }
+  mgr_->MarkCommitted(info_, block);
+  finished_ = true;
+  return Status::OK();
+}
+
+Status TxnContext::CommitInternal(BlockNum block) {
+  if (finished_) return Status::Aborted("transaction already finished");
+  if (mode_ != TxnMode::kInternal) {
+    return Status::Internal("CommitInternal requires kInternal mode");
+  }
+  for (const WriteRecord& w : info_->writes) {
+    Table* table = db_->GetTableById(w.table);
+    switch (w.kind) {
+      case WriteRecord::Kind::kInsert:
+        table->SetCreatorBlock(w.new_row, block);
+        break;
+      case WriteRecord::Kind::kUpdate:
+        table->FinalizeDelete(w.base_row, info_->id, block);
+        table->SetCreatorBlock(w.new_row, block);
+        table->LinkNextVersion(w.base_row, w.new_row);
+        break;
+      case WriteRecord::Kind::kDelete:
+        table->FinalizeDelete(w.base_row, info_->id, block);
+        break;
+    }
+  }
+  mgr_->MarkCommitted(info_, block);
+  finished_ = true;
+  return Status::OK();
+}
+
+void TxnContext::Abort(const Status& reason) {
+  if (finished_) return;
+  for (const WriteRecord& w : info_->writes) {
+    Table* table = db_->GetTableById(w.table);
+    if (table == nullptr) continue;
+    if (w.base_row != kInvalidRowId) {
+      table->RemoveXmaxCandidate(w.base_row, info_->id);
+    }
+    if (w.new_row != kInvalidRowId) {
+      table->MarkCreatorAborted(w.new_row);
+    }
+  }
+  if (!info_->doomed) {
+    info_->doomed = true;
+    info_->doom_reason = reason;
+  }
+  mgr_->MarkAborted(info_);
+  finished_ = true;
+}
+
+std::string TxnContext::EncodeWriteSet() const {
+  // Deterministic across nodes: uses logical content (table name, operation
+  // kind, row values), never node-local row ids.
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(info_->writes.size()));
+  for (const WriteRecord& w : info_->writes) {
+    Table* table = db_->GetTableById(w.table);
+    enc.PutU8(static_cast<uint8_t>(w.kind));
+    enc.PutString(table != nullptr ? table->schema().name() : "?");
+    if (w.new_row != kInvalidRowId && table != nullptr) {
+      enc.PutU8(1);
+      enc.PutString(EncodeRow(table->ValuesOf(w.new_row)));
+    } else {
+      enc.PutU8(0);
+    }
+    if (w.base_row != kInvalidRowId && table != nullptr) {
+      enc.PutU8(1);
+      enc.PutString(EncodeRow(table->ValuesOf(w.base_row)));
+    } else {
+      enc.PutU8(0);
+    }
+  }
+  return enc.Take();
+}
+
+}  // namespace brdb

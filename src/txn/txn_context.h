@@ -1,0 +1,124 @@
+// TxnContext: the per-transaction facade the SQL executor and smart
+// contracts operate through. It combines
+//   * MVCC visibility for both snapshot kinds (CSN and block-height),
+//   * the execute-order-in-parallel phantom / stale-read aborts (§3.4.1),
+//   * SSI read/write bookkeeping (SIREAD rows + predicate ranges, rw edges),
+//   * the write path with xmax-candidate ww handling (§3.3.3), and
+//   * the serial commit pipeline driven by the block processor.
+#ifndef BRDB_TXN_TXN_CONTEXT_H_
+#define BRDB_TXN_TXN_CONTEXT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+#include "txn/txn_manager.h"
+
+namespace brdb {
+
+/// How the transaction interacts with visibility and SSI.
+enum class TxnMode {
+  kNormal,      ///< snapshot visibility + SSI tracking (user transactions)
+  kProvenance,  ///< sees ALL committed versions, read-only, no SSI (§4.2)
+  kInternal,    ///< node-internal writes (pgledger/pgcerts), no SSI
+};
+
+/// Callback for visible rows: (version id, values). Return false to stop.
+using RowCallback = std::function<bool(RowId, const Row&)>;
+
+/// Callback for provenance scans: includes version metadata so queries can
+/// reference xmin / xmax / creator / deleter pseudo-columns.
+using VersionCallback =
+    std::function<bool(RowId, const Row&, const VersionMeta&)>;
+
+class TxnContext {
+ public:
+  TxnContext(Database* db, TxnInfo* info, TxnMode mode);
+
+  TxnInfo* info() { return info_; }
+  TxnId id() const { return info_->id; }
+  TxnMode mode() const { return mode_; }
+  Database* db() { return db_; }
+
+  /// True once the transaction reached a terminal state.
+  bool finished() const { return finished_; }
+
+  // ---- reads ----
+
+  /// Full-table scan of visible rows. Registers a match-all predicate.
+  Status ScanAll(Table* table, const RowCallback& cb);
+
+  /// Index-range scan of visible rows over `column` in [lo, hi] (null
+  /// pointer = unbounded). Registers the range predicate.
+  Status ScanRange(Table* table, int column, const Value* lo,
+                   bool lo_inclusive, const Value* hi, bool hi_inclusive,
+                   const RowCallback& cb);
+
+  /// Provenance: iterate all committed versions (active and superseded).
+  Status ScanVersions(Table* table, const VersionCallback& cb);
+
+  // ---- writes ----
+
+  Status Insert(Table* table, Row values);
+
+  /// Replace the logical row whose visible version is `base`.
+  Status Update(Table* table, RowId base, Row new_values);
+
+  /// Delete the logical row whose visible version is `base`.
+  Status Delete(Table* table, RowId base);
+
+  // ---- lifecycle ----
+
+  /// Serial commit: SSI validation under `policy`, deferred UNIQUE/PK
+  /// re-check against latest committed state, ww resolution (dooming
+  /// losers), creator/deleter block stamping, CSN assignment.
+  /// `block_members` lists the node-local txn ids of the committing block
+  /// in block order. On failure the transaction is aborted (writes undone).
+  Status CommitSerially(SsiPolicy policy, BlockNum block, int block_pos,
+                        const std::vector<TxnId>& block_members);
+
+  /// Immediate commit for kInternal transactions (block processor writes).
+  Status CommitInternal(BlockNum block);
+
+  /// Abort: unregister xmax candidates; created versions become dead.
+  void Abort(const Status& reason);
+
+  /// The union of changes this transaction made, deterministically encoded;
+  /// hashed into the block write-set hash for checkpointing (§3.3.4).
+  std::string EncodeWriteSet() const;
+
+ private:
+  enum class Visibility {
+    kVisible,
+    kInvisible,
+    kStaleRead,  ///< EOP: visible at snapshot height but deleted later
+  };
+
+  /// Core visibility decision + SSI side effects for one version during a
+  /// scan. `matches_predicate` tells whether the scan's predicate covers
+  /// the version (for phantom detection of invisible versions).
+  Result<Visibility> ClassifyVersion(Table* table, RowId id,
+                                     const VersionMeta& meta);
+
+  /// Deferred UNIQUE enforcement against the latest committed state.
+  Status CheckUniqueAtCommit();
+
+  /// Fast-fail UNIQUE check against the transaction snapshot.
+  Status CheckUniqueAtWrite(Table* table, const Row& values,
+                            RowId exclude_base);
+
+  Status ScanRowIds(Table* table, const std::vector<RowId>& ids,
+                    const PredicateRead& predicate, const RowCallback& cb);
+
+  Database* db_;
+  TxnManager* mgr_;
+  TxnInfo* info_;
+  TxnMode mode_;
+  bool finished_ = false;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_TXN_TXN_CONTEXT_H_

@@ -1,0 +1,198 @@
+// TxnManager: transaction lifecycle, SIREAD bookkeeping, rw-dependency
+// tracking and the paper's two commit-validation policies.
+//
+// Background (paper §3.2): an rw-dependency edge R -> W exists when reader R
+// observed the version of an object that writer W replaced (or would match a
+// predicate of R with a row W created). Every serialization-anomaly cycle
+// contains two adjacent rw edges F -> N -> T ("farConflict -> nearConflict
+// -> committing transaction"); aborting the pivot N breaks the cycle.
+//
+// Two policies implement the paper's variants:
+//  * kAbortDuringCommit (order-then-execute, §3.3.3): classic Ports &
+//    Grittner validation run serially in block order. All transactions of a
+//    block finish execution before the first commit, so the dependency graph
+//    is complete and identical on every node; serial validation in block
+//    order therefore aborts the same transactions everywhere.
+//  * kBlockAware (execute-order-in-parallel, §3.4.3, Table 2): additionally
+//    considers whether near/far conflicts belong to the committing block,
+//    aborting cross-block nearConflicts unconditionally (they could be a
+//    stale read on another node) and resolving same-block pairs by their
+//    deterministic position in the block.
+#ifndef BRDB_TXN_TXN_MANAGER_H_
+#define BRDB_TXN_TXN_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/table.h"
+#include "txn/types.h"
+
+namespace brdb {
+
+/// Commit-validation policy (one per transaction flow).
+enum class SsiPolicy {
+  kAbortDuringCommit,  ///< order-then-execute
+  kBlockAware,         ///< execute-order-in-parallel (paper Table 2)
+};
+
+/// A predicate read: "transaction T scanned `table` for rows whose
+/// `column` value lies in [lo, hi]". A full scan is column = -1.
+struct PredicateRead {
+  TableId table = 0;
+  int column = -1;
+  std::optional<Value> lo;
+  bool lo_inclusive = true;
+  std::optional<Value> hi;
+  bool hi_inclusive = true;
+
+  bool Covers(const Row& values) const {
+    if (column < 0) return true;
+    const Value& v = values[static_cast<size_t>(column)];
+    if (lo.has_value()) {
+      int c = v.Compare(*lo);
+      if (c < 0 || (c == 0 && !lo_inclusive)) return false;
+    }
+    if (hi.has_value()) {
+      int c = v.Compare(*hi);
+      if (c > 0 || (c == 0 && !hi_inclusive)) return false;
+    }
+    return true;
+  }
+};
+
+/// One entry of a transaction's write set.
+struct WriteRecord {
+  enum class Kind { kInsert, kUpdate, kDelete };
+  Kind kind = Kind::kInsert;
+  TableId table = 0;
+  RowId new_row = kInvalidRowId;   ///< inserted version (insert/update)
+  RowId base_row = kInvalidRowId;  ///< replaced/deleted version (update/delete)
+};
+
+/// All state of one node-local transaction.
+struct TxnInfo {
+  TxnId id = 0;
+  std::string global_id;  ///< Transaction::id() carried in the block
+  TxnState state = TxnState::kActive;
+  Snapshot snapshot;
+  Csn begin_csn = 0;
+  Csn commit_csn = 0;
+  BlockNum commit_block = 0;  ///< block this txn committed in
+  int block_pos = -1;         ///< position within the committing block
+
+  // Doom: a decision by SSI/ww-resolution that this transaction must abort
+  // when it reaches its commit point (or immediately if still executing).
+  bool doomed = false;
+  Status doom_reason;
+
+  // SSI dependency sets: in_conflicts = {R : R ->rw this},
+  // out_conflicts = {W : this ->rw W}.
+  std::set<TxnId> in_conflicts;
+  std::set<TxnId> out_conflicts;
+
+  // Read/write sets.
+  std::vector<std::pair<TableId, RowId>> row_reads;
+  std::vector<PredicateRead> predicates;
+  std::vector<WriteRecord> writes;
+};
+
+class TxnManager {
+ public:
+  TxnManager() = default;
+
+  /// Start a transaction with the given snapshot. `global_id` is the
+  /// network-wide transaction id (may be empty for local/internal work).
+  TxnInfo* Begin(Snapshot snapshot, std::string global_id = "");
+
+  /// Current commit sequence number (the snapshot a new CSN transaction
+  /// should read at).
+  Csn CurrentCsn() const;
+
+  TxnInfo* Get(TxnId id);
+  const TxnInfo* Get(TxnId id) const;
+
+  TxnState StateOf(TxnId id) const;
+  bool IsAborted(TxnId id) const;
+
+  /// Commit CSN of a transaction (0 when not committed).
+  Csn CommitCsnOf(TxnId id) const;
+  BlockNum CommitBlockOf(TxnId id) const;
+
+  // ---- SSI bookkeeping (called from TxnContext during execution) ----
+
+  /// Record that `reader` read version `row` of `table` (SIREAD lock).
+  void RecordRowRead(TxnInfo* reader, TableId table, RowId row);
+
+  /// Record a predicate scan.
+  void RecordPredicate(TxnInfo* reader, PredicateRead predicate);
+
+  /// Record a write and create writer-side rw edges: readers of the base
+  /// version and predicate readers covering the new values become
+  /// in-conflicts of `writer`.
+  void RecordWrite(TxnInfo* writer, const WriteRecord& write,
+                   const Row* new_values, const Row* base_values);
+
+  /// Reader-side rw edge: `reader` observed that `writer` created a newer,
+  /// snapshot-invisible version (or an invisible matching insert).
+  void AddRwEdge(TxnId reader, TxnId writer);
+
+  /// Doom a transaction: it must abort at (or before) its commit point.
+  /// The first doom reason sticks.
+  void Doom(TxnId txn, const Status& reason);
+  bool IsDoomed(TxnId txn) const;
+  Status DoomReason(TxnId txn) const;
+
+  // ---- Serial commit pipeline (called by the block processor) ----
+
+  /// Run SSI commit validation for `txn`, which is committing at position
+  /// `block_pos` of block `block` whose transaction membership (node-local
+  /// txn ids, in block order) is `block_members`. May doom other
+  /// transactions; returns non-OK if `txn` itself must abort. Must be
+  /// called serially, in block order.
+  Status ValidateForCommit(TxnInfo* txn, SsiPolicy policy, BlockNum block,
+                           int block_pos,
+                           const std::vector<TxnId>& block_members);
+
+  /// Finalize `txn` as committed at `block`; assigns its commit CSN.
+  void MarkCommitted(TxnInfo* txn, BlockNum block);
+
+  /// Finalize `txn` as aborted.
+  void MarkAborted(TxnInfo* txn);
+
+  /// Drop bookkeeping for finished transactions no active transaction can
+  /// still conflict with. Returns the number of transactions collected.
+  size_t GarbageCollect();
+
+  size_t TrackedCount() const;
+
+ private:
+  // Writer-side edge scan helpers; callers hold mu_.
+  void AddEdgeLocked(TxnId reader, TxnId writer);
+  bool ConcurrentLocked(const TxnInfo& a, const TxnInfo& b) const;
+  Status ValidateAbortDuringCommitLocked(TxnInfo* txn);
+  Status ValidateBlockAwareLocked(TxnInfo* txn, BlockNum block,
+                                  const std::vector<TxnId>& block_members);
+
+  mutable std::mutex mu_;
+  TxnId next_id_ = 1;
+  Csn csn_ = 0;
+  std::unordered_map<TxnId, std::unique_ptr<TxnInfo>> txns_;
+
+  // Reverse read maps per table for writer-side edge detection.
+  std::unordered_map<TableId, std::unordered_map<RowId, std::set<TxnId>>>
+      row_readers_;
+  std::unordered_map<TableId, std::vector<std::pair<TxnId, PredicateRead>>>
+      predicate_readers_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_TXN_TXN_MANAGER_H_

@@ -1,0 +1,52 @@
+// Core transaction-layer identifiers and the two snapshot kinds the paper
+// uses: CSN-based snapshot isolation for order-then-execute (every
+// transaction in block N executes on the state committed by block N-1) and
+// block-height snapshots for execute-order-in-parallel (§3.4.1, Figure 3).
+#ifndef BRDB_TXN_TYPES_H_
+#define BRDB_TXN_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "wire/transaction.h"
+
+namespace brdb {
+
+/// Node-local transaction identifier (the paper's "transaction ID assigned
+/// locally by the node"); global transaction ids are the hex hashes carried
+/// in Transaction::id().
+using TxnId = uint64_t;
+
+/// Commit sequence number: incremented once per committed transaction.
+using Csn = uint64_t;
+
+enum class TxnState : uint8_t { kActive = 0, kCommitted = 1, kAborted = 2 };
+
+/// What a transaction is allowed to see.
+struct Snapshot {
+  enum class Kind : uint8_t {
+    kCsn,          ///< all commits with commit_csn <= csn (classic SI)
+    kBlockHeight,  ///< all commits up to block `height` (paper Figure 3)
+  };
+
+  Kind kind = Kind::kCsn;
+  Csn csn = 0;
+  BlockNum height = 0;
+
+  static Snapshot AtCsn(Csn csn) {
+    Snapshot s;
+    s.kind = Kind::kCsn;
+    s.csn = csn;
+    return s;
+  }
+  static Snapshot AtBlockHeight(BlockNum height) {
+    Snapshot s;
+    s.kind = Kind::kBlockHeight;
+    s.height = height;
+    return s;
+  }
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_TXN_TYPES_H_

@@ -1,0 +1,168 @@
+#include "wire/block.h"
+
+#include "crypto/sha256.h"
+#include "wire/codec.h"
+
+namespace brdb {
+
+std::string CheckpointVote::SignedPayload() const {
+  Encoder enc;
+  enc.PutString(peer);
+  enc.PutU64(block);
+  enc.PutString(write_set_hash);
+  return Sha256::Hash(enc.Take());
+}
+
+std::string EncodeCheckpointVote(const CheckpointVote& vote) {
+  Encoder enc;
+  enc.PutString(vote.peer);
+  enc.PutU64(vote.block);
+  enc.PutString(vote.write_set_hash);
+  enc.PutString(vote.signature.Serialize());
+  return enc.Take();
+}
+
+Result<CheckpointVote> DecodeCheckpointVote(const std::string& bytes) {
+  Decoder dec(bytes);
+  CheckpointVote v;
+  std::string sig;
+  if (!dec.GetString(&v.peer) || !dec.GetU64(&v.block) ||
+      !dec.GetString(&v.write_set_hash) || !dec.GetString(&sig)) {
+    return Status::Corruption("checkpoint vote decode: truncated");
+  }
+  auto parsed = Signature::Deserialize(sig);
+  if (!parsed.ok()) return parsed.status();
+  v.signature = parsed.value();
+  return v;
+}
+
+Block::Block(BlockNum number, std::string prev_hash,
+             std::vector<Transaction> transactions, std::string consensus_meta,
+             std::vector<CheckpointVote> checkpoint_votes)
+    : number_(number),
+      prev_hash_(std::move(prev_hash)),
+      transactions_(std::move(transactions)),
+      consensus_meta_(std::move(consensus_meta)),
+      checkpoint_votes_(std::move(checkpoint_votes)) {
+  hash_ = ComputeHash();
+}
+
+std::string Block::ComputeHash() const {
+  Encoder enc;
+  enc.PutU64(number_);
+  enc.PutU32(static_cast<uint32_t>(transactions_.size()));
+  for (const auto& tx : transactions_) enc.PutString(tx.Encode());
+  enc.PutString(consensus_meta_);
+  enc.PutU32(static_cast<uint32_t>(checkpoint_votes_.size()));
+  for (const auto& v : checkpoint_votes_) {
+    enc.PutString(v.peer);
+    enc.PutU64(v.block);
+    enc.PutString(v.write_set_hash);
+    enc.PutString(v.signature.Serialize());
+  }
+  enc.PutString(prev_hash_);
+  return Sha256::HashHex(enc.Take());
+}
+
+Status Block::VerifySignatures(const CertificateRegistry& registry,
+                               size_t min_signatures) const {
+  if (!HashIsValid()) {
+    return Status::Corruption("block hash does not match contents");
+  }
+  size_t valid = 0;
+  for (const auto& [name, sig] : orderer_signatures_) {
+    auto role = registry.RoleOf(name);
+    if (!role.ok() || role.value() != PrincipalRole::kOrderer) continue;
+    if (registry.VerifySignature(name, hash_, sig).ok()) ++valid;
+  }
+  if (valid < min_signatures) {
+    return Status::PermissionDenied(
+        "block " + std::to_string(number_) + " carries " +
+        std::to_string(valid) + " valid orderer signatures, need " +
+        std::to_string(min_signatures));
+  }
+  return Status::OK();
+}
+
+std::string Block::Encode() const {
+  Encoder enc;
+  enc.PutU64(number_);
+  enc.PutString(prev_hash_);
+  enc.PutU32(static_cast<uint32_t>(transactions_.size()));
+  for (const auto& tx : transactions_) enc.PutString(tx.Encode());
+  enc.PutString(consensus_meta_);
+  enc.PutU32(static_cast<uint32_t>(checkpoint_votes_.size()));
+  for (const auto& v : checkpoint_votes_) {
+    enc.PutString(v.peer);
+    enc.PutU64(v.block);
+    enc.PutString(v.write_set_hash);
+    enc.PutString(v.signature.Serialize());
+  }
+  enc.PutString(hash_);
+  enc.PutU32(static_cast<uint32_t>(orderer_signatures_.size()));
+  for (const auto& [name, sig] : orderer_signatures_) {
+    enc.PutString(name);
+    enc.PutString(sig.Serialize());
+  }
+  return enc.Take();
+}
+
+Result<Block> Block::Decode(const std::string& bytes) {
+  Decoder dec(bytes);
+  Block b;
+  uint32_t ntx = 0, nvotes = 0, nsigs = 0;
+  if (!dec.GetU64(&b.number_) || !dec.GetString(&b.prev_hash_) ||
+      !dec.GetU32(&ntx)) {
+    return Status::Corruption("block decode: truncated header");
+  }
+  if (static_cast<size_t>(ntx) > bytes.size() / 4) {
+    return Status::Corruption("block decode: transaction count exceeds input");
+  }
+  b.transactions_.reserve(ntx);
+  for (uint32_t i = 0; i < ntx; ++i) {
+    std::string tx_bytes;
+    if (!dec.GetString(&tx_bytes)) {
+      return Status::Corruption("block decode: truncated transaction");
+    }
+    auto tx = Transaction::Decode(tx_bytes);
+    if (!tx.ok()) return tx.status();
+    b.transactions_.push_back(std::move(tx).value());
+  }
+  if (!dec.GetString(&b.consensus_meta_) || !dec.GetU32(&nvotes)) {
+    return Status::Corruption("block decode: truncated metadata");
+  }
+  for (uint32_t i = 0; i < nvotes; ++i) {
+    CheckpointVote v;
+    std::string sig;
+    if (!dec.GetString(&v.peer) || !dec.GetU64(&v.block) ||
+        !dec.GetString(&v.write_set_hash) || !dec.GetString(&sig)) {
+      return Status::Corruption("block decode: truncated checkpoint vote");
+    }
+    auto parsed = Signature::Deserialize(sig);
+    if (!parsed.ok()) return parsed.status();
+    v.signature = parsed.value();
+    b.checkpoint_votes_.push_back(std::move(v));
+  }
+  if (!dec.GetString(&b.hash_) || !dec.GetU32(&nsigs)) {
+    return Status::Corruption("block decode: truncated hash");
+  }
+  for (uint32_t i = 0; i < nsigs; ++i) {
+    std::string name, sig;
+    if (!dec.GetString(&name) || !dec.GetString(&sig)) {
+      return Status::Corruption("block decode: truncated signature");
+    }
+    auto parsed = Signature::Deserialize(sig);
+    if (!parsed.ok()) return parsed.status();
+    b.orderer_signatures_.emplace_back(name, parsed.value());
+  }
+  return b;
+}
+
+void Block::TamperForTest(size_t tx_index, std::vector<Value> new_args) {
+  if (tx_index < transactions_.size()) {
+    transactions_[tx_index] =
+        transactions_[tx_index].WithForgedArgs(std::move(new_args));
+  }
+}
+
+}  // namespace brdb

@@ -1,0 +1,91 @@
+// Block: the unit of consensus output (paper §3.1). A block carries
+//  (a) a sequence number, (b) a set of transactions, (c) consensus metadata,
+//  (d) the hash of the previous block, (e) its own hash over (a..d), and
+//  (f) orderer signatures over that hash. Blocks also piggyback write-set
+// hashes submitted by peers for earlier blocks (the checkpointing phase,
+// §3.3.4): `checkpoint_votes` maps peer name -> (block, write-set hash).
+#ifndef BRDB_WIRE_BLOCK_H_
+#define BRDB_WIRE_BLOCK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/identity.h"
+#include "wire/transaction.h"
+
+namespace brdb {
+
+/// A peer's claim that committing block `block` produced write-set hash
+/// `write_set_hash` (hex). Non-matching claims expose the faulty peer.
+struct CheckpointVote {
+  std::string peer;
+  BlockNum block = 0;
+  std::string write_set_hash;
+  Signature signature;  ///< peer signature over (peer, block, hash)
+
+  std::string SignedPayload() const;
+};
+
+/// Standalone wire encoding of a vote (used on the peer->orderer path).
+std::string EncodeCheckpointVote(const CheckpointVote& vote);
+Result<CheckpointVote> DecodeCheckpointVote(const std::string& bytes);
+
+class Block {
+ public:
+  Block() = default;
+  Block(BlockNum number, std::string prev_hash,
+        std::vector<Transaction> transactions, std::string consensus_meta,
+        std::vector<CheckpointVote> checkpoint_votes);
+
+  BlockNum number() const { return number_; }
+  const std::string& prev_hash() const { return prev_hash_; }
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+  const std::string& consensus_meta() const { return consensus_meta_; }
+  const std::vector<CheckpointVote>& checkpoint_votes() const {
+    return checkpoint_votes_;
+  }
+  const std::string& hash() const { return hash_; }
+
+  /// Orderer signatures accumulated over hash(); verified by peers before a
+  /// block is appended to the block store.
+  const std::vector<std::pair<std::string, Signature>>& orderer_signatures()
+      const {
+    return orderer_signatures_;
+  }
+  void AddOrdererSignature(const Identity& orderer) {
+    orderer_signatures_.emplace_back(orderer.name, orderer.Sign(hash_));
+  }
+
+  /// Recompute the hash over (number, transactions, meta, prev_hash) and
+  /// compare with the stored one.
+  bool HashIsValid() const { return ComputeHash() == hash_; }
+
+  /// Verify at least `min_signatures` valid orderer signatures.
+  Status VerifySignatures(const CertificateRegistry& registry,
+                          size_t min_signatures) const;
+
+  std::string Encode() const;
+  static Result<Block> Decode(const std::string& bytes);
+
+  /// Test helper: byte-level tampering of the i-th transaction's args,
+  /// keeping the stored hash (so HashIsValid() must return false).
+  void TamperForTest(size_t tx_index, std::vector<Value> new_args);
+
+ private:
+  std::string ComputeHash() const;
+
+  BlockNum number_ = 0;
+  std::string prev_hash_;
+  std::vector<Transaction> transactions_;
+  std::string consensus_meta_;
+  std::vector<CheckpointVote> checkpoint_votes_;
+  std::string hash_;
+  std::vector<std::pair<std::string, Signature>> orderer_signatures_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_WIRE_BLOCK_H_

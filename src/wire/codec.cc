@@ -1,0 +1,78 @@
+#include "wire/codec.h"
+
+#include <cstring>
+
+namespace brdb {
+
+void Encoder::PutU32(uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  buf_.append(b, 4);
+}
+
+void Encoder::PutU64(uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  buf_.append(b, 8);
+}
+
+void Encoder::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+void Encoder::PutValues(const std::vector<Value>& vs) {
+  PutU32(static_cast<uint32_t>(vs.size()));
+  for (const auto& v : vs) PutValue(v);
+}
+
+bool Decoder::GetU8(uint8_t* v) {
+  if (offset_ + 1 > buf_.size()) return false;
+  *v = static_cast<uint8_t>(buf_[offset_]);
+  offset_ += 1;
+  return true;
+}
+
+bool Decoder::GetU32(uint32_t* v) {
+  if (offset_ + 4 > buf_.size()) return false;
+  std::memcpy(v, buf_.data() + offset_, 4);
+  offset_ += 4;
+  return true;
+}
+
+bool Decoder::GetU64(uint64_t* v) {
+  if (offset_ + 8 > buf_.size()) return false;
+  std::memcpy(v, buf_.data() + offset_, 8);
+  offset_ += 8;
+  return true;
+}
+
+bool Decoder::GetString(std::string* s) {
+  uint32_t len;
+  if (!GetU32(&len)) return false;
+  if (offset_ + len > buf_.size()) return false;
+  s->assign(buf_, offset_, len);
+  offset_ += len;
+  return true;
+}
+
+Status Decoder::GetValues(std::vector<Value>* out) {
+  uint32_t n;
+  if (!GetU32(&n)) return Status::Corruption("values: truncated count");
+  out->clear();
+  // Never reserve from an untrusted count: a corrupted length would ask
+  // for gigabytes. Each value consumes at least one input byte, so any
+  // count beyond the remaining bytes is corrupt anyway.
+  if (static_cast<size_t>(n) > buf_.size() - offset_) {
+    return Status::Corruption("values: count exceeds input");
+  }
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto v = GetValue();
+    if (!v.ok()) return v.status();
+    out->push_back(std::move(v).value());
+  }
+  return Status::OK();
+}
+
+}  // namespace brdb

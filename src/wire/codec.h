@@ -1,0 +1,63 @@
+// Deterministic binary encoder/decoder for everything that gets hashed or
+// signed (transactions, blocks, checkpoints). The encoding is
+// length-prefixed and byte-stable: encoding the same logical object always
+// produces identical bytes, which block hashes and signatures depend on.
+#ifndef BRDB_WIRE_CODEC_H_
+#define BRDB_WIRE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace brdb {
+
+/// Appends fields to an owned buffer.
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutString(const std::string& s);
+  void PutValue(const Value& v) { v.EncodeTo(&buf_); }
+  void PutValues(const std::vector<Value>& vs);
+  void PutBytesRaw(const std::string& s) { buf_.append(s); }
+
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Consumes fields from a borrowed buffer; every getter fails cleanly on
+/// truncated input (returns false / error Status) instead of reading past
+/// the end — malformed network bytes must never crash a node.
+class Decoder {
+ public:
+  explicit Decoder(const std::string& buf) : buf_(buf) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetI64(int64_t* v) {
+    return GetU64(reinterpret_cast<uint64_t*>(v));
+  }
+  bool GetString(std::string* s);
+  Result<Value> GetValue() { return Value::DecodeFrom(buf_, &offset_); }
+  Status GetValues(std::vector<Value>* out);
+
+  bool AtEnd() const { return offset_ == buf_.size(); }
+  size_t offset() const { return offset_; }
+
+ private:
+  const std::string& buf_;
+  size_t offset_ = 0;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_WIRE_CODEC_H_

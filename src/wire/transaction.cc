@@ -1,0 +1,118 @@
+#include "wire/transaction.h"
+
+#include "crypto/sha256.h"
+#include "wire/codec.h"
+
+namespace brdb {
+
+namespace {
+std::string CanonicalCall(const std::string& user, const std::string& contract,
+                          const std::vector<Value>& args,
+                          BlockNum snapshot_height, bool eop) {
+  Encoder enc;
+  enc.PutString(user);
+  enc.PutString(contract);
+  enc.PutValues(args);
+  enc.PutU64(snapshot_height);
+  enc.PutU8(eop ? 1 : 0);
+  return enc.Take();
+}
+}  // namespace
+
+std::string Transaction::DeriveEopId(const std::string& user,
+                                     const std::string& contract,
+                                     const std::vector<Value>& args,
+                                     BlockNum snapshot_height) {
+  return Sha256::HashHex(
+      CanonicalCall(user, contract, args, snapshot_height, true));
+}
+
+Transaction Transaction::MakeOrderThenExecute(const Identity& client,
+                                              std::string unique_id,
+                                              std::string contract,
+                                              std::vector<Value> args) {
+  Transaction tx;
+  tx.id_ = std::move(unique_id);
+  tx.user_ = client.name;
+  tx.contract_ = std::move(contract);
+  tx.args_ = std::move(args);
+  tx.snapshot_height_ = 0;
+  tx.eop_ = false;
+  tx.signature_ = client.Sign(tx.SignedPayload());
+  return tx;
+}
+
+Transaction Transaction::MakeExecuteOrderParallel(const Identity& client,
+                                                  std::string contract,
+                                                  std::vector<Value> args,
+                                                  BlockNum snapshot_height) {
+  Transaction tx;
+  tx.user_ = client.name;
+  tx.contract_ = std::move(contract);
+  tx.args_ = std::move(args);
+  tx.snapshot_height_ = snapshot_height;
+  tx.eop_ = true;
+  tx.id_ = DeriveEopId(tx.user_, tx.contract_, tx.args_, snapshot_height);
+  tx.signature_ = client.Sign(tx.SignedPayload());
+  return tx;
+}
+
+std::string Transaction::SignedPayload() const {
+  // hash(id, user, call...) is what the client signs (paper §3.3/§3.4).
+  Encoder enc;
+  enc.PutString(id_);
+  enc.PutBytesRaw(
+      CanonicalCall(user_, contract_, args_, snapshot_height_, eop_));
+  return Sha256::Hash(enc.Take());
+}
+
+Status Transaction::Authenticate(const CertificateRegistry& registry) const {
+  if (id_.empty()) return Status::InvalidArgument("transaction without id");
+  if (eop_ &&
+      id_ != DeriveEopId(user_, contract_, args_, snapshot_height_)) {
+    return Status::PermissionDenied(
+        "transaction id does not match content hash");
+  }
+  return registry.VerifySignature(user_, SignedPayload(), signature_);
+}
+
+std::string Transaction::Encode() const {
+  Encoder enc;
+  enc.PutString(id_);
+  enc.PutString(user_);
+  enc.PutString(contract_);
+  enc.PutValues(args_);
+  enc.PutU64(snapshot_height_);
+  enc.PutU8(eop_ ? 1 : 0);
+  enc.PutString(signature_.Serialize());
+  return enc.Take();
+}
+
+Result<Transaction> Transaction::Decode(const std::string& bytes) {
+  Decoder dec(bytes);
+  Transaction tx;
+  uint8_t eop = 0;
+  std::string sig;
+  if (!dec.GetString(&tx.id_) || !dec.GetString(&tx.user_) ||
+      !dec.GetString(&tx.contract_)) {
+    return Status::Corruption("transaction decode: truncated header");
+  }
+  BRDB_RETURN_NOT_OK(dec.GetValues(&tx.args_));
+  if (!dec.GetU64(&tx.snapshot_height_) || !dec.GetU8(&eop) ||
+      !dec.GetString(&sig)) {
+    return Status::Corruption("transaction decode: truncated trailer");
+  }
+  tx.eop_ = eop != 0;
+  auto parsed = Signature::Deserialize(sig);
+  if (!parsed.ok()) return parsed.status();
+  tx.signature_ = parsed.value();
+  return tx;
+}
+
+Transaction Transaction::WithForgedArgs(std::vector<Value> args) const {
+  Transaction tx = *this;
+  tx.args_ = std::move(args);
+  return tx;
+}
+
+}  // namespace brdb

@@ -1,0 +1,86 @@
+// Transaction: a signed smart-contract invocation.
+//
+// The paper uses slightly different fields per flow (§3.3 vs §3.4):
+//  * order-then-execute: {unique id, username, procedure call, signature}
+//    where the id is client-chosen;
+//  * execute-order-in-parallel: {username, procedure call, snapshot block
+//    height, id = hash(username, call, height), signature}. Deriving the id
+//    from the content prevents two different transactions sharing an id,
+//    which would otherwise let whichever executed first win on one node and
+//    the other win elsewhere (§3.4.3).
+#ifndef BRDB_WIRE_TRANSACTION_H_
+#define BRDB_WIRE_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "crypto/identity.h"
+
+namespace brdb {
+
+/// Block sequence numbers. Block 0 is the genesis/bootstrap block; user
+/// transactions commit from block 1.
+using BlockNum = uint64_t;
+
+class Transaction {
+ public:
+  Transaction() = default;
+
+  /// Build and sign an order-then-execute transaction. `unique_id` must be
+  /// unique network-wide (clients typically use name + a local counter).
+  static Transaction MakeOrderThenExecute(const Identity& client,
+                                          std::string unique_id,
+                                          std::string contract,
+                                          std::vector<Value> args);
+
+  /// Build and sign an execute-order-in-parallel transaction executing
+  /// against the snapshot as of `snapshot_height`. The id is derived.
+  static Transaction MakeExecuteOrderParallel(const Identity& client,
+                                              std::string contract,
+                                              std::vector<Value> args,
+                                              BlockNum snapshot_height);
+
+  const std::string& id() const { return id_; }
+  const std::string& user() const { return user_; }
+  const std::string& contract() const { return contract_; }
+  const std::vector<Value>& args() const { return args_; }
+  BlockNum snapshot_height() const { return snapshot_height_; }
+  bool is_execute_order_parallel() const { return eop_; }
+  const Signature& signature() const { return signature_; }
+
+  /// The canonical bytes covered by the client signature.
+  std::string SignedPayload() const;
+
+  /// Verify both the structural id derivation (EOP) and the client
+  /// signature against `registry`.
+  Status Authenticate(const CertificateRegistry& registry) const;
+
+  /// Deterministic wire encoding / decoding.
+  std::string Encode() const;
+  static Result<Transaction> Decode(const std::string& bytes);
+
+  /// Tamper helper for tests: returns a copy with different args but the
+  /// original signature (must fail Authenticate()).
+  Transaction WithForgedArgs(std::vector<Value> args) const;
+
+ private:
+  static std::string DeriveEopId(const std::string& user,
+                                 const std::string& contract,
+                                 const std::vector<Value>& args,
+                                 BlockNum snapshot_height);
+
+  std::string id_;
+  std::string user_;
+  std::string contract_;
+  std::vector<Value> args_;
+  BlockNum snapshot_height_ = 0;
+  bool eop_ = false;
+  Signature signature_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_WIRE_TRANSACTION_H_

@@ -1,0 +1,235 @@
+// Unit tests for src/common: Status/Result, Value semantics, encoding
+// round-trips, hex, clock, thread pool and RNG determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/clock.h"
+#include "common/hex.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/value.h"
+
+namespace brdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table t");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: table t");
+}
+
+TEST(StatusTest, RetriabilityCoversOnlySsiAndWwAborts) {
+  EXPECT_TRUE(Status::SerializationFailure("x").IsRetriable());
+  EXPECT_TRUE(Status::WriteConflict("x").IsRetriable());
+  EXPECT_FALSE(Status::ConstraintViolation("x").IsRetriable());
+  EXPECT_FALSE(Status::PermissionDenied("x").IsRetriable());
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+
+  Result<int> bad(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.value_or(3), 3);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  BRDB_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto r = Quarter(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Text("hi").AsText(), "hi");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+}
+
+TEST(ValueTest, CompareSameType) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(5).Compare(Value::Int(5)), 0);
+  EXPECT_GT(Value::Text("b").Compare(Value::Text("a")), 0);
+  EXPECT_LT(Value::Bool(false).Compare(Value::Bool(true)), 0);
+}
+
+TEST(ValueTest, CompareMixedNumerics) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(3.5).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_GT(Value::Text("").Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, EncodeDecodeRoundTrip) {
+  const Value cases[] = {Value::Null(), Value::Bool(true), Value::Int(-7),
+                         Value::Double(3.25), Value::Text("hello world")};
+  for (const Value& v : cases) {
+    std::string buf;
+    v.EncodeTo(&buf);
+    size_t off = 0;
+    auto back = Value::DecodeFrom(buf, &off);
+    ASSERT_TRUE(back.ok()) << v.ToString();
+    EXPECT_EQ(back.value().Compare(v), 0) << v.ToString();
+    EXPECT_EQ(off, buf.size());
+  }
+}
+
+TEST(ValueTest, EncodingIsInjectiveAcrossTypes) {
+  // int 1, bool true, text "1" must all encode differently.
+  std::string a, b, c;
+  Value::Int(1).EncodeTo(&a);
+  Value::Bool(true).EncodeTo(&b);
+  Value::Text("1").EncodeTo(&c);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(ValueTest, DecodeRejectsTruncatedInput) {
+  std::string buf;
+  Value::Text("payload").EncodeTo(&buf);
+  for (size_t cut = 1; cut < buf.size(); ++cut) {
+    size_t off = 0;
+    std::string trunc = buf.substr(0, cut);
+    auto r = Value::DecodeFrom(trunc, &off);
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ValueTest, FromLiteralParsesAndValidates) {
+  auto i = Value::FromLiteral(ValueType::kInt, "123");
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i.value().AsInt(), 123);
+  EXPECT_FALSE(Value::FromLiteral(ValueType::kInt, "12x").ok());
+  EXPECT_FALSE(Value::FromLiteral(ValueType::kDouble, "").ok());
+  auto b = Value::FromLiteral(ValueType::kBool, "true");
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b.value().AsBool());
+}
+
+TEST(ValueTest, HashEqualValuesAgree) {
+  EXPECT_EQ(Value::Int(99).Hash(), Value::Int(99).Hash());
+  EXPECT_NE(Value::Int(99).Hash(), Value::Int(100).Hash());
+}
+
+TEST(HexTest, RoundTrip) {
+  std::string data("\x00\xff\x10 abc", 7);
+  std::string hex = HexEncode(data);
+  EXPECT_EQ(hex, "00ff1020616263");
+  auto back = HexDecode(hex);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+}
+
+TEST(HexTest, RejectsBadInput) {
+  EXPECT_FALSE(HexDecode("abc").ok());   // odd length
+  EXPECT_FALSE(HexDecode("zz").ok());    // non-hex
+  EXPECT_TRUE(HexDecode("").ok());       // empty is fine
+}
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.SleepMicros(25);  // sleeping advances, never blocks
+  EXPECT_EQ(clock.NowMicros(), 175);
+}
+
+TEST(ClockTest, RealClockIsMonotonic) {
+  auto& clock = RealClock::Shared();
+  Micros a = clock->NowMicros();
+  Micros b = clock->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(1);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 32; ++i) diff += a.Next() != b.Next();
+  EXPECT_GT(diff, 0);
+}
+
+TEST(RngTest, UniformRangeStaysInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace brdb

@@ -1,0 +1,256 @@
+// Unit tests for src/consensus: block cutting by size and timeout, hash
+// chaining, identical deterministic blocks from the Kafka-style service,
+// Raft replication and leader failover, PBFT three-phase agreement.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+
+#include "consensus/kafka.h"
+#include "consensus/pbft.h"
+#include "consensus/raft.h"
+#include "consensus/solo.h"
+
+namespace brdb {
+namespace {
+
+/// Collects blocks delivered to a fake peer endpoint.
+class BlockSink {
+ public:
+  BlockSink(SimNetwork* net, const std::string& name) : name_(name) {
+    net->RegisterEndpoint(name, [this](const NetMessage& m) {
+      if (m.type != kMsgBlock) return;
+      auto block = Block::Decode(m.payload);
+      if (!block.ok()) return;
+      std::lock_guard<std::mutex> lock(mu_);
+      blocks_[block.value().number()] = std::move(block).value();
+      cv_.notify_all();
+    });
+  }
+
+  bool WaitForHeight(BlockNum h, Micros timeout_us = 5000000) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, std::chrono::microseconds(timeout_us), [&] {
+      return blocks_.count(h) > 0;
+    });
+  }
+
+  Block Get(BlockNum n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocks_[n];
+  }
+  size_t TotalTxns() {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto& [num, b] : blocks_) n += b.transactions().size();
+    return n;
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<BlockNum, Block> blocks_;
+};
+
+Transaction MakeTx(int i) {
+  static Identity client =
+      Identity::Create("org1", "alice", PrincipalRole::kClient);
+  return Transaction::MakeOrderThenExecute(client, "tx-" + std::to_string(i),
+                                           "c", {Value::Int(i)});
+}
+
+OrdererConfig FastConfig(size_t block_size = 5, Micros timeout = 30000) {
+  OrdererConfig cfg;
+  cfg.block_size = block_size;
+  cfg.block_timeout_us = timeout;
+  return cfg;
+}
+
+std::vector<Identity> Orderers(size_t n) {
+  std::vector<Identity> ids;
+  for (size_t i = 0; i < n; ++i) {
+    ids.push_back(Identity::Create("org" + std::to_string(i % 3 + 1),
+                                   "orderer" + std::to_string(i + 1),
+                                   PrincipalRole::kOrderer));
+  }
+  return ids;
+}
+
+TEST(SoloOrdererTest, CutsBySize) {
+  SimNetwork net(NetworkProfile::Instant());
+  BlockSink sink(&net, "peer:sink");
+  SoloOrderer solo(FastConfig(3, 10000000), &net, Orderers(1)[0]);
+  solo.ConnectPeer(sink.name());
+  solo.Start();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(solo.SubmitTransaction(MakeTx(i)).ok());
+  }
+  ASSERT_TRUE(sink.WaitForHeight(2));
+  EXPECT_EQ(sink.Get(1).transactions().size(), 3u);
+  EXPECT_EQ(sink.Get(2).transactions().size(), 3u);
+  // Hash chain.
+  EXPECT_EQ(sink.Get(2).prev_hash(), sink.Get(1).hash());
+  solo.Stop();
+}
+
+TEST(SoloOrdererTest, CutsByTimeout) {
+  SimNetwork net(NetworkProfile::Instant());
+  BlockSink sink(&net, "peer:sink");
+  SoloOrderer solo(FastConfig(100, 20000), &net, Orderers(1)[0]);
+  solo.ConnectPeer(sink.name());
+  solo.Start();
+  ASSERT_TRUE(solo.SubmitTransaction(MakeTx(0)).ok());
+  ASSERT_TRUE(sink.WaitForHeight(1));  // timeout fires well under 5 s
+  EXPECT_EQ(sink.Get(1).transactions().size(), 1u);
+  solo.Stop();
+}
+
+TEST(SoloOrdererTest, RejectsWhenStopped) {
+  SimNetwork net(NetworkProfile::Instant());
+  SoloOrderer solo(FastConfig(), &net, Orderers(1)[0]);
+  EXPECT_EQ(solo.SubmitTransaction(MakeTx(0)).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(SoloOrdererTest, IncludesCheckpointVotes) {
+  SimNetwork net(NetworkProfile::Instant());
+  BlockSink sink(&net, "peer:sink");
+  SoloOrderer solo(FastConfig(2, 20000), &net, Orderers(1)[0]);
+  solo.ConnectPeer(sink.name());
+  solo.Start();
+  CheckpointVote vote;
+  vote.peer = "peer1";
+  vote.block = 7;
+  vote.write_set_hash = "abc";
+  solo.SubmitCheckpointVote(vote);
+  ASSERT_TRUE(solo.SubmitTransaction(MakeTx(0)).ok());
+  ASSERT_TRUE(sink.WaitForHeight(1));
+  ASSERT_EQ(sink.Get(1).checkpoint_votes().size(), 1u);
+  EXPECT_EQ(sink.Get(1).checkpoint_votes()[0].peer, "peer1");
+  solo.Stop();
+}
+
+TEST(KafkaOrdererTest, OrdersAcrossMultipleFrontEnds) {
+  SimNetwork net(NetworkProfile::Instant());
+  BlockSink sink1(&net, "peer:s1");
+  BlockSink sink2(&net, "peer:s2");
+  KafkaOrderingService kafka(FastConfig(4, 30000), &net, Orderers(3));
+  kafka.ConnectPeer(sink1.name());
+  kafka.ConnectPeer(sink2.name());
+  kafka.Start();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(kafka.SubmitTransaction(MakeTx(i)).ok());
+  }
+  ASSERT_TRUE(sink1.WaitForHeight(2));
+  ASSERT_TRUE(sink2.WaitForHeight(2));
+  // Both peers observe byte-identical blocks.
+  EXPECT_EQ(sink1.Get(1).hash(), sink2.Get(1).hash());
+  EXPECT_EQ(sink1.Get(2).hash(), sink2.Get(2).hash());
+  // All orderers signed (paper §4.4).
+  EXPECT_EQ(sink1.Get(1).orderer_signatures().size(), 3u);
+  kafka.Stop();
+}
+
+TEST(KafkaOrdererTest, TimeToCutFirstMarkerWins) {
+  SimNetwork net(NetworkProfile::Instant());
+  BlockSink sink(&net, "peer:s1");
+  // Large block size: only timeouts cut. Several orderer timers race to
+  // publish the marker; blocks must still advance one epoch at a time.
+  KafkaOrderingService kafka(FastConfig(1000, 15000), &net, Orderers(4));
+  kafka.ConnectPeer(sink.name());
+  kafka.Start();
+  ASSERT_TRUE(kafka.SubmitTransaction(MakeTx(0)).ok());
+  ASSERT_TRUE(sink.WaitForHeight(1));
+  EXPECT_EQ(sink.Get(1).transactions().size(), 1u);
+  ASSERT_TRUE(kafka.SubmitTransaction(MakeTx(1)).ok());
+  ASSERT_TRUE(sink.WaitForHeight(2));
+  EXPECT_EQ(sink.Get(2).transactions().size(), 1u);
+  kafka.Stop();
+}
+
+TEST(RaftOrdererTest, ReplicatesThroughLeader) {
+  SimNetwork net(NetworkProfile::Instant());
+  BlockSink sink(&net, "peer:s1");
+  RaftOrderingService raft(FastConfig(3, 30000), &net, Orderers(3));
+  raft.ConnectPeer(sink.name());
+  raft.Start();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(raft.SubmitTransaction(MakeTx(i)).ok());
+  }
+  ASSERT_TRUE(sink.WaitForHeight(2));
+  EXPECT_EQ(sink.TotalTxns(), 6u);
+  EXPECT_EQ(raft.Height(), 2u);
+  EXPECT_EQ(raft.LeaderIndex(), 0u);
+  raft.Stop();
+}
+
+TEST(RaftOrdererTest, FailoverElectsNewLeaderAndContinues) {
+  SimNetwork net(NetworkProfile::Instant());
+  BlockSink sink(&net, "peer:s1");
+  RaftOrderingService raft(FastConfig(2, 30000), &net, Orderers(3));
+  raft.ConnectPeer(sink.name());
+  raft.Start();
+  ASSERT_TRUE(raft.SubmitTransaction(MakeTx(0)).ok());
+  ASSERT_TRUE(raft.SubmitTransaction(MakeTx(1)).ok());
+  ASSERT_TRUE(sink.WaitForHeight(1));
+
+  raft.CrashNode(0);
+  // Wait for the election.
+  const auto& clock = RealClock::Shared();
+  Micros deadline = clock->NowMicros() + 2000000;
+  while (raft.LeaderIndex() == 0 && clock->NowMicros() < deadline) {
+    clock->SleepMicros(10000);
+  }
+  EXPECT_EQ(raft.LeaderIndex(), 1u);
+  EXPECT_GE(raft.Term(), 2u);
+
+  ASSERT_TRUE(raft.SubmitTransaction(MakeTx(2)).ok());
+  ASSERT_TRUE(raft.SubmitTransaction(MakeTx(3)).ok());
+  EXPECT_TRUE(sink.WaitForHeight(2));
+  raft.Stop();
+}
+
+class PbftSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PbftSizes, OrdersWithThreePhaseAgreement) {
+  const size_t n = GetParam();
+  SimNetwork net(NetworkProfile::Instant());
+  BlockSink sink(&net, "peer:s1");
+  PbftOrderingService pbft(FastConfig(4, 30000), &net, Orderers(n));
+  pbft.ConnectPeer(sink.name());
+  pbft.Start();
+  EXPECT_EQ(pbft.FaultTolerance(), (n - 1) / 3);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pbft.SubmitTransaction(MakeTx(i)).ok());
+  }
+  ASSERT_TRUE(sink.WaitForHeight(2));
+  EXPECT_EQ(sink.TotalTxns(), 8u);
+  EXPECT_EQ(sink.Get(2).prev_hash(), sink.Get(1).hash());
+  pbft.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(OrdererCounts, PbftSizes,
+                         ::testing::Values(1, 4, 7));
+
+TEST(PbftOrdererTest, MessageCostGrowsQuadratically) {
+  auto run = [](size_t n) {
+    SimNetwork net(NetworkProfile::Instant());
+    BlockSink sink(&net, "peer:s1");
+    PbftOrderingService pbft(FastConfig(4, 30000), &net, Orderers(n));
+    pbft.ConnectPeer(sink.name());
+    pbft.Start();
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(pbft.SubmitTransaction(MakeTx(i)).ok());
+    }
+    EXPECT_TRUE(sink.WaitForHeight(1));
+    pbft.Stop();
+    return net.messages_delivered();
+  };
+  uint64_t m4 = run(4);
+  uint64_t m7 = run(7);
+  EXPECT_GT(m7, m4 * 2);  // ~n^2 growth per block
+}
+
+}  // namespace
+}  // namespace brdb

@@ -1,0 +1,376 @@
+// Unit tests for src/contracts: the SQL-procedure interpreter (parameters,
+// variables, REQUIRE), deploy-time validation, the contract registry with
+// deferred ops, deployment SQL parsing, and the system contracts'
+// governance rules.
+#include <gtest/gtest.h>
+
+#include "contracts/contract.h"
+#include "contracts/system_contracts.h"
+#include "storage/database.h"
+
+namespace brdb {
+namespace {
+
+class ContractFixture : public ::testing::Test {
+ protected:
+  ContractFixture() : engine_(&db_) {
+    EXPECT_TRUE(RegisterSystemContracts(&registry_).ok());
+  }
+
+  TxnManager* mgr() { return db_.txn_manager(); }
+
+  /// Run `fn` inside a transaction as `invoker` with `role`, committing on
+  /// success.
+  Status RunAs(const std::string& invoker, PrincipalRole role,
+               const std::string& contract, std::vector<Value> args) {
+    TxnContext ctx(&db_, mgr()->Begin(Snapshot::AtCsn(mgr()->CurrentCsn())),
+                   TxnMode::kNormal);
+    ContractContext cctx(&ctx, &engine_, &registry_, invoker, std::move(args),
+                         sql::ExecOptions());
+    cctx.set_invoker_role(role);
+    Status st = registry_.Invoke(contract, &cctx);
+    if (!st.ok()) {
+      ctx.Abort(st);
+      return st;
+    }
+    st = ctx.CommitSerially(SsiPolicy::kAbortDuringCommit, next_block_++, 0,
+                            {ctx.id()});
+    if (st.ok()) {
+      for (const RegistryOp& op : cctx.pending_registry_ops()) {
+        BRDB_RETURN_NOT_OK(registry_.Apply(op));
+      }
+    }
+    return st;
+  }
+
+  /// Scalar SELECT as an internal reader.
+  Result<Value> Scalar(const std::string& sql,
+                       const std::vector<Value>& params = {}) {
+    TxnContext ctx(&db_, mgr()->Begin(Snapshot::AtCsn(mgr()->CurrentCsn())),
+                   TxnMode::kInternal);
+    auto r = engine_.Execute(&ctx, sql, params);
+    if (!r.ok()) return r.status();
+    return r.value().Scalar();
+  }
+
+  void SeedAdmin(const std::string& name, const std::string& org) {
+    TxnContext ctx(&db_, mgr()->Begin(Snapshot::AtCsn(mgr()->CurrentCsn())),
+                   TxnMode::kInternal);
+    ASSERT_TRUE(engine_
+                    .Execute(&ctx,
+                             "INSERT INTO pgcerts VALUES ($1, $2, 'admin', 1)",
+                             {Value::Text(name), Value::Text(org)})
+                    .ok());
+    ASSERT_TRUE(ctx.CommitInternal(0).ok());
+  }
+
+  Database db_;
+  sql::SqlEngine engine_;
+  ContractRegistry registry_;
+  BlockNum next_block_ = 1;
+};
+
+// ---------- SqlProcedure ----------
+
+TEST(SqlProcedureTest, SplitStatementsIsQuoteAware) {
+  auto stmts = SqlProcedure::SplitStatements(
+      "INSERT INTO t VALUES ('a;b'); SELECT 1;  ; UPDATE t SET x = 2");
+  ASSERT_EQ(stmts.size(), 3u);
+  EXPECT_EQ(stmts[0], "INSERT INTO t VALUES ('a;b')");
+  EXPECT_EQ(stmts[1], "SELECT 1");
+  EXPECT_EQ(stmts[2], "UPDATE t SET x = 2");
+}
+
+TEST(SqlProcedureTest, ValidateAcceptsWellFormedBody) {
+  SqlProcedure p;
+  p.name = "transfer";
+  p.num_params = 3;
+  p.body =
+      "bal := SELECT balance FROM accounts WHERE id = $1;"
+      "REQUIRE $bal >= $3;"
+      "UPDATE accounts SET balance = balance - $3 WHERE id = $1;"
+      "UPDATE accounts SET balance = balance + $3 WHERE id = $2";
+  EXPECT_TRUE(p.Validate().ok()) << p.Validate().ToString();
+}
+
+TEST(SqlProcedureTest, ValidateRejectsNonDeterminism) {
+  SqlProcedure p;
+  p.name = "bad";
+  p.num_params = 0;
+  p.body = "INSERT INTO t VALUES (random())";
+  EXPECT_EQ(p.Validate().code(), StatusCode::kDeterminismViolation);
+}
+
+TEST(SqlProcedureTest, ValidateRejectsSyntaxErrors) {
+  SqlProcedure p;
+  p.name = "bad";
+  p.num_params = 0;
+  p.body = "INSRT INTO t VALUES (1)";
+  EXPECT_FALSE(p.Validate().ok());
+  p.body = "";
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+// ---------- procedure execution ----------
+
+TEST_F(ContractFixture, ProcedureWithVariablesAndRequire) {
+  TxnContext ddl(&db_, mgr()->Begin(Snapshot::AtCsn(0)), TxnMode::kInternal);
+  ASSERT_TRUE(engine_
+                  .Execute(&ddl,
+                           "CREATE TABLE accounts (id INT PRIMARY KEY, "
+                           "balance INT)")
+                  .ok());
+  ASSERT_TRUE(engine_
+                  .Execute(&ddl, "INSERT INTO accounts VALUES (1, 100), "
+                                 "(2, 50)")
+                  .ok());
+  ASSERT_TRUE(ddl.CommitInternal(0).ok());
+
+  SqlProcedure p;
+  p.name = "transfer";
+  p.num_params = 3;  // from, to, amount
+  p.body =
+      "bal := SELECT balance FROM accounts WHERE id = $1;"
+      "REQUIRE $bal >= $3;"
+      "UPDATE accounts SET balance = balance - $3 WHERE id = $1;"
+      "UPDATE accounts SET balance = balance + $3 WHERE id = $2";
+  ASSERT_TRUE(registry_.RegisterProcedure(p).ok());
+
+  // Sufficient funds: commits.
+  EXPECT_TRUE(RunAs("alice", PrincipalRole::kClient, "transfer",
+                    {Value::Int(1), Value::Int(2), Value::Int(40)})
+                  .ok());
+  auto bal1 = Scalar("SELECT balance FROM accounts WHERE id = 1");
+  ASSERT_TRUE(bal1.ok());
+  EXPECT_EQ(bal1.value().AsInt(), 60);
+
+  // Insufficient funds: REQUIRE aborts the transaction, balances unchanged.
+  Status st = RunAs("alice", PrincipalRole::kClient, "transfer",
+                    {Value::Int(1), Value::Int(2), Value::Int(1000)});
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  auto bal2 = Scalar("SELECT balance FROM accounts WHERE id = 1");
+  EXPECT_EQ(bal2.value().AsInt(), 60);
+}
+
+TEST_F(ContractFixture, ProcedureArityIsChecked) {
+  SqlProcedure p;
+  p.name = "one_arg";
+  p.num_params = 1;
+  p.body = "SELECT $1";
+  ASSERT_TRUE(registry_.RegisterProcedure(p).ok());
+  EXPECT_FALSE(RunAs("alice", PrincipalRole::kClient, "one_arg", {}).ok());
+  EXPECT_FALSE(RunAs("alice", PrincipalRole::kClient, "one_arg",
+                     {Value::Int(1), Value::Int(2)})
+                   .ok());
+}
+
+TEST_F(ContractFixture, ScalarExpressionAssignment) {
+  SqlProcedure p;
+  p.name = "calc";
+  p.num_params = 2;
+  p.body = "total := $1 + $2; REQUIRE $total = 7; SELECT $total";
+  ASSERT_TRUE(registry_.RegisterProcedure(p).ok());
+  EXPECT_TRUE(RunAs("alice", PrincipalRole::kClient, "calc",
+                    {Value::Int(3), Value::Int(4)})
+                  .ok());
+  EXPECT_EQ(RunAs("alice", PrincipalRole::kClient, "calc",
+                  {Value::Int(3), Value::Int(5)})
+                .code(),
+            StatusCode::kAborted);
+}
+
+// ---------- registry ----------
+
+TEST_F(ContractFixture, RegistryLifecycle) {
+  EXPECT_TRUE(registry_.Has("create_deployTx"));  // system contract
+  EXPECT_FALSE(registry_.Has("nope"));
+
+  SqlProcedure p;
+  p.name = "thing";
+  p.num_params = 0;
+  p.body = "SELECT 1";
+  ASSERT_TRUE(registry_.RegisterProcedure(p).ok());
+  EXPECT_TRUE(registry_.Has("thing"));
+
+  // Replace is allowed for procedures, not for system names.
+  p.body = "SELECT 2";
+  EXPECT_TRUE(registry_.RegisterProcedure(p).ok());
+  p.name = "create_deployTx";
+  EXPECT_EQ(registry_.RegisterProcedure(p).code(),
+            StatusCode::kAlreadyExists);
+
+  EXPECT_TRUE(registry_.DropProcedure("thing").ok());
+  EXPECT_FALSE(registry_.Has("thing"));
+  EXPECT_EQ(registry_.DropProcedure("thing").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ContractFixture, InvokeUnknownContractFails) {
+  EXPECT_EQ(
+      RunAs("alice", PrincipalRole::kClient, "missing_contract", {}).code(),
+      StatusCode::kNotFound);
+}
+
+// ---------- deployment SQL parsing ----------
+
+TEST(DeploymentSqlTest, ParsesCreateProcedure) {
+  auto r = ParseDeploymentSql(
+      "CREATE PROCEDURE pay(2) AS UPDATE t SET v = $2 WHERE id = $1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().kind, DeploymentSql::Kind::kCreateProcedure);
+  EXPECT_EQ(r.value().name, "pay");
+  EXPECT_EQ(r.value().num_params, 2);
+  EXPECT_EQ(r.value().body, "UPDATE t SET v = $2 WHERE id = $1");
+}
+
+TEST(DeploymentSqlTest, ParsesDropProcedureAndDdl) {
+  auto drop = ParseDeploymentSql("DROP PROCEDURE pay");
+  ASSERT_TRUE(drop.ok());
+  EXPECT_EQ(drop.value().kind, DeploymentSql::Kind::kDropProcedure);
+  EXPECT_EQ(drop.value().name, "pay");
+
+  auto ddl = ParseDeploymentSql("CREATE TABLE t (id INT PRIMARY KEY)");
+  ASSERT_TRUE(ddl.ok());
+  EXPECT_EQ(ddl.value().kind, DeploymentSql::Kind::kDdl);
+}
+
+TEST(DeploymentSqlTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseDeploymentSql("CREATE PROCEDURE noparen AS SELECT 1").ok());
+  EXPECT_FALSE(ParseDeploymentSql("CREATE PROCEDURE p(x) AS SELECT 1").ok());
+  EXPECT_FALSE(ParseDeploymentSql("DROP PROCEDURE").ok());
+  EXPECT_FALSE(ParseDeploymentSql("SELECT 1").ok());  // not deployable
+}
+
+// ---------- system contracts ----------
+
+TEST_F(ContractFixture, DeploymentGovernanceRequiresAllOrgs) {
+  SeedAdmin("admin1", "org1");
+  SeedAdmin("admin2", "org2");
+
+  // Propose as org1 admin (implicitly approves).
+  ASSERT_TRUE(RunAs("admin1", PrincipalRole::kAdmin, "create_deployTx",
+                    {Value::Text("CREATE TABLE t (id INT PRIMARY KEY)")})
+                  .ok());
+  auto id = Scalar("SELECT MAX(deploy_id) FROM pgdeploy");
+  ASSERT_TRUE(id.ok());
+
+  // Submitting before org2 approves must fail.
+  Status early = RunAs("admin1", PrincipalRole::kAdmin, "submit_deployTx",
+                       {id.value()});
+  EXPECT_EQ(early.code(), StatusCode::kPermissionDenied);
+
+  // org2 approves; submit succeeds and executes the DDL.
+  ASSERT_TRUE(RunAs("admin2", PrincipalRole::kAdmin, "approve_deployTx",
+                    {id.value()})
+                  .ok());
+  ASSERT_TRUE(RunAs("admin1", PrincipalRole::kAdmin, "submit_deployTx",
+                    {id.value()})
+                  .ok());
+  EXPECT_TRUE(db_.GetTable("t").ok());
+  auto status = Scalar("SELECT status FROM pgdeploy WHERE deploy_id = $1",
+                       {id.value()});
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().AsText(), "deployed");
+}
+
+TEST_F(ContractFixture, RejectedDeploymentCannotBeSubmitted) {
+  SeedAdmin("admin1", "org1");
+  ASSERT_TRUE(RunAs("admin1", PrincipalRole::kAdmin, "create_deployTx",
+                    {Value::Text("CREATE TABLE t2 (id INT PRIMARY KEY)")})
+                  .ok());
+  auto id = Scalar("SELECT MAX(deploy_id) FROM pgdeploy");
+  ASSERT_TRUE(RunAs("admin1", PrincipalRole::kAdmin, "reject_deployTx",
+                    {id.value(), Value::Text("needs work")})
+                  .ok());
+  Status st = RunAs("admin1", PrincipalRole::kAdmin, "submit_deployTx",
+                    {id.value()});
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  EXPECT_FALSE(db_.GetTable("t2").ok());
+}
+
+TEST_F(ContractFixture, CommentsAccumulate) {
+  SeedAdmin("admin1", "org1");
+  ASSERT_TRUE(RunAs("admin1", PrincipalRole::kAdmin, "create_deployTx",
+                    {Value::Text("CREATE TABLE t3 (id INT PRIMARY KEY)")})
+                  .ok());
+  auto id = Scalar("SELECT MAX(deploy_id) FROM pgdeploy");
+  ASSERT_TRUE(RunAs("admin1", PrincipalRole::kAdmin, "comment_deployTx",
+                    {id.value(), Value::Text("please add an index")})
+                  .ok());
+  auto comments = Scalar("SELECT comments FROM pgdeploy WHERE deploy_id = $1",
+                         {id.value()});
+  ASSERT_TRUE(comments.ok());
+  EXPECT_NE(comments.value().AsText().find("please add an index"),
+            std::string::npos);
+}
+
+TEST_F(ContractFixture, NonAdminCannotUseSystemContracts) {
+  Status st = RunAs("mallory", PrincipalRole::kClient, "create_deployTx",
+                    {Value::Text("CREATE TABLE evil (id INT PRIMARY KEY)")});
+  EXPECT_EQ(st.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(RunAs("mallory", PrincipalRole::kClient, "create_user",
+                  {Value::Text("sock"), Value::Text("org1"),
+                   Value::Text("client"), Value::Int(1)})
+                .code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(ContractFixture, UserManagementLifecycle) {
+  SeedAdmin("admin1", "org1");
+  ASSERT_TRUE(RunAs("admin1", PrincipalRole::kAdmin, "create_user",
+                    {Value::Text("bob"), Value::Text("org1"),
+                     Value::Text("client"), Value::Int(424242)})
+                  .ok());
+  auto key = Scalar("SELECT pubkey FROM pgcerts WHERE username = 'bob'");
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key.value().AsInt(), 424242);
+
+  ASSERT_TRUE(RunAs("admin1", PrincipalRole::kAdmin, "update_user",
+                    {Value::Text("bob"), Value::Int(777)})
+                  .ok());
+  key = Scalar("SELECT pubkey FROM pgcerts WHERE username = 'bob'");
+  EXPECT_EQ(key.value().AsInt(), 777);
+
+  ASSERT_TRUE(RunAs("admin1", PrincipalRole::kAdmin, "delete_user",
+                    {Value::Text("bob")})
+                  .ok());
+  auto count = Scalar("SELECT COUNT(*) FROM pgcerts WHERE username = 'bob'");
+  EXPECT_EQ(count.value().AsInt(), 0);
+
+  // Deleting again fails.
+  EXPECT_EQ(RunAs("admin1", PrincipalRole::kAdmin, "delete_user",
+                  {Value::Text("bob")})
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ContractFixture, DeployedProcedureViaGovernanceIsInvokable) {
+  SeedAdmin("admin1", "org1");
+  // Table first.
+  ASSERT_TRUE(RunAs("admin1", PrincipalRole::kAdmin, "create_deployTx",
+                    {Value::Text("CREATE TABLE counters "
+                                 "(id INT PRIMARY KEY, n INT)")})
+                  .ok());
+  auto id1 = Scalar("SELECT MAX(deploy_id) FROM pgdeploy");
+  ASSERT_TRUE(RunAs("admin1", PrincipalRole::kAdmin, "submit_deployTx",
+                    {id1.value()})
+                  .ok());
+  // Then the procedure.
+  ASSERT_TRUE(
+      RunAs("admin1", PrincipalRole::kAdmin, "create_deployTx",
+            {Value::Text("CREATE PROCEDURE bump(1) AS "
+                         "INSERT INTO counters VALUES ($1, 1)")})
+          .ok());
+  auto id2 = Scalar("SELECT MAX(deploy_id) FROM pgdeploy");
+  ASSERT_TRUE(RunAs("admin1", PrincipalRole::kAdmin, "submit_deployTx",
+                    {id2.value()})
+                  .ok());
+  EXPECT_TRUE(registry_.Has("bump"));
+  EXPECT_TRUE(
+      RunAs("alice", PrincipalRole::kClient, "bump", {Value::Int(5)}).ok());
+  auto n = Scalar("SELECT n FROM counters WHERE id = 5");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value().AsInt(), 1);
+}
+
+}  // namespace
+}  // namespace brdb

@@ -1,0 +1,201 @@
+// Unit tests for src/crypto: SHA-256 against FIPS vectors, HMAC against RFC
+// 4231 vectors, Merkle proofs, Schnorr sign/verify, identity registry.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "crypto/identity.h"
+#include "crypto/merkle.h"
+#include "crypto/schnorr.h"
+#include "crypto/sha256.h"
+
+namespace brdb {
+namespace {
+
+TEST(Sha256Test, FipsVectors) {
+  // FIPS 180-4 / NIST test vectors.
+  EXPECT_EQ(Sha256::HashHex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256::HashHex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(Sha256::HashHex(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 ctx;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.Update(chunk);
+  EXPECT_EQ(HexEncode(ctx.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 ctx;
+    ctx.Update(msg.substr(0, split));
+    ctx.Update(msg.substr(split));
+    EXPECT_EQ(ctx.Finish(), Sha256::Hash(msg)) << "split=" << split;
+  }
+}
+
+TEST(HmacTest, Rfc4231Vector1) {
+  std::string key(20, '\x0b');
+  EXPECT_EQ(HexEncode(HmacSha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Vector2) {
+  EXPECT_EQ(
+      HexEncode(HmacSha256("Jefe", "what do ya want for nothing?")),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  std::string key(131, '\xaa');  // RFC 4231 test case 6
+  EXPECT_EQ(HexEncode(HmacSha256(
+                key, "Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(MerkleTest, SingleLeafRootVerifies) {
+  MerkleTree tree({"only"});
+  auto proof = tree.Prove(0);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(MerkleTree::Verify("only", proof.value(), tree.Root()));
+}
+
+TEST(MerkleTest, ProofsVerifyForAllLeavesAllSizes) {
+  for (size_t n = 1; n <= 9; ++n) {
+    std::vector<std::string> leaves;
+    for (size_t i = 0; i < n; ++i) leaves.push_back("leaf-" + std::to_string(i));
+    MerkleTree tree(leaves);
+    for (size_t i = 0; i < n; ++i) {
+      auto proof = tree.Prove(i);
+      ASSERT_TRUE(proof.ok()) << n << "/" << i;
+      EXPECT_TRUE(MerkleTree::Verify(leaves[i], proof.value(), tree.Root()))
+          << n << "/" << i;
+      EXPECT_FALSE(
+          MerkleTree::Verify("tampered", proof.value(), tree.Root()))
+          << n << "/" << i;
+    }
+  }
+}
+
+TEST(MerkleTest, RootChangesWithAnyLeaf) {
+  MerkleTree a({"x", "y", "z"});
+  MerkleTree b({"x", "y", "w"});
+  MerkleTree c({"x", "y"});
+  EXPECT_NE(a.Root(), b.Root());
+  EXPECT_NE(a.Root(), c.Root());
+}
+
+TEST(MerkleTest, ProofIndexOutOfRangeFails) {
+  MerkleTree tree({"a", "b"});
+  EXPECT_FALSE(tree.Prove(2).ok());
+}
+
+TEST(MerkleTest, LeafInnerDomainSeparation) {
+  // A forged "leaf" equal to the concatenated child digests must not verify
+  // at a shorter depth.
+  MerkleTree tree({"a", "b", "c", "d"});
+  auto proof = tree.Prove(0);
+  ASSERT_TRUE(proof.ok());
+  MerkleProof short_proof(proof.value().begin() + 1, proof.value().end());
+  EXPECT_FALSE(MerkleTree::Verify("a", short_proof, tree.Root()));
+}
+
+TEST(SchnorrTest, SignVerifyRoundTrip) {
+  KeyPair kp = Schnorr::DeriveKeyPair("alice");
+  Signature sig = Schnorr::Sign(kp, "hello");
+  EXPECT_TRUE(Schnorr::Verify(kp.public_key, "hello", sig));
+}
+
+TEST(SchnorrTest, RejectsWrongMessage) {
+  KeyPair kp = Schnorr::DeriveKeyPair("alice");
+  Signature sig = Schnorr::Sign(kp, "hello");
+  EXPECT_FALSE(Schnorr::Verify(kp.public_key, "hellp", sig));
+}
+
+TEST(SchnorrTest, RejectsWrongKey) {
+  KeyPair alice = Schnorr::DeriveKeyPair("alice");
+  KeyPair bob = Schnorr::DeriveKeyPair("bob");
+  Signature sig = Schnorr::Sign(alice, "hello");
+  EXPECT_FALSE(Schnorr::Verify(bob.public_key, "hello", sig));
+}
+
+TEST(SchnorrTest, DeterministicSignatures) {
+  KeyPair kp = Schnorr::DeriveKeyPair("carol");
+  EXPECT_EQ(Schnorr::Sign(kp, "msg"), Schnorr::Sign(kp, "msg"));
+}
+
+TEST(SchnorrTest, SerializationRoundTrip) {
+  KeyPair kp = Schnorr::DeriveKeyPair("dave");
+  Signature sig = Schnorr::Sign(kp, "payload");
+  auto back = Signature::Deserialize(sig.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), sig);
+  EXPECT_FALSE(Signature::Deserialize("nothex").ok());
+  EXPECT_FALSE(Signature::Deserialize("abcd").ok());  // wrong length
+}
+
+TEST(SchnorrTest, ManyUsersVerifyOnlyOwnSignatures) {
+  for (int i = 0; i < 20; ++i) {
+    KeyPair kp = Schnorr::DeriveKeyPair("user" + std::to_string(i));
+    std::string msg = "tx-" + std::to_string(i);
+    Signature sig = Schnorr::Sign(kp, msg);
+    EXPECT_TRUE(Schnorr::Verify(kp.public_key, msg, sig));
+    KeyPair other = Schnorr::DeriveKeyPair("user" + std::to_string(i + 1));
+    EXPECT_FALSE(Schnorr::Verify(other.public_key, msg, sig));
+  }
+}
+
+TEST(IdentityTest, CreateIsDeterministic) {
+  Identity a = Identity::Create("org1", "alice", PrincipalRole::kClient);
+  Identity b = Identity::Create("org1", "alice", PrincipalRole::kClient);
+  EXPECT_EQ(a.keys.public_key, b.keys.public_key);
+  // Same name under a different role yields different keys.
+  Identity c = Identity::Create("org1", "alice", PrincipalRole::kAdmin);
+  EXPECT_NE(a.keys.public_key, c.keys.public_key);
+}
+
+TEST(CertificateRegistryTest, RegisterLookupVerify) {
+  CertificateRegistry reg;
+  Identity alice = Identity::Create("org1", "alice", PrincipalRole::kClient);
+  reg.Register(alice.name, alice.organization, alice.role,
+               alice.keys.public_key);
+  ASSERT_TRUE(reg.PublicKeyOf("alice").ok());
+  EXPECT_EQ(reg.PublicKeyOf("alice").value(), alice.keys.public_key);
+  EXPECT_FALSE(reg.PublicKeyOf("mallory").ok());
+
+  Signature sig = alice.Sign("msg");
+  EXPECT_TRUE(reg.VerifySignature("alice", "msg", sig).ok());
+  EXPECT_EQ(reg.VerifySignature("alice", "other", sig).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(reg.VerifySignature("mallory", "msg", sig).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CertificateRegistryTest, RemoveUser) {
+  CertificateRegistry reg;
+  Identity alice = Identity::Create("org1", "alice", PrincipalRole::kClient);
+  reg.Register(alice.name, alice.organization, alice.role,
+               alice.keys.public_key);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_TRUE(reg.Remove("alice").ok());
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_FALSE(reg.Remove("alice").ok());
+}
+
+TEST(CertificateRegistryTest, RoleAndOrgLookup) {
+  CertificateRegistry reg;
+  reg.Register("admin1", "org2", PrincipalRole::kAdmin, 12345);
+  ASSERT_TRUE(reg.RoleOf("admin1").ok());
+  EXPECT_EQ(reg.RoleOf("admin1").value(), PrincipalRole::kAdmin);
+  ASSERT_TRUE(reg.OrganizationOf("admin1").ok());
+  EXPECT_EQ(reg.OrganizationOf("admin1").value(), "org2");
+}
+
+}  // namespace
+}  // namespace brdb

@@ -1,0 +1,124 @@
+// Robustness sweeps for everything that parses untrusted bytes: a byzantine
+// peer or orderer can send arbitrary garbage, so Value/Transaction/Block/
+// vote decoding and the SQL front end must fail cleanly (error Status),
+// never crash, on random input, random truncations and random single-byte
+// corruptions of valid encodings.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sql/parser.h"
+#include "wire/block.h"
+#include "wire/transaction.h"
+
+namespace brdb {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  size_t len = rng->Uniform(max_len);
+  std::string out(len, '\0');
+  for (char& c : out) c = static_cast<char>(rng->Uniform(256));
+  return out;
+}
+
+Transaction SampleTransaction(Rng* rng) {
+  Identity client = Identity::Create("org1", "fuzz", PrincipalRole::kClient);
+  std::vector<Value> args;
+  for (size_t i = 0; i < rng->Uniform(4); ++i) {
+    switch (rng->Uniform(4)) {
+      case 0: args.push_back(Value::Int(static_cast<int64_t>(rng->Next()))); break;
+      case 1: args.push_back(Value::Double(rng->NextDouble())); break;
+      case 2: args.push_back(Value::Text(RandomBytes(rng, 32))); break;
+      default: args.push_back(Value::Null()); break;
+    }
+  }
+  if (rng->Uniform(2) == 0) {
+    return Transaction::MakeOrderThenExecute(
+        client, "tx-" + std::to_string(rng->Next()), "contract", args);
+  }
+  return Transaction::MakeExecuteOrderParallel(client, "contract", args,
+                                               rng->Uniform(100));
+}
+
+class DecodeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecodeFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    std::string garbage = RandomBytes(&rng, 256);
+    size_t off = 0;
+    (void)Value::DecodeFrom(garbage, &off);
+    (void)Transaction::Decode(garbage);
+    (void)Block::Decode(garbage);
+    (void)DecodeCheckpointVote(garbage);
+  }
+  SUCCEED();
+}
+
+TEST_P(DecodeFuzz, TruncationsOfValidEncodingsFailCleanly) {
+  Rng rng(GetParam());
+  Transaction tx = SampleTransaction(&rng);
+  std::string bytes = tx.Encode();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto r = Transaction::Decode(bytes.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+
+  std::vector<Transaction> txns;
+  for (int i = 0; i < 3; ++i) txns.push_back(SampleTransaction(&rng));
+  Block b(1, "prev", std::move(txns), "meta", {});
+  std::string block_bytes = b.Encode();
+  // Sample truncation points (full sweep is quadratic in block size).
+  for (int i = 0; i < 100; ++i) {
+    size_t cut = rng.Uniform(block_bytes.size());
+    auto r = Block::Decode(block_bytes.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+}
+
+TEST_P(DecodeFuzz, BitFlipsAreDetectedOrDecodeDifferently) {
+  Rng rng(GetParam());
+  Transaction tx = SampleTransaction(&rng);
+  std::string bytes = tx.Encode();
+  CertificateRegistry reg;
+  Identity client = Identity::Create("org1", "fuzz", PrincipalRole::kClient);
+  reg.Register(client.name, client.organization, client.role,
+               client.keys.public_key);
+  ASSERT_TRUE(tx.Authenticate(reg).ok());
+
+  for (int i = 0; i < 64; ++i) {
+    std::string mutated = bytes;
+    size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << rng.Uniform(8)));
+    auto r = Transaction::Decode(mutated);
+    if (!r.ok()) continue;  // structurally invalid: fine
+    // Structurally valid mutants must fail authentication unless the flip
+    // landed in a byte that does not participate in the signed payload
+    // (the id text itself is covered, so any payload change is caught).
+    if (r.value().Encode() == bytes) continue;  // decoded back identically
+    EXPECT_FALSE(r.value().Authenticate(reg).ok()) << "pos=" << pos;
+  }
+}
+
+TEST_P(DecodeFuzz, SqlParserNeverCrashesOnGarbage) {
+  Rng rng(GetParam());
+  const char* fragments[] = {"SELECT", "FROM",  "WHERE", "(",     ")",
+                             ",",      "'str",  "1.2.3", "$",     "JOIN",
+                             "GROUP",  "ORDER", "BY",    "LIMIT", "*",
+                             "= =",    "<>",    "--",    ";",     "NULL"};
+  for (int i = 0; i < 300; ++i) {
+    std::string sql;
+    for (size_t j = 0; j < rng.Uniform(12); ++j) {
+      sql += fragments[rng.Uniform(sizeof(fragments) / sizeof(char*))];
+      sql += " ";
+    }
+    (void)sql::Parse(sql);
+    (void)sql::Parse(RandomBytes(&rng, 64));
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecodeFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace brdb

@@ -1,0 +1,197 @@
+// Unit tests for src/ledger: block store chaining/persistence/tamper
+// detection and the checkpoint manager's divergence detection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "crypto/identity.h"
+#include "ledger/block_store.h"
+#include "ledger/checkpoint.h"
+
+namespace brdb {
+namespace {
+
+Identity Orderer() {
+  return Identity::Create("org1", "orderer1", PrincipalRole::kOrderer);
+}
+
+Block MakeBlock(BlockNum n, const std::string& prev, int ntx) {
+  Identity client = Identity::Create("org1", "alice", PrincipalRole::kClient);
+  std::vector<Transaction> txns;
+  for (int i = 0; i < ntx; ++i) {
+    txns.push_back(Transaction::MakeOrderThenExecute(
+        client, "tx-" + std::to_string(n) + "-" + std::to_string(i), "c",
+        {Value::Int(i)}));
+  }
+  Block b(n, prev, std::move(txns), "test", {});
+  Identity orderer = Orderer();
+  b.AddOrdererSignature(orderer);
+  return b;
+}
+
+TEST(BlockStoreTest, AppendEnforcesChaining) {
+  BlockStore store;
+  EXPECT_EQ(store.Height(), 0u);
+  Block b1 = MakeBlock(1, "", 2);
+  ASSERT_TRUE(store.Append(b1).ok());
+  EXPECT_EQ(store.Height(), 1u);
+  EXPECT_EQ(store.LatestHash(), b1.hash());
+
+  // Wrong sequence number.
+  EXPECT_FALSE(store.Append(MakeBlock(3, b1.hash(), 1)).ok());
+  // Wrong prev hash.
+  EXPECT_FALSE(store.Append(MakeBlock(2, "bogus", 1)).ok());
+  // Correct.
+  EXPECT_TRUE(store.Append(MakeBlock(2, b1.hash(), 1)).ok());
+  EXPECT_TRUE(store.VerifyChain().ok());
+}
+
+TEST(BlockStoreTest, GetByNumber) {
+  BlockStore store;
+  Block b1 = MakeBlock(1, "", 1);
+  ASSERT_TRUE(store.Append(b1).ok());
+  auto got = store.Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().hash(), b1.hash());
+  EXPECT_FALSE(store.Get(0).ok());
+  EXPECT_FALSE(store.Get(2).ok());
+}
+
+TEST(BlockStoreTest, PersistsAndReloads) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "brdb_store_test.blocks")
+          .string();
+  std::remove(path.c_str());
+
+  Block b1 = MakeBlock(1, "", 2);
+  Block b2 = MakeBlock(2, b1.hash(), 3);
+  {
+    auto store = BlockStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Append(b1).ok());
+    ASSERT_TRUE(store.value()->Append(b2).ok());
+  }
+  auto reopened = BlockStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->Height(), 2u);
+  EXPECT_EQ(reopened.value()->LatestHash(), b2.hash());
+  EXPECT_TRUE(reopened.value()->VerifyChain().ok());
+  std::remove(path.c_str());
+}
+
+TEST(BlockStoreTest, TamperedFileIsDetectedOnLoad) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "brdb_tamper_test.blocks")
+          .string();
+  std::remove(path.c_str());
+  {
+    auto store = BlockStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Append(MakeBlock(1, "", 2)).ok());
+  }
+  // Flip a byte in the middle of the file (§3.5(6)).
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 60, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, 60, SEEK_SET);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  auto reopened = BlockStore::Open(path);
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(BlockStoreTest, TruncatedFileIsDetected) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "brdb_trunc_test.blocks")
+          .string();
+  std::remove(path.c_str());
+  {
+    auto store = BlockStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Append(MakeBlock(1, "", 2)).ok());
+  }
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 10);
+  auto reopened = BlockStore::Open(path);
+  EXPECT_FALSE(reopened.ok());
+  std::remove(path.c_str());
+}
+
+// ---------- checkpoints ----------
+
+TEST(CheckpointTest, WriteSetHashIsDeterministicAndSensitive) {
+  std::vector<std::string> ws = {"tx1-writes", "tx2-writes"};
+  std::string h1 = CheckpointManager::ComputeWriteSetHash(5, ws);
+  std::string h2 = CheckpointManager::ComputeWriteSetHash(5, ws);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, CheckpointManager::ComputeWriteSetHash(6, ws));
+  EXPECT_NE(h1, CheckpointManager::ComputeWriteSetHash(
+                    5, {"tx1-writes", "tx2-writes-changed"}));
+  EXPECT_NE(h1, CheckpointManager::ComputeWriteSetHash(5, {"tx1-writes"}));
+}
+
+TEST(CheckpointTest, MatchingVotesAgree) {
+  CheckpointManager mgr("peer1");
+  mgr.RecordLocal(1, "hash-a");
+  CheckpointVote v;
+  v.peer = "peer2";
+  v.block = 1;
+  v.write_set_hash = "hash-a";
+  EXPECT_FALSE(mgr.ObserveVote(v).has_value());
+  EXPECT_EQ(mgr.MatchCount(1), 1u);
+  EXPECT_TRUE(mgr.Divergences().empty());
+}
+
+TEST(CheckpointTest, DivergentVoteIsFlagged) {
+  CheckpointManager mgr("peer1");
+  mgr.RecordLocal(1, "hash-a");
+  CheckpointVote v;
+  v.peer = "peer-evil";
+  v.block = 1;
+  v.write_set_hash = "hash-b";
+  auto d = mgr.ObserveVote(v);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->peer, "peer-evil");
+  EXPECT_EQ(d->their_hash, "hash-b");
+  EXPECT_EQ(d->our_hash, "hash-a");
+  EXPECT_EQ(mgr.Divergences().size(), 1u);
+}
+
+TEST(CheckpointTest, VoteArrivingBeforeLocalCommitIsReconciled) {
+  CheckpointManager mgr("peer1");
+  CheckpointVote v;
+  v.peer = "peer2";
+  v.block = 3;
+  v.write_set_hash = "hash-x";
+  EXPECT_FALSE(mgr.ObserveVote(v).has_value());  // nothing local yet
+  mgr.RecordLocal(3, "hash-y");                  // now compares
+  EXPECT_EQ(mgr.Divergences().size(), 1u);
+}
+
+TEST(CheckpointTest, OwnVotesIgnored) {
+  CheckpointManager mgr("peer1");
+  mgr.RecordLocal(1, "hash-a");
+  CheckpointVote v;
+  v.peer = "peer1";
+  v.block = 1;
+  v.write_set_hash = "different";
+  EXPECT_FALSE(mgr.ObserveVote(v).has_value());
+  EXPECT_TRUE(mgr.Divergences().empty());
+}
+
+TEST(CheckpointTest, IntervalGatesVoteSubmission) {
+  CheckpointManager mgr("peer1", /*interval=*/3);
+  EXPECT_FALSE(mgr.RecordLocal(1, "h1"));
+  EXPECT_FALSE(mgr.RecordLocal(2, "h2"));
+  EXPECT_TRUE(mgr.RecordLocal(3, "h3"));
+  EXPECT_FALSE(mgr.RecordLocal(4, "h4"));
+  EXPECT_TRUE(mgr.RecordLocal(6, "h6"));
+}
+
+}  // namespace
+}  // namespace brdb

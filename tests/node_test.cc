@@ -1,0 +1,278 @@
+// Node-level tests: private (non-blockchain) schema, vacuum, query access
+// control, EOP snapshot-height edge cases, gap-filling retransmission, and
+// contract-replacement semantics.
+#include <gtest/gtest.h>
+
+#include "core/blockchain_network.h"
+
+namespace brdb {
+namespace {
+
+NetworkOptions FastOptions(TransactionFlow flow) {
+  NetworkOptions opts;
+  opts.flow = flow;
+  opts.orderer_type = OrdererType::kKafka;
+  opts.orderer_config.block_size = 10;
+  opts.orderer_config.block_timeout_us = 20000;
+  opts.profile = NetworkProfile::Instant();
+  opts.executor_threads = 4;
+  return opts;
+}
+
+Status RegisterPut(BlockchainNetwork* net) {
+  return net->RegisterNativeContract(
+      "put", [](ContractContext* ctx) -> Status {
+        auto r = ctx->Execute("INSERT INTO kv VALUES ($1, $2)", ctx->args());
+        return r.ok() ? Status::OK() : r.status();
+      });
+}
+
+class NodeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = BlockchainNetwork::Create(
+        FastOptions(TransactionFlow::kOrderThenExecute));
+    ASSERT_TRUE(RegisterPut(net_.get()).ok());
+    ASSERT_TRUE(net_->Start().ok());
+    ASSERT_TRUE(
+        net_->DeployContract("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+            .ok());
+    alice_ = net_->CreateClient("org1", "alice");
+  }
+
+  void Put(int k, int v) {
+    auto t = alice_->Invoke("put", {Value::Int(k), Value::Int(v)});
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(alice_->WaitForDecisionOnAllNodes(t.value()).ok());
+  }
+
+  std::unique_ptr<BlockchainNetwork> net_;
+  Client* alice_ = nullptr;
+};
+
+// ---------- private (non-blockchain) schema, §3.7 ----------
+
+TEST_F(NodeFixture, PrivateTablesAreLocalToOneNode) {
+  DatabaseNode* n0 = net_->node(0);
+  ASSERT_TRUE(n0->LocalExecute("alice",
+                               "CREATE TABLE notes (id INT PRIMARY KEY, "
+                               "txt TEXT)")
+                  .ok());
+  ASSERT_TRUE(
+      n0->LocalExecute("alice", "INSERT INTO notes VALUES (1, 'draft')")
+          .ok());
+  auto r = n0->LocalExecute("alice", "SELECT COUNT(*) FROM notes");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Scalar().value().AsInt(), 1);
+  // The other organizations' nodes have no such table.
+  EXPECT_FALSE(net_->node(1)->Query("alice", "SELECT * FROM notes").ok());
+}
+
+TEST_F(NodeFixture, PrivateDmlCannotTouchBlockchainTables) {
+  DatabaseNode* n0 = net_->node(0);
+  Put(1, 100);
+  EXPECT_EQ(n0->LocalExecute("alice", "INSERT INTO kv VALUES (9, 9)")
+                .status()
+                .code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(
+      n0->LocalExecute("alice", "UPDATE kv SET v = 0 WHERE k = 1")
+          .status()
+          .code(),
+      StatusCode::kPermissionDenied);
+  EXPECT_EQ(n0->LocalExecute("alice", "DROP TABLE kv").status().code(),
+            StatusCode::kPermissionDenied);
+  // System tables are equally off limits.
+  EXPECT_FALSE(
+      n0->LocalExecute("alice", "DELETE FROM pgcerts WHERE pubkey = 0").ok());
+}
+
+TEST_F(NodeFixture, ReportsJoinPrivateAndBlockchainData) {
+  // The paper: "Users of an organization can execute reports or analytical
+  // queries combining the blockchain and non-blockchain schema."
+  Put(1, 100);
+  Put(2, 200);
+  DatabaseNode* n0 = net_->node(0);
+  ASSERT_TRUE(n0->LocalExecute("alice",
+                               "CREATE TABLE labels (k INT PRIMARY KEY, "
+                               "label TEXT)")
+                  .ok());
+  ASSERT_TRUE(n0->LocalExecute(
+                    "alice", "INSERT INTO labels VALUES (1, 'important')")
+                  .ok());
+  auto r = n0->LocalExecute(
+      "alice",
+      "SELECT kv.k, kv.v, l.label FROM kv JOIN labels l ON kv.k = l.k");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][1].AsInt(), 100);
+  EXPECT_EQ(r.value().rows[0][2].AsText(), "important");
+}
+
+TEST_F(NodeFixture, LocalExecuteRequiresKnownUser) {
+  EXPECT_EQ(
+      net_->node(0)->LocalExecute("ghost", "SELECT 1").status().code(),
+      StatusCode::kPermissionDenied);
+}
+
+// ---------- vacuum (§7) ----------
+
+TEST_F(NodeFixture, VacuumPrunesDeadVersionsButKeepsLiveState) {
+  ASSERT_TRUE(net_->RegisterNativeContract(
+                      "bump",
+                      [](ContractContext* ctx) -> Status {
+                        auto r = ctx->Execute(
+                            "UPDATE kv SET v = v + 1 WHERE k = $1",
+                            ctx->args());
+                        return r.ok() ? Status::OK() : r.status();
+                      })
+                  .ok());
+  Put(1, 0);
+  for (int i = 0; i < 5; ++i) {
+    auto t = alice_->Invoke("bump", {Value::Int(1)});
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(alice_->WaitForDecisionOnAllNodes(t.value()).ok());
+  }
+  DatabaseNode* n0 = net_->node(0);
+  // Provenance sees all six versions before vacuum.
+  auto before = n0->ProvenanceQuery(
+      "alice", "SELECT COUNT(*) FROM kv WHERE k = 1");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().Scalar().value().AsInt(), 6);
+
+  size_t removed = n0->Vacuum(n0->Height());
+  EXPECT_GE(removed, 5u);
+
+  // Live state intact; history pruned.
+  auto live = n0->Query("alice", "SELECT v FROM kv WHERE k = 1");
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live.value().Scalar().value().AsInt(), 5);
+  auto after = n0->ProvenanceQuery(
+      "alice", "SELECT COUNT(*) FROM kv WHERE k = 1");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().Scalar().value().AsInt(), 1);
+}
+
+// ---------- query access control ----------
+
+TEST_F(NodeFixture, QueriesRequireRegisteredUsersAndSelectOnly) {
+  Put(1, 1);
+  EXPECT_EQ(
+      net_->node(0)->Query("ghost", "SELECT * FROM kv").status().code(),
+      StatusCode::kPermissionDenied);
+  // Individual DML must go through smart contracts (§3.7).
+  EXPECT_EQ(net_->node(0)
+                ->Query("alice", "INSERT INTO kv VALUES (5, 5)")
+                .status()
+                .code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(net_->node(0)
+                ->ProvenanceQuery("alice", "DELETE FROM kv")
+                .status()
+                .code(),
+            StatusCode::kPermissionDenied);
+}
+
+// ---------- EOP snapshot-height edge cases ----------
+
+TEST(EopHeightTest, FutureSnapshotHeightAbortsDeterministically) {
+  auto net = BlockchainNetwork::Create(
+      FastOptions(TransactionFlow::kExecuteOrderParallel));
+  ASSERT_TRUE(RegisterPut(net.get()).ok());
+  ASSERT_TRUE(net->Start().ok());
+  ASSERT_TRUE(
+      net->DeployContract("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+          .ok());
+  Client* alice = net->CreateClient("org1", "alice");
+
+  // Forge a transaction claiming a snapshot far in the future: it can
+  // never execute before its own block, so every node must abort it.
+  Identity forger = Identity::Create("org1", "alice", PrincipalRole::kClient);
+  Transaction tx = Transaction::MakeExecuteOrderParallel(
+      forger, "put", {Value::Int(1), Value::Int(1)},
+      /*snapshot_height=*/999999);
+  ASSERT_TRUE(net->ordering()->SubmitTransaction(tx).ok());
+  Status st = alice->WaitForDecisionOnAllNodes(tx.id(), 20000000);
+  EXPECT_FALSE(st.ok());
+  auto statuses = alice->StatusesOf(tx.id());
+  ASSERT_EQ(statuses.size(), net->num_nodes());
+  for (const auto& [node, s] : statuses) {
+    EXPECT_EQ(s.code(), StatusCode::kSerializationFailure) << node;
+  }
+  net->Stop();
+}
+
+// ---------- gap filling (§3.6 retransmission) ----------
+
+TEST(GapFillTest, PartitionedNodeCatchesUpViaOrderingRetransmission) {
+  auto net = BlockchainNetwork::Create(
+      FastOptions(TransactionFlow::kOrderThenExecute));
+  ASSERT_TRUE(RegisterPut(net.get()).ok());
+  ASSERT_TRUE(net->Start().ok());
+  ASSERT_TRUE(
+      net->DeployContract("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+          .ok());
+  Client* alice = net->CreateClient("org1", "alice");
+
+  // Cut node 2 off from orderer block deliveries.
+  std::string victim = net->node(2)->endpoint();
+  net->network()->SetDropFilter([victim](const NetMessage& m) {
+    return m.to == victim && m.type == kMsgBlock;
+  });
+  std::vector<std::string> txids;
+  for (int i = 0; i < 5; ++i) {
+    auto t = alice->Invoke("put", {Value::Int(i), Value::Int(i)});
+    ASSERT_TRUE(t.ok());
+    txids.push_back(t.value());
+  }
+  for (const auto& t : txids) {
+    ASSERT_TRUE(alice->WaitForCommit(t).ok());  // majority commits
+  }
+  // Heal the partition; node 2 pulls missing blocks from the orderer.
+  net->network()->SetDropFilter(nullptr);
+  BlockNum target = net->node(0)->Height();
+  ASSERT_TRUE(net->WaitForHeight(target, 20000000).ok());
+  auto r = net->node(2)->Query("alice", "SELECT COUNT(*) FROM kv");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Scalar().value().AsInt(), 5);
+  net->Stop();
+}
+
+// ---------- contract replacement (§3.7) ----------
+
+TEST(ContractUpdateTest, ReplacedProcedureTakesEffectAfterCommit) {
+  auto net = BlockchainNetwork::Create(
+      FastOptions(TransactionFlow::kOrderThenExecute));
+  ASSERT_TRUE(net->Start().ok());
+  ASSERT_TRUE(
+      net->DeployContract("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+          .ok());
+  ASSERT_TRUE(net->DeployContract("CREATE PROCEDURE put2(1) AS "
+                                  "INSERT INTO kv VALUES ($1, 1)")
+                  .ok());
+  Client* alice = net->CreateClient("org1", "alice");
+  auto t1 = alice->Invoke("put2", {Value::Int(1)});
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(alice->WaitForDecisionOnAllNodes(t1.value()).ok());
+
+  // Replace the contract: now writes v = 2.
+  ASSERT_TRUE(net->DeployContract("CREATE PROCEDURE put2(1) AS "
+                                  "INSERT INTO kv VALUES ($1, 2)")
+                  .ok());
+  auto t2 = alice->Invoke("put2", {Value::Int(5)});
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(alice->WaitForDecisionOnAllNodes(t2.value()).ok());
+  auto r = net->node(0)->Query("alice", "SELECT v FROM kv WHERE k = 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Scalar().value().AsInt(), 2);
+
+  // Dropping it makes further invocations fail.
+  ASSERT_TRUE(net->DeployContract("DROP PROCEDURE put2").ok());
+  auto t3 = alice->Invoke("put2", {Value::Int(6)});
+  ASSERT_TRUE(t3.ok());
+  EXPECT_FALSE(alice->WaitForCommit(t3.value()).ok());
+  net->Stop();
+}
+
+}  // namespace
+}  // namespace brdb

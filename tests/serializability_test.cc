@@ -1,0 +1,179 @@
+// Serializability soundness property tests: the classic write-skew bank
+// invariant. Each transaction reads a pair of account balances, checks a
+// constraint over their SUM, and withdraws from one of them — the textbook
+// anomaly that plain snapshot isolation permits and SSI must prevent.
+// Randomized concurrent batches run under both commit policies; the
+// invariant must hold at the end regardless of interleaving.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "storage/database.h"
+#include "txn/txn_context.h"
+
+namespace brdb {
+namespace {
+
+TableSchema AccountsSchema() {
+  return TableSchema("accounts",
+                     {{"id", ValueType::kInt, true, true, false, false},
+                      {"balance", ValueType::kInt, false, false, false,
+                       false}});
+}
+
+struct Param {
+  uint64_t seed;
+  SsiPolicy policy;
+  int accounts;
+  int batches;
+  int txns_per_batch;
+};
+
+class WriteSkewSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(WriteSkewSweep, PairSumInvariantSurvivesConcurrency) {
+  const Param p = GetParam();
+  Database db;
+  Table* accounts = db.CreateTable(AccountsSchema()).value();
+  TxnManager* mgr = db.txn_manager();
+
+  constexpr int64_t kInitial = 100;
+  {
+    TxnContext seed_ctx(&db, mgr->Begin(Snapshot::AtCsn(0)),
+                        TxnMode::kInternal);
+    for (int i = 0; i < p.accounts; ++i) {
+      ASSERT_TRUE(
+          seed_ctx.Insert(accounts, {Value::Int(i), Value::Int(kInitial)})
+              .ok());
+    }
+    ASSERT_TRUE(seed_ctx.CommitInternal(1).ok());
+  }
+
+  // NOTE: pairs must be disjoint — with overlapping pairs even a serial
+  // execution can drive a pair negative (a withdrawal guarded by pair
+  // (0,5) also affects pair (4,5) that it never checked). Each account
+  // 2k/2k+1 belongs to exactly one pair, which is exactly the textbook
+  // write-skew setup.
+  Rng rng(p.seed);
+  BlockNum block = 2;
+
+  auto read_balance = [&](TxnContext* ctx, int64_t id,
+                          RowId* rid) -> Result<int64_t> {
+    Value k = Value::Int(id);
+    int64_t out = -1;
+    RowId found = kInvalidRowId;
+    Status st = ctx->ScanRange(accounts, 0, &k, true, &k, true,
+                               [&](RowId r, const Row& row) {
+                                 found = r;
+                                 out = row[1].AsInt();
+                                 return true;
+                               });
+    if (!st.ok()) return st;
+    if (found == kInvalidRowId) return Status::NotFound("no account");
+    if (rid != nullptr) *rid = found;
+    return out;
+  };
+
+  for (int b = 0; b < p.batches; ++b) {
+    // Build a batch of withdraw intents: (pair a, pair b, amount, victim).
+    struct Intent {
+      int64_t a, b, amount;
+      bool from_a;
+    };
+    std::vector<Intent> intents;
+    const int num_pairs = p.accounts / 2;
+    for (int i = 0; i < p.txns_per_batch; ++i) {
+      int64_t pair = static_cast<int64_t>(rng.Uniform(num_pairs));
+      intents.push_back({2 * pair, 2 * pair + 1, rng.UniformRange(1, 120),
+                         rng.Uniform(2) == 0});
+    }
+
+    // Execute concurrently (snapshot kind matches the policy under test).
+    std::vector<std::unique_ptr<TxnContext>> ctxs(intents.size());
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < intents.size(); ++i) {
+      Snapshot snap = p.policy == SsiPolicy::kBlockAware
+                          ? Snapshot::AtBlockHeight(block - 1)
+                          : Snapshot::AtCsn(mgr->CurrentCsn());
+      ctxs[i] = std::make_unique<TxnContext>(&db, mgr->Begin(snap),
+                                             TxnMode::kNormal);
+      threads.emplace_back([&, i] {
+        TxnContext* ctx = ctxs[i].get();
+        const Intent& in = intents[i];
+        RowId rid_a = kInvalidRowId, rid_b = kInvalidRowId;
+        auto ba = read_balance(ctx, in.a, &rid_a);
+        auto bb = read_balance(ctx, in.b, &rid_b);
+        if (!ba.ok() || !bb.ok()) {
+          ctx->Abort(Status::Aborted("read failed"));
+          return;
+        }
+        // The constraint a transaction believes it preserves:
+        // balance(a) + balance(b) - amount >= 0.
+        if (ba.value() + bb.value() - in.amount < 0) {
+          ctx->Abort(Status::Aborted("constraint would break"));
+          return;
+        }
+        int64_t victim = in.from_a ? in.a : in.b;
+        RowId victim_rid = in.from_a ? rid_a : rid_b;
+        int64_t old = in.from_a ? ba.value() : bb.value();
+        Status st = ctx->Update(accounts, victim_rid,
+                                {Value::Int(victim),
+                                 Value::Int(old - in.amount)});
+        if (!st.ok()) ctx->Abort(st);
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    // Serial commit in batch order (the block processor's job).
+    std::vector<TxnId> members;
+    for (const auto& ctx : ctxs) {
+      if (!ctx->finished()) members.push_back(ctx->id());
+    }
+    int pos = 0;
+    for (auto& ctx : ctxs) {
+      if (ctx->finished()) continue;  // aborted during execution
+      (void)ctx->CommitSerially(p.policy, block, pos++, members);
+    }
+    ++block;
+    mgr->GarbageCollect();
+
+    // Invariant: every PAIR that any transaction reasoned about keeps a
+    // non-negative sum. (Write skew would let two concurrent withdrawals
+    // each see the old sum and jointly overdraw.)
+    TxnContext check(&db, mgr->Begin(Snapshot::AtCsn(mgr->CurrentCsn())),
+                     TxnMode::kInternal);
+    std::map<int64_t, int64_t> balances;
+    ASSERT_TRUE(check
+                    .ScanAll(accounts,
+                             [&](RowId, const Row& row) {
+                               balances[row[0].AsInt()] = row[1].AsInt();
+                               return true;
+                             })
+                    .ok());
+    for (const Intent& in : intents) {
+      EXPECT_GE(balances[in.a] + balances[in.b], 0)
+          << "write skew broke pair (" << in.a << "," << in.b
+          << ") in batch " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WriteSkewSweep,
+    ::testing::Values(
+        Param{101, SsiPolicy::kAbortDuringCommit, 2, 12, 6},
+        Param{202, SsiPolicy::kAbortDuringCommit, 4, 10, 8},
+        Param{303, SsiPolicy::kAbortDuringCommit, 6, 8, 10},
+        Param{404, SsiPolicy::kBlockAware, 2, 12, 6},
+        Param{505, SsiPolicy::kBlockAware, 4, 10, 8},
+        Param{606, SsiPolicy::kBlockAware, 6, 8, 10}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string policy = info.param.policy == SsiPolicy::kAbortDuringCommit
+                               ? "AbortDuringCommit"
+                               : "BlockAware";
+      return policy + "_seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace brdb

@@ -1,0 +1,291 @@
+// Property-style SQL engine tests: randomized data sets checked against
+// independently computed expectations, across seeds and sizes
+// (parameterized sweeps), plus edge cases not covered by sql_test.cc.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "sql/executor.h"
+#include "storage/database.h"
+#include "txn/txn_context.h"
+
+namespace brdb {
+namespace sql {
+namespace {
+
+class SqlHarness {
+ public:
+  SqlHarness() : engine_(&db_) {}
+
+  Result<ResultSet> Exec(const std::string& sql,
+                         const std::vector<Value>& params = {}) {
+    TxnContext ctx(&db_,
+                   db_.txn_manager()->Begin(
+                       Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                   TxnMode::kNormal);
+    auto r = engine_.Execute(&ctx, sql, params);
+    if (!r.ok()) {
+      ctx.Abort(r.status());
+      return r;
+    }
+    Status st = ctx.CommitSerially(SsiPolicy::kAbortDuringCommit,
+                                   next_block_++, 0, {ctx.id()});
+    if (!st.ok()) return st;
+    return r;
+  }
+
+  Database db_;
+  SqlEngine engine_;
+  BlockNum next_block_ = 1;
+};
+
+struct SweepParam {
+  uint64_t seed;
+  int rows;
+};
+
+class RandomizedAggregates : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RandomizedAggregates, AggregatesMatchManualComputation) {
+  const SweepParam p = GetParam();
+  SqlHarness h;
+  ASSERT_TRUE(h.Exec("CREATE TABLE t (id INT PRIMARY KEY, grp INT, v INT)")
+                  .ok());
+  ASSERT_TRUE(h.Exec("CREATE INDEX idx_grp ON t (grp)").ok());
+
+  Rng rng(p.seed);
+  std::map<int64_t, std::vector<int64_t>> by_group;
+  for (int i = 0; i < p.rows; ++i) {
+    int64_t grp = static_cast<int64_t>(rng.Uniform(5));
+    int64_t v = rng.UniformRange(-100, 100);
+    by_group[grp].push_back(v);
+    ASSERT_TRUE(h.Exec("INSERT INTO t VALUES ($1, $2, $3)",
+                       {Value::Int(i), Value::Int(grp), Value::Int(v)})
+                    .ok());
+  }
+
+  // Global aggregates.
+  auto r = h.Exec("SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM t");
+  ASSERT_TRUE(r.ok());
+  int64_t expect_sum = 0, expect_min = INT64_MAX, expect_max = INT64_MIN;
+  for (const auto& [g, vs] : by_group) {
+    for (int64_t v : vs) {
+      expect_sum += v;
+      expect_min = std::min(expect_min, v);
+      expect_max = std::max(expect_max, v);
+    }
+  }
+  const Row& row = r.value().rows[0];
+  EXPECT_EQ(row[0].AsInt(), p.rows);
+  EXPECT_EQ(row[1].AsInt(), expect_sum);
+  EXPECT_EQ(row[2].AsInt(), expect_min);
+  EXPECT_EQ(row[3].AsInt(), expect_max);
+
+  // Per-group aggregates via GROUP BY.
+  auto g = h.Exec("SELECT grp, COUNT(*), SUM(v) FROM t GROUP BY grp "
+                  "ORDER BY grp");
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g.value().rows.size(), by_group.size());
+  size_t idx = 0;
+  for (const auto& [grp, vs] : by_group) {
+    const Row& gr = g.value().rows[idx++];
+    EXPECT_EQ(gr[0].AsInt(), grp);
+    EXPECT_EQ(gr[1].AsInt(), static_cast<int64_t>(vs.size()));
+    EXPECT_EQ(gr[2].AsInt(), std::accumulate(vs.begin(), vs.end(), int64_t{0}));
+  }
+
+  // Indexed range count agrees with a manual filter.
+  auto c = h.Exec("SELECT COUNT(*) FROM t WHERE grp >= 1 AND grp <= 3");
+  ASSERT_TRUE(c.ok());
+  int64_t expect_range = 0;
+  for (const auto& [grp, vs] : by_group) {
+    if (grp >= 1 && grp <= 3) expect_range += static_cast<int64_t>(vs.size());
+  }
+  EXPECT_EQ(c.value().Scalar().value().AsInt(), expect_range);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomizedAggregates,
+    ::testing::Values(SweepParam{1, 20}, SweepParam{2, 50},
+                      SweepParam{3, 100}, SweepParam{42, 200}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_rows" +
+             std::to_string(info.param.rows);
+    });
+
+class RandomizedSorting : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomizedSorting, OrderByMatchesStdSort) {
+  SqlHarness h;
+  ASSERT_TRUE(h.Exec("CREATE TABLE s (id INT PRIMARY KEY, a INT, b TEXT)")
+                  .ok());
+  Rng rng(GetParam());
+  std::vector<std::pair<int64_t, std::string>> data;
+  for (int i = 0; i < 60; ++i) {
+    int64_t a = rng.UniformRange(0, 9);  // duplicates force tie-breaking
+    std::string b = "s" + std::to_string(rng.Uniform(1000));
+    data.emplace_back(a, b);
+    ASSERT_TRUE(h.Exec("INSERT INTO s VALUES ($1, $2, $3)",
+                       {Value::Int(i), Value::Int(a), Value::Text(b)})
+                    .ok());
+  }
+  auto r = h.Exec("SELECT a, b FROM s ORDER BY a DESC, b ASC");
+  ASSERT_TRUE(r.ok());
+  std::sort(data.begin(), data.end(), [](const auto& x, const auto& y) {
+    if (x.first != y.first) return x.first > y.first;
+    return x.second < y.second;
+  });
+  ASSERT_EQ(r.value().rows.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(r.value().rows[i][0].AsInt(), data[i].first) << i;
+    EXPECT_EQ(r.value().rows[i][1].AsText(), data[i].second) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedSorting,
+                         ::testing::Values(7, 11, 13));
+
+// ---------- additional edge cases ----------
+
+TEST(SqlEdgeCases, InsertSelectCopiesFilteredRows) {
+  SqlHarness h;
+  ASSERT_TRUE(h.Exec("CREATE TABLE src (id INT PRIMARY KEY, v INT)").ok());
+  ASSERT_TRUE(h.Exec("CREATE TABLE dst (id INT PRIMARY KEY, v INT)").ok());
+  ASSERT_TRUE(h.Exec("INSERT INTO src VALUES (1, 10), (2, 20), (3, 30)").ok());
+  auto r = h.Exec("INSERT INTO dst SELECT id, v FROM src WHERE v > 15 "
+                  "ORDER BY id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().affected, 2);
+  auto check = h.Exec("SELECT SUM(v) FROM dst");
+  EXPECT_EQ(check.value().Scalar().value().AsInt(), 50);
+}
+
+TEST(SqlEdgeCases, ThreeWayJoin) {
+  SqlHarness h;
+  ASSERT_TRUE(h.Exec("CREATE TABLE a (id INT PRIMARY KEY, b_id INT)").ok());
+  ASSERT_TRUE(h.Exec("CREATE TABLE b (id INT PRIMARY KEY, c_id INT)").ok());
+  ASSERT_TRUE(h.Exec("CREATE TABLE c (id INT PRIMARY KEY, name TEXT)").ok());
+  ASSERT_TRUE(h.Exec("INSERT INTO a VALUES (1, 10), (2, 20)").ok());
+  ASSERT_TRUE(h.Exec("INSERT INTO b VALUES (10, 100), (20, 200)").ok());
+  ASSERT_TRUE(h.Exec("INSERT INTO c VALUES (100, 'x'), (200, 'y')").ok());
+  auto r = h.Exec(
+      "SELECT a.id, c.name FROM a JOIN b ON a.b_id = b.id "
+      "JOIN c ON b.c_id = c.id ORDER BY a.id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 2u);
+  EXPECT_EQ(r.value().rows[0][1].AsText(), "x");
+  EXPECT_EQ(r.value().rows[1][1].AsText(), "y");
+}
+
+TEST(SqlEdgeCases, BetweenAndInUseIndexRanges) {
+  SqlHarness h;
+  ASSERT_TRUE(h.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(h.Exec("INSERT INTO t VALUES ($1, $2)",
+                       {Value::Int(i), Value::Int(i)})
+                    .ok());
+  }
+  auto between = h.Exec("SELECT COUNT(*) FROM t WHERE id BETWEEN 5 AND 9");
+  ASSERT_TRUE(between.ok());
+  EXPECT_EQ(between.value().Scalar().value().AsInt(), 5);
+  auto inlist = h.Exec("SELECT COUNT(*) FROM t WHERE id IN (1, 3, 99)");
+  ASSERT_TRUE(inlist.ok());
+  EXPECT_EQ(inlist.value().Scalar().value().AsInt(), 2);
+}
+
+TEST(SqlEdgeCases, UpdateSettingNull) {
+  SqlHarness h;
+  ASSERT_TRUE(h.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)").ok());
+  ASSERT_TRUE(h.Exec("INSERT INTO t VALUES (1, 5)").ok());
+  ASSERT_TRUE(h.Exec("UPDATE t SET v = NULL WHERE id = 1").ok());
+  auto r = h.Exec("SELECT v FROM t WHERE id = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().Scalar().value().is_null());
+  // NULL is excluded from aggregates but counted by COUNT(*).
+  auto agg = h.Exec("SELECT COUNT(*), COUNT(v), SUM(v) FROM t");
+  EXPECT_EQ(agg.value().rows[0][0].AsInt(), 1);
+  EXPECT_EQ(agg.value().rows[0][1].AsInt(), 0);
+  EXPECT_TRUE(agg.value().rows[0][2].is_null());
+}
+
+TEST(SqlEdgeCases, ErrorsAreReported) {
+  SqlHarness h;
+  EXPECT_EQ(h.Exec("SELECT * FROM missing").status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(h.Exec("CREATE TABLE t (id INT PRIMARY KEY)").ok());
+  // Unknown columns fail statically, even on an empty table.
+  EXPECT_FALSE(h.Exec("SELECT nope FROM t").ok());
+  EXPECT_FALSE(h.Exec("SELECT id FROM t WHERE nope = 1").ok());
+  EXPECT_FALSE(h.Exec("INSERT INTO t VALUES (1, 2)").ok());  // arity
+  EXPECT_FALSE(h.Exec("UPDATE t SET nope = 1 WHERE id = 1").ok());
+  // Typing is dynamic (SQLite-style): cross-type comparisons error once a
+  // row is actually evaluated.
+  ASSERT_TRUE(h.Exec("INSERT INTO t VALUES (1)").ok());
+  EXPECT_FALSE(h.Exec("SELECT id FROM t WHERE id + 'text' = 1").ok());
+}
+
+TEST(SqlEdgeCases, ColumnCheckConstraint) {
+  SqlHarness h;
+  ASSERT_TRUE(h.Exec("CREATE TABLE t (id INT PRIMARY KEY, "
+                     "pct INT CHECK (pct >= 0 AND pct <= 100))")
+                  .ok());
+  EXPECT_TRUE(h.Exec("INSERT INTO t VALUES (1, 50)").ok());
+  EXPECT_EQ(h.Exec("INSERT INTO t VALUES (2, 101)").status().code(),
+            StatusCode::kConstraintViolation);
+  // NULL passes CHECK (SQL semantics).
+  EXPECT_TRUE(h.Exec("INSERT INTO t VALUES (3, NULL)").ok());
+}
+
+TEST(SqlEdgeCases, UniqueColumnConstraint) {
+  SqlHarness h;
+  ASSERT_TRUE(
+      h.Exec("CREATE TABLE u (id INT PRIMARY KEY, email TEXT UNIQUE)").ok());
+  ASSERT_TRUE(h.Exec("INSERT INTO u VALUES (1, 'a@x.com')").ok());
+  EXPECT_EQ(h.Exec("INSERT INTO u VALUES (2, 'a@x.com')").status().code(),
+            StatusCode::kConstraintViolation);
+  // Distinct values and NULLs are fine (NULL is never a duplicate).
+  EXPECT_TRUE(h.Exec("INSERT INTO u VALUES (3, 'b@x.com')").ok());
+  EXPECT_TRUE(h.Exec("INSERT INTO u VALUES (4, NULL)").ok());
+  EXPECT_TRUE(h.Exec("INSERT INTO u VALUES (5, NULL)").ok());
+}
+
+TEST(SqlEdgeCases, DoubleArithmeticAndRounding) {
+  SqlHarness h;
+  ASSERT_TRUE(h.Exec("CREATE TABLE d (id INT PRIMARY KEY, x DOUBLE)").ok());
+  ASSERT_TRUE(h.Exec("INSERT INTO d VALUES (1, 2.5), (2, 3.25)").ok());
+  auto r = h.Exec("SELECT SUM(x), AVG(x), ROUND(SUM(x)) FROM d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().rows[0][0].AsDouble(), 5.75);
+  EXPECT_DOUBLE_EQ(r.value().rows[0][1].AsDouble(), 2.875);
+  EXPECT_DOUBLE_EQ(r.value().rows[0][2].AsDouble(), 6.0);
+}
+
+TEST(SqlEdgeCases, FetchFirstSyntaxEndToEnd) {
+  SqlHarness h;
+  ASSERT_TRUE(h.Exec("CREATE TABLE t (id INT PRIMARY KEY)").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(h.Exec("INSERT INTO t VALUES ($1)", {Value::Int(i)}).ok());
+  }
+  auto r = h.Exec("SELECT id FROM t ORDER BY id DESC FETCH FIRST 3 ROWS ONLY");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 3u);
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 9);
+}
+
+TEST(SqlEdgeCases, DeleteThenReinsertSameKey) {
+  SqlHarness h;
+  ASSERT_TRUE(h.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)").ok());
+  ASSERT_TRUE(h.Exec("INSERT INTO t VALUES (1, 10)").ok());
+  ASSERT_TRUE(h.Exec("DELETE FROM t WHERE id = 1").ok());
+  // The key is free again after the delete committed.
+  ASSERT_TRUE(h.Exec("INSERT INTO t VALUES (1, 20)").ok());
+  auto r = h.Exec("SELECT v FROM t WHERE id = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Scalar().value().AsInt(), 20);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace brdb

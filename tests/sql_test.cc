@@ -1,0 +1,538 @@
+// Unit tests for src/sql: lexer/parser acceptance, expression semantics
+// (NULL logic, arithmetic, functions), the full SELECT pipeline (joins,
+// aggregation, grouping, ordering, limits), DML, CHECK constraints,
+// determinism restrictions and provenance pseudo-columns.
+#include <gtest/gtest.h>
+
+#include "sql/eval.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+#include "txn/txn_context.h"
+
+namespace brdb {
+namespace sql {
+namespace {
+
+class SqlFixture : public ::testing::Test {
+ protected:
+  SqlFixture() : engine_(&db_) {}
+
+  TxnManager* mgr() { return db_.txn_manager(); }
+
+  /// Execute and commit a statement in its own transaction.
+  Result<ResultSet> Exec(const std::string& sql,
+                         const std::vector<Value>& params = {},
+                         const ExecOptions& opts = ExecOptions()) {
+    TxnContext ctx(&db_, mgr()->Begin(Snapshot::AtCsn(mgr()->CurrentCsn())),
+                   TxnMode::kNormal);
+    auto r = engine_.Execute(&ctx, sql, params, opts);
+    if (!r.ok()) {
+      ctx.Abort(r.status());
+      return r;
+    }
+    Status st = ctx.CommitSerially(SsiPolicy::kAbortDuringCommit,
+                                   next_block_++, 0, {ctx.id()});
+    if (!st.ok()) return st;
+    return r;
+  }
+
+  /// Execute in provenance mode (read-only, sees all versions).
+  Result<ResultSet> Provenance(const std::string& sql) {
+    TxnContext ctx(&db_, mgr()->Begin(Snapshot::AtCsn(mgr()->CurrentCsn())),
+                   TxnMode::kProvenance);
+    return engine_.Execute(&ctx, sql);
+  }
+
+  void MustExec(const std::string& sql) {
+    auto r = Exec(sql);
+    ASSERT_TRUE(r.ok()) << sql << " => " << r.status().ToString();
+  }
+
+  void SetUpAccounts() {
+    MustExec(
+        "CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT NOT NULL, "
+        "balance INT, CHECK (balance >= 0))");
+    MustExec("CREATE INDEX idx_owner ON accounts (owner)");
+    MustExec("INSERT INTO accounts VALUES (1, 'alice', 100), (2, 'bob', 200), "
+             "(3, 'alice', 300), (4, 'carol', 50)");
+  }
+
+  Database db_;
+  SqlEngine engine_;
+  BlockNum next_block_ = 1;
+};
+
+// ---------- parsing ----------
+
+TEST(ParserTest, RejectsGarbageAndTrailingInput) {
+  EXPECT_FALSE(Parse("FOO BAR").ok());
+  EXPECT_FALSE(Parse("SELECT 1 SELECT 2").ok());
+  EXPECT_FALSE(Parse("SELECT FROM").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t").ok());
+  EXPECT_FALSE(Parse("").ok());
+}
+
+TEST(ParserTest, ParsesSelectShape) {
+  auto r = Parse(
+      "SELECT a.x, SUM(b.y) AS total FROM t1 a JOIN t2 b ON a.id = b.id "
+      "WHERE a.x > 3 GROUP BY a.x HAVING SUM(b.y) > 10 "
+      "ORDER BY total DESC LIMIT 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = *r.value().select;
+  EXPECT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[1].alias, "total");
+  ASSERT_TRUE(s.from.has_value());
+  EXPECT_EQ(s.from->alias, "a");
+  ASSERT_EQ(s.joins.size(), 1u);
+  EXPECT_EQ(s.group_by.size(), 1u);
+  EXPECT_TRUE(s.having != nullptr);
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_TRUE(s.order_by[0].desc);
+  EXPECT_EQ(s.limit.value_or(0), 5);
+}
+
+TEST(ParserTest, FetchFirstIsLimit) {
+  auto r = Parse("SELECT x FROM t ORDER BY x FETCH FIRST 3 ROWS ONLY");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().select->limit.value_or(0), 3);
+}
+
+TEST(ParserTest, StringEscapes) {
+  auto r = Parse("SELECT 'it''s'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().select->items[0].expr->literal.AsText(), "it's");
+}
+
+TEST(ParserTest, CreateTableWithConstraints) {
+  auto r = Parse(
+      "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20) NOT NULL UNIQUE, "
+      "score DOUBLE PRECISION, ok BOOLEAN, CHECK (score >= 0))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const CreateTableStmt& c = *r.value().create_table;
+  ASSERT_EQ(c.columns.size(), 4u);
+  EXPECT_TRUE(c.columns[0].primary_key);
+  EXPECT_TRUE(c.columns[1].not_null);
+  EXPECT_TRUE(c.columns[1].unique);
+  EXPECT_EQ(c.columns[2].type, ValueType::kDouble);
+  EXPECT_EQ(c.columns[3].type, ValueType::kBool);
+  ASSERT_EQ(c.check_exprs.size(), 1u);
+  EXPECT_EQ(c.check_exprs[0], "score >= 0");
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  // 1 + 2 * 3 = 7, not 9.
+  auto e = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(e.ok());
+  EvalContext ctx;
+  auto v = Eval(*e.value(), ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsInt(), 7);
+}
+
+// ---------- expression semantics ----------
+
+Value EvalText(const std::string& text) {
+  auto e = ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << text << ": " << e.status().ToString();
+  EvalContext ctx;
+  auto v = Eval(*e.value(), ctx);
+  EXPECT_TRUE(v.ok()) << text << ": " << v.status().ToString();
+  return v.ok() ? v.value() : Value::Null();
+}
+
+TEST(EvalTest, Arithmetic) {
+  EXPECT_EQ(EvalText("7 / 2").AsInt(), 3);            // integer division
+  EXPECT_DOUBLE_EQ(EvalText("7 / 2.0").AsDouble(), 3.5);
+  EXPECT_EQ(EvalText("7 % 3").AsInt(), 1);
+  EXPECT_EQ(EvalText("-(3 + 4)").AsInt(), -7);
+  EXPECT_EQ(EvalText("2 * 3 + 4").AsInt(), 10);
+}
+
+TEST(EvalTest, DivisionByZeroIsAnError) {
+  auto e = ParseExpression("1 / 0");
+  ASSERT_TRUE(e.ok());
+  EvalContext ctx;
+  EXPECT_FALSE(Eval(*e.value(), ctx).ok());
+}
+
+TEST(EvalTest, NullPropagation) {
+  EXPECT_TRUE(EvalText("1 + NULL").is_null());
+  EXPECT_TRUE(EvalText("NULL = NULL").is_null());
+  EXPECT_TRUE(EvalText("NOT NULL").is_null());
+  EXPECT_TRUE(EvalText("NULL IS NULL").AsBool());
+  EXPECT_FALSE(EvalText("1 IS NULL").AsBool());
+  EXPECT_TRUE(EvalText("1 IS NOT NULL").AsBool());
+}
+
+TEST(EvalTest, KleeneLogic) {
+  EXPECT_FALSE(EvalText("FALSE AND NULL").AsBool());  // false dominates
+  EXPECT_TRUE(EvalText("TRUE OR NULL").AsBool());     // true dominates
+  EXPECT_TRUE(EvalText("TRUE AND NULL").is_null());
+  EXPECT_TRUE(EvalText("FALSE OR NULL").is_null());
+  EXPECT_TRUE(EvalText("TRUE AND TRUE").AsBool());
+  EXPECT_FALSE(EvalText("FALSE OR FALSE").AsBool());
+}
+
+TEST(EvalTest, ComparisonAndBetweenAndIn) {
+  EXPECT_TRUE(EvalText("2 BETWEEN 1 AND 3").AsBool());
+  EXPECT_FALSE(EvalText("4 BETWEEN 1 AND 3").AsBool());
+  EXPECT_TRUE(EvalText("4 NOT BETWEEN 1 AND 3").AsBool());
+  EXPECT_TRUE(EvalText("2 IN (1, 2, 3)").AsBool());
+  EXPECT_FALSE(EvalText("5 IN (1, 2, 3)").AsBool());
+  EXPECT_TRUE(EvalText("5 NOT IN (1, 2, 3)").AsBool());
+  EXPECT_TRUE(EvalText("5 IN (1, NULL)").is_null());  // unknown
+  EXPECT_TRUE(EvalText("'b' > 'a'").AsBool());
+}
+
+TEST(EvalTest, MixedTypeComparisonIsError) {
+  auto e = ParseExpression("1 = 'one'");
+  ASSERT_TRUE(e.ok());
+  EvalContext ctx;
+  EXPECT_FALSE(Eval(*e.value(), ctx).ok());
+}
+
+TEST(EvalTest, CaseWhen) {
+  EXPECT_EQ(EvalText("CASE WHEN 1 < 2 THEN 'lo' ELSE 'hi' END").AsText(),
+            "lo");
+  EXPECT_EQ(EvalText("CASE WHEN 1 > 2 THEN 'lo' ELSE 'hi' END").AsText(),
+            "hi");
+  EXPECT_TRUE(EvalText("CASE WHEN FALSE THEN 1 END").is_null());
+}
+
+TEST(EvalTest, ScalarFunctions) {
+  EXPECT_EQ(EvalText("abs(-5)").AsInt(), 5);
+  EXPECT_EQ(EvalText("length('hello')").AsInt(), 5);
+  EXPECT_EQ(EvalText("upper('abc')").AsText(), "ABC");
+  EXPECT_EQ(EvalText("lower('ABC')").AsText(), "abc");
+  EXPECT_EQ(EvalText("coalesce(NULL, NULL, 3)").AsInt(), 3);
+  EXPECT_EQ(EvalText("substr('hello', 2, 3)").AsText(), "ell");
+  EXPECT_EQ(EvalText("'a' || 'b' || 'c'").AsText(), "abc");
+  EXPECT_EQ(EvalText("concat('x', NULL, 'y')").AsText(), "xy");
+  EXPECT_EQ(EvalText("greatest(3, 9, 1)").AsInt(), 9);
+  EXPECT_EQ(EvalText("least(3, 9, 1)").AsInt(), 1);
+  EXPECT_EQ(EvalText("mod(9, 4)").AsInt(), 1);
+  EXPECT_EQ(EvalText("floor(2.7)").AsInt(), 2);
+  EXPECT_EQ(EvalText("ceil(2.1)").AsInt(), 3);
+  EXPECT_TRUE(EvalText("nullif(3, 3)").is_null());
+  EXPECT_EQ(EvalText("nullif(3, 4)").AsInt(), 3);
+}
+
+TEST(EvalTest, DeterminismValidatorRejectsForbiddenFunctions) {
+  for (const char* text : {"now()", "random()", "current_timestamp()",
+                           "nextval('s')", "clock_timestamp()"}) {
+    auto e = ParseExpression(text);
+    ASSERT_TRUE(e.ok()) << text;
+    EXPECT_EQ(CheckDeterministic(*e.value()).code(),
+              StatusCode::kDeterminismViolation)
+        << text;
+  }
+  auto ok = ParseExpression("abs(x) + length(y)");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(CheckDeterministic(*ok.value()).ok());
+}
+
+// ---------- end-to-end statements ----------
+
+TEST_F(SqlFixture, InsertAndSelectAll) {
+  SetUpAccounts();
+  auto r = Exec("SELECT * FROM accounts WHERE id = 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][1].AsText(), "bob");
+  EXPECT_EQ(r.value().columns[2], "balance");
+}
+
+TEST_F(SqlFixture, SelectWithParams) {
+  SetUpAccounts();
+  auto r = Exec("SELECT balance FROM accounts WHERE id = $1",
+                {Value::Int(3)});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().Scalar().ok());
+  EXPECT_EQ(r.value().Scalar().value().AsInt(), 300);
+  // Missing param
+  EXPECT_FALSE(Exec("SELECT balance FROM accounts WHERE id = $2",
+                    {Value::Int(3)})
+                   .ok());
+}
+
+TEST_F(SqlFixture, RangePredicateUsesIndexAndFilters) {
+  SetUpAccounts();
+  auto r = Exec(
+      "SELECT id FROM accounts WHERE id >= 2 AND id <= 3 ORDER BY id");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 2u);
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.value().rows[1][0].AsInt(), 3);
+}
+
+TEST_F(SqlFixture, NonIndexedResidualPredicate) {
+  SetUpAccounts();
+  auto r = Exec("SELECT id FROM accounts WHERE balance > 150 ORDER BY id");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 2u);  // bob(200), alice#3(300)
+}
+
+TEST_F(SqlFixture, OrderByDescAndLimit) {
+  SetUpAccounts();
+  auto r = Exec("SELECT id, balance FROM accounts ORDER BY balance DESC "
+                "LIMIT 2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 2u);
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.value().rows[1][0].AsInt(), 2);
+}
+
+TEST_F(SqlFixture, LimitWithoutOrderByIsRejected) {
+  SetUpAccounts();
+  auto r = Exec("SELECT id FROM accounts LIMIT 2");
+  EXPECT_EQ(r.status().code(), StatusCode::kDeterminismViolation);
+}
+
+TEST_F(SqlFixture, AggregatesGlobal) {
+  SetUpAccounts();
+  auto r = Exec(
+      "SELECT COUNT(*), SUM(balance), AVG(balance), MIN(balance), "
+      "MAX(balance) FROM accounts");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  const Row& row = r.value().rows[0];
+  EXPECT_EQ(row[0].AsInt(), 4);
+  EXPECT_EQ(row[1].AsInt(), 650);
+  EXPECT_DOUBLE_EQ(row[2].AsDouble(), 162.5);
+  EXPECT_EQ(row[3].AsInt(), 50);
+  EXPECT_EQ(row[4].AsInt(), 300);
+}
+
+TEST_F(SqlFixture, AggregateOverEmptyTable) {
+  MustExec("CREATE TABLE empty_t (id INT PRIMARY KEY, v INT)");
+  auto r = Exec("SELECT COUNT(*), SUM(v) FROM empty_t");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(r.value().rows[0][1].is_null());
+}
+
+TEST_F(SqlFixture, GroupByHavingOrder) {
+  SetUpAccounts();
+  auto r = Exec(
+      "SELECT owner, SUM(balance) AS total, COUNT(*) FROM accounts "
+      "GROUP BY owner HAVING SUM(balance) > 60 ORDER BY total DESC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 2u);  // alice=400, bob=200 (carol=50 out)
+  EXPECT_EQ(r.value().rows[0][0].AsText(), "alice");
+  EXPECT_EQ(r.value().rows[0][1].AsInt(), 400);
+  EXPECT_EQ(r.value().rows[1][0].AsText(), "bob");
+  EXPECT_EQ(r.value().rows[1][2].AsInt(), 1);
+}
+
+TEST_F(SqlFixture, NonGroupedColumnOutsideAggregateFails) {
+  SetUpAccounts();
+  auto r = Exec("SELECT owner, balance FROM accounts GROUP BY owner");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SqlFixture, JoinInner) {
+  SetUpAccounts();
+  MustExec("CREATE TABLE orgs (owner TEXT PRIMARY KEY, org TEXT)");
+  MustExec("INSERT INTO orgs VALUES ('alice', 'org1'), ('bob', 'org2')");
+  auto r = Exec(
+      "SELECT a.id, o.org FROM accounts a JOIN orgs o ON a.owner = o.owner "
+      "ORDER BY a.id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 3u);  // ids 1,2,3 (carol unmatched)
+  EXPECT_EQ(r.value().rows[0][1].AsText(), "org1");
+  EXPECT_EQ(r.value().rows[1][1].AsText(), "org2");
+}
+
+TEST_F(SqlFixture, LeftJoinPadsNulls) {
+  SetUpAccounts();
+  MustExec("CREATE TABLE orgs (owner TEXT PRIMARY KEY, org TEXT)");
+  MustExec("INSERT INTO orgs VALUES ('alice', 'org1')");
+  auto r = Exec(
+      "SELECT a.id, o.org FROM accounts a LEFT JOIN orgs o "
+      "ON a.owner = o.owner ORDER BY a.id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 4u);
+  EXPECT_EQ(r.value().rows[0][1].AsText(), "org1");
+  EXPECT_TRUE(r.value().rows[1][1].is_null());  // bob has no org row
+}
+
+TEST_F(SqlFixture, JoinWithAggregation) {
+  // The paper's complex-join contract shape: join two tables, aggregate,
+  // write the result into a third table.
+  SetUpAccounts();
+  MustExec("CREATE TABLE orgs (owner TEXT PRIMARY KEY, org TEXT)");
+  MustExec("INSERT INTO orgs VALUES ('alice', 'org1'), ('bob', 'org1'), "
+           "('carol', 'org2')");
+  MustExec("CREATE TABLE org_totals (org TEXT PRIMARY KEY, total INT)");
+  auto r = Exec(
+      "INSERT INTO org_totals SELECT o.org, SUM(a.balance) FROM accounts a "
+      "JOIN orgs o ON a.owner = o.owner GROUP BY o.org ORDER BY o.org");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().affected, 2);
+  auto check = Exec("SELECT total FROM org_totals WHERE org = 'org1'");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check.value().Scalar().value().AsInt(), 600);
+}
+
+TEST_F(SqlFixture, DistinctDedupes) {
+  SetUpAccounts();
+  auto r = Exec("SELECT DISTINCT owner FROM accounts ORDER BY owner");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 3u);
+}
+
+TEST_F(SqlFixture, UpdateWithWhere) {
+  SetUpAccounts();
+  auto r = Exec("UPDATE accounts SET balance = balance + 10 WHERE "
+                "owner = 'alice'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().affected, 2);
+  auto check = Exec("SELECT SUM(balance) FROM accounts");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check.value().Scalar().value().AsInt(), 670);
+}
+
+TEST_F(SqlFixture, DeleteWithWhere) {
+  SetUpAccounts();
+  auto r = Exec("DELETE FROM accounts WHERE balance < 100");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().affected, 1);
+  auto check = Exec("SELECT COUNT(*) FROM accounts");
+  EXPECT_EQ(check.value().Scalar().value().AsInt(), 3);
+}
+
+TEST_F(SqlFixture, CheckConstraintBlocksViolation) {
+  SetUpAccounts();
+  auto r = Exec("UPDATE accounts SET balance = -5 WHERE id = 1");
+  EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
+  auto ins = Exec("INSERT INTO accounts VALUES (9, 'dan', -1)");
+  EXPECT_EQ(ins.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(SqlFixture, PrimaryKeyDuplicateRejected) {
+  SetUpAccounts();
+  auto r = Exec("INSERT INTO accounts VALUES (1, 'dup', 0)");
+  EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(SqlFixture, NotNullViolationRejected) {
+  SetUpAccounts();
+  auto r = Exec("INSERT INTO accounts (id, balance) VALUES (9, 10)");
+  EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(SqlFixture, InsertColumnListAndNullDefaults) {
+  SetUpAccounts();
+  ASSERT_TRUE(Exec("INSERT INTO accounts (owner, id) VALUES ('dan', 9)").ok());
+  auto r = Exec("SELECT balance FROM accounts WHERE id = 9");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().Scalar().value().is_null());
+}
+
+TEST_F(SqlFixture, DropTable) {
+  SetUpAccounts();
+  ASSERT_TRUE(Exec("DROP TABLE accounts").ok());
+  EXPECT_FALSE(Exec("SELECT * FROM accounts").ok());
+}
+
+TEST_F(SqlFixture, DdlDeniedWhenDisallowed) {
+  ExecOptions opts;
+  opts.allow_ddl = false;
+  auto r = Exec("CREATE TABLE t (id INT PRIMARY KEY)", {}, opts);
+  EXPECT_EQ(r.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(SqlFixture, NonDeterministicStatementRejected) {
+  SetUpAccounts();
+  auto r = Exec("SELECT random() FROM accounts");
+  EXPECT_EQ(r.status().code(), StatusCode::kDeterminismViolation);
+  auto u = Exec("UPDATE accounts SET balance = random() WHERE id = 1");
+  EXPECT_EQ(u.status().code(), StatusCode::kDeterminismViolation);
+}
+
+// ---------- execute-order-in-parallel restrictions ----------
+
+TEST_F(SqlFixture, EopRequiresIndexForPredicates) {
+  SetUpAccounts();
+  ExecOptions eop = ExecOptions::ExecuteOrderParallel();
+  // balance is not indexed -> predicate scan must abort.
+  auto r = Exec("SELECT id FROM accounts WHERE balance > 100 ORDER BY id", {},
+                eop);
+  EXPECT_EQ(r.status().code(), StatusCode::kSerializationFailure);
+  // id is the primary key -> fine.
+  auto ok = Exec("SELECT id FROM accounts WHERE id = 2", {}, eop);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST_F(SqlFixture, EopForbidsBlindWrites) {
+  SetUpAccounts();
+  ExecOptions eop = ExecOptions::ExecuteOrderParallel();
+  EXPECT_EQ(Exec("UPDATE accounts SET balance = 0", {}, eop).status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(Exec("DELETE FROM accounts", {}, eop).status().code(),
+            StatusCode::kNotSupported);
+}
+
+// ---------- provenance ----------
+
+TEST_F(SqlFixture, ProvenanceSeesHistoryAndPseudoColumns) {
+  SetUpAccounts();
+  MustExec("UPDATE accounts SET balance = 111 WHERE id = 1");
+  // Normal query sees one row for id 1.
+  auto normal = Exec("SELECT balance FROM accounts WHERE id = 1");
+  ASSERT_TRUE(normal.ok());
+  EXPECT_EQ(normal.value().Scalar().value().AsInt(), 111);
+
+  // Provenance sees both versions with their deleter metadata.
+  auto prov = Provenance(
+      "SELECT balance, deleter FROM accounts WHERE id = 1 ORDER BY balance");
+  ASSERT_TRUE(prov.ok()) << prov.status().ToString();
+  ASSERT_EQ(prov.value().rows.size(), 2u);
+  EXPECT_EQ(prov.value().rows[0][0].AsInt(), 100);
+  EXPECT_FALSE(prov.value().rows[0][1].is_null());  // old version deleted
+  EXPECT_EQ(prov.value().rows[1][0].AsInt(), 111);
+  EXPECT_TRUE(prov.value().rows[1][1].is_null());   // live version
+}
+
+TEST_F(SqlFixture, PseudoColumnsUnknownOutsideProvenance) {
+  SetUpAccounts();
+  auto r = Exec("SELECT xmin FROM accounts WHERE id = 1");
+  EXPECT_FALSE(r.ok());  // paper §4.3: row headers unavailable to contracts
+}
+
+TEST_F(SqlFixture, SelectWithoutFrom) {
+  auto r = Exec("SELECT 1 + 2, 'x'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.value().rows[0][1].AsText(), "x");
+}
+
+TEST_F(SqlFixture, CaseInProjection) {
+  SetUpAccounts();
+  auto r = Exec(
+      "SELECT id, CASE WHEN balance >= 200 THEN 'rich' ELSE 'poor' END "
+      "AS bucket FROM accounts ORDER BY id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rows[0][1].AsText(), "poor");
+  EXPECT_EQ(r.value().rows[1][1].AsText(), "rich");
+}
+
+TEST_F(SqlFixture, ComplexGroupShape) {
+  // The paper's complex-group contract shape: aggregate over subgroups,
+  // order by the aggregate, keep the max via LIMIT 1.
+  SetUpAccounts();
+  auto r = Exec(
+      "SELECT owner, SUM(balance) AS total FROM accounts GROUP BY owner "
+      "ORDER BY total DESC, owner ASC LIMIT 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][0].AsText(), "alice");
+  EXPECT_EQ(r.value().rows[0][1].AsInt(), 400);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace brdb

@@ -1,0 +1,228 @@
+// Unit tests for src/storage: schemas, versioned heap, indexes, vacuum.
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace brdb {
+namespace {
+
+TableSchema AccountsSchema() {
+  return TableSchema("accounts",
+                     {{"id", ValueType::kInt, true, true, false, false},
+                      {"owner", ValueType::kText, true, false, false, true},
+                      {"balance", ValueType::kInt, false, false, false, false}});
+}
+
+TEST(SchemaTest, PrimaryKeyImpliesConstraints) {
+  TableSchema s = AccountsSchema();
+  EXPECT_EQ(s.pk_column(), 0);
+  EXPECT_TRUE(s.columns()[0].not_null);
+  EXPECT_TRUE(s.columns()[0].unique);
+  EXPECT_TRUE(s.columns()[0].indexed);
+  EXPECT_TRUE(s.columns()[1].indexed);   // declared indexed
+  EXPECT_FALSE(s.columns()[2].indexed);
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  TableSchema s = AccountsSchema();
+  EXPECT_EQ(s.ColumnIndex("id"), 0);
+  EXPECT_EQ(s.ColumnIndex("balance"), 2);
+  EXPECT_EQ(s.ColumnIndex("missing"), -1);
+}
+
+TEST(SchemaTest, ValidateRowEnforcesArityTypesNullability) {
+  TableSchema s = AccountsSchema();
+  EXPECT_TRUE(
+      s.ValidateRow({Value::Int(1), Value::Text("a"), Value::Int(10)}).ok());
+  // arity
+  EXPECT_FALSE(s.ValidateRow({Value::Int(1)}).ok());
+  // type mismatch
+  EXPECT_FALSE(
+      s.ValidateRow({Value::Text("x"), Value::Text("a"), Value::Int(1)}).ok());
+  // NOT NULL violation on pk
+  EXPECT_EQ(
+      s.ValidateRow({Value::Null(), Value::Text("a"), Value::Int(1)}).code(),
+      StatusCode::kConstraintViolation);
+  // nullable column accepts NULL
+  EXPECT_TRUE(
+      s.ValidateRow({Value::Int(1), Value::Text("a"), Value::Null()}).ok());
+}
+
+TEST(SchemaTest, IntAcceptedForDoubleColumn) {
+  TableSchema s("t", {{"x", ValueType::kDouble, false, false, false, false}});
+  EXPECT_TRUE(s.ValidateRow({Value::Int(3)}).ok());
+  EXPECT_TRUE(s.ValidateRow({Value::Double(3.5)}).ok());
+  EXPECT_FALSE(s.ValidateRow({Value::Text("3")}).ok());
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t(1, AccountsSchema(), kBlockchainSchema);
+  RowId r = t.AppendVersion(5, {Value::Int(1), Value::Text("a"), Value::Int(10)},
+                            kInvalidRowId);
+  EXPECT_EQ(t.NumVersions(), 1u);
+  EXPECT_EQ(t.XminOf(r), 5u);
+  EXPECT_EQ(t.ValuesOf(r)[2].AsInt(), 10);
+  VersionMeta m = t.MetaOf(r);
+  EXPECT_EQ(m.xmax, 0u);
+  EXPECT_EQ(m.creator_block, 0u);
+}
+
+TEST(TableTest, IndexRangeScan) {
+  Table t(1, AccountsSchema(), kBlockchainSchema);
+  for (int i = 0; i < 10; ++i) {
+    t.AppendVersion(
+        1, {Value::Int(i), Value::Text("o" + std::to_string(i % 3)),
+            Value::Int(i * 100)},
+        kInvalidRowId);
+  }
+  // pk index: range [3, 6]
+  Value lo = Value::Int(3), hi = Value::Int(6);
+  auto ids = t.IndexRange(0, &lo, true, &hi, true);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids.value().size(), 4u);
+  EXPECT_EQ(t.ValuesOf(ids.value()[0])[0].AsInt(), 3);
+  EXPECT_EQ(t.ValuesOf(ids.value()[3])[0].AsInt(), 6);
+  // exclusive bounds
+  auto ids2 = t.IndexRange(0, &lo, false, &hi, false);
+  ASSERT_TRUE(ids2.ok());
+  EXPECT_EQ(ids2.value().size(), 2u);
+  // equality on secondary index
+  Value owner = Value::Text("o1");
+  auto ids3 = t.IndexRange(1, &owner, true, &owner, true);
+  ASSERT_TRUE(ids3.ok());
+  EXPECT_EQ(ids3.value().size(), 3u);  // rows 1, 4, 7
+  // unbounded scan returns everything in order
+  auto all = t.IndexRange(0, nullptr, true, nullptr, true);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 10u);
+}
+
+TEST(TableTest, IndexRangeOnUnindexedColumnFails) {
+  Table t(1, AccountsSchema(), kBlockchainSchema);
+  Value v = Value::Int(0);
+  EXPECT_FALSE(t.IndexRange(2, &v, true, &v, true).ok());
+}
+
+TEST(TableTest, CreateIndexBackfills) {
+  Table t(1, AccountsSchema(), kBlockchainSchema);
+  for (int i = 0; i < 5; ++i) {
+    t.AppendVersion(1, {Value::Int(i), Value::Text("x"), Value::Int(i)},
+                    kInvalidRowId);
+  }
+  EXPECT_FALSE(t.HasIndexOn(2));
+  ASSERT_TRUE(t.CreateIndex("balance").ok());
+  EXPECT_TRUE(t.HasIndexOn(2));
+  Value lo = Value::Int(2);
+  auto ids = t.IndexRange(2, &lo, true, nullptr, true);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids.value().size(), 3u);
+  // Duplicate index creation fails.
+  EXPECT_EQ(t.CreateIndex("balance").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(t.CreateIndex("missing").code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, XmaxCandidateLifecycle) {
+  Table t(1, AccountsSchema(), kBlockchainSchema);
+  RowId r = t.AppendVersion(1, {Value::Int(1), Value::Text("a"), Value::Int(0)},
+                            kInvalidRowId);
+  ASSERT_TRUE(t.AddXmaxCandidate(r, 10).ok());
+  ASSERT_TRUE(t.AddXmaxCandidate(r, 11).ok());
+  ASSERT_TRUE(t.AddXmaxCandidate(r, 10).ok());  // idempotent
+  EXPECT_EQ(t.MetaOf(r).xmax_candidates.size(), 2u);
+
+  t.RemoveXmaxCandidate(r, 11);
+  EXPECT_EQ(t.MetaOf(r).xmax_candidates.size(), 1u);
+
+  // Winner finalizes; competing candidate 12 is reported as loser.
+  ASSERT_TRUE(t.AddXmaxCandidate(r, 12).ok());
+  auto losers = t.FinalizeDelete(r, 10, /*block=*/3);
+  ASSERT_EQ(losers.size(), 1u);
+  EXPECT_EQ(losers[0], 12u);
+  VersionMeta m = t.MetaOf(r);
+  EXPECT_EQ(m.xmax, 10u);
+  EXPECT_EQ(m.deleter_block, 3u);
+  EXPECT_TRUE(m.xmax_candidates.empty());
+
+  // Further writers are rejected: the version is dead.
+  EXPECT_EQ(t.AddXmaxCandidate(r, 13).code(), StatusCode::kWriteConflict);
+}
+
+TEST(TableTest, VersionChainLinks) {
+  Table t(1, AccountsSchema(), kBlockchainSchema);
+  RowId v1 = t.AppendVersion(1, {Value::Int(1), Value::Text("a"), Value::Int(0)},
+                             kInvalidRowId);
+  RowId v2 = t.AppendVersion(2, {Value::Int(1), Value::Text("a"), Value::Int(5)},
+                             v1);
+  t.LinkNextVersion(v1, v2);
+  EXPECT_EQ(t.MetaOf(v1).next_version, v2);
+  EXPECT_EQ(t.MetaOf(v2).prev_version, v1);
+}
+
+TEST(TableTest, VacuumRemovesAbortedAndOldDeleted) {
+  Table t(1, AccountsSchema(), kBlockchainSchema);
+  RowId aborted = t.AppendVersion(
+      1, {Value::Int(1), Value::Text("a"), Value::Int(0)}, kInvalidRowId);
+  RowId old_deleted = t.AppendVersion(
+      2, {Value::Int(2), Value::Text("b"), Value::Int(0)}, kInvalidRowId);
+  RowId live = t.AppendVersion(
+      2, {Value::Int(3), Value::Text("c"), Value::Int(0)}, kInvalidRowId);
+  t.SetCreatorBlock(old_deleted, 1);
+  t.FinalizeDelete(old_deleted, 3, /*block=*/2);
+  t.SetCreatorBlock(live, 1);
+
+  size_t removed = t.Vacuum(/*horizon_block=*/5,
+                            [&](TxnId id) { return id == 1; });
+  EXPECT_EQ(removed, 2u);
+  auto all = t.ScanAllRowIds();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], live);
+  // Index no longer returns vacuumed versions.
+  Value k = Value::Int(2);
+  auto ids = t.IndexRange(0, &k, true, &k, true);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_TRUE(ids.value().empty());
+  (void)aborted;
+}
+
+TEST(DatabaseTest, SystemTablesExist) {
+  Database db;
+  EXPECT_TRUE(db.GetTable(kLedgerTable).ok());
+  EXPECT_TRUE(db.GetTable(kCertsTable).ok());
+  EXPECT_TRUE(db.GetTable(kDeployTable).ok());
+  EXPECT_EQ(db.GetTable(kLedgerTable).value()->db_schema(), kSystemSchema);
+}
+
+TEST(DatabaseTest, CreateGetDropTable) {
+  Database db;
+  auto t = db.CreateTable(AccountsSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->db_schema(), kBlockchainSchema);
+  EXPECT_TRUE(db.GetTable("accounts").ok());
+  EXPECT_EQ(db.GetTableById(t.value()->id()), t.value());
+
+  EXPECT_EQ(db.CreateTable(AccountsSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(db.DropTable("accounts").ok());
+  EXPECT_FALSE(db.GetTable("accounts").ok());
+  EXPECT_EQ(db.DropTable("accounts").code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, SystemTablesCannotBeDropped) {
+  Database db;
+  EXPECT_EQ(db.DropTable(kLedgerTable).code(), StatusCode::kPermissionDenied);
+}
+
+TEST(DatabaseTest, PrivateSchemaTables) {
+  Database db;
+  auto t = db.CreateTable(TableSchema("local_notes", {{"note", ValueType::kText,
+                                                       false, false, false,
+                                                       false}}),
+                          kPrivateSchema);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->db_schema(), kPrivateSchema);
+}
+
+}  // namespace
+}  // namespace brdb
