@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace brdb {
@@ -36,6 +37,17 @@ void LogMessage(LogLevel level, const std::string& tag,
   std::lock_guard<std::mutex> lock(g_log_mu);
   std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), tag.c_str(),
                message.c_str());
+}
+
+void FatalCheckFailure(const char* expr, const char* file, int line,
+                       const std::string& detail) {
+  {
+    std::lock_guard<std::mutex> lock(g_log_mu);
+    std::fprintf(stderr, "[FATAL] check failed at %s:%d: %s (%s)\n", file,
+                 line, expr, detail.c_str());
+    std::fflush(stderr);
+  }
+  std::abort();
 }
 
 }  // namespace brdb

@@ -41,6 +41,20 @@ class LogStream {
 
 #define BRDB_LOG(level, tag) ::brdb::LogStream(::brdb::LogLevel::level, (tag))
 
+/// Logs the failed expression and aborts. Used by BRDB_CHECK.
+[[noreturn]] void FatalCheckFailure(const char* expr, const char* file,
+                                    int line, const std::string& detail);
+
+/// Always-on invariant check (unlike assert, active in release builds):
+/// storage-layer accessors use it so an invalid RowId fails loudly instead
+/// of reading out of bounds.
+#define BRDB_CHECK(cond, detail)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::brdb::FatalCheckFailure(#cond, __FILE__, __LINE__, (detail)); \
+    }                                                                 \
+  } while (0)
+
 }  // namespace brdb
 
 #endif  // BRDB_COMMON_LOGGING_H_

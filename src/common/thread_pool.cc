@@ -1,5 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <atomic>
+#include <memory>
+
 namespace brdb {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -25,6 +28,36 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
+}
+
+void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  struct BatchState {
+    std::vector<std::function<void()>> tasks;
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    size_t completed = 0;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->tasks = std::move(tasks);
+  const size_t n = state->tasks.size();
+  auto drain = [state, n] {
+    for (;;) {
+      size_t i = state->next.fetch_add(1);
+      if (i >= n) break;
+      state->tasks[i]();
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (++state->completed == n) state->done.notify_all();
+    }
+  };
+  // Helpers are opportunistic; late-scheduled ones find the batch drained
+  // (shared_ptr keeps the state alive for them).
+  size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t i = 0; i < helpers; ++i) Submit(drain);
+  drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] { return state->completed == n; });
 }
 
 void ThreadPool::Wait() {

@@ -27,6 +27,13 @@ class ThreadPool {
   /// Enqueue a task. Tasks may enqueue further tasks.
   void Submit(std::function<void()> task);
 
+  /// Run `tasks` to completion, using idle workers for parallelism. The
+  /// calling thread drains the batch too, so this completes even when
+  /// every worker is occupied (or parked on a condition variable, as EOP
+  /// executors waiting for a snapshot height are) — workers only help,
+  /// they are never required. Blocks until the whole batch finished.
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
   /// Block until the queue is empty and all workers are idle.
   void Wait();
 

@@ -42,18 +42,14 @@ const char* ValueTypeToString(ValueType type) {
   return "UNKNOWN";
 }
 
-int Value::Compare(const Value& other) const {
+int Value::CompareSlow(const Value& other) const {
   // NULL sorts before everything, equal to itself.
   if (is_null() || other.is_null()) {
     if (is_null() && other.is_null()) return 0;
     return is_null() ? -1 : 1;
   }
-  // Numeric cross-type comparison.
+  // Numeric cross-type comparison (int-int went through the inline path).
   if (IsNumeric() && other.IsNumeric()) {
-    if (type_ == ValueType::kInt && other.type_ == ValueType::kInt) {
-      int64_t a = AsInt(), b = other.AsInt();
-      return a < b ? -1 : (a > b ? 1 : 0);
-    }
     double a = AsNumeric(), b = other.AsNumeric();
     return a < b ? -1 : (a > b ? 1 : 0);
   }

@@ -64,7 +64,15 @@ class Value {
   /// numerically with each other. NULLs sort first (used by ORDER BY).
   /// Comparing other mixed types is a type error caught by the analyzer,
   /// but Compare falls back to type-tag order so it stays total.
-  int Compare(const Value& other) const;
+  /// Int-int compares dominate index walks, so that path inlines here.
+  int Compare(const Value& other) const {
+    if (type_ == ValueType::kInt && other.type_ == ValueType::kInt) {
+      int64_t a = *std::get_if<int64_t>(&data_);
+      int64_t b = *std::get_if<int64_t>(&other.data_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    return CompareSlow(other);
+  }
 
   bool operator==(const Value& other) const { return Compare(other) == 0; }
   bool operator!=(const Value& other) const { return Compare(other) != 0; }
@@ -91,6 +99,8 @@ class Value {
  private:
   template <typename T>
   Value(ValueType type, T v) : type_(type), data_(v) {}
+
+  int CompareSlow(const Value& other) const;
 
   ValueType type_;
   std::variant<std::monostate, bool, int64_t, double, std::string> data_;

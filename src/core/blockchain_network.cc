@@ -62,6 +62,7 @@ std::unique_ptr<BlockchainNetwork> BlockchainNetwork::Create(
     cfg.org = options.orgs[i];
     cfg.flow = options.flow;
     cfg.executor_threads = options.executor_threads;
+    cfg.txn_lock_stripes = options.txn_lock_stripes;
     cfg.checkpoint_interval = options.checkpoint_interval;
     cfg.serial_execution = options.serial_execution;
     if (!options.block_store_dir.empty()) {

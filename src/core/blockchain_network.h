@@ -27,6 +27,10 @@ struct NetworkOptions {
   OrdererConfig orderer_config;
   NetworkProfile profile = NetworkProfile::Lan();
   size_t executor_threads = 8;
+
+  /// Transaction-manager lock stripes per node (0 = default striping,
+  /// 1 = single-mutex baseline for benchmarks).
+  size_t txn_lock_stripes = 0;
   size_t checkpoint_interval = 1;
   std::string block_store_dir;  ///< "" = in-memory block stores
   bool serial_execution = false;

@@ -17,6 +17,7 @@ DatabaseNode::DatabaseNode(NodeConfig config, Identity identity,
       net_(net),
       ordering_(ordering),
       endpoint_("peer:" + config_.name),
+      db_(TxnManagerOptions{config_.txn_lock_stripes}),
       engine_(&db_),
       checkpoints_(config_.name, config_.checkpoint_interval) {
   if (config_.block_store_path.empty()) {
@@ -32,6 +33,7 @@ DatabaseNode::DatabaseNode(NodeConfig config, Identity identity,
     }
   }
   executors_ = std::make_unique<ThreadPool>(config_.executor_threads);
+  verifier_ = std::make_unique<SignatureVerifier>(executors_.get());
   Status st = RegisterSystemContracts(&contracts_);
   if (!st.ok()) {
     BRDB_LOG(kError, config_.name) << st.ToString();
@@ -79,8 +81,7 @@ void DatabaseNode::SetPeerEndpoints(std::vector<std::string> endpoints) {
 
 Status DatabaseNode::SeedCertificate(const Identity& id) {
   TxnContext ctx(&db_,
-                 db_.txn_manager()->Begin(
-                     Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                 db_.txn_manager()->BeginAtCurrentCsn(),
                  TxnMode::kInternal);
   sql::ExecOptions lenient;
   auto r = engine_.Execute(
@@ -110,19 +111,30 @@ void DatabaseNode::Notify(const std::string& txid, const Status& status,
 }
 
 Status DatabaseNode::Authenticate(const Transaction& tx,
-                                  PrincipalRole* role_out) {
-  Status st = tx.Authenticate(*registry_);
-  if (st.ok()) {
+                                  PrincipalRole* role_out,
+                                  bool skip_signature) {
+  if (skip_signature) {
+    // The verifier cache already vouched for this txid; only the role
+    // remains to resolve.
     auto role = registry_->RoleOf(tx.user());
-    *role_out = role.ok() ? role.value() : PrincipalRole::kClient;
-    return Status::OK();
+    if (role.ok()) {
+      *role_out = role.value();
+      return Status::OK();
+    }
+  } else {
+    Status st = tx.Authenticate(*registry_);
+    if (st.ok()) {
+      auto role = registry_->RoleOf(tx.user());
+      *role_out = role.ok() ? role.value() : PrincipalRole::kClient;
+      verifier_->MarkVerified(tx);
+      return Status::OK();
+    }
+    if (st.code() != StatusCode::kNotFound) return st;
   }
-  if (st.code() != StatusCode::kNotFound) return st;
 
   // Fall back to pgcerts: users onboarded on-chain via create_user.
   TxnContext ctx(&db_,
-                 db_.txn_manager()->Begin(
-                     Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                 db_.txn_manager()->BeginAtCurrentCsn(),
                  TxnMode::kInternal);
   auto r = engine_.Execute(&ctx,
                            "SELECT pubkey, role FROM pgcerts "
@@ -132,11 +144,14 @@ Status DatabaseNode::Authenticate(const Transaction& tx,
   if (r.value().rows.size() != 1) {
     return Status::NotFound("unknown user " + tx.user());
   }
-  uint64_t pubkey =
-      static_cast<uint64_t>(r.value().rows[0][0].AsInt());
-  if (!Schnorr::Verify(pubkey, tx.SignedPayload(), tx.signature())) {
-    return Status::PermissionDenied("signature verification failed for " +
-                                    tx.user());
+  if (!skip_signature) {
+    uint64_t pubkey =
+        static_cast<uint64_t>(r.value().rows[0][0].AsInt());
+    if (!Schnorr::Verify(pubkey, tx.SignedPayload(), tx.signature())) {
+      return Status::PermissionDenied("signature verification failed for " +
+                                      tx.user());
+    }
+    verifier_->MarkVerified(tx);
   }
   const std::string& role = r.value().rows[0][1].AsText();
   *role_out =
@@ -207,7 +222,8 @@ void DatabaseNode::OnNetMessage(const NetMessage& m) {
 void DatabaseNode::EnqueueBlock(Block block) {
   metrics_.OnBlockReceived();
   Status st = block.VerifySignatures(*registry_,
-                                     config_.min_orderer_signatures);
+                                     config_.min_orderer_signatures,
+                                     executors_.get());
   if (!st.ok()) {
     BRDB_LOG(kWarn, config_.name)
         << "rejecting block " << block.number() << ": " << st.ToString();
@@ -286,7 +302,10 @@ std::shared_ptr<DatabaseNode::ExecEntry> DatabaseNode::StartExecution(
   entry->tx = tx;
 
   PrincipalRole role = PrincipalRole::kClient;
-  Status auth = Authenticate(tx, &role);
+  // Skip the signature check when a batch-verification stage or an earlier
+  // path (submission, forward) already verified this exact signed content.
+  Status auth =
+      Authenticate(tx, &role, /*skip_signature=*/verifier_->WasVerified(tx));
   bool duplicate = auth.ok() && IsDuplicate(tx.id());
   {
     std::lock_guard<std::mutex> lock(exec_mu_);
@@ -326,10 +345,10 @@ std::shared_ptr<DatabaseNode::ExecEntry> DatabaseNode::StartExecution(
         return;
       }
       snap = Snapshot::AtBlockHeight(h);
-    } else {
-      snap = Snapshot::AtCsn(db_.txn_manager()->CurrentCsn());
     }
-    TxnInfo* info = db_.txn_manager()->Begin(snap, entry->tx.id());
+    TxnInfo* info =
+        eop_mode ? db_.txn_manager()->Begin(snap, entry->tx.id())
+                 : db_.txn_manager()->BeginAtCurrentCsn(entry->tx.id());
     entry->txn = std::make_unique<TxnContext>(&db_, info, TxnMode::kNormal);
 
     ContractContext cctx(entry->txn.get(), &engine_, &contracts_,
@@ -353,8 +372,7 @@ void DatabaseNode::WriteLedgerRows(
     const Block& block,
     const std::vector<std::shared_ptr<ExecEntry>>& entries) {
   TxnContext ctx(&db_,
-                 db_.txn_manager()->Begin(
-                     Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                 db_.txn_manager()->BeginAtCurrentCsn(),
                  TxnMode::kInternal);
   for (size_t i = 0; i < entries.size(); ++i) {
     const Transaction& tx = entries[i]->tx;
@@ -387,8 +405,7 @@ void DatabaseNode::UpdateLedgerStatuses(
     const Block& block,
     const std::vector<std::shared_ptr<ExecEntry>>& entries) {
   TxnContext ctx(&db_,
-                 db_.txn_manager()->Begin(
-                     Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                 db_.txn_manager()->BeginAtCurrentCsn(),
                  TxnMode::kInternal);
   for (const auto& entry : entries) {
     std::string status = entry->exec_status.ok()
@@ -420,6 +437,21 @@ std::vector<TxnNotification> DatabaseNode::ProcessBlock(const Block& block) {
   std::vector<TxnNotification> decided;
   const bool eop = config_.flow == TransactionFlow::kExecuteOrderParallel;
   Micros t0 = RealClock::Shared()->NowMicros();
+
+  // Batched signature verification: the block's transaction signatures are
+  // independent, so they verify concurrently (executor pool + this thread)
+  // before any execution starts. Successes land in the verifier cache and
+  // make the per-transaction Authenticate below skip the crypto; failures
+  // simply fall through to the serial path, which reproduces the exact
+  // error. Transactions verified at submission/forward time cost nothing.
+  {
+    std::vector<const Transaction*> to_verify;
+    to_verify.reserve(block.transactions().size());
+    for (const Transaction& tx : block.transactions()) {
+      to_verify.push_back(&tx);
+    }
+    (void)verifier_->VerifyTransactions(*registry_, to_verify);
+  }
 
   // Collect / start executions. A txid may legitimately already be
   // executing (EOP forwarding); anything not yet known is "missing" and is
@@ -595,8 +627,7 @@ Result<sql::ResultSet> DatabaseNode::Query(const std::string& user,
   if (!key.ok()) {
     // Also accept users onboarded on-chain.
     TxnContext probe(&db_,
-                     db_.txn_manager()->Begin(
-                         Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                     db_.txn_manager()->BeginAtCurrentCsn(),
                      TxnMode::kInternal);
     auto r = engine_.Execute(&probe,
                              "SELECT COUNT(*) FROM pgcerts WHERE "
@@ -615,8 +646,7 @@ Result<sql::ResultSet> DatabaseNode::Query(const std::string& user,
         "(paper §3.7)");
   }
   TxnContext ctx(&db_,
-                 db_.txn_manager()->Begin(
-                     Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                 db_.txn_manager()->BeginAtCurrentCsn(),
                  TxnMode::kInternal);
   sql::ExecOptions opts;  // reads of the latest committed state
   return engine_.ExecuteStatement(&ctx, stmt.value(), params, opts);
@@ -681,8 +711,7 @@ Result<sql::ResultSet> DatabaseNode::LocalExecute(
   }
 
   TxnContext ctx(&db_,
-                 db_.txn_manager()->Begin(
-                     Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                 db_.txn_manager()->BeginAtCurrentCsn(),
                  TxnMode::kInternal);
   sql::ExecOptions opts;
   auto r = engine_.ExecuteStatement(&ctx, stmt.value(), params, opts);
@@ -722,8 +751,7 @@ Result<sql::ResultSet> DatabaseNode::ProvenanceQuery(
     return Status::PermissionDenied("provenance queries are read-only");
   }
   TxnContext ctx(&db_,
-                 db_.txn_manager()->Begin(
-                     Snapshot::AtCsn(db_.txn_manager()->CurrentCsn())),
+                 db_.txn_manager()->BeginAtCurrentCsn(),
                  TxnMode::kProvenance);
   sql::ExecOptions opts;
   return engine_.ExecuteStatement(&ctx, stmt.value(), params, opts);

@@ -31,6 +31,7 @@
 #include "contracts/contract.h"
 #include "contracts/system_contracts.h"
 #include "core/metrics.h"
+#include "crypto/sig_verifier.h"
 #include "ledger/block_store.h"
 #include "ledger/checkpoint.h"
 #include "network/sim_network.h"
@@ -52,6 +53,10 @@ struct NodeConfig {
   std::string org;
   TransactionFlow flow = TransactionFlow::kOrderThenExecute;
   size_t executor_threads = 8;
+
+  /// Lock stripes for the transaction manager (0 = default; 1 = the
+  /// historical single-mutex baseline, kept for benchmarks).
+  size_t txn_lock_stripes = 0;
   std::string block_store_path;  ///< "" = in-memory block store
   size_t checkpoint_interval = 1;
   size_t min_orderer_signatures = 1;
@@ -169,8 +174,11 @@ class DatabaseNode {
   std::vector<TxnNotification> ProcessBlock(const Block& block);
 
   /// Authenticate a transaction: registry first, then the pgcerts table
-  /// (covering users added on-chain via create_user).
-  Status Authenticate(const Transaction& tx, PrincipalRole* role_out);
+  /// (covering users added on-chain via create_user). With
+  /// `skip_signature` the crypto is skipped (the verifier cache already
+  /// vouched for this txid) and only the principal's role is resolved.
+  Status Authenticate(const Transaction& tx, PrincipalRole* role_out,
+                      bool skip_signature = false);
 
   /// True if this txid is already recorded in pgledger or executing.
   bool IsDuplicate(const std::string& txid);
@@ -206,6 +214,7 @@ class DatabaseNode {
   CheckpointManager checkpoints_;
   NodeMetrics metrics_;
   std::unique_ptr<ThreadPool> executors_;
+  std::unique_ptr<SignatureVerifier> verifier_;
 
   std::vector<std::string> peer_endpoints_;
 

@@ -1,0 +1,61 @@
+#include "crypto/sig_verifier.h"
+
+#include <algorithm>
+
+namespace brdb {
+
+SignatureVerifier::SignatureVerifier(ThreadPool* pool, size_t cache_capacity)
+    : pool_(pool), capacity_(cache_capacity == 0 ? 1 : cache_capacity) {}
+
+std::string SignatureVerifier::KeyFor(const Transaction& tx) {
+  return tx.SignedPayload() + tx.signature().Serialize();
+}
+
+bool SignatureVerifier::WasVerified(const Transaction& tx) const {
+  std::string key = KeyFor(tx);
+  std::lock_guard<std::mutex> lock(mu_);
+  return verified_.count(key) > 0;
+}
+
+void SignatureVerifier::MarkVerified(const Transaction& tx) {
+  std::string key = KeyFor(tx);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!verified_.insert(key).second) return;
+  fifo_.push_back(std::move(key));
+  while (fifo_.size() > capacity_) {
+    verified_.erase(fifo_.front());
+    fifo_.pop_front();
+  }
+}
+
+std::vector<Status> SignatureVerifier::VerifyTransactions(
+    const CertificateRegistry& registry,
+    const std::vector<const Transaction*>& txs) {
+  std::vector<Status> results(txs.size(), Status::OK());
+  if (txs.empty()) return results;
+
+  // One chunk per would-be worker (pool threads + the caller), so the
+  // per-task overhead amortizes over many verifications.
+  const size_t workers = pool_->num_threads() + 1;
+  const size_t chunk = std::max<size_t>(1, (txs.size() + workers - 1) / workers);
+  std::vector<std::function<void()>> tasks;
+  for (size_t start = 0; start < txs.size(); start += chunk) {
+    size_t end = std::min(start + chunk, txs.size());
+    tasks.push_back([this, &registry, &txs, &results, start, end] {
+      for (size_t i = start; i < end; ++i) {
+        const Transaction& tx = *txs[i];
+        if (WasVerified(tx)) continue;  // results[i] stays OK
+        Status st = tx.Authenticate(registry);
+        if (st.ok()) {
+          MarkVerified(tx);
+        } else {
+          results[i] = st;
+        }
+      }
+    });
+  }
+  pool_->RunBatch(std::move(tasks));
+  return results;
+}
+
+}  // namespace brdb

@@ -1,0 +1,65 @@
+// SignatureVerifier: batched, thread-pool-parallel transaction signature
+// verification with a bounded cache of already-verified transaction ids.
+//
+// The block processor must not pay one serial Schnorr verification per
+// transaction on the commit path: a block's signatures are independent, so
+// they verify concurrently before execution starts. The cache removes the
+// repeat verification a transaction would otherwise get on every path it
+// crosses (client submission, peer forward, block delivery) — a signature
+// over an id-matched payload never changes, so one successful verification
+// is good for the transaction's lifetime.
+#ifndef BRDB_CRYPTO_SIG_VERIFIER_H_
+#define BRDB_CRYPTO_SIG_VERIFIER_H_
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "crypto/identity.h"
+#include "wire/transaction.h"
+
+namespace brdb {
+
+class SignatureVerifier {
+ public:
+  /// `pool` provides the batch parallelism (the node's executor pool; the
+  /// calling thread participates, so a saturated pool is safe).
+  explicit SignatureVerifier(ThreadPool* pool, size_t cache_capacity = 65536);
+
+  /// True when this exact transaction content + signature was already
+  /// verified on some path. The cache key binds the signed payload digest
+  /// AND the signature — never the transaction id alone: order-then-execute
+  /// ids are arbitrary client-chosen strings, so an id-keyed cache would
+  /// let a forged transaction reusing a verified id skip authentication.
+  bool WasVerified(const Transaction& tx) const;
+
+  /// Record a successful verification (bounded FIFO cache).
+  void MarkVerified(const Transaction& tx);
+
+  /// Verify all `txs` concurrently against `registry`. Per-transaction
+  /// statuses come back in input order; successes are cached, and cached
+  /// entries skip the crypto entirely. NotFound means the user is not in
+  /// the bootstrap registry (the caller's pgcerts fallback applies).
+  std::vector<Status> VerifyTransactions(
+      const CertificateRegistry& registry,
+      const std::vector<const Transaction*>& txs);
+
+ private:
+  /// SignedPayload (a digest of id, user, contract, args, height) plus the
+  /// signature bytes: a hit vouches for this exact signed content.
+  static std::string KeyFor(const Transaction& tx);
+
+  ThreadPool* pool_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_set<std::string> verified_;
+  std::deque<std::string> fifo_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_CRYPTO_SIG_VERIFIER_H_

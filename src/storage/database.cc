@@ -2,7 +2,10 @@
 
 namespace brdb {
 
-Database::Database() { CreateSystemTables(); }
+Database::Database(const TxnManagerOptions& txn_options)
+    : txn_manager_(txn_options) {
+  CreateSystemTables();
+}
 
 void Database::CreateSystemTables() {
   // pgledger: one row per transaction per block (paper §4.2). Status is

@@ -30,8 +30,10 @@ inline constexpr const char* kDeployTable = "pgdeploy";
 
 class Database {
  public:
-  /// Creates the system tables.
-  Database();
+  /// Creates the system tables. `txn_options` tunes the transaction
+  /// manager's lock striping (benchmarks pass stripes=1 for the historical
+  /// single-mutex baseline).
+  explicit Database(const TxnManagerOptions& txn_options = {});
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;

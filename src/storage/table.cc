@@ -1,10 +1,31 @@
 #include "storage/table.h"
 
 #include <algorithm>
-#include <cassert>
 #include <functional>
 
+#include "common/logging.h"
+
 namespace brdb {
+
+namespace {
+std::string BadRowId(const TableSchema& schema, RowId id) {
+  return "invalid RowId " + std::to_string(id) + " for table " +
+         schema.name();
+}
+
+// Copies the mutable metadata fields; caller holds the table mutex.
+// Assigning into an existing VersionMeta reuses its candidates capacity.
+void CopyMeta(const RowVersion& v, VersionMeta* m) {
+  m->xmin = v.xmin;
+  m->creator_aborted = v.creator_aborted;
+  m->xmax = v.xmax;
+  m->xmax_candidates = v.xmax_candidates;
+  m->creator_block = v.creator_block;
+  m->deleter_block = v.deleter_block;
+  m->next_version = v.next_version;
+  m->prev_version = v.prev_version;
+}
+}  // namespace
 
 Table::Table(TableId id, TableSchema schema, std::string db_schema)
     : id_(id), schema_(std::move(schema)), db_schema_(std::move(db_schema)) {
@@ -12,6 +33,12 @@ Table::Table(TableId id, TableSchema schema, std::string db_schema)
     if (schema_.columns()[i].indexed) {
       indexes_.emplace(static_cast<int>(i), OrderedIndex{});
     }
+  }
+}
+
+Table::~Table() {
+  for (auto& chunk : chunks_) {
+    delete[] chunk.load(std::memory_order_relaxed);
   }
 }
 
@@ -26,9 +53,9 @@ Status Table::CreateIndex(const std::string& column) {
     return Status::AlreadyExists("index on " + schema_.name() + "." + column);
   }
   OrderedIndex index;
-  for (size_t i = 0; i < heap_.size(); ++i) {
+  for (size_t i = 0; i < Size(); ++i) {
     if (i < dead_.size() && dead_[i]) continue;
-    index[heap_[i].values[col]].push_back(i);
+    index[VersionAt(i).values[col]].push_back(i);
   }
   indexes_.emplace(col, std::move(index));
   BRDB_RETURN_NOT_OK(schema_.MarkIndexed(column));
@@ -42,53 +69,66 @@ bool Table::HasIndexOn(int column) const {
 
 RowId Table::AppendVersion(TxnId xmin, Row values, RowId prev_version) {
   std::lock_guard<std::mutex> lock(mu_);
-  RowId id = heap_.size();
-  RowVersion v;
+  RowId id = num_versions_.load(std::memory_order_relaxed);
+  size_t offset = 0;
+  size_t chunk = ChunkOf(id, &offset);
+  BRDB_CHECK(chunk < kNumChunks, "version arena exhausted");
+  if (chunks_[chunk].load(std::memory_order_relaxed) == nullptr) {
+    size_t cap = 1ULL << (chunk + kFirstChunkBits);
+    chunks_[chunk].store(new RowVersion[cap](), std::memory_order_release);
+  }
+  RowVersion& v = chunks_[chunk].load(std::memory_order_relaxed)[offset];
   v.xmin = xmin;
   v.values = std::move(values);
   v.prev_version = prev_version;
   for (auto& [col, index] : indexes_) {
     index[v.values[col]].push_back(id);
   }
-  heap_.push_back(std::move(v));
+  // Release-publish: pairs with the acquire in Size(), making the new
+  // version's payload visible to lock-free readers.
+  num_versions_.store(id + 1, std::memory_order_release);
   return id;
 }
 
-size_t Table::NumVersions() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return heap_.size();
-}
+size_t Table::NumVersions() const { return Size(); }
 
 const Row& Table::ValuesOf(RowId id) const {
-  assert(id < heap_.size());
-  return heap_[id].values;  // immutable after append
+  BRDB_CHECK(id < Size(), BadRowId(schema_, id));
+  return VersionAt(id).values;  // immutable after append
 }
 
 TxnId Table::XminOf(RowId id) const {
-  assert(id < heap_.size());
-  return heap_[id].xmin;  // immutable after append
+  BRDB_CHECK(id < Size(), BadRowId(schema_, id));
+  return VersionAt(id).xmin;  // immutable after append
 }
 
 VersionMeta Table::MetaOf(RowId id) const {
   std::lock_guard<std::mutex> lock(mu_);
-  assert(id < heap_.size());
-  const RowVersion& v = heap_[id];
+  BRDB_CHECK(id < Size(), BadRowId(schema_, id));
   VersionMeta m;
-  m.xmin = v.xmin;
-  m.creator_aborted = v.creator_aborted;
-  m.xmax = v.xmax;
-  m.xmax_candidates = v.xmax_candidates;
-  m.creator_block = v.creator_block;
-  m.deleter_block = v.deleter_block;
-  m.next_version = v.next_version;
-  m.prev_version = v.prev_version;
+  CopyMeta(VersionAt(id), &m);
   return m;
+}
+
+void Table::MetasOf(const RowId* ids, size_t count,
+                    std::vector<VersionMeta>* out) const {
+  // Grow-only: shrinking would free the elements' candidate vectors the
+  // next larger scan wants to reuse. Callers index [0, count).
+  if (out->size() < count) out->resize(count);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < count; ++i) {
+    RowId id = ids[i];
+    BRDB_CHECK(id < Size(), BadRowId(schema_, id));
+    CopyMeta(VersionAt(id), &(*out)[i]);
+  }
 }
 
 Status Table::AddXmaxCandidate(RowId id, TxnId txn) {
   std::lock_guard<std::mutex> lock(mu_);
-  assert(id < heap_.size());
-  RowVersion& v = heap_[id];
+  if (id >= Size()) {
+    return Status::InvalidArgument(BadRowId(schema_, id));
+  }
+  RowVersion& v = VersionAt(id);
   if (v.xmax != 0) {
     // A committed deleter exists; this write lost before it started.
     return Status::WriteConflict("row version already deleted");
@@ -102,16 +142,16 @@ Status Table::AddXmaxCandidate(RowId id, TxnId txn) {
 
 void Table::RemoveXmaxCandidate(RowId id, TxnId txn) {
   std::lock_guard<std::mutex> lock(mu_);
-  assert(id < heap_.size());
-  auto& cands = heap_[id].xmax_candidates;
+  BRDB_CHECK(id < Size(), BadRowId(schema_, id));
+  auto& cands = VersionAt(id).xmax_candidates;
   cands.erase(std::remove(cands.begin(), cands.end(), txn), cands.end());
 }
 
 std::vector<TxnId> Table::FinalizeDelete(RowId id, TxnId winner,
                                          BlockNum block) {
   std::lock_guard<std::mutex> lock(mu_);
-  assert(id < heap_.size());
-  RowVersion& v = heap_[id];
+  BRDB_CHECK(id < Size(), BadRowId(schema_, id));
+  RowVersion& v = VersionAt(id);
   std::vector<TxnId> losers;
   for (TxnId cand : v.xmax_candidates) {
     if (cand != winner) losers.push_back(cand);
@@ -124,38 +164,54 @@ std::vector<TxnId> Table::FinalizeDelete(RowId id, TxnId winner,
 
 void Table::SetCreatorBlock(RowId id, BlockNum block) {
   std::lock_guard<std::mutex> lock(mu_);
-  assert(id < heap_.size());
-  heap_[id].creator_block = block;
+  BRDB_CHECK(id < Size(), BadRowId(schema_, id));
+  VersionAt(id).creator_block = block;
 }
 
 void Table::MarkCreatorAborted(RowId id) {
   std::lock_guard<std::mutex> lock(mu_);
-  assert(id < heap_.size());
-  heap_[id].creator_aborted = true;
+  BRDB_CHECK(id < Size(), BadRowId(schema_, id));
+  VersionAt(id).creator_aborted = true;
 }
 
 void Table::LinkNextVersion(RowId old_id, RowId next_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  assert(old_id < heap_.size());
-  heap_[old_id].next_version = next_id;
+  BRDB_CHECK(old_id < Size(), BadRowId(schema_, old_id));
+  VersionAt(old_id).next_version = next_id;
 }
 
 std::vector<RowId> Table::ScanAllRowIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<RowId> out;
-  out.reserve(heap_.size());
-  for (RowId i = 0; i < heap_.size(); ++i) {
-    if (i < dead_.size() && dead_[i]) continue;
-    out.push_back(i);
-  }
+  ScanAllRowIds(&out);
   return out;
+}
+
+void Table::ScanAllRowIds(std::vector<RowId>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->clear();
+  size_t n = Size();
+  if (out->capacity() < n) out->reserve(n);
+  for (RowId i = 0; i < n; ++i) {
+    if (i < dead_.size() && dead_[i]) continue;
+    out->push_back(i);
+  }
 }
 
 Result<std::vector<RowId>> Table::IndexRange(int column, const Value* lo,
                                              bool lo_inclusive,
                                              const Value* hi,
                                              bool hi_inclusive) const {
+  std::vector<RowId> out;
+  BRDB_RETURN_NOT_OK(
+      IndexRange(column, lo, lo_inclusive, hi, hi_inclusive, &out));
+  return out;
+}
+
+Status Table::IndexRange(int column, const Value* lo, bool lo_inclusive,
+                         const Value* hi, bool hi_inclusive,
+                         std::vector<RowId>* out) const {
   std::lock_guard<std::mutex> lock(mu_);
+  out->clear();
   auto it = indexes_.find(column);
   if (it == indexes_.end()) {
     return Status::NotFound("no index on column " +
@@ -167,7 +223,6 @@ Result<std::vector<RowId>> Table::IndexRange(int column, const Value* lo,
   if (lo != nullptr) {
     begin = lo_inclusive ? index.lower_bound(*lo) : index.upper_bound(*lo);
   }
-  std::vector<RowId> out;
   for (auto iter = begin; iter != index.end(); ++iter) {
     if (hi != nullptr) {
       int c = iter->first.Compare(*hi);
@@ -175,20 +230,20 @@ Result<std::vector<RowId>> Table::IndexRange(int column, const Value* lo,
     }
     for (RowId id : iter->second) {
       if (id < dead_.size() && dead_[id]) continue;
-      out.push_back(id);
+      out->push_back(id);
     }
   }
-  return out;
+  return Status::OK();
 }
 
 size_t Table::Vacuum(BlockNum horizon_block,
                      const std::function<bool(TxnId)>& aborted) {
   std::lock_guard<std::mutex> lock(mu_);
-  dead_.resize(heap_.size(), false);
+  dead_.resize(Size(), false);
   size_t removed = 0;
-  for (RowId i = 0; i < heap_.size(); ++i) {
+  for (RowId i = 0; i < Size(); ++i) {
     if (dead_[i]) continue;
-    const RowVersion& v = heap_[i];
+    const RowVersion& v = VersionAt(i);
     bool prune = false;
     if (v.creator_aborted || aborted(v.xmin)) {
       prune = true;  // never visible to anyone

@@ -12,10 +12,18 @@
 // after append and may be read without locking; the mutable metadata (xmax,
 // candidates, creator/deleter block, next link) is accessed through locked
 // accessors. Index structures are guarded by the same mutex.
+//
+// The version heap is an append-only chunked arena (exponentially growing
+// chunks behind an atomic chunk directory, size published with a release
+// store) so that the lock-free payload reads are actually race-free: a
+// std::deque would move its internal bookkeeping under concurrent
+// push_back, which is exactly the kind of silent data race ThreadSanitizer
+// flags.
 #ifndef BRDB_STORAGE_TABLE_H_
 #define BRDB_STORAGE_TABLE_H_
 
-#include <deque>
+#include <array>
+#include <atomic>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -63,6 +71,10 @@ struct VersionMeta {
 class Table {
  public:
   Table(TableId id, TableSchema schema, std::string db_schema);
+  ~Table();
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
 
   TableId id() const { return id_; }
   const TableSchema& schema() const { return schema_; }
@@ -82,12 +94,24 @@ class Table {
 
   size_t NumVersions() const;
 
-  /// Immutable payload access (safe without the lock).
+  /// Immutable payload access (safe without the lock). An invalid RowId is
+  /// a caller bug; it fails loudly (BRDB_CHECK) instead of reading out of
+  /// bounds.
   const Row& ValuesOf(RowId id) const;
   TxnId XminOf(RowId id) const;
 
-  /// Copy of the mutable metadata.
+  /// Copy of the mutable metadata. Fails loudly on an invalid RowId.
   VersionMeta MetaOf(RowId id) const;
+
+  /// Batch variant: copies the metadata of `count` ids under ONE lock
+  /// acquisition into `out` (grown to count; element capacity is reused
+  /// across calls). Scan loops use this instead of per-row MetaOf.
+  void MetasOf(const RowId* ids, size_t count,
+               std::vector<VersionMeta>* out) const;
+  void MetasOf(const std::vector<RowId>& ids,
+               std::vector<VersionMeta>* out) const {
+    MetasOf(ids.data(), ids.size(), out);
+  }
 
   /// Register `txn` as an uncommitted deleter of `id`. Multiple candidates
   /// are allowed; a committed xmax rejects further candidates.
@@ -114,12 +138,21 @@ class Table {
   /// All version ids, in append order (full scan).
   std::vector<RowId> ScanAllRowIds() const;
 
+  /// Allocation-lean variant: clears `out` and fills it in place so scan
+  /// loops can reuse one buffer instead of allocating per scan.
+  void ScanAllRowIds(std::vector<RowId>* out) const;
+
   /// Version ids whose `column` value lies in [lo, hi] (either bound may be
   /// null = unbounded, inclusive flags per bound), in index order. Requires
   /// an index on `column`.
   Result<std::vector<RowId>> IndexRange(int column, const Value* lo,
                                         bool lo_inclusive, const Value* hi,
                                         bool hi_inclusive) const;
+
+  /// Allocation-lean variant of IndexRange; clears and fills `out`.
+  Status IndexRange(int column, const Value* lo, bool lo_inclusive,
+                    const Value* hi, bool hi_inclusive,
+                    std::vector<RowId>* out) const;
 
   /// Remove versions that can never become visible again: versions created
   /// by aborted transactions, and committed-deleted versions whose deleter
@@ -139,12 +172,42 @@ class Table {
   };
   using OrderedIndex = std::map<Value, std::vector<RowId>, ValueLess>;
 
+  // Chunked version arena. Chunk c holds 2^(c + kFirstChunkBits) versions;
+  // the directory entries are written once (under mu_) and published by
+  // the release store of num_versions_, so readers that checked an id
+  // against NumVersions() may chase them without the lock.
+  static constexpr size_t kFirstChunkBits = 9;  // 512 versions in chunk 0
+  static constexpr size_t kNumChunks = 48;
+
+  static size_t ChunkOf(RowId id, size_t* offset) {
+    uint64_t adjusted = id + (1ULL << kFirstChunkBits);
+    size_t chunk =
+        63 - static_cast<size_t>(__builtin_clzll(adjusted)) - kFirstChunkBits;
+    *offset = adjusted ^ (1ULL << (chunk + kFirstChunkBits));
+    return chunk;
+  }
+
+  const RowVersion& VersionAt(RowId id) const {
+    size_t offset = 0;
+    size_t chunk = ChunkOf(id, &offset);
+    return chunks_[chunk].load(std::memory_order_acquire)[offset];
+  }
+  RowVersion& VersionAt(RowId id) {
+    size_t offset = 0;
+    size_t chunk = ChunkOf(id, &offset);
+    return chunks_[chunk].load(std::memory_order_acquire)[offset];
+  }
+
+  /// Versions appended so far; acquire pairs with AppendVersion's release.
+  size_t Size() const { return num_versions_.load(std::memory_order_acquire); }
+
   TableId id_;
   TableSchema schema_;
   std::string db_schema_;
 
   mutable std::mutex mu_;
-  std::deque<RowVersion> heap_;
+  std::array<std::atomic<RowVersion*>, kNumChunks> chunks_{};
+  std::atomic<size_t> num_versions_{0};
   std::map<int, OrderedIndex> indexes_;  // column -> index
   std::vector<bool> dead_;               // vacuumed tombstones
 };

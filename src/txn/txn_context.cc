@@ -16,6 +16,45 @@ bool Contains(const std::vector<TxnId>& v, TxnId id) {
 TxnContext::TxnContext(Database* db, TxnInfo* info, TxnMode mode)
     : db_(db), mgr_(db->txn_manager()), info_(info), mode_(mode) {}
 
+TxnStatusView TxnContext::CachedStatusOf(TxnId id) {
+  // One-entry memo in front of the map: scans overwhelmingly revisit the
+  // same xmin (bulk-loaded tables share one creator).
+  if (id == memo_id_) {
+    TxnStatusView v;
+    v.state = memo_state_;
+    v.commit_csn = memo_csn_;
+    return v;
+  }
+  auto it = terminal_cache_.find(id);
+  if (it != terminal_cache_.end()) {
+    TxnStatusView v;
+    v.state = it->second.first;
+    v.commit_csn = it->second.second;
+    memo_id_ = id;
+    memo_state_ = v.state;
+    memo_csn_ = v.commit_csn;
+    return v;
+  }
+  TxnStatusView v = mgr_->StatusViewOf(id);
+  if (v.state != TxnState::kActive) {
+    terminal_cache_.emplace(id, std::make_pair(v.state, v.commit_csn));
+    memo_id_ = id;
+    memo_state_ = v.state;
+    memo_csn_ = v.commit_csn;
+  }
+  return v;
+}
+
+std::vector<RowId>* TxnContext::AcquireScanBuffer() {
+  if (scan_depth_ == scan_buffers_.size()) scan_buffers_.emplace_back();
+  return &scan_buffers_[scan_depth_++];
+}
+
+std::vector<VersionMeta>* TxnContext::AcquireMetaBuffer() {
+  if (meta_depth_ == meta_buffers_.size()) meta_buffers_.emplace_back();
+  return &meta_buffers_[meta_depth_++];
+}
+
 // Outcome of classifying one version against this transaction's snapshot.
 // (Declared privately in the header as Visibility; the richer distinctions
 // needed for SSI side effects are computed inline below.)
@@ -36,7 +75,8 @@ Result<TxnContext::Visibility> TxnContext::ClassifyVersion(
     return Visibility::kVisible;
   }
 
-  TxnState xmin_state = mgr_->StateOf(meta.xmin);
+  TxnStatusView xmin_view = CachedStatusOf(meta.xmin);
+  TxnState xmin_state = xmin_view.state;
   if (xmin_state == TxnState::kAborted) return Visibility::kInvisible;
 
   if (mode_ == TxnMode::kProvenance) {
@@ -48,7 +88,8 @@ Result<TxnContext::Visibility> TxnContext::ClassifyVersion(
     // Latest committed state.
     if (xmin_state != TxnState::kCommitted) return Visibility::kInvisible;
     if (Contains(meta.xmax_candidates, self)) return Visibility::kInvisible;
-    if (meta.xmax != 0 && mgr_->StateOf(meta.xmax) == TxnState::kCommitted) {
+    if (meta.xmax != 0 &&
+        CachedStatusOf(meta.xmax).state == TxnState::kCommitted) {
       return Visibility::kInvisible;
     }
     return Visibility::kVisible;
@@ -58,7 +99,7 @@ Result<TxnContext::Visibility> TxnContext::ClassifyVersion(
   bool created_visible;
   if (snap.kind == Snapshot::Kind::kCsn) {
     created_visible = xmin_state == TxnState::kCommitted &&
-                      mgr_->CommitCsnOf(meta.xmin) <= snap.csn;
+                      xmin_view.commit_csn <= snap.csn;
   } else {
     created_visible =
         meta.creator_block != 0 && meta.creator_block <= snap.height;
@@ -71,7 +112,7 @@ Result<TxnContext::Visibility> TxnContext::ClassifyVersion(
 
   if (snap.kind == Snapshot::Kind::kCsn) {
     if (meta.xmax != 0) {
-      Csn deleter_csn = mgr_->CommitCsnOf(meta.xmax);
+      Csn deleter_csn = CachedStatusOf(meta.xmax).commit_csn;
       if (deleter_csn <= snap.csn) return Visibility::kInvisible;
       // Deleted by a transaction that committed after our snapshot: the row
       // is visible to us, and reading it creates an rw edge to the deleter.
@@ -93,74 +134,100 @@ Result<TxnContext::Visibility> TxnContext::ClassifyVersion(
 Status TxnContext::ScanRowIds(Table* table, const std::vector<RowId>& ids,
                               const PredicateRead& predicate,
                               const RowCallback& cb) {
+  (void)predicate;  // both callers pass ids that satisfy it by construction
   const bool tracked = mode_ == TxnMode::kNormal;
   TxnId self = info_->id;
-  for (RowId id : ids) {
-    // Full scans may pass versions outside the (trivial) predicate; index
-    // scans pass matching versions only. Re-check for safety with the
-    // recorded predicate (cheap).
-    const Row& values = table->ValuesOf(id);
-    if (!predicate.Covers(values)) continue;
 
-    // SIREAD registration MUST precede the metadata read: a concurrent
-    // writer adds its xmax candidate before scanning the reader map, so
-    // with this ordering either the writer sees our registration
-    // (writer-side edge) or we see its candidate (reader-side edge below).
-    // Recording after the metadata copy would leave a window where the
-    // rw dependency is recorded on some nodes and missed on others.
-    if (tracked) mgr_->RecordRowRead(info_, table->id(), id);
-
-    VersionMeta meta = table->MetaOf(id);
-    auto cls = ClassifyVersion(table, id, meta);
-    if (!cls.ok()) return cls.status();
-    switch (cls.value()) {
-      case Visibility::kVisible: {
-        if (tracked) {
-          // rw edges to concurrent transactions that are deleting /
-          // replacing the version we just read.
-          for (TxnId cand : meta.xmax_candidates) {
-            if (cand != self) mgr_->AddRwEdge(self, cand);
-          }
-        }
-        if (!cb(id, values)) return Status::OK();
+  // SIREAD registration MUST precede the metadata read: a concurrent
+  // writer adds its xmax candidate before scanning the reader map, so
+  // with this ordering either the writer sees our registration
+  // (writer-side edge) or we see its candidate (reader-side edge below).
+  // Recording after the metadata copy would leave a window where the
+  // rw dependency is recorded on some nodes and missed on others.
+  //
+  // Rows are processed in chunks: registering a chunk up front keeps that
+  // order per row while the chunk's metadata copies take ONE table lock,
+  // and a callback that stops early (LIMIT-style scans) over-registers at
+  // most one chunk instead of the whole table. The extra SIREADs are
+  // merely conservative (PostgreSQL's page-granular SIREAD locks accept
+  // the same tradeoff) and identical on every node.
+  constexpr size_t kScanChunk = 64;
+  std::vector<VersionMeta>* metas = AcquireMetaBuffer();
+  Status result;
+  bool stop_all = false;
+  for (size_t base = 0; base < ids.size() && !stop_all && result.ok();
+       base += kScanChunk) {
+    const size_t chunk = std::min(kScanChunk, ids.size() - base);
+    if (tracked) {
+      for (size_t i = 0; i < chunk; ++i) {
+        mgr_->RecordRowRead(info_, table->id(), ids[base + i]);
+      }
+    }
+    table->MetasOf(ids.data() + base, chunk, metas);
+    for (size_t i = 0; i < chunk; ++i) {
+      RowId id = ids[base + i];
+      const VersionMeta& meta = (*metas)[i];
+      auto cls = ClassifyVersion(table, id, meta);
+      if (!cls.ok()) {
+        result = cls.status();
         break;
       }
-      case Visibility::kStaleRead:
-        return Status::SerializationFailure(
-            "stale read: row deleted by block later than snapshot height " +
-            std::to_string(info_->snapshot.height));
-      case Visibility::kInvisible: {
-        if (!tracked) break;
-        if (meta.xmin == self) break;
-        TxnState xmin_state = mgr_->StateOf(meta.xmin);
-        if (xmin_state == TxnState::kActive) {
-          // Concurrent uncommitted insert matching our predicate: record
-          // the rw (phantom) edge reader -> writer.
-          mgr_->AddRwEdge(self, meta.xmin);
-        } else if (xmin_state == TxnState::kCommitted) {
-          if (info_->snapshot.kind == Snapshot::Kind::kBlockHeight) {
-            // Paper §3.4.1 rule 1: committed row from a block beyond our
-            // snapshot height matches the predicate -> phantom read.
-            if (meta.creator_block > info_->snapshot.height &&
-                meta.deleter_block == 0) {
-              return Status::SerializationFailure(
-                  "phantom read: row created by block " +
-                  std::to_string(meta.creator_block) +
-                  " beyond snapshot height " +
-                  std::to_string(info_->snapshot.height));
-            }
-          } else {
-            // Committed after our CSN snapshot: rw edge.
-            if (mgr_->CommitCsnOf(meta.xmin) > info_->snapshot.csn) {
-              mgr_->AddRwEdge(self, meta.xmin);
+      bool stop = false;
+      switch (cls.value()) {
+        case Visibility::kVisible: {
+          if (tracked) {
+            // rw edges to concurrent transactions that are deleting /
+            // replacing the version we just read.
+            for (TxnId cand : meta.xmax_candidates) {
+              if (cand != self) mgr_->AddRwEdge(self, cand);
             }
           }
+          if (!cb(id, table->ValuesOf(id))) stop = true;
+          break;
         }
+        case Visibility::kStaleRead:
+          result = Status::SerializationFailure(
+              "stale read: row deleted by block later than snapshot height " +
+              std::to_string(info_->snapshot.height));
+          break;
+        case Visibility::kInvisible: {
+          if (!tracked) break;
+          if (meta.xmin == self) break;
+          TxnStatusView xmin_view = CachedStatusOf(meta.xmin);
+          if (xmin_view.state == TxnState::kActive) {
+            // Concurrent uncommitted insert matching our predicate: record
+            // the rw (phantom) edge reader -> writer.
+            mgr_->AddRwEdge(self, meta.xmin);
+          } else if (xmin_view.state == TxnState::kCommitted) {
+            if (info_->snapshot.kind == Snapshot::Kind::kBlockHeight) {
+              // Paper §3.4.1 rule 1: committed row from a block beyond our
+              // snapshot height matches the predicate -> phantom read.
+              if (meta.creator_block > info_->snapshot.height &&
+                  meta.deleter_block == 0) {
+                result = Status::SerializationFailure(
+                    "phantom read: row created by block " +
+                    std::to_string(meta.creator_block) +
+                    " beyond snapshot height " +
+                    std::to_string(info_->snapshot.height));
+              }
+            } else {
+              // Committed after our CSN snapshot: rw edge.
+              if (xmin_view.commit_csn > info_->snapshot.csn) {
+                mgr_->AddRwEdge(self, meta.xmin);
+              }
+            }
+          }
+          break;
+        }
+      }
+      if (stop || !result.ok()) {
+        stop_all = true;
         break;
       }
     }
   }
-  return Status::OK();
+  ReleaseMetaBuffer();
+  return result;
 }
 
 Status TxnContext::ScanAll(Table* table, const RowCallback& cb) {
@@ -174,16 +241,17 @@ Status TxnContext::ScanAll(Table* table, const RowCallback& cb) {
   // Iterate in primary-key order when available so that scan order — and
   // therefore any order-sensitive contract logic — is identical on every
   // node regardless of heap append interleaving.
-  std::vector<RowId> ids;
+  std::vector<RowId>* ids = AcquireScanBuffer();
+  Status st;
   int pk = table->schema().pk_column();
   if (pk >= 0 && table->HasIndexOn(pk)) {
-    auto r = table->IndexRange(pk, nullptr, true, nullptr, true);
-    if (!r.ok()) return r.status();
-    ids = std::move(r).value();
+    st = table->IndexRange(pk, nullptr, true, nullptr, true, ids);
   } else {
-    ids = table->ScanAllRowIds();
+    table->ScanAllRowIds(ids);
   }
-  return ScanRowIds(table, ids, predicate, cb);
+  if (st.ok()) st = ScanRowIds(table, *ids, predicate, cb);
+  ReleaseScanBuffer();
+  return st;
 }
 
 Status TxnContext::ScanRange(Table* table, int column, const Value* lo,
@@ -200,9 +268,12 @@ Status TxnContext::ScanRange(Table* table, int column, const Value* lo,
   if (mode_ == TxnMode::kNormal) {
     mgr_->RecordPredicate(info_, predicate);
   }
-  auto ids = table->IndexRange(column, lo, lo_inclusive, hi, hi_inclusive);
-  if (!ids.ok()) return ids.status();
-  return ScanRowIds(table, ids.value(), predicate, cb);
+  std::vector<RowId>* ids = AcquireScanBuffer();
+  Status st =
+      table->IndexRange(column, lo, lo_inclusive, hi, hi_inclusive, ids);
+  if (st.ok()) st = ScanRowIds(table, *ids, predicate, cb);
+  ReleaseScanBuffer();
+  return st;
 }
 
 Status TxnContext::ScanVersions(Table* table, const VersionCallback& cb) {
@@ -219,27 +290,40 @@ Status TxnContext::ScanVersions(Table* table, const VersionCallback& cb) {
 }
 
 Status TxnContext::CheckUniqueAtWrite(Table* table, const Row& values,
-                                      RowId exclude_base) {
+                                      RowId exclude_base,
+                                      const Row* base_values) {
   const auto& cols = table->schema().columns();
   for (size_t c = 0; c < cols.size(); ++c) {
     if (!cols[c].unique) continue;
     const Value& v = values[c];
     if (v.is_null()) continue;
-    auto ids = table->IndexRange(static_cast<int>(c), &v, true, &v, true);
-    if (!ids.ok()) return ids.status();
-    for (RowId id : ids.value()) {
-      if (id == exclude_base) continue;
-      VersionMeta meta = table->MetaOf(id);
-      auto cls = ClassifyVersion(table, id, meta);
-      if (!cls.ok()) return cls.status();
-      // A stale-visible duplicate still counts: under our snapshot the key
-      // exists (deterministic on every node).
-      if (cls.value() != Visibility::kInvisible) {
-        return Status::ConstraintViolation(
-            "duplicate value for unique column " + cols[c].name +
-            " in table " + table->schema().name());
+    if (base_values != nullptr && !(*base_values)[c].is_null() &&
+        (*base_values)[c].Compare(v) == 0) {
+      continue;  // unchanged unique value: no new duplicate possible
+    }
+    std::vector<RowId>* ids = AcquireScanBuffer();
+    Status st = table->IndexRange(static_cast<int>(c), &v, true, &v, true, ids);
+    if (st.ok()) {
+      for (RowId id : *ids) {
+        if (id == exclude_base) continue;
+        VersionMeta meta = table->MetaOf(id);
+        auto cls = ClassifyVersion(table, id, meta);
+        if (!cls.ok()) {
+          st = cls.status();
+          break;
+        }
+        // A stale-visible duplicate still counts: under our snapshot the
+        // key exists (deterministic on every node).
+        if (cls.value() != Visibility::kInvisible) {
+          st = Status::ConstraintViolation(
+              "duplicate value for unique column " + cols[c].name +
+              " in table " + table->schema().name());
+          break;
+        }
       }
     }
+    ReleaseScanBuffer();
+    BRDB_RETURN_NOT_OK(st);
   }
   return Status::OK();
 }
@@ -271,7 +355,8 @@ Status TxnContext::Update(Table* table, RowId base, Row new_values) {
   }
   BRDB_RETURN_NOT_OK(table->schema().ValidateRow(new_values));
   if (mode_ == TxnMode::kNormal) {
-    BRDB_RETURN_NOT_OK(CheckUniqueAtWrite(table, new_values, base));
+    BRDB_RETURN_NOT_OK(
+        CheckUniqueAtWrite(table, new_values, base, &table->ValuesOf(base)));
   }
   BRDB_RETURN_NOT_OK(table->AddXmaxCandidate(base, info_->id));
   RowId id = table->AppendVersion(info_->id, std::move(new_values), base);
@@ -317,32 +402,44 @@ Status TxnContext::CheckUniqueAtCommit() {
     Table* table = db_->GetTableById(w.table);
     if (table == nullptr) return Status::Internal("table vanished");
     const Row& values = table->ValuesOf(w.new_row);
+    const Row* base_values =
+        w.base_row != kInvalidRowId ? &table->ValuesOf(w.base_row) : nullptr;
     const auto& cols = table->schema().columns();
     for (size_t c = 0; c < cols.size(); ++c) {
       if (!cols[c].unique) continue;
       const Value& v = values[c];
       if (v.is_null()) continue;
-      auto ids = table->IndexRange(static_cast<int>(c), &v, true, &v, true);
-      if (!ids.ok()) return ids.status();
-      for (RowId id : ids.value()) {
-        if (own_rows.count(id)) continue;
-        VersionMeta meta = table->MetaOf(id);
-        if (Contains(meta.xmax_candidates, info_->id)) {
-          continue;  // base version we are replacing/deleting
-        }
-        bool duplicate = false;
-        if (meta.xmin == info_->id) {
-          duplicate = true;  // an unrelated own insert with the same key
-        } else if (mgr_->StateOf(meta.xmin) == TxnState::kCommitted &&
-                   meta.xmax == 0) {
-          duplicate = true;  // live committed row with the same key
-        }
-        if (duplicate) {
-          return Status::ConstraintViolation(
-              "duplicate value for unique column " + cols[c].name +
-              " in table " + table->schema().name() + " (commit check)");
+      if (base_values != nullptr && !(*base_values)[c].is_null() &&
+          (*base_values)[c].Compare(v) == 0) {
+        continue;  // unchanged unique value: no new duplicate possible
+      }
+      std::vector<RowId>* ids = AcquireScanBuffer();
+      Status st =
+          table->IndexRange(static_cast<int>(c), &v, true, &v, true, ids);
+      if (st.ok()) {
+        for (RowId id : *ids) {
+          if (own_rows.count(id)) continue;
+          VersionMeta meta = table->MetaOf(id);
+          if (Contains(meta.xmax_candidates, info_->id)) {
+            continue;  // base version we are replacing/deleting
+          }
+          bool duplicate = false;
+          if (meta.xmin == info_->id) {
+            duplicate = true;  // an unrelated own insert with the same key
+          } else if (mgr_->StateOf(meta.xmin) == TxnState::kCommitted &&
+                     meta.xmax == 0) {
+            duplicate = true;  // live committed row with the same key
+          }
+          if (duplicate) {
+            st = Status::ConstraintViolation(
+                "duplicate value for unique column " + cols[c].name +
+                " in table " + table->schema().name() + " (commit check)");
+            break;
+          }
         }
       }
+      ReleaseScanBuffer();
+      BRDB_RETURN_NOT_OK(st);
     }
   }
   return Status::OK();
@@ -431,10 +528,9 @@ void TxnContext::Abort(const Status& reason) {
       table->MarkCreatorAborted(w.new_row);
     }
   }
-  if (!info_->doomed) {
-    info_->doomed = true;
-    info_->doom_reason = reason;
-  }
+  // Doom first so the reason is recorded ("first reason sticks"), then
+  // flip the state; both are thread-safe against concurrent bookkeeping.
+  mgr_->Doom(info_->id, reason);
   mgr_->MarkAborted(info_);
   finished_ = true;
 }

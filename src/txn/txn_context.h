@@ -8,8 +8,10 @@
 #ifndef BRDB_TXN_TXN_CONTEXT_H_
 #define BRDB_TXN_TXN_CONTEXT_H_
 
+#include <deque>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -105,18 +107,47 @@ class TxnContext {
   /// Deferred UNIQUE enforcement against the latest committed state.
   Status CheckUniqueAtCommit();
 
-  /// Fast-fail UNIQUE check against the transaction snapshot.
+  /// Fast-fail UNIQUE check against the transaction snapshot. For updates
+  /// `base_values` is the replaced version: columns whose value did not
+  /// change skip the probe — an unchanged unique value cannot introduce a
+  /// duplicate the base version did not already have.
   Status CheckUniqueAtWrite(Table* table, const Row& values,
-                            RowId exclude_base);
+                            RowId exclude_base,
+                            const Row* base_values = nullptr);
 
   Status ScanRowIds(Table* table, const std::vector<RowId>& ids,
                     const PredicateRead& predicate, const RowCallback& cb);
+
+  /// Combined state/commit-CSN lookup with a transaction-local cache of
+  /// terminal states (committed/aborted never change, so one registry
+  /// probe per peer transaction suffices for the whole transaction).
+  TxnStatusView CachedStatusOf(TxnId id);
+
+  /// Reusable RowId buffers for scan loops. Scans nest (join loops drive
+  /// inner scans from the outer scan's callback), so buffers are pooled by
+  /// depth; the deque keeps references stable while the pool grows.
+  std::vector<RowId>* AcquireScanBuffer();
+  void ReleaseScanBuffer() { --scan_depth_; }
+
+  /// Same pooling for the batched version-metadata copies; reusing the
+  /// elements keeps their xmax_candidates capacity across scans.
+  std::vector<VersionMeta>* AcquireMetaBuffer();
+  void ReleaseMetaBuffer() { --meta_depth_; }
 
   Database* db_;
   TxnManager* mgr_;
   TxnInfo* info_;
   TxnMode mode_;
   bool finished_ = false;
+
+  std::unordered_map<TxnId, std::pair<TxnState, Csn>> terminal_cache_;
+  TxnId memo_id_ = 0;  ///< 0 = empty (txn ids start at 1)
+  TxnState memo_state_ = TxnState::kCommitted;
+  Csn memo_csn_ = 0;
+  std::deque<std::vector<RowId>> scan_buffers_;
+  size_t scan_depth_ = 0;
+  std::deque<std::vector<VersionMeta>> meta_buffers_;
+  size_t meta_depth_ = 0;
 };
 
 }  // namespace brdb

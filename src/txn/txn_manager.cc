@@ -2,191 +2,291 @@
 
 #include <algorithm>
 #include <cassert>
+#include <thread>
 
 namespace brdb {
 
+namespace {
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Default stripe count scales with the hardware: enough that executor
+// threads rarely collide (4x the core count), bounded so the idle-map
+// cache footprint stays cheap on little machines.
+size_t DefaultStripes() {
+  size_t cores = std::thread::hardware_concurrency();
+  if (cores == 0) cores = 4;
+  return std::min<size_t>(128, std::max<size_t>(4, 4 * cores));
+}
+}  // namespace
+
+TxnManager::TxnManager(const TxnManagerOptions& options) {
+  size_t n =
+      RoundUpPow2(options.stripes == 0 ? DefaultStripes() : options.stripes);
+  shard_mask_ = n - 1;
+  shards_ = std::vector<Shard>(n);
+  read_stripes_ = std::vector<ReadStripe>(n);
+  predicate_stripes_ = std::vector<PredicateStripe>(n);
+}
+
+template <typename Fn>
+bool TxnManager::WithTxn(TxnId id, Fn fn) const {
+  const Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.txns.find(id);
+  if (it == shard.txns.end()) return false;
+  fn(it->second.get());
+  return true;
+}
+
 TxnInfo* TxnManager::Begin(Snapshot snapshot, std::string global_id) {
-  std::lock_guard<std::mutex> lock(mu_);
   auto info = std::make_unique<TxnInfo>();
-  info->id = next_id_++;
+  info->id = next_id_.fetch_add(1, std::memory_order_relaxed);
   info->global_id = std::move(global_id);
   info->snapshot = snapshot;
-  info->begin_csn = csn_;
   TxnInfo* ptr = info.get();
-  txns_.emplace(ptr->id, std::move(info));
+  Shard& shard = ShardOf(ptr->id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // begin_csn anchors the GC horizon, so it is sampled under the shard
+  // lock: a concurrent GarbageCollect either sees this transaction in the
+  // shard scan or ran its horizon init before this (monotonic) sample.
+  // For CSN snapshots it is additionally clamped to the snapshot CSN —
+  // the caller may have sampled the snapshot a while ago, and GC must
+  // never pass a snapshot an active transaction still reads at.
+  Csn now = csn_.load(std::memory_order_acquire);
+  ptr->begin_csn = snapshot.kind == Snapshot::Kind::kCsn
+                       ? std::min(snapshot.csn, now)
+                       : now;
+  shard.txns.emplace(ptr->id, std::move(info));
   return ptr;
 }
 
-Csn TxnManager::CurrentCsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return csn_;
+TxnInfo* TxnManager::BeginAtCurrentCsn(std::string global_id) {
+  auto info = std::make_unique<TxnInfo>();
+  info->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  info->global_id = std::move(global_id);
+  TxnInfo* ptr = info.get();
+  Shard& shard = ShardOf(ptr->id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Csn now = csn_.load(std::memory_order_acquire);
+  ptr->snapshot = Snapshot::AtCsn(now);
+  ptr->begin_csn = now;
+  shard.txns.emplace(ptr->id, std::move(info));
+  return ptr;
 }
 
 TxnInfo* TxnManager::Get(TxnId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = txns_.find(id);
-  return it == txns_.end() ? nullptr : it->second.get();
+  TxnInfo* out = nullptr;
+  WithTxn(id, [&](TxnInfo* t) { out = t; });
+  return out;
 }
 
 const TxnInfo* TxnManager::Get(TxnId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = txns_.find(id);
-  return it == txns_.end() ? nullptr : it->second.get();
+  const TxnInfo* out = nullptr;
+  WithTxn(id, [&](TxnInfo* t) { out = t; });
+  return out;
 }
 
-TxnState TxnManager::StateOf(TxnId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = txns_.find(id);
+TxnStatusView TxnManager::StatusViewOf(TxnId id) const {
   // Unknown transactions were garbage-collected, which only happens after
-  // they finished; treat unknown as committed-long-ago for visibility. The
+  // they finished; the default-constructed view (state kCommitted,
+  // commit_csn 0, known false) is exactly "committed long ago", and the
   // GC horizon guarantees no active snapshot can still be affected.
-  return it == txns_.end() ? TxnState::kCommitted : it->second->state;
+  TxnStatusView v;
+  WithTxn(id, [&](TxnInfo* t) {
+    v.known = true;
+    v.state = t->state.load(std::memory_order_acquire);
+    v.doomed = t->doomed.load(std::memory_order_acquire);
+    v.begin_csn = t->begin_csn;
+    if (v.state == TxnState::kCommitted) {
+      // Published by the release store of state = kCommitted.
+      v.commit_csn = t->commit_csn;
+      v.commit_block = t->commit_block;
+    } else {
+      v.commit_csn = 0;
+      v.commit_block = 0;
+    }
+  });
+  return v;
 }
+
+TxnState TxnManager::StateOf(TxnId id) const { return StatusViewOf(id).state; }
 
 bool TxnManager::IsAborted(TxnId id) const {
   return StateOf(id) == TxnState::kAborted;
 }
 
 Csn TxnManager::CommitCsnOf(TxnId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = txns_.find(id);
-  return it == txns_.end() ? 0 : it->second->commit_csn;
+  return StatusViewOf(id).commit_csn;
 }
 
 BlockNum TxnManager::CommitBlockOf(TxnId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = txns_.find(id);
-  return it == txns_.end() ? 0 : it->second->commit_block;
+  return StatusViewOf(id).commit_block;
 }
 
 void TxnManager::RecordRowRead(TxnInfo* reader, TableId table, RowId row) {
-  std::lock_guard<std::mutex> lock(mu_);
-  reader->row_reads.emplace_back(table, row);
-  row_readers_[table][row].insert(reader->id);
+  reader->row_reads.emplace_back(table, row);  // owner thread
+  ReadStripe& stripe = ReadStripeOf(table, row);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  std::vector<TxnId>& readers = stripe.readers[{table, row}];
+  if (std::find(readers.begin(), readers.end(), reader->id) ==
+      readers.end()) {
+    if (readers.empty()) readers.reserve(4);
+    readers.push_back(reader->id);
+  }
 }
 
 void TxnManager::RecordPredicate(TxnInfo* reader, PredicateRead predicate) {
-  std::lock_guard<std::mutex> lock(mu_);
-  predicate_readers_[predicate.table].emplace_back(reader->id, predicate);
-  reader->predicates.push_back(std::move(predicate));
+  PredicateStripe& stripe = PredicateStripeOf(predicate.table);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.by_table[predicate.table].emplace_back(reader->id, predicate);
+  }
+  reader->predicates.push_back(std::move(predicate));  // owner thread
 }
 
-bool TxnManager::ConcurrentLocked(const TxnInfo& a, const TxnInfo& b) const {
+bool TxnManager::Concurrent(const TxnStatusView& a, const TxnInfo& b) {
   // Two transactions are concurrent unless one committed before the other
   // began. Abort does not end concurrency retroactively; aborted txns are
   // filtered out by callers.
   if (a.state == TxnState::kCommitted && a.commit_csn <= b.begin_csn) {
     return false;
   }
-  if (b.state == TxnState::kCommitted && b.commit_csn <= a.begin_csn) {
+  TxnState b_state = b.state.load(std::memory_order_acquire);
+  if (b_state == TxnState::kCommitted && b.commit_csn <= a.begin_csn) {
     return false;
   }
   return true;
 }
 
-void TxnManager::AddEdgeLocked(TxnId reader, TxnId writer) {
+void TxnManager::AddEdge(TxnId reader, TxnId writer) {
   if (reader == writer) return;
-  auto r = txns_.find(reader);
-  auto w = txns_.find(writer);
-  if (r == txns_.end() || w == txns_.end()) return;
-  if (r->second->state == TxnState::kAborted ||
-      w->second->state == TxnState::kAborted) {
-    return;
-  }
-  r->second->out_conflicts.insert(writer);
-  w->second->in_conflicts.insert(reader);
+  TxnStatusView r = StatusViewOf(reader);
+  TxnStatusView w = StatusViewOf(writer);
+  if (!r.known || !w.known) return;
+  if (r.state == TxnState::kAborted || w.state == TxnState::kAborted) return;
+  WithTxn(reader, [&](TxnInfo* t) {
+    std::lock_guard<std::mutex> lock(t->conflict_mu);
+    t->out_conflicts.insert(writer);
+  });
+  WithTxn(writer, [&](TxnInfo* t) {
+    std::lock_guard<std::mutex> lock(t->conflict_mu);
+    t->in_conflicts.insert(reader);
+  });
 }
 
 void TxnManager::RecordWrite(TxnInfo* writer, const WriteRecord& write,
                              const Row* new_values, const Row* base_values) {
-  std::lock_guard<std::mutex> lock(mu_);
-  writer->writes.push_back(write);
+  writer->writes.push_back(write);  // owner thread
 
   // rw edges from transactions that read the base version we are replacing
   // or deleting.
   if (base_values != nullptr && write.base_row != kInvalidRowId) {
-    auto table_it = row_readers_.find(write.table);
-    if (table_it != row_readers_.end()) {
-      auto row_it = table_it->second.find(write.base_row);
-      if (row_it != table_it->second.end()) {
-        for (TxnId reader : row_it->second) {
-          auto r = txns_.find(reader);
-          if (r == txns_.end()) continue;
-          if (r->second->state == TxnState::kAborted) continue;
-          if (!ConcurrentLocked(*r->second, *writer)) continue;
-          AddEdgeLocked(reader, writer->id);
-        }
-      }
+    std::vector<TxnId> readers;
+    {
+      ReadStripe& stripe = ReadStripeOf(write.table, write.base_row);
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      auto it = stripe.readers.find({write.table, write.base_row});
+      if (it != stripe.readers.end()) readers = it->second;
+    }
+    for (TxnId reader : readers) {
+      if (reader == writer->id) continue;
+      TxnStatusView r = StatusViewOf(reader);
+      if (!r.known || r.state == TxnState::kAborted) continue;
+      if (!Concurrent(r, *writer)) continue;
+      AddEdge(reader, writer->id);
     }
   }
 
   // rw (predicate/phantom) edges from transactions whose scans cover the
   // values we are introducing.
   if (new_values != nullptr) {
-    auto pred_it = predicate_readers_.find(write.table);
-    if (pred_it != predicate_readers_.end()) {
-      for (const auto& [reader, predicate] : pred_it->second) {
-        if (reader == writer->id) continue;
-        if (!predicate.Covers(*new_values)) continue;
-        auto r = txns_.find(reader);
-        if (r == txns_.end()) continue;
-        if (r->second->state == TxnState::kAborted) continue;
-        if (!ConcurrentLocked(*r->second, *writer)) continue;
-        AddEdgeLocked(reader, writer->id);
+    std::vector<TxnId> matching;
+    {
+      PredicateStripe& stripe = PredicateStripeOf(write.table);
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      auto it = stripe.by_table.find(write.table);
+      if (it != stripe.by_table.end()) {
+        for (const auto& [reader, predicate] : it->second) {
+          if (reader == writer->id) continue;
+          if (!predicate.Covers(*new_values)) continue;
+          matching.push_back(reader);
+        }
       }
+    }
+    for (TxnId reader : matching) {
+      TxnStatusView r = StatusViewOf(reader);
+      if (!r.known || r.state == TxnState::kAborted) continue;
+      if (!Concurrent(r, *writer)) continue;
+      AddEdge(reader, writer->id);
     }
   }
 }
 
 void TxnManager::AddRwEdge(TxnId reader, TxnId writer) {
-  std::lock_guard<std::mutex> lock(mu_);
-  AddEdgeLocked(reader, writer);
+  AddEdge(reader, writer);
 }
 
 void TxnManager::Doom(TxnId txn, const Status& reason) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = txns_.find(txn);
-  if (it == txns_.end()) return;
-  if (it->second->state != TxnState::kActive) return;
-  if (!it->second->doomed) {
-    it->second->doomed = true;
-    it->second->doom_reason = reason;
-  }
+  WithTxn(txn, [&](TxnInfo* t) {
+    if (t->state.load(std::memory_order_acquire) != TxnState::kActive) return;
+    std::lock_guard<std::mutex> lock(t->conflict_mu);
+    if (!t->doomed.load(std::memory_order_relaxed)) {
+      t->doom_reason = reason;
+      t->doomed.store(true, std::memory_order_release);
+    }
+  });
 }
 
 bool TxnManager::IsDoomed(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = txns_.find(txn);
-  return it != txns_.end() && it->second->doomed;
+  bool doomed = false;
+  WithTxn(txn,
+          [&](TxnInfo* t) { doomed = t->doomed.load(std::memory_order_acquire); });
+  return doomed;
 }
 
 Status TxnManager::DoomReason(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = txns_.find(txn);
-  if (it == txns_.end() || !it->second->doomed) return Status::OK();
-  return it->second->doom_reason;
+  Status reason = Status::OK();
+  WithTxn(txn, [&](TxnInfo* t) {
+    std::lock_guard<std::mutex> lock(t->conflict_mu);
+    if (t->doomed.load(std::memory_order_relaxed)) reason = t->doom_reason;
+  });
+  return reason;
 }
 
-Status TxnManager::ValidateAbortDuringCommitLocked(TxnInfo* txn) {
+std::vector<TxnId> TxnManager::CopyConflicts(TxnId id, bool in) const {
+  std::vector<TxnId> out;
+  WithTxn(id, [&](TxnInfo* t) {
+    std::lock_guard<std::mutex> lock(t->conflict_mu);
+    const std::set<TxnId>& s = in ? t->in_conflicts : t->out_conflicts;
+    out.assign(s.begin(), s.end());
+  });
+  return out;
+}
+
+Status TxnManager::ValidateAbortDuringCommit(TxnInfo* txn) {
   // Self pivot rule: this transaction has a committed outConflict and some
   // inConflict -> a dangerous structure with the out side committed first
   // (Figure 2(c)); the committing pivot must abort.
   // Doomed transactions are guaranteed to abort at their commit slot, so
   // they no longer participate in dangerous structures (dooming is itself
   // deterministic across nodes).
+  std::vector<TxnId> ins = CopyConflicts(txn->id, /*in=*/true);
   bool has_in = false;
-  for (TxnId in : txn->in_conflicts) {
-    auto it = txns_.find(in);
-    if (it != txns_.end() && it->second->state != TxnState::kAborted &&
-        !it->second->doomed) {
+  for (TxnId in : ins) {
+    TxnStatusView v = StatusViewOf(in);
+    if (v.known && v.state != TxnState::kAborted && !v.doomed) {
       has_in = true;
       break;
     }
   }
   if (has_in) {
-    for (TxnId out : txn->out_conflicts) {
-      auto it = txns_.find(out);
-      if (it != txns_.end() && it->second->state == TxnState::kCommitted) {
+    for (TxnId out : CopyConflicts(txn->id, /*in=*/false)) {
+      TxnStatusView v = StatusViewOf(out);
+      if (v.known && v.state == TxnState::kCommitted) {
         return Status::SerializationFailure(
             "pivot with committed outConflict (abort during commit)");
       }
@@ -196,26 +296,19 @@ Status TxnManager::ValidateAbortDuringCommitLocked(TxnInfo* txn) {
   // Victim rule: for each active nearConflict N (N ->rw txn), if any
   // non-aborted farConflict F (F ->rw N) exists — including F == txn for
   // the two-transaction cycle — abort N so txn can commit.
-  for (TxnId n_id : txn->in_conflicts) {
-    auto n_it = txns_.find(n_id);
-    if (n_it == txns_.end()) continue;
-    TxnInfo* n = n_it->second.get();
-    if (n->state != TxnState::kActive || n->doomed) continue;
-    for (TxnId f_id : n->in_conflicts) {
+  for (TxnId n_id : ins) {
+    TxnStatusView n = StatusViewOf(n_id);
+    if (!n.known || n.state != TxnState::kActive || n.doomed) continue;
+    for (TxnId f_id : CopyConflicts(n_id, /*in=*/true)) {
       if (f_id == txn->id) {
-        n->doomed = true;
-        n->doom_reason = Status::SerializationFailure(
-            "nearConflict of committing transaction (2-cycle)");
+        Doom(n_id, Status::SerializationFailure(
+                       "nearConflict of committing transaction (2-cycle)"));
         break;
       }
-      auto f_it = txns_.find(f_id);
-      if (f_it == txns_.end()) continue;
-      if (f_it->second->state == TxnState::kAborted || f_it->second->doomed) {
-        continue;
-      }
-      n->doomed = true;
-      n->doom_reason = Status::SerializationFailure(
-          "nearConflict with farConflict (abort during commit)");
+      TxnStatusView f = StatusViewOf(f_id);
+      if (!f.known || f.state == TxnState::kAborted || f.doomed) continue;
+      Doom(n_id, Status::SerializationFailure(
+                     "nearConflict with farConflict (abort during commit)"));
       break;
     }
   }
@@ -255,15 +348,13 @@ Status TxnManager::ValidateAbortDuringCommitLocked(TxnInfo* txn) {
 // Everything else commits. Compared to a literal Table 2 this admits more
 // serializable schedules (e.g. a pure chain F->N->T all commits) while
 // remaining anomaly-safe and byte-identical across nodes.
-Status TxnManager::ValidateBlockAwareLocked(
+Status TxnManager::ValidateBlockAware(
     TxnInfo* txn, BlockNum block, const std::vector<TxnId>& block_members) {
   (void)block_members;
   bool committed_same_block_out = false;
-  for (TxnId out : txn->out_conflicts) {
-    auto it = txns_.find(out);
-    if (it == txns_.end()) continue;
-    const TxnInfo& o = *it->second;
-    if (o.state != TxnState::kCommitted) continue;
+  for (TxnId out : CopyConflicts(txn->id, /*in=*/false)) {
+    TxnStatusView o = StatusViewOf(out);
+    if (!o.known || o.state != TxnState::kCommitted) continue;
     if (o.commit_block != block) {
       return Status::SerializationFailure(
           "rw-dependency to transaction committed in earlier block "
@@ -272,11 +363,10 @@ Status TxnManager::ValidateBlockAwareLocked(
     committed_same_block_out = true;
   }
   if (committed_same_block_out) {
-    for (TxnId in : txn->in_conflicts) {
-      auto it = txns_.find(in);
-      if (it == txns_.end()) continue;
-      const TxnInfo& m = *it->second;
-      if (m.state == TxnState::kCommitted && m.commit_block == block) {
+    for (TxnId in : CopyConflicts(txn->id, /*in=*/true)) {
+      TxnStatusView m = StatusViewOf(in);
+      if (m.known && m.state == TxnState::kCommitted &&
+          m.commit_block == block) {
         return Status::SerializationFailure(
             "pivot with committed in- and out-conflicts within block "
             "(block-aware SSI)");
@@ -289,85 +379,169 @@ Status TxnManager::ValidateBlockAwareLocked(
 Status TxnManager::ValidateForCommit(TxnInfo* txn, SsiPolicy policy,
                                      BlockNum block, int block_pos,
                                      const std::vector<TxnId>& block_members) {
-  std::lock_guard<std::mutex> lock(mu_);
-  assert(txn->state == TxnState::kActive);
+  assert(txn->state.load() == TxnState::kActive);
   txn->block_pos = block_pos;
-  if (txn->doomed) return txn->doom_reason;
+  if (txn->doomed.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(txn->conflict_mu);
+    return txn->doom_reason;
+  }
   switch (policy) {
     case SsiPolicy::kAbortDuringCommit:
-      return ValidateAbortDuringCommitLocked(txn);
+      return ValidateAbortDuringCommit(txn);
     case SsiPolicy::kBlockAware:
-      return ValidateBlockAwareLocked(txn, block, block_members);
+      return ValidateBlockAware(txn, block, block_members);
   }
   return Status::Internal("unknown SSI policy");
 }
 
 void TxnManager::MarkCommitted(TxnInfo* txn, BlockNum block) {
-  std::lock_guard<std::mutex> lock(mu_);
-  assert(txn->state == TxnState::kActive);
-  txn->commit_csn = ++csn_;
+  assert(txn->state.load() == TxnState::kActive);
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  Csn v = csn_.load(std::memory_order_relaxed) + 1;
+  txn->commit_csn = v;
   txn->commit_block = block;
-  txn->state = TxnState::kCommitted;
+  // Publication order matters: the committed state (release store below)
+  // must be visible before CurrentCsn() can hand out a snapshot CSN >= v,
+  // or a fresh snapshot would briefly classify this transaction's rows as
+  // created-by-active (invisible) and re-reads within one snapshot would
+  // diverge. csn_'s release store pairs with CurrentCsn()'s acquire load.
+  txn->state.store(TxnState::kCommitted, std::memory_order_release);
+  csn_.store(v, std::memory_order_release);
 }
 
 void TxnManager::MarkAborted(TxnInfo* txn) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (txn->state != TxnState::kActive) return;
-  txn->state = TxnState::kAborted;
-  // Aborted transactions no longer participate in any structure.
-  for (TxnId out : txn->out_conflicts) {
-    auto it = txns_.find(out);
-    if (it != txns_.end()) it->second->in_conflicts.erase(txn->id);
+  TxnState expected = TxnState::kActive;
+  if (!txn->state.compare_exchange_strong(expected, TxnState::kAborted,
+                                          std::memory_order_acq_rel)) {
+    return;
   }
-  for (TxnId in : txn->in_conflicts) {
-    auto it = txns_.find(in);
-    if (it != txns_.end()) it->second->out_conflicts.erase(txn->id);
+  // Aborted transactions no longer participate in any structure.
+  std::vector<TxnId> outs, ins;
+  {
+    std::lock_guard<std::mutex> lock(txn->conflict_mu);
+    outs.assign(txn->out_conflicts.begin(), txn->out_conflicts.end());
+    ins.assign(txn->in_conflicts.begin(), txn->in_conflicts.end());
+  }
+  for (TxnId out : outs) {
+    WithTxn(out, [&](TxnInfo* t) {
+      std::lock_guard<std::mutex> lock(t->conflict_mu);
+      t->in_conflicts.erase(txn->id);
+    });
+  }
+  for (TxnId in : ins) {
+    WithTxn(in, [&](TxnInfo* t) {
+      std::lock_guard<std::mutex> lock(t->conflict_mu);
+      t->out_conflicts.erase(txn->id);
+    });
   }
 }
 
 size_t TxnManager::GarbageCollect() {
-  std::lock_guard<std::mutex> lock(mu_);
-  Csn min_begin = csn_;
+  // Phase 1: GC horizon — the oldest active snapshot and every id an
+  // active transaction still holds an edge to.
+  Csn min_begin = csn_.load(std::memory_order_acquire);
   std::set<TxnId> referenced;
-  for (const auto& [id, info] : txns_) {
-    if (info->state == TxnState::kActive) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, info] : shard.txns) {
+      if (info->state.load(std::memory_order_acquire) != TxnState::kActive) {
+        continue;
+      }
       min_begin = std::min(min_begin, info->begin_csn);
-      for (TxnId t : info->in_conflicts) referenced.insert(t);
-      for (TxnId t : info->out_conflicts) referenced.insert(t);
+      std::lock_guard<std::mutex> clock(info->conflict_mu);
+      referenced.insert(info->in_conflicts.begin(),
+                        info->in_conflicts.end());
+      referenced.insert(info->out_conflicts.begin(),
+                        info->out_conflicts.end());
     }
   }
-  std::vector<TxnId> removable;
-  for (const auto& [id, info] : txns_) {
-    if (info->state == TxnState::kActive) continue;
-    if (referenced.count(id)) continue;
-    if (info->state == TxnState::kCommitted && info->commit_csn >= min_begin) {
-      continue;  // still concurrent with some active transaction
-    }
-    removable.push_back(id);
-  }
-  std::set<TxnId> removed(removable.begin(), removable.end());
-  for (TxnId id : removable) txns_.erase(id);
 
-  // Prune reverse read maps.
-  for (auto& [table, rows] : row_readers_) {
-    for (auto it = rows.begin(); it != rows.end();) {
-      for (TxnId id : removed) it->second.erase(id);
-      it = it->second.empty() ? rows.erase(it) : std::next(it);
+  // Phase 2: remove finished, unreferenced transactions older than the
+  // horizon. New edges racing in resolve to "unknown = committed long ago",
+  // which the horizon makes safe.
+  std::unordered_set<TxnId> removed;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.txns.begin(); it != shard.txns.end();) {
+      const TxnInfo& info = *it->second;
+      TxnState st = info.state.load(std::memory_order_acquire);
+      if (st == TxnState::kActive || referenced.count(it->first) ||
+          (st == TxnState::kCommitted && info.commit_csn >= min_begin)) {
+        ++it;
+        continue;
+      }
+      removed.insert(it->first);
+      it = shard.txns.erase(it);
     }
   }
-  for (auto& [table, preds] : predicate_readers_) {
-    preds.erase(std::remove_if(preds.begin(), preds.end(),
-                               [&](const auto& p) {
-                                 return removed.count(p.first) > 0;
-                               }),
-                preds.end());
+  if (removed.empty()) return 0;
+
+  // Phase 3 fast path: with NO active transaction, every reverse-map entry
+  // is dead — each surviving reader committed at or before the current CSN,
+  // so no future writer (begin_csn >= current CSN) can be concurrent with
+  // it and no edge can ever be created from these entries again. Holding
+  // every shard lock while clearing orders racing Begins after the clear:
+  // either the new transaction is visible here (we fall back to the sweep)
+  // or its SIREAD/predicate registrations happen after we are done.
+  {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    bool any_active = false;
+    for (Shard& shard : shards_) {
+      locks.emplace_back(shard.mu);
+      for (const auto& [id, info] : shard.txns) {
+        if (info->state.load(std::memory_order_acquire) ==
+            TxnState::kActive) {
+          any_active = true;
+          break;
+        }
+      }
+      if (any_active) break;
+    }
+    if (!any_active && locks.size() == shards_.size()) {
+      for (ReadStripe& stripe : read_stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        stripe.readers.clear();
+      }
+      for (PredicateStripe& stripe : predicate_stripes_) {
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        stripe.by_table.clear();
+      }
+      return removed.size();
+    }
   }
-  return removable.size();
+
+  // Phase 3 slow path: prune the removed ids out of the reverse maps.
+  for (ReadStripe& stripe : read_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto it = stripe.readers.begin(); it != stripe.readers.end();) {
+      std::vector<TxnId>& ids = it->second;
+      ids.erase(std::remove_if(ids.begin(), ids.end(),
+                               [&](TxnId id) { return removed.count(id); }),
+                ids.end());
+      it = ids.empty() ? stripe.readers.erase(it) : std::next(it);
+    }
+  }
+  for (PredicateStripe& stripe : predicate_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto& [table, preds] : stripe.by_table) {
+      preds.erase(std::remove_if(preds.begin(), preds.end(),
+                                 [&](const auto& p) {
+                                   return removed.count(p.first) > 0;
+                                 }),
+                  preds.end());
+    }
+  }
+  return removed.size();
 }
 
 size_t TxnManager::TrackedCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return txns_.size();
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.txns.size();
+  }
+  return n;
 }
 
 }  // namespace brdb

@@ -1,5 +1,8 @@
 #include "wire/block.h"
 
+#include <atomic>
+#include <functional>
+
 #include "crypto/sha256.h"
 #include "wire/codec.h"
 
@@ -65,15 +68,32 @@ std::string Block::ComputeHash() const {
 }
 
 Status Block::VerifySignatures(const CertificateRegistry& registry,
-                               size_t min_signatures) const {
+                               size_t min_signatures,
+                               ThreadPool* pool) const {
   if (!HashIsValid()) {
     return Status::Corruption("block hash does not match contents");
   }
+  auto check_one = [&](const std::pair<std::string, Signature>& entry) {
+    auto role = registry.RoleOf(entry.first);
+    if (!role.ok() || role.value() != PrincipalRole::kOrderer) return false;
+    return registry.VerifySignature(entry.first, hash_, entry.second).ok();
+  };
   size_t valid = 0;
-  for (const auto& [name, sig] : orderer_signatures_) {
-    auto role = registry.RoleOf(name);
-    if (!role.ok() || role.value() != PrincipalRole::kOrderer) continue;
-    if (registry.VerifySignature(name, hash_, sig).ok()) ++valid;
+  if (pool != nullptr && orderer_signatures_.size() >= 4) {
+    std::atomic<size_t> valid_count{0};
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(orderer_signatures_.size());
+    for (const auto& entry : orderer_signatures_) {
+      tasks.push_back([&valid_count, &check_one, &entry] {
+        if (check_one(entry)) valid_count.fetch_add(1);
+      });
+    }
+    pool->RunBatch(std::move(tasks));
+    valid = valid_count.load();
+  } else {
+    for (const auto& entry : orderer_signatures_) {
+      if (check_one(entry)) ++valid;
+    }
   }
   if (valid < min_signatures) {
     return Status::PermissionDenied(

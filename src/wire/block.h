@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "crypto/identity.h"
 #include "wire/transaction.h"
 
@@ -63,9 +64,12 @@ class Block {
   /// compare with the stored one.
   bool HashIsValid() const { return ComputeHash() == hash_; }
 
-  /// Verify at least `min_signatures` valid orderer signatures.
+  /// Verify at least `min_signatures` valid orderer signatures. With a
+  /// `pool`, the signatures verify concurrently (the caller participates,
+  /// so a busy pool cannot stall the check).
   Status VerifySignatures(const CertificateRegistry& registry,
-                          size_t min_signatures) const;
+                          size_t min_signatures,
+                          ThreadPool* pool = nullptr) const;
 
   std::string Encode() const;
   static Result<Block> Decode(const std::string& bytes);
