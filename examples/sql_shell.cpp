@@ -1,20 +1,25 @@
-// Interactive SQL shell over a blockchain relational database network.
+// Interactive SQL shell over a blockchain relational database network,
+// built on the asynchronous Session API.
 //
-// Reads statements from stdin (one per line, or piped). Three verbs:
-//   SELECT ...            read-only query on node 0 (latest committed state)
+// Reads statements from stdin (one per line, or piped). Verbs:
+//   SELECT ...            read-only query on a healthy peer (round-robin)
 //   PROV SELECT ...       provenance query (all row versions + pseudo-cols)
-//   CALL name(arg, ...)   invoke a smart contract as the shell's client
+//   CALL name(arg, ...)   invoke a smart contract as the shell's session
 //   DEPLOY <sql>          run the full governance flow for DDL/procedures
-//   .height / .checkpoints / .quit   shell meta-commands
+//   PREPARE name <sql>    parse/validate once, keep a bindable handle
+//   EXEC name(arg, ...)   execute a prepared statement with parameters
+//   .height / .checkpoints / .frames / .quit    shell meta-commands
 //
 // Example session (pipe or type):
 //   DEPLOY CREATE TABLE t (id INT PRIMARY KEY, v INT)
 //   DEPLOY CREATE PROCEDURE put(2) AS INSERT INTO t VALUES ($1, $2)
 //   CALL put(1, 100)
-//   SELECT * FROM t
+//   PREPARE by_id SELECT v FROM t WHERE id = $1
+//   EXEC by_id(1)
 //   PROV SELECT id, v, creator FROM t
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <sstream>
 
 #include "core/blockchain_network.h"
@@ -85,9 +90,11 @@ int main() {
     std::fprintf(stderr, "failed to start network\n");
     return 1;
   }
-  Client* me = net->CreateClient("org1", "shell");
+  Session* me = net->CreateSession("org1", "shell");
+  std::map<std::string, PreparedStatement> prepared;
   std::printf("brdb shell — 3-organization network up. Commands: SELECT, "
-              "PROV, CALL, DEPLOY, .height, .checkpoints, .quit\n");
+              "PROV, CALL, DEPLOY, PREPARE, EXEC, .height, .checkpoints, "
+              ".frames, .quit\n");
 
   std::string line;
   while (std::printf("brdb> "), std::fflush(stdout),
@@ -109,6 +116,16 @@ int main() {
       }
       continue;
     }
+    if (line == ".frames") {
+      const TransportCounters& c = net->transport()->counters();
+      std::printf("codec frames: %llu sent / %llu received, bytes: %llu / "
+                  "%llu\n",
+                  static_cast<unsigned long long>(c.frames_sent.load()),
+                  static_cast<unsigned long long>(c.frames_received.load()),
+                  static_cast<unsigned long long>(c.bytes_sent.load()),
+                  static_cast<unsigned long long>(c.bytes_received.load()));
+      continue;
+    }
     if (line.rfind("DEPLOY ", 0) == 0 || line.rfind("deploy ", 0) == 0) {
       Status st = net->DeployContract(line.substr(7));
       std::printf("%s\n", st.ToString().c_str());
@@ -121,14 +138,54 @@ int main() {
         std::printf("usage: CALL name(arg, ...)\n");
         continue;
       }
-      auto txid = me->Invoke(name, std::move(args));
-      if (!txid.ok()) {
-        std::printf("submit failed: %s\n", txid.status().ToString().c_str());
+      TxnHandle handle = me->Submit(name, std::move(args));
+      if (!handle.submit_status().ok()) {
+        std::printf("submit failed: %s\n",
+                    handle.submit_status().ToString().c_str());
         continue;
       }
-      Status st = me->WaitForDecisionOnAllNodes(txid.value());
-      std::printf("tx %.12s... -> %s\n", txid.value().c_str(),
-                  st.ToString().c_str());
+      Status st = handle.WaitAllNodes();
+      std::printf("tx %.12s... -> %s (block %llu)\n", handle.txid().c_str(),
+                  st.ToString().c_str(),
+                  static_cast<unsigned long long>(handle.CommitBlock()));
+      continue;
+    }
+    if (line.rfind("PREPARE ", 0) == 0 || line.rfind("prepare ", 0) == 0) {
+      std::string rest = line.substr(8);
+      size_t space = rest.find(' ');
+      if (space == std::string::npos) {
+        std::printf("usage: PREPARE name SELECT ...\n");
+        continue;
+      }
+      std::string name = rest.substr(0, space);
+      auto stmt = me->Prepare(rest.substr(space + 1));
+      if (!stmt.ok()) {
+        std::printf("prepare failed: %s\n", stmt.status().ToString().c_str());
+        continue;
+      }
+      std::printf("prepared '%s' (%d parameter(s))\n", name.c_str(),
+                  stmt.value().param_count());
+      prepared[name] = std::move(stmt).value();
+      continue;
+    }
+    if (line.rfind("EXEC ", 0) == 0 || line.rfind("exec ", 0) == 0) {
+      std::string name;
+      std::vector<Value> args;
+      if (!ParseCall(line.substr(5), &name, &args)) {
+        std::printf("usage: EXEC name(arg, ...)\n");
+        continue;
+      }
+      auto it = prepared.find(name);
+      if (it == prepared.end()) {
+        std::printf("no prepared statement named '%s'\n", name.c_str());
+        continue;
+      }
+      auto r = me->Query(it->second, args);
+      if (r.ok()) {
+        PrintResult(r.value());
+      } else {
+        std::printf("%s\n", r.status().ToString().c_str());
+      }
       continue;
     }
     if (line.rfind("PROV ", 0) == 0 || line.rfind("prov ", 0) == 0) {

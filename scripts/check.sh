@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# One-command verification, locally and in CI:
+#   1. tier-1: configure + build + full ctest suite (ROADMAP.md contract);
+#   2. TSAN: a ThreadSanitizer build tree running the `tsan`-labelled
+#      concurrency tests (the striped-commit stress test and the session
+#      pipelining tests — the two places where a data race would hide).
+#
+# Usage: scripts/check.sh [--tier1-only | --tsan-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+MODE="${1:-all}"
+
+run_tier1() {
+  echo "=== tier-1: build + full test suite ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "${JOBS}"
+  ctest --test-dir build --output-on-failure -j "${JOBS}"
+}
+
+run_tsan() {
+  echo "=== TSAN: concurrency tests under ThreadSanitizer ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j "${JOBS}" \
+    --target txn_stripe_stress_test session_test
+  ctest --test-dir build-tsan -L tsan --output-on-failure -j 1
+}
+
+case "${MODE}" in
+  --tier1-only) run_tier1 ;;
+  --tsan-only)  run_tsan ;;
+  all|*)        run_tier1; run_tsan ;;
+esac
+echo "=== all checks passed ==="

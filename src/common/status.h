@@ -83,6 +83,18 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
+  /// Rebuild a status from its code + message, e.g. when a status crosses
+  /// the wire codec. An out-of-range code maps to kInternal rather than
+  /// trusting network bytes.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code < StatusCode::kOk || code > StatusCode::kInternal) {
+      return Status(StatusCode::kInternal,
+                    "invalid status code on the wire");
+    }
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
+
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

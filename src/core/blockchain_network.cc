@@ -63,6 +63,7 @@ std::unique_ptr<BlockchainNetwork> BlockchainNetwork::Create(
     cfg.flow = options.flow;
     cfg.executor_threads = options.executor_threads;
     cfg.txn_lock_stripes = options.txn_lock_stripes;
+    cfg.sig_cache_capacity = options.sig_cache_capacity;
     cfg.checkpoint_interval = options.checkpoint_interval;
     cfg.serial_execution = options.serial_execution;
     if (!options.block_store_dir.empty()) {
@@ -99,12 +100,15 @@ std::unique_ptr<BlockchainNetwork> BlockchainNetwork::Create(
     for (const auto& id : orderer_ids) (void)node->SeedCertificate(id);
   }
 
-  // Admin clients.
+  // One shared transport for every client and session on this network.
   std::vector<DatabaseNode*> node_ptrs;
   for (const auto& node : net->nodes_) node_ptrs.push_back(node.get());
+  net->transport_ = std::make_shared<InProcessTransport>(
+      net->ordering_.get(), node_ptrs);
+
+  // Admin clients.
   for (const auto& admin : admin_ids) {
-    auto client = std::make_unique<Client>(admin, net->ordering_.get(),
-                                           node_ptrs);
+    auto client = std::make_unique<Client>(admin, net->transport_);
     net->admins_[admin.organization] = client.get();
     net->clients_.push_back(std::move(client));
   }
@@ -132,11 +136,20 @@ Client* BlockchainNetwork::CreateClient(const std::string& org,
                                         const std::string& name) {
   Identity id = Identity::Create(org, name, PrincipalRole::kClient);
   registry_->Register(id.name, id.organization, id.role, id.keys.public_key);
-  std::vector<DatabaseNode*> node_ptrs;
-  for (const auto& node : nodes_) node_ptrs.push_back(node.get());
-  auto client = std::make_unique<Client>(id, ordering_.get(), node_ptrs);
+  auto client = std::make_unique<Client>(id, transport_);
   Client* ptr = client.get();
   clients_.push_back(std::move(client));
+  return ptr;
+}
+
+Session* BlockchainNetwork::CreateSession(const std::string& org,
+                                          const std::string& name,
+                                          SessionOptions options) {
+  Identity id = Identity::Create(org, name, PrincipalRole::kClient);
+  registry_->Register(id.name, id.organization, id.role, id.keys.public_key);
+  auto session = std::make_unique<Session>(id, transport_, options);
+  Session* ptr = session.get();
+  sessions_.push_back(std::move(session));
   return ptr;
 }
 
@@ -164,7 +177,10 @@ Status BlockchainNetwork::DeployContract(const std::string& deployment_sql) {
   if (!create.ok()) return create.status();
   BRDB_RETURN_NOT_OK(settle(proposer, create.value()));
 
-  auto id_r = proposer->Query("SELECT MAX(deploy_id) FROM pgdeploy");
+  // Pinned read: governance must not depend on a round-robin pick landing
+  // on a well-behaved peer (a byzantine node may have skipped the commit).
+  auto id_r =
+      proposer->session()->QueryOn(0, "SELECT MAX(deploy_id) FROM pgdeploy");
   if (!id_r.ok()) return id_r.status();
   auto scalar = id_r.value().Scalar();
   if (!scalar.ok()) return scalar.status();

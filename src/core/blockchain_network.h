@@ -14,6 +14,8 @@
 #include "consensus/solo.h"
 #include "core/client.h"
 #include "core/node.h"
+#include "core/session.h"
+#include "core/transport.h"
 
 namespace brdb {
 
@@ -31,6 +33,10 @@ struct NetworkOptions {
   /// Transaction-manager lock stripes per node (0 = default striping,
   /// 1 = single-mutex baseline for benchmarks).
   size_t txn_lock_stripes = 0;
+
+  /// Per-node signature-verifier cache capacity (0 = default; tests shrink
+  /// it to exercise eviction + replay semantics).
+  size_t sig_cache_capacity = 0;
   size_t checkpoint_interval = 1;
   std::string block_store_dir;  ///< "" = in-memory block stores
   bool serial_execution = false;
@@ -61,6 +67,15 @@ class BlockchainNetwork {
   /// create_user system contract).
   Client* CreateClient(const std::string& org, const std::string& name);
 
+  /// Create an asynchronous session for a freshly registered identity —
+  /// the preferred client API (core/session.h). All sessions and clients
+  /// share this network's in-process transport.
+  Session* CreateSession(const std::string& org, const std::string& name,
+                         SessionOptions options = SessionOptions());
+
+  /// The network-wide shared transport (frame counters live here).
+  Transport* transport() { return transport_.get(); }
+
   /// The pre-created admin client of an organization.
   Client* AdminOf(const std::string& org);
 
@@ -88,7 +103,12 @@ class BlockchainNetwork {
   std::unique_ptr<SimNetwork> net_;
   std::unique_ptr<OrderingService> ordering_;
   std::vector<std::unique_ptr<DatabaseNode>> nodes_;
+  // Transport after nodes_, sessions/clients after transport_: members are
+  // destroyed in reverse declaration order, and each layer unsubscribes
+  // from the one below in its destructor.
+  std::shared_ptr<InProcessTransport> transport_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<Session>> sessions_;
   std::map<std::string, Client*> admins_;
   bool started_ = false;
 };

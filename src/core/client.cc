@@ -4,139 +4,54 @@ namespace brdb {
 
 Client::Client(Identity identity, OrderingService* ordering,
                std::vector<DatabaseNode*> nodes)
-    : identity_(std::move(identity)),
-      ordering_(ordering),
-      nodes_(std::move(nodes)) {
-  for (DatabaseNode* node : nodes_) {
-    std::string name = node->name();
-    node->Subscribe([this, name](const TxnNotification& n) {
-      OnNotification(name, n);
-    });
-  }
-}
+    : Client(std::move(identity),
+             std::make_shared<InProcessTransport>(ordering,
+                                                  std::move(nodes))) {}
 
-void Client::OnNotification(const std::string& node,
-                            const TxnNotification& n) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    decisions_[n.txid][node] = n.status;
-    BlockNum& best = decided_block_[n.txid];
-    if (n.block > best) best = n.block;
-  }
-  cv_.notify_all();
+Client::Client(Identity identity, std::shared_ptr<Transport> transport)
+    : session_(std::move(identity), std::move(transport)) {}
+
+Result<std::string> Client::Invoke(const std::string& contract,
+                                   std::vector<Value> args) {
+  TxnHandle handle = session_.Submit(contract, std::move(args));
+  if (!handle.submit_status().ok()) return handle.submit_status();
+  return handle.txid();
 }
 
 Transaction Client::MakeTransaction(const std::string& contract,
                                     std::vector<Value> args) {
-  bool eop = !nodes_.empty() &&
-             nodes_[0]->config().flow ==
-                 TransactionFlow::kExecuteOrderParallel;
-  if (eop) {
-    size_t idx = rr_.fetch_add(1) % nodes_.size();
-    BlockNum height = nodes_[idx]->Height();
-    return Transaction::MakeExecuteOrderParallel(identity_, contract,
-                                                 std::move(args), height);
-  }
-  std::string id =
-      identity_.name + "-" + std::to_string(counter_.fetch_add(1));
-  return Transaction::MakeOrderThenExecute(identity_, std::move(id), contract,
-                                           std::move(args));
-}
-
-Result<std::string> Client::Invoke(const std::string& contract,
-                                   std::vector<Value> args) {
-  bool eop = !nodes_.empty() &&
-             nodes_[0]->config().flow ==
-                 TransactionFlow::kExecuteOrderParallel;
-  if (eop) {
-    size_t idx = rr_.fetch_add(1) % nodes_.size();
-    DatabaseNode* node = nodes_[idx];
-    Transaction tx = Transaction::MakeExecuteOrderParallel(
-        identity_, contract, std::move(args), node->Height());
-    BRDB_RETURN_NOT_OK(node->SubmitTransaction(tx));
-    return tx.id();
-  }
-  Transaction tx = MakeTransaction(contract, std::move(args));
-  BRDB_RETURN_NOT_OK(ordering_->SubmitTransaction(tx));
-  return tx.id();
+  // Legacy signature cannot report a failed EOP height probe; an unsigned
+  // empty transaction (which fails authentication) is the least-bad
+  // degradation. New code should use Session::MakeTransaction.
+  auto tx = session_.MakeTransaction(contract, std::move(args));
+  return tx.ok() ? std::move(tx).value() : Transaction();
 }
 
 Status Client::WaitForCommit(const std::string& txid, Micros timeout_us) {
-  const size_t majority = nodes_.size() / 2 + 1;
-  std::unique_lock<std::mutex> lock(mu_);
-  auto decided = [&]() -> std::optional<Status> {
-    auto it = decisions_.find(txid);
-    if (it == decisions_.end()) return std::nullopt;
-    size_t ok = 0, failed = 0;
-    Status failure;
-    for (const auto& [node, st] : it->second) {
-      if (st.ok()) {
-        ++ok;
-      } else {
-        ++failed;
-        failure = st;
-      }
-    }
-    if (ok >= majority) return Status::OK();
-    if (failed >= majority) return failure;
-    return std::nullopt;
-  };
-  std::optional<Status> result;
-  cv_.wait_for(lock, std::chrono::microseconds(timeout_us), [&] {
-    result = decided();
-    return result.has_value();
-  });
-  if (result.has_value()) return *result;
-  return Status::Unavailable("transaction " + txid +
-                             " not decided before timeout");
+  return session_.Track(txid).Wait(timeout_us);
 }
 
 Status Client::WaitForDecisionOnAllNodes(const std::string& txid,
                                          Micros timeout_us) {
-  std::unique_lock<std::mutex> lock(mu_);
-  bool all = cv_.wait_for(lock, std::chrono::microseconds(timeout_us), [&] {
-    auto it = decisions_.find(txid);
-    return it != decisions_.end() && it->second.size() == nodes_.size();
-  });
-  if (!all) {
-    return Status::Unavailable("transaction " + txid +
-                               " not decided on all nodes before timeout");
-  }
-  for (const auto& [node, st] : decisions_[txid]) {
-    if (!st.ok()) return st;
-  }
-  return Status::OK();
-}
-
-BlockNum Client::DecidedBlockOf(const std::string& txid) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = decided_block_.find(txid);
-  return it == decided_block_.end() ? 0 : it->second;
+  return session_.Track(txid).WaitAllNodes(timeout_us);
 }
 
 std::map<std::string, Status> Client::StatusesOf(const std::string& txid) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = decisions_.find(txid);
-  return it == decisions_.end() ? std::map<std::string, Status>{}
-                                : it->second;
+  return session_.Track(txid).NodeStatuses();
+}
+
+BlockNum Client::DecidedBlockOf(const std::string& txid) {
+  return session_.Track(txid).CommitBlock();
 }
 
 Result<sql::ResultSet> Client::Query(const std::string& sql,
-                                     const std::vector<Value>& params,
-                                     size_t node_index) {
-  if (node_index >= nodes_.size()) {
-    return Status::InvalidArgument("no such node");
-  }
-  return nodes_[node_index]->Query(identity_.name, sql, params);
+                                     const std::vector<Value>& params) {
+  return session_.Query(sql, params);
 }
 
 Result<sql::ResultSet> Client::ProvenanceQuery(
-    const std::string& sql, const std::vector<Value>& params,
-    size_t node_index) {
-  if (node_index >= nodes_.size()) {
-    return Status::InvalidArgument("no such node");
-  }
-  return nodes_[node_index]->ProvenanceQuery(identity_.name, sql, params);
+    const std::string& sql, const std::vector<Value>& params) {
+  return session_.ProvenanceQuery(sql, params);
 }
 
 }  // namespace brdb

@@ -1,32 +1,36 @@
-// Client: a signing application endpoint (paper §3.1). Submits contract
-// invocations — to the ordering service in order-then-execute, or to a
-// database peer (which forwards) in execute-order-in-parallel — and listens
-// on the nodes' notification channels. A transaction counts as committed in
-// the network once a majority of nodes commit it (§5).
+// Client: DEPRECATED blocking shim over the Session API (core/session.h).
+// Kept so existing call sites and tests keep compiling; new code should use
+// Session directly — it pipelines submissions (TxnHandle futures), batches
+// signing, and supports prepared statements. The shim simply wraps a
+// Session over an in-process Transport and re-exposes the old
+// one-call-per-step surface.
 #ifndef BRDB_CORE_CLIENT_H_
 #define BRDB_CORE_CLIENT_H_
 
-#include <condition_variable>
 #include <map>
-#include <optional>
 
-#include "core/node.h"
+#include "core/session.h"
 
 namespace brdb {
 
 class Client {
  public:
-  /// Subscribes to every node's notification channel.
+  /// Legacy constructor: builds a private in-process transport over the
+  /// given node/ordering pointers.
   Client(Identity identity, OrderingService* ordering,
          std::vector<DatabaseNode*> nodes);
 
-  const Identity& identity() const { return identity_; }
-  const std::string& name() const { return identity_.name; }
+  /// Preferred: share one transport between many clients/sessions.
+  Client(Identity identity, std::shared_ptr<Transport> transport);
 
-  /// Invoke a smart contract. Picks the flow from the nodes' configuration:
-  /// order-then-execute submits straight to ordering with a client-unique
-  /// id; execute-order-in-parallel fetches the current block height from a
-  /// peer (round-robin) and submits there. Returns the transaction id.
+  const Identity& identity() const { return session_.identity(); }
+  const std::string& name() const { return session_.name(); }
+
+  /// The underlying session (for incremental migration to the async API).
+  Session* session() { return &session_; }
+
+  /// Invoke a smart contract; returns the transaction id. Blocking waits
+  /// happen later via WaitForCommit — submission itself is pipelined.
   Result<std::string> Invoke(const std::string& contract,
                              std::vector<Value> args);
 
@@ -36,14 +40,12 @@ class Client {
                               std::vector<Value> args);
 
   /// Block until a majority of nodes committed (OK) or decided an abort
-  /// (the abort status). Times out with kUnavailable — the caller may
-  /// resubmit (§3.5(2)).
+  /// (the abort status). Times out with kUnavailable (elapsed time in the
+  /// message) — the caller may resubmit (§3.5(2)).
   Status WaitForCommit(const std::string& txid, Micros timeout_us = 10000000);
 
   /// Block until every node has decided the transaction. Returns OK only
-  /// when all nodes committed. Used between dependent steps (e.g. the
-  /// deployment governance flow) so the next transaction's snapshot height
-  /// covers this one on whichever node it lands.
+  /// when all nodes committed.
   Status WaitForDecisionOnAllNodes(const std::string& txid,
                                    Micros timeout_us = 10000000);
 
@@ -54,28 +56,16 @@ class Client {
   /// (0 when undecided everywhere).
   BlockNum DecidedBlockOf(const std::string& txid);
 
-  /// Read-only query against one node.
+  /// Read-only query. Peer selection (round-robin over healthy peers with
+  /// failover) happens behind the transport; use session()->QueryOn() to
+  /// pin a peer.
   Result<sql::ResultSet> Query(const std::string& sql,
-                               const std::vector<Value>& params = {},
-                               size_t node_index = 0);
+                               const std::vector<Value>& params = {});
   Result<sql::ResultSet> ProvenanceQuery(const std::string& sql,
-                                         const std::vector<Value>& params = {},
-                                         size_t node_index = 0);
+                                         const std::vector<Value>& params = {});
 
  private:
-  void OnNotification(const std::string& node, const TxnNotification& n);
-
-  Identity identity_;
-  OrderingService* ordering_;
-  std::vector<DatabaseNode*> nodes_;
-  std::atomic<uint64_t> counter_{0};
-  std::atomic<uint64_t> rr_{0};
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  // txid -> node name -> decided status
-  std::map<std::string, std::map<std::string, Status>> decisions_;
-  std::map<std::string, BlockNum> decided_block_;
+  Session session_;
 };
 
 }  // namespace brdb

@@ -1,6 +1,7 @@
 #include "core/node.h"
 
 #include <algorithm>
+#include <cctype>
 #include <set>
 
 #include "common/logging.h"
@@ -33,7 +34,9 @@ DatabaseNode::DatabaseNode(NodeConfig config, Identity identity,
     }
   }
   executors_ = std::make_unique<ThreadPool>(config_.executor_threads);
-  verifier_ = std::make_unique<SignatureVerifier>(executors_.get());
+  verifier_ = std::make_unique<SignatureVerifier>(
+      executors_.get(),
+      config_.sig_cache_capacity == 0 ? 65536 : config_.sig_cache_capacity);
   Status st = RegisterSystemContracts(&contracts_);
   if (!st.ok()) {
     BRDB_LOG(kError, config_.name) << st.ToString();
@@ -94,20 +97,27 @@ Status DatabaseNode::SeedCertificate(const Identity& id) {
   return ctx.CommitInternal(0);
 }
 
-void DatabaseNode::Subscribe(NotificationFn fn) {
+DatabaseNode::SubscriptionId DatabaseNode::Subscribe(NotificationFn fn) {
   std::lock_guard<std::mutex> lock(subs_mu_);
-  subscribers_.push_back(std::move(fn));
+  SubscriptionId id = next_sub_id_++;
+  subscribers_.emplace(id, std::move(fn));
+  return id;
+}
+
+void DatabaseNode::Unsubscribe(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  subscribers_.erase(id);
 }
 
 void DatabaseNode::Notify(const std::string& txid, const Status& status,
                           BlockNum block) {
-  std::vector<NotificationFn> subs;
-  {
-    std::lock_guard<std::mutex> lock(subs_mu_);
-    subs = subscribers_;
-  }
+  // Callbacks run under subs_mu_ so Unsubscribe() synchronizes with
+  // delivery: once it returns, no callback for that subscription is running
+  // or will run — a destroyed subscriber (transport, session) is safe.
+  // Callbacks therefore must not re-enter Subscribe/Unsubscribe.
   TxnNotification n{txid, status, block};
-  for (const auto& fn : subs) fn(n);
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  for (const auto& [id, fn] : subscribers_) fn(n);
 }
 
 Status DatabaseNode::Authenticate(const Transaction& tx,
@@ -620,27 +630,57 @@ std::vector<TxnNotification> DatabaseNode::ProcessBlock(const Block& block) {
   return decided;
 }
 
+namespace {
+
+/// Cheap pre-parse gate for the client read paths: they accept only
+/// SELECT, so rejected DML/DDL text must not occupy a slot in the shared
+/// plan cache (a client could otherwise flush the contract-body plans the
+/// cache keeps hot). Anything passing the gate that still fails to parse
+/// is not cached either (parse failures never are).
+bool LooksLikeSelect(const std::string& sql) {
+  static const char kSelect[] = "select";
+  size_t i = sql.find_first_not_of(" \t\r\n");
+  if (i == std::string::npos || sql.size() - i < 6) return false;
+  for (size_t j = 0; j < 6; ++j) {
+    if (std::tolower(static_cast<unsigned char>(sql[i + j])) != kSelect[j]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status DatabaseNode::CheckQueryUser(const std::string& user) {
+  auto key = registry_->PublicKeyOf(user);
+  if (key.ok()) return Status::OK();
+  // Also accept users onboarded on-chain.
+  TxnContext probe(&db_,
+                   db_.txn_manager()->BeginAtCurrentCsn(),
+                   TxnMode::kInternal);
+  auto r = engine_.Execute(&probe,
+                           "SELECT COUNT(*) FROM pgcerts WHERE "
+                           "username = $1",
+                           {Value::Text(user)});
+  if (!r.ok() || !r.value().Scalar().ok() ||
+      r.value().Scalar().value().AsInt() == 0) {
+    return Status::PermissionDenied("unknown user " + user);
+  }
+  return Status::OK();
+}
+
 Result<sql::ResultSet> DatabaseNode::Query(const std::string& user,
                                            const std::string& sql_text,
                                            const std::vector<Value>& params) {
-  auto key = registry_->PublicKeyOf(user);
-  if (!key.ok()) {
-    // Also accept users onboarded on-chain.
-    TxnContext probe(&db_,
-                     db_.txn_manager()->BeginAtCurrentCsn(),
-                     TxnMode::kInternal);
-    auto r = engine_.Execute(&probe,
-                             "SELECT COUNT(*) FROM pgcerts WHERE "
-                             "username = $1",
-                             {Value::Text(user)});
-    if (!r.ok() || !r.value().Scalar().ok() ||
-        r.value().Scalar().value().AsInt() == 0) {
-      return Status::PermissionDenied("unknown user " + user);
-    }
+  BRDB_RETURN_NOT_OK(CheckQueryUser(user));
+  if (!LooksLikeSelect(sql_text)) {
+    return Status::PermissionDenied(
+        "only individual SELECT statements may bypass the transaction flow "
+        "(paper §3.7)");
   }
-  auto stmt = sql::Parse(sql_text);
-  if (!stmt.ok()) return stmt.status();
-  if (stmt.value().type != sql::StatementType::kSelect) {
+  auto plan = engine_.Prepare(sql_text);
+  if (!plan.ok()) return plan.status();
+  if (plan.value()->info().type != sql::StatementType::kSelect) {
     return Status::PermissionDenied(
         "only individual SELECT statements may bypass the transaction flow "
         "(paper §3.7)");
@@ -649,7 +689,23 @@ Result<sql::ResultSet> DatabaseNode::Query(const std::string& user,
                  db_.txn_manager()->BeginAtCurrentCsn(),
                  TxnMode::kInternal);
   sql::ExecOptions opts;  // reads of the latest committed state
-  return engine_.ExecuteStatement(&ctx, stmt.value(), params, opts);
+  return engine_.ExecutePrepared(&ctx, *plan.value(), params, opts);
+}
+
+Result<sql::PreparedInfo> DatabaseNode::PrepareQuery(const std::string& user,
+                                                     const std::string& sql) {
+  BRDB_RETURN_NOT_OK(CheckQueryUser(user));
+  if (!LooksLikeSelect(sql)) {
+    return Status::PermissionDenied(
+        "only SELECT statements may be prepared by clients (paper §3.7)");
+  }
+  auto plan = engine_.Prepare(sql);
+  if (!plan.ok()) return plan.status();
+  if (plan.value()->info().type != sql::StatementType::kSelect) {
+    return Status::PermissionDenied(
+        "only SELECT statements may be prepared by clients (paper §3.7)");
+  }
+  return plan.value()->info();
 }
 
 Result<sql::ResultSet> DatabaseNode::LocalExecute(
@@ -745,16 +801,19 @@ Result<sql::ResultSet> DatabaseNode::ProvenanceQuery(
     const std::vector<Value>& params) {
   auto key = registry_->PublicKeyOf(user);
   if (!key.ok()) return Status::PermissionDenied("unknown user " + user);
-  auto stmt = sql::Parse(sql_text);
-  if (!stmt.ok()) return stmt.status();
-  if (stmt.value().type != sql::StatementType::kSelect) {
+  if (!LooksLikeSelect(sql_text)) {
+    return Status::PermissionDenied("provenance queries are read-only");
+  }
+  auto plan = engine_.Prepare(sql_text);
+  if (!plan.ok()) return plan.status();
+  if (plan.value()->info().type != sql::StatementType::kSelect) {
     return Status::PermissionDenied("provenance queries are read-only");
   }
   TxnContext ctx(&db_,
                  db_.txn_manager()->BeginAtCurrentCsn(),
                  TxnMode::kProvenance);
   sql::ExecOptions opts;
-  return engine_.ExecuteStatement(&ctx, stmt.value(), params, opts);
+  return engine_.ExecutePrepared(&ctx, *plan.value(), params, opts);
 }
 
 }  // namespace brdb

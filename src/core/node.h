@@ -57,6 +57,10 @@ struct NodeConfig {
   /// Lock stripes for the transaction manager (0 = default; 1 = the
   /// historical single-mutex baseline, kept for benchmarks).
   size_t txn_lock_stripes = 0;
+
+  /// Capacity of the signature verifier's FIFO-bounded verified cache
+  /// (0 = default). Tests shrink it to exercise eviction + replay.
+  size_t sig_cache_capacity = 0;
   std::string block_store_path;  ///< "" = in-memory block store
   size_t checkpoint_interval = 1;
   size_t min_orderer_signatures = 1;
@@ -97,8 +101,10 @@ class DatabaseNode {
   const std::string& name() const { return config_.name; }
   const std::string& endpoint() const { return endpoint_; }
   const NodeConfig& config() const { return config_; }
+  bool running() const { return running_.load(); }
 
   Database* db() { return &db_; }
+  sql::SqlEngine* sql_engine() { return &engine_; }
   ContractRegistry* contracts() { return &contracts_; }
   BlockStore* block_store() { return block_store_.get(); }
   CheckpointManager* checkpoints() { return &checkpoints_; }
@@ -129,6 +135,13 @@ class DatabaseNode {
                                          const std::string& sql,
                                          const std::vector<Value>& params = {});
 
+  /// Prepare a read-only statement for `user`: parse + analyze through the
+  /// SQL engine's plan cache and return the parameter metadata a client
+  /// session binds against. Only SELECT statements may be prepared — the
+  /// same restriction Query() enforces at execution (§3.7).
+  Result<sql::PreparedInfo> PrepareQuery(const std::string& user,
+                                         const std::string& sql);
+
   /// Non-blockchain ("private") schema (§3.7): organization-local tables on
   /// this node only, outside consensus. DDL creates tables in the private
   /// schema; DML may only touch private tables; SELECTs may freely combine
@@ -143,7 +156,15 @@ class DatabaseNode {
   size_t Vacuum(BlockNum horizon_block);
 
   using NotificationFn = std::function<void(const TxnNotification&)>;
-  void Subscribe(NotificationFn fn);
+  using SubscriptionId = uint64_t;
+
+  /// Register a decision listener. The returned id unsubscribes it —
+  /// sessions come and go, unlike the node-lifetime clients of the old
+  /// API. Unsubscribe synchronizes with delivery: after it returns, the
+  /// callback is not running and never will again. Callbacks must be quick
+  /// and must not call Subscribe/Unsubscribe.
+  SubscriptionId Subscribe(NotificationFn fn);
+  void Unsubscribe(SubscriptionId id);
 
   /// Number of blocks whose write-set hash matched this node's for the
   /// given block (checkpoint agreement).
@@ -182,6 +203,9 @@ class DatabaseNode {
 
   /// True if this txid is already recorded in pgledger or executing.
   bool IsDuplicate(const std::string& txid);
+
+  /// Query-path user check: bootstrap registry first, then pgcerts.
+  Status CheckQueryUser(const std::string& user);
 
   /// Start concurrent execution of a transaction; returns the entry.
   std::shared_ptr<ExecEntry> StartExecution(const Transaction& tx,
@@ -232,7 +256,8 @@ class DatabaseNode {
   std::map<std::string, std::shared_ptr<ExecEntry>> active_;
 
   std::mutex subs_mu_;
-  std::vector<NotificationFn> subscribers_;
+  SubscriptionId next_sub_id_ = 1;
+  std::map<SubscriptionId, NotificationFn> subscribers_;
 
   std::atomic<bool> running_{false};
   std::thread processor_thread_;

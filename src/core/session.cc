@@ -1,0 +1,271 @@
+#include "core/session.h"
+
+#include <chrono>
+#include <optional>
+
+namespace brdb {
+
+namespace {
+
+/// Majority decision over the per-node statuses, or nullopt while pending.
+/// Caller holds rec.mu.
+std::optional<Status> MajorityDecision(const detail::TxnRecord& rec) {
+  const size_t majority = rec.peer_count / 2 + 1;
+  size_t ok = 0, failed = 0;
+  Status failure;
+  for (const auto& [node, st] : rec.decisions) {
+    if (st.ok()) {
+      ++ok;
+    } else {
+      ++failed;
+      failure = st;
+    }
+  }
+  if (ok >= majority) return Status::OK();
+  if (failed >= majority) return failure;
+  return std::nullopt;
+}
+
+Status TimeoutStatus(const std::string& txid, const char* what,
+                     std::chrono::steady_clock::time_point start,
+                     Micros timeout_us) {
+  auto elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  return Status::Unavailable(
+      "transaction " + txid + " " + what + " after waiting " +
+      std::to_string(elapsed_us / 1000) + " ms (deadline " +
+      std::to_string(timeout_us / 1000) + " ms)");
+}
+
+}  // namespace
+
+// ---------------- TxnHandle ----------------
+
+const std::string& TxnHandle::txid() const {
+  static const std::string kEmpty;
+  return rec_ ? rec_->txid : kEmpty;
+}
+
+bool TxnHandle::Decided() const {
+  if (!rec_) return false;
+  std::lock_guard<std::mutex> lock(rec_->mu);
+  return MajorityDecision(*rec_).has_value();
+}
+
+Status TxnHandle::Wait(Micros timeout_us) {
+  // Submission failure first: a handle for a failed submission may carry no
+  // record at all (e.g. the batch-wide EOP height probe failed), and the
+  // caller needs that status — not a complaint about the handle.
+  if (!submit_status_.ok()) return submit_status_;
+  if (!rec_) return Status::InvalidArgument("invalid transaction handle");
+  if (timeout_us <= 0) timeout_us = rec_->default_timeout_us;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::microseconds(timeout_us);
+
+  std::unique_lock<std::mutex> lock(rec_->mu);
+  std::optional<Status> result;
+  // wait_until + predicate: spurious wakeups re-enter the wait with the
+  // same absolute deadline, so the timeout is never silently shortened.
+  rec_->cv.wait_until(lock, deadline, [&] {
+    result = MajorityDecision(*rec_);
+    return result.has_value();
+  });
+  if (result.has_value()) return *result;
+  return TimeoutStatus(rec_->txid, "not decided", start, timeout_us);
+}
+
+Status TxnHandle::WaitAllNodes(Micros timeout_us) {
+  if (!submit_status_.ok()) return submit_status_;
+  if (!rec_) return Status::InvalidArgument("invalid transaction handle");
+  if (timeout_us <= 0) timeout_us = rec_->default_timeout_us;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::microseconds(timeout_us);
+
+  std::unique_lock<std::mutex> lock(rec_->mu);
+  bool all = rec_->cv.wait_until(lock, deadline, [&] {
+    return rec_->decisions.size() >= rec_->peer_count;
+  });
+  if (!all) {
+    return TimeoutStatus(rec_->txid, "not decided on all nodes", start,
+                         timeout_us);
+  }
+  for (const auto& [node, st] : rec_->decisions) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+BlockNum TxnHandle::CommitBlock() const {
+  if (!rec_) return 0;
+  std::lock_guard<std::mutex> lock(rec_->mu);
+  return rec_->decided_block;
+}
+
+std::map<std::string, Status> TxnHandle::NodeStatuses() const {
+  if (!rec_) return {};
+  std::lock_guard<std::mutex> lock(rec_->mu);
+  return rec_->decisions;
+}
+
+// ---------------- PreparedStatement ----------------
+
+Status PreparedStatement::BindCheck(const std::vector<Value>& params) const {
+  if (!valid()) return Status::InvalidArgument("invalid prepared statement");
+  return sql::CheckParamBinding(info_, params);
+}
+
+// ---------------- Session ----------------
+
+Session::Session(Identity identity, std::shared_ptr<Transport> transport,
+                 SessionOptions options)
+    : identity_(std::move(identity)),
+      transport_(std::move(transport)),
+      options_(options) {
+  subscription_ = transport_->Subscribe(
+      [this](const std::string& peer, const TxnNotification& n) {
+        OnDecision(peer, n);
+      });
+}
+
+Session::~Session() { transport_->Unsubscribe(subscription_); }
+
+std::shared_ptr<detail::TxnRecord> Session::RecordFor(
+    const std::string& txid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(txid);
+  if (it != records_.end()) return it->second;
+  auto rec = std::make_shared<detail::TxnRecord>();
+  rec->txid = txid;
+  rec->peer_count = transport_->peer_count();
+  rec->default_timeout_us = options_.default_timeout_us;
+  records_.emplace(txid, rec);
+  return rec;
+}
+
+void Session::OnDecision(const std::string& peer, const TxnNotification& n) {
+  auto rec = RecordFor(n.txid);
+  {
+    std::lock_guard<std::mutex> lock(rec->mu);
+    rec->decisions[peer] = n.status;
+    if (n.block > rec->decided_block) rec->decided_block = n.block;
+  }
+  rec->cv.notify_all();
+}
+
+Result<Transaction> Session::MakeTransaction(const std::string& contract,
+                                             std::vector<Value> args) {
+  if (transport_->flow() == TransactionFlow::kExecuteOrderParallel) {
+    auto height = transport_->Height();
+    if (!height.ok()) return height.status();
+    return Transaction::MakeExecuteOrderParallel(
+        identity_, contract, std::move(args), height.value());
+  }
+  std::string id =
+      identity_.name + "-" + std::to_string(counter_.fetch_add(1));
+  return Transaction::MakeOrderThenExecute(identity_, std::move(id), contract,
+                                           std::move(args));
+}
+
+TxnHandle Session::Submit(const std::string& contract,
+                          std::vector<Value> args) {
+  std::vector<Invocation> batch;
+  batch.push_back(Invocation{contract, std::move(args)});
+  return SubmitBatch(std::move(batch)).front();
+}
+
+std::vector<TxnHandle> Session::SubmitBatch(
+    std::vector<Invocation> invocations) {
+  std::vector<TxnHandle> handles;
+  handles.reserve(invocations.size());
+  if (invocations.empty()) return handles;
+
+  const bool eop =
+      transport_->flow() == TransactionFlow::kExecuteOrderParallel;
+
+  // One height probe covers the whole batch (EOP snapshot basis).
+  BlockNum height = 0;
+  if (eop) {
+    auto h = transport_->Height();
+    if (!h.ok()) {
+      for (size_t i = 0; i < invocations.size(); ++i) {
+        handles.push_back(TxnHandle(nullptr, h.status()));
+      }
+      return handles;
+    }
+    height = h.value();
+  }
+
+  // Sign everything up front, then ship the batch as one frame.
+  std::vector<Transaction> txs;
+  txs.reserve(invocations.size());
+  for (Invocation& inv : invocations) {
+    if (eop) {
+      txs.push_back(Transaction::MakeExecuteOrderParallel(
+          identity_, inv.contract, std::move(inv.args), height));
+    } else {
+      std::string id =
+          identity_.name + "-" + std::to_string(counter_.fetch_add(1));
+      txs.push_back(Transaction::MakeOrderThenExecute(
+          identity_, std::move(id), inv.contract, std::move(inv.args)));
+    }
+  }
+
+  // Records exist before submission: a decision racing back immediately
+  // still lands in the right record.
+  std::vector<std::shared_ptr<detail::TxnRecord>> records;
+  records.reserve(txs.size());
+  for (const Transaction& tx : txs) records.push_back(RecordFor(tx.id()));
+
+  auto statuses = transport_->Submit(txs);
+  for (size_t i = 0; i < txs.size(); ++i) {
+    Status st = statuses.ok() ? statuses.value()[i] : statuses.status();
+    handles.push_back(TxnHandle(records[i], std::move(st)));
+  }
+  return handles;
+}
+
+TxnHandle Session::Track(const std::string& txid) {
+  return TxnHandle(RecordFor(txid), Status::OK());
+}
+
+Result<PreparedStatement> Session::Prepare(const std::string& sql) {
+  auto info = transport_->Prepare(identity_.name, sql);
+  if (!info.ok()) return info.status();
+  PreparedStatement stmt;
+  stmt.sql_ = sql;
+  stmt.info_ = std::move(info).value();
+  return stmt;
+}
+
+Result<sql::ResultSet> Session::Query(const std::string& sql,
+                                      const std::vector<Value>& params) {
+  return transport_->Query(QueryRequest{identity_.name, sql, params, false});
+}
+
+Result<sql::ResultSet> Session::Query(const PreparedStatement& stmt,
+                                      const std::vector<Value>& params) {
+  BRDB_RETURN_NOT_OK(stmt.BindCheck(params));
+  return transport_->Query(
+      QueryRequest{identity_.name, stmt.sql(), params, false});
+}
+
+Result<sql::ResultSet> Session::ProvenanceQuery(
+    const std::string& sql, const std::vector<Value>& params) {
+  return transport_->Query(QueryRequest{identity_.name, sql, params, true});
+}
+
+Result<sql::ResultSet> Session::ProvenanceQuery(
+    const PreparedStatement& stmt, const std::vector<Value>& params) {
+  BRDB_RETURN_NOT_OK(stmt.BindCheck(params));
+  return transport_->Query(
+      QueryRequest{identity_.name, stmt.sql(), params, true});
+}
+
+Result<sql::ResultSet> Session::QueryOn(size_t peer, const std::string& sql,
+                                        const std::vector<Value>& params) {
+  return transport_->Query(QueryRequest{identity_.name, sql, params, false},
+                           peer);
+}
+
+}  // namespace brdb

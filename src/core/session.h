@@ -1,0 +1,196 @@
+// Session: the asynchronous application endpoint (paper §3.1, §5). A
+// session signs contract invocations, submits them through a Transport and
+// learns commit/abort from the nodes' notification channels — without ever
+// blocking between submissions, so one session pipelines hundreds of
+// in-flight transactions:
+//
+//   Session s(identity, transport);
+//   std::vector<TxnHandle> handles;
+//   for (...) handles.push_back(s.Submit("transfer", {...}));  // no waits
+//   for (auto& h : handles) h.Wait();                          // then wait
+//
+// Submit() returns a TxnHandle — a future over the network's decision with
+// per-node statuses, a majority-commit Wait(), and the commit block.
+// SubmitBatch() amortizes signing and framing over many invocations.
+// Prepare() parses/validates a statement once (server-side plan cache) and
+// returns a PreparedStatement that is bound per execution with parameters.
+#ifndef BRDB_CORE_SESSION_H_
+#define BRDB_CORE_SESSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/transport.h"
+
+namespace brdb {
+
+namespace detail {
+
+/// Shared decision state for one transaction id. Handles are value types
+/// over this record; the owning session routes node decisions into it.
+struct TxnRecord {
+  std::string txid;
+  size_t peer_count = 0;
+  Micros default_timeout_us = 10000000;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::string, Status> decisions;  ///< node name -> decided status
+  BlockNum decided_block = 0;
+};
+
+}  // namespace detail
+
+/// Future-like handle for a submitted (or tracked) transaction. Copyable;
+/// all copies observe the same decision state.
+class TxnHandle {
+ public:
+  TxnHandle() = default;
+
+  bool valid() const { return rec_ != nullptr; }
+  const std::string& txid() const;
+
+  /// Status of the submission itself (signing/transport/duplicate-id
+  /// errors). A failed submission never gets decisions, so Wait() returns
+  /// this immediately.
+  const Status& submit_status() const { return submit_status_; }
+
+  /// True once a majority of nodes decided (committed or aborted).
+  bool Decided() const;
+
+  /// Block until a majority of nodes committed (OK) or decided an abort
+  /// (that abort status). Deadline-based: spurious wakeups re-wait until
+  /// the full deadline; a timeout returns kUnavailable carrying the elapsed
+  /// time, and the caller may resubmit (§3.5(2)). `timeout_us` 0 = the
+  /// session default.
+  Status Wait(Micros timeout_us = 0);
+
+  /// Block until every node decided; OK only when all committed. Used
+  /// between dependent steps so the next snapshot covers this commit on
+  /// whichever node it lands.
+  Status WaitAllNodes(Micros timeout_us = 0);
+
+  /// Highest block any node reported as the commit block (0 = undecided).
+  BlockNum CommitBlock() const;
+
+  /// Per-node decided statuses so far.
+  std::map<std::string, Status> NodeStatuses() const;
+
+ private:
+  friend class Session;
+  TxnHandle(std::shared_ptr<detail::TxnRecord> rec, Status submit_status)
+      : rec_(std::move(rec)), submit_status_(std::move(submit_status)) {}
+
+  std::shared_ptr<detail::TxnRecord> rec_;
+  Status submit_status_;
+};
+
+/// A server-validated statement handle: parsed once (the node's plan cache
+/// keeps the AST), bound per execution with positional parameters that are
+/// arity- and type-checked client-side before any frame is sent.
+class PreparedStatement {
+ public:
+  PreparedStatement() = default;
+
+  bool valid() const { return !sql_.empty(); }
+  const std::string& sql() const { return sql_; }
+  int param_count() const { return info_.param_count; }
+  sql::StatementType type() const { return info_.type; }
+  const std::vector<ValueType>& param_types() const {
+    return info_.param_types;
+  }
+
+  /// Validate an execution's parameters against the statement: exact
+  /// arity, and type agreement where the server inferred a type.
+  Status BindCheck(const std::vector<Value>& params) const;
+
+ private:
+  friend class Session;
+  std::string sql_;
+  sql::PreparedInfo info_;
+};
+
+/// One named contract invocation in a batch submission.
+struct Invocation {
+  std::string contract;
+  std::vector<Value> args;
+};
+
+struct SessionOptions {
+  /// Default deadline for TxnHandle::Wait / WaitAllNodes.
+  Micros default_timeout_us = 10000000;
+};
+
+class Session {
+ public:
+  Session(Identity identity, std::shared_ptr<Transport> transport,
+          SessionOptions options = SessionOptions());
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const Identity& identity() const { return identity_; }
+  const std::string& name() const { return identity_.name; }
+  Transport* transport() { return transport_.get(); }
+
+  /// Sign and submit one contract invocation; returns immediately with a
+  /// TxnHandle. Callers pipeline by submitting many before waiting on any.
+  TxnHandle Submit(const std::string& contract, std::vector<Value> args);
+
+  /// Submit many invocations in one transport frame: signing, the EOP
+  /// height probe and framing are amortized over the batch. Handles come
+  /// back in input order.
+  std::vector<TxnHandle> SubmitBatch(std::vector<Invocation> invocations);
+
+  /// Build (and sign) a transaction without submitting — for tests that
+  /// exercise malicious paths. In EOP mode this needs a height probe, so a
+  /// full outage surfaces here instead of producing a stale-snapshot
+  /// transaction.
+  Result<Transaction> MakeTransaction(const std::string& contract,
+                                      std::vector<Value> args);
+
+  /// Handle for a transaction this session did not submit (e.g. one pushed
+  /// straight to ordering); its decisions are tracked the same way.
+  TxnHandle Track(const std::string& txid);
+
+  /// Parse/validate `sql` on a peer and return a bindable handle.
+  Result<PreparedStatement> Prepare(const std::string& sql);
+
+  /// Read-only query on a transport-selected healthy peer (round-robin
+  /// with failover).
+  Result<sql::ResultSet> Query(const std::string& sql,
+                               const std::vector<Value>& params = {});
+  Result<sql::ResultSet> Query(const PreparedStatement& stmt,
+                               const std::vector<Value>& params = {});
+  Result<sql::ResultSet> ProvenanceQuery(const std::string& sql,
+                                         const std::vector<Value>& params = {});
+  Result<sql::ResultSet> ProvenanceQuery(const PreparedStatement& stmt,
+                                         const std::vector<Value>& params = {});
+
+  /// Query pinned to one peer (deployment governance reads, tests).
+  Result<sql::ResultSet> QueryOn(size_t peer, const std::string& sql,
+                                 const std::vector<Value>& params = {});
+
+ private:
+  std::shared_ptr<detail::TxnRecord> RecordFor(const std::string& txid);
+  void OnDecision(const std::string& peer, const TxnNotification& n);
+
+  Identity identity_;
+  std::shared_ptr<Transport> transport_;
+  SessionOptions options_;
+  uint64_t subscription_ = 0;
+  std::atomic<uint64_t> counter_{0};
+
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<detail::TxnRecord>> records_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_CORE_SESSION_H_

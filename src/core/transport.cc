@@ -1,0 +1,376 @@
+#include "core/transport.h"
+
+#include <algorithm>
+
+namespace brdb {
+
+// ---------------- PeerSelector ----------------
+
+PeerSelector::PeerSelector(size_t peers, Micros cooldown_us)
+    : peers_(peers), cooldown_us_(cooldown_us) {
+  failed_at_ = std::make_unique<std::atomic<Micros>[]>(peers == 0 ? 1 : peers);
+  for (size_t i = 0; i < peers_; ++i) failed_at_[i].store(0);
+}
+
+bool PeerSelector::Healthy(size_t peer) const {
+  if (peer >= peers_) return false;
+  Micros failed = failed_at_[peer].load(std::memory_order_acquire);
+  if (failed == 0) return true;
+  return RealClock::Shared()->NowMicros() - failed >= cooldown_us_;
+}
+
+size_t PeerSelector::Next() {
+  if (peers_ == 0) return 0;
+  for (size_t attempt = 0; attempt < peers_; ++attempt) {
+    size_t peer = rr_.fetch_add(1, std::memory_order_relaxed) % peers_;
+    if (Healthy(peer)) return peer;
+  }
+  // Everyone looks down: probe in plain round-robin order anyway.
+  return rr_.fetch_add(1, std::memory_order_relaxed) % peers_;
+}
+
+void PeerSelector::ReportFailure(size_t peer) {
+  if (peer >= peers_) return;
+  failed_at_[peer].store(RealClock::Shared()->NowMicros(),
+                         std::memory_order_release);
+}
+
+void PeerSelector::ReportSuccess(size_t peer) {
+  if (peer >= peers_) return;
+  failed_at_[peer].store(0, std::memory_order_release);
+}
+
+// ---------------- InProcessTransport ----------------
+
+InProcessTransport::InProcessTransport(OrderingService* ordering,
+                                       std::vector<DatabaseNode*> nodes)
+    : ordering_(ordering),
+      nodes_(std::move(nodes)),
+      selector_(nodes_.size()) {
+  node_subs_.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    node_subs_.push_back(nodes_[i]->Subscribe(
+        [this, i](const TxnNotification& n) { OnNodeDecision(i, n); }));
+  }
+}
+
+InProcessTransport::~InProcessTransport() {
+  for (size_t i = 0; i < node_subs_.size(); ++i) {
+    nodes_[i]->Unsubscribe(node_subs_[i]);
+  }
+}
+
+std::string InProcessTransport::peer_name(size_t peer) const {
+  return peer < nodes_.size() ? nodes_[peer]->name() : std::string();
+}
+
+TransactionFlow InProcessTransport::flow() const {
+  return nodes_.empty() ? TransactionFlow::kOrderThenExecute
+                        : nodes_[0]->config().flow;
+}
+
+Result<Frame> InProcessTransport::RoundTrip(const Frame& request,
+                                            size_t peer) {
+  // Client → server leg.
+  std::string req_bytes = request.Encode();
+  counters_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_sent.fetch_add(req_bytes.size(),
+                                 std::memory_order_relaxed);
+  auto received = Frame::Decode(req_bytes);
+  if (!received.ok()) return received.status();
+
+  Frame response = ServerDispatch(received.value(), peer);
+  response.seq = request.seq;
+
+  // Server → client leg.
+  std::string resp_bytes = response.Encode();
+  counters_.frames_received.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_received.fetch_add(resp_bytes.size(),
+                                     std::memory_order_relaxed);
+  return Frame::Decode(resp_bytes);
+}
+
+Frame InProcessTransport::ServerDispatch(const Frame& request, size_t peer) {
+  auto status_response = [](const Status& st) {
+    Frame f;
+    f.kind = FrameKind::kStatusResponse;
+    f.body = StatusResponseBody{st, 0}.Encode();
+    return f;
+  };
+  DatabaseNode* node = peer < nodes_.size() ? nodes_[peer] : nullptr;
+
+  switch (request.kind) {
+    case FrameKind::kSubmit: {
+      auto body = SubmitRequestBody::Decode(request.body);
+      SubmitResponseBody resp;
+      if (!body.ok()) {
+        // Same body kind on every submit response, error or not — the
+        // client side always decodes a SubmitResponseBody.
+        resp.status = body.status();
+        Frame f;
+        f.kind = FrameKind::kStatusResponse;
+        f.body = resp.Encode();
+        return f;
+      }
+      const bool eop = flow() == TransactionFlow::kExecuteOrderParallel;
+      if (eop && (node == nullptr || !node->running())) {
+        resp.status = Status::Unavailable("peer not running");
+      } else {
+        for (const std::string& tx_bytes : body.value().encoded_txs) {
+          auto tx = Transaction::Decode(tx_bytes);
+          if (!tx.ok()) {
+            resp.tx_statuses.push_back(tx.status());
+            continue;
+          }
+          resp.tx_statuses.push_back(
+              eop ? node->SubmitTransaction(tx.value())
+                  : ordering_->SubmitTransaction(tx.value()));
+        }
+      }
+      Frame f;
+      f.kind = FrameKind::kStatusResponse;
+      f.body = resp.Encode();
+      return f;
+    }
+    case FrameKind::kQuery: {
+      auto body = QueryRequestBody::Decode(request.body);
+      ResultResponseBody resp;
+      if (!body.ok()) {
+        resp.status = body.status();
+      } else if (node == nullptr || !node->running()) {
+        resp.status = Status::Unavailable("peer not running");
+      } else {
+        const QueryRequestBody& q = body.value();
+        auto r = q.provenance ? node->ProvenanceQuery(q.user, q.sql, q.params)
+                              : node->Query(q.user, q.sql, q.params);
+        if (r.ok()) {
+          resp.columns = std::move(r.value().columns);
+          resp.rows = std::move(r.value().rows);
+          resp.affected = r.value().affected;
+        } else {
+          resp.status = r.status();
+        }
+      }
+      Frame f;
+      f.kind = FrameKind::kResultResponse;
+      f.body = resp.Encode();
+      return f;
+    }
+    case FrameKind::kPrepare: {
+      auto body = PrepareRequestBody::Decode(request.body);
+      PrepareResponseBody resp;
+      if (!body.ok()) {
+        resp.status = body.status();
+      } else if (node == nullptr || !node->running()) {
+        resp.status = Status::Unavailable("peer not running");
+      } else {
+        auto info = node->PrepareQuery(body.value().user, body.value().sql);
+        if (info.ok()) {
+          resp.param_count = static_cast<uint32_t>(info.value().param_count);
+          for (ValueType t : info.value().param_types) {
+            resp.param_types.push_back(static_cast<uint8_t>(t));
+          }
+          resp.statement_type = static_cast<uint8_t>(info.value().type);
+        } else {
+          resp.status = info.status();
+        }
+      }
+      Frame f;
+      f.kind = FrameKind::kPrepareResponse;
+      f.body = resp.Encode();
+      return f;
+    }
+    case FrameKind::kHeight: {
+      Frame f;
+      f.kind = FrameKind::kHeightResponse;
+      if (node == nullptr || !node->running()) {
+        f.body =
+            StatusResponseBody{Status::Unavailable("peer not running"), 0}
+                .Encode();
+      } else {
+        f.body = StatusResponseBody{Status::OK(), node->Height()}.Encode();
+      }
+      return f;
+    }
+    default:
+      return status_response(
+          Status::InvalidArgument("unexpected frame kind on request path"));
+  }
+}
+
+Result<std::vector<Status>> InProcessTransport::Submit(
+    const std::vector<Transaction>& txs) {
+  Frame req;
+  req.kind = FrameKind::kSubmit;
+  req.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  SubmitRequestBody body;
+  body.encoded_txs.reserve(txs.size());
+  for (const Transaction& tx : txs) body.encoded_txs.push_back(tx.Encode());
+  req.body = body.Encode();
+
+  const bool eop = flow() == TransactionFlow::kExecuteOrderParallel;
+  const size_t attempts = eop ? std::max<size_t>(nodes_.size(), 1) : 1;
+  Status last = Status::Unavailable("no peers");
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    size_t peer = eop ? selector_.Next() : 0;
+    auto resp = RoundTrip(req, peer);
+    if (!resp.ok()) return resp.status();
+    auto decoded = SubmitResponseBody::Decode(resp.value().body);
+    if (!decoded.ok()) return decoded.status();
+    if (decoded.value().status.ok()) {
+      selector_.ReportSuccess(peer);
+      if (decoded.value().tx_statuses.size() != txs.size()) {
+        return Status::Internal("submit response arity mismatch");
+      }
+      return std::move(decoded).value().tx_statuses;
+    }
+    last = decoded.value().status;
+    if (eop) selector_.ReportFailure(peer);
+  }
+  return last;
+}
+
+Result<BlockNum> InProcessTransport::Height() {
+  Frame req;
+  req.kind = FrameKind::kHeight;
+  req.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Status last = Status::Unavailable("no peers");
+  for (size_t attempt = 0; attempt < std::max<size_t>(nodes_.size(), 1);
+       ++attempt) {
+    size_t peer = selector_.Next();
+    auto resp = RoundTrip(req, peer);
+    if (!resp.ok()) return resp.status();
+    auto decoded = StatusResponseBody::Decode(resp.value().body);
+    if (!decoded.ok()) return decoded.status();
+    if (decoded.value().status.ok()) {
+      selector_.ReportSuccess(peer);
+      return static_cast<BlockNum>(decoded.value().height);
+    }
+    last = decoded.value().status;
+    selector_.ReportFailure(peer);
+  }
+  return last;
+}
+
+Result<sql::ResultSet> InProcessTransport::Query(const QueryRequest& req,
+                                                 size_t pin_peer) {
+  Frame frame;
+  frame.kind = FrameKind::kQuery;
+  frame.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  frame.body =
+      QueryRequestBody{req.user, req.sql, req.params, req.provenance}
+          .Encode();
+
+  const bool pinned = pin_peer != kAnyPeer;
+  const size_t attempts = pinned ? 1 : std::max<size_t>(nodes_.size(), 1);
+  Status last = Status::Unavailable("no peers");
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    size_t peer = pinned ? pin_peer : selector_.Next();
+    auto resp = RoundTrip(frame, peer);
+    if (!resp.ok()) return resp.status();
+    auto decoded = ResultResponseBody::Decode(resp.value().body);
+    if (!decoded.ok()) return decoded.status();
+    // Unavailable is a transport-level answer ("peer down"): fail over.
+    // Every other status is the peer's real answer and is returned as-is.
+    if (decoded.value().status.code() == StatusCode::kUnavailable &&
+        !pinned) {
+      selector_.ReportFailure(peer);
+      last = decoded.value().status;
+      continue;
+    }
+    if (!pinned) selector_.ReportSuccess(peer);
+    if (!decoded.value().status.ok()) return decoded.value().status;
+    sql::ResultSet rs;
+    rs.columns = std::move(decoded.value().columns);
+    rs.rows = std::move(decoded.value().rows);
+    rs.affected = decoded.value().affected;
+    return rs;
+  }
+  return last;
+}
+
+Result<sql::PreparedInfo> InProcessTransport::Prepare(const std::string& user,
+                                                      const std::string& sql) {
+  Frame frame;
+  frame.kind = FrameKind::kPrepare;
+  frame.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  frame.body = PrepareRequestBody{user, sql}.Encode();
+
+  Status last = Status::Unavailable("no peers");
+  for (size_t attempt = 0; attempt < std::max<size_t>(nodes_.size(), 1);
+       ++attempt) {
+    size_t peer = selector_.Next();
+    auto resp = RoundTrip(frame, peer);
+    if (!resp.ok()) return resp.status();
+    auto decoded = PrepareResponseBody::Decode(resp.value().body);
+    if (!decoded.ok()) return decoded.status();
+    if (decoded.value().status.code() == StatusCode::kUnavailable) {
+      selector_.ReportFailure(peer);
+      last = decoded.value().status;
+      continue;
+    }
+    selector_.ReportSuccess(peer);
+    if (!decoded.value().status.ok()) return decoded.value().status;
+    // Never trust wire bytes as enum values (cf. Status::FromCode): an
+    // out-of-range param type degrades to "unknown" (binds freely), an
+    // out-of-range statement type makes the response unusable.
+    if (decoded.value().statement_type >
+        static_cast<uint8_t>(sql::StatementType::kDropTable)) {
+      return Status::Corruption("prepare response: invalid statement type");
+    }
+    sql::PreparedInfo info;
+    info.param_count = static_cast<int>(decoded.value().param_count);
+    for (uint8_t t : decoded.value().param_types) {
+      info.param_types.push_back(t > static_cast<uint8_t>(ValueType::kText)
+                                     ? ValueType::kNull
+                                     : static_cast<ValueType>(t));
+    }
+    info.type = static_cast<sql::StatementType>(
+        decoded.value().statement_type);
+    return info;
+  }
+  return last;
+}
+
+uint64_t InProcessTransport::Subscribe(DecisionFn fn) {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  uint64_t id = next_sub_id_++;
+  subscribers_.emplace(id, std::move(fn));
+  return id;
+}
+
+void InProcessTransport::Unsubscribe(uint64_t id) {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  subscribers_.erase(id);
+}
+
+void InProcessTransport::OnNodeDecision(size_t peer,
+                                        const TxnNotification& n) {
+  // Even events cross the boundary as frames: encode, "receive", decode.
+  DecisionEventBody body;
+  body.peer = peer_name(peer);
+  body.txid = n.txid;
+  body.status = n.status;
+  body.block = n.block;
+  Frame event;
+  event.kind = FrameKind::kDecisionEvent;
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  event.body = body.Encode();
+
+  std::string bytes = event.Encode();
+  counters_.frames_received.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_received.fetch_add(bytes.size(), std::memory_order_relaxed);
+  auto received = Frame::Decode(bytes);
+  if (!received.ok()) return;
+  auto decoded = DecisionEventBody::Decode(received.value().body);
+  if (!decoded.ok()) return;
+
+  // Deliver under subs_mu_ so Unsubscribe() (Session destruction)
+  // synchronizes with in-flight events — see DatabaseNode::Notify.
+  TxnNotification out{decoded.value().txid, decoded.value().status,
+                      decoded.value().block};
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  for (const auto& [id, fn] : subscribers_) fn(decoded.value().peer, out);
+}
+
+}  // namespace brdb

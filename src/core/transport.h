@@ -1,0 +1,169 @@
+// Transport: the client layer's only window onto the network. A Session
+// (core/session.h) never touches DatabaseNode or OrderingService pointers —
+// every submission, query, prepare and height probe goes through this
+// interface, and every message crosses it as a wire/codec frame. The
+// in-process implementation therefore proves wire-readiness: swapping in a
+// socket-backed transport changes where the frame bytes go, not what they
+// are.
+//
+// Peer selection (round-robin over healthy peers, failover on unavailable
+// ones) lives behind the transport too: callers ask for "a peer", not
+// "peer 0", so read load spreads and a down node is skipped transparently.
+#ifndef BRDB_CORE_TRANSPORT_H_
+#define BRDB_CORE_TRANSPORT_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/node.h"
+#include "wire/codec.h"
+
+namespace brdb {
+
+/// Frame-level traffic counters. The pipelining test asserts these to prove
+/// all client traffic round-trips through the codec even in-process.
+struct TransportCounters {
+  std::atomic<uint64_t> frames_sent{0};
+  std::atomic<uint64_t> frames_received{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> bytes_received{0};
+};
+
+/// Round-robin peer selection with failover: a peer reported failed is
+/// skipped until a cooldown elapses (then probed again). Lock-free; safe to
+/// call from any session thread.
+class PeerSelector {
+ public:
+  explicit PeerSelector(size_t peers, Micros cooldown_us = 1000000);
+
+  size_t peer_count() const { return peers_; }
+
+  /// Next peer in round-robin order, skipping unhealthy peers. When every
+  /// peer is marked failed, falls back to plain round-robin (someone has to
+  /// take the probe that discovers recovery).
+  size_t Next();
+
+  void ReportFailure(size_t peer);
+  void ReportSuccess(size_t peer);
+  bool Healthy(size_t peer) const;
+
+ private:
+  size_t peers_;
+  Micros cooldown_us_;
+  std::atomic<uint64_t> rr_{0};
+  std::unique_ptr<std::atomic<Micros>[]> failed_at_;  ///< 0 = healthy
+};
+
+/// A read-only (optionally provenance) query as it crosses the transport.
+struct QueryRequest {
+  std::string user;
+  std::string sql;
+  std::vector<Value> params;
+  bool provenance = false;
+};
+
+/// Sentinel: let the transport's peer-selection policy pick.
+inline constexpr size_t kAnyPeer = static_cast<size_t>(-1);
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual size_t peer_count() const = 0;
+  virtual std::string peer_name(size_t peer) const = 0;
+  virtual TransactionFlow flow() const = 0;
+
+  /// Submit a batch of signed transactions in one frame — to the ordering
+  /// service (order-then-execute) or to a selected peer that forwards
+  /// (execute-order-in-parallel). Returns one status per transaction, in
+  /// input order; the outer status is transport-level (all peers down,
+  /// malformed frame).
+  virtual Result<std::vector<Status>> Submit(
+      const std::vector<Transaction>& txs) = 0;
+
+  /// Committed height of a selected healthy peer (the EOP snapshot basis).
+  virtual Result<BlockNum> Height() = 0;
+
+  /// Read-only query on a transport-selected healthy peer (round-robin with
+  /// failover), or pinned to `pin_peer` when it is not kAnyPeer.
+  virtual Result<sql::ResultSet> Query(const QueryRequest& req,
+                                       size_t pin_peer = kAnyPeer) = 0;
+
+  /// Parse/validate a statement on a peer; returns the binding metadata for
+  /// a client-side PreparedStatement.
+  virtual Result<sql::PreparedInfo> Prepare(const std::string& user,
+                                            const std::string& sql) = 0;
+
+  /// Decision events (commit/abort per node). The callback runs on network
+  /// threads; it must be quick and must not call back into the transport.
+  using DecisionFn =
+      std::function<void(const std::string& peer, const TxnNotification& n)>;
+  virtual uint64_t Subscribe(DecisionFn fn) = 0;
+  virtual void Unsubscribe(uint64_t id) = 0;
+
+  virtual const TransportCounters& counters() const = 0;
+};
+
+/// Transport over in-process node/ordering pointers. Every call encodes a
+/// request frame, decodes it on the "server" side, dispatches, and encodes/
+/// decodes the response frame — the exact byte path a socket transport
+/// would use, minus the socket.
+class InProcessTransport : public Transport {
+ public:
+  InProcessTransport(OrderingService* ordering,
+                     std::vector<DatabaseNode*> nodes);
+  ~InProcessTransport() override;
+
+  InProcessTransport(const InProcessTransport&) = delete;
+  InProcessTransport& operator=(const InProcessTransport&) = delete;
+
+  size_t peer_count() const override { return nodes_.size(); }
+  std::string peer_name(size_t peer) const override;
+  TransactionFlow flow() const override;
+
+  Result<std::vector<Status>> Submit(
+      const std::vector<Transaction>& txs) override;
+  Result<BlockNum> Height() override;
+  Result<sql::ResultSet> Query(const QueryRequest& req,
+                               size_t pin_peer = kAnyPeer) override;
+  Result<sql::PreparedInfo> Prepare(const std::string& user,
+                                    const std::string& sql) override;
+
+  uint64_t Subscribe(DecisionFn fn) override;
+  void Unsubscribe(uint64_t id) override;
+
+  const TransportCounters& counters() const override { return counters_; }
+  PeerSelector* selector() { return &selector_; }
+
+ private:
+  /// Encode `request`, decode it server-side, dispatch against `peer`,
+  /// encode the response, decode it client-side. Counts frames and bytes in
+  /// both directions.
+  Result<Frame> RoundTrip(const Frame& request, size_t peer);
+
+  /// Server-side handler: a decoded request frame in, a response frame out.
+  Frame ServerDispatch(const Frame& request, size_t peer);
+
+  void OnNodeDecision(size_t peer, const TxnNotification& n);
+
+  OrderingService* ordering_;
+  std::vector<DatabaseNode*> nodes_;
+  PeerSelector selector_;
+  TransportCounters counters_;
+  std::atomic<uint64_t> next_seq_{1};
+
+  std::vector<DatabaseNode::SubscriptionId> node_subs_;
+
+  std::mutex subs_mu_;
+  uint64_t next_sub_id_ = 1;
+  std::map<uint64_t, DecisionFn> subscribers_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_CORE_TRANSPORT_H_

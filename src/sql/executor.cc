@@ -1003,6 +1003,9 @@ Result<ResultSet> Runner::RunCreateIndex(const CreateIndexStmt& stmt) {
   auto table_r = db_->GetTable(stmt.table);
   if (!table_r.ok()) return table_r.status();
   BRDB_RETURN_NOT_OK(table_r.value()->CreateIndex(stmt.column));
+  // Index DDL changes which plans are legal under
+  // require_index_for_predicates; invalidate cached plans like other DDL.
+  db_->BumpSchemaVersion();
   return ResultSet{};
 }
 
@@ -1083,13 +1086,220 @@ Result<ResultSet> Runner::Run(const Statement& stmt) {
 
 }  // namespace
 
+namespace {
+
+/// Best-effort parameter type inference from the schema: positions where a
+/// bare $n parameter flows into a typed slot (INSERT column, UPDATE SET,
+/// comparison against a column) get that column's type. Unresolvable or
+/// conflicting positions stay kNull (= bind freely).
+void InferParamTypes(const Statement& stmt, Database* db, PreparedInfo* info) {
+  if (info->param_count <= 0) return;
+  info->param_types.assign(static_cast<size_t>(info->param_count),
+                           ValueType::kNull);
+  std::vector<bool> conflicted(info->param_types.size(), false);
+
+  auto note = [&](int param_index, ValueType type) {
+    if (param_index < 1 || param_index > info->param_count) return;
+    if (type == ValueType::kNull) return;
+    ValueType& slot = info->param_types[param_index - 1];
+    if (conflicted[param_index - 1]) return;
+    if (slot == ValueType::kNull) {
+      slot = type;
+    } else if (slot != type) {
+      // Two different inferred types: give up on this position.
+      slot = ValueType::kNull;
+      conflicted[param_index - 1] = true;
+    }
+  };
+
+  // Tables in scope (by alias) for column type lookups.
+  std::map<std::string, const TableSchema*> scope;
+  auto add_ref = [&](const TableRef& ref) {
+    auto t = db->GetTable(ref.table);
+    if (!t.ok()) return;
+    const std::string& alias = ref.alias.empty() ? ref.table : ref.alias;
+    scope[alias] = &t.value()->schema();
+  };
+  auto column_type = [&](const Expr& col) -> ValueType {
+    for (const auto& [alias, schema] : scope) {
+      if (!col.qualifier.empty() && col.qualifier != alias) continue;
+      int idx = schema->ColumnIndex(col.column);
+      if (idx >= 0) return schema->columns()[idx].type;
+    }
+    return ValueType::kNull;
+  };
+  auto note_comparisons = [&](const Expr& e) {
+    if (e.kind != ExprKind::kBinary) return;
+    switch (e.bin_op) {
+      case BinOp::kEq: case BinOp::kNe: case BinOp::kLt:
+      case BinOp::kLe: case BinOp::kGt: case BinOp::kGe:
+        break;
+      default:
+        return;
+    }
+    const Expr* col = nullptr;
+    const Expr* param = nullptr;
+    if (e.a->kind == ExprKind::kColumn && e.b->kind == ExprKind::kParam) {
+      col = e.a.get();
+      param = e.b.get();
+    } else if (e.b->kind == ExprKind::kColumn &&
+               e.a->kind == ExprKind::kParam) {
+      col = e.b.get();
+      param = e.a.get();
+    }
+    if (col == nullptr || !param->param_name.empty()) return;
+    note(param->param_index, column_type(*col));
+  };
+
+  switch (stmt.type) {
+    case StatementType::kSelect: {
+      const SelectStmt& s = *stmt.select;
+      if (s.from) add_ref(*s.from);
+      for (const auto& j : s.joins) add_ref(j.table);
+      break;
+    }
+    case StatementType::kInsert: {
+      auto t = db->GetTable(stmt.insert->table);
+      if (t.ok()) {
+        const TableSchema& schema = t.value()->schema();
+        scope[stmt.insert->table] = &schema;
+        // Map VALUES positions to column types.
+        for (const auto& row : stmt.insert->rows) {
+          for (size_t j = 0; j < row.size(); ++j) {
+            if (!row[j] || row[j]->kind != ExprKind::kParam ||
+                !row[j]->param_name.empty()) {
+              continue;
+            }
+            int col_idx = -1;
+            if (stmt.insert->columns.empty()) {
+              col_idx = static_cast<int>(j);
+            } else if (j < stmt.insert->columns.size()) {
+              col_idx = schema.ColumnIndex(stmt.insert->columns[j]);
+            }
+            if (col_idx >= 0 &&
+                col_idx < static_cast<int>(schema.num_columns())) {
+              note(row[j]->param_index, schema.columns()[col_idx].type);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case StatementType::kUpdate: {
+      auto t = db->GetTable(stmt.update->table);
+      if (t.ok()) {
+        const TableSchema& schema = t.value()->schema();
+        scope[stmt.update->table] = &schema;
+        for (const auto& [col, e] : stmt.update->sets) {
+          if (e && e->kind == ExprKind::kParam && e->param_name.empty()) {
+            int idx = schema.ColumnIndex(col);
+            if (idx >= 0) note(e->param_index, schema.columns()[idx].type);
+          }
+        }
+      }
+      break;
+    }
+    case StatementType::kDelete: {
+      auto t = db->GetTable(stmt.del->table);
+      if (t.ok()) scope[stmt.del->table] = &t.value()->schema();
+      break;
+    }
+    default:
+      return;  // DDL takes no parameters
+  }
+
+  ForEachStatementExpr(stmt, note_comparisons);
+}
+
+}  // namespace
+
+Status CheckParamBinding(const PreparedInfo& info,
+                         const std::vector<Value>& params) {
+  if (static_cast<int>(params.size()) != info.param_count) {
+    return Status::InvalidArgument(
+        "statement expects " + std::to_string(info.param_count) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i >= info.param_types.size()) break;
+    ValueType expected = info.param_types[i];
+    if (expected == ValueType::kNull) continue;  // unknown: bind freely
+    const Value& v = params[i];
+    if (v.is_null()) continue;                   // NULL binds anywhere
+    if (v.type() == expected) continue;
+    if (expected == ValueType::kDouble && v.type() == ValueType::kInt) {
+      continue;  // numeric widening
+    }
+    return Status::InvalidArgument(
+        "parameter $" + std::to_string(i + 1) + " expects " +
+        ValueTypeToString(expected) + ", got " + ValueTypeToString(v.type()));
+  }
+  return Status::OK();
+}
+
+Status PreparedPlan::BindCheck(const std::vector<Value>& params) const {
+  return CheckParamBinding(info_, params);
+}
+
+Result<std::shared_ptr<const PreparedPlan>> SqlEngine::Prepare(
+    const std::string& sql) {
+  const uint64_t version = db_->schema_version();
+  {
+    std::shared_lock<std::shared_mutex> lock(plans_mu_);
+    auto it = plans_.find(sql);
+    if (it != plans_.end() && it->second->schema_version() == version) {
+      plan_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  plan_misses_.fetch_add(1, std::memory_order_relaxed);
+
+  auto parsed = Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+
+  auto plan = std::make_shared<PreparedPlan>();
+  plan->sql_ = sql;
+  plan->stmt_ = std::move(parsed).value();
+  plan->schema_version_ = version;
+  plan->info_.type = plan->stmt_.type;
+  plan->info_.param_count = MaxParamIndex(plan->stmt_);
+  InferParamTypes(plan->stmt_, db_, &plan->info_);
+
+  std::shared_ptr<const PreparedPlan> shared = std::move(plan);
+  std::unique_lock<std::shared_mutex> lock(plans_mu_);
+  auto [it, inserted] = plans_.emplace(sql, shared);
+  if (inserted) {
+    plan_fifo_.push_back(sql);
+    while (plan_fifo_.size() > kPlanCacheCapacity) {
+      plans_.erase(plan_fifo_.front());
+      plan_fifo_.pop_front();
+    }
+  } else {
+    it->second = shared;  // replace a stale-schema entry in place
+  }
+  return shared;
+}
+
+size_t SqlEngine::plan_cache_entries() const {
+  std::shared_lock<std::shared_mutex> lock(plans_mu_);
+  return plans_.size();
+}
+
 Result<ResultSet> SqlEngine::Execute(
     TxnContext* ctx, const std::string& sql, const std::vector<Value>& params,
     const ExecOptions& opts,
     const std::map<std::string, Value>* named_params) {
-  auto stmt = Parse(sql);
-  if (!stmt.ok()) return stmt.status();
-  return ExecuteStatement(ctx, stmt.value(), params, opts, named_params);
+  auto plan = Prepare(sql);
+  if (!plan.ok()) return plan.status();
+  return ExecuteStatement(ctx, plan.value()->statement(), params, opts,
+                          named_params);
+}
+
+Result<ResultSet> SqlEngine::ExecutePrepared(
+    TxnContext* ctx, const PreparedPlan& plan, const std::vector<Value>& params,
+    const ExecOptions& opts,
+    const std::map<std::string, Value>* named_params) {
+  return ExecuteStatement(ctx, plan.statement(), params, opts, named_params);
 }
 
 Result<ResultSet> SqlEngine::ExecuteStatement(

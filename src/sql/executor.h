@@ -9,8 +9,13 @@
 #ifndef BRDB_SQL_EXECUTOR_H_
 #define BRDB_SQL_EXECUTOR_H_
 
+#include <atomic>
+#include <deque>
 #include <map>
+#include <memory>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -68,12 +73,54 @@ struct ExecOptions {
 /// time).
 Status CheckStatementDeterminism(const Statement& stmt);
 
+/// Statement metadata derived once at Prepare() time and consumed by
+/// client-side parameter binding (core/session.h).
+struct PreparedInfo {
+  int param_count = 0;
+  /// Expected type per positional parameter ($1 at index 0); kNull when no
+  /// type could be inferred from the schema (the parameter binds freely).
+  std::vector<ValueType> param_types;
+  StatementType type = StatementType::kSelect;
+};
+
+/// Strict binding check shared by server-side plans and client-side
+/// prepared statements: exact arity, NULL binds anywhere, INT binds where
+/// DOUBLE is expected, anything else must match the inferred type.
+Status CheckParamBinding(const PreparedInfo& info,
+                         const std::vector<Value>& params);
+
+/// An immutable parsed-and-analyzed statement. Shareable across threads and
+/// executions; the engine caches plans keyed on the SQL text and the
+/// catalog version, so repeated statements (the ledger bookkeeping DML,
+/// contract bodies, prepared client queries) parse exactly once per schema
+/// epoch.
+class PreparedPlan {
+ public:
+  const Statement& statement() const { return stmt_; }
+  const PreparedInfo& info() const { return info_; }
+  const std::string& sql() const { return sql_; }
+  uint64_t schema_version() const { return schema_version_; }
+
+  /// Strict per-execution binding check: exact arity, and type agreement
+  /// wherever a type was inferred. NULL always binds; INT binds where
+  /// DOUBLE is expected (the engine's numeric widening rule).
+  Status BindCheck(const std::vector<Value>& params) const;
+
+ private:
+  friend class SqlEngine;
+  std::string sql_;
+  Statement stmt_;
+  PreparedInfo info_;
+  uint64_t schema_version_ = 0;
+};
+
 class SqlEngine {
  public:
   explicit SqlEngine(Database* db) : db_(db) {}
 
   /// Parse + execute one statement with $n `params`; `named_params` binds
-  /// $name variables (used by the SQL-procedure interpreter).
+  /// $name variables (used by the SQL-procedure interpreter). Parsing goes
+  /// through the plan cache, so repeated SQL text costs one lookup.
   Result<ResultSet> Execute(
       TxnContext* ctx, const std::string& sql,
       const std::vector<Value>& params = {},
@@ -86,8 +133,39 @@ class SqlEngine {
       const std::vector<Value>& params, const ExecOptions& opts,
       const std::map<std::string, Value>* named_params = nullptr);
 
+  /// Parse and analyze once. Plans are cached keyed on the SQL text; a DDL
+  /// statement bumps the database's schema version, which invalidates every
+  /// cached plan lazily (stale entries re-parse on next use). Parse
+  /// failures are not cached.
+  Result<std::shared_ptr<const PreparedPlan>> Prepare(const std::string& sql);
+
+  /// Execute a prepared plan. Callers decide whether to BindCheck first:
+  /// the client session path validates, internal callers bind positionally
+  /// exactly as Execute() does.
+  Result<ResultSet> ExecutePrepared(
+      TxnContext* ctx, const PreparedPlan& plan,
+      const std::vector<Value>& params, const ExecOptions& opts,
+      const std::map<std::string, Value>* named_params = nullptr);
+
+  // Plan-cache observability (tests and metrics).
+  uint64_t plan_cache_hits() const { return plan_hits_.load(); }
+  uint64_t plan_cache_misses() const { return plan_misses_.load(); }
+  size_t plan_cache_entries() const;
+
  private:
+  /// Bounded FIFO plan cache; sized for a node's working set of distinct
+  /// statements (system DML + contract bodies + client queries).
+  static constexpr size_t kPlanCacheCapacity = 512;
+
   Database* db_;
+  /// Reader-writer lock: cache hits (every statement execution) take the
+  /// shared side so the parallel executor pool never serializes on a
+  /// repeated-statement lookup; only misses take the exclusive side.
+  mutable std::shared_mutex plans_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const PreparedPlan>> plans_;
+  std::deque<std::string> plan_fifo_;
+  std::atomic<uint64_t> plan_hits_{0};
+  std::atomic<uint64_t> plan_misses_{0};
 };
 
 }  // namespace sql

@@ -1,5 +1,6 @@
 #include "sql/parser.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "sql/token.h"
@@ -668,6 +669,82 @@ Result<ExprPtr> ParseExpression(const std::string& input) {
   if (!tokens.ok()) return tokens.status();
   Parser parser(input, std::move(tokens).value());
   return parser.ParseStandaloneExpression();
+}
+
+namespace {
+
+void WalkExpr(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  if (e.a) WalkExpr(*e.a, fn);
+  if (e.b) WalkExpr(*e.b, fn);
+  for (const auto& arg : e.args) {
+    if (arg) WalkExpr(*arg, fn);
+  }
+  for (const auto& [when, then] : e.whens) {
+    WalkExpr(*when, fn);
+    WalkExpr(*then, fn);
+  }
+  if (e.else_expr) WalkExpr(*e.else_expr, fn);
+}
+
+void WalkSelect(const SelectStmt& s,
+                const std::function<void(const Expr&)>& fn) {
+  for (const auto& item : s.items) {
+    if (item.expr) WalkExpr(*item.expr, fn);
+  }
+  for (const auto& join : s.joins) {
+    if (join.on) WalkExpr(*join.on, fn);
+  }
+  if (s.where) WalkExpr(*s.where, fn);
+  for (const auto& g : s.group_by) {
+    if (g) WalkExpr(*g, fn);
+  }
+  if (s.having) WalkExpr(*s.having, fn);
+  for (const auto& o : s.order_by) {
+    if (o.expr) WalkExpr(*o.expr, fn);
+  }
+}
+
+}  // namespace
+
+void ForEachStatementExpr(const Statement& stmt,
+                          const std::function<void(const Expr&)>& fn) {
+  switch (stmt.type) {
+    case StatementType::kSelect:
+      WalkSelect(*stmt.select, fn);
+      break;
+    case StatementType::kInsert:
+      for (const auto& row : stmt.insert->rows) {
+        for (const auto& e : row) {
+          if (e) WalkExpr(*e, fn);
+        }
+      }
+      if (stmt.insert->select) WalkSelect(*stmt.insert->select, fn);
+      break;
+    case StatementType::kUpdate:
+      for (const auto& [col, e] : stmt.update->sets) {
+        if (e) WalkExpr(*e, fn);
+      }
+      if (stmt.update->where) WalkExpr(*stmt.update->where, fn);
+      break;
+    case StatementType::kDelete:
+      if (stmt.del->where) WalkExpr(*stmt.del->where, fn);
+      break;
+    case StatementType::kCreateTable:
+    case StatementType::kCreateIndex:
+    case StatementType::kDropTable:
+      break;
+  }
+}
+
+int MaxParamIndex(const Statement& stmt) {
+  int max_index = 0;
+  ForEachStatementExpr(stmt, [&max_index](const Expr& e) {
+    if (e.kind == ExprKind::kParam && e.param_name.empty()) {
+      max_index = std::max(max_index, e.param_index);
+    }
+  });
+  return max_index;
 }
 
 }  // namespace sql

@@ -2,6 +2,7 @@
 #ifndef BRDB_SQL_PARSER_H_
 #define BRDB_SQL_PARSER_H_
 
+#include <functional>
 #include <string>
 
 #include "common/status.h"
@@ -15,6 +16,18 @@ Result<Statement> Parse(const std::string& input);
 
 /// Parse a standalone expression (used for CHECK constraints).
 Result<ExprPtr> ParseExpression(const std::string& input);
+
+/// Highest $n positional parameter referenced anywhere in the statement
+/// (0 = the statement takes no positional parameters). Prepared statements
+/// derive their parameter count from this once, at Prepare() time.
+int MaxParamIndex(const Statement& stmt);
+
+/// Visit every expression tree hanging off the statement (WHERE clauses,
+/// select items, VALUES rows, SET lists, JOIN conditions, GROUP BY/HAVING,
+/// ORDER BY). Shared by the determinism checker and prepared-statement
+/// parameter analysis.
+void ForEachStatementExpr(const Statement& stmt,
+                          const std::function<void(const Expr&)>& fn);
 
 }  // namespace sql
 }  // namespace brdb

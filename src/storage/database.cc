@@ -65,6 +65,7 @@ Result<Table*> Database::CreateTable(TableSchema schema,
   Table* ptr = table.get();
   tables_.emplace(name, std::move(table));
   by_id_.emplace(id, ptr);
+  BumpSchemaVersion();
   return ptr;
 }
 
@@ -94,6 +95,7 @@ Status Database::DropTable(const std::string& name) {
   }
   by_id_.erase(it->second->id());
   tables_.erase(it);
+  BumpSchemaVersion();
   return Status::OK();
 }
 

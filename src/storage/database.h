@@ -6,6 +6,7 @@
 #ifndef BRDB_STORAGE_DATABASE_H_
 #define BRDB_STORAGE_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,9 +52,20 @@ class Database {
 
   TxnManager* txn_manager() { return &txn_manager_; }
 
+  /// Monotonic catalog version: bumped by every CREATE/DROP TABLE and by
+  /// CREATE INDEX (via BumpSchemaVersion). Cached statement plans are keyed
+  /// on it so DDL invalidates them (sql/executor.h).
+  uint64_t schema_version() const {
+    return schema_version_.load(std::memory_order_acquire);
+  }
+  void BumpSchemaVersion() {
+    schema_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
  private:
   void CreateSystemTables();
 
+  std::atomic<uint64_t> schema_version_{0};
   mutable std::mutex mu_;
   TableId next_table_id_ = 1;
   std::map<std::string, std::unique_ptr<Table>> tables_;

@@ -56,6 +56,276 @@ bool Decoder::GetString(std::string* s) {
   return true;
 }
 
+// ---------------- client transport frames ----------------
+
+std::string Frame::Encode() const {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(kind));
+  enc.PutU64(seq);
+  enc.PutString(body);
+  return enc.Take();
+}
+
+Result<Frame> Frame::Decode(const std::string& bytes) {
+  Decoder dec(bytes);
+  Frame f;
+  uint8_t kind;
+  if (!dec.GetU8(&kind) || !dec.GetU64(&f.seq) || !dec.GetString(&f.body) ||
+      !dec.AtEnd()) {
+    return Status::Corruption("frame: truncated or trailing bytes");
+  }
+  if (kind < static_cast<uint8_t>(FrameKind::kSubmit) ||
+      kind > static_cast<uint8_t>(FrameKind::kDecisionEvent)) {
+    return Status::Corruption("frame: unknown kind");
+  }
+  f.kind = static_cast<FrameKind>(kind);
+  return f;
+}
+
+void EncodeStatusTo(Encoder* enc, const Status& status) {
+  enc->PutU8(static_cast<uint8_t>(status.code()));
+  enc->PutString(status.message());
+}
+
+bool DecodeStatusFrom(Decoder* dec, Status* out) {
+  uint8_t code;
+  std::string msg;
+  if (!dec->GetU8(&code) || !dec->GetString(&msg)) return false;
+  *out = Status::FromCode(static_cast<StatusCode>(code), std::move(msg));
+  return true;
+}
+
+std::string SubmitRequestBody::Encode() const {
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(encoded_txs.size()));
+  for (const auto& tx : encoded_txs) enc.PutString(tx);
+  return enc.Take();
+}
+
+Result<SubmitRequestBody> SubmitRequestBody::Decode(const std::string& bytes) {
+  Decoder dec(bytes);
+  SubmitRequestBody body;
+  uint32_t n;
+  if (!dec.GetU32(&n)) return Status::Corruption("submit: truncated count");
+  if (static_cast<size_t>(n) > bytes.size()) {
+    return Status::Corruption("submit: count exceeds input");
+  }
+  body.encoded_txs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string tx;
+    if (!dec.GetString(&tx)) {
+      return Status::Corruption("submit: truncated transaction");
+    }
+    body.encoded_txs.push_back(std::move(tx));
+  }
+  if (!dec.AtEnd()) return Status::Corruption("submit: trailing bytes");
+  return body;
+}
+
+std::string QueryRequestBody::Encode() const {
+  Encoder enc;
+  enc.PutString(user);
+  enc.PutString(sql);
+  enc.PutValues(params);
+  enc.PutU8(provenance ? 1 : 0);
+  return enc.Take();
+}
+
+Result<QueryRequestBody> QueryRequestBody::Decode(const std::string& bytes) {
+  Decoder dec(bytes);
+  QueryRequestBody body;
+  uint8_t prov;
+  if (!dec.GetString(&body.user) || !dec.GetString(&body.sql)) {
+    return Status::Corruption("query: truncated header");
+  }
+  BRDB_RETURN_NOT_OK(dec.GetValues(&body.params));
+  if (!dec.GetU8(&prov) || !dec.AtEnd()) {
+    return Status::Corruption("query: truncated flags");
+  }
+  body.provenance = prov != 0;
+  return body;
+}
+
+std::string PrepareRequestBody::Encode() const {
+  Encoder enc;
+  enc.PutString(user);
+  enc.PutString(sql);
+  return enc.Take();
+}
+
+Result<PrepareRequestBody> PrepareRequestBody::Decode(
+    const std::string& bytes) {
+  Decoder dec(bytes);
+  PrepareRequestBody body;
+  if (!dec.GetString(&body.user) || !dec.GetString(&body.sql) ||
+      !dec.AtEnd()) {
+    return Status::Corruption("prepare: truncated request");
+  }
+  return body;
+}
+
+std::string SubmitResponseBody::Encode() const {
+  Encoder enc;
+  EncodeStatusTo(&enc, status);
+  enc.PutU32(static_cast<uint32_t>(tx_statuses.size()));
+  for (const Status& st : tx_statuses) EncodeStatusTo(&enc, st);
+  return enc.Take();
+}
+
+Result<SubmitResponseBody> SubmitResponseBody::Decode(
+    const std::string& bytes) {
+  Decoder dec(bytes);
+  SubmitResponseBody body;
+  if (!DecodeStatusFrom(&dec, &body.status)) {
+    return Status::Corruption("submit response: truncated status");
+  }
+  uint32_t n;
+  if (!dec.GetU32(&n)) {
+    return Status::Corruption("submit response: truncated count");
+  }
+  if (static_cast<size_t>(n) > bytes.size()) {
+    return Status::Corruption("submit response: count exceeds input");
+  }
+  body.tx_statuses.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Status st;
+    if (!DecodeStatusFrom(&dec, &st)) {
+      return Status::Corruption("submit response: truncated entry");
+    }
+    body.tx_statuses.push_back(std::move(st));
+  }
+  if (!dec.AtEnd()) return Status::Corruption("submit response: trailing");
+  return body;
+}
+
+std::string StatusResponseBody::Encode() const {
+  Encoder enc;
+  EncodeStatusTo(&enc, status);
+  enc.PutU64(height);
+  return enc.Take();
+}
+
+Result<StatusResponseBody> StatusResponseBody::Decode(
+    const std::string& bytes) {
+  Decoder dec(bytes);
+  StatusResponseBody body;
+  if (!DecodeStatusFrom(&dec, &body.status) || !dec.GetU64(&body.height) ||
+      !dec.AtEnd()) {
+    return Status::Corruption("status response: truncated");
+  }
+  return body;
+}
+
+std::string ResultResponseBody::Encode() const {
+  Encoder enc;
+  EncodeStatusTo(&enc, status);
+  enc.PutU32(static_cast<uint32_t>(columns.size()));
+  for (const auto& c : columns) enc.PutString(c);
+  enc.PutU32(static_cast<uint32_t>(rows.size()));
+  for (const Row& row : rows) enc.PutValues(row);
+  enc.PutI64(affected);
+  return enc.Take();
+}
+
+Result<ResultResponseBody> ResultResponseBody::Decode(
+    const std::string& bytes) {
+  Decoder dec(bytes);
+  ResultResponseBody body;
+  if (!DecodeStatusFrom(&dec, &body.status)) {
+    return Status::Corruption("result response: truncated status");
+  }
+  uint32_t n_cols;
+  if (!dec.GetU32(&n_cols)) {
+    return Status::Corruption("result response: truncated columns");
+  }
+  if (static_cast<size_t>(n_cols) > bytes.size()) {
+    return Status::Corruption("result response: column count exceeds input");
+  }
+  body.columns.reserve(n_cols);
+  for (uint32_t i = 0; i < n_cols; ++i) {
+    std::string c;
+    if (!dec.GetString(&c)) {
+      return Status::Corruption("result response: truncated column name");
+    }
+    body.columns.push_back(std::move(c));
+  }
+  uint32_t n_rows;
+  if (!dec.GetU32(&n_rows)) {
+    return Status::Corruption("result response: truncated row count");
+  }
+  if (static_cast<size_t>(n_rows) > bytes.size()) {
+    return Status::Corruption("result response: row count exceeds input");
+  }
+  body.rows.reserve(n_rows);
+  for (uint32_t i = 0; i < n_rows; ++i) {
+    Row row;
+    BRDB_RETURN_NOT_OK(dec.GetValues(&row));
+    body.rows.push_back(std::move(row));
+  }
+  if (!dec.GetI64(&body.affected) || !dec.AtEnd()) {
+    return Status::Corruption("result response: trailing bytes");
+  }
+  return body;
+}
+
+std::string PrepareResponseBody::Encode() const {
+  Encoder enc;
+  EncodeStatusTo(&enc, status);
+  enc.PutU32(param_count);
+  enc.PutU32(static_cast<uint32_t>(param_types.size()));
+  for (uint8_t t : param_types) enc.PutU8(t);
+  enc.PutU8(statement_type);
+  return enc.Take();
+}
+
+Result<PrepareResponseBody> PrepareResponseBody::Decode(
+    const std::string& bytes) {
+  Decoder dec(bytes);
+  PrepareResponseBody body;
+  if (!DecodeStatusFrom(&dec, &body.status) || !dec.GetU32(&body.param_count)) {
+    return Status::Corruption("prepare response: truncated");
+  }
+  uint32_t n_types;
+  if (!dec.GetU32(&n_types)) {
+    return Status::Corruption("prepare response: truncated types");
+  }
+  if (static_cast<size_t>(n_types) > bytes.size()) {
+    return Status::Corruption("prepare response: type count exceeds input");
+  }
+  body.param_types.reserve(n_types);
+  for (uint32_t i = 0; i < n_types; ++i) {
+    uint8_t t;
+    if (!dec.GetU8(&t)) {
+      return Status::Corruption("prepare response: truncated type");
+    }
+    body.param_types.push_back(t);
+  }
+  if (!dec.GetU8(&body.statement_type) || !dec.AtEnd()) {
+    return Status::Corruption("prepare response: trailing bytes");
+  }
+  return body;
+}
+
+std::string DecisionEventBody::Encode() const {
+  Encoder enc;
+  enc.PutString(peer);
+  enc.PutString(txid);
+  EncodeStatusTo(&enc, status);
+  enc.PutU64(block);
+  return enc.Take();
+}
+
+Result<DecisionEventBody> DecisionEventBody::Decode(const std::string& bytes) {
+  Decoder dec(bytes);
+  DecisionEventBody body;
+  if (!dec.GetString(&body.peer) || !dec.GetString(&body.txid) ||
+      !DecodeStatusFrom(&dec, &body.status) || !dec.GetU64(&body.block) ||
+      !dec.AtEnd()) {
+    return Status::Corruption("decision event: truncated");
+  }
+  return body;
+}
+
 Status Decoder::GetValues(std::vector<Value>* out) {
   uint32_t n;
   if (!GetU32(&n)) return Status::Corruption("values: truncated count");

@@ -58,6 +58,121 @@ class Decoder {
   size_t offset_ = 0;
 };
 
+// ---------------- client transport frames ----------------
+//
+// Everything a client session exchanges with the network crosses the
+// Transport boundary (core/transport.h) as one of these frames — even the
+// in-process transport encodes and decodes every message, so the client
+// layer is proven wire-ready before a real socket exists. Transactions and
+// blocks keep their own canonical encodings (wire/transaction.h,
+// wire/block.h); frames wrap them with a kind tag, a correlation sequence
+// number and a request/response body.
+
+enum class FrameKind : uint8_t {
+  kSubmit = 1,           ///< client → network: batch of signed transactions
+  kQuery = 2,            ///< client → peer: read-only (provenance) query
+  kPrepare = 3,          ///< client → peer: parse/validate a statement
+  kHeight = 4,           ///< client → peer: committed block height probe
+  kStatusResponse = 5,   ///< peer → client: bare status (submissions)
+  kResultResponse = 6,   ///< peer → client: status + result rows
+  kPrepareResponse = 7,  ///< peer → client: status + statement metadata
+  kHeightResponse = 8,   ///< peer → client: committed height
+  kDecisionEvent = 9,    ///< peer → client: commit/abort notification
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::kStatusResponse;
+  uint64_t seq = 0;  ///< request/response correlation id
+  std::string body;
+
+  std::string Encode() const;
+  static Result<Frame> Decode(const std::string& bytes);
+};
+
+/// Status payload helpers shared by the response bodies.
+void EncodeStatusTo(Encoder* enc, const Status& status);
+bool DecodeStatusFrom(Decoder* dec, Status* out);
+
+/// kSubmit body: the transactions' canonical encodings.
+struct SubmitRequestBody {
+  std::vector<std::string> encoded_txs;
+
+  std::string Encode() const;
+  static Result<SubmitRequestBody> Decode(const std::string& bytes);
+};
+
+/// kQuery body.
+struct QueryRequestBody {
+  std::string user;
+  std::string sql;
+  std::vector<Value> params;
+  bool provenance = false;
+
+  std::string Encode() const;
+  static Result<QueryRequestBody> Decode(const std::string& bytes);
+};
+
+/// kPrepare body.
+struct PrepareRequestBody {
+  std::string user;
+  std::string sql;
+
+  std::string Encode() const;
+  static Result<PrepareRequestBody> Decode(const std::string& bytes);
+};
+
+/// kSubmit response (a kStatusResponse frame): the transport-level status
+/// plus one status per submitted transaction, in input order.
+struct SubmitResponseBody {
+  Status status;
+  std::vector<Status> tx_statuses;
+
+  std::string Encode() const;
+  static Result<SubmitResponseBody> Decode(const std::string& bytes);
+};
+
+/// kStatusResponse / kHeightResponse body.
+struct StatusResponseBody {
+  Status status;
+  uint64_t height = 0;  ///< kHeightResponse only
+
+  std::string Encode() const;
+  static Result<StatusResponseBody> Decode(const std::string& bytes);
+};
+
+/// kResultResponse body: a status plus the result table.
+struct ResultResponseBody {
+  Status status;
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t affected = 0;
+
+  std::string Encode() const;
+  static Result<ResultResponseBody> Decode(const std::string& bytes);
+};
+
+/// kPrepareResponse body: statement metadata for client-side binding.
+struct PrepareResponseBody {
+  Status status;
+  uint32_t param_count = 0;
+  std::vector<uint8_t> param_types;  ///< ValueType per $n; kNull = unknown
+  uint8_t statement_type = 0;        ///< sql::StatementType
+
+  std::string Encode() const;
+  static Result<PrepareResponseBody> Decode(const std::string& bytes);
+};
+
+/// kDecisionEvent body: one node's final decision for a transaction.
+struct DecisionEventBody {
+  std::string peer;
+  std::string txid;
+  Status status;
+  uint64_t block = 0;
+
+  std::string Encode() const;
+  static Result<DecisionEventBody> Decode(const std::string& bytes);
+};
+
 }  // namespace brdb
 
 #endif  // BRDB_WIRE_CODEC_H_

@@ -68,6 +68,119 @@ TEST(CodecTest, TruncationIsDetectedEverywhere) {
   }
 }
 
+TEST(FrameTest, RoundTripAllRequestAndResponseBodies) {
+  // Frame envelope.
+  Frame f;
+  f.kind = FrameKind::kQuery;
+  f.seq = 42;
+  f.body = "payload";
+  auto decoded = Frame::Decode(f.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().kind, FrameKind::kQuery);
+  EXPECT_EQ(decoded.value().seq, 42u);
+  EXPECT_EQ(decoded.value().body, "payload");
+
+  // Query request.
+  QueryRequestBody q{"alice", "SELECT * FROM t WHERE id = $1",
+                     {Value::Int(7)}, true};
+  auto q2 = QueryRequestBody::Decode(q.Encode());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2.value().user, "alice");
+  EXPECT_EQ(q2.value().sql, q.sql);
+  ASSERT_EQ(q2.value().params.size(), 1u);
+  EXPECT_EQ(q2.value().params[0].AsInt(), 7);
+  EXPECT_TRUE(q2.value().provenance);
+
+  // Submit request + per-transaction response statuses.
+  SubmitRequestBody s{{"tx-bytes-1", "tx-bytes-2"}};
+  auto s2 = SubmitRequestBody::Decode(s.Encode());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_EQ(s2.value().encoded_txs.size(), 2u);
+  EXPECT_EQ(s2.value().encoded_txs[1], "tx-bytes-2");
+
+  SubmitResponseBody sr;
+  sr.status = Status::OK();
+  sr.tx_statuses = {Status::OK(), Status::AlreadyExists("dup")};
+  auto sr2 = SubmitResponseBody::Decode(sr.Encode());
+  ASSERT_TRUE(sr2.ok());
+  ASSERT_EQ(sr2.value().tx_statuses.size(), 2u);
+  EXPECT_TRUE(sr2.value().tx_statuses[0].ok());
+  EXPECT_EQ(sr2.value().tx_statuses[1].code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(sr2.value().tx_statuses[1].message(), "dup");
+
+  // Result response: status + table payload.
+  ResultResponseBody r;
+  r.status = Status::OK();
+  r.columns = {"id", "name"};
+  r.rows = {{Value::Int(1), Value::Text("a")},
+            {Value::Int(2), Value::Null()}};
+  r.affected = 3;
+  auto r2 = ResultResponseBody::Decode(r.Encode());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().columns, r.columns);
+  ASSERT_EQ(r2.value().rows.size(), 2u);
+  EXPECT_EQ(r2.value().rows[1][0].AsInt(), 2);
+  EXPECT_TRUE(r2.value().rows[1][1].is_null());
+  EXPECT_EQ(r2.value().affected, 3);
+
+  // Error statuses cross the boundary intact.
+  ResultResponseBody err;
+  err.status = Status::PermissionDenied("unknown user bob");
+  auto err2 = ResultResponseBody::Decode(err.Encode());
+  ASSERT_TRUE(err2.ok());
+  EXPECT_EQ(err2.value().status.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(err2.value().status.message(), "unknown user bob");
+
+  // Prepare round trip.
+  PrepareResponseBody p;
+  p.status = Status::OK();
+  p.param_count = 2;
+  p.param_types = {static_cast<uint8_t>(ValueType::kInt),
+                   static_cast<uint8_t>(ValueType::kText)};
+  p.statement_type = 0;
+  auto p2 = PrepareResponseBody::Decode(p.Encode());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2.value().param_count, 2u);
+  ASSERT_EQ(p2.value().param_types.size(), 2u);
+  EXPECT_EQ(p2.value().param_types[1],
+            static_cast<uint8_t>(ValueType::kText));
+
+  // Decision event.
+  DecisionEventBody d{"peer-org1", "tx-9",
+                      Status::SerializationFailure("ssi"), 12};
+  auto d2 = DecisionEventBody::Decode(d.Encode());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2.value().peer, "peer-org1");
+  EXPECT_EQ(d2.value().txid, "tx-9");
+  EXPECT_EQ(d2.value().status.code(), StatusCode::kSerializationFailure);
+  EXPECT_EQ(d2.value().block, 12u);
+}
+
+TEST(FrameTest, MalformedFramesAreRejectedCleanly) {
+  EXPECT_FALSE(Frame::Decode("").ok());
+  EXPECT_FALSE(Frame::Decode("x").ok());
+  Frame f;
+  f.kind = FrameKind::kSubmit;
+  f.body = "abc";
+  std::string bytes = f.Encode();
+  // Truncations at every length fail without crashing.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(Frame::Decode(bytes.substr(0, len)).ok()) << len;
+  }
+  // Unknown frame kind.
+  std::string bad = bytes;
+  bad[0] = static_cast<char>(0x7f);
+  EXPECT_FALSE(Frame::Decode(bad).ok());
+  // Trailing garbage.
+  EXPECT_FALSE(Frame::Decode(bytes + "junk").ok());
+  // Malformed bodies.
+  EXPECT_FALSE(QueryRequestBody::Decode("zz").ok());
+  EXPECT_FALSE(ResultResponseBody::Decode("zz").ok());
+  EXPECT_FALSE(SubmitRequestBody::Decode("zz").ok());
+  EXPECT_FALSE(PrepareResponseBody::Decode("zz").ok());
+  EXPECT_FALSE(DecisionEventBody::Decode("zz").ok());
+}
+
 TEST(TransactionTest, OrderThenExecuteAuthenticates) {
   Identity alice = TestClient();
   CertificateRegistry reg;
