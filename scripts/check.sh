@@ -2,8 +2,9 @@
 # One-command verification, locally and in CI:
 #   1. tier-1: configure + build + full ctest suite (ROADMAP.md contract);
 #   2. TSAN: a ThreadSanitizer build tree running the `tsan`-labelled
-#      concurrency tests (the striped-commit stress test and the session
-#      pipelining tests — the two places where a data race would hide).
+#      concurrency tests (the striped-commit stress test, the session
+#      pipelining tests, and the B+-tree CREATE INDEX bulk-load under
+#      concurrent readers — the places where a data race would hide).
 #
 # Usage: scripts/check.sh [--tier1-only | --tsan-only]
 set -euo pipefail
@@ -16,7 +17,12 @@ run_tier1() {
   echo "=== tier-1: build + full test suite ==="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build -j "${JOBS}"
-  ctest --test-dir build --output-on-failure -j "${JOBS}"
+  # An explicit gate (not just set -e): a tier-1 ctest regression must fail
+  # the whole check with an unambiguous message, locally and in CI.
+  if ! ctest --test-dir build --output-on-failure -j "${JOBS}"; then
+    echo "=== FAIL: tier-1 ctest regressed — fix before merging ===" >&2
+    exit 1
+  fi
 }
 
 run_tsan() {
@@ -26,7 +32,7 @@ run_tsan() {
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j "${JOBS}" \
-    --target txn_stripe_stress_test session_test
+    --target txn_stripe_stress_test session_test btree_index_test
   ctest --test-dir build-tsan -L tsan --output-on-failure -j 1
 }
 

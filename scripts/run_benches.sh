@@ -82,6 +82,17 @@ else
   "./$BUILD/bench_fig8b_ordering_scalability" BENCH_fig8b.json
 fi
 
+if [ -x "$BUILD/micro_index" ]; then
+  echo "== micro_index: map vs B+-tree point/range/maintenance"
+  "./$BUILD/micro_index" \
+    --benchmark_out=BENCH_micro_index.json --benchmark_out_format=json \
+    --benchmark_repetitions="${MICRO_REPS:-3}" \
+    --benchmark_report_aggregates_only=true
+else
+  echo "== micro_index skipped (needs Google Benchmark at configure time" \
+       "and bench/micro_index.cc in this tree — absent in the seed worktree)"
+fi
+
 if [ "${QUICK:-0}" != "1" ]; then
   for b in fig5a_order_then_execute fig5b_execute_order_parallel \
            table4_oe_micrometrics table5_eop_micrometrics \
@@ -91,4 +102,4 @@ if [ "${QUICK:-0}" != "1" ]; then
   done
 fi
 
-echo "done. artifact: BENCH_fig8b.json"
+echo "done. artifacts: BENCH_fig8b.json BENCH_micro_index.json"

@@ -34,6 +34,10 @@ struct NetworkOptions {
   /// 1 = single-mutex baseline for benchmarks).
   size_t txn_lock_stripes = 0;
 
+  /// Ordered-index implementation for every node's tables (kStdMap is the
+  /// pre-B-tree baseline kept for parity/determinism tests).
+  IndexBackend index_backend = IndexBackend::kBTree;
+
   /// Per-node signature-verifier cache capacity (0 = default; tests shrink
   /// it to exercise eviction + replay semantics).
   size_t sig_cache_capacity = 0;

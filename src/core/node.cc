@@ -18,7 +18,7 @@ DatabaseNode::DatabaseNode(NodeConfig config, Identity identity,
       net_(net),
       ordering_(ordering),
       endpoint_("peer:" + config_.name),
-      db_(TxnManagerOptions{config_.txn_lock_stripes}),
+      db_(TxnManagerOptions{config_.txn_lock_stripes}, config_.index_backend),
       engine_(&db_),
       checkpoints_(config_.name, config_.checkpoint_interval) {
   if (config_.block_store_path.empty()) {

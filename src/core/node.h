@@ -58,6 +58,10 @@ struct NodeConfig {
   /// historical single-mutex baseline, kept for benchmarks).
   size_t txn_lock_stripes = 0;
 
+  /// Ordered-index implementation for every table (kStdMap is the
+  /// pre-B-tree baseline kept for parity/determinism tests).
+  IndexBackend index_backend = IndexBackend::kBTree;
+
   /// Capacity of the signature verifier's FIFO-bounded verified cache
   /// (0 = default). Tests shrink it to exercise eviction + replay.
   size_t sig_cache_capacity = 0;

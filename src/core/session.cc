@@ -1,5 +1,6 @@
 #include "core/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 
@@ -133,24 +134,147 @@ Session::~Session() { transport_->Unsubscribe(subscription_); }
 std::shared_ptr<detail::TxnRecord> Session::RecordFor(
     const std::string& txid) {
   std::lock_guard<std::mutex> lock(mu_);
+  return RecordForLocked(txid);
+}
+
+std::shared_ptr<detail::TxnRecord> Session::RecordForLocked(
+    const std::string& txid, bool* created) {
+  if (created != nullptr) *created = false;
   auto it = records_.find(txid);
   if (it != records_.end()) return it->second;
+
+  // An explicit request for a retained-out txid re-arms full tracking. If a
+  // live handle still co-owns the record, resurrect THAT record (callers
+  // keep a consistent view) and immediately re-queue it for its next
+  // retention drop — it already carries a majority decision, so no further
+  // decision would ever queue it again. The FIFO entry goes too: left
+  // stale, it would evict a future marker for this txid early. Rare path
+  // (Track/Submit of a pruned txid), so the linear sweep is fine.
+  auto p = pruned_.find(txid);
+  if (p != pruned_.end()) {
+    std::shared_ptr<detail::TxnRecord> rec = p->second.lock();
+    pruned_.erase(p);
+    pruned_fifo_.erase(
+        std::remove(pruned_fifo_.begin(), pruned_fifo_.end(), txid),
+        pruned_fifo_.end());
+    if (rec != nullptr) {
+      records_.emplace(txid, rec);
+      BlockNum decided_block = 0;
+      {
+        std::lock_guard<std::mutex> rlock(rec->mu);
+        decided_block = rec->decided_block;
+      }
+      decided_at_.emplace(decided_block, txid);
+      return rec;
+    }
+  }
+
   auto rec = std::make_shared<detail::TxnRecord>();
   rec->txid = txid;
   rec->peer_count = transport_->peer_count();
   rec->default_timeout_us = options_.default_timeout_us;
   records_.emplace(txid, rec);
+  if (created != nullptr) *created = true;
   return rec;
 }
 
 void Session::OnDecision(const std::string& peer, const TxnNotification& n) {
-  auto rec = RecordFor(n.txid);
+  const bool retention = options_.retain_decided_blocks > 0;
+  std::shared_ptr<detail::TxnRecord> rec;
+  bool record_tracked = true;
+
+  // One mu_ acquisition covers the whole delivery: this path is already
+  // globally serialized by the transport's subscriber lock, so the point
+  // is fewer lock round-trips, not concurrency. Lock order mu_ -> rec->mu
+  // is safe: no path acquires them in the opposite order.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (retention) {
+    if (n.block > latest_block_) latest_block_ = n.block;
+    auto it = pruned_.find(n.txid);
+    if (it != pruned_.end()) {
+      // Straggler decision for a retained-out transaction. Never re-create
+      // a record in records_ (a minority record could not reach majority
+      // again and would leak forever) — but a live handle still co-owning
+      // the record gets the decision, keeping WaitAllNodes()/NodeStatuses()
+      // complete.
+      rec = it->second.lock();
+      if (rec == nullptr) return;
+      record_tracked = false;
+    }
+  }
+  if (rec == nullptr) {
+    bool created = false;
+    rec = RecordForLocked(n.txid, &created);
+    // A record born from a notification normally reaches majority and is
+    // retained out via decided_at_; track it so one that cannot (straggler
+    // votes for a txid aged out of pruned-memory) is swept eventually.
+    if (retention && created) observed_at_.emplace(n.block, n.txid);
+  }
+
+  bool newly_decided = false;
+  BlockNum decided_block = 0;
   {
-    std::lock_guard<std::mutex> lock(rec->mu);
+    std::lock_guard<std::mutex> rlock(rec->mu);
     rec->decisions[peer] = n.status;
     if (n.block > rec->decided_block) rec->decided_block = n.block;
+    if (retention && record_tracked && !rec->retention_queued &&
+        MajorityDecision(*rec).has_value()) {
+      rec->retention_queued = true;
+      newly_decided = true;
+      decided_block = rec->decided_block;
+    }
   }
   rec->cv.notify_all();
+
+  if (!retention) return;
+  if (newly_decided) decided_at_.emplace(decided_block, n.txid);
+  PruneDecidedLocked();
+}
+
+void Session::PruneDecidedLocked() {
+  const uint64_t retain = options_.retain_decided_blocks;
+  auto retire = [&](const std::string& txid) {
+    auto it = records_.find(txid);
+    if (it == records_.end()) return;
+    pruned_[txid] = it->second;  // weak: live handles keep receiving
+    pruned_fifo_.push_back(txid);
+    records_.erase(it);
+  };
+
+  while (!decided_at_.empty() &&
+         decided_at_.begin()->first + retain <= latest_block_) {
+    retire(decided_at_.begin()->second);
+    decided_at_.erase(decided_at_.begin());
+  }
+
+  // Stale-minority sweep: a notification-created record that has not
+  // reached majority within 8 retention windows never will (its peers'
+  // earlier votes were dropped with the original record) — retire it too.
+  const uint64_t grace = retain * 8 + 8;
+  while (!observed_at_.empty() &&
+         observed_at_.begin()->first + grace <= latest_block_) {
+    const std::string txid = observed_at_.begin()->second;
+    observed_at_.erase(observed_at_.begin());
+    auto it = records_.find(txid);
+    if (it != records_.end()) {
+      bool queued = false;
+      {
+        std::lock_guard<std::mutex> rlock(it->second->mu);
+        queued = it->second->retention_queued;
+      }
+      if (!queued) retire(txid);  // decided records are decided_at_'s job
+    }
+  }
+
+  while (pruned_fifo_.size() > kPrunedMemory) {
+    pruned_.erase(pruned_fifo_.front());  // no-op when re-armed meanwhile
+    pruned_fifo_.pop_front();
+  }
+}
+
+size_t Session::tracked_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
 }
 
 Result<Transaction> Session::MakeTransaction(const std::string& contract,

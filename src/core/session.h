@@ -19,10 +19,12 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/transport.h"
@@ -42,6 +44,7 @@ struct TxnRecord {
   std::condition_variable cv;
   std::map<std::string, Status> decisions;  ///< node name -> decided status
   BlockNum decided_block = 0;
+  bool retention_queued = false;  ///< already enqueued for retention drop
 };
 
 }  // namespace detail
@@ -124,6 +127,17 @@ struct Invocation {
 struct SessionOptions {
   /// Default deadline for TxnHandle::Wait / WaitAllNodes.
   Micros default_timeout_us = 10000000;
+
+  /// Decision-record retention: once a transaction has a majority decision
+  /// and the session observes a decision from a block at least this many
+  /// blocks later, the transaction's record is dropped from the session's
+  /// map. Handles already issued stay valid — they share ownership of the
+  /// record and keep receiving straggler decisions — and a later Track()
+  /// of the txid resurrects the co-owned record while any handle lives
+  /// (starting fresh only after the last handle is gone). 0, the default,
+  /// keeps every record for the session's lifetime (the historical
+  /// unbounded behavior).
+  uint64_t retain_decided_blocks = 0;
 };
 
 class Session {
@@ -177,9 +191,22 @@ class Session {
   Result<sql::ResultSet> QueryOn(size_t peer, const std::string& sql,
                                  const std::vector<Value>& params = {});
 
+  /// Decision records currently held (observability; bounded when
+  /// SessionOptions::retain_decided_blocks is set).
+  size_t tracked_records() const;
+
  private:
   std::shared_ptr<detail::TxnRecord> RecordFor(const std::string& txid);
+  /// Find-or-create under an already-held mu_; resurrects a retained-out
+  /// record when a live handle still co-owns it. `created` (optional)
+  /// reports whether a brand-new record was made.
+  std::shared_ptr<detail::TxnRecord> RecordForLocked(const std::string& txid,
+                                                     bool* created = nullptr);
   void OnDecision(const std::string& peer, const TxnNotification& n);
+
+  /// Drop records whose decision is `retain_decided_blocks` blocks behind
+  /// the highest block this session has observed. Caller holds mu_.
+  void PruneDecidedLocked();
 
   Identity identity_;
   std::shared_ptr<Transport> transport_;
@@ -187,8 +214,31 @@ class Session {
   uint64_t subscription_ = 0;
   std::atomic<uint64_t> counter_{0};
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<detail::TxnRecord>> records_;
+  /// Retention bookkeeping: decided transactions in decision-block order,
+  /// and the highest block observed in any notification.
+  std::multimap<BlockNum, std::string> decided_at_;
+  BlockNum latest_block_ = 0;
+  /// Records CREATED by an incoming notification (not by Submit/Track),
+  /// keyed by observation block. Normally such a record reaches majority
+  /// and is retained out via decided_at_; one created by a straggler whose
+  /// txid aged out of the pruned-memory FIFO never can (its peers' votes
+  /// were dropped), so after a generous grace window any still-minority
+  /// entry here is retained out too — without this sweep each such orphan
+  /// would survive for the session's lifetime.
+  std::multimap<BlockNum, std::string> observed_at_;
+  /// Recently pruned txids (bounded FIFO memory) with a weak reference to
+  /// the record they held. A straggler node's late decision for a pruned
+  /// transaction must NOT re-create a record in `records_` — a resurrected
+  /// minority record could never reach majority again and would leak for
+  /// the session's lifetime — but while an issued handle still co-owns the
+  /// record, the decision is delivered to it so WaitAllNodes()/
+  /// NodeStatuses() stay complete. Explicit Track()/Submit() re-arms full
+  /// tracking (and re-queues the record for its next retention drop).
+  static constexpr size_t kPrunedMemory = 4096;
+  std::unordered_map<std::string, std::weak_ptr<detail::TxnRecord>> pruned_;
+  std::deque<std::string> pruned_fifo_;
 };
 
 }  // namespace brdb

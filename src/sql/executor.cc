@@ -143,18 +143,69 @@ BinOp FlipComparison(BinOp op) {
   }
 }
 
+// Sargable analysis of (table, WHERE): which conjuncts have the shape
+// `indexed-column op constant` (after normalizing the column to the left),
+// and whether the WHERE clause references the table at all. Pure shape
+// analysis — no constant is evaluated — so Prepare() runs it once and every
+// execution of the plan reuses the result.
+void AnalyzeScanPath(Table* table, const TableRef& ref, const Expr& where,
+                     AccessPath* out) {
+  const TableSchema& schema = table->schema();
+  out->analyzed = true;
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(where, &conjuncts);
+  for (const Expr* c : conjuncts) {
+    if (c->kind != ExprKind::kBinary) continue;
+    BinOp op = c->bin_op;
+    if (op != BinOp::kEq && op != BinOp::kLt && op != BinOp::kLe &&
+        op != BinOp::kGt && op != BinOp::kGe) {
+      continue;
+    }
+    const Expr* col_side = nullptr;
+    const Expr* const_side = nullptr;
+    if (c->a->kind == ExprKind::kColumn && !ContainsColumn(*c->b)) {
+      col_side = c->a.get();
+      const_side = c->b.get();
+    } else if (c->b->kind == ExprKind::kColumn && !ContainsColumn(*c->a)) {
+      col_side = c->b.get();
+      const_side = c->a.get();
+      op = FlipComparison(op);
+    } else {
+      continue;
+    }
+    if (!col_side->qualifier.empty() && col_side->qualifier != ref.alias) {
+      continue;
+    }
+    int col = schema.ColumnIndex(col_side->column);
+    if (col < 0) continue;
+    out->where_touches_table = true;
+    if (!table->HasIndexOn(col)) continue;
+    out->conjuncts.push_back(SargConjunct{col, op, const_side});
+  }
+  // Any column reference into this table counts as a predicate read.
+  if (!out->where_touches_table) {
+    EvalScope probe;
+    for (const auto& col : schema.columns()) probe.Add(ref.alias, col.name);
+    out->where_touches_table = probe.References(where);
+  }
+}
+
 // ---------- the statement runner ----------
 
 class Runner {
  public:
   Runner(Database* db, TxnContext* ctx, const std::vector<Value>& params,
          const ExecOptions& opts,
-         const std::map<std::string, Value>* named_params)
+         const std::map<std::string, Value>* named_params,
+         const PreparedPlan* plan = nullptr,
+         std::atomic<uint64_t>* access_path_hits = nullptr)
       : db_(db),
         ctx_(ctx),
         params_(params),
         opts_(opts),
-        named_params_(named_params) {}
+        named_params_(named_params),
+        plan_(plan),
+        access_path_hits_(access_path_hits) {}
 
   Result<ResultSet> Run(const Statement& stmt);
 
@@ -167,9 +218,17 @@ class Runner {
   Result<ResultSet> RunCreateIndex(const CreateIndexStmt& stmt);
   Result<ResultSet> RunDropTable(const DropTableStmt& stmt);
 
-  /// Scan one base table applying sargable conjuncts of `where`.
+  /// Scan one base table applying sargable conjuncts of `where`. `cached`
+  /// is the plan's prepare-time access path for this scan (null = analyze
+  /// on the fly).
   Result<Relation> ScanBase(const TableRef& ref, const Expr* where,
-                            bool want_rids);
+                            bool want_rids,
+                            const AccessPath* cached = nullptr);
+
+  /// Plan-cached access path for a statement node, when running via a plan.
+  const AccessPath* CachedPath(const void* stmt_node) const {
+    return plan_ != nullptr ? plan_->FindAccessPath(stmt_node) : nullptr;
+  }
   Status JoinInto(Relation* left, const JoinClause& join);
 
   Status EnforceChecks(Table* table, const Row& row);
@@ -194,10 +253,12 @@ class Runner {
   const std::vector<Value>& params_;
   const ExecOptions& opts_;
   const std::map<std::string, Value>* named_params_;
+  const PreparedPlan* plan_;
+  std::atomic<uint64_t>* access_path_hits_;
 };
 
 Result<Relation> Runner::ScanBase(const TableRef& ref, const Expr* where,
-                                  bool want_rids) {
+                                  bool want_rids, const AccessPath* cached) {
   auto table_r = db_->GetTable(ref.table);
   if (!table_r.ok()) return table_r.status();
   Table* table = table_r.value();
@@ -215,49 +276,35 @@ Result<Relation> Runner::ScanBase(const TableRef& ref, const Expr* where,
     rel.scope.Add(ref.alias, "deleter");
   }
 
-  // Sargable extraction: conjuncts of the form <col> op <constant> where
-  // col belongs to this table and is indexed.
+  // Sargable access path: reuse the plan's prepare-time analysis when
+  // available, otherwise analyze here. Constants are evaluated per
+  // execution either way (they may reference $parameters), and the index
+  // choice rule is identical, so cached and uncached scans behave the same.
   int best_col = -1;
   SargRange best_range;
   bool where_touches_table = false;
   if (where != nullptr && !provenance) {
-    std::vector<const Expr*> conjuncts;
-    CollectConjuncts(*where, &conjuncts);
+    AccessPath local;
+    const AccessPath* path = cached;
+    if (path != nullptr && path->analyzed) {
+      if (access_path_hits_ != nullptr) {
+        access_path_hits_->fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      AnalyzeScanPath(table, ref, *where, &local);
+      path = &local;
+    }
+    where_touches_table = path->where_touches_table;
     std::map<int, SargRange> ranges;
-    for (const Expr* c : conjuncts) {
-      if (c->kind != ExprKind::kBinary) continue;
-      BinOp op = c->bin_op;
-      if (op != BinOp::kEq && op != BinOp::kLt && op != BinOp::kLe &&
-          op != BinOp::kGt && op != BinOp::kGe) {
-        continue;
-      }
-      const Expr* col_side = nullptr;
-      const Expr* const_side = nullptr;
-      if (c->a->kind == ExprKind::kColumn && !ContainsColumn(*c->b)) {
-        col_side = c->a.get();
-        const_side = c->b.get();
-      } else if (c->b->kind == ExprKind::kColumn && !ContainsColumn(*c->a)) {
-        col_side = c->b.get();
-        const_side = c->a.get();
-        op = FlipComparison(op);
-      } else {
-        continue;
-      }
-      if (!col_side->qualifier.empty() && col_side->qualifier != ref.alias) {
-        continue;
-      }
-      int col = schema.ColumnIndex(col_side->column);
-      if (col < 0) continue;
-      where_touches_table = true;
-      if (!table->HasIndexOn(col)) continue;
-      auto v = Eval(*const_side, ConstCtx());
+    for (const SargConjunct& sc : path->conjuncts) {
+      auto v = Eval(*sc.constant, ConstCtx());
       if (!v.ok()) return v.status();
       if (v.value().is_null()) {
         // col op NULL matches nothing.
         rel.rows.clear();
         return rel;
       }
-      ranges[col].Tighten(op, v.value());
+      ranges[sc.column].Tighten(sc.op, v.value());
     }
     for (auto& [col, range] : ranges) {
       if (!range.bounded()) continue;
@@ -265,12 +312,6 @@ Result<Relation> Runner::ScanBase(const TableRef& ref, const Expr* where,
         best_col = col;
         best_range = range;
       }
-    }
-    // Any column reference into this table counts as a predicate read.
-    if (!where_touches_table) {
-      EvalScope probe;
-      for (const auto& col : schema.columns()) probe.Add(ref.alias, col.name);
-      where_touches_table = probe.References(*where);
     }
   }
 
@@ -530,7 +571,8 @@ struct AggAcc {
 Result<ResultSet> Runner::RunSelect(const SelectStmt& stmt) {
   Relation rel;
   if (stmt.from.has_value()) {
-    auto base = ScanBase(*stmt.from, stmt.where.get(), false);
+    auto base = ScanBase(*stmt.from, stmt.where.get(), false,
+                         CachedPath(&stmt));
     if (!base.ok()) return base.status();
     rel = std::move(base).value();
     for (const auto& join : stmt.joins) {
@@ -898,7 +940,8 @@ Result<ResultSet> Runner::RunUpdate(const UpdateStmt& stmt) {
   TableRef ref;
   ref.table = stmt.table;
   ref.alias = stmt.table;
-  auto rel_r = ScanBase(ref, stmt.where.get(), /*want_rids=*/true);
+  auto rel_r =
+      ScanBase(ref, stmt.where.get(), /*want_rids=*/true, CachedPath(&stmt));
   if (!rel_r.ok()) return rel_r.status();
   Relation rel = std::move(rel_r).value();
   if (stmt.where) BRDB_RETURN_NOT_OK(ValidateColumns(*stmt.where, rel.scope));
@@ -947,7 +990,8 @@ Result<ResultSet> Runner::RunDelete(const DeleteStmt& stmt) {
   TableRef ref;
   ref.table = stmt.table;
   ref.alias = stmt.table;
-  auto rel_r = ScanBase(ref, stmt.where.get(), /*want_rids=*/true);
+  auto rel_r =
+      ScanBase(ref, stmt.where.get(), /*want_rids=*/true, CachedPath(&stmt));
   if (!rel_r.ok()) return rel_r.status();
   Relation rel = std::move(rel_r).value();
   if (stmt.where) BRDB_RETURN_NOT_OK(ValidateColumns(*stmt.where, rel.scope));
@@ -1211,6 +1255,53 @@ void InferParamTypes(const Statement& stmt, Database* db, PreparedInfo* info) {
   ForEachStatementExpr(stmt, note_comparisons);
 }
 
+/// Build the prepare-time access paths for every base-table scan the
+/// statement will run: the SELECT's FROM scan (including INSERT ... SELECT)
+/// and the UPDATE/DELETE target scan. Keyed by statement-node address —
+/// the same pointers Runner passes to ScanBase. Unresolvable tables are
+/// simply skipped (execution falls back to on-the-fly analysis, which will
+/// surface the real error).
+void BuildAccessPaths(Database* db, const Statement& stmt,
+                      std::unordered_map<const void*, AccessPath>* out) {
+  auto analyze = [&](const void* key, const TableRef& ref,
+                     const Expr* where) {
+    if (where == nullptr) return;
+    auto table = db->GetTable(ref.table);
+    if (!table.ok()) return;
+    AccessPath path;
+    AnalyzeScanPath(table.value(), ref, *where, &path);
+    out->emplace(key, std::move(path));
+  };
+  auto analyze_select = [&](const SelectStmt* s) {
+    if (s == nullptr || !s->from.has_value()) return;
+    analyze(s, *s->from, s->where.get());
+  };
+  switch (stmt.type) {
+    case StatementType::kSelect:
+      analyze_select(stmt.select.get());
+      break;
+    case StatementType::kInsert:
+      analyze_select(stmt.insert->select.get());
+      break;
+    case StatementType::kUpdate: {
+      TableRef ref;
+      ref.table = stmt.update->table;
+      ref.alias = stmt.update->table;
+      analyze(stmt.update.get(), ref, stmt.update->where.get());
+      break;
+    }
+    case StatementType::kDelete: {
+      TableRef ref;
+      ref.table = stmt.del->table;
+      ref.alias = stmt.del->table;
+      analyze(stmt.del.get(), ref, stmt.del->where.get());
+      break;
+    }
+    default:
+      break;  // DDL scans nothing
+  }
+}
+
 }  // namespace
 
 Status CheckParamBinding(const PreparedInfo& info,
@@ -1264,6 +1355,9 @@ Result<std::shared_ptr<const PreparedPlan>> SqlEngine::Prepare(
   plan->info_.type = plan->stmt_.type;
   plan->info_.param_count = MaxParamIndex(plan->stmt_);
   InferParamTypes(plan->stmt_, db_, &plan->info_);
+  // Physical access-path analysis: done once here, reused by every
+  // execution of this plan until DDL bumps the schema version.
+  BuildAccessPaths(db_, plan->stmt_, &plan->access_paths_);
 
   std::shared_ptr<const PreparedPlan> shared = std::move(plan);
   std::unique_lock<std::shared_mutex> lock(plans_mu_);
@@ -1291,22 +1385,37 @@ Result<ResultSet> SqlEngine::Execute(
     const std::map<std::string, Value>* named_params) {
   auto plan = Prepare(sql);
   if (!plan.ok()) return plan.status();
-  return ExecuteStatement(ctx, plan.value()->statement(), params, opts,
-                          named_params);
+  return RunStatement(ctx, plan.value().get(), plan.value()->statement(),
+                      params, opts, named_params);
 }
 
 Result<ResultSet> SqlEngine::ExecutePrepared(
     TxnContext* ctx, const PreparedPlan& plan, const std::vector<Value>& params,
     const ExecOptions& opts,
     const std::map<std::string, Value>* named_params) {
-  return ExecuteStatement(ctx, plan.statement(), params, opts, named_params);
+  return RunStatement(ctx, &plan, plan.statement(), params, opts,
+                      named_params);
 }
 
 Result<ResultSet> SqlEngine::ExecuteStatement(
     TxnContext* ctx, const Statement& stmt, const std::vector<Value>& params,
     const ExecOptions& opts,
     const std::map<std::string, Value>* named_params) {
-  Runner runner(db_, ctx, params, opts, named_params);
+  return RunStatement(ctx, nullptr, stmt, params, opts, named_params);
+}
+
+Result<ResultSet> SqlEngine::RunStatement(
+    TxnContext* ctx, const PreparedPlan* plan, const Statement& stmt,
+    const std::vector<Value>& params, const ExecOptions& opts,
+    const std::map<std::string, Value>* named_params) {
+  // A stale plan (DDL since Prepare) may reference renumbered columns or
+  // dropped indexes; its access paths are ignored and the scan re-analyzes
+  // on the fly — exactly the pre-cache behavior.
+  if (plan != nullptr && plan->schema_version() != db_->schema_version()) {
+    plan = nullptr;
+  }
+  Runner runner(db_, ctx, params, opts, named_params, plan,
+                &access_path_hits_);
   return runner.Run(stmt);
 }
 

@@ -89,17 +89,48 @@ struct PreparedInfo {
 Status CheckParamBinding(const PreparedInfo& info,
                          const std::vector<Value>& params);
 
+/// One sargable conjunct of a WHERE clause, normalized at prepare time to
+/// `column op constant` (the constant side may contain $parameters and is
+/// evaluated per execution).
+struct SargConjunct {
+  int column = -1;                 ///< schema position of an INDEXED column
+  BinOp op = BinOp::kEq;           ///< normalized: column on the left
+  const Expr* constant = nullptr;  ///< points into the owning plan's AST
+};
+
+/// Precomputed physical access path for one statement's base-table scan:
+/// the sargable conjuncts on indexed columns and whether the WHERE clause
+/// references the table at all. The value-dependent part (evaluating
+/// constants, preferring an equality range) still runs per execution, so a
+/// cached execution chooses exactly the index the uncached analysis would —
+/// it just skips the expression-tree walk, the conjunct classification and
+/// the schema/index lookups that used to run on every statement.
+struct AccessPath {
+  bool analyzed = false;  ///< table resolved at prepare time
+  bool where_touches_table = false;
+  std::vector<SargConjunct> conjuncts;
+};
+
 /// An immutable parsed-and-analyzed statement. Shareable across threads and
 /// executions; the engine caches plans keyed on the SQL text and the
 /// catalog version, so repeated statements (the ledger bookkeeping DML,
 /// contract bodies, prepared client queries) parse exactly once per schema
-/// epoch.
+/// epoch. Physical access-path analysis is likewise done once at Prepare()
+/// and reused by every execution of the plan (schema-version keying
+/// invalidates it together with the plan when DDL changes the catalog).
 class PreparedPlan {
  public:
   const Statement& statement() const { return stmt_; }
   const PreparedInfo& info() const { return info_; }
   const std::string& sql() const { return sql_; }
   uint64_t schema_version() const { return schema_version_; }
+
+  /// Cached access path for a statement node (SelectStmt/UpdateStmt/
+  /// DeleteStmt pointer into this plan's AST); null when none was built.
+  const AccessPath* FindAccessPath(const void* stmt_node) const {
+    auto it = access_paths_.find(stmt_node);
+    return it == access_paths_.end() ? nullptr : &it->second;
+  }
 
   /// Strict per-execution binding check: exact arity, and type agreement
   /// wherever a type was inferred. NULL always binds; INT binds where
@@ -112,6 +143,9 @@ class PreparedPlan {
   Statement stmt_;
   PreparedInfo info_;
   uint64_t schema_version_ = 0;
+  /// Immutable after Prepare(); keyed by statement-node address within
+  /// `stmt_`, so lookups are pointer comparisons.
+  std::unordered_map<const void*, AccessPath> access_paths_;
 };
 
 class SqlEngine {
@@ -152,10 +186,20 @@ class SqlEngine {
   uint64_t plan_cache_misses() const { return plan_misses_.load(); }
   size_t plan_cache_entries() const;
 
+  /// Base-table scans that used a prepare-time access path instead of
+  /// re-running sargable analysis.
+  uint64_t access_path_hits() const { return access_path_hits_.load(); }
+
  private:
   /// Bounded FIFO plan cache; sized for a node's working set of distinct
   /// statements (system DML + contract bodies + client queries).
   static constexpr size_t kPlanCacheCapacity = 512;
+
+  /// Shared execution core: `plan` (nullable) supplies cached access paths.
+  Result<ResultSet> RunStatement(
+      TxnContext* ctx, const PreparedPlan* plan, const Statement& stmt,
+      const std::vector<Value>& params, const ExecOptions& opts,
+      const std::map<std::string, Value>* named_params);
 
   Database* db_;
   /// Reader-writer lock: cache hits (every statement execution) take the
@@ -166,6 +210,7 @@ class SqlEngine {
   std::deque<std::string> plan_fifo_;
   std::atomic<uint64_t> plan_hits_{0};
   std::atomic<uint64_t> plan_misses_{0};
+  std::atomic<uint64_t> access_path_hits_{0};
 };
 
 }  // namespace sql

@@ -1,0 +1,157 @@
+// Ordered row indexes for Table: a cache-friendly B+-tree (the default)
+// and the historical std::map backend kept as a parity/benchmark baseline.
+//
+// Why a B+-tree: the per-column ordered index is the hottest structure on
+// the scan path (docs/PERF.md). A red-black map pays one cache miss per
+// visited key (nodes are heap-scattered 3-pointer records); the B+-tree
+// packs kLeafFanout keys into one contiguous node, chains leaves for range
+// iteration, and binary-searches inline key arrays — so a range scan
+// touches O(range / fanout) cache lines instead of O(range).
+//
+// Semantics contract (what Table and the determinism tests rely on):
+//  * keys are Values ordered by Value::Compare — identical to the map's
+//    ValueLess, so scan order is byte-identical across backends;
+//  * duplicate keys share one posting list; RowIds within a posting stay in
+//    insertion order (the map kept vector push_back order — same thing);
+//  * Erase removes a single RowId from a posting and drops the key when the
+//    posting empties. The B+-tree does not rebalance on erase: the only
+//    caller is Table::Vacuum, whose deletions are rare and monotone, and an
+//    underfull leaf is still correct — merely less packed.
+//
+// Thread-safety: none. Every index lives behind its owning Table's mutex.
+#ifndef BRDB_STORAGE_BTREE_H_
+#define BRDB_STORAGE_BTREE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+
+namespace brdb {
+
+using RowId = uint64_t;
+
+/// RowIds stored under one key, in insertion order.
+using PostingList = std::vector<RowId>;
+
+/// Which ordered-index implementation a Table uses. kStdMap reproduces the
+/// pre-B-tree behavior and exists for parity tests and the map-vs-btree
+/// microbenchmark baseline (bench/micro_index.cc).
+enum class IndexBackend {
+  kBTree,
+  kStdMap,
+};
+
+/// Comparator shared by both backends (total order of Value::Compare).
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.Compare(b) < 0;
+  }
+};
+
+/// Visit callback for Scan: one key's posting list at a time, keys in
+/// ascending order. Return false to stop the scan.
+using PostingVisitor =
+    std::function<bool(const Value& key, const PostingList& ids)>;
+
+/// Interface Table programs against. Implementations are single-threaded;
+/// the owning Table serializes access.
+class OrderedRowIndex {
+ public:
+  virtual ~OrderedRowIndex() = default;
+
+  /// Append `id` to `key`'s posting list (creating the key when absent).
+  virtual void Insert(const Value& key, RowId id) = 0;
+
+  /// Remove one `id` from `key`'s posting list; drops the key when the
+  /// posting empties. No-op when key or id is absent (vacuum idempotence).
+  virtual void Erase(const Value& key, RowId id) = 0;
+
+  /// In-order visit of every posting whose key lies in [lo, hi]; a null
+  /// bound is unbounded, inclusivity per bound.
+  virtual void Scan(const Value* lo, bool lo_inclusive, const Value* hi,
+                    bool hi_inclusive, const PostingVisitor& visit) const = 0;
+
+  /// Number of distinct keys currently present.
+  virtual size_t KeyCount() const = 0;
+
+  virtual IndexBackend backend() const = 0;
+
+  static std::unique_ptr<OrderedRowIndex> Create(IndexBackend backend);
+
+  /// Build an index from `entries` sorted ascending by (key, id) — the
+  /// CREATE INDEX backfill path. The B+-tree packs leaves directly from the
+  /// sorted run instead of paying per-key descents.
+  static std::unique_ptr<OrderedRowIndex> BulkLoad(
+      IndexBackend backend, std::vector<std::pair<Value, RowId>> entries);
+};
+
+/// Cache-friendly B+-tree: fixed-fanout nodes with inline key arrays,
+/// chained leaves, duplicate-key postings. Declared here (not in the .cc)
+/// so the microbenchmark can instantiate it directly.
+class BTreeRowIndex final : public OrderedRowIndex {
+ public:
+  // Fanout tuning: a leaf is ~fanout * (sizeof(Value) + sizeof(PostingList))
+  // ≈ 64 * 72B ≈ 4.5KB — a few cache lines of keys scanned per binary
+  // search step, and one allocation per 64 keys instead of per key.
+  static constexpr int kLeafFanout = 64;
+  static constexpr int kInnerFanout = 64;
+
+  BTreeRowIndex();
+  ~BTreeRowIndex() override;
+
+  BTreeRowIndex(const BTreeRowIndex&) = delete;
+  BTreeRowIndex& operator=(const BTreeRowIndex&) = delete;
+
+  void Insert(const Value& key, RowId id) override;
+  void Erase(const Value& key, RowId id) override;
+  void Scan(const Value* lo, bool lo_inclusive, const Value* hi,
+            bool hi_inclusive, const PostingVisitor& visit) const override;
+  size_t KeyCount() const override { return key_count_; }
+  IndexBackend backend() const override { return IndexBackend::kBTree; }
+
+  /// Height of the tree (1 = root is a leaf). Exposed for tests.
+  int Height() const { return height_; }
+
+  /// Replace the contents from a (key, id)-sorted run (bulk load).
+  void LoadSorted(std::vector<std::pair<Value, RowId>> entries);
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InnerNode;
+
+  LeafNode* LeafFor(const Value& key) const;
+  /// Leftmost leaf (scan start when lo is unbounded).
+  LeafNode* FirstLeaf() const;
+
+  void DestroySubtree(Node* node);
+
+  Node* root_ = nullptr;
+  size_t key_count_ = 0;
+  int height_ = 1;
+};
+
+/// The historical backend: std::map<Value, PostingList>. Kept verbatim so
+/// parity and determinism tests can diff the two implementations.
+class StdMapRowIndex final : public OrderedRowIndex {
+ public:
+  void Insert(const Value& key, RowId id) override {
+    map_[key].push_back(id);
+  }
+  void Erase(const Value& key, RowId id) override;
+  void Scan(const Value* lo, bool lo_inclusive, const Value* hi,
+            bool hi_inclusive, const PostingVisitor& visit) const override;
+  size_t KeyCount() const override { return map_.size(); }
+  IndexBackend backend() const override { return IndexBackend::kStdMap; }
+
+ private:
+  std::map<Value, PostingList, ValueLess> map_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_STORAGE_BTREE_H_

@@ -2,8 +2,9 @@
 
 namespace brdb {
 
-Database::Database(const TxnManagerOptions& txn_options)
-    : txn_manager_(txn_options) {
+Database::Database(const TxnManagerOptions& txn_options,
+                   IndexBackend index_backend)
+    : index_backend_(index_backend), txn_manager_(txn_options) {
   CreateSystemTables();
 }
 
@@ -61,7 +62,8 @@ Result<Table*> Database::CreateTable(TableSchema schema,
     return Status::AlreadyExists("table " + name + " already exists");
   }
   TableId id = next_table_id_++;
-  auto table = std::make_unique<Table>(id, std::move(schema), db_schema);
+  auto table =
+      std::make_unique<Table>(id, std::move(schema), db_schema, index_backend_);
   Table* ptr = table.get();
   tables_.emplace(name, std::move(table));
   by_id_.emplace(id, ptr);

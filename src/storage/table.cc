@@ -27,11 +27,17 @@ void CopyMeta(const RowVersion& v, VersionMeta* m) {
 }
 }  // namespace
 
-Table::Table(TableId id, TableSchema schema, std::string db_schema)
-    : id_(id), schema_(std::move(schema)), db_schema_(std::move(db_schema)) {
+Table::Table(TableId id, TableSchema schema, std::string db_schema,
+             IndexBackend index_backend)
+    : id_(id),
+      schema_(std::move(schema)),
+      db_schema_(std::move(db_schema)),
+      index_backend_(index_backend) {
+  indexes_.resize(schema_.columns().size());
   for (size_t i = 0; i < schema_.columns().size(); ++i) {
     if (schema_.columns()[i].indexed) {
-      indexes_.emplace(static_cast<int>(i), OrderedIndex{});
+      indexes_[i] = OrderedRowIndex::Create(index_backend_);
+      indexed_columns_.push_back(static_cast<int>(i));
     }
   }
 }
@@ -49,22 +55,32 @@ Status Table::CreateIndex(const std::string& column) {
     return Status::NotFound("no column " + column + " in table " +
                             schema_.name());
   }
-  if (indexes_.count(col)) {
+  if (indexes_[col] != nullptr) {
     return Status::AlreadyExists("index on " + schema_.name() + "." + column);
   }
-  OrderedIndex index;
-  for (size_t i = 0; i < Size(); ++i) {
+  // Bulk load: collect live (key, id) pairs — ids are already ascending, so
+  // a stable sort by key yields the (key, id) order the backfill loop used
+  // to produce (ids in append order within each key).
+  std::vector<std::pair<Value, RowId>> entries;
+  entries.reserve(Size());
+  for (RowId i = 0; i < Size(); ++i) {
     if (i < dead_.size() && dead_[i]) continue;
-    index[VersionAt(i).values[col]].push_back(i);
+    entries.emplace_back(VersionAt(i).values[col], i);
   }
-  indexes_.emplace(col, std::move(index));
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.Compare(b.first) < 0;
+                   });
+  indexes_[col] = OrderedRowIndex::BulkLoad(index_backend_, std::move(entries));
+  indexed_columns_.push_back(col);
   BRDB_RETURN_NOT_OK(schema_.MarkIndexed(column));
   return Status::OK();
 }
 
 bool Table::HasIndexOn(int column) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return indexes_.count(column) > 0;
+  return column >= 0 && static_cast<size_t>(column) < indexes_.size() &&
+         indexes_[column] != nullptr;
 }
 
 RowId Table::AppendVersion(TxnId xmin, Row values, RowId prev_version) {
@@ -81,8 +97,8 @@ RowId Table::AppendVersion(TxnId xmin, Row values, RowId prev_version) {
   v.xmin = xmin;
   v.values = std::move(values);
   v.prev_version = prev_version;
-  for (auto& [col, index] : indexes_) {
-    index[v.values[col]].push_back(id);
+  for (int col : indexed_columns_) {
+    indexes_[col]->Insert(v.values[col], id);
   }
   // Release-publish: pairs with the acquire in Size(), making the new
   // version's payload visible to lock-free readers.
@@ -212,27 +228,23 @@ Status Table::IndexRange(int column, const Value* lo, bool lo_inclusive,
                          std::vector<RowId>* out) const {
   std::lock_guard<std::mutex> lock(mu_);
   out->clear();
-  auto it = indexes_.find(column);
-  if (it == indexes_.end()) {
+  const OrderedRowIndex* index =
+      column >= 0 && static_cast<size_t>(column) < indexes_.size()
+          ? indexes_[column].get()
+          : nullptr;
+  if (index == nullptr) {
     return Status::NotFound("no index on column " +
                             std::to_string(column) + " of table " +
                             schema_.name());
   }
-  const OrderedIndex& index = it->second;
-  auto begin = index.begin();
-  if (lo != nullptr) {
-    begin = lo_inclusive ? index.lower_bound(*lo) : index.upper_bound(*lo);
-  }
-  for (auto iter = begin; iter != index.end(); ++iter) {
-    if (hi != nullptr) {
-      int c = iter->first.Compare(*hi);
-      if (c > 0 || (c == 0 && !hi_inclusive)) break;
-    }
-    for (RowId id : iter->second) {
-      if (id < dead_.size() && dead_[id]) continue;
-      out->push_back(id);
-    }
-  }
+  index->Scan(lo, lo_inclusive, hi, hi_inclusive,
+              [&](const Value&, const PostingList& ids) {
+                for (RowId id : ids) {
+                  if (id < dead_.size() && dead_[id]) continue;
+                  out->push_back(id);
+                }
+                return true;
+              });
   return Status::OK();
 }
 
@@ -253,13 +265,8 @@ size_t Table::Vacuum(BlockNum horizon_block,
     if (prune) {
       dead_[i] = true;
       ++removed;
-      for (auto& [col, index] : indexes_) {
-        auto entry = index.find(v.values[col]);
-        if (entry != index.end()) {
-          auto& ids = entry->second;
-          ids.erase(std::remove(ids.begin(), ids.end(), i), ids.end());
-          if (ids.empty()) index.erase(entry);
-        }
+      for (int col : indexed_columns_) {
+        indexes_[col]->Erase(v.values[col], i);
       }
     }
   }

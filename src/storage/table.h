@@ -25,19 +25,19 @@
 #include <array>
 #include <atomic>
 #include <functional>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/value.h"
+#include "storage/btree.h"
 #include "storage/schema.h"
 #include "txn/types.h"
 
 namespace brdb {
 
-using RowId = uint64_t;
 inline constexpr RowId kInvalidRowId = ~0ULL;
 
 /// One stored version of a logical row.
@@ -70,7 +70,8 @@ struct VersionMeta {
 
 class Table {
  public:
-  Table(TableId id, TableSchema schema, std::string db_schema);
+  Table(TableId id, TableSchema schema, std::string db_schema,
+        IndexBackend index_backend = IndexBackend::kBTree);
   ~Table();
 
   Table(const Table&) = delete;
@@ -82,6 +83,9 @@ class Table {
 
   /// "blockchain" or "private" (paper §3.7's non-blockchain schema).
   const std::string& db_schema() const { return db_schema_; }
+
+  /// Which ordered-index implementation this table's indexes use.
+  IndexBackend index_backend() const { return index_backend_; }
 
   /// Create an ordered index on `column`; backfills existing versions.
   Status CreateIndex(const std::string& column);
@@ -165,13 +169,6 @@ class Table {
                 const std::function<bool(TxnId)>& aborted);
 
  private:
-  struct ValueLess {
-    bool operator()(const Value& a, const Value& b) const {
-      return a.Compare(b) < 0;
-    }
-  };
-  using OrderedIndex = std::map<Value, std::vector<RowId>, ValueLess>;
-
   // Chunked version arena. Chunk c holds 2^(c + kFirstChunkBits) versions;
   // the directory entries are written once (under mu_) and published by
   // the release store of num_versions_, so readers that checked an id
@@ -204,12 +201,17 @@ class Table {
   TableId id_;
   TableSchema schema_;
   std::string db_schema_;
+  IndexBackend index_backend_;
 
   mutable std::mutex mu_;
   std::array<std::atomic<RowVersion*>, kNumChunks> chunks_{};
   std::atomic<size_t> num_versions_{0};
-  std::map<int, OrderedIndex> indexes_;  // column -> index
-  std::vector<bool> dead_;               // vacuumed tombstones
+  /// Ordered indexes keyed densely by column position (null = no index);
+  /// `indexed_columns_` lists the non-null slots so write-path maintenance
+  /// iterates only real indexes.
+  std::vector<std::unique_ptr<OrderedRowIndex>> indexes_;
+  std::vector<int> indexed_columns_;
+  std::vector<bool> dead_;  // vacuumed tombstones
 };
 
 }  // namespace brdb

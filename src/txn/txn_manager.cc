@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdint>
 #include <thread>
 
 namespace brdb {
@@ -22,6 +24,112 @@ size_t DefaultStripes() {
   return std::min<size_t>(128, std::max<size_t>(4, 4 * cores));
 }
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// PredicateIndex
+// ---------------------------------------------------------------------------
+
+void PredicateIndex::Add(TxnId reader, const PredicateRead& predicate) {
+  if (predicate.column < 0) {
+    full_scans_.push_back(Entry{reader, predicate});
+    ++size_;
+    return;
+  }
+  ColumnIndex& ci = by_column_[predicate.column];
+  if (predicate.lo.has_value() && predicate.hi.has_value() &&
+      predicate.lo->type() == ValueType::kInt &&
+      predicate.hi->type() == ValueType::kInt) {
+    int64_t lob = predicate.lo->AsInt() >> kBucketShift;
+    int64_t hib = predicate.hi->AsInt() >> kBucketShift;
+    if (lob <= hib && hib - lob < kMaxBucketSpan) {
+      // A range spanning several buckets stores one copy per bucket; a
+      // write probes exactly one bucket, so it sees at most one copy.
+      for (int64_t b = lob; b <= hib; ++b) {
+        ci.buckets[b].push_back(Entry{reader, predicate});
+        ++size_;
+      }
+      return;
+    }
+  }
+  ci.wide.push_back(Entry{reader, predicate});
+  ++size_;
+}
+
+void PredicateIndex::ProbeList(const std::vector<Entry>& entries,
+                               const Row& values, std::vector<TxnId>* out) {
+  for (const Entry& e : entries) {
+    if (e.predicate.Covers(values)) out->push_back(e.reader);
+  }
+}
+
+void PredicateIndex::Match(const Row& values, std::vector<TxnId>* out) const {
+  // Full scans cover every row; Covers() is trivially true for column < 0.
+  for (const Entry& e : full_scans_) out->push_back(e.reader);
+
+  for (const auto& [col, ci] : by_column_) {
+    if (static_cast<size_t>(col) >= values.size()) continue;
+    const Value& v = values[col];
+    switch (v.type()) {
+      case ValueType::kInt: {
+        auto it = ci.buckets.find(v.AsInt() >> kBucketShift);
+        if (it != ci.buckets.end()) ProbeList(it->second, values, out);
+        break;
+      }
+      case ValueType::kDouble: {
+        // For |d| < 2^53 every integer in play is exactly representable, so
+        // Covers()'s numeric comparison agrees with exact int64 arithmetic
+        // and "lo <= d <= hi implies lo <= floor(d) <= hi" holds: floor(d)'s
+        // bucket contains every covering bucketed range. Beyond 2^53 the
+        // int->double conversion inside Value::Compare is lossy (a bound can
+        // round across a bucket boundary), and NaN compares equal to every
+        // number — both degenerate cases probe every bucket instead of
+        // risking a missed rw edge.
+        constexpr double kExactIntLimit = 9007199254740992.0;  // 2^53
+        double d = v.AsDouble();
+        if (std::isnan(d) || std::fabs(d) >= kExactIntLimit) {
+          for (const auto& [b, entries] : ci.buckets) {
+            (void)b;
+            ProbeList(entries, values, out);
+          }
+        } else {
+          auto it = ci.buckets.find(static_cast<int64_t>(std::floor(d)) >>
+                                    kBucketShift);
+          if (it != ci.buckets.end()) ProbeList(it->second, values, out);
+        }
+        break;
+      }
+      default:
+        // bool/text/null order entirely below or above every int under
+        // Value::Compare, so both-int-bounded ranges never cover them.
+        break;
+    }
+    ProbeList(ci.wide, values, out);
+  }
+}
+
+void PredicateIndex::RemoveReaders(const std::unordered_set<TxnId>& readers) {
+  auto prune = [&](std::vector<Entry>* entries) {
+    size_t before = entries->size();
+    entries->erase(std::remove_if(entries->begin(), entries->end(),
+                                  [&](const Entry& e) {
+                                    return readers.count(e.reader) > 0;
+                                  }),
+                   entries->end());
+    size_ -= before - entries->size();
+  };
+  prune(&full_scans_);
+  for (auto col_it = by_column_.begin(); col_it != by_column_.end();) {
+    ColumnIndex& ci = col_it->second;
+    prune(&ci.wide);
+    for (auto it = ci.buckets.begin(); it != ci.buckets.end();) {
+      prune(&it->second);
+      it = it->second.empty() ? ci.buckets.erase(it) : std::next(it);
+    }
+    col_it = (ci.wide.empty() && ci.buckets.empty())
+                 ? by_column_.erase(col_it)
+                 : std::next(col_it);
+  }
+}
 
 TxnManager::TxnManager(const TxnManagerOptions& options) {
   size_t n =
@@ -143,7 +251,7 @@ void TxnManager::RecordPredicate(TxnInfo* reader, PredicateRead predicate) {
   PredicateStripe& stripe = PredicateStripeOf(predicate.table);
   {
     std::lock_guard<std::mutex> lock(stripe.mu);
-    stripe.by_table[predicate.table].emplace_back(reader->id, predicate);
+    stripe.by_table[predicate.table].Add(reader->id, predicate);
   }
   reader->predicates.push_back(std::move(predicate));  // owner thread
 }
@@ -202,7 +310,9 @@ void TxnManager::RecordWrite(TxnInfo* writer, const WriteRecord& write,
   }
 
   // rw (predicate/phantom) edges from transactions whose scans cover the
-  // values we are introducing.
+  // values we are introducing. The per-table PredicateIndex prunes the
+  // candidate set to the bucket of the written value instead of walking
+  // every registered predicate.
   if (new_values != nullptr) {
     std::vector<TxnId> matching;
     {
@@ -210,14 +320,11 @@ void TxnManager::RecordWrite(TxnInfo* writer, const WriteRecord& write,
       std::lock_guard<std::mutex> lock(stripe.mu);
       auto it = stripe.by_table.find(write.table);
       if (it != stripe.by_table.end()) {
-        for (const auto& [reader, predicate] : it->second) {
-          if (reader == writer->id) continue;
-          if (!predicate.Covers(*new_values)) continue;
-          matching.push_back(reader);
-        }
+        it->second.Match(*new_values, &matching);
       }
     }
     for (TxnId reader : matching) {
+      if (reader == writer->id) continue;
       TxnStatusView r = StatusViewOf(reader);
       if (!r.known || r.state == TxnState::kAborted) continue;
       if (!Concurrent(r, *writer)) continue;
@@ -524,12 +631,9 @@ size_t TxnManager::GarbageCollect() {
   }
   for (PredicateStripe& stripe : predicate_stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mu);
-    for (auto& [table, preds] : stripe.by_table) {
-      preds.erase(std::remove_if(preds.begin(), preds.end(),
-                                 [&](const auto& p) {
-                                   return removed.count(p.first) > 0;
-                                 }),
-                  preds.end());
+    for (auto it = stripe.by_table.begin(); it != stripe.by_table.end();) {
+      it->second.RemoveReaders(removed);
+      it = it->second.empty() ? stripe.by_table.erase(it) : std::next(it);
     }
   }
   return removed.size();

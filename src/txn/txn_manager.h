@@ -84,6 +84,64 @@ struct PredicateRead {
   }
 };
 
+/// Sublinear phantom-detection index over one table's registered predicate
+/// reads. The seed walked every predicate of the table per write; this
+/// partitions predicates so a write probes only the ones that could cover
+/// its new values:
+///  * full-table scans (column < 0) — always probed (they cover anything);
+///  * per column, int-bounded ranges bucketed by `key >> kBucketShift` —
+///    a write probes the single bucket of its value, so point lookups and
+///    narrow ranges (the EOP-mandated index scans) cost O(bucket);
+///  * a per-column "wide" list for everything else (unbounded or non-int
+///    bounds, ranges spanning > kMaxBucketSpan buckets).
+/// Matching candidates are still checked with PredicateRead::Covers, so the
+/// rw-edge set is exactly the one the linear walk produced — bucketing only
+/// prunes predicates that provably cannot cover the value (a double value
+/// below 2^53 probes the bucket of its floor, which any covering int range
+/// contains; NaN and magnitudes at or beyond 2^53, where int->double
+/// comparison turns lossy, degenerate to probing every bucket; bool/text/
+/// null values sit outside every both-int-bounded range under
+/// Value::Compare's type ordering). Guarded by the owning stripe's mutex.
+class PredicateIndex {
+ public:
+  void Add(TxnId reader, const PredicateRead& predicate);
+
+  /// Append the readers of every predicate covering `values` to `out`
+  /// (duplicates possible when one reader registered several covering
+  /// predicates — exactly like the linear walk; edge insertion dedups).
+  void Match(const Row& values, std::vector<TxnId>* out) const;
+
+  /// Drop every predicate registered by one of `readers` (GC).
+  void RemoveReaders(const std::unordered_set<TxnId>& readers);
+
+  bool empty() const { return size_ == 0; }
+  /// Stored entries (a range spanning several buckets counts once per
+  /// bucket copy). Observability only.
+  size_t size() const { return size_; }
+
+ private:
+  struct Entry {
+    TxnId reader = 0;
+    PredicateRead predicate;
+  };
+  struct ColumnIndex {
+    std::unordered_map<int64_t, std::vector<Entry>> buckets;
+    std::vector<Entry> wide;
+  };
+
+  static constexpr int kBucketShift = 6;  ///< 64-wide int key buckets
+  /// Ranges spanning more buckets than this register in `wide` instead
+  /// (bounds the per-predicate duplication to kMaxBucketSpan entries).
+  static constexpr int64_t kMaxBucketSpan = 8;
+
+  static void ProbeList(const std::vector<Entry>& entries, const Row& values,
+                        std::vector<TxnId>* out);
+
+  std::vector<Entry> full_scans_;
+  std::unordered_map<int, ColumnIndex> by_column_;
+  size_t size_ = 0;
+};
+
 /// One entry of a transaction's write set.
 struct WriteRecord {
   enum class Kind { kInsert, kUpdate, kDelete };
@@ -265,11 +323,11 @@ class TxnManager {
         readers;
   };
 
-  // One stripe of the predicate-reader map: table -> [(reader, predicate)].
+  // One stripe of the predicate-reader map: table -> interval/bucket index
+  // over that table's registered predicates.
   struct PredicateStripe {
     mutable std::mutex mu;
-    std::unordered_map<TableId, std::vector<std::pair<TxnId, PredicateRead>>>
-        by_table;
+    std::unordered_map<TableId, PredicateIndex> by_table;
   };
 
   Shard& ShardOf(TxnId id) { return shards_[id & shard_mask_]; }

@@ -1,0 +1,462 @@
+// The B+-tree ordered index: structural behavior (splits, duplicate-key
+// postings, erase), byte-exact range-scan parity against the historical
+// std::map backend, CREATE INDEX bulk load on a populated table (including
+// under concurrent readers and writers — the TSAN-labelled part), vacuum
+// rewiring postings, and the cross-backend determinism contract: identical
+// commit decisions and write-set encodings whichever index implementation a
+// node runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/btree.h"
+#include "storage/database.h"
+#include "txn/txn_context.h"
+
+namespace brdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Raw index structure tests
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<int64_t, RowId>> Collect(const OrderedRowIndex& index,
+                                               const Value* lo, bool lo_inc,
+                                               const Value* hi, bool hi_inc) {
+  std::vector<std::pair<int64_t, RowId>> out;
+  index.Scan(lo, lo_inc, hi, hi_inc,
+             [&](const Value& key, const PostingList& ids) {
+               for (RowId id : ids) out.emplace_back(key.AsInt(), id);
+               return true;
+             });
+  return out;
+}
+
+TEST(BTreeRowIndexTest, DuplicateKeysKeepInsertionOrderInOnePosting) {
+  BTreeRowIndex index;
+  index.Insert(Value::Int(7), 100);
+  index.Insert(Value::Int(3), 101);
+  index.Insert(Value::Int(7), 102);
+  index.Insert(Value::Int(7), 103);
+  index.Insert(Value::Int(3), 104);
+
+  EXPECT_EQ(index.KeyCount(), 2u);
+  Value seven = Value::Int(7);
+  auto eq = Collect(index, &seven, true, &seven, true);
+  ASSERT_EQ(eq.size(), 3u);
+  EXPECT_EQ(eq[0].second, 100u);
+  EXPECT_EQ(eq[1].second, 102u);
+  EXPECT_EQ(eq[2].second, 103u);
+
+  auto all = Collect(index, nullptr, true, nullptr, true);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].first, 3);  // keys ascending, postings in insert order
+  EXPECT_EQ(all[0].second, 101u);
+  EXPECT_EQ(all[1].second, 104u);
+  EXPECT_EQ(all[2].second, 100u);
+}
+
+TEST(BTreeRowIndexTest, SplitsGrowADeepTreeThatStaysSorted) {
+  BTreeRowIndex index;
+  // Shuffled insert of enough keys to force several levels of splits.
+  constexpr int kKeys = 20000;
+  std::vector<int64_t> keys;
+  keys.reserve(kKeys);
+  for (int64_t i = 0; i < kKeys; ++i) keys.push_back(i);
+  Rng rng(0xb7ee);
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Uniform(static_cast<uint32_t>(i))]);
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    index.Insert(Value::Int(keys[i]), static_cast<RowId>(i));
+  }
+  EXPECT_EQ(index.KeyCount(), static_cast<size_t>(kKeys));
+  EXPECT_GE(index.Height(), 3);
+
+  auto all = Collect(index, nullptr, true, nullptr, true);
+  ASSERT_EQ(all.size(), static_cast<size_t>(kKeys));
+  for (int64_t i = 0; i < kKeys; ++i) EXPECT_EQ(all[i].first, i);
+
+  // Spot-check bounded windows against the definition.
+  Value lo = Value::Int(4321), hi = Value::Int(4444);
+  auto window = Collect(index, &lo, false, &hi, true);
+  ASSERT_EQ(window.size(), static_cast<size_t>(4444 - 4321));
+  EXPECT_EQ(window.front().first, 4322);
+  EXPECT_EQ(window.back().first, 4444);
+}
+
+TEST(BTreeRowIndexTest, EraseRemovesIdsThenDropsEmptyKeys) {
+  BTreeRowIndex index;
+  index.Insert(Value::Int(1), 10);
+  index.Insert(Value::Int(1), 11);
+  index.Insert(Value::Int(2), 12);
+
+  index.Erase(Value::Int(1), 10);
+  Value one = Value::Int(1);
+  auto left = Collect(index, &one, true, &one, true);
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0].second, 11u);
+  EXPECT_EQ(index.KeyCount(), 2u);
+
+  index.Erase(Value::Int(1), 11);
+  EXPECT_EQ(index.KeyCount(), 1u);
+  EXPECT_TRUE(Collect(index, &one, true, &one, true).empty());
+
+  // Erasing absent keys/ids is a no-op (vacuum idempotence).
+  index.Erase(Value::Int(1), 11);
+  index.Erase(Value::Int(99), 1);
+  EXPECT_EQ(index.KeyCount(), 1u);
+}
+
+TEST(BTreeRowIndexTest, RandomizedParityWithStdMapBackend) {
+  // The backends must agree byte-for-byte on every scan — this is what the
+  // cross-node determinism contract rests on.
+  BTreeRowIndex btree;
+  StdMapRowIndex map_index;
+  Rng rng(0x9a11);
+  for (RowId id = 0; id < 30000; ++id) {
+    // Narrow key domain: plenty of duplicates; negatives included.
+    int64_t key = static_cast<int64_t>(rng.Uniform(2000)) - 1000;
+    btree.Insert(Value::Int(key), id);
+    map_index.Insert(Value::Int(key), id);
+    if (rng.Uniform(4) == 0) {
+      int64_t victim = static_cast<int64_t>(rng.Uniform(2000)) - 1000;
+      RowId vid = rng.Uniform(static_cast<uint32_t>(id + 1));
+      btree.Erase(Value::Int(victim), vid);
+      map_index.Erase(Value::Int(victim), vid);
+    }
+  }
+  EXPECT_EQ(btree.KeyCount(), map_index.KeyCount());
+
+  for (int trial = 0; trial < 200; ++trial) {
+    int64_t a = static_cast<int64_t>(rng.Uniform(2200)) - 1100;
+    int64_t b = static_cast<int64_t>(rng.Uniform(2200)) - 1100;
+    Value lo = Value::Int(std::min(a, b)), hi = Value::Int(std::max(a, b));
+    bool lo_inc = rng.Uniform(2) == 0, hi_inc = rng.Uniform(2) == 0;
+    const Value* lo_p = trial % 7 == 0 ? nullptr : &lo;
+    const Value* hi_p = trial % 11 == 0 ? nullptr : &hi;
+    EXPECT_EQ(Collect(btree, lo_p, lo_inc, hi_p, hi_inc),
+              Collect(map_index, lo_p, lo_inc, hi_p, hi_inc))
+        << "trial " << trial;
+  }
+}
+
+TEST(BTreeRowIndexTest, BulkLoadMatchesIncrementalInserts) {
+  Rng rng(0x10ad);
+  std::vector<std::pair<Value, RowId>> entries;
+  BTreeRowIndex incremental;
+  for (RowId id = 0; id < 10000; ++id) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(500));
+    entries.emplace_back(Value::Int(key), id);
+    incremental.Insert(Value::Int(key), id);
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.first.Compare(y.first) < 0;
+                   });
+  auto loaded = OrderedRowIndex::BulkLoad(IndexBackend::kBTree, entries);
+  EXPECT_EQ(loaded->KeyCount(), incremental.KeyCount());
+  EXPECT_EQ(Collect(*loaded, nullptr, true, nullptr, true),
+            Collect(incremental, nullptr, true, nullptr, true));
+
+  // Bulk-loaded trees accept further inserts (post-CREATE INDEX writes).
+  loaded->Insert(Value::Int(-5), 99999);
+  auto all = Collect(*loaded, nullptr, true, nullptr, true);
+  EXPECT_EQ(all.front().first, -5);
+}
+
+TEST(BTreeRowIndexTest, TextKeysScanInLexicographicOrder) {
+  BTreeRowIndex index;
+  StdMapRowIndex map_index;
+  Rng rng(0x7e47);
+  for (RowId id = 0; id < 3000; ++id) {
+    std::string key = "k" + std::to_string(rng.Uniform(300));
+    index.Insert(Value::Text(key), id);
+    map_index.Insert(Value::Text(key), id);
+  }
+  std::vector<std::pair<std::string, RowId>> a, b;
+  auto collect = [](const OrderedRowIndex& idx,
+                    std::vector<std::pair<std::string, RowId>>* out) {
+    idx.Scan(nullptr, true, nullptr, true,
+             [&](const Value& key, const PostingList& ids) {
+               for (RowId id : ids) out->emplace_back(key.AsText(), id);
+               return true;
+             });
+  };
+  collect(index, &a);
+  collect(map_index, &b);
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Table-level behavior
+// ---------------------------------------------------------------------------
+
+TableSchema ItemsSchema() {
+  return TableSchema("items",
+                     {{"id", ValueType::kInt, true, true, false, false},
+                      {"grp", ValueType::kInt, false, false, false, false}});
+}
+
+TEST(TableBTreeIndexTest, CreateIndexBulkLoadsPopulatedTable) {
+  Table btree_table(1, ItemsSchema(), kBlockchainSchema, IndexBackend::kBTree);
+  Table map_table(2, ItemsSchema(), kBlockchainSchema, IndexBackend::kStdMap);
+  Rng rng(0xc0de);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t grp = static_cast<int64_t>(rng.Uniform(300));
+    Row row = {Value::Int(i), Value::Int(grp)};
+    btree_table.AppendVersion(1, row, kInvalidRowId);
+    map_table.AppendVersion(1, row, kInvalidRowId);
+  }
+  ASSERT_TRUE(btree_table.CreateIndex("grp").ok());
+  ASSERT_TRUE(map_table.CreateIndex("grp").ok());
+  EXPECT_EQ(btree_table.CreateIndex("grp").code(),
+            StatusCode::kAlreadyExists);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    int64_t a = static_cast<int64_t>(rng.Uniform(320));
+    int64_t b = static_cast<int64_t>(rng.Uniform(320));
+    Value lo = Value::Int(std::min(a, b)), hi = Value::Int(std::max(a, b));
+    auto bt = btree_table.IndexRange(1, &lo, true, &hi, trial % 2 == 0);
+    auto mp = map_table.IndexRange(1, &lo, true, &hi, trial % 2 == 0);
+    ASSERT_TRUE(bt.ok());
+    ASSERT_TRUE(mp.ok());
+    EXPECT_EQ(bt.value(), mp.value()) << "trial " << trial;
+  }
+}
+
+TEST(TableBTreeIndexTest, UpdatesAndVacuumRewirePostings) {
+  // An UPDATE appends a new version (both versions indexed); vacuuming the
+  // superseded version must drop exactly its posting entry.
+  Database db;
+  Table* items = db.CreateTable(ItemsSchema()).value();
+  ASSERT_TRUE(items->CreateIndex("grp").ok());
+
+  TxnContext seed(&db,
+                  db.txn_manager()->Begin(
+                      Snapshot::AtCsn(db.txn_manager()->CurrentCsn())),
+                  TxnMode::kInternal);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(seed.Insert(items, {Value::Int(i), Value::Int(i % 10)}).ok());
+  }
+  ASSERT_TRUE(seed.CommitInternal(1).ok());
+
+  // Move rows 0..49 into group 77 (appends versions 100..149).
+  TxnContext update(&db,
+                    db.txn_manager()->Begin(
+                        Snapshot::AtCsn(db.txn_manager()->CurrentCsn())),
+                    TxnMode::kInternal);
+  Value lo = Value::Int(0), hi = Value::Int(49);
+  std::vector<RowId> bases;
+  ASSERT_TRUE(update
+                  .ScanRange(items, 0, &lo, true, &hi, true,
+                             [&](RowId id, const Row&) {
+                               bases.push_back(id);
+                               return true;
+                             })
+                  .ok());
+  ASSERT_EQ(bases.size(), 50u);
+  for (RowId base : bases) {
+    Row next = items->ValuesOf(base);
+    next[1] = Value::Int(77);
+    ASSERT_TRUE(update.Update(items, base, std::move(next)).ok());
+  }
+  ASSERT_TRUE(update.CommitInternal(2).ok());
+
+  // Before vacuum both versions are indexed (group 77 has 50 new entries).
+  Value g77 = Value::Int(77);
+  auto entries = items->IndexRange(1, &g77, true, &g77, true);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 50u);
+
+  // Vacuum superseded versions below the horizon.
+  size_t removed = items->Vacuum(2, [&](TxnId id) {
+    return db.txn_manager()->IsAborted(id);
+  });
+  EXPECT_EQ(removed, 50u);  // the 50 replaced base versions
+
+  // The replaced versions' old-group postings are gone; group 77 intact.
+  size_t old_group_hits = 0;
+  for (int g = 0; g < 10; ++g) {
+    Value gv = Value::Int(g);
+    auto r = items->IndexRange(1, &gv, true, &gv, true);
+    ASSERT_TRUE(r.ok());
+    old_group_hits += r.value().size();
+  }
+  EXPECT_EQ(old_group_hits, 50u);  // rows 50..99 keep their groups
+  entries = items->IndexRange(1, &g77, true, &g77, true);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 50u);
+}
+
+TEST(TableBTreeIndexTest, CreateIndexUnderConcurrentReadersAndWriters) {
+  // TSAN coverage: CREATE INDEX bulk-loads while readers range-scan the pk
+  // index and a writer appends versions. Every scan must observe a sorted,
+  // duplicate-free pk sequence; the final index agrees with a map-backend
+  // replay of the same rows.
+  Table table(1, ItemsSchema(), kBlockchainSchema, IndexBackend::kBTree);
+  constexpr int kSeedRows = 4000;
+  constexpr int kExtraRows = 1000;
+  for (int i = 0; i < kSeedRows; ++i) {
+    table.AppendVersion(1, {Value::Int(i), Value::Int(i % 97)}, kInvalidRowId);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> scans_done{0};
+  std::thread writer([&] {
+    for (int i = 0; i < kExtraRows; ++i) {
+      table.AppendVersion(
+          1, {Value::Int(kSeedRows + i), Value::Int(i % 97)}, kInvalidRowId);
+    }
+  });
+  std::thread reader([&] {
+    std::vector<RowId> ids;
+    while (!stop.load(std::memory_order_acquire)) {
+      Value lo = Value::Int(100), hi = Value::Int(3900);
+      ASSERT_TRUE(table.IndexRange(0, &lo, true, &hi, true, &ids).ok());
+      ASSERT_EQ(ids.size(), 3801u);
+      int64_t prev = INT64_MIN;
+      for (RowId id : ids) {
+        int64_t key = table.ValuesOf(id)[0].AsInt();
+        ASSERT_LT(prev, key);
+        prev = key;
+      }
+      scans_done.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  ASSERT_TRUE(table.CreateIndex("grp").ok());
+  writer.join();
+  // On a single-core host the reader may not have been scheduled yet; hold
+  // the window open until it completes at least one scan.
+  while (scans_done.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_GT(scans_done.load(), 0);
+
+  // Final parity: grp index contents equal a map-backend rebuild.
+  Table replay(2, ItemsSchema(), kBlockchainSchema, IndexBackend::kStdMap);
+  for (RowId i = 0; i < table.NumVersions(); ++i) {
+    replay.AppendVersion(1, table.ValuesOf(i), kInvalidRowId);
+  }
+  ASSERT_TRUE(replay.CreateIndex("grp").ok());
+  for (int g = 0; g < 97; ++g) {
+    Value gv = Value::Int(g);
+    auto a = table.IndexRange(1, &gv, true, &gv, true);
+    auto b = replay.IndexRange(1, &gv, true, &gv, true);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value()) << "group " << g;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across index backends
+// ---------------------------------------------------------------------------
+
+struct WorkloadResult {
+  std::vector<bool> decisions;       // per txn, block order
+  std::vector<std::string> writes;   // EncodeWriteSet of committed txns
+};
+
+/// The fig8b workload shape (range scan + read-modify-write update) run
+/// single-threaded with a fixed rng, so both backends see the same txn
+/// sequence and any divergence is the index's fault.
+WorkloadResult RunScanUpdateWorkload(IndexBackend backend) {
+  constexpr int kRows = 512;
+  constexpr int kScanWidth = 16;
+  constexpr int kBlockSize = 24;
+  constexpr int kBlocks = 8;
+
+  Database db(TxnManagerOptions{}, backend);
+  Table* accounts =
+      db.CreateTable(TableSchema(
+                         "accounts",
+                         {{"id", ValueType::kInt, true, true, false, false},
+                          {"balance", ValueType::kInt, false, false, false,
+                           false}}))
+          .value();
+  {
+    TxnContext seed(&db,
+                    db.txn_manager()->Begin(
+                        Snapshot::AtCsn(db.txn_manager()->CurrentCsn())),
+                    TxnMode::kInternal);
+    for (int i = 0; i < kRows; ++i) {
+      (void)seed.Insert(accounts, {Value::Int(i), Value::Int(1000)});
+    }
+    (void)seed.CommitInternal(1);
+  }
+
+  WorkloadResult result;
+  for (int block = 0; block < kBlocks; ++block) {
+    Rng rng(0xdead + block);
+    std::vector<std::unique_ptr<TxnContext>> ctxs;
+    std::vector<bool> exec_ok;
+    for (int i = 0; i < kBlockSize; ++i) {
+      auto ctx = std::make_unique<TxnContext>(
+          &db,
+          db.txn_manager()->Begin(
+              Snapshot::AtCsn(db.txn_manager()->CurrentCsn())),
+          TxnMode::kNormal);
+      int64_t lo_key = static_cast<int64_t>(rng.Uniform(kRows - kScanWidth));
+      Value lo = Value::Int(lo_key);
+      Value hi = Value::Int(lo_key + kScanWidth - 1);
+      RowId target = kInvalidRowId;
+      int64_t key = 0, balance = 0;
+      Status st = ctx->ScanRange(accounts, 0, &lo, true, &hi, true,
+                                 [&](RowId id, const Row& values) {
+                                   if (target == kInvalidRowId) {
+                                     target = id;
+                                     key = values[0].AsInt();
+                                     balance = values[1].AsInt();
+                                   }
+                                   return true;
+                                 });
+      if (st.ok() && target != kInvalidRowId) {
+        st = ctx->Update(accounts, target,
+                         {Value::Int(key), Value::Int(balance + 1)});
+      }
+      exec_ok.push_back(st.ok());
+      ctxs.push_back(std::move(ctx));
+    }
+    BlockNum block_num = static_cast<BlockNum>(block + 2);
+    std::vector<TxnId> members;
+    for (const auto& c : ctxs) members.push_back(c->id());
+    for (size_t pos = 0; pos < ctxs.size(); ++pos) {
+      if (!exec_ok[pos]) {
+        ctxs[pos]->Abort(Status::Aborted("execution failed"));
+        result.decisions.push_back(false);
+        continue;
+      }
+      std::string write_set = ctxs[pos]->EncodeWriteSet();
+      Status st = ctxs[pos]->CommitSerially(SsiPolicy::kBlockAware, block_num,
+                                            static_cast<int>(pos), members);
+      result.decisions.push_back(st.ok());
+      if (st.ok()) result.writes.push_back(std::move(write_set));
+    }
+    db.txn_manager()->GarbageCollect();
+  }
+  return result;
+}
+
+TEST(IndexBackendDeterminismTest, CommitDecisionsAndWriteSetsMatch) {
+  WorkloadResult btree = RunScanUpdateWorkload(IndexBackend::kBTree);
+  WorkloadResult map = RunScanUpdateWorkload(IndexBackend::kStdMap);
+  ASSERT_EQ(btree.decisions.size(), map.decisions.size());
+  EXPECT_EQ(btree.decisions, map.decisions);
+  ASSERT_EQ(btree.writes.size(), map.writes.size());
+  EXPECT_EQ(btree.writes, map.writes);
+  // Sanity: the workload actually commits and aborts something.
+  size_t committed = btree.writes.size();
+  EXPECT_GT(committed, 0u);
+  EXPECT_LT(committed, btree.decisions.size());
+}
+
+}  // namespace
+}  // namespace brdb

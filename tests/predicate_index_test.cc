@@ -1,0 +1,295 @@
+// The PredicateIndex behind TxnManager::RecordWrite: the bucketed
+// interval index must produce exactly the reader set the old linear
+// predicate walk produced — for every predicate shape (equality, narrow
+// and wide ranges, half-open, full scans, non-int bounds) and every value
+// type a write can introduce (ints at bucket boundaries, doubles against
+// int bounds, text, bool, NULL). Plus the TxnManager integration: phantom
+// rw edges land in the same conflict sets, and GC prunes entries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "txn/txn_manager.h"
+
+namespace brdb {
+namespace {
+
+PredicateRead MakeRange(int column, std::optional<int64_t> lo,
+                        std::optional<int64_t> hi, bool lo_inc = true,
+                        bool hi_inc = true) {
+  PredicateRead p;
+  p.table = 1;
+  p.column = column;
+  if (lo.has_value()) p.lo = Value::Int(*lo);
+  p.lo_inclusive = lo_inc;
+  if (hi.has_value()) p.hi = Value::Int(*hi);
+  p.hi_inclusive = hi_inc;
+  return p;
+}
+
+std::vector<TxnId> SortedMatch(const PredicateIndex& index,
+                               const Row& values) {
+  std::vector<TxnId> out;
+  index.Match(values, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Brute force over the registered predicates: the reference the index
+/// must agree with (one hit per covering predicate).
+std::vector<TxnId> BruteForce(
+    const std::vector<std::pair<TxnId, PredicateRead>>& preds,
+    const Row& values) {
+  std::vector<TxnId> out;
+  for (const auto& [reader, p] : preds) {
+    if (p.Covers(values)) out.push_back(reader);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(PredicateIndexTest, EqualityAndRangeBucketsMatchExactly) {
+  PredicateIndex index;
+  index.Add(1, MakeRange(0, 5, 5));          // equality
+  index.Add(2, MakeRange(0, 0, 31));         // one bucket
+  index.Add(3, MakeRange(0, 60, 70));        // straddles a bucket boundary
+  index.Add(4, MakeRange(0, std::nullopt, 100));  // half-open -> wide
+  index.Add(5, MakeRange(0, -1000000, 1000000));  // huge span -> wide
+  index.Add(6, MakeRange(-1, std::nullopt, std::nullopt));  // full scan
+
+  EXPECT_EQ(SortedMatch(index, {Value::Int(5)}),
+            (std::vector<TxnId>{1, 2, 4, 5, 6}));
+  EXPECT_EQ(SortedMatch(index, {Value::Int(63)}),
+            (std::vector<TxnId>{3, 4, 5, 6}));
+  EXPECT_EQ(SortedMatch(index, {Value::Int(64)}),
+            (std::vector<TxnId>{3, 4, 5, 6}));
+  EXPECT_EQ(SortedMatch(index, {Value::Int(71)}),
+            (std::vector<TxnId>{4, 5, 6}));
+  EXPECT_EQ(SortedMatch(index, {Value::Int(2000000)}),
+            (std::vector<TxnId>{6}));
+}
+
+TEST(PredicateIndexTest, ExclusiveBoundsRespected) {
+  PredicateIndex index;
+  index.Add(1, MakeRange(0, 10, 20, /*lo_inc=*/false, /*hi_inc=*/false));
+  EXPECT_EQ(SortedMatch(index, {Value::Int(10)}), (std::vector<TxnId>{}));
+  EXPECT_EQ(SortedMatch(index, {Value::Int(11)}), (std::vector<TxnId>{1}));
+  EXPECT_EQ(SortedMatch(index, {Value::Int(19)}), (std::vector<TxnId>{1}));
+  EXPECT_EQ(SortedMatch(index, {Value::Int(20)}), (std::vector<TxnId>{}));
+}
+
+TEST(PredicateIndexTest, DoubleValuesProbeIntBuckets) {
+  PredicateIndex index;
+  index.Add(1, MakeRange(0, 10, 20));
+  index.Add(2, MakeRange(0, 64, 64));
+  // Doubles compare numerically with int bounds; the floor-bucket probe
+  // must find every covering range.
+  EXPECT_EQ(SortedMatch(index, {Value::Double(10.5)}),
+            (std::vector<TxnId>{1}));
+  EXPECT_EQ(SortedMatch(index, {Value::Double(20.0)}),
+            (std::vector<TxnId>{1}));
+  EXPECT_EQ(SortedMatch(index, {Value::Double(20.0001)}),
+            (std::vector<TxnId>{}));
+  EXPECT_EQ(SortedMatch(index, {Value::Double(9.999)}),
+            (std::vector<TxnId>{}));
+  EXPECT_EQ(SortedMatch(index, {Value::Double(64.0)}),
+            (std::vector<TxnId>{2}));
+  EXPECT_EQ(SortedMatch(index, {Value::Double(-1e300)}),
+            (std::vector<TxnId>{}));
+}
+
+TEST(PredicateIndexTest, HugeDoublesBeyondExactIntRangeStillMatch) {
+  // Beyond 2^53 the int->double conversion inside Value::Compare is lossy:
+  // Covers() can report a huge double equal to a huge int bound even though
+  // exact bucket arithmetic would place them in different buckets. The
+  // index must fall back to probing every bucket there, never dropping an
+  // edge the linear walk records.
+  PredicateIndex index;
+  constexpr int64_t kHuge = INT64_MAX;  // rounds to 2^63 as a double
+  index.Add(1, MakeRange(0, kHuge, kHuge));
+  index.Add(2, MakeRange(0, kHuge - 4097, kHuge - 4096));
+  index.Add(3, MakeRange(0, 10, 20));
+
+  Row v = {Value::Double(9223372036854775808.0)};  // 2^63 == (double)kHuge
+  std::vector<std::pair<TxnId, PredicateRead>> reference = {
+      {1, MakeRange(0, kHuge, kHuge)},
+      {2, MakeRange(0, kHuge - 4097, kHuge - 4096)},
+      {3, MakeRange(0, 10, 20)}};
+  EXPECT_EQ(SortedMatch(index, v), BruteForce(reference, v));
+  EXPECT_EQ(SortedMatch(index, v), (std::vector<TxnId>{1}));
+
+  // Exactly representable doubles below 2^53 keep the single-bucket probe.
+  EXPECT_EQ(SortedMatch(index, {Value::Double(15.0)}),
+            (std::vector<TxnId>{3}));
+}
+
+TEST(PredicateIndexTest, NonIntValuesOnlySeeCoveringPredicates) {
+  PredicateIndex index;
+  index.Add(1, MakeRange(0, 10, 20));             // both-int: bucketed
+  index.Add(2, MakeRange(0, std::nullopt, 100));  // wide
+  PredicateRead text_range;
+  text_range.table = 1;
+  text_range.column = 0;
+  text_range.lo = Value::Text("a");
+  text_range.hi = Value::Text("m");
+  index.Add(3, text_range);
+
+  // Text sorts above every int: covered only by the text range.
+  EXPECT_EQ(SortedMatch(index, {Value::Text("hello")}),
+            (std::vector<TxnId>{3}));
+  // Bool sorts below ints: covered by the unbounded-lo range only.
+  EXPECT_EQ(SortedMatch(index, {Value::Bool(true)}),
+            (std::vector<TxnId>{2}));
+  // NULL sorts first: also covered only by the unbounded-lo range.
+  EXPECT_EQ(SortedMatch(index, {Value::Null()}), (std::vector<TxnId>{2}));
+}
+
+TEST(PredicateIndexTest, RemoveReadersPrunesEverything) {
+  PredicateIndex index;
+  index.Add(1, MakeRange(0, 5, 5));
+  index.Add(2, MakeRange(0, 0, 600));   // spans many buckets -> wide
+  index.Add(3, MakeRange(-1, std::nullopt, std::nullopt));
+  index.Add(1, MakeRange(0, 100, 110));
+  EXPECT_FALSE(index.empty());
+
+  index.RemoveReaders({1, 3});
+  EXPECT_EQ(SortedMatch(index, {Value::Int(5)}), (std::vector<TxnId>{2}));
+  EXPECT_EQ(SortedMatch(index, {Value::Int(105)}), (std::vector<TxnId>{2}));
+  index.RemoveReaders({2});
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(SortedMatch(index, {Value::Int(5)}), (std::vector<TxnId>{}));
+}
+
+TEST(PredicateIndexTest, FuzzAgainstLinearWalk) {
+  Rng rng(0xfade);
+  for (int round = 0; round < 20; ++round) {
+    PredicateIndex index;
+    std::vector<std::pair<TxnId, PredicateRead>> reference;
+    for (TxnId reader = 1; reader <= 200; ++reader) {
+      PredicateRead p;
+      switch (rng.Uniform(6)) {
+        case 0:
+          p = MakeRange(-1, std::nullopt, std::nullopt);  // full scan
+          break;
+        case 1: {  // equality
+          int64_t k = static_cast<int64_t>(rng.Uniform(4000)) - 2000;
+          p = MakeRange(0, k, k);
+          break;
+        }
+        case 2: {  // range (narrow or wide), random inclusivity
+          int64_t a = static_cast<int64_t>(rng.Uniform(4000)) - 2000;
+          int64_t w = static_cast<int64_t>(rng.Uniform(1200));
+          p = MakeRange(0, a, a + w, rng.Uniform(2) == 0,
+                        rng.Uniform(2) == 0);
+          break;
+        }
+        case 3: {  // half-open
+          int64_t a = static_cast<int64_t>(rng.Uniform(4000)) - 2000;
+          p = rng.Uniform(2) == 0
+                  ? MakeRange(0, a, std::nullopt)
+                  : MakeRange(0, std::nullopt, a);
+          break;
+        }
+        case 4: {  // second column
+          int64_t a = static_cast<int64_t>(rng.Uniform(100));
+          p = MakeRange(1, a, a + 5);
+          break;
+        }
+        default: {  // text bounds
+          p.table = 1;
+          p.column = 0;
+          p.lo = Value::Text("k" + std::to_string(rng.Uniform(50)));
+          p.hi = Value::Text("k" + std::to_string(50 + rng.Uniform(50)));
+          break;
+        }
+      }
+      index.Add(reader, p);
+      reference.emplace_back(reader, p);
+    }
+    for (int probe = 0; probe < 100; ++probe) {
+      Row values;
+      switch (rng.Uniform(5)) {
+        case 0:
+          values = {Value::Int(static_cast<int64_t>(rng.Uniform(5000)) - 2500),
+                    Value::Int(static_cast<int64_t>(rng.Uniform(120)))};
+          break;
+        case 1:
+          values = {Value::Double(
+                        (static_cast<double>(rng.Uniform(500000)) - 250000) /
+                        100.0),
+                    Value::Int(0)};
+          break;
+        case 2:
+          values = {Value::Text("k" + std::to_string(rng.Uniform(120))),
+                    Value::Int(0)};
+          break;
+        case 3:
+          values = {Value::Null(), Value::Int(3)};
+          break;
+        default:
+          values = {Value::Int((static_cast<int64_t>(rng.Uniform(200)) - 100) *
+                               64),  // bucket boundaries
+                    Value::Int(7)};
+          break;
+      }
+      EXPECT_EQ(SortedMatch(index, values), BruteForce(reference, values))
+          << "round " << round << " probe " << probe;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TxnManager integration: phantom edges via the index
+// ---------------------------------------------------------------------------
+
+TEST(PredicateIndexIntegrationTest, PhantomEdgeRecordedThroughBuckets) {
+  TxnManager mgr;
+  TxnInfo* reader = mgr.BeginAtCurrentCsn();
+  TxnInfo* writer = mgr.BeginAtCurrentCsn();
+  TxnInfo* outside = mgr.BeginAtCurrentCsn();
+
+  PredicateRead covered = MakeRange(0, 100, 131);  // one bucket span
+  mgr.RecordPredicate(reader, covered);
+  PredicateRead elsewhere = MakeRange(0, 5000, 5031);
+  mgr.RecordPredicate(outside, elsewhere);
+
+  WriteRecord w;
+  w.kind = WriteRecord::Kind::kInsert;
+  w.table = 1;
+  w.new_row = 7;
+  Row new_values = {Value::Int(120)};
+  mgr.RecordWrite(writer, w, &new_values, nullptr);
+
+  {
+    std::lock_guard<std::mutex> lock(writer->conflict_mu);
+    EXPECT_EQ(writer->in_conflicts.count(reader->id), 1u);
+    EXPECT_EQ(writer->in_conflicts.count(outside->id), 0u);
+  }
+  {
+    std::lock_guard<std::mutex> lock(reader->conflict_mu);
+    EXPECT_EQ(reader->out_conflicts.count(writer->id), 1u);
+  }
+}
+
+TEST(PredicateIndexIntegrationTest, FullScanPredicateAlwaysMatches) {
+  TxnManager mgr;
+  TxnInfo* reader = mgr.BeginAtCurrentCsn();
+  TxnInfo* writer = mgr.BeginAtCurrentCsn();
+  mgr.RecordPredicate(reader, MakeRange(-1, std::nullopt, std::nullopt));
+
+  WriteRecord w;
+  w.kind = WriteRecord::Kind::kInsert;
+  w.table = 1;
+  w.new_row = 3;
+  Row new_values = {Value::Text("anything")};
+  mgr.RecordWrite(writer, w, &new_values, nullptr);
+
+  std::lock_guard<std::mutex> lock(writer->conflict_mu);
+  EXPECT_EQ(writer->in_conflicts.count(reader->id), 1u);
+}
+
+}  // namespace
+}  // namespace brdb

@@ -127,6 +127,76 @@ TEST_F(PlanCacheTest, DdlInvalidatesCachedPlans) {
   EXPECT_EQ(recreated.value()->info().param_types[2], ValueType::kText);
 }
 
+TEST_F(PlanCacheTest, AccessPathAnalyzedOncePerPlan) {
+  Exec("INSERT INTO t VALUES (1, 'a', 1.0)");
+  Exec("INSERT INTO t VALUES (2, 'b', 2.0)");
+  Exec("INSERT INTO t VALUES (3, 'c', 3.0)");
+
+  const std::string sql = "SELECT name FROM t WHERE id = $1";
+  auto plan = engine_.Prepare(sql);
+  ASSERT_TRUE(plan.ok());
+
+  // The prepare-time analysis found the sargable pk conjunct.
+  const sql::AccessPath* path =
+      plan.value()->FindAccessPath(plan.value()->statement().select.get());
+  ASSERT_NE(path, nullptr);
+  EXPECT_TRUE(path->analyzed);
+  EXPECT_TRUE(path->where_touches_table);
+  ASSERT_EQ(path->conjuncts.size(), 1u);
+  EXPECT_EQ(path->conjuncts[0].column, 0);
+
+  // Executions reuse it: the hit counter moves, results stay right.
+  const uint64_t hits0 = engine_.access_path_hits();
+  for (int i = 1; i <= 3; ++i) {
+    TxnContext ctx(&db_, db_.txn_manager()->BeginAtCurrentCsn(),
+                   TxnMode::kInternal);
+    auto r = engine_.ExecutePrepared(&ctx, *plan.value(),
+                                     {Value::Int(i)}, sql::ExecOptions());
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value().rows.size(), 1u);
+    ctx.Abort(Status::Aborted("test"));
+  }
+  EXPECT_EQ(engine_.access_path_hits(), hits0 + 3);
+}
+
+TEST_F(PlanCacheTest, StalePlanAccessPathIgnoredAfterDdl) {
+  Exec("INSERT INTO t VALUES (1, 'a', 1.0)");
+  auto plan = engine_.Prepare("SELECT name FROM t WHERE id = $1");
+  ASSERT_TRUE(plan.ok());
+
+  // DDL bumps the schema version: the stale plan still executes correctly,
+  // but its cached access path is ignored (no hit recorded).
+  Exec("CREATE INDEX t_name ON t (name)");
+  const uint64_t hits0 = engine_.access_path_hits();
+  TxnContext ctx(&db_, db_.txn_manager()->BeginAtCurrentCsn(),
+                 TxnMode::kInternal);
+  auto r = engine_.ExecutePrepared(&ctx, *plan.value(), {Value::Int(1)},
+                                   sql::ExecOptions());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  ctx.Abort(Status::Aborted("test"));
+  EXPECT_EQ(engine_.access_path_hits(), hits0);
+}
+
+TEST_F(PlanCacheTest, AccessPathSeesIndexesCreatedAfterFirstPrepare) {
+  Exec("INSERT INTO t VALUES (1, 'a', 1.0)");
+  // Under execute-order-in-parallel rules a predicate without a usable
+  // index aborts. The cached access path must not fossilize that: after
+  // CREATE INDEX, a re-prepared plan picks the new index up.
+  const std::string sql = "SELECT id FROM t WHERE name = 'a'";
+  auto run = [&]() -> Status {
+    TxnContext ctx(&db_, db_.txn_manager()->BeginAtCurrentCsn(),
+                   TxnMode::kInternal);
+    auto r = engine_.Execute(&ctx, sql, {},
+                             sql::ExecOptions::ExecuteOrderParallel());
+    ctx.Abort(Status::Aborted("test"));
+    return r.status();
+  };
+  EXPECT_FALSE(run().ok());
+  Exec("CREATE INDEX t_name ON t (name)");
+  EXPECT_TRUE(run().ok());
+}
+
 TEST_F(PlanCacheTest, StalePlanAgainstDroppedTableFailsCleanly) {
   auto plan = engine_.Prepare("SELECT * FROM t WHERE id = $1");
   ASSERT_TRUE(plan.ok());

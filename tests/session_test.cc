@@ -258,5 +258,75 @@ TEST(SessionTrackTest, TracksTransactionsSubmittedOutOfBand) {
   net->Stop();
 }
 
+// ---------- decision-record retention ----------
+
+TEST(SessionRetentionTest, DecidedRecordsDroppedAfterRetentionWindow) {
+  auto net =
+      BlockchainNetwork::Create(FastOptions(TransactionFlow::kOrderThenExecute));
+  ASSERT_TRUE(RegisterKvContract(net.get()).ok());
+  ASSERT_TRUE(net->Start().ok());
+  ASSERT_TRUE(net->DeployContract("CREATE TABLE kv (k INT PRIMARY KEY, "
+                                  "v INT)")
+                  .ok());
+
+  SessionOptions retention;
+  retention.retain_decided_blocks = 2;
+  Session* session = net->CreateSession("org1", "rita", retention);
+
+  // Several waves of transactions, each forcing new blocks: records from
+  // early blocks must be dropped once decisions from blocks >= decided + 2
+  // are observed.
+  std::vector<TxnHandle> handles;
+  for (int wave = 0; wave < 4; ++wave) {
+    std::vector<Invocation> batch;
+    for (int i = 0; i < 30; ++i) {
+      batch.push_back(Invocation{
+          "put_kv", {Value::Int(wave * 100 + i), Value::Int(i)}});
+    }
+    for (TxnHandle& h : session->SubmitBatch(std::move(batch))) {
+      ASSERT_TRUE(h.submit_status().ok());
+      handles.push_back(std::move(h));
+    }
+    for (TxnHandle& h : handles) {
+      ASSERT_TRUE(h.Wait(30000000).ok()) << h.txid();
+    }
+  }
+  net->WaitIdle();
+
+  // 120 transactions were decided across >= 4 blocks; the retention window
+  // keeps only the tail.
+  EXPECT_LT(session->tracked_records(), handles.size());
+
+  // Dropped records do not invalidate the handles already issued — they
+  // co-own the decision state.
+  for (TxnHandle& h : handles) {
+    EXPECT_TRUE(h.Decided()) << h.txid();
+    EXPECT_TRUE(h.Wait(1000000).ok()) << h.txid();
+  }
+
+  // Track() of a pruned txid resurrects the record a live handle co-owns:
+  // the new handle sees the already-accumulated decisions instead of
+  // starting from an empty record.
+  TxnHandle re = session->Track(handles.front().txid());
+  EXPECT_TRUE(re.Decided());
+  EXPECT_EQ(re.NodeStatuses().size(),
+            handles.front().NodeStatuses().size());
+
+  // The default (0) keeps the historical unbounded behavior.
+  Session* unbounded = net->CreateSession("org1", "uma");
+  std::vector<Invocation> batch;
+  for (int i = 0; i < 20; ++i) {
+    batch.push_back(
+        Invocation{"put_kv", {Value::Int(9000 + i), Value::Int(i)}});
+  }
+  auto uh = unbounded->SubmitBatch(std::move(batch));
+  for (TxnHandle& h : uh) ASSERT_TRUE(h.Wait(30000000).ok());
+  net->WaitIdle();
+  // Unbounded sessions record every decision they observe (their own plus
+  // broadcast traffic like checkpoints) and never drop any.
+  EXPECT_GE(unbounded->tracked_records(), uh.size());
+  net->Stop();
+}
+
 }  // namespace
 }  // namespace brdb
