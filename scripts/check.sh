@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # One-command verification, locally and in CI:
-#   1. tier-1: configure + build + full ctest suite (ROADMAP.md contract);
-#   2. TSAN: a ThreadSanitizer build tree running the `tsan`-labelled
+#   1. tier-1: configure + build + full ctest suite (ROADMAP.md contract),
+#      run TWICE: once at the default block-pipeline depth and once at
+#      BRDB_PIPELINE_DEPTH=1 (the legacy serial baseline) — the pipeline
+#      must never change what a test observes, only when work overlaps;
+#   2. fig8b determinism gate: the commit/abort counts of the fig8b
+#      workload must be byte-identical across pipeline depths {1, 2, 4};
+#   3. TSAN: a ThreadSanitizer build tree running the `tsan`-labelled
 #      concurrency tests (the striped-commit stress test, the session
-#      pipelining tests, and the B+-tree CREATE INDEX bulk-load under
-#      concurrent readers — the places where a data race would hide).
+#      pipelining tests, the B+-tree CREATE INDEX bulk-load under
+#      concurrent readers, and the pipelined-node determinism test — the
+#      places where a data race would hide).
 #
 # Usage: scripts/check.sh [--tier1-only | --tsan-only]
 set -euo pipefail
@@ -19,8 +25,21 @@ run_tier1() {
   cmake --build build -j "${JOBS}"
   # An explicit gate (not just set -e): a tier-1 ctest regression must fail
   # the whole check with an unambiguous message, locally and in CI.
+  echo "--- tier-1 at default pipeline depth"
   if ! ctest --test-dir build --output-on-failure -j "${JOBS}"; then
-    echo "=== FAIL: tier-1 ctest regressed — fix before merging ===" >&2
+    echo "=== FAIL: tier-1 ctest regressed (default depth) ===" >&2
+    exit 1
+  fi
+  echo "--- tier-1 at pipeline depth 1 (legacy serial baseline)"
+  if ! BRDB_PIPELINE_DEPTH=1 ctest --test-dir build --output-on-failure \
+       -j "${JOBS}"; then
+    echo "=== FAIL: tier-1 ctest regressed at pipeline depth 1 ===" >&2
+    exit 1
+  fi
+  echo "--- fig8b determinism across pipeline depths {1, 2, 4}"
+  if ! ./build/bench_fig8b_ordering_scalability --check-determinism; then
+    echo "=== FAIL: fig8b committed/aborted counts diverge between" \
+         "pipeline depths — the pipeline changed a commit decision ===" >&2
     exit 1
   fi
 }
@@ -32,7 +51,8 @@ run_tsan() {
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j "${JOBS}" \
-    --target txn_stripe_stress_test session_test btree_index_test
+    --target txn_stripe_stress_test session_test btree_index_test \
+             pipeline_test
   ctest --test-dir build-tsan -L tsan --output-on-failure -j 1
 }
 

@@ -50,32 +50,41 @@ if [ "${SKIP_SEED_BASELINE:-0}" != "1" ]; then
 import json, sys
 out_path, rounds = sys.argv[1], int(sys.argv[2])
 merged = None
+def key_of(e):
+    # depth: the pipeline axis added by the block-pipeline PR; seed
+    # baselines (and any stale artifacts) default to 1.
+    return (e["mode"], e["threads"], e.get("depth", 1))
 for kind in ("new", "seed"):
     for r in range(1, rounds + 1):
         doc = json.load(open(f"/tmp/fig8b_{kind}_{r}.json"))
         if merged is None:
             merged = doc
             continue
-        by_key = {(e["mode"], e["threads"]): e for e in merged["results"]}
+        by_key = {key_of(e): e for e in merged["results"]}
         for e in doc["results"]:
-            key = (e["mode"], e["threads"])
+            key = key_of(e)
             if key not in by_key:
                 merged["results"].append(e)
             elif e["tps"] > by_key[key]["tps"]:
                 by_key[key].update(e)
-def tps(mode, threads):
+def tps(mode, threads, depth=1):
     for e in merged["results"]:
-        if e["mode"] == mode and e["threads"] == threads:
+        if e["mode"] == mode and e["threads"] == threads and \
+           e.get("depth", 1) == depth:
             return e["tps"]
     return 0.0
 base4, striped4 = tps("single_mutex", 4), tps("striped", 4)
+piped4 = tps("striped", 4, 4)
 merged["speedup_at_4_threads"] = round(striped4 / base4, 2) if base4 else None
+merged["pipeline_speedup_at_4_threads"] = (
+    round(piped4 / striped4, 2) if striped4 else None)
 before = tps("seed_single_mutex", 4)
 merged["speedup_vs_seed_at_4_threads"] = (
     round(striped4 / before, 2) if before else None)
 json.dump(merged, open(out_path, "w"), indent=2)
-print(f"striped @4 threads: {striped4:.0f} tps, seed baseline: "
-      f"{before:.0f} tps -> {merged['speedup_vs_seed_at_4_threads']}x")
+print(f"striped @4 threads: {striped4:.0f} tps (depth 4: {piped4:.0f}), "
+      f"seed baseline: {before:.0f} tps -> "
+      f"{merged['speedup_vs_seed_at_4_threads']}x")
 PY
 else
   echo "== fig8b: ordering/execution scalability (writes BENCH_fig8b.json)"

@@ -34,6 +34,11 @@ struct NetworkOptions {
   /// 1 = single-mutex baseline for benchmarks).
   size_t txn_lock_stripes = 0;
 
+  /// Block-pipeline depth per node: max blocks in flight, with block N+1's
+  /// verify/execute overlapping block N's serial commit (0 = default,
+  /// 1 = the exact legacy serial loop). See NodeConfig::pipeline_depth.
+  size_t pipeline_depth = 0;
+
   /// Ordered-index implementation for every node's tables (kStdMap is the
   /// pre-B-tree baseline kept for parity/determinism tests).
   IndexBackend index_backend = IndexBackend::kBTree;

@@ -2,12 +2,29 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <set>
 
 #include "common/logging.h"
 #include "sql/parser.h"
 
 namespace brdb {
+
+namespace {
+
+/// NodeConfig::pipeline_depth resolution: explicit config wins, then the
+/// BRDB_PIPELINE_DEPTH environment override (scripts/check.sh uses it to
+/// run the whole suite at depth 1), then the default of 2.
+size_t ResolvePipelineDepth(size_t configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("BRDB_PIPELINE_DEPTH")) {
+    int v = std::atoi(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 2;
+}
+
+}  // namespace
 
 DatabaseNode::DatabaseNode(NodeConfig config, Identity identity,
                            std::shared_ptr<CertificateRegistry> registry,
@@ -33,6 +50,7 @@ DatabaseNode::DatabaseNode(NodeConfig config, Identity identity,
       block_store_ = std::make_unique<BlockStore>();
     }
   }
+  pipeline_depth_ = ResolvePipelineDepth(config_.pipeline_depth);
   executors_ = std::make_unique<ThreadPool>(config_.executor_threads);
   verifier_ = std::make_unique<SignatureVerifier>(
       executors_.get(),
@@ -59,7 +77,20 @@ Status DatabaseNode::Start() {
   if (running_.exchange(true)) return Status::OK();
   net_->RegisterEndpoint(endpoint_,
                          [this](const NetMessage& m) { OnNetMessage(m); });
-  processor_thread_ = std::thread([this] { BlockProcessorLoop(); });
+  BlockPipeline::Hooks hooks;
+  hooks.fetch = [this](BlockNum n, Block* out) { return FetchBlock(n, out); };
+  hooks.prepare = [this](BlockWork* w) { PrepareBlock(w); };
+  hooks.commit = [this](BlockWork* w) { CommitBlock(w); };
+  pipeline_ = std::make_unique<BlockPipeline>(pipeline_depth_,
+                                              std::move(hooks));
+  BlockNum committed;
+  {
+    std::lock_guard<std::mutex> lock(blocks_mu_);
+    committed = committed_height_;
+    executed_height_ = committed;
+    idle_polls_ = 0;
+  }
+  pipeline_->Start(committed);
   return Status::OK();
 }
 
@@ -68,7 +99,7 @@ void DatabaseNode::Stop() {
   blocks_cv_.notify_all();
   height_cv_.notify_all();
   exec_cv_.notify_all();
-  if (processor_thread_.joinable()) processor_thread_.join();
+  if (pipeline_ != nullptr) pipeline_->Stop();
   net_->UnregisterEndpoint(endpoint_);
   executors_->Wait();
 }
@@ -76,6 +107,11 @@ void DatabaseNode::Stop() {
 BlockNum DatabaseNode::Height() const {
   std::lock_guard<std::mutex> lock(blocks_mu_);
   return committed_height_;
+}
+
+BlockNum DatabaseNode::ExecutedHeight() const {
+  std::lock_guard<std::mutex> lock(blocks_mu_);
+  return executed_height_;
 }
 
 void DatabaseNode::SetPeerEndpoints(std::vector<std::string> endpoints) {
@@ -122,7 +158,8 @@ void DatabaseNode::Notify(const std::string& txid, const Status& status,
 
 Status DatabaseNode::Authenticate(const Transaction& tx,
                                   PrincipalRole* role_out,
-                                  bool skip_signature) {
+                                  bool skip_signature,
+                                  bool allow_pgcerts_fallback) {
   if (skip_signature) {
     // The verifier cache already vouched for this txid; only the role
     // remains to resolve.
@@ -131,6 +168,7 @@ Status DatabaseNode::Authenticate(const Transaction& tx,
       *role_out = role.value();
       return Status::OK();
     }
+    if (!allow_pgcerts_fallback) return role.status();
   } else {
     Status st = tx.Authenticate(*registry_);
     if (st.ok()) {
@@ -140,6 +178,7 @@ Status DatabaseNode::Authenticate(const Transaction& tx,
       return Status::OK();
     }
     if (st.code() != StatusCode::kNotFound) return st;
+    if (!allow_pgcerts_fallback) return st;
   }
 
   // Fall back to pgcerts: users onboarded on-chain via create_user.
@@ -242,92 +281,139 @@ void DatabaseNode::EnqueueBlock(Block block) {
   std::lock_guard<std::mutex> lock(blocks_mu_);
   if (block.number() <= block_store_->Height()) return;  // duplicate
   pending_blocks_.emplace(block.number(), std::move(block));
-  // Move any in-sequence prefix into the durable store.
+  DrainPendingLocked();
+  blocks_cv_.notify_all();
+}
+
+void DatabaseNode::DrainPendingLocked() {
+  // Move any in-sequence prefix into the durable store. A failed append
+  // (I/O error on a file-backed store) keeps the block in pending_blocks_
+  // so the next enqueue or fetch poll retries it — the seed dropped the
+  // block on the floor with only a log line.
   for (auto it = pending_blocks_.begin();
        it != pending_blocks_.end() &&
        it->first == block_store_->Height() + 1;) {
     Status append = block_store_->Append(it->second);
     if (!append.ok()) {
-      BRDB_LOG(kError, config_.name) << append.ToString();
+      metrics_.OnBlockAppendFailure();
+      BRDB_LOG(kError, config_.name)
+          << "block " << it->first
+          << " append failed (kept pending, will retry): "
+          << append.ToString();
       break;
     }
     it = pending_blocks_.erase(it);
   }
-  blocks_cv_.notify_all();
 }
 
-void DatabaseNode::BlockProcessorLoop() {
-  uint64_t idle_polls = 0;
-  while (running_.load()) {
-    BlockNum next;
-    {
-      std::lock_guard<std::mutex> lock(blocks_mu_);
-      next = committed_height_ + 1;
+bool DatabaseNode::FetchBlock(BlockNum next, Block* out) {
+  if (!running_.load()) return false;
+  {
+    std::lock_guard<std::mutex> lock(blocks_mu_);
+    DrainPendingLocked();  // retry appends that failed earlier
+  }
+  if (block_store_->Height() >= next) {
+    auto block = block_store_->Get(next);
+    if (block.ok()) {
+      fetch_fail_streak_ = 0;
+      *out = std::move(block).value();
+      return true;
     }
-    if (block_store_->Height() >= next) {
-      auto block = block_store_->Get(next);
-      if (!block.ok()) {
-        BRDB_LOG(kError, config_.name) << block.status().ToString();
-        return;
-      }
-      std::vector<TxnNotification> decided = ProcessBlock(block.value());
-      {
-        std::lock_guard<std::mutex> lock(blocks_mu_);
-        committed_height_ = next;
-      }
-      height_cv_.notify_all();
-      for (const TxnNotification& n : decided) {
-        Notify(n.txid, n.status, n.block);
-      }
-      continue;
+    // A corrupt store read is likely permanent: back off instead of
+    // spinning hot, and keep the log rate bounded (the seed gave up with
+    // one line; retrying leaves room for an operator-repaired store).
+    if (fetch_fail_streak_++ % 512 == 0) {
+      BRDB_LOG(kError, config_.name)
+          << "block " << next
+          << " unreadable from store (retrying): "
+          << block.status().ToString();
     }
     std::unique_lock<std::mutex> lock(blocks_mu_);
-    bool gap = !pending_blocks_.empty() &&
-               pending_blocks_.begin()->first > block_store_->Height() + 1;
-    lock.unlock();
-    // Missing block (§3.6): an observed gap triggers an immediate
-    // retransmission fetch; even without one, poll ordering periodically —
-    // a node whose deliveries were lost (partition, restart) must catch up
-    // on its own once connectivity returns.
-    if (gap || ++idle_polls % 50 == 0) {
-      auto missing = ordering_->GetBlock(next);
-      if (missing.ok()) {
-        EnqueueBlock(std::move(missing).value());
-        continue;
-      }
-    }
-    lock.lock();
     blocks_cv_.wait_for(lock, std::chrono::milliseconds(2));
+    return false;
   }
+  bool gap;
+  {
+    std::lock_guard<std::mutex> lock(blocks_mu_);
+    gap = !pending_blocks_.empty() &&
+          pending_blocks_.begin()->first > block_store_->Height() + 1;
+  }
+  // Missing block (§3.6): an observed gap triggers an immediate
+  // retransmission fetch; even without one, poll ordering periodically —
+  // a node whose deliveries were lost (partition, restart) must catch up
+  // on its own once connectivity returns.
+  if (gap || ++idle_polls_ % 50 == 0) {
+    auto missing = ordering_->GetBlock(next);
+    if (missing.ok()) {
+      EnqueueBlock(std::move(missing).value());
+      return false;  // the next fetch round reads it from the store
+    }
+  }
+  std::unique_lock<std::mutex> lock(blocks_mu_);
+  blocks_cv_.wait_for(lock, std::chrono::milliseconds(2));
+  return false;
 }
 
-std::shared_ptr<DatabaseNode::ExecEntry> DatabaseNode::StartExecution(
-    const Transaction& tx, bool eop_mode) {
+std::shared_ptr<ExecEntry> DatabaseNode::StartExecution(
+    const Transaction& tx, bool eop_mode, BlockNum started_by_block) {
   {
     std::lock_guard<std::mutex> lock(exec_mu_);
     auto it = active_.find(tx.id());
-    if (it != active_.end()) return it->second;
+    if (it != active_.end()) {
+      if (started_by_block == 0) return it->second;
+      if (it->second->claimed_by_block == 0 ||
+          it->second->claimed_by_block == started_by_block) {
+        it->second->claimed_by_block = started_by_block;
+        return it->second;
+      }
+      // The txid is already claimed by an earlier in-flight block: once
+      // that block commits, this instance is a ledger duplicate — the
+      // same conclusion the serial loop reached through IsDuplicate.
+      auto dup = std::make_shared<ExecEntry>();
+      dup->tx = tx;
+      dup->exec_status =
+          Status::AlreadyExists("duplicate transaction identifier");
+      dup->done = true;
+      return dup;
+    }
   }
   auto entry = std::make_shared<ExecEntry>();
   entry->tx = tx;
+  entry->started_by_block = started_by_block;
+  entry->claimed_by_block = started_by_block;
 
   PrincipalRole role = PrincipalRole::kClient;
   // Skip the signature check when a batch-verification stage or an earlier
   // path (submission, forward) already verified this exact signed content.
-  Status auth =
-      Authenticate(tx, &role, /*skip_signature=*/verifier_->WasVerified(tx));
-  bool duplicate = auth.ok() && IsDuplicate(tx.id());
+  // Block-started entries must not consult pgcerts here: it is
+  // block-ordered state an in-flight earlier block may still change
+  // (create_user / delete_user / update_user_key), so a prepare-time read
+  // would make the decision depend on pipeline depth. The immutable
+  // bootstrap registry decides the fast path; anything else defers to the
+  // executor task, which authenticates in full at committed height
+  // block-1 — the exact point the legacy serial loop authenticated at.
+  Status auth = Authenticate(
+      tx, &role, /*skip_signature=*/verifier_->WasVerified(tx),
+      /*allow_pgcerts_fallback=*/started_by_block == 0);
+  entry->role = role;
+  entry->auth_retry = !auth.ok() && started_by_block > 0;
+  bool duplicate = (auth.ok() || entry->auth_retry) && IsDuplicate(tx.id());
   {
     std::lock_guard<std::mutex> lock(exec_mu_);
     auto [it, inserted] = active_.emplace(tx.id(), entry);
-    if (!inserted) return it->second;
-    if (!auth.ok()) {
+    if (!inserted) {
+      if (started_by_block > 0 && it->second->claimed_by_block == 0) {
+        it->second->claimed_by_block = started_by_block;
+      }
+      return it->second;
+    }
+    if (!auth.ok() && !entry->auth_retry) {
       entry->exec_status = auth;
       entry->done = true;
       exec_cv_.notify_all();
       return entry;
     }
-    if (duplicate) {
+    if (duplicate && !entry->auth_retry) {
       entry->exec_status =
           Status::AlreadyExists("duplicate transaction identifier");
       entry->done = true;
@@ -336,8 +422,25 @@ std::shared_ptr<DatabaseNode::ExecEntry> DatabaseNode::StartExecution(
     }
   }
 
-  executors_->Submit([this, entry, eop_mode, role] {
+  executors_->Submit([this, entry, eop_mode, started_by_block, auth,
+                      duplicate] {
     Micros t0 = RealClock::Shared()->NowMicros();
+    auto finish = [&](const Status& st) {
+      entry->exec_status = st;
+      {
+        std::lock_guard<std::mutex> lock(exec_mu_);
+        entry->done = true;
+      }
+      exec_cv_.notify_all();
+    };
+    // Wait under blocks_mu_ until `pred` (a committed-height condition)
+    // holds or the node stops; true when the node is still running.
+    auto wait_height = [&](auto pred) {
+      std::unique_lock<std::mutex> lock(blocks_mu_);
+      height_cv_.wait(lock, [&] { return !running_.load() || pred(); });
+      return running_.load();
+    };
+
     Snapshot snap;
     if (eop_mode) {
       BlockNum h = entry->tx.snapshot_height();
@@ -347,15 +450,56 @@ std::shared_ptr<DatabaseNode::ExecEntry> DatabaseNode::StartExecution(
                committed_height_ >= h;
       });
       if (!running_.load() || entry->doomed_invalid) {
-        entry->exec_status = Status::SerializationFailure(
-            "snapshot height " + std::to_string(h) + " unreachable");
-        std::lock_guard<std::mutex> elock(exec_mu_);
-        entry->done = true;
-        exec_cv_.notify_all();
+        lock.unlock();
+        finish(Status::SerializationFailure(
+            "snapshot height " + std::to_string(h) + " unreachable"));
         return;
       }
       snap = Snapshot::AtBlockHeight(h);
+    } else if (started_by_block > 0) {
+      // OTE snapshot barrier: "execute on the state committed by the
+      // previous block". Redundant at depth 1 (the prepare stage already
+      // waited) but authoritative under pipelining.
+      if (!wait_height(
+              [&] { return committed_height_ >= started_by_block - 1; })) {
+        finish(Status::Unavailable("node stopping"));
+        return;
+      }
     }
+
+    Status auth_status = auth;
+    PrincipalRole role = entry->role;
+    if (entry->auth_retry) {
+      if (!wait_height(
+              [&] { return committed_height_ >= started_by_block - 1; })) {
+        finish(Status::Unavailable("node stopping"));
+        return;
+      }
+      auth_status = Authenticate(entry->tx, &role,
+                                 verifier_->WasVerified(entry->tx));
+      if (!auth_status.ok()) {
+        finish(auth_status);
+        return;
+      }
+      entry->role = role;
+      if (duplicate) {
+        finish(Status::AlreadyExists("duplicate transaction identifier"));
+        return;
+      }
+    }
+
+    if (started_by_block > 0 && !contracts_.Has(entry->tx.contract())) {
+      // The contract may be deployed by a block up to block-1 whose
+      // commit is still in flight; resolve at the same committed height
+      // the legacy serial loop resolved at. (A genuinely unknown contract
+      // then fails inside Invoke, as before.)
+      if (!wait_height(
+              [&] { return committed_height_ >= started_by_block - 1; })) {
+        finish(Status::Unavailable("node stopping"));
+        return;
+      }
+    }
+
     TxnInfo* info =
         eop_mode ? db_.txn_manager()->Begin(snap, entry->tx.id())
                  : db_.txn_manager()->BeginAtCurrentCsn(entry->tx.id());
@@ -443,15 +587,16 @@ void DatabaseNode::UpdateLedgerStatuses(
   }
 }
 
-std::vector<TxnNotification> DatabaseNode::ProcessBlock(const Block& block) {
-  std::vector<TxnNotification> decided;
+void DatabaseNode::PrepareBlock(BlockWork* work) {
+  const Block& block = work->block;
   const bool eop = config_.flow == TransactionFlow::kExecuteOrderParallel;
-  Micros t0 = RealClock::Shared()->NowMicros();
+  work->t0 = RealClock::Shared()->NowMicros();
 
-  // Batched signature verification: the block's transaction signatures are
-  // independent, so they verify concurrently (executor pool + this thread)
-  // before any execution starts. Successes land in the verifier cache and
-  // make the per-transaction Authenticate below skip the crypto; failures
+  // Stage 1 — batched signature verification: the block's transaction
+  // signatures are independent, so they verify concurrently (executor pool
+  // + this thread) before any execution starts, overlapping the previous
+  // block's serial commit. Successes land in the verifier cache and make
+  // the per-transaction Authenticate below skip the crypto; failures
   // simply fall through to the serial path, which reproduces the exact
   // error. Transactions verified at submission/forward time cost nothing.
   {
@@ -462,11 +607,28 @@ std::vector<TxnNotification> DatabaseNode::ProcessBlock(const Block& block) {
     }
     (void)verifier_->VerifyTransactions(*registry_, to_verify);
   }
+  Micros s2 = RealClock::Shared()->NowMicros();
+  work->verify_us = s2 - work->t0;
 
-  // Collect / start executions. A txid may legitimately already be
-  // executing (EOP forwarding); anything not yet known is "missing" and is
-  // started now (§3.4.3).
-  std::vector<std::shared_ptr<ExecEntry>> entries;
+  if (!eop) {
+    // OTE snapshot barrier: executions — and the pgledger rows below,
+    // which OTE's CSN snapshots could otherwise observe early — must see
+    // exactly the state committed by block-1. Only stage 1 overlaps the
+    // previous commit in this flow; EOP snapshots are block-height-pinned
+    // by the client, so stage 2 overlaps fully there.
+    std::unique_lock<std::mutex> lock(blocks_mu_);
+    height_cv_.wait(lock, [&] {
+      return !running_.load() || committed_height_ >= block.number() - 1;
+    });
+    if (!running_.load()) {
+      work->aborted = true;
+      return;
+    }
+  }
+
+  // Stage 2 — collect / start executions. A txid may legitimately already
+  // be executing (EOP forwarding); anything not yet known is "missing" and
+  // is started now (§3.4.3).
   std::set<std::string> seen_in_block;
   for (const Transaction& tx : block.transactions()) {
     if (!seen_in_block.insert(tx.id()).second) {
@@ -476,7 +638,7 @@ std::vector<TxnNotification> DatabaseNode::ProcessBlock(const Block& block) {
       dup->exec_status =
           Status::AlreadyExists("duplicate transaction id within block");
       dup->done = true;
-      entries.push_back(std::move(dup));
+      work->entries.push_back(std::move(dup));
       continue;
     }
     bool known;
@@ -485,7 +647,7 @@ std::vector<TxnNotification> DatabaseNode::ProcessBlock(const Block& block) {
       known = active_.count(tx.id()) > 0;
     }
     if (eop && !known) metrics_.OnMissingTxn();
-    auto entry = StartExecution(tx, eop);
+    auto entry = StartExecution(tx, eop, block.number());
     if (eop && tx.snapshot_height() >= block.number()) {
       // The snapshot height can never be reached before this block
       // commits; abort deterministically on every node.
@@ -495,10 +657,36 @@ std::vector<TxnNotification> DatabaseNode::ProcessBlock(const Block& block) {
       }
       height_cv_.notify_all();
     }
-    entries.push_back(std::move(entry));
+    work->entries.push_back(std::move(entry));
   }
 
-  WriteLedgerRows(block, entries);
+  WriteLedgerRows(block, work->entries);
+  work->prepare_us = RealClock::Shared()->NowMicros() - s2;
+  {
+    std::lock_guard<std::mutex> lock(blocks_mu_);
+    executed_height_ = block.number();
+  }
+}
+
+void DatabaseNode::CommitBlock(BlockWork* work) {
+  if (work->aborted) return;  // shutdown interrupted the prepare stage
+  const Block& block = work->block;
+  const bool eop = config_.flow == TransactionFlow::kExecuteOrderParallel;
+  std::vector<std::shared_ptr<ExecEntry>>& entries = work->entries;
+  std::vector<TxnNotification> decided;
+  // Stage-3 clock starts here, not at work->t0: under pipelining the
+  // prepare stamp overlaps the previous block's commit (and ready-queue
+  // wait), and summing overlapped spans would inflate bpt/su beyond wall
+  // time. Block processing time = its own stage durations.
+  Micros t0 = RealClock::Shared()->NowMicros();
+
+  // Pipeline occupancy at commit entry: blocks prepared but not yet
+  // committed (1 = serial behavior, > 1 = overlap actually happening).
+  size_t occupancy;
+  {
+    std::lock_guard<std::mutex> lock(blocks_mu_);
+    occupancy = static_cast<size_t>(executed_height_ - committed_height_);
+  }
 
   // Local txn ids of the block in block order, for the block-aware rules.
   auto block_members = [&] {
@@ -515,6 +703,14 @@ std::vector<TxnNotification> DatabaseNode::ProcessBlock(const Block& block) {
   auto wait_done = [&](const std::shared_ptr<ExecEntry>& e) {
     std::unique_lock<std::mutex> lock(exec_mu_);
     exec_cv_.wait(lock, [&] { return e->done || !running_.load(); });
+    if (!e->done) {
+      // Stopping: the pipeline drains prepared blocks through this commit
+      // stage. Every executor-task gate re-checks running_, so the task
+      // finishes promptly (usually with an Unavailable abort); wait for it
+      // so the entry's fields are stable and no phantom "committed"
+      // decision is emitted for a transaction that never ran.
+      exec_cv_.wait(lock, [&] { return e->done; });
+    }
   };
 
   auto commit_entry = [&](const std::shared_ptr<ExecEntry>& e, int pos,
@@ -625,9 +821,25 @@ std::vector<TxnNotification> DatabaseNode::ProcessBlock(const Block& block) {
   UpdateLedgerStatuses(block, entries);
 
   Micros now = RealClock::Shared()->NowMicros();
-  metrics_.OnBlockProcessed(now - t0, exec_done_at - t0, commit_us_total);
+  Micros stage12_us = work->verify_us + work->prepare_us;
+  metrics_.OnBlockProcessed(stage12_us + (now - t0),
+                            stage12_us + (exec_done_at - t0),
+                            commit_us_total);
+  metrics_.OnPipelineBlock(work->verify_us, work->prepare_us,
+                           commit_us_total, occupancy);
   db_.txn_manager()->GarbageCollect();
-  return decided;
+
+  // Publish the committed height *before* notifying: a client reacting to
+  // its commit must never submit against the pre-block snapshot height.
+  {
+    std::lock_guard<std::mutex> lock(blocks_mu_);
+    committed_height_ = block.number();
+  }
+  height_cv_.notify_all();
+  blocks_cv_.notify_all();
+  for (const TxnNotification& n : decided) {
+    Notify(n.txid, n.status, n.block);
+  }
 }
 
 namespace {

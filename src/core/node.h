@@ -18,6 +18,12 @@
 //
 // Both flows then update the pgledger statuses atomically, compute the
 // block's write-set hash, and take part in checkpointing (§3.3.4).
+//
+// Block processing is staged through a BlockPipeline
+// (core/block_pipeline.h): verification and execution of block N+1 may
+// overlap block N's serial commit up to a bounded in-flight window
+// (NodeConfig::pipeline_depth), while commits, registry ops and decision
+// notifications remain strictly block-ordered.
 #ifndef BRDB_CORE_NODE_H_
 #define BRDB_CORE_NODE_H_
 
@@ -30,6 +36,7 @@
 #include "consensus/ordering_service.h"
 #include "contracts/contract.h"
 #include "contracts/system_contracts.h"
+#include "core/block_pipeline.h"
 #include "core/metrics.h"
 #include "crypto/sig_verifier.h"
 #include "ledger/block_store.h"
@@ -57,6 +64,13 @@ struct NodeConfig {
   /// Lock stripes for the transaction manager (0 = default; 1 = the
   /// historical single-mutex baseline, kept for benchmarks).
   size_t txn_lock_stripes = 0;
+
+  /// Max blocks in flight in the block pipeline: block N+1's signature
+  /// verification and execution overlap block N's serial commit while
+  /// commits and notifications stay strictly block-ordered. 0 = default
+  /// ($BRDB_PIPELINE_DEPTH if set, else 2); 1 = the exact legacy serial
+  /// verify -> execute -> commit loop, kept as the benchmark baseline.
+  size_t pipeline_depth = 0;
 
   /// Ordered-index implementation for every table (kStdMap is the
   /// pre-B-tree baseline kept for parity/determinism tests).
@@ -87,6 +101,34 @@ struct TxnNotification {
   BlockNum block = 0;
 };
 
+/// Execution bookkeeping for one in-flight transaction. Defined at
+/// namespace level (BlockWork carries shared_ptrs between the pipeline's
+/// prepare and commit stages) but owned and mutated by DatabaseNode.
+struct ExecEntry {
+  Transaction tx;
+  std::unique_ptr<TxnContext> txn;
+  Status exec_status;
+  std::vector<RegistryOp> registry_ops;
+  Micros exec_us = 0;
+  bool done = false;       ///< execution finished (ready to commit/abort)
+  bool doomed_invalid = false;
+  /// Block that will commit this entry. 0 until a block's prepare stage
+  /// claims it (EOP submissions execute unclaimed until their block
+  /// arrives); a txid reappearing in a later block while the claiming
+  /// block is still in flight is a duplicate. Guarded by the node's
+  /// exec_mu_.
+  BlockNum claimed_by_block = 0;
+  /// Block whose prepare stage started this execution (0 = client
+  /// submission / peer-forward path).
+  BlockNum started_by_block = 0;
+  /// Authentication was not decidable at prepare time (the user is not in
+  /// the immutable bootstrap registry, and pgcerts may change until
+  /// block-1 commits): the executor task authenticates in full after that
+  /// height — the exact point the legacy serial loop authenticated at.
+  bool auth_retry = false;
+  PrincipalRole role = PrincipalRole::kClient;
+};
+
 class DatabaseNode {
  public:
   DatabaseNode(NodeConfig config, Identity identity,
@@ -114,8 +156,16 @@ class DatabaseNode {
   CheckpointManager* checkpoints() { return &checkpoints_; }
   NodeMetrics* metrics() { return &metrics_; }
 
-  /// Committed block height.
+  /// Committed block height (blocks whose serial commit finished).
   BlockNum Height() const;
+
+  /// Pipeline frontier: blocks whose prepare stage (signature verification
+  /// + execution start + ledger rows) finished. >= Height() when the block
+  /// pipeline runs ahead of the serial commit; == Height() at depth 1.
+  BlockNum ExecutedHeight() const;
+
+  /// Resolved pipeline depth (config > $BRDB_PIPELINE_DEPTH > default 2).
+  size_t pipeline_depth() const { return pipeline_depth_; }
 
   /// Other peers' endpoints (for EOP forwarding).
   void SetPeerEndpoints(std::vector<std::string> endpoints);
@@ -177,33 +227,47 @@ class DatabaseNode {
   }
 
  private:
-  /// Execution bookkeeping for one in-flight transaction.
-  struct ExecEntry {
-    Transaction tx;
-    std::unique_ptr<TxnContext> txn;
-    Status exec_status;
-    std::vector<RegistryOp> registry_ops;
-    Micros exec_us = 0;
-    bool done = false;       ///< execution finished (ready to commit/abort)
-    bool doomed_invalid = false;
-  };
-
   void OnNetMessage(const NetMessage& m);
   void EnqueueBlock(Block block);
-  void BlockProcessorLoop();
 
-  /// Processes one block; decided statuses are returned (not emitted) so
-  /// the processor loop can advance the committed height *before*
-  /// notifying clients — otherwise a client could react to its commit and
-  /// submit the next transaction against the pre-block snapshot height.
-  std::vector<TxnNotification> ProcessBlock(const Block& block);
+  /// Move the in-sequence prefix of pending_blocks_ into the durable
+  /// store. A failed append keeps the block pending (counted in metrics)
+  /// and is retried on the next enqueue or fetch poll. Requires blocks_mu_.
+  void DrainPendingLocked();
+
+  // ---- BlockPipeline stage hooks (core/block_pipeline.h) ----
+
+  /// Fetch block `n` from the store, triggering the §3.6 gap/catch-up
+  /// retransmission logic when it is missing. Blocks at most ~2ms.
+  bool FetchBlock(BlockNum n, Block* out);
+
+  /// Stages 1+2: batch signature verification, execution start (claiming
+  /// already-executing EOP entries), pgledger row writes. Runs on the
+  /// pipeline's prepare thread, in block order. In order-then-execute
+  /// mode stage 2 waits for block n-1's commit first — OTE snapshots are
+  /// "the state committed by the previous block", so only stage 1 can
+  /// overlap; EOP snapshots are block-height-pinned by the client and
+  /// stage 2 overlaps fully.
+  void PrepareBlock(BlockWork* work);
+
+  /// Stage 3: execution barrier, serial block-order commit, registry ops,
+  /// checkpointing, pgledger status updates, committed-height publication
+  /// and decision notifications. The height is advanced *before* the
+  /// notifications so a client reacting to its commit never submits
+  /// against the pre-block snapshot height.
+  void CommitBlock(BlockWork* work);
 
   /// Authenticate a transaction: registry first, then the pgcerts table
   /// (covering users added on-chain via create_user). With
   /// `skip_signature` the crypto is skipped (the verifier cache already
   /// vouched for this txid) and only the principal's role is resolved.
+  /// With `allow_pgcerts_fallback` false, only the immutable bootstrap
+  /// registry is consulted — the pipeline's prepare stage uses this so a
+  /// block's authentication never reads pgcerts state an in-flight
+  /// earlier block may still change.
   Status Authenticate(const Transaction& tx, PrincipalRole* role_out,
-                      bool skip_signature = false);
+                      bool skip_signature = false,
+                      bool allow_pgcerts_fallback = true);
 
   /// True if this txid is already recorded in pgledger or executing.
   bool IsDuplicate(const std::string& txid);
@@ -212,11 +276,15 @@ class DatabaseNode {
   Status CheckQueryUser(const std::string& user);
 
   /// Start concurrent execution of a transaction; returns the entry.
+  /// `started_by_block` is the block whose prepare stage requested it
+  /// (0 = client submission / peer forward). Block-started entries whose
+  /// authentication cannot be decided yet (pgcerts may change until
+  /// block-1 commits) defer it to the executor task; a txid already
+  /// claimed by an earlier in-flight block yields a fresh duplicate-abort
+  /// entry.
   std::shared_ptr<ExecEntry> StartExecution(const Transaction& tx,
-                                            bool eop_mode);
-
-  /// Contract invocation inside an entry's transaction.
-  void RunContract(std::shared_ptr<ExecEntry> entry, bool eop_mode);
+                                            bool eop_mode,
+                                            BlockNum started_by_block = 0);
 
   void WriteLedgerRows(const Block& block,
                        const std::vector<std::shared_ptr<ExecEntry>>& entries);
@@ -246,13 +314,16 @@ class DatabaseNode {
 
   std::vector<std::string> peer_endpoints_;
 
-  // Block intake: blocks may arrive out of order; the processor consumes
-  // them strictly sequentially.
+  // Block intake: blocks may arrive out of order; the pipeline's prepare
+  // stage consumes them strictly sequentially.
   mutable std::mutex blocks_mu_;
   std::condition_variable blocks_cv_;
   std::map<BlockNum, Block> pending_blocks_;
-  BlockNum committed_height_ = 0;
+  BlockNum committed_height_ = 0;  ///< serial commit finished (stage 3)
+  BlockNum executed_height_ = 0;   ///< prepare stage finished (stages 1+2)
   std::condition_variable height_cv_;
+  uint64_t idle_polls_ = 0;  ///< prepare-thread only (catch-up cadence)
+  uint64_t fetch_fail_streak_ = 0;  ///< prepare-thread only (log rate cap)
 
   // Active executions by global txid.
   std::mutex exec_mu_;
@@ -264,7 +335,8 @@ class DatabaseNode {
   std::map<SubscriptionId, NotificationFn> subscribers_;
 
   std::atomic<bool> running_{false};
-  std::thread processor_thread_;
+  size_t pipeline_depth_ = 1;  ///< resolved from config/env at construction
+  std::unique_ptr<BlockPipeline> pipeline_;
 };
 
 }  // namespace brdb

@@ -143,6 +143,7 @@ void BTreeRowIndex::Insert(const Value& key, RowId id) {
     // Split the leaf: upper half moves to a new chained sibling, then the
     // new key lands in whichever half owns its position.
     LeafNode* right = new LeafNode();
+    ++leaf_count_;
     const int half = kLeafFanout / 2;
     for (int i = half; i < leaf->count; ++i) {
       right->keys[i - half] = std::move(leaf->keys[i]);
@@ -251,6 +252,31 @@ void BTreeRowIndex::Erase(const Value& key, RowId id) {
   leaf->keys[leaf->count] = Value();       // release any heap payload
   leaf->posts[leaf->count] = PostingList();
   --key_count_;
+  if (NeedsCompaction()) Compact();
+}
+
+bool BTreeRowIndex::NeedsCompaction() const {
+  if (compaction_threshold_ <= 0) return false;
+  if (leaf_count_ < kMinCompactionLeaves) return false;
+  double capacity = static_cast<double>(leaf_count_) * kLeafFanout;
+  return static_cast<double>(key_count_) < compaction_threshold_ * capacity;
+}
+
+void BTreeRowIndex::Compact() {
+  // Gather every (key, id) in order — already sorted by construction, and
+  // posting order survives because ids are appended in posting order — and
+  // repack with the bulk loader.
+  std::vector<std::pair<Value, RowId>> entries;
+  entries.reserve(key_count_);
+  for (LeafNode* leaf = FirstLeaf(); leaf != nullptr; leaf = leaf->next) {
+    for (int i = 0; i < leaf->count; ++i) {
+      for (RowId id : leaf->posts[i]) {
+        entries.emplace_back(leaf->keys[i], id);
+      }
+    }
+  }
+  LoadSorted(std::move(entries));
+  ++compaction_count_;
 }
 
 void BTreeRowIndex::Scan(const Value* lo, bool lo_inclusive, const Value* hi,
@@ -281,6 +307,7 @@ void BTreeRowIndex::LoadSorted(std::vector<std::pair<Value, RowId>> entries) {
   DestroySubtree(root_);
   root_ = nullptr;
   key_count_ = 0;
+  leaf_count_ = 0;
   height_ = 1;
 
   // Pack leaves full from the sorted run, grouping duplicate keys into one
@@ -297,6 +324,7 @@ void BTreeRowIndex::LoadSorted(std::vector<std::pair<Value, RowId>> entries) {
     }
     if (leaf == nullptr || leaf->count == kLeafFanout) {
       leaf = new LeafNode();
+      ++leaf_count_;
       if (prev != nullptr) prev->next = leaf;
       prev = leaf;
     }
@@ -308,6 +336,7 @@ void BTreeRowIndex::LoadSorted(std::vector<std::pair<Value, RowId>> entries) {
   }
   if (level.empty()) {
     root_ = new LeafNode();
+    leaf_count_ = 1;
     return;
   }
 

@@ -16,7 +16,10 @@
 //  * Erase removes a single RowId from a posting and drops the key when the
 //    posting empties. The B+-tree does not rebalance on erase: the only
 //    caller is Table::Vacuum, whose deletions are rare and monotone, and an
-//    underfull leaf is still correct — merely less packed.
+//    underfull leaf is still correct — merely less packed. When vacuum on a
+//    delete-heavy table leaves the leaf level below a configurable live/
+//    capacity threshold, Erase triggers a LoadSorted rebuild that repacks
+//    the tree (rebuild-on-threshold compaction).
 //
 // Thread-safety: none. Every index lives behind its owning Table's mutex.
 #ifndef BRDB_STORAGE_BTREE_H_
@@ -119,6 +122,31 @@ class BTreeRowIndex final : public OrderedRowIndex {
   /// Replace the contents from a (key, id)-sorted run (bulk load).
   void LoadSorted(std::vector<std::pair<Value, RowId>> entries);
 
+  // ---- compaction (rebuild-on-threshold) ----
+  //
+  // Erase never merges leaves, so a delete-heavy table (vacuum after mass
+  // DELETEs) decays into a long chain of near-empty leaves: scans touch
+  // one cache line per few live keys and the dead key/posting slots hold
+  // memory. When the live/capacity ratio of the leaf level drops below
+  // the threshold after an erase, the tree rebuilds itself with
+  // LoadSorted — one O(n) pass that repacks leaves full.
+
+  /// Live-keys / leaf-capacity ratio below which Erase triggers a rebuild.
+  /// <= 0 disables compaction. Trees of fewer than kMinCompactionLeaves
+  /// leaves never rebuild (nothing to win).
+  void SetCompactionThreshold(double threshold) {
+    compaction_threshold_ = threshold;
+  }
+  double compaction_threshold() const { return compaction_threshold_; }
+
+  /// Rebuilds performed so far (observability / tests).
+  size_t CompactionCount() const { return compaction_count_; }
+  /// Current number of leaf nodes (live capacity = leaves * kLeafFanout).
+  size_t LeafCount() const { return leaf_count_; }
+
+  static constexpr double kDefaultCompactionThreshold = 0.25;
+  static constexpr size_t kMinCompactionLeaves = 4;
+
  private:
   struct Node;
   struct LeafNode;
@@ -130,9 +158,18 @@ class BTreeRowIndex final : public OrderedRowIndex {
 
   void DestroySubtree(Node* node);
 
+  /// True when the leaf level is sparse enough to be worth repacking.
+  bool NeedsCompaction() const;
+  /// Collect every (key, id) in order and LoadSorted them back — repacks
+  /// leaves full and rebuilds the inner levels.
+  void Compact();
+
   Node* root_ = nullptr;
   size_t key_count_ = 0;
+  size_t leaf_count_ = 1;
   int height_ = 1;
+  double compaction_threshold_ = kDefaultCompactionThreshold;
+  size_t compaction_count_ = 0;
 };
 
 /// The historical backend: std::map<Value, PostingList>. Kept verbatim so

@@ -83,6 +83,16 @@ bool Table::HasIndexOn(int column) const {
          indexes_[column] != nullptr;
 }
 
+void Table::WithIndexOn(
+    int column, const std::function<void(const OrderedRowIndex*)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const OrderedRowIndex* index =
+      column >= 0 && static_cast<size_t>(column) < indexes_.size()
+          ? indexes_[column].get()
+          : nullptr;
+  fn(index);
+}
+
 RowId Table::AppendVersion(TxnId xmin, Row values, RowId prev_version) {
   std::lock_guard<std::mutex> lock(mu_);
   RowId id = num_versions_.load(std::memory_order_relaxed);

@@ -91,6 +91,12 @@ class Table {
   Status CreateIndex(const std::string& column);
   bool HasIndexOn(int column) const;
 
+  /// Run `fn` with the index on `column` under the table lock (nullptr when
+  /// absent). Observability only — compaction stats, leaf counts; must not
+  /// mutate or retain the pointer.
+  void WithIndexOn(int column,
+                   const std::function<void(const OrderedRowIndex*)>& fn) const;
+
   /// Append a new version created by `xmin`; registers it in every index
   /// immediately (so concurrent scans can detect invisible-but-matching
   /// versions for SSI phantom tracking). Returns its RowId.

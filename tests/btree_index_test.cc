@@ -112,6 +112,129 @@ TEST(BTreeRowIndexTest, EraseRemovesIdsThenDropsEmptyKeys) {
   EXPECT_EQ(index.KeyCount(), 1u);
 }
 
+TEST(BTreeRowIndexTest, RebuildOnThresholdCompactsDeleteHeavyTree) {
+  // Vacuum-style erase never merges leaves; once the leaf level decays
+  // below the threshold the tree must rebuild itself via LoadSorted and
+  // repack, preserving contents and posting order exactly.
+  BTreeRowIndex index;
+  index.SetCompactionThreshold(0.25);
+  constexpr int kKeys = 64 * 40;  // ~40 full leaves
+  for (int i = 0; i < kKeys; ++i) {
+    index.Insert(Value::Int(i), static_cast<RowId>(i));
+    index.Insert(Value::Int(i), static_cast<RowId>(i) + 100000);  // posting
+  }
+  size_t leaves_before = index.LeafCount();
+  ASSERT_GE(leaves_before, 40u);
+  ASSERT_EQ(index.CompactionCount(), 0u);
+
+  // Delete-heavy vacuum: drop 9 of 10 keys (both posting entries).
+  for (int i = 0; i < kKeys; ++i) {
+    if (i % 10 == 0) continue;
+    index.Erase(Value::Int(i), static_cast<RowId>(i));
+    index.Erase(Value::Int(i), static_cast<RowId>(i) + 100000);
+  }
+  EXPECT_GE(index.CompactionCount(), 1u);
+  EXPECT_LT(index.LeafCount(), leaves_before / 4);
+  EXPECT_EQ(index.KeyCount(), static_cast<size_t>(kKeys / 10));
+
+  // Contents and posting order survive the rebuild.
+  auto all = Collect(index, nullptr, true, nullptr, true);
+  ASSERT_EQ(all.size(), static_cast<size_t>(kKeys / 10) * 2);
+  for (int i = 0; i < kKeys / 10; ++i) {
+    EXPECT_EQ(all[2 * i].first, i * 10);
+    EXPECT_EQ(all[2 * i].second, static_cast<RowId>(i * 10));
+    EXPECT_EQ(all[2 * i + 1].second, static_cast<RowId>(i * 10) + 100000);
+  }
+  // The repacked tree keeps absorbing erases (and can compact again).
+  index.Erase(Value::Int(0), 0);
+  EXPECT_EQ(index.KeyCount(), static_cast<size_t>(kKeys / 10));
+  index.Erase(Value::Int(0), 100000);
+  EXPECT_EQ(index.KeyCount(), static_cast<size_t>(kKeys / 10) - 1);
+}
+
+TEST(BTreeRowIndexTest, CompactionDisabledAndSmallTreesNeverRebuild) {
+  BTreeRowIndex off;
+  off.SetCompactionThreshold(0);  // disabled
+  for (int i = 0; i < 64 * 8; ++i) {
+    off.Insert(Value::Int(i), static_cast<RowId>(i));
+  }
+  for (int i = 0; i < 64 * 8; ++i) off.Erase(Value::Int(i), i);
+  EXPECT_EQ(off.CompactionCount(), 0u);
+
+  // A tree smaller than kMinCompactionLeaves leaves is never worth a
+  // rebuild, no matter how empty erases leave it.
+  BTreeRowIndex tiny;
+  for (int i = 0; i < 100; ++i) {
+    tiny.Insert(Value::Int(i), static_cast<RowId>(i));
+  }
+  for (int i = 0; i < 100; ++i) tiny.Erase(Value::Int(i), i);
+  EXPECT_LT(tiny.LeafCount(), BTreeRowIndex::kMinCompactionLeaves);
+  EXPECT_EQ(tiny.CompactionCount(), 0u);
+  EXPECT_EQ(tiny.KeyCount(), 0u);
+}
+
+TEST(TableBTreeIndexTest, VacuumDrivenErasesTriggerIndexCompaction) {
+  // End-to-end: mass DELETE + Vacuum on a B-tree-indexed table must shrink
+  // the primary-key index through the rebuild-on-threshold pass while the
+  // surviving rows stay scannable.
+  Database db;
+  TableSchema schema("wide",
+                     {{"id", ValueType::kInt, true, true, false, false},
+                      {"v", ValueType::kInt, false, false, false, false}});
+  Table* table = db.CreateTable(std::move(schema)).value();
+  constexpr int kRows = 64 * 32;
+  {
+    TxnContext seed(&db, db.txn_manager()->BeginAtCurrentCsn(),
+                    TxnMode::kInternal);
+    for (int i = 0; i < kRows; ++i) {
+      ASSERT_TRUE(
+          seed.Insert(table, {Value::Int(i), Value::Int(i)}).ok());
+    }
+    ASSERT_TRUE(seed.CommitInternal(1).ok());
+  }
+  // Delete 15 of 16 rows, then vacuum past the deleting block.
+  {
+    TxnContext del(&db, db.txn_manager()->BeginAtCurrentCsn(),
+                   TxnMode::kInternal);
+    std::vector<RowId> victims;
+    ASSERT_TRUE(del.ScanAll(table, [&](RowId id, const Row& values) {
+                     if (values[0].AsInt() % 16 != 0) victims.push_back(id);
+                     return true;
+                   }).ok());
+    for (RowId id : victims) ASSERT_TRUE(del.Delete(table, id).ok());
+    ASSERT_TRUE(del.CommitInternal(2).ok());
+  }
+  TxnManager* mgr = db.txn_manager();
+  size_t removed =
+      table->Vacuum(3, [mgr](TxnId id) { return mgr->IsAborted(id); });
+  EXPECT_GE(removed, static_cast<size_t>(kRows / 16 * 15));
+
+  // The PK index rebuilt itself: fewer leaves than a never-compacted tree
+  // and at least one compaction pass recorded.
+  table->WithIndexOn(0, [&](const OrderedRowIndex* index) {
+    ASSERT_NE(index, nullptr);
+    ASSERT_EQ(index->backend(), IndexBackend::kBTree);
+    const auto* btree = static_cast<const BTreeRowIndex*>(index);
+    EXPECT_GE(btree->CompactionCount(), 1u);
+    EXPECT_LE(btree->LeafCount(),
+              static_cast<size_t>(kRows / 16) / BTreeRowIndex::kLeafFanout +
+                  2);
+  });
+
+  // Survivors intact and in order.
+  TxnContext reader(&db, db.txn_manager()->BeginAtCurrentCsn(),
+                    TxnMode::kInternal);
+  std::vector<int64_t> keys;
+  ASSERT_TRUE(reader.ScanAll(table, [&](RowId, const Row& values) {
+                   keys.push_back(values[0].AsInt());
+                   return true;
+                 }).ok());
+  ASSERT_EQ(keys.size(), static_cast<size_t>(kRows / 16));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], static_cast<int64_t>(i) * 16);
+  }
+}
+
 TEST(BTreeRowIndexTest, RandomizedParityWithStdMapBackend) {
   // The backends must agree byte-for-byte on every scan — this is what the
   // cross-node determinism contract rests on.
