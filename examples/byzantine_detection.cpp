@@ -81,10 +81,12 @@ int main() {
 
   // Part 2: tampering with a persisted block store is detected on load
   // (§3.5(6) — forging the chain requires the orderer and client keys).
-  auto path = std::filesystem::temp_directory_path() / "byz_demo.blocks";
-  std::filesystem::remove(path);
+  // The store is a directory of CRC-framed segments; flip one bit inside an
+  // interior record and the reload refuses the whole log.
+  auto dir = std::filesystem::temp_directory_path() / "byz_demo.blocks";
+  std::filesystem::remove_all(dir);
   {
-    auto store = BlockStore::Open(path.string());
+    auto store = BlockStore::Open(dir.string());
     Must(store.status(), "open store");
     Identity orderer =
         Identity::Create("org1", "orderer1", PrincipalRole::kOrderer);
@@ -93,21 +95,25 @@ int main() {
     std::vector<Transaction> txns;
     txns.push_back(Transaction::MakeOrderThenExecute(
         client, "tx-1", "put", {Value::Int(1), Value::Int(100)}));
-    Block b(1, "", std::move(txns), "demo", {});
-    b.AddOrdererSignature(orderer);
-    Must(store.value()->Append(b), "append");
+    Block b1(1, "", std::move(txns), "demo", {});
+    b1.AddOrdererSignature(orderer);
+    Must(store.value()->Append(b1), "append");
+    Block b2(2, b1.hash(), {}, "demo", {});
+    b2.AddOrdererSignature(orderer);
+    Must(store.value()->Append(b2), "append");
   }
   {
-    std::FILE* f = std::fopen(path.string().c_str(), "r+b");
+    auto segment = dir / "0000000001.seg";
+    std::FILE* f = std::fopen(segment.string().c_str(), "r+b");
     std::fseek(f, 80, SEEK_SET);
     int c = std::fgetc(f);
     std::fseek(f, 80, SEEK_SET);
-    std::fputc(c ^ 0x1, f);  // flip one bit in the stored block
+    std::fputc(c ^ 0x1, f);  // flip one bit in the first stored block
     std::fclose(f);
   }
-  auto tampered = BlockStore::Open(path.string());
+  auto tampered = BlockStore::Open(dir.string());
   std::printf("\nreloading a tampered block store: %s\n",
               tampered.status().ToString().c_str());
-  std::filesystem::remove(path);
+  std::filesystem::remove_all(dir);
   return 0;
 }

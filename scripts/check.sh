@@ -3,14 +3,22 @@
 #   1. tier-1: configure + build + full ctest suite (ROADMAP.md contract),
 #      run TWICE: once at the default block-pipeline depth and once at
 #      BRDB_PIPELINE_DEPTH=1 (the legacy serial baseline) — the pipeline
-#      must never change what a test observes, only when work overlaps;
+#      must never change what a test observes, only when work overlaps.
+#      The suite includes the crash-recovery tests: the segmented-log
+#      torn-write matrix (ledger_test), checkpoint round-trip/atomicity
+#      (checkpoint_writer_test), the fork + SIGKILL restart harness at
+#      pipeline depths 1 and 4 (recovery_test), and byzantine checkpoint
+#      divergence detection (byzantine_detection_test);
 #   2. fig8b determinism gate: the commit/abort counts of the fig8b
 #      workload must be byte-identical across pipeline depths {1, 2, 4};
 #   3. TSAN: a ThreadSanitizer build tree running the `tsan`-labelled
 #      concurrency tests (the striped-commit stress test, the session
 #      pipelining tests, the B+-tree CREATE INDEX bulk-load under
-#      concurrent readers, and the pipelined-node determinism test — the
-#      places where a data race would hide).
+#      concurrent readers, the pipelined-node determinism test, and the
+#      byzantine checkpoint-vote test — the places where a data race
+#      would hide). The fork-based recovery harness stays out of the
+#      tsan label: multi-threaded children of a forked gtest process are
+#      unsupported under ThreadSanitizer.
 #
 # Usage: scripts/check.sh [--tier1-only | --tsan-only]
 set -euo pipefail
@@ -52,7 +60,7 @@ run_tsan() {
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j "${JOBS}" \
     --target txn_stripe_stress_test session_test btree_index_test \
-             pipeline_test
+             pipeline_test byzantine_detection_test
   ctest --test-dir build-tsan -L tsan --output-on-failure -j 1
 }
 

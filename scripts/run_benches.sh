@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Build Release and run the paper-figure benchmarks, emitting the committed
-# perf trajectory artifact BENCH_fig8b.json (execute-order-in-parallel
+# perf trajectory artifacts BENCH_fig8b.json (execute-order-in-parallel
 # throughput per executor-thread count, striped vs single-mutex, plus the
-# pre-change seed baseline).
+# pre-change seed baseline) and BENCH_recovery.json (checkpointed restart
+# vs genesis replay across suffix lengths).
 #
 # Usage:
 #   scripts/run_benches.sh            # everything (several minutes)
-#   QUICK=1 scripts/run_benches.sh    # fig8b + its seed baseline only
+#   QUICK=1 scripts/run_benches.sh    # fig8b + recovery + seed baseline only
 #   SKIP_SEED_BASELINE=1 ...          # skip the pre-change worktree build
 #
 # The seed baseline compiles the SAME fig8b bench against the repository's
@@ -91,6 +92,15 @@ else
   "./$BUILD/bench_fig8b_ordering_scalability" BENCH_fig8b.json
 fi
 
+# Crash-recovery trajectory: restart wall time and replayed-blocks/sec from
+# the newest checkpoint down to genesis replay. The binary exits non-zero if
+# a checkpointed restart is not strictly faster than genesis replay for
+# suffixes <= 25% of the chain, so the durability win is asserted, not just
+# recorded.
+echo "== recovery: checkpointed restart vs genesis replay" \
+     "(writes BENCH_recovery.json)"
+"./$BUILD/bench_recovery_restart" BENCH_recovery.json
+
 if [ -x "$BUILD/micro_index" ]; then
   echo "== micro_index: map vs B+-tree point/range/maintenance"
   "./$BUILD/micro_index" \
@@ -111,4 +121,5 @@ if [ "${QUICK:-0}" != "1" ]; then
   done
 fi
 
-echo "done. artifacts: BENCH_fig8b.json BENCH_micro_index.json"
+echo "done. artifacts: BENCH_fig8b.json BENCH_recovery.json" \
+     "BENCH_micro_index.json"

@@ -67,6 +67,13 @@ class OrderingService {
   /// Retransmission path for recovering peers (§3.6).
   virtual Result<Block> GetBlock(BlockNum number) const = 0;
 
+  /// Adopt an existing chain before Start() (whole-network restart over
+  /// durable peer ledgers): without this, a fresh orderer would number its
+  /// first block 1 and every peer would drop it as a duplicate. Copies the
+  /// missing suffix of `source` into the orderer's own store so assembly
+  /// and §3.6 retransmission continue the chain.
+  virtual Status SeedChain(const BlockStore& source) = 0;
+
   /// Identities of the orderer nodes (for registry bootstrap).
   virtual std::vector<Identity> OrdererIdentities() const = 0;
 };
@@ -150,6 +157,15 @@ class OrderingCore : public OrderingService {
 
   Result<Block> GetBlock(BlockNum number) const override {
     return store_.Get(number);
+  }
+
+  Status SeedChain(const BlockStore& source) override {
+    for (BlockNum n = store_.Height() + 1; n <= source.Height(); ++n) {
+      auto block = source.Get(n);
+      if (!block.ok()) return block.status();
+      BRDB_RETURN_NOT_OK(store_.Append(block.value()));
+    }
+    return Status::OK();
   }
 
  protected:

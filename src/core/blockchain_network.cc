@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace brdb {
 
 std::unique_ptr<BlockchainNetwork> BlockchainNetwork::Create(
@@ -72,6 +74,14 @@ std::unique_ptr<BlockchainNetwork> BlockchainNetwork::Create(
       cfg.block_store_path =
           options.block_store_dir + "/" + cfg.name + ".blocks";
     }
+    cfg.fsync_policy = options.fsync_policy;
+    cfg.block_store_segment_bytes = options.block_store_segment_bytes;
+    cfg.fsync_batch_blocks = options.fsync_batch_blocks;
+    cfg.state_checkpoint_interval = options.state_checkpoint_interval;
+    if (options.fault_injector != nullptr &&
+        options.fault_injector_node == cfg.name) {
+      cfg.fault_injector = options.fault_injector;
+    }
     cfg.byzantine_skip_commit =
         std::find(options.byzantine_nodes.begin(),
                   options.byzantine_nodes.end(),
@@ -122,6 +132,25 @@ BlockchainNetwork::~BlockchainNetwork() { Stop(); }
 Status BlockchainNetwork::Start() {
   if (started_) return Status::OK();
   started_ = true;
+  // Whole-network restart over durable ledgers: the orderer's in-memory
+  // chain is empty, so adopt the longest peer chain before it assembles
+  // anything — otherwise its "block 1" would be dropped as a duplicate by
+  // every peer that already holds one.
+  DatabaseNode* longest = nullptr;
+  for (auto& node : nodes_) {
+    if (node->block_store()->Height() == 0) continue;
+    if (longest == nullptr ||
+        node->block_store()->Height() > longest->block_store()->Height()) {
+      longest = node.get();
+    }
+  }
+  if (longest != nullptr) {
+    Status seeded = ordering_->SeedChain(*longest->block_store());
+    if (!seeded.ok()) {
+      BRDB_LOG(kError, "network")
+          << "orderer chain seeding failed: " << seeded.ToString();
+    }
+  }
   ordering_->Start();
   for (auto& node : nodes_) BRDB_RETURN_NOT_OK(node->Start());
   return Status::OK();

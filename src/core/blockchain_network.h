@@ -50,6 +50,21 @@ struct NetworkOptions {
   std::string block_store_dir;  ///< "" = in-memory block stores
   bool serial_execution = false;
 
+  /// Durability knobs for every node's block log (see NodeConfig).
+  FsyncPolicy fsync_policy = FsyncPolicy::kAlways;
+  size_t block_store_segment_bytes = 0;  ///< 0 = BlockStore default
+  size_t fsync_batch_blocks = 0;         ///< 0 = BlockStore default
+
+  /// Durable state checkpoint every N committed blocks per node
+  /// (0 = disabled); restart restores the newest valid checkpoint and
+  /// replays only the block suffix.
+  size_t state_checkpoint_interval = 0;
+
+  /// Test hook: block-store crash injection for the node with this name
+  /// ("peer-<org>"); the injector must outlive the network.
+  FaultInjector* fault_injector = nullptr;
+  std::string fault_injector_node;
+
   /// Node indexes configured to misbehave (skip commits, §3.5(3)).
   std::vector<size_t> byzantine_nodes;
 };

@@ -54,6 +54,17 @@ struct MetricsSnapshot {
   // Failed durable-store appends (each is retried on the next enqueue or
   // fetch poll; see DatabaseNode::DrainPendingLocked).
   uint64_t block_append_failures = 0;
+
+  // Gauge: the retry delay (ms) chosen by the append backoff after the
+  // most recent failure; 0 once an append succeeds again.
+  uint64_t block_append_retry_backoff_ms = 0;
+
+  // Durable state checkpoints written by this node (crash recovery).
+  uint64_t state_checkpoints_written = 0;
+
+  // Height of the checkpoint this node restored from at startup (0 = cold
+  // start / genesis replay).
+  uint64_t restored_checkpoint_height = 0;
 };
 
 class NodeMetrics {
@@ -79,6 +90,9 @@ class NodeMetrics {
     occupancy_sum_ = 0;
     occupancy_max_ = 0;
     block_append_failures_ = 0;
+    block_append_retry_backoff_ms_ = 0;
+    state_checkpoints_written_ = 0;
+    restored_checkpoint_height_ = 0;
   }
 
   void OnBlockReceived() { blocks_received_.fetch_add(1); }
@@ -97,6 +111,13 @@ class NodeMetrics {
   void OnTxnAborted() { txns_aborted_.fetch_add(1); }
   void OnMissingTxn() { missing_txns_.fetch_add(1); }
   void OnBlockAppendFailure() { block_append_failures_.fetch_add(1); }
+  void SetBlockAppendRetryBackoffMs(uint64_t ms) {
+    block_append_retry_backoff_ms_.store(ms);
+  }
+  void OnStateCheckpointWritten() { state_checkpoints_written_.fetch_add(1); }
+  void OnCheckpointRestore(uint64_t height) {
+    restored_checkpoint_height_.store(height);
+  }
   void OnPipelineBlock(Micros verify_us, Micros prepare_us, Micros commit_us,
                        uint64_t occupancy) {
     pipeline_blocks_.fetch_add(1);
@@ -153,6 +174,9 @@ class NodeMetrics {
     }
     s.pipeline_occupancy_max = occupancy_max_.load();
     s.block_append_failures = block_append_failures_.load();
+    s.block_append_retry_backoff_ms = block_append_retry_backoff_ms_.load();
+    s.state_checkpoints_written = state_checkpoints_written_.load();
+    s.restored_checkpoint_height = restored_checkpoint_height_.load();
     s.mt = static_cast<double>(s.missing_txns) / s.elapsed_s;
     s.su = 100.0 * static_cast<double>(processing_us_.load()) /
            (s.elapsed_s * 1e6);
@@ -180,6 +204,9 @@ class NodeMetrics {
   std::atomic<uint64_t> occupancy_sum_{0};
   std::atomic<uint64_t> occupancy_max_{0};
   std::atomic<uint64_t> block_append_failures_{0};
+  std::atomic<uint64_t> block_append_retry_backoff_ms_{0};
+  std::atomic<uint64_t> state_checkpoints_written_{0};
+  std::atomic<uint64_t> restored_checkpoint_height_{0};
 };
 
 }  // namespace brdb

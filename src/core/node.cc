@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <functional>
 #include <set>
 
 #include "common/logging.h"
@@ -41,15 +42,35 @@ DatabaseNode::DatabaseNode(NodeConfig config, Identity identity,
   if (config_.block_store_path.empty()) {
     block_store_ = std::make_unique<BlockStore>();
   } else {
-    auto opened = BlockStore::Open(config_.block_store_path);
+    BlockStoreOptions store_options;
+    store_options.fsync_policy = config_.fsync_policy;
+    if (config_.block_store_segment_bytes > 0) {
+      store_options.segment_bytes = config_.block_store_segment_bytes;
+    }
+    if (config_.fsync_batch_blocks > 0) {
+      store_options.fsync_batch_blocks = config_.fsync_batch_blocks;
+    }
+    store_options.fault_injector = config_.fault_injector;
+    auto opened = BlockStore::Open(config_.block_store_path, store_options);
     if (opened.ok()) {
       block_store_ = std::move(opened).value();
+      if (block_store_->torn_tail_truncations() > 0) {
+        BRDB_LOG(kWarn, config_.name)
+            << "block store recovered from a torn tail write; height "
+            << block_store_->Height();
+      }
     } else {
       BRDB_LOG(kError, config_.name)
           << "block store corrupt: " << opened.status().ToString();
       block_store_ = std::make_unique<BlockStore>();
     }
+    if (config_.state_checkpoint_interval > 0) {
+      checkpoint_writer_ = std::make_unique<CheckpointWriter>(
+          config_.block_store_path + "/checkpoints");
+    }
   }
+  backoff_rng_.seed(static_cast<unsigned>(
+      std::hash<std::string>{}(config_.name) | 1u));
   pipeline_depth_ = ResolvePipelineDepth(config_.pipeline_depth);
   executors_ = std::make_unique<ThreadPool>(config_.executor_threads);
   verifier_ = std::make_unique<SignatureVerifier>(
@@ -87,11 +108,120 @@ Status DatabaseNode::Start() {
   {
     std::lock_guard<std::mutex> lock(blocks_mu_);
     committed = committed_height_;
+  }
+  if (committed == 0 && checkpoint_writer_ != nullptr) {
+    committed = TryRestoreFromCheckpoint();
+  }
+  {
+    std::lock_guard<std::mutex> lock(blocks_mu_);
+    committed_height_ = committed;
     executed_height_ = committed;
     idle_polls_ = 0;
   }
+  // Seeding the pipeline at `committed` makes recovery replay just the
+  // normal pipeline path: FetchBlock serves committed+1..tip from the
+  // durable store and then falls through to §3.6 catch-up from ordering.
   pipeline_->Start(committed);
   return Status::OK();
+}
+
+BlockNum DatabaseNode::TryRestoreFromCheckpoint() {
+  std::vector<BlockNum> heights = checkpoint_writer_->List();
+  for (auto it = heights.rbegin(); it != heights.rend(); ++it) {
+    const BlockNum h = *it;
+    auto header = checkpoint_writer_->ReadHeader(h);
+    if (!header.ok()) {
+      BRDB_LOG(kWarn, config_.name)
+          << "skipping checkpoint " << h << ": " << header.status().ToString();
+      continue;
+    }
+    if (block_store_->Height() < h) {
+      // The checkpoint outran the durable log (fsync off / torn tail):
+      // state without its blocks is unverifiable, prefer an older one.
+      BRDB_LOG(kWarn, config_.name)
+          << "skipping checkpoint " << h << ": block log ends at "
+          << block_store_->Height();
+      continue;
+    }
+    auto block = block_store_->Get(h);
+    if (!block.ok() || block.value().hash() != header.value().block_hash) {
+      BRDB_LOG(kWarn, config_.name)
+          << "skipping checkpoint " << h
+          << ": block hash does not match the local chain";
+      continue;
+    }
+    auto restored = checkpoint_writer_->Restore(h, &db_);
+    if (!restored.ok()) {
+      BRDB_LOG(kError, config_.name)
+          << "checkpoint " << h
+          << " failed to restore: " << restored.status().ToString();
+      // The partial restore wiped the catalog; rebuild the pristine
+      // bootstrap state before trying an older checkpoint (or genesis).
+      db_.ResetToPristine();
+      for (const Identity& id : seeded_identities_) {
+        (void)SeedCertificateRow(id);
+      }
+      continue;
+    }
+    RebuildContractsFromDeployments();
+    // Re-seed the §3.3.4 vote bookkeeping so peer votes for block h that
+    // ride in post-restart blocks still compare against our root.
+    checkpoints_.RecordLocal(h, restored.value().write_set_root);
+    metrics_.OnCheckpointRestore(h);
+    BRDB_LOG(kInfo, config_.name)
+        << "restored state checkpoint at block " << h << "; replaying "
+        << (block_store_->Height() - h) << " of " << block_store_->Height()
+        << " blocks";
+    return h;
+  }
+  return 0;
+}
+
+void DatabaseNode::RebuildContractsFromDeployments() {
+  auto table = db_.GetTable(kDeployTable);
+  if (!table.ok()) return;
+  // Live 'deployed' rows, in deploy_id order (ids are assigned in commit
+  // order, so replaying in id order reproduces the registry evolution —
+  // later re-deployments of a name win, drops land after their creates).
+  struct Deployed {
+    int64_t id;
+    std::string sql_text;
+  };
+  std::vector<Deployed> rows;
+  for (RowId id : table.value()->ScanAllRowIds()) {
+    VersionMeta meta = table.value()->MetaOf(id);
+    if (meta.creator_aborted || meta.xmax != 0) continue;
+    const Row& row = table.value()->ValuesOf(id);
+    if (row.size() < 4 || row[3].AsText() != "deployed") continue;
+    rows.push_back({row[0].AsInt(), row[1].AsText()});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Deployed& a, const Deployed& b) { return a.id < b.id; });
+  for (const Deployed& dep : rows) {
+    auto parsed = ParseDeploymentSql(dep.sql_text);
+    if (!parsed.ok()) continue;
+    RegistryOp op;
+    switch (parsed.value().kind) {
+      case DeploymentSql::Kind::kCreateProcedure:
+        op.kind = RegistryOp::Kind::kRegisterProcedure;
+        op.name = parsed.value().name;
+        op.body = parsed.value().body;
+        op.num_params = parsed.value().num_params;
+        break;
+      case DeploymentSql::Kind::kDropProcedure:
+        op.kind = RegistryOp::Kind::kDropProcedure;
+        op.name = parsed.value().name;
+        break;
+      case DeploymentSql::Kind::kDdl:
+        continue;  // tables came back with the checkpoint itself
+    }
+    Status applied = contracts_.Apply(op);
+    if (!applied.ok()) {
+      BRDB_LOG(kWarn, config_.name)
+          << "restoring deployment " << dep.id
+          << " failed: " << applied.ToString();
+    }
+  }
 }
 
 void DatabaseNode::Stop() {
@@ -119,6 +249,13 @@ void DatabaseNode::SetPeerEndpoints(std::vector<std::string> endpoints) {
 }
 
 Status DatabaseNode::SeedCertificate(const Identity& id) {
+  // Remember the identity: if a later checkpoint restore is abandoned
+  // mid-way, the pristine rebuild must replay these bootstrap rows.
+  seeded_identities_.push_back(id);
+  return SeedCertificateRow(id);
+}
+
+Status DatabaseNode::SeedCertificateRow(const Identity& id) {
   TxnContext ctx(&db_,
                  db_.txn_manager()->BeginAtCurrentCsn(),
                  TxnMode::kInternal);
@@ -288,19 +425,41 @@ void DatabaseNode::EnqueueBlock(Block block) {
 void DatabaseNode::DrainPendingLocked() {
   // Move any in-sequence prefix into the durable store. A failed append
   // (I/O error on a file-backed store) keeps the block in pending_blocks_
-  // so the next enqueue or fetch poll retries it — the seed dropped the
-  // block on the floor with only a log line.
+  // so the next enqueue or fetch poll retries it — but on a bounded
+  // exponential backoff: every enqueue and every ~2ms fetch poll lands
+  // here, and hammering a sick disk at poll rate helps nobody.
+  if (append_fail_streak_ > 0 &&
+      std::chrono::steady_clock::now() < next_append_retry_) {
+    return;
+  }
   for (auto it = pending_blocks_.begin();
        it != pending_blocks_.end() &&
        it->first == block_store_->Height() + 1;) {
     Status append = block_store_->Append(it->second);
     if (!append.ok()) {
       metrics_.OnBlockAppendFailure();
+      ++append_fail_streak_;
+      // 2ms doubling per consecutive failure, capped at 500ms, scaled by
+      // a uniform [0.75, 1.25) jitter so a fleet of peers retrying a
+      // shared sick volume doesn't thunder in lockstep.
+      uint64_t shift = std::min<uint64_t>(append_fail_streak_ - 1, 8);
+      double base_ms = std::min(500.0, 2.0 * static_cast<double>(1ULL << shift));
+      double unit = static_cast<double>(backoff_rng_() - backoff_rng_.min()) /
+                    static_cast<double>(backoff_rng_.max() - backoff_rng_.min());
+      auto delay_ms =
+          std::max<uint64_t>(1, static_cast<uint64_t>(base_ms * (0.75 + 0.5 * unit)));
+      next_append_retry_ = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(delay_ms);
+      metrics_.SetBlockAppendRetryBackoffMs(delay_ms);
       BRDB_LOG(kError, config_.name)
           << "block " << it->first
-          << " append failed (kept pending, will retry): "
-          << append.ToString();
+          << " append failed (kept pending, retry in " << delay_ms
+          << " ms): " << append.ToString();
       break;
+    }
+    if (append_fail_streak_ > 0) {
+      append_fail_streak_ = 0;
+      metrics_.SetBlockAppendRetryBackoffMs(0);
     }
     it = pending_blocks_.erase(it);
   }
@@ -829,6 +988,11 @@ void DatabaseNode::CommitBlock(BlockWork* work) {
                            commit_us_total, occupancy);
   db_.txn_manager()->GarbageCollect();
 
+  // Durable state checkpoint (crash recovery): pin the catalog here on the
+  // commit thread — no later block can be committing concurrently — and
+  // serialize + write on the executor pool.
+  MaybeWriteStateCheckpoint(block, ws_hash);
+
   // Publish the committed height *before* notifying: a client reacting to
   // its commit must never submit against the pre-block snapshot height.
   {
@@ -840,6 +1004,39 @@ void DatabaseNode::CommitBlock(BlockWork* work) {
   for (const TxnNotification& n : decided) {
     Notify(n.txid, n.status, n.block);
   }
+}
+
+void DatabaseNode::MaybeWriteStateCheckpoint(const Block& block,
+                                             const std::string& ws_hash) {
+  if (checkpoint_writer_ == nullptr ||
+      block.number() % config_.state_checkpoint_interval != 0) {
+    return;
+  }
+  if (capture_inflight_.exchange(true)) {
+    // A previous capture is still serializing; skip this interval rather
+    // than queue up unbounded captures — the next one covers this state.
+    BRDB_LOG(kWarn, config_.name)
+        << "state checkpoint at block " << block.number()
+        << " skipped: previous capture still in flight";
+    return;
+  }
+  auto pinned = std::make_shared<CheckpointWriter::PinnedState>(
+      CheckpointWriter::Pin(&db_, block.number(), block.hash(), ws_hash));
+  executors_->Submit([this, pinned] {
+    // The checkpoint must never claim state the block log cannot back:
+    // force the log durable through the pinned height first (matters for
+    // kBatch/kOff policies; a no-op under kAlways).
+    Status st = block_store_->Sync();
+    if (st.ok()) st = checkpoint_writer_->Write(&db_, *pinned);
+    if (st.ok()) {
+      metrics_.OnStateCheckpointWritten();
+    } else {
+      BRDB_LOG(kError, config_.name)
+          << "state checkpoint at block " << pinned->height
+          << " failed: " << st.ToString();
+    }
+    capture_inflight_.store(false);
+  });
 }
 
 namespace {

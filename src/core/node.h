@@ -27,9 +27,11 @@
 #ifndef BRDB_CORE_NODE_H_
 #define BRDB_CORE_NODE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <memory>
+#include <random>
 #include <thread>
 
 #include "common/thread_pool.h"
@@ -41,6 +43,8 @@
 #include "crypto/sig_verifier.h"
 #include "ledger/block_store.h"
 #include "ledger/checkpoint.h"
+#include "ledger/checkpoint_writer.h"
+#include "ledger/fault_injector.h"
 #include "network/sim_network.h"
 #include "sql/executor.h"
 #include "storage/database.h"
@@ -80,6 +84,22 @@ struct NodeConfig {
   /// (0 = default). Tests shrink it to exercise eviction + replay.
   size_t sig_cache_capacity = 0;
   std::string block_store_path;  ///< "" = in-memory block store
+
+  /// Durability of the block log (ledger/block_store.h): fsync every
+  /// append (default), every fsync_batch_blocks appends, or never.
+  FsyncPolicy fsync_policy = FsyncPolicy::kAlways;
+  size_t block_store_segment_bytes = 0;  ///< 0 = BlockStore default
+  size_t fsync_batch_blocks = 0;         ///< 0 = BlockStore default
+
+  /// Write a durable state checkpoint every N committed blocks
+  /// (0 = disabled). Restart restores the newest valid checkpoint and
+  /// replays only the block suffix instead of the whole chain. Requires a
+  /// file-backed block store.
+  size_t state_checkpoint_interval = 0;
+
+  /// Block-store crash injection (tests only; must outlive the node).
+  FaultInjector* fault_injector = nullptr;
+
   size_t checkpoint_interval = 1;
   size_t min_orderer_signatures = 1;
   bool submit_checkpoints = true;
@@ -230,6 +250,27 @@ class DatabaseNode {
   void OnNetMessage(const NetMessage& m);
   void EnqueueBlock(Block block);
 
+  /// Startup recovery: restore the newest durable checkpoint whose block
+  /// hash matches the local block store. Returns the restored height (the
+  /// pipeline then replays only blocks height+1..tip) or 0 for a genesis
+  /// replay. On any failure the database is reset to pristine (system
+  /// tables + bootstrap certificates) and an older checkpoint is tried.
+  BlockNum TryRestoreFromCheckpoint();
+
+  /// Re-apply deployed smart contracts from the restored pgdeploy table
+  /// (in deploy_id order) — with a checkpoint restore the blocks that
+  /// carried the deployments are not replayed, so the in-memory registry
+  /// must be rebuilt from the table.
+  void RebuildContractsFromDeployments();
+
+  /// After block `number` commits: if it falls on the state-checkpoint
+  /// interval, pin the catalog on this (commit) thread and hand the heavy
+  /// serialization + atomic file write to the executor pool. At most one
+  /// capture runs at a time; an interval landing while one is in flight is
+  /// skipped (the next interval covers it).
+  void MaybeWriteStateCheckpoint(const Block& block,
+                                 const std::string& write_set_root);
+
   /// Move the in-sequence prefix of pending_blocks_ into the durable
   /// store. A failed append keeps the block pending (counted in metrics)
   /// and is retried on the next enqueue or fetch poll. Requires blocks_mu_.
@@ -269,6 +310,10 @@ class DatabaseNode {
                       bool skip_signature = false,
                       bool allow_pgcerts_fallback = true);
 
+  /// The pgcerts insert behind SeedCertificate (also used to re-seed a
+  /// pristine database after an abandoned checkpoint restore).
+  Status SeedCertificateRow(const Identity& identity);
+
   /// True if this txid is already recorded in pgledger or executing.
   bool IsDuplicate(const std::string& txid);
 
@@ -307,6 +352,11 @@ class DatabaseNode {
   sql::SqlEngine engine_;
   ContractRegistry contracts_;
   std::unique_ptr<BlockStore> block_store_;
+  std::unique_ptr<CheckpointWriter> checkpoint_writer_;  // null = disabled
+  std::atomic<bool> capture_inflight_{false};
+  /// Identities seeded before Start (SeedCertificate); replayed into a
+  /// pristine database when a checkpoint restore has to be abandoned.
+  std::vector<Identity> seeded_identities_;
   CheckpointManager checkpoints_;
   NodeMetrics metrics_;
   std::unique_ptr<ThreadPool> executors_;
@@ -324,6 +374,11 @@ class DatabaseNode {
   std::condition_variable height_cv_;
   uint64_t idle_polls_ = 0;  ///< prepare-thread only (catch-up cadence)
   uint64_t fetch_fail_streak_ = 0;  ///< prepare-thread only (log rate cap)
+
+  // Append-retry backoff (DrainPendingLocked; guarded by blocks_mu_).
+  uint64_t append_fail_streak_ = 0;
+  std::chrono::steady_clock::time_point next_append_retry_{};
+  std::minstd_rand backoff_rng_;  ///< jitter; seeded from the node name
 
   // Active executions by global txid.
   std::mutex exec_mu_;

@@ -1,66 +1,281 @@
 #include "ledger/block_store.h"
 
-#include <cstdio>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <memory>
+
+#include "common/logging.h"
+#include "wire/codec.h"
+#include "wire/crc32.h"
 
 namespace brdb {
 
-Result<std::unique_ptr<BlockStore>> BlockStore::Open(const std::string& path) {
+namespace {
+
+constexpr char kSegmentMagic[8] = {'B', 'R', 'D', 'B', 'S', 'E', 'G', '1'};
+constexpr size_t kSegmentHeaderBytes = 16;  // magic + u64 first_block
+constexpr size_t kRecordPrefixBytes = 8;    // u32 len + u32 crc
+// A length prefix beyond this is garbage (a torn prefix or corruption),
+// not a real block; refuse to allocate it.
+constexpr uint32_t kMaxRecordBytes = 256 * 1024 * 1024;
+
+std::string SegmentName(BlockNum first_block) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%010llu.seg",
+                static_cast<unsigned long long>(first_block));
+  return buf;
+}
+
+std::string FrameRecord(const std::string& payload) {
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  enc.PutU32(Crc32(payload));
+  enc.PutBytesRaw(payload);
+  return enc.Take();
+}
+
+}  // namespace
+
+BlockStore::~BlockStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ != nullptr) {
+    std::fflush(active_);
+    if (options_.fsync_policy != FsyncPolicy::kOff) {
+      ::fsync(fileno(active_));
+    }
+    std::fclose(active_);
+    active_ = nullptr;
+  }
+}
+
+Result<std::unique_ptr<BlockStore>> BlockStore::Open(
+    const std::string& dir, const BlockStoreOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::exists(dir, ec) && !fs::is_directory(dir, ec)) {
+    return Status::InvalidArgument(
+        "block store path " + dir +
+        " is not a directory (the store is a segmented log)");
+  }
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Unavailable("cannot create block store directory " + dir +
+                               ": " + ec.message());
+  }
   auto store = std::make_unique<BlockStore>();
-  store->path_ = path;
-  Status st = store->LoadFromFile();
+  store->dir_ = dir;
+  store->options_ = options;
+  Status st = store->LoadFromDir();
   if (!st.ok()) return st;
   return store;
 }
 
-Status BlockStore::LoadFromFile() {
-  std::FILE* f = std::fopen(path_.c_str(), "rb");
-  if (f == nullptr) return Status::OK();  // fresh store
-  Status result = Status::OK();
+Status BlockStore::LoadFromDir() {
+  namespace fs = std::filesystem;
+  std::vector<std::string> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".seg") {
+      segments.push_back(entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  for (size_t i = 0; i < segments.size(); ++i) {
+    BRDB_RETURN_NOT_OK(LoadSegment(segments[i], i + 1 == segments.size()));
+  }
+  // Reattach to the newest surviving segment so appends continue there.
+  for (auto it = segments.rbegin(); it != segments.rend(); ++it) {
+    if (!fs::exists(*it, ec)) continue;  // removed as a torn artifact
+    active_path_ = *it;
+    active_ = std::fopen(active_path_.c_str(), "ab");
+    if (active_ == nullptr) {
+      return Status::Unavailable("cannot reopen segment " + active_path_);
+    }
+    active_size_ = static_cast<size_t>(fs::file_size(active_path_, ec));
+    break;
+  }
+  return Status::OK();
+}
+
+Status BlockStore::LoadSegment(const std::string& path, bool is_last) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const size_t file_size = static_cast<size_t>(fs::file_size(path, ec));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open segment " + path);
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() {
+      if (f != nullptr) std::fclose(f);
+    }
+  } closer{f};
+
+  // A crash during a segment roll can leave a final segment with a partial
+  // (or missing) header; it holds no records, so drop it and recover.
+  auto torn_tail = [&](size_t keep_bytes, const char* what) -> Status {
+    closer.f = nullptr;
+    std::fclose(f);
+    ++torn_tail_truncations_;
+    BRDB_LOG(kWarn, "blockstore")
+        << "truncating torn tail (" << what << ") in " << path << " at byte "
+        << keep_bytes << "; recovered height " << blocks_.size();
+    if (keep_bytes == 0) {
+      fs::remove(path, ec);
+    } else if (::truncate(path.c_str(), static_cast<off_t>(keep_bytes)) != 0) {
+      return Status::Unavailable("cannot truncate torn tail of " + path);
+    }
+    return Status::OK();
+  };
+
+  char header[kSegmentHeaderBytes];
+  if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+    if (is_last) return torn_tail(0, "partial segment header");
+    return Status::Corruption("block store: truncated header in interior " +
+                              path);
+  }
+  if (std::memcmp(header, kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    return Status::Corruption("block store: bad segment magic in " + path);
+  }
+  uint64_t first_block = 0;
+  std::memcpy(&first_block, header + sizeof(kSegmentMagic), 8);
+  if (first_block != blocks_.size() + 1) {
+    return Status::Corruption(
+        "block store: segment " + path + " starts at block " +
+        std::to_string(first_block) + ", expected " +
+        std::to_string(blocks_.size() + 1));
+  }
+
+  size_t pos = kSegmentHeaderBytes;
   for (;;) {
-    uint32_t len = 0;
-    size_t n = std::fread(&len, 1, 4, f);
-    if (n == 0) break;  // clean EOF
-    if (n != 4) {
-      result = Status::Corruption("block store: truncated length prefix");
-      break;
+    const size_t record_start = pos;
+    char prefix[kRecordPrefixBytes];
+    size_t n = std::fread(prefix, 1, sizeof(prefix), f);
+    if (n == 0) break;  // clean end of segment
+    if (n != sizeof(prefix)) {
+      if (is_last) return torn_tail(record_start, "partial record prefix");
+      return Status::Corruption("block store: truncated record prefix in " +
+                                path);
     }
-    std::string buf(len, '\0');
-    if (std::fread(buf.data(), 1, len, f) != len) {
-      result = Status::Corruption("block store: truncated block body");
-      break;
+    uint32_t len = 0, crc = 0;
+    std::memcpy(&len, prefix, 4);
+    std::memcpy(&crc, prefix + 4, 4);
+    if (len > kMaxRecordBytes) {
+      // Only a torn prefix at the very tail can legitimately decode to a
+      // nonsense length.
+      if (is_last && record_start + kRecordPrefixBytes >= file_size) {
+        return torn_tail(record_start, "garbage length prefix");
+      }
+      return Status::Corruption("block store: absurd record length in " +
+                                path);
     }
-    auto block = Block::Decode(buf);
+    std::string payload(len, '\0');
+    if (std::fread(payload.data(), 1, len, f) != len) {
+      if (is_last) return torn_tail(record_start, "partial record body");
+      return Status::Corruption("block store: truncated record body in " +
+                                path);
+    }
+    pos = record_start + kRecordPrefixBytes + len;
+    if (Crc32(payload) != crc) {
+      // A CRC failure on the very last bytes of the last segment is the
+      // signature of a torn write (the prefix landed, the body did not
+      // finish). The same failure anywhere else — or followed by more
+      // records — is interior corruption and must fail loudly.
+      if (is_last && pos >= file_size) {
+        return torn_tail(record_start, "record CRC mismatch at tail");
+      }
+      return Status::Corruption("block store: record CRC mismatch in " + path +
+                                " at byte " + std::to_string(record_start));
+    }
+    // CRC passed: the record was durably and completely written, so any
+    // failure from here on is tampering, never a crash artifact.
+    auto block = Block::Decode(payload);
     if (!block.ok()) {
-      result = block.status();
-      break;
+      return Status::Corruption("block store: undecodable block in " + path +
+                                ": " + block.status().ToString());
     }
-    // Verify chain linkage while loading.
     const Block& b = block.value();
     if (!b.HashIsValid()) {
-      result = Status::Corruption("block store: block " +
-                                  std::to_string(b.number()) +
-                                  " hash mismatch (tampered?)");
-      break;
+      return Status::Corruption("block store: block " +
+                                std::to_string(b.number()) +
+                                " hash mismatch (tampered?)");
     }
     if (b.number() != blocks_.size() + 1) {
-      result = Status::Corruption("block store: unexpected sequence number");
-      break;
+      return Status::Corruption("block store: unexpected sequence number");
     }
     if (!blocks_.empty() && b.prev_hash() != blocks_.back().hash()) {
-      result = Status::Corruption("block store: broken hash chain at block " +
-                                  std::to_string(b.number()));
-      break;
+      return Status::Corruption("block store: broken hash chain at block " +
+                                std::to_string(b.number()));
     }
     blocks_.push_back(std::move(block).value());
   }
-  std::fclose(f);
-  return result;
+  return Status::OK();
+}
+
+Status BlockStore::OpenActiveSegmentLocked(BlockNum first_block, bool create) {
+  active_path_ = dir_ + "/" + SegmentName(first_block);
+  active_ = std::fopen(active_path_.c_str(), "ab");
+  if (active_ == nullptr) {
+    return Status::Unavailable("cannot open segment " + active_path_);
+  }
+  active_size_ = 0;
+  if (create) {
+    Encoder enc;
+    enc.PutBytesRaw(std::string(kSegmentMagic, sizeof(kSegmentMagic)));
+    enc.PutU64(first_block);
+    const std::string& header = enc.buffer();
+    if (std::fwrite(header.data(), 1, header.size(), active_) !=
+            header.size() ||
+        std::fflush(active_) != 0) {
+      std::fclose(active_);
+      active_ = nullptr;
+      return Status::Unavailable("cannot write segment header to " +
+                                 active_path_);
+    }
+    active_size_ = header.size();
+  }
+  return Status::OK();
+}
+
+Status BlockStore::MaybeFsyncLocked(bool force) {
+  if (active_ == nullptr) return Status::OK();
+  bool due = force;
+  if (!due) {
+    switch (options_.fsync_policy) {
+      case FsyncPolicy::kAlways:
+        due = true;
+        break;
+      case FsyncPolicy::kBatch: {
+        size_t batch = std::max<size_t>(1, options_.fsync_batch_blocks);
+        due = ++appends_since_fsync_ >= batch;
+        break;
+      }
+      case FsyncPolicy::kOff:
+        break;
+    }
+  }
+  if (!due) return Status::OK();
+  appends_since_fsync_ = 0;
+  if (options_.fault_injector != nullptr &&
+      options_.fault_injector->ShouldDropFsync()) {
+    return Status::OK();  // simulated volatile write cache
+  }
+  if (::fsync(fileno(active_)) != 0) {
+    return Status::Unavailable("fsync failed on " + active_path_);
+  }
+  return Status::OK();
 }
 
 Status BlockStore::Append(const Block& block) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (wedged_) {
+    return Status::Unavailable(
+        "block store wedged by an injected torn write (simulated crash)");
+  }
   if (!block.HashIsValid()) {
     return Status::Corruption("refusing to append block with invalid hash");
   }
@@ -73,21 +288,71 @@ Status BlockStore::Append(const Block& block) {
     return Status::Corruption("block " + std::to_string(block.number()) +
                               " does not extend the current chain");
   }
-  if (!path_.empty()) {
-    std::FILE* f = std::fopen(path_.c_str(), "ab");
-    if (f == nullptr) {
-      return Status::Unavailable("cannot open block store file " + path_);
+  if (!dir_.empty()) {
+    if (active_ == nullptr) {
+      BRDB_RETURN_NOT_OK(OpenActiveSegmentLocked(block.number(), true));
+    } else if (active_size_ >= options_.segment_bytes) {
+      // Roll: seal the full segment (fsynced unless the policy is kOff so
+      // sealed segments are always stable) and start the next one.
+      BRDB_RETURN_NOT_OK(
+          MaybeFsyncLocked(options_.fsync_policy != FsyncPolicy::kOff));
+      std::fclose(active_);
+      active_ = nullptr;
+      BRDB_RETURN_NOT_OK(OpenActiveSegmentLocked(block.number(), true));
     }
-    std::string bytes = block.Encode();
-    uint32_t len = static_cast<uint32_t>(bytes.size());
-    bool ok = std::fwrite(&len, 1, 4, f) == 4 &&
-              std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-    std::fflush(f);
-    std::fclose(f);
-    if (!ok) return Status::Unavailable("short write to block store");
+
+    // Stage the full framed record and append it with a single write, so
+    // the file either gains the whole record or (after rollback) nothing.
+    std::string record = FrameRecord(block.Encode());
+    if (options_.fault_injector != nullptr) {
+      size_t tear_offset = 0;
+      switch (options_.fault_injector->NextAppendFault(&tear_offset)) {
+        case FaultInjector::WriteFault::kNone:
+          break;
+        case FaultInjector::WriteFault::kFailClean:
+          return Status::Unavailable("injected append failure");
+        case FaultInjector::WriteFault::kTear: {
+          // Simulated crash mid-write: leave the partial record on disk
+          // and wedge the store — only a reopen (process restart) may
+          // touch this directory again.
+          size_t partial = std::min(tear_offset, record.size());
+          std::fwrite(record.data(), 1, partial, active_);
+          std::fflush(active_);
+          wedged_ = true;
+          return Status::Unavailable("injected torn write (simulated crash)");
+        }
+      }
+    }
+    bool ok =
+        std::fwrite(record.data(), 1, record.size(), active_) ==
+            record.size() &&
+        std::fflush(active_) == 0;
+    if (!ok) {
+      // Roll the partial record back; "ab" mode writes always land at EOF,
+      // so after the truncate the next append starts at the boundary.
+      if (::ftruncate(fileno(active_), static_cast<off_t>(active_size_)) !=
+          0) {
+        wedged_ = true;  // boundary unknown: refuse further appends
+        return Status::Unavailable(
+            "short write AND failed rollback; store needs reopen");
+      }
+      return Status::Unavailable("short write to block store (rolled back)");
+    }
+    active_size_ += record.size();
+    BRDB_RETURN_NOT_OK(
+        MaybeFsyncLocked(options_.fsync_policy == FsyncPolicy::kAlways));
   }
   blocks_.push_back(block);
   return Status::OK();
+}
+
+Status BlockStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ == nullptr) return Status::OK();
+  if (std::fflush(active_) != 0) {
+    return Status::Unavailable("flush failed on " + active_path_);
+  }
+  return MaybeFsyncLocked(true);
 }
 
 BlockNum BlockStore::Height() const {

@@ -1,35 +1,86 @@
 // BlockStore: the append-only block log each peer maintains (the paper's
-// pgBlockstore, §4.2). File-backed when given a path (length-prefixed
-// encoded blocks, flushed per append so a recovering node can replay), or
-// memory-only for tests and benchmarks.
+// pgBlockstore, §4.2). File-backed when given a directory (a segmented,
+// CRC-framed log — see below), or memory-only for tests and benchmarks.
+//
+// On-disk layout (the ledger IS the redo log, so it must survive kill -9):
+//
+//   <dir>/0000000001.seg        segment, named by its first block number
+//   <dir>/0000000421.seg
+//   ...
+//
+//   segment := magic "BRDBSEG1" | u64 first_block | record*
+//   record  := u32 payload_len | u32 crc32(payload) | payload
+//
+// Segments are capped at `segment_bytes` (the log can exceed RAM and old
+// segments can be archived/shipped without touching the active file), and
+// each record carries a CRC so a load can tell a *torn tail* — the single
+// partially-written record a crash can leave at the end of the last
+// segment — from interior corruption. A torn tail is a crash artifact:
+// the load truncates it and recovers to the previous block. Any failing
+// record that is not the final bytes of the final segment is tampering or
+// bit rot and fails the load with kCorruption, as does any record whose
+// CRC passes but whose content breaks the hash chain.
+//
+// Appends are atomic: the framed record is staged in memory and written
+// with one fwrite; on a short write the file is truncated back to the
+// record boundary, so file and in-memory vector never disagree. Durability
+// is governed by FsyncPolicy: kAlways fsyncs every append (crash-safe to
+// the last acked block), kBatch every `fsync_batch_blocks` appends and at
+// segment rolls, kOff never (benchmark mode — the OS page cache decides).
 //
 // The store verifies the hash chain on append and on load: a block must
 // carry the next sequence number, link to the previous block's hash, and
-// hash to its own stored digest. Tampered files are detected at load.
+// hash to its own stored digest.
 #ifndef BRDB_LEDGER_BLOCK_STORE_H_
 #define BRDB_LEDGER_BLOCK_STORE_H_
 
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "ledger/fault_injector.h"
 #include "wire/block.h"
 
 namespace brdb {
+
+/// When appended blocks are forced to stable storage.
+enum class FsyncPolicy {
+  kAlways,  ///< fsync after every append (default; crash-safe)
+  kBatch,   ///< fsync every fsync_batch_blocks appends and at segment rolls
+  kOff,     ///< never fsync (benchmarks; a crash may lose recent blocks)
+};
+
+struct BlockStoreOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kAlways;
+  /// Roll to a new segment file once the active one reaches this size.
+  size_t segment_bytes = 64 * 1024 * 1024;
+  /// kBatch: force an fsync every this many appends.
+  size_t fsync_batch_blocks = 8;
+  /// Crash-injection hooks (tests only; may be null).
+  FaultInjector* fault_injector = nullptr;
+};
 
 class BlockStore {
  public:
   /// Memory-only store.
   BlockStore() = default;
+  ~BlockStore();
 
-  /// File-backed store; loads and verifies any existing blocks.
-  static Result<std::unique_ptr<BlockStore>> Open(const std::string& path);
+  /// File-backed store over directory `dir` (created if absent); loads and
+  /// verifies any existing segments, truncating a torn tail record.
+  static Result<std::unique_ptr<BlockStore>> Open(
+      const std::string& dir, const BlockStoreOptions& options = {});
 
-  /// Verify chain linkage and append. Persists before returning when
-  /// file-backed.
+  /// Verify chain linkage and append. Persists (full record or nothing)
+  /// before returning when file-backed.
   Status Append(const Block& block);
+
+  /// Flush + fsync the active segment regardless of policy (shutdown /
+  /// checkpoint barrier).
+  Status Sync();
 
   /// Number of stored blocks. Block numbers are 1-based: Height() is the
   /// number of the newest block (0 = empty).
@@ -44,12 +95,35 @@ class BlockStore {
   /// and by recovery before replay.
   Status VerifyChain() const;
 
+  /// Directory backing this store ("" = memory-only).
+  const std::string& path() const { return dir_; }
+
+  /// Blocks recovered by truncating a torn tail at the last load (0 or 1).
+  size_t torn_tail_truncations() const { return torn_tail_truncations_; }
+
  private:
-  Status LoadFromFile();
+  Status LoadFromDir();
+  Status LoadSegment(const std::string& path, bool is_last);
+
+  /// Open (creating if needed) the segment that block `first_block` starts;
+  /// requires mu_.
+  Status OpenActiveSegmentLocked(BlockNum first_block, bool create);
+
+  /// fsync the active segment unless policy/injection says otherwise;
+  /// requires mu_.
+  Status MaybeFsyncLocked(bool force);
 
   mutable std::mutex mu_;
-  std::string path_;  // empty = memory-only
+  std::string dir_;  // empty = memory-only
+  BlockStoreOptions options_;
   std::vector<Block> blocks_;
+
+  std::FILE* active_ = nullptr;  ///< open segment file (append mode)
+  std::string active_path_;
+  size_t active_size_ = 0;           ///< bytes in the active segment
+  size_t appends_since_fsync_ = 0;   ///< kBatch accounting
+  bool wedged_ = false;  ///< an injected torn write "crashed" this store
+  size_t torn_tail_truncations_ = 0;
 };
 
 }  // namespace brdb

@@ -1,0 +1,342 @@
+#include "ledger/checkpoint_writer.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "wire/codec.h"
+#include "wire/crc32.h"
+
+namespace brdb {
+
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'B', 'R', 'D', 'B', 'C', 'K', 'P', '1'};
+
+// Per-slot tags: the arena is serialized positionally so restored RowIds —
+// and therefore the prev/next provenance links — match the originals.
+constexpr uint8_t kSlotHole = 0;     // vacuumed / aborted / after-N slot
+constexpr uint8_t kSlotLive = 1;     // committed, not deleted by block <= N
+constexpr uint8_t kSlotDeleted = 2;  // committed and deleted by block <= N
+
+uint8_t ColumnFlags(const ColumnDef& col) {
+  return static_cast<uint8_t>((col.not_null ? 1 : 0) |
+                              (col.primary_key ? 2 : 0) |
+                              (col.unique ? 4 : 0) | (col.indexed ? 8 : 0));
+}
+
+Status FsyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Unavailable("cannot open directory " + dir + " for fsync");
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Unavailable("fsync of directory " + dir + " failed");
+  }
+  return Status::OK();
+}
+
+// Serialize one table's slots 0..num_slots-1, applying the height-N filter.
+void EncodeTable(Encoder* enc, Table* table, TxnManager* mgr, BlockNum height,
+                 size_t num_slots) {
+  const TableSchema& schema = table->schema();
+  enc->PutU32(table->id());
+  enc->PutString(schema.name());
+  enc->PutString(table->db_schema());
+  enc->PutU32(static_cast<uint32_t>(schema.columns().size()));
+  for (const ColumnDef& col : schema.columns()) {
+    enc->PutString(col.name);
+    enc->PutU8(static_cast<uint8_t>(col.type));
+    enc->PutU8(ColumnFlags(col));
+  }
+  enc->PutU32(static_cast<uint32_t>(schema.check_constraints().size()));
+  for (const std::string& check : schema.check_constraints()) {
+    enc->PutString(check);
+  }
+  enc->PutU64(num_slots);
+  for (RowId id = 0; id < num_slots; ++id) {
+    if (table->IsDead(id)) {
+      enc->PutU8(kSlotHole);
+      continue;
+    }
+    // Read the creator's commit status BEFORE the version metadata:
+    // CommitInternal stamps creator/deleter blocks before publishing the
+    // commit, so "committed with commit_block <= N" seen here guarantees
+    // the stamps read below are final for height N.
+    TxnStatusView creator = mgr->StatusViewOf(table->XminOf(id));
+    VersionMeta meta = table->MetaOf(id);
+    bool committed_by_n =
+        !creator.known ||  // GC'd or restored-sentinel: committed long ago
+        (creator.state == TxnState::kCommitted &&
+         creator.commit_block <= height);
+    if (!committed_by_n || meta.creator_aborted ||
+        meta.creator_block > height) {
+      // In flight, aborted, or created by a later block: replay of the
+      // suffix regenerates it (at a new RowId) if it belongs.
+      enc->PutU8(kSlotHole);
+      continue;
+    }
+    const bool deleted_by_n =
+        meta.deleter_block != 0 && meta.deleter_block <= height;
+    if (deleted_by_n) {
+      enc->PutU8(kSlotDeleted);
+      enc->PutValues(table->ValuesOf(id));
+      enc->PutU64(meta.prev_version);
+      enc->PutU64(meta.next_version);
+      enc->PutU64(meta.creator_block);
+      enc->PutU64(meta.deleter_block);
+    } else {
+      // Live at height N. A deleter or next-version link stamped by a
+      // block > N is deliberately dropped: that delete/update happens
+      // again during suffix replay.
+      enc->PutU8(kSlotLive);
+      enc->PutValues(table->ValuesOf(id));
+      enc->PutU64(meta.prev_version);
+      enc->PutU64(meta.creator_block);
+    }
+  }
+}
+
+}  // namespace
+
+std::string CheckpointWriter::PathFor(BlockNum height) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%010llu.ckpt",
+                static_cast<unsigned long long>(height));
+  return dir_ + "/" + name;
+}
+
+CheckpointWriter::PinnedState CheckpointWriter::Pin(
+    Database* db, BlockNum height, std::string block_hash,
+    std::string write_set_root) {
+  PinnedState pinned;
+  pinned.height = height;
+  pinned.block_hash = std::move(block_hash);
+  pinned.write_set_root = std::move(write_set_root);
+  pinned.tables = db->TablesById();
+  return pinned;
+}
+
+Status CheckpointWriter::Write(Database* db, const PinnedState& pinned) {
+  Encoder enc;
+  enc.PutBytesRaw(std::string(kCheckpointMagic, sizeof(kCheckpointMagic)));
+  enc.PutU64(pinned.height);
+  enc.PutString(pinned.block_hash);
+  enc.PutString(pinned.write_set_root);
+  TableId max_id = 0;
+  for (Table* table : pinned.tables) max_id = std::max(max_id, table->id());
+  enc.PutU32(max_id + 1);  // next_table_id for FinishRestore
+  enc.PutU32(static_cast<uint32_t>(pinned.tables.size()));
+  for (Table* table : pinned.tables) {
+    // Sample the slot count up front: versions appended after the pin
+    // belong to blocks > height and must not be captured.
+    EncodeTable(&enc, table, db->txn_manager(), pinned.height,
+                table->NumVersions());
+  }
+  std::string payload = enc.Take();
+
+  Encoder frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload));
+  frame.PutBytesRaw(payload);
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Unavailable("cannot create checkpoint directory " + dir_);
+  }
+  const std::string final_path = PathFor(pinned.height);
+  const std::string tmp_path = final_path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot create " + tmp_path);
+  }
+  bool ok = std::fwrite(frame.buffer().data(), 1, frame.buffer().size(), f) ==
+                frame.buffer().size() &&
+            std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp_path.c_str());
+    return Status::Unavailable("short write to " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Unavailable("cannot rename " + tmp_path);
+  }
+  return FsyncDirectory(dir_);
+}
+
+std::vector<BlockNum> CheckpointWriter::List() const {
+  namespace fs = std::filesystem;
+  std::vector<BlockNum> heights;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() != ".ckpt") continue;
+    heights.push_back(std::strtoull(entry.path().stem().c_str(), nullptr, 10));
+  }
+  std::sort(heights.begin(), heights.end());
+  return heights;
+}
+
+Result<std::string> CheckpointWriter::LoadPayload(BlockNum height) const {
+  const std::string path = PathFor(height);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no checkpoint file " + path);
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+  char prefix[8];
+  if (std::fread(prefix, 1, sizeof(prefix), f) != sizeof(prefix)) {
+    return Status::Corruption("checkpoint " + path + " truncated");
+  }
+  uint32_t len = 0, crc = 0;
+  std::memcpy(&len, prefix, 4);
+  std::memcpy(&crc, prefix + 4, 4);
+  std::string payload(len, '\0');
+  if (std::fread(payload.data(), 1, len, f) != len) {
+    return Status::Corruption("checkpoint " + path + " truncated");
+  }
+  if (Crc32(payload) != crc) {
+    return Status::Corruption("checkpoint " + path + " failed its CRC");
+  }
+  return payload;
+}
+
+namespace {
+
+Status DecodeHeader(Decoder* dec, StateCheckpoint* out, uint32_t* next_table_id,
+                    uint32_t* table_count) {
+  std::string magic(sizeof(kCheckpointMagic), '\0');
+  for (size_t i = 0; i < magic.size(); ++i) {
+    uint8_t b = 0;
+    if (!dec->GetU8(&b)) return Status::Corruption("checkpoint too short");
+    magic[i] = static_cast<char>(b);
+  }
+  if (std::memcmp(magic.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+      0) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  uint64_t height = 0;
+  if (!dec->GetU64(&height) || !dec->GetString(&out->block_hash) ||
+      !dec->GetString(&out->write_set_root) || !dec->GetU32(next_table_id) ||
+      !dec->GetU32(table_count)) {
+    return Status::Corruption("checkpoint header truncated");
+  }
+  out->height = height;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<StateCheckpoint> CheckpointWriter::ReadHeader(BlockNum height) const {
+  auto payload = LoadPayload(height);
+  if (!payload.ok()) return payload.status();
+  Decoder dec(payload.value());
+  StateCheckpoint header;
+  uint32_t next_table_id = 0, table_count = 0;
+  BRDB_RETURN_NOT_OK(DecodeHeader(&dec, &header, &next_table_id, &table_count));
+  return header;
+}
+
+Result<StateCheckpoint> CheckpointWriter::Restore(BlockNum height,
+                                                  Database* db) const {
+  auto payload = LoadPayload(height);
+  if (!payload.ok()) return payload.status();
+  Decoder dec(payload.value());
+  StateCheckpoint header;
+  uint32_t next_table_id = 0, table_count = 0;
+  BRDB_RETURN_NOT_OK(DecodeHeader(&dec, &header, &next_table_id, &table_count));
+
+  db->ResetForRestore();
+  for (uint32_t t = 0; t < table_count; ++t) {
+    uint32_t table_id = 0, ncols = 0;
+    std::string name, db_schema;
+    if (!dec.GetU32(&table_id) || !dec.GetString(&name) ||
+        !dec.GetString(&db_schema) || !dec.GetU32(&ncols)) {
+      return Status::Corruption("checkpoint table header truncated");
+    }
+    std::vector<ColumnDef> columns;
+    columns.reserve(ncols);
+    for (uint32_t c = 0; c < ncols; ++c) {
+      ColumnDef col;
+      uint8_t type = 0, flags = 0;
+      if (!dec.GetString(&col.name) || !dec.GetU8(&type) ||
+          !dec.GetU8(&flags)) {
+        return Status::Corruption("checkpoint column truncated");
+      }
+      col.type = static_cast<ValueType>(type);
+      col.not_null = flags & 1;
+      col.primary_key = flags & 2;
+      col.unique = flags & 4;
+      col.indexed = flags & 8;
+      columns.push_back(std::move(col));
+    }
+    TableSchema schema(name, std::move(columns));
+    uint32_t nchecks = 0;
+    if (!dec.GetU32(&nchecks)) {
+      return Status::Corruption("checkpoint checks truncated");
+    }
+    for (uint32_t c = 0; c < nchecks; ++c) {
+      std::string check;
+      if (!dec.GetString(&check)) {
+        return Status::Corruption("checkpoint check truncated");
+      }
+      schema.AddCheckConstraint(std::move(check));
+    }
+    auto table = db->RestoreTable(table_id, std::move(schema), db_schema);
+    if (!table.ok()) return table.status();
+
+    uint64_t num_slots = 0;
+    if (!dec.GetU64(&num_slots)) {
+      return Status::Corruption("checkpoint slot count truncated");
+    }
+    for (uint64_t s = 0; s < num_slots; ++s) {
+      uint8_t tag = 0;
+      if (!dec.GetU8(&tag)) {
+        return Status::Corruption("checkpoint slot truncated");
+      }
+      if (tag == kSlotHole) {
+        table.value()->RestoreHole();
+        continue;
+      }
+      Row values;
+      uint64_t prev = 0, next = kInvalidRowId, creator = 0, deleter = 0;
+      Status vs = dec.GetValues(&values);
+      if (!vs.ok() || !dec.GetU64(&prev)) {
+        return Status::Corruption("checkpoint row truncated");
+      }
+      if (tag == kSlotDeleted) {
+        if (!dec.GetU64(&next) || !dec.GetU64(&creator) ||
+            !dec.GetU64(&deleter)) {
+          return Status::Corruption("checkpoint row truncated");
+        }
+      } else if (tag == kSlotLive) {
+        if (!dec.GetU64(&creator)) {
+          return Status::Corruption("checkpoint row truncated");
+        }
+      } else {
+        return Status::Corruption("unknown checkpoint slot tag");
+      }
+      table.value()->RestoreVersion(std::move(values), prev, next, creator,
+                                    deleter);
+    }
+  }
+  if (!dec.AtEnd()) {
+    return Status::Corruption("checkpoint has trailing bytes");
+  }
+  db->FinishRestore(next_table_id);
+  return header;
+}
+
+}  // namespace brdb

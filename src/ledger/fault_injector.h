@@ -1,0 +1,113 @@
+// FaultInjector: crash-injection hooks for the ledger I/O layer.
+//
+// The durable block store consults an (optional) injector at every record
+// write and every fsync, so tests can reproduce the failure modes a real
+// disk produces without root privileges or device-mapper games:
+//
+//   * FailAppend(n)     — the nth append from now fails cleanly before any
+//                         byte is written (EIO-style: the store rolls back
+//                         and the caller retries). Exercises the retry /
+//                         backoff path in DatabaseNode::DrainPendingLocked.
+//   * TearAppend(n, k)  — the nth append from now writes only the first k
+//                         bytes of the framed record and then "crashes":
+//                         the partial record stays on disk and the store
+//                         instance wedges itself (every later operation
+//                         fails), exactly like a process killed mid-write.
+//                         Reopening the directory exercises torn-tail
+//                         recovery.
+//   * DropFsync(true)   — fsync calls silently do nothing, modelling a
+//                         volatile write cache between fflush and the
+//                         platters.
+//   * FailAllAppends(b) — while set, every append fails cleanly: a
+//                         sustained outage (disk full, pulled volume).
+//                         Clearing it heals the disk and the retry path
+//                         must drain the backlog.
+//
+// Counters are exposed so tests can assert an injected fault actually
+// fired. Thread-safe: the block store appends from the node's intake and
+// pipeline threads.
+#ifndef BRDB_LEDGER_FAULT_INJECTOR_H_
+#define BRDB_LEDGER_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+namespace brdb {
+
+class FaultInjector {
+ public:
+  enum class WriteFault { kNone, kFailClean, kTear };
+
+  /// Arm a clean failure for the nth append from now (1 = the next one).
+  void FailAppend(int nth = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_at_ = nth;
+    appends_seen_ = 0;
+  }
+
+  /// Arm a torn write for the nth append from now: only the first
+  /// `byte_offset` bytes of the framed record reach the file.
+  void TearAppend(int nth, size_t byte_offset) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tear_at_ = nth;
+    tear_offset_ = byte_offset;
+    appends_seen_ = 0;
+  }
+
+  void DropFsync(bool drop) { drop_fsync_.store(drop); }
+
+  /// Fail every append cleanly while set — a sustained outage (disk full,
+  /// pulled volume) rather than a single transient error. Clearing it
+  /// "heals the disk": the store's retry path must then drain the backlog.
+  void FailAllAppends(bool fail) { fail_all_appends_.store(fail); }
+
+  /// Called by the store before each append; consumes armed faults.
+  WriteFault NextAppendFault(size_t* tear_offset) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++appends_seen_;
+    if (fail_all_appends_.load()) {
+      appends_failed_.fetch_add(1);
+      return WriteFault::kFailClean;
+    }
+    if (fail_at_ > 0 && appends_seen_ == fail_at_) {
+      fail_at_ = 0;
+      appends_failed_.fetch_add(1);
+      return WriteFault::kFailClean;
+    }
+    if (tear_at_ > 0 && appends_seen_ == tear_at_) {
+      tear_at_ = 0;
+      *tear_offset = tear_offset_;
+      appends_torn_.fetch_add(1);
+      return WriteFault::kTear;
+    }
+    return WriteFault::kNone;
+  }
+
+  /// Called by the store at each fsync point; true = skip the fsync.
+  bool ShouldDropFsync() {
+    if (!drop_fsync_.load()) return false;
+    fsyncs_dropped_.fetch_add(1);
+    return true;
+  }
+
+  uint64_t appends_failed() const { return appends_failed_.load(); }
+  uint64_t appends_torn() const { return appends_torn_.load(); }
+  uint64_t fsyncs_dropped() const { return fsyncs_dropped_.load(); }
+
+ private:
+  std::mutex mu_;
+  int fail_at_ = 0;
+  int tear_at_ = 0;
+  size_t tear_offset_ = 0;
+  int appends_seen_ = 0;
+  std::atomic<bool> fail_all_appends_{false};
+  std::atomic<bool> drop_fsync_{false};
+  std::atomic<uint64_t> appends_failed_{0};
+  std::atomic<uint64_t> appends_torn_{0};
+  std::atomic<uint64_t> fsyncs_dropped_{0};
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_LEDGER_FAULT_INJECTOR_H_

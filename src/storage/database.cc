@@ -1,5 +1,7 @@
 #include "storage/database.h"
 
+#include <algorithm>
+
 namespace brdb {
 
 Database::Database(const TxnManagerOptions& txn_options,
@@ -96,9 +98,60 @@ Status Database::DropTable(const std::string& name) {
     return Status::PermissionDenied("cannot drop system table " + name);
   }
   by_id_.erase(it->second->id());
+  // Retire, don't destroy: an off-thread checkpoint capture pinned at an
+  // earlier block height may still be reading this table's versions. The
+  // arena is append-only, so keeping the object alive until shutdown is
+  // safe and costs only what the dropped table already held.
+  dropped_.push_back(std::move(it->second));
   tables_.erase(it);
   BumpSchemaVersion();
   return Status::OK();
+}
+
+std::vector<Table*> Database::TablesById() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Table*> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, table] : by_id_) out.push_back(table);
+  return out;
+}
+
+void Database::ResetForRestore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_id_.clear();
+  tables_.clear();
+  next_table_id_ = 1;
+  BumpSchemaVersion();
+}
+
+Result<Table*> Database::RestoreTable(TableId id, TableSchema schema,
+                                      const std::string& db_schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string name = schema.name();
+  if (name.empty() || id == 0) {
+    return Status::InvalidArgument("restored table needs a name and an id");
+  }
+  if (tables_.count(name) || by_id_.count(id)) {
+    return Status::AlreadyExists("restored table " + name + " (id " +
+                                 std::to_string(id) + ") collides");
+  }
+  auto table =
+      std::make_unique<Table>(id, std::move(schema), db_schema, index_backend_);
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  by_id_.emplace(id, ptr);
+  return ptr;
+}
+
+void Database::ResetToPristine() {
+  ResetForRestore();
+  CreateSystemTables();
+}
+
+void Database::FinishRestore(TableId next_table_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_table_id_ = std::max(next_table_id_, next_table_id);
+  BumpSchemaVersion();
 }
 
 std::vector<std::string> Database::TableNames() const {

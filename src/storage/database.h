@@ -53,6 +53,30 @@ class Database {
 
   std::vector<std::string> TableNames() const;
 
+  /// All tables ordered by id. Checkpoint capture iterates this: the
+  /// stable order makes the checkpoint bytes deterministic across nodes.
+  std::vector<Table*> TablesById() const;
+
+  // ---- Checkpoint restore (ledger/checkpoint_writer.h) ----
+
+  /// Drop every table — system tables included — ahead of RestoreTable
+  /// calls. Only valid while no transactions are running.
+  void ResetForRestore();
+
+  /// Re-create a table under its original id. Checkpoints keep table ids
+  /// stable because RowId links are per-table and plan caches key on ids.
+  Result<Table*> RestoreTable(TableId id, TableSchema schema,
+                              const std::string& db_schema);
+
+  /// Finish a restore: place the table-id counter past every restored id
+  /// and invalidate cached statement plans.
+  void FinishRestore(TableId next_table_id);
+
+  /// Abandon a failed restore: wipe everything and re-create the system
+  /// tables, returning to the just-constructed state (the caller then
+  /// replays from genesis instead).
+  void ResetToPristine();
+
   TxnManager* txn_manager() { return &txn_manager_; }
 
   IndexBackend index_backend() const { return index_backend_; }
@@ -76,6 +100,9 @@ class Database {
   TableId next_table_id_ = 1;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<TableId, Table*> by_id_;
+  /// Dropped tables are retired here instead of destroyed so off-thread
+  /// checkpoint captures holding Table* from an earlier pin stay safe.
+  std::vector<std::unique_ptr<Table>> dropped_;
   TxnManager txn_manager_;
 };
 

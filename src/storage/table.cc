@@ -93,9 +93,7 @@ void Table::WithIndexOn(
   fn(index);
 }
 
-RowId Table::AppendVersion(TxnId xmin, Row values, RowId prev_version) {
-  std::lock_guard<std::mutex> lock(mu_);
-  RowId id = num_versions_.load(std::memory_order_relaxed);
+RowVersion& Table::EmplaceSlotLocked(RowId id) {
   size_t offset = 0;
   size_t chunk = ChunkOf(id, &offset);
   BRDB_CHECK(chunk < kNumChunks, "version arena exhausted");
@@ -103,7 +101,13 @@ RowId Table::AppendVersion(TxnId xmin, Row values, RowId prev_version) {
     size_t cap = 1ULL << (chunk + kFirstChunkBits);
     chunks_[chunk].store(new RowVersion[cap](), std::memory_order_release);
   }
-  RowVersion& v = chunks_[chunk].load(std::memory_order_relaxed)[offset];
+  return chunks_[chunk].load(std::memory_order_relaxed)[offset];
+}
+
+RowId Table::AppendVersion(TxnId xmin, Row values, RowId prev_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RowId id = num_versions_.load(std::memory_order_relaxed);
+  RowVersion& v = EmplaceSlotLocked(id);
   v.xmin = xmin;
   v.values = std::move(values);
   v.prev_version = prev_version;
@@ -114,6 +118,44 @@ RowId Table::AppendVersion(TxnId xmin, Row values, RowId prev_version) {
   // version's payload visible to lock-free readers.
   num_versions_.store(id + 1, std::memory_order_release);
   return id;
+}
+
+RowId Table::RestoreVersion(Row values, RowId prev_version, RowId next_version,
+                            BlockNum creator_block, BlockNum deleter_block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RowId id = num_versions_.load(std::memory_order_relaxed);
+  RowVersion& v = EmplaceSlotLocked(id);
+  v.xmin = kRestoredTxnId;
+  v.values = std::move(values);
+  v.prev_version = prev_version;
+  v.next_version = next_version;
+  v.creator_block = creator_block;
+  if (deleter_block != 0) {
+    v.xmax = kRestoredTxnId;
+    v.deleter_block = deleter_block;
+  }
+  for (int col : indexed_columns_) {
+    indexes_[col]->Insert(v.values[col], id);
+  }
+  num_versions_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+RowId Table::RestoreHole() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RowId id = num_versions_.load(std::memory_order_relaxed);
+  RowVersion& v = EmplaceSlotLocked(id);
+  v.xmin = kRestoredTxnId;
+  v.creator_aborted = true;  // belt-and-braces: invisible even if undead
+  dead_.resize(id + 1, false);
+  dead_[id] = true;
+  num_versions_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+bool Table::IsDead(RowId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < dead_.size() && dead_[id];
 }
 
 size_t Table::NumVersions() const { return Size(); }

@@ -164,6 +164,24 @@ class Table {
                     const Value* hi, bool hi_inclusive,
                     std::vector<RowId>* out) const;
 
+  // ---- Checkpoint restore (ledger/checkpoint_writer.h) ----
+
+  /// Append a version rebuilt from a checkpoint at the next RowId, with its
+  /// metadata already final. xmin — and xmax, when `deleter_block` is
+  /// nonzero — is the reserved kRestoredTxnId sentinel, which status
+  /// lookups report as committed-long-ago. Registered in every index.
+  RowId RestoreVersion(Row values, RowId prev_version, RowId next_version,
+                       BlockNum creator_block, BlockNum deleter_block);
+
+  /// Occupy the next RowId with an invisible tombstone — a slot that was
+  /// vacuumed, aborted, or still in flight when the checkpoint was taken —
+  /// so the RowId links between restored versions stay valid.
+  RowId RestoreHole();
+
+  /// Whether `id` was vacuumed (dead slots are skipped by every scan and
+  /// serialize as holes in checkpoints).
+  bool IsDead(RowId id) const;
+
   /// Remove versions that can never become visible again: versions created
   /// by aborted transactions, and committed-deleted versions whose deleter
   /// block is at or below `horizon_block`. `aborted` decides whether a
@@ -175,6 +193,11 @@ class Table {
                 const std::function<bool(TxnId)>& aborted);
 
  private:
+  /// Allocate (if needed) the chunk holding slot `id` and return the slot;
+  /// requires mu_. Callers fill the slot, then release-publish via
+  /// num_versions_.
+  RowVersion& EmplaceSlotLocked(RowId id);
+
   // Chunked version arena. Chunk c holds 2^(c + kFirstChunkBits) versions;
   // the directory entries are written once (under mu_) and published by
   // the release store of num_versions_, so readers that checked an id

@@ -22,6 +22,15 @@ using Csn = uint64_t;
 
 enum class TxnState : uint8_t { kActive = 0, kCommitted = 1, kAborted = 2 };
 
+/// Reserved xmin/xmax sentinel for row versions rebuilt from a durable
+/// checkpoint (ledger/checkpoint_writer.h). Never allocated by TxnManager
+/// (real ids count up from 1), so every status lookup reports it as an
+/// unknown id — "committed long ago", commit_csn 0 — which is exactly the
+/// visibility restored state needs under both CSN and block-height
+/// snapshots; the height information lives in the restored
+/// creator_block/deleter_block stamps.
+inline constexpr TxnId kRestoredTxnId = 1ULL << 62;
+
 /// What a transaction is allowed to see.
 struct Snapshot {
   enum class Kind : uint8_t {

@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for storage-frame integrity.
+//
+// Every record the segmented block log and the checkpoint files write is
+// framed as  u32 length | u32 crc | payload ; the CRC distinguishes a torn
+// tail write (a crash artifact that recovery may truncate) from interior
+// bit rot or tampering (which must fail the load). This is a deliberate
+// non-cryptographic checksum: tamper *evidence* comes from the block hash
+// chain and orderer signatures; the CRC only answers "was this record
+// written completely?".
+#ifndef BRDB_WIRE_CRC32_H_
+#define BRDB_WIRE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace brdb {
+
+/// CRC-32 of `n` bytes. `seed` chains incremental computations: pass the
+/// previous call's result to extend a running checksum.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(const std::string& s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace brdb
+
+#endif  // BRDB_WIRE_CRC32_H_

@@ -1,16 +1,26 @@
-// Unit tests for src/ledger: block store chaining/persistence/tamper
-// detection and the checkpoint manager's divergence detection.
+// Unit tests for src/ledger: block store chaining, the segmented on-disk
+// log (torn-tail recovery vs interior tamper rejection, segment rolling,
+// fsync policies, crash injection) and the checkpoint manager's divergence
+// detection.
 #include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "crypto/identity.h"
 #include "ledger/block_store.h"
 #include "ledger/checkpoint.h"
+#include "ledger/fault_injector.h"
 
 namespace brdb {
 namespace {
+
+namespace fs = std::filesystem;
 
 Identity Orderer() {
   return Identity::Create("org1", "orderer1", PrincipalRole::kOrderer);
@@ -28,6 +38,23 @@ Block MakeBlock(BlockNum n, const std::string& prev, int ntx) {
   Identity orderer = Orderer();
   b.AddOrdererSignature(orderer);
   return b;
+}
+
+/// Fresh scratch directory under the system temp dir (removed first in case
+/// a previous crashed run left it behind).
+std::string TempDir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("brdb_ledger_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// Path of the segment that starts at block `first`.
+std::string SegmentPath(const std::string& dir, BlockNum first) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%010llu.seg",
+                static_cast<unsigned long long>(first));
+  return dir + "/" + name;
 }
 
 TEST(BlockStoreTest, AppendEnforcesChaining) {
@@ -59,67 +86,307 @@ TEST(BlockStoreTest, GetByNumber) {
 }
 
 TEST(BlockStoreTest, PersistsAndReloads) {
-  std::string path =
-      (std::filesystem::temp_directory_path() / "brdb_store_test.blocks")
-          .string();
-  std::remove(path.c_str());
-
+  std::string dir = TempDir("persist");
   Block b1 = MakeBlock(1, "", 2);
   Block b2 = MakeBlock(2, b1.hash(), 3);
   {
-    auto store = BlockStore::Open(path);
+    auto store = BlockStore::Open(dir);
     ASSERT_TRUE(store.ok());
     ASSERT_TRUE(store.value()->Append(b1).ok());
     ASSERT_TRUE(store.value()->Append(b2).ok());
   }
-  auto reopened = BlockStore::Open(path);
+  auto reopened = BlockStore::Open(dir);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ(reopened.value()->Height(), 2u);
   EXPECT_EQ(reopened.value()->LatestHash(), b2.hash());
+  EXPECT_EQ(reopened.value()->torn_tail_truncations(), 0u);
   EXPECT_TRUE(reopened.value()->VerifyChain().ok());
-  std::remove(path.c_str());
+  fs::remove_all(dir);
 }
 
-TEST(BlockStoreTest, TamperedFileIsDetectedOnLoad) {
-  std::string path =
-      (std::filesystem::temp_directory_path() / "brdb_tamper_test.blocks")
-          .string();
-  std::remove(path.c_str());
+TEST(BlockStoreTest, OpenRejectsRegularFile) {
+  std::string path = TempDir("regular_file");
   {
-    auto store = BlockStore::Open(path);
-    ASSERT_TRUE(store.ok());
-    ASSERT_TRUE(store.value()->Append(MakeBlock(1, "", 2)).ok());
-  }
-  // Flip a byte in the middle of the file (§3.5(6)).
-  {
-    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    std::FILE* f = std::fopen(path.c_str(), "wb");
     ASSERT_NE(f, nullptr);
-    std::fseek(f, 60, SEEK_SET);
+    std::fputs("not a directory", f);
+    std::fclose(f);
+  }
+  auto store = BlockStore::Open(path);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
+  fs::remove(path);
+}
+
+// An interior record failing its CRC is tampering or bit rot, never a crash
+// artifact: a crash can only tear the LAST record of the LAST segment
+// (§3.5(6) — the ledger must reject modification, not repair it).
+TEST(BlockStoreTest, InteriorCorruptionIsRejected) {
+  std::string dir = TempDir("tamper");
+  Block b1 = MakeBlock(1, "", 2);
+  Block b2 = MakeBlock(2, b1.hash(), 1);
+  {
+    auto store = BlockStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Append(b1).ok());
+    ASSERT_TRUE(store.value()->Append(b2).ok());
+  }
+  // Flip one byte inside the FIRST record's payload (offset 16 is the
+  // segment header, 8 more the record frame).
+  std::string seg = SegmentPath(dir, 1);
+  {
+    std::FILE* f = std::fopen(seg.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 16 + 8 + 4, SEEK_SET);
     int c = std::fgetc(f);
-    std::fseek(f, 60, SEEK_SET);
+    std::fseek(f, 16 + 8 + 4, SEEK_SET);
     std::fputc(c ^ 0xFF, f);
     std::fclose(f);
   }
-  auto reopened = BlockStore::Open(path);
+  auto reopened = BlockStore::Open(dir);
   EXPECT_FALSE(reopened.ok());
   EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
-  std::remove(path.c_str());
+  fs::remove_all(dir);
 }
 
-TEST(BlockStoreTest, TruncatedFileIsDetected) {
-  std::string path =
-      (std::filesystem::temp_directory_path() / "brdb_trunc_test.blocks")
-          .string();
-  std::remove(path.c_str());
+// Satellite: the torn-write matrix. Truncate the log at EVERY byte offset
+// within the last record; every single one must recover to height N-1, and
+// appending block N again afterwards must work.
+TEST(BlockStoreTest, TornTailRecoversAtEveryOffset) {
+  std::string dir = TempDir("torn_matrix");
+  Block b1 = MakeBlock(1, "", 1);
+  Block b2 = MakeBlock(2, b1.hash(), 1);
   {
-    auto store = BlockStore::Open(path);
+    auto store = BlockStore::Open(dir);
     ASSERT_TRUE(store.ok());
-    ASSERT_TRUE(store.value()->Append(MakeBlock(1, "", 2)).ok());
+    ASSERT_TRUE(store.value()->Append(b1).ok());
   }
-  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 10);
-  auto reopened = BlockStore::Open(path);
-  EXPECT_FALSE(reopened.ok());
-  std::remove(path.c_str());
+  std::string seg = SegmentPath(dir, 1);
+  const size_t boundary = fs::file_size(seg);  // end of record 1
+  {
+    auto store = BlockStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Append(b2).ok());
+  }
+  const size_t full = fs::file_size(seg);
+  ASSERT_GT(full, boundary);
+
+  // A truncation exactly at the record boundary is a clean height-1 log.
+  std::string work = TempDir("torn_matrix_work");
+  fs::create_directories(work);
+  std::string work_seg = SegmentPath(work, 1);
+  {
+    fs::copy_file(seg, work_seg, fs::copy_options::overwrite_existing);
+    fs::resize_file(work_seg, boundary);
+    auto store = BlockStore::Open(work);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_EQ(store.value()->Height(), 1u);
+    EXPECT_EQ(store.value()->torn_tail_truncations(), 0u);
+  }
+
+  for (size_t cut = boundary + 1; cut < full; ++cut) {
+    fs::copy_file(seg, work_seg, fs::copy_options::overwrite_existing);
+    fs::resize_file(work_seg, cut);
+    auto store = BlockStore::Open(work);
+    ASSERT_TRUE(store.ok())
+        << "cut at " << cut << ": " << store.status().ToString();
+    ASSERT_EQ(store.value()->Height(), 1u) << "cut at " << cut;
+    ASSERT_EQ(store.value()->torn_tail_truncations(), 1u) << "cut at " << cut;
+    ASSERT_EQ(store.value()->LatestHash(), b1.hash()) << "cut at " << cut;
+    // The recovered log accepts the lost block again.
+    ASSERT_TRUE(store.value()->Append(b2).ok()) << "cut at " << cut;
+    ASSERT_EQ(store.value()->Height(), 2u);
+  }
+  // One full reopen after a recover-and-reappend cycle round-trips.
+  auto final_store = BlockStore::Open(work);
+  ASSERT_TRUE(final_store.ok());
+  EXPECT_EQ(final_store.value()->Height(), 2u);
+  EXPECT_TRUE(final_store.value()->VerifyChain().ok());
+  fs::remove_all(work);
+  fs::remove_all(dir);
+}
+
+// A corrupted last record that still spans to EOF is indistinguishable from
+// a torn write and is recovered, not rejected.
+TEST(BlockStoreTest, CorruptedFinalRecordIsTreatedAsTorn) {
+  std::string dir = TempDir("torn_crc");
+  Block b1 = MakeBlock(1, "", 1);
+  Block b2 = MakeBlock(2, b1.hash(), 1);
+  size_t boundary = 0;
+  {
+    auto store = BlockStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Append(b1).ok());
+    boundary = fs::file_size(SegmentPath(dir, 1));
+    ASSERT_TRUE(store.value()->Append(b2).ok());
+  }
+  std::string seg = SegmentPath(dir, 1);
+  {
+    std::FILE* f = std::fopen(seg.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, static_cast<long>(boundary + 8 + 2), SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, static_cast<long>(boundary + 8 + 2), SEEK_SET);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  auto reopened = BlockStore::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->Height(), 1u);
+  EXPECT_EQ(reopened.value()->torn_tail_truncations(), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(BlockStoreTest, SegmentRollingSplitsAndReloads) {
+  std::string dir = TempDir("segments");
+  BlockStoreOptions options;
+  options.segment_bytes = 1;  // roll after every block
+  std::vector<Block> blocks;
+  {
+    auto store = BlockStore::Open(dir, options);
+    ASSERT_TRUE(store.ok());
+    std::string prev;
+    for (BlockNum n = 1; n <= 5; ++n) {
+      blocks.push_back(MakeBlock(n, prev, 1));
+      ASSERT_TRUE(store.value()->Append(blocks.back()).ok());
+      prev = blocks.back().hash();
+    }
+  }
+  size_t segments = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".seg") ++segments;
+  }
+  EXPECT_EQ(segments, 5u);
+
+  auto reopened = BlockStore::Open(dir, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->Height(), 5u);
+  EXPECT_TRUE(reopened.value()->VerifyChain().ok());
+  auto got = reopened.value()->Get(3);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().hash(), blocks[2].hash());
+  fs::remove_all(dir);
+}
+
+// A crash inside a fresh segment's 16-byte header leaves no usable record;
+// the file is removed and the previous segment's tail is the chain head.
+TEST(BlockStoreTest, TornSegmentHeaderIsRecovered) {
+  std::string dir = TempDir("torn_header");
+  BlockStoreOptions options;
+  options.segment_bytes = 1;
+  Block b1 = MakeBlock(1, "", 1);
+  Block b2 = MakeBlock(2, b1.hash(), 1);
+  {
+    auto store = BlockStore::Open(dir, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Append(b1).ok());
+    ASSERT_TRUE(store.value()->Append(b2).ok());
+  }
+  std::string seg2 = SegmentPath(dir, 2);
+  ASSERT_TRUE(fs::exists(seg2));
+  fs::resize_file(seg2, 7);  // mid-magic
+  auto reopened = BlockStore::Open(dir, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->Height(), 1u);
+  EXPECT_EQ(reopened.value()->torn_tail_truncations(), 1u);
+  EXPECT_FALSE(fs::exists(seg2));
+  EXPECT_TRUE(reopened.value()->Append(b2).ok());
+  fs::remove_all(dir);
+}
+
+TEST(BlockStoreTest, BatchAndOffFsyncPoliciesPersist) {
+  for (FsyncPolicy policy : {FsyncPolicy::kBatch, FsyncPolicy::kOff}) {
+    std::string dir = TempDir(policy == FsyncPolicy::kBatch ? "batch" : "off");
+    BlockStoreOptions options;
+    options.fsync_policy = policy;
+    options.fsync_batch_blocks = 2;
+    std::string prev;
+    {
+      auto store = BlockStore::Open(dir, options);
+      ASSERT_TRUE(store.ok());
+      for (BlockNum n = 1; n <= 5; ++n) {
+        Block b = MakeBlock(n, prev, 1);
+        ASSERT_TRUE(store.value()->Append(b).ok());
+        prev = b.hash();
+      }
+      ASSERT_TRUE(store.value()->Sync().ok());
+    }
+    auto reopened = BlockStore::Open(dir, options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(reopened.value()->Height(), 5u);
+    fs::remove_all(dir);
+  }
+}
+
+TEST(BlockStoreTest, FaultInjectorDropsFsyncs) {
+  std::string dir = TempDir("drop_fsync");
+  FaultInjector injector;
+  injector.DropFsync(true);
+  BlockStoreOptions options;
+  options.fault_injector = &injector;
+  auto store = BlockStore::Open(dir, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->Append(MakeBlock(1, "", 1)).ok());
+  EXPECT_GE(injector.fsyncs_dropped(), 1u);
+  fs::remove_all(dir);
+}
+
+// A clean injected failure (e.g. ENOSPC) leaves the store usable: the
+// caller retries and the log stays consistent.
+TEST(BlockStoreTest, FaultInjectorCleanFailureIsRetryable) {
+  std::string dir = TempDir("fail_clean");
+  FaultInjector injector;
+  injector.FailAppend(2);
+  BlockStoreOptions options;
+  options.fault_injector = &injector;
+  Block b1 = MakeBlock(1, "", 1);
+  Block b2 = MakeBlock(2, b1.hash(), 1);
+  {
+    auto store = BlockStore::Open(dir, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Append(b1).ok());
+    Status failed = store.value()->Append(b2);
+    EXPECT_FALSE(failed.ok());
+    EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(store.value()->Height(), 1u);
+    // Retry succeeds: the fault was one-shot and nothing was written.
+    ASSERT_TRUE(store.value()->Append(b2).ok());
+    EXPECT_EQ(store.value()->Height(), 2u);
+  }
+  EXPECT_EQ(injector.appends_failed(), 1u);
+  auto reopened = BlockStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->Height(), 2u);
+  fs::remove_all(dir);
+}
+
+// A torn write is a simulated power cut: the store wedges (the "process"
+// is dead) and the next Open finds and truncates the torn tail.
+TEST(BlockStoreTest, FaultInjectorTornWriteWedgesThenRecovers) {
+  std::string dir = TempDir("tear");
+  FaultInjector injector;
+  injector.TearAppend(2, /*byte_offset=*/5);
+  BlockStoreOptions options;
+  options.fault_injector = &injector;
+  Block b1 = MakeBlock(1, "", 1);
+  Block b2 = MakeBlock(2, b1.hash(), 1);
+  {
+    auto store = BlockStore::Open(dir, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Append(b1).ok());
+    EXPECT_FALSE(store.value()->Append(b2).ok());
+    // Wedged: every further append fails until "restart" (reopen).
+    EXPECT_FALSE(store.value()->Append(b2).ok());
+    EXPECT_EQ(store.value()->Height(), 1u);
+  }
+  EXPECT_EQ(injector.appends_torn(), 1u);
+  auto reopened = BlockStore::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->Height(), 1u);
+  EXPECT_EQ(reopened.value()->torn_tail_truncations(), 1u);
+  ASSERT_TRUE(reopened.value()->Append(b2).ok());
+  EXPECT_EQ(reopened.value()->Height(), 2u);
+  fs::remove_all(dir);
 }
 
 // ---------- checkpoints ----------

@@ -277,15 +277,21 @@ TEST(PipelineConcurrentTest, EopDecisionsIdenticalOnAllNodesAtDepth4) {
 }
 
 // A failing durable append must keep the block pending, count the failure
-// in metrics, and retry until it succeeds — the seed logged and lost it.
+// in metrics, and retry (with backoff) until the disk heals — the seed
+// logged and lost it. The outage is injected: the segmented store keeps
+// its active segment open, so filesystem games from outside (the old
+// version of this test renamed the log away) no longer make writes fail.
 TEST(PipelineAppendRetryTest, FailedAppendIsRetriedAndCounted) {
   namespace fs = std::filesystem;
   fs::path dir = fs::temp_directory_path() / "brdb_append_retry_test";
   fs::remove_all(dir);
   fs::create_directories(dir);
 
+  FaultInjector injector;
   NetworkOptions opts = FastOptions(TransactionFlow::kOrderThenExecute, 2);
   opts.block_store_dir = dir.string();
+  opts.fault_injector = &injector;
+  opts.fault_injector_node = "peer-org1";
   auto net = BlockchainNetwork::Create(opts);
   ASSERT_TRUE(RegisterContracts(net.get()).ok());
   ASSERT_TRUE(net->Start().ok());
@@ -297,12 +303,9 @@ TEST(PipelineAppendRetryTest, FailedAppendIsRetriedAndCounted) {
   DatabaseNode* node0 = net->node(0);
   BlockNum before = node0->Height();
 
-  // Break node 0's store: swap the log file for a directory so fopen(ab)
-  // fails. Appends must start failing but stay pending.
-  fs::path store = dir / (node0->name() + ".blocks");
-  fs::path hidden = dir / "hidden.blocks";
-  fs::rename(store, hidden);
-  fs::create_directories(store);
+  // Sustained outage on node 0's disk. Appends must start failing but the
+  // block stays pending.
+  injector.FailAllAppends(true);
 
   auto t = alice->Invoke("put", {Value::Int(100), Value::Int(1)});
   ASSERT_TRUE(t.ok());
@@ -317,13 +320,14 @@ TEST(PipelineAppendRetryTest, FailedAppendIsRetriedAndCounted) {
   EXPECT_GT(node0->metrics()->Snapshot().block_append_failures, 0u);
   EXPECT_EQ(node0->Height(), before);  // block held back, not lost
 
-  // Heal the store; the pending block must be appended and committed
+  // Heal the disk; the pending block must be appended and committed
   // without any new delivery.
-  fs::remove_all(store);
-  fs::rename(hidden, store);
+  injector.FailAllAppends(false);
   BlockNum target = net->node(1)->Height();
   EXPECT_TRUE(net->WaitForHeight(target, 20000000).ok());
   EXPECT_GE(node0->Height(), before + 1);
+  EXPECT_GT(injector.appends_failed(), 0u);
+  EXPECT_TRUE(node0->block_store()->VerifyChain().ok());
 
   net->Stop();
   fs::remove_all(dir);
