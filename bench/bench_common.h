@@ -13,10 +13,14 @@
 #ifndef BRDB_BENCH_BENCH_COMMON_H_
 #define BRDB_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "contracts/workload_contracts.h"
 #include "core/blockchain_network.h"
 
 namespace brdb {
@@ -34,52 +38,13 @@ inline NetworkOptions BenchOptions(TransactionFlow flow, size_t block_size,
   return opts;
 }
 
-/// The paper's §5 workload contracts.
+/// The paper's §5 workload contracts (shared with brdb_noded — see
+/// contracts/workload_contracts.h).
 inline Status RegisterWorkloadContracts(BlockchainNetwork* net) {
-  // (1) simple contract: inserts values into a table.
-  BRDB_RETURN_NOT_OK(net->RegisterNativeContract(
-      "simple", [](ContractContext* ctx) -> Status {
-        auto r = ctx->Execute("INSERT INTO kv VALUES ($1, $2)", ctx->args());
-        return r.ok() ? Status::OK() : r.status();
-      }));
-  // (2) complex-join contract: join two tables, aggregate, write the
-  // result into a third table.
-  BRDB_RETURN_NOT_OK(net->RegisterNativeContract(
-      "complex_join", [](ContractContext* ctx) -> Status {
-        // args: $1 = result id, $2 = region
-        auto total = ctx->Execute(
-            "SELECT COALESCE(SUM(o.amount), 0) FROM orders o "
-            "JOIN customers c ON o.cust = c.cust_id WHERE c.region = $1",
-            {ctx->args()[1]});
-        if (!total.ok()) return total.status();
-        auto v = total.value().Scalar();
-        if (!v.ok()) return v.status();
-        auto ins = ctx->Execute(
-            "INSERT INTO region_totals VALUES ($1, $2, $3)",
-            {ctx->args()[0], ctx->args()[1], v.value()});
-        return ins.ok() ? Status::OK() : ins.status();
-      }));
-  // (3) complex-group contract: aggregate over subgroups, order by the
-  // aggregate, keep the max via LIMIT, write it out.
-  BRDB_RETURN_NOT_OK(net->RegisterNativeContract(
-      "complex_group", [](ContractContext* ctx) -> Status {
-        // args: $1 = result id, $2..$3 = customer id range to group over
-        auto top = ctx->Execute(
-            "SELECT c.region, SUM(o.amount) AS total FROM orders o "
-            "JOIN customers c ON o.cust = c.cust_id "
-            "WHERE c.cust_id >= $1 AND c.cust_id <= $2 "
-            "GROUP BY c.region ORDER BY total DESC, c.region ASC LIMIT 1",
-            {ctx->args()[1], ctx->args()[2]});
-        if (!top.ok()) return top.status();
-        if (top.value().rows.empty()) {
-          return Status::Aborted("no groups in range");
-        }
-        auto ins = ctx->Execute(
-            "INSERT INTO group_winners VALUES ($1, $2, $3)",
-            {ctx->args()[0], top.value().rows[0][0],
-             top.value().rows[0][1]});
-        return ins.ok() ? Status::OK() : ins.status();
-      }));
+  for (size_t i = 0; i < net->num_nodes(); ++i) {
+    BRDB_RETURN_NOT_OK(
+        ::brdb::RegisterWorkloadContracts(net->node(i)->contracts()));
+  }
   return Status::OK();
 }
 
@@ -87,30 +52,9 @@ inline Status RegisterWorkloadContracts(BlockchainNetwork* net) {
 inline Status DeployWorkloadSchema(BlockchainNetwork* net, Client* seeder,
                                    int num_customers = 20,
                                    int num_orders = 100) {
-  BRDB_RETURN_NOT_OK(net->DeployContract(
-      "CREATE TABLE kv (k INT PRIMARY KEY, payload TEXT)"));
-  BRDB_RETURN_NOT_OK(net->DeployContract(
-      "CREATE TABLE customers (cust_id INT PRIMARY KEY, region TEXT)"));
-  BRDB_RETURN_NOT_OK(
-      net->DeployContract("CREATE INDEX idx_region ON customers (region)"));
-  BRDB_RETURN_NOT_OK(net->DeployContract(
-      "CREATE TABLE orders (order_id INT PRIMARY KEY, cust INT, amount INT)"));
-  BRDB_RETURN_NOT_OK(
-      net->DeployContract("CREATE INDEX idx_cust ON orders (cust)"));
-  BRDB_RETURN_NOT_OK(net->DeployContract(
-      "CREATE TABLE region_totals "
-      "(id INT PRIMARY KEY, region TEXT, total INT)"));
-  BRDB_RETURN_NOT_OK(net->DeployContract(
-      "CREATE TABLE group_winners "
-      "(id INT PRIMARY KEY, region TEXT, total INT)"));
-
-  // Seed contract for the base data.
-  BRDB_RETURN_NOT_OK(net->DeployContract(
-      "CREATE PROCEDURE seed_customer(2) AS "
-      "INSERT INTO customers VALUES ($1, $2)"));
-  BRDB_RETURN_NOT_OK(net->DeployContract(
-      "CREATE PROCEDURE seed_order(3) AS "
-      "INSERT INTO orders VALUES ($1, $2, $3)"));
+  for (const std::string& stmt : WorkloadSchemaStatements()) {
+    BRDB_RETURN_NOT_OK(net->DeployContract(stmt));
+  }
 
   static const char* kRegions[] = {"emea", "amer", "apac", "latam"};
   std::vector<std::string> txids;
@@ -161,6 +105,9 @@ class LatencyTracker {
     uint64_t committed = 0;
     uint64_t aborted = 0;
     double mean_latency_ms = 0;
+    double p50_latency_ms = 0;
+    double p95_latency_ms = 0;
+    double p99_latency_ms = 0;
   };
 
   Stats Snapshot() const {
@@ -173,7 +120,23 @@ class LatencyTracker {
           static_cast<double>(latency_us_total_) / 1000.0 /
           static_cast<double>(committed_);
     }
+    std::vector<uint64_t> sorted = latencies_us_;
+    std::sort(sorted.begin(), sorted.end());
+    s.p50_latency_ms = PercentileMs(sorted, 50);
+    s.p95_latency_ms = PercentileMs(sorted, 95);
+    s.p99_latency_ms = PercentileMs(sorted, 99);
     return s;
+  }
+
+  /// Nearest-rank percentile over an already-sorted sample of microsecond
+  /// latencies, in milliseconds. 0 when the sample is empty.
+  static double PercentileMs(const std::vector<uint64_t>& sorted_us,
+                             double pct) {
+    if (sorted_us.empty()) return 0;
+    size_t rank = static_cast<size_t>(
+        std::max(1.0, std::ceil(pct / 100.0 *
+                                static_cast<double>(sorted_us.size()))));
+    return static_cast<double>(sorted_us[rank - 1]) / 1000.0;
   }
 
  private:
@@ -185,9 +148,10 @@ class LatencyTracker {
     if (n.status.ok()) {
       if (++prog.commits == majority_) {
         ++committed_;
-        latency_us_total_ +=
-            static_cast<uint64_t>(RealClock::Shared()->NowMicros() -
-                                  sub->second);
+        uint64_t latency_us = static_cast<uint64_t>(
+            RealClock::Shared()->NowMicros() - sub->second);
+        latency_us_total_ += latency_us;
+        latencies_us_.push_back(latency_us);
       }
     } else {
       if (++prog.aborts == majority_) ++aborted_;
@@ -206,12 +170,16 @@ class LatencyTracker {
   uint64_t committed_ = 0;
   uint64_t aborted_ = 0;
   uint64_t latency_us_total_ = 0;
+  std::vector<uint64_t> latencies_us_;  ///< per-commit, submission order
 };
 
 struct LoadResult {
   double offered_tps = 0;
   double committed_tps = 0;
   double mean_latency_ms = 0;
+  double p50_latency_ms = 0;
+  double p95_latency_ms = 0;
+  double p99_latency_ms = 0;
   uint64_t committed = 0;
   uint64_t aborted = 0;
   MetricsSnapshot node0;
@@ -249,6 +217,9 @@ LoadResult RunLoad(BlockchainNetwork* net, Client* client,
   r.offered_tps = static_cast<double>(total) / submit_s;
   r.committed_tps = static_cast<double>(stats.committed) / total_s;
   r.mean_latency_ms = stats.mean_latency_ms;
+  r.p50_latency_ms = stats.p50_latency_ms;
+  r.p95_latency_ms = stats.p95_latency_ms;
+  r.p99_latency_ms = stats.p99_latency_ms;
   r.committed = stats.committed;
   r.aborted = stats.aborted;
   r.node0 = net->node(0)->metrics()->Snapshot();

@@ -11,14 +11,19 @@
 #      divergence detection (byzantine_detection_test);
 #   2. fig8b determinism gate: the commit/abort counts of the fig8b
 #      workload must be byte-identical across pipeline depths {1, 2, 4};
-#   3. TSAN: a ThreadSanitizer build tree running the `tsan`-labelled
+#   3. socket smoke: scripts/run_cluster.sh boots a REAL 5-OS-process
+#      loopback cluster (4 brdb_noded nodes + 1 orderer over TCP), all
+#      five must publish ports and stay alive for the run;
+#   4. TSAN: a ThreadSanitizer build tree running the `tsan`-labelled
 #      concurrency tests (the striped-commit stress test, the session
 #      pipelining tests, the B+-tree CREATE INDEX bulk-load under
-#      concurrent readers, the pipelined-node determinism test, and the
-#      byzantine checkpoint-vote test — the places where a data race
-#      would hide). The fork-based recovery harness stays out of the
-#      tsan label: multi-threaded children of a forked gtest process are
-#      unsupported under ThreadSanitizer.
+#      concurrent readers, the pipelined-node determinism test, the
+#      byzantine checkpoint-vote test, and the socket-transport tests:
+#      event_loop_test, frame_assembler_test, tcp_transport_test and
+#      tcp_cluster_test — the places where a data race would hide).
+#      The fork-based recovery harness stays out of the tsan label:
+#      multi-threaded children of a forked gtest process are unsupported
+#      under ThreadSanitizer.
 #
 # Usage: scripts/check.sh [--tier1-only | --tsan-only]
 set -euo pipefail
@@ -50,6 +55,39 @@ run_tier1() {
          "pipeline depths — the pipeline changed a commit decision ===" >&2
     exit 1
   fi
+  run_socket_smoke
+}
+
+# Boot a real multi-process cluster over loopback TCP and verify every
+# process publishes its port and survives the run. This is the only check
+# that exercises brdb_noded + run_cluster.sh end to end as OS processes
+# (the in-process equivalent lives in tcp_cluster_test).
+run_socket_smoke() {
+  echo "=== socket smoke: 5-process loopback cluster ==="
+  cmake --build build -j "${JOBS}" --target brdb_noded
+  local smoke_dir
+  smoke_dir=$(mktemp -d /tmp/brdb_smoke.XXXXXX)
+  local peers_file
+  if ! peers_file=$(scripts/run_cluster.sh --duration=3 \
+                    --run-dir="${smoke_dir}" --block-timeout-us=50000); then
+    echo "=== FAIL: run_cluster.sh did not bring the cluster up; logs in" \
+         "${smoke_dir} ===" >&2
+    exit 1
+  fi
+  local peers
+  peers=$(wc -l <"${peers_file}")
+  if [[ "${peers}" -ne 5 ]]; then
+    echo "=== FAIL: expected 5 cluster endpoints, got ${peers}; logs in" \
+         "${smoke_dir} ===" >&2
+    exit 1
+  fi
+  if ! grep -q "ordering started" "${smoke_dir}/orderer.log"; then
+    echo "=== FAIL: orderer never started ordering; see" \
+         "${smoke_dir}/orderer.log ===" >&2
+    exit 1
+  fi
+  rm -rf "${smoke_dir}"
+  echo "socket smoke OK (4 nodes + orderer over loopback TCP)"
 }
 
 run_tsan() {
@@ -60,7 +98,8 @@ run_tsan() {
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j "${JOBS}" \
     --target txn_stripe_stress_test session_test btree_index_test \
-             pipeline_test byzantine_detection_test
+             pipeline_test byzantine_detection_test event_loop_test \
+             frame_assembler_test tcp_transport_test tcp_cluster_test
   ctest --test-dir build-tsan -L tsan --output-on-failure -j 1
 }
 

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Launch a real multi-process brdb cluster on loopback TCP:
+#   1 orderer process + one node process per org (default 4), each its own
+#   OS process (brdb_noded), wired together by ephemeral-port discovery:
+#   every process binds port 0, writes "<name> <port>" to its port file,
+#   and this script assembles the combined peers file the nodes poll for.
+#
+# Usage: scripts/run_cluster.sh [options]
+#   --flow=ote|eop        transaction flow (default ote)
+#   --orgs=a,b,c          org list (default org1,org2,org3,org4)
+#   --duration=SECONDS    run for N seconds then shut down (default: until
+#                         Ctrl-C / SIGTERM)
+#   --run-dir=DIR         port files, peers file, logs (default: mktemp -d)
+#   --block-size=N        orderer block size (default 100)
+#   --block-timeout-us=N  orderer block timeout (default 100000)
+#   --block-store=DIR     per-node durable block logs under DIR (default:
+#                         in-memory)
+#
+# The peers file path is printed to stdout so a client process can dial
+# the live cluster: BuildClusterIdentities derives the same identity set
+# in every process, so any client only needs the "<name> <port>" list.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FLOW=ote
+ORGS=org1,org2,org3,org4
+DURATION=0
+RUN_DIR=""
+BLOCK_SIZE=100
+BLOCK_TIMEOUT_US=100000
+BLOCK_STORE=""
+for arg in "$@"; do
+  case "$arg" in
+    --flow=*) FLOW="${arg#*=}" ;;
+    --orgs=*) ORGS="${arg#*=}" ;;
+    --duration=*) DURATION="${arg#*=}" ;;
+    --run-dir=*) RUN_DIR="${arg#*=}" ;;
+    --block-size=*) BLOCK_SIZE="${arg#*=}" ;;
+    --block-timeout-us=*) BLOCK_TIMEOUT_US="${arg#*=}" ;;
+    --block-store=*) BLOCK_STORE="${arg#*=}" ;;
+    *) echo "unknown arg: $arg" >&2; exit 2 ;;
+  esac
+done
+
+NODED=build/brdb_noded
+if [[ ! -x "$NODED" ]]; then
+  echo "building brdb_noded..." >&2
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$(nproc)" --target brdb_noded >/dev/null
+fi
+
+if [[ -z "$RUN_DIR" ]]; then
+  RUN_DIR=$(mktemp -d /tmp/brdb_cluster.XXXXXX)
+fi
+mkdir -p "$RUN_DIR"
+IFS=',' read -r -a ORG_ARR <<<"$ORGS"
+NUM_NODES=${#ORG_ARR[@]}
+
+PIDS=()
+cleanup() {
+  trap - INT TERM EXIT
+  echo "shutting down cluster..." >&2
+  for pid in "${PIDS[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup INT TERM EXIT
+
+echo "run dir: $RUN_DIR" >&2
+
+"$NODED" --role=orderer --orgs="$ORGS" --expected-peers="$NUM_NODES" \
+  --block-size="$BLOCK_SIZE" --block-timeout-us="$BLOCK_TIMEOUT_US" \
+  --port-file="$RUN_DIR/orderer.port" \
+  >"$RUN_DIR/orderer.log" 2>&1 &
+PIDS+=($!)
+
+for i in "${!ORG_ARR[@]}"; do
+  STORE_ARG=""
+  if [[ -n "$BLOCK_STORE" ]]; then
+    mkdir -p "$BLOCK_STORE/node$i"
+    STORE_ARG="--block-store=$BLOCK_STORE/node$i"
+  fi
+  "$NODED" --role=node --index="$i" --orgs="$ORGS" --flow="$FLOW" \
+    --port-file="$RUN_DIR/node$i.port" --peers-file="$RUN_DIR/peers" \
+    $STORE_ARG \
+    >"$RUN_DIR/node$i.log" 2>&1 &
+  PIDS+=($!)
+done
+
+# Collect everyone's self-reported address, then publish the combined list
+# (write-then-rename: nodes must never see a partial peers file).
+EXPECTED=$((NUM_NODES + 1))
+for _ in $(seq 1 200); do
+  READY=$(ls "$RUN_DIR"/*.port 2>/dev/null | wc -l)
+  [[ "$READY" -ge "$EXPECTED" ]] && break
+  sleep 0.05
+done
+READY=$(ls "$RUN_DIR"/*.port 2>/dev/null | wc -l)
+if [[ "$READY" -lt "$EXPECTED" ]]; then
+  echo "only $READY/$EXPECTED processes published a port; see $RUN_DIR/*.log" >&2
+  exit 1
+fi
+cat "$RUN_DIR"/*.port >"$RUN_DIR/peers.tmp"
+mv "$RUN_DIR/peers.tmp" "$RUN_DIR/peers"
+
+echo "cluster up ($NUM_NODES nodes + 1 orderer):" >&2
+sed 's/^/  /' "$RUN_DIR/peers" >&2
+echo "$RUN_DIR/peers"
+
+if [[ "$DURATION" -gt 0 ]]; then
+  sleep "$DURATION"
+else
+  # Idle until a signal arrives; `wait` returns when the trap fires.
+  wait "${PIDS[@]}" 2>/dev/null || true
+fi

@@ -1,0 +1,71 @@
+#include "contracts/workload_contracts.h"
+
+namespace brdb {
+
+Status RegisterWorkloadContracts(ContractRegistry* registry) {
+  // (1) simple contract: inserts values into a table.
+  BRDB_RETURN_NOT_OK(
+      registry->RegisterNative("simple", [](ContractContext* ctx) -> Status {
+        auto r = ctx->Execute("INSERT INTO kv VALUES ($1, $2)", ctx->args());
+        return r.ok() ? Status::OK() : r.status();
+      }));
+  // (2) complex-join contract: join two tables, aggregate, write the
+  // result into a third table.
+  BRDB_RETURN_NOT_OK(registry->RegisterNative(
+      "complex_join", [](ContractContext* ctx) -> Status {
+        // args: $1 = result id, $2 = region
+        auto total = ctx->Execute(
+            "SELECT COALESCE(SUM(o.amount), 0) FROM orders o "
+            "JOIN customers c ON o.cust = c.cust_id WHERE c.region = $1",
+            {ctx->args()[1]});
+        if (!total.ok()) return total.status();
+        auto v = total.value().Scalar();
+        if (!v.ok()) return v.status();
+        auto ins =
+            ctx->Execute("INSERT INTO region_totals VALUES ($1, $2, $3)",
+                         {ctx->args()[0], ctx->args()[1], v.value()});
+        return ins.ok() ? Status::OK() : ins.status();
+      }));
+  // (3) complex-group contract: aggregate over subgroups, order by the
+  // aggregate, keep the max via LIMIT, write it out.
+  BRDB_RETURN_NOT_OK(registry->RegisterNative(
+      "complex_group", [](ContractContext* ctx) -> Status {
+        // args: $1 = result id, $2..$3 = customer id range to group over
+        auto top = ctx->Execute(
+            "SELECT c.region, SUM(o.amount) AS total FROM orders o "
+            "JOIN customers c ON o.cust = c.cust_id "
+            "WHERE c.cust_id >= $1 AND c.cust_id <= $2 "
+            "GROUP BY c.region ORDER BY total DESC, c.region ASC LIMIT 1",
+            {ctx->args()[1], ctx->args()[2]});
+        if (!top.ok()) return top.status();
+        if (top.value().rows.empty()) {
+          return Status::Aborted("no groups in range");
+        }
+        auto ins = ctx->Execute(
+            "INSERT INTO group_winners VALUES ($1, $2, $3)",
+            {ctx->args()[0], top.value().rows[0][0], top.value().rows[0][1]});
+        return ins.ok() ? Status::OK() : ins.status();
+      }));
+  return Status::OK();
+}
+
+const std::vector<std::string>& WorkloadSchemaStatements() {
+  static const std::vector<std::string> kStatements = {
+      "CREATE TABLE kv (k INT PRIMARY KEY, payload TEXT)",
+      "CREATE TABLE customers (cust_id INT PRIMARY KEY, region TEXT)",
+      "CREATE INDEX idx_region ON customers (region)",
+      "CREATE TABLE orders (order_id INT PRIMARY KEY, cust INT, amount INT)",
+      "CREATE INDEX idx_cust ON orders (cust)",
+      "CREATE TABLE region_totals (id INT PRIMARY KEY, region TEXT, "
+      "total INT)",
+      "CREATE TABLE group_winners (id INT PRIMARY KEY, region TEXT, "
+      "total INT)",
+      "CREATE PROCEDURE seed_customer(2) AS "
+      "INSERT INTO customers VALUES ($1, $2)",
+      "CREATE PROCEDURE seed_order(3) AS "
+      "INSERT INTO orders VALUES ($1, $2, $3)",
+  };
+  return kStatements;
+}
+
+}  // namespace brdb

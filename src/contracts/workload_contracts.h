@@ -1,0 +1,26 @@
+// The paper's §5 evaluation contracts (simple, complex-join,
+// complex-group), registerable on any node's contract registry. They live
+// in src (not bench/) because determinism demands every process in a
+// multi-process cluster install byte-for-byte identical logic: brdb_noded,
+// the in-process benchmarks, and the socket determinism tests all call the
+// same function.
+#ifndef BRDB_CONTRACTS_WORKLOAD_CONTRACTS_H_
+#define BRDB_CONTRACTS_WORKLOAD_CONTRACTS_H_
+
+#include "contracts/contract.h"
+
+namespace brdb {
+
+/// Install the three §5 workload contracts on `registry`:
+///   simple($1 k, $2 payload)            — one INSERT into kv
+///   complex_join($1 id, $2 region)      — join+aggregate, INSERT result
+///   complex_group($1 id, $2..$3 range)  — grouped aggregate top-1, INSERT
+Status RegisterWorkloadContracts(ContractRegistry* registry);
+
+/// The matching evaluation schema, one CREATE statement per entry, in
+/// deployment order (tables before their indexes).
+const std::vector<std::string>& WorkloadSchemaStatements();
+
+}  // namespace brdb
+
+#endif  // BRDB_CONTRACTS_WORKLOAD_CONTRACTS_H_

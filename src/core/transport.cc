@@ -90,14 +90,15 @@ Result<Frame> InProcessTransport::RoundTrip(const Frame& request,
   return Frame::Decode(resp_bytes);
 }
 
-Frame InProcessTransport::ServerDispatch(const Frame& request, size_t peer) {
+Frame DispatchRequestFrame(const Frame& request, DatabaseNode* node,
+                           OrderingService* ordering, TransactionFlow flow) {
   auto status_response = [](const Status& st) {
     Frame f;
     f.kind = FrameKind::kStatusResponse;
     f.body = StatusResponseBody{st, 0}.Encode();
     return f;
   };
-  DatabaseNode* node = peer < nodes_.size() ? nodes_[peer] : nullptr;
+  const bool node_up = node != nullptr && node->running();
 
   switch (request.kind) {
     case FrameKind::kSubmit: {
@@ -112,9 +113,11 @@ Frame InProcessTransport::ServerDispatch(const Frame& request, size_t peer) {
         f.body = resp.Encode();
         return f;
       }
-      const bool eop = flow() == TransactionFlow::kExecuteOrderParallel;
-      if (eop && (node == nullptr || !node->running())) {
+      const bool eop = flow == TransactionFlow::kExecuteOrderParallel;
+      if (eop && !node_up) {
         resp.status = Status::Unavailable("peer not running");
+      } else if (!eop && ordering == nullptr) {
+        resp.status = Status::Unavailable("ordering service unreachable");
       } else {
         for (const std::string& tx_bytes : body.value().encoded_txs) {
           auto tx = Transaction::Decode(tx_bytes);
@@ -124,7 +127,7 @@ Frame InProcessTransport::ServerDispatch(const Frame& request, size_t peer) {
           }
           resp.tx_statuses.push_back(
               eop ? node->SubmitTransaction(tx.value())
-                  : ordering_->SubmitTransaction(tx.value()));
+                  : ordering->SubmitTransaction(tx.value()));
         }
       }
       Frame f;
@@ -137,7 +140,7 @@ Frame InProcessTransport::ServerDispatch(const Frame& request, size_t peer) {
       ResultResponseBody resp;
       if (!body.ok()) {
         resp.status = body.status();
-      } else if (node == nullptr || !node->running()) {
+      } else if (!node_up) {
         resp.status = Status::Unavailable("peer not running");
       } else {
         const QueryRequestBody& q = body.value();
@@ -161,7 +164,7 @@ Frame InProcessTransport::ServerDispatch(const Frame& request, size_t peer) {
       PrepareResponseBody resp;
       if (!body.ok()) {
         resp.status = body.status();
-      } else if (node == nullptr || !node->running()) {
+      } else if (!node_up) {
         resp.status = Status::Unavailable("peer not running");
       } else {
         auto info = node->PrepareQuery(body.value().user, body.value().sql);
@@ -183,7 +186,7 @@ Frame InProcessTransport::ServerDispatch(const Frame& request, size_t peer) {
     case FrameKind::kHeight: {
       Frame f;
       f.kind = FrameKind::kHeightResponse;
-      if (node == nullptr || !node->running()) {
+      if (!node_up) {
         f.body =
             StatusResponseBody{Status::Unavailable("peer not running"), 0}
                 .Encode();
@@ -192,10 +195,47 @@ Frame InProcessTransport::ServerDispatch(const Frame& request, size_t peer) {
       }
       return f;
     }
+    case FrameKind::kFetchBlocks: {
+      // §3.6 catch-up: serve a bounded run of committed blocks from the
+      // local store (also answered by the orderer — see network/cluster.cc).
+      auto body = FetchBlocksBody::Decode(request.body);
+      FetchBlocksResponseBody resp;
+      if (!body.ok()) {
+        resp.status = body.status();
+      } else if (node == nullptr) {
+        resp.status = Status::Unavailable("peer not running");
+      } else {
+        // Deliberately NOT gated on node->running(): the durable store is
+        // valid from construction, and the orderer's restart catch-up may
+        // fetch before this node finished its own startup.
+        BlockNum height = node->block_store()->Height();
+        uint32_t count = std::min<uint32_t>(body.value().max_count,
+                                            kMaxFetchBlocksPerResponse);
+        for (BlockNum h = body.value().from_height;
+             h <= height && resp.encoded_blocks.size() < count; ++h) {
+          auto block = node->block_store()->Get(h);
+          if (!block.ok()) {
+            resp.status = block.status();
+            resp.encoded_blocks.clear();
+            break;
+          }
+          resp.encoded_blocks.push_back(block.value().Encode());
+        }
+      }
+      Frame f;
+      f.kind = FrameKind::kFetchBlocksResponse;
+      f.body = resp.Encode();
+      return f;
+    }
     default:
       return status_response(
           Status::InvalidArgument("unexpected frame kind on request path"));
   }
+}
+
+Frame InProcessTransport::ServerDispatch(const Frame& request, size_t peer) {
+  DatabaseNode* node = peer < nodes_.size() ? nodes_[peer] : nullptr;
+  return DispatchRequestFrame(request, node, ordering_, flow());
 }
 
 Result<std::vector<Status>> InProcessTransport::Submit(

@@ -70,6 +70,15 @@ struct QueryRequest {
 /// Sentinel: let the transport's peer-selection policy pick.
 inline constexpr size_t kAnyPeer = static_cast<size_t>(-1);
 
+/// Server-side dispatch of one decoded request frame against a node's
+/// surface: kSubmit, kQuery, kPrepare, kHeight, kFetchBlocks. Shared by
+/// InProcessTransport (whose "server leg" is a function call) and the TCP
+/// node server (network/cluster.h), so both answer byte-identically.
+/// `flow` routes submits: execute-order-parallel to `node`, order-then-
+/// execute to `ordering`. Either pointer may be null (answers Unavailable).
+Frame DispatchRequestFrame(const Frame& request, DatabaseNode* node,
+                           OrderingService* ordering, TransactionFlow flow);
+
 class Transport {
  public:
   virtual ~Transport() = default;

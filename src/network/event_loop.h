@@ -1,0 +1,134 @@
+// EventLoop: a single-threaded nonblocking epoll reactor with a hashed
+// timer wheel, the foundation of the TCP transport (tcp_transport.h).
+//
+// Ownership model: every fd handler and timer callback runs on the loop
+// thread; all fd/timer mutation APIs must be called from that thread
+// (asserted). The only cross-thread entry point is Post(), which enqueues
+// a task and wakes the loop via an eventfd — public transport APIs marshal
+// themselves onto the loop with it. This keeps every connection's state
+// machine single-threaded and lock-free.
+//
+// Timers are one-shot deadlines (request timeouts, reconnect backoff)
+// hashed into a fixed wheel of 1 ms ticks: insertion and cancellation are
+// O(1); each tick visits one slot. The loop sleeps in epoll_wait with no
+// timeout while the wheel is empty.
+#ifndef BRDB_NETWORK_EVENT_LOOP_H_
+#define BRDB_NETWORK_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace brdb {
+
+/// Readiness bits delivered to fd handlers.
+enum FdEvent : uint32_t {
+  kFdReadable = 1,
+  kFdWritable = 2,
+  kFdError = 4,  ///< EPOLLERR/EPOLLHUP — the fd is dead
+};
+
+class EventLoop {
+ public:
+  using FdHandler = std::function<void(uint32_t events)>;
+  using TimerId = uint64_t;
+  inline static constexpr TimerId kInvalidTimer = 0;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Spawn the loop thread. Idempotent once started.
+  Status Start();
+
+  /// Stop and join the loop thread. Pending timers and posted tasks are
+  /// dropped; registered fds are NOT closed (their owners do that).
+  void Stop();
+
+  bool InLoopThread() const {
+    // Relaxed: a caller racing the loop thread's startup store can only be
+    // OFF the loop thread, and any stale/zero id compares unequal anyway.
+    return std::this_thread::get_id() ==
+           loop_thread_id_.load(std::memory_order_relaxed);
+  }
+
+  // ---- fd registration (loop thread only) ----
+
+  /// Watch `fd` for readability (always) and writability (when
+  /// `want_write`). The handler receives FdEvent bits.
+  Status AddFd(int fd, bool want_write, FdHandler handler);
+
+  /// Toggle EPOLLOUT interest (send-queue drained / refilled).
+  Status SetWantWrite(int fd, bool want_write);
+
+  /// Drop `fd` from the epoll set. Safe while its handler is running
+  /// (pending readiness for it this iteration is skipped).
+  void RemoveFd(int fd);
+
+  // ---- timers (loop thread only) ----
+
+  /// One-shot timer firing `fn` after `delay_us`. Granularity is one wheel
+  /// tick (1 ms); a zero/negative delay fires on the next iteration.
+  TimerId AddTimer(Micros delay_us, std::function<void()> fn);
+  void CancelTimer(TimerId id);
+
+  // ---- cross-thread ----
+
+  /// Run `task` on the loop thread as soon as possible. Thread-safe; the
+  /// only EventLoop API callable off the loop thread. Returns false when
+  /// the loop is stopped (the task is dropped).
+  bool Post(std::function<void()> task);
+
+ private:
+  static constexpr int kWheelSlots = 512;     // power of two
+  static constexpr Micros kTickUs = 1000;     // 1 ms per tick
+
+  struct Timer {
+    TimerId id;
+    uint64_t expiry_tick;
+    std::function<void()> fn;
+  };
+
+  void Run();
+  void AdvanceWheel(uint64_t now_tick);
+  void Wake();
+  int EpollTimeoutMs() const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd
+  std::thread thread_;
+  std::atomic<std::thread::id> loop_thread_id_{};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  // fd → handler; fds removed mid-iteration are also dropped from the
+  // current readiness batch via this map.
+  std::unordered_map<int, FdHandler> handlers_;
+  std::unordered_map<int, bool> want_write_;
+
+  // Hashed timer wheel. alive_ doubles as the cancellation set: a slot
+  // entry whose id is gone was cancelled.
+  std::vector<std::vector<Timer>> wheel_{kWheelSlots};
+  std::unordered_set<TimerId> alive_;
+  TimerId next_timer_id_ = 1;
+  uint64_t last_tick_ = 0;
+  size_t timer_count_ = 0;
+
+  std::mutex post_mu_;
+  std::deque<std::function<void()>> posted_;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_NETWORK_EVENT_LOOP_H_

@@ -29,6 +29,16 @@ size_t DefaultStripes() {
 // PredicateIndex
 // ---------------------------------------------------------------------------
 
+uint64_t PredicateIndex::PackTextPrefix(const std::string& s) {
+  uint64_t key = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    key = (key << 8) |
+          (i < s.size() ? static_cast<uint64_t>(static_cast<uint8_t>(s[i]))
+                        : 0);
+  }
+  return key;
+}
+
 void PredicateIndex::Add(TxnId reader, const PredicateRead& predicate) {
   if (predicate.column < 0) {
     full_scans_.push_back(Entry{reader, predicate});
@@ -49,6 +59,32 @@ void PredicateIndex::Add(TxnId reader, const PredicateRead& predicate) {
         ++size_;
       }
       return;
+    }
+  }
+  if (predicate.lo.has_value() && predicate.hi.has_value() &&
+      predicate.lo->type() == ValueType::kText &&
+      predicate.hi->type() == ValueType::kText) {
+    uint64_t klo = PackTextPrefix(predicate.lo->AsText());
+    uint64_t khi = PackTextPrefix(predicate.hi->AsText());
+    // klo <= khi whenever lo <= hi (prefix packing is monotone); an
+    // inverted range covers nothing and parks harmlessly in `wide`.
+    if (klo <= khi) {
+      // Climb the ladder to the first byte shift narrow enough to bucket.
+      // A point predicate lands at shift 0; a range sharing n lead bytes
+      // lands at or below shift 8*(8-n). Shift 56 leaves single-byte
+      // buckets, so any range still wider than kMaxBucketSpan there spans
+      // most of the keyspace and belongs in `wide` anyway.
+      for (int shift = 0; shift <= 56; shift += 8) {
+        uint64_t lob = klo >> shift;
+        uint64_t hib = khi >> shift;
+        if (hib - lob < static_cast<uint64_t>(kMaxBucketSpan)) {
+          for (uint64_t b = lob; b <= hib; ++b) {
+            ci.text_levels[shift][b].push_back(Entry{reader, predicate});
+            ++size_;
+          }
+          return;
+        }
+      }
     }
   }
   ci.wide.push_back(Entry{reader, predicate});
@@ -98,9 +134,20 @@ void PredicateIndex::Match(const Row& values, std::vector<TxnId>* out) const {
         }
         break;
       }
+      case ValueType::kText: {
+        // Probe one bucket per populated ladder level. Both-int-bounded
+        // ranges never cover text (text orders above every int), so the
+        // int buckets are skipped.
+        uint64_t key = PackTextPrefix(v.AsText());
+        for (const auto& [shift, level] : ci.text_levels) {
+          auto it = level.find(key >> shift);
+          if (it != level.end()) ProbeList(it->second, values, out);
+        }
+        break;
+      }
       default:
-        // bool/text/null order entirely below or above every int under
-        // Value::Compare, so both-int-bounded ranges never cover them.
+        // bool/null order entirely below or above every int and every
+        // text under Value::Compare, so no bucketed range covers them.
         break;
     }
     ProbeList(ci.wide, values, out);
@@ -125,7 +172,14 @@ void PredicateIndex::RemoveReaders(const std::unordered_set<TxnId>& readers) {
       prune(&it->second);
       it = it->second.empty() ? ci.buckets.erase(it) : std::next(it);
     }
-    col_it = (ci.wide.empty() && ci.buckets.empty())
+    for (auto lvl = ci.text_levels.begin(); lvl != ci.text_levels.end();) {
+      for (auto it = lvl->second.begin(); it != lvl->second.end();) {
+        prune(&it->second);
+        it = it->second.empty() ? lvl->second.erase(it) : std::next(it);
+      }
+      lvl = lvl->second.empty() ? ci.text_levels.erase(lvl) : std::next(lvl);
+    }
+    col_it = (ci.wide.empty() && ci.buckets.empty() && ci.text_levels.empty())
                  ? by_column_.erase(col_it)
                  : std::next(col_it);
   }

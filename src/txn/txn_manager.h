@@ -37,6 +37,8 @@
 
 #include <atomic>
 #include <map>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -92,16 +94,26 @@ struct PredicateRead {
 ///  * per column, int-bounded ranges bucketed by `key >> kBucketShift` —
 ///    a write probes the single bucket of its value, so point lookups and
 ///    narrow ranges (the EOP-mandated index scans) cost O(bucket);
-///  * a per-column "wide" list for everything else (unbounded or non-int
-///    bounds, ranges spanning > kMaxBucketSpan buckets).
+///  * per column, text-bounded ranges bucketed by a big-endian uint64 of
+///    the first 8 bytes, under a shift ladder: each predicate registers at
+///    the smallest byte-aligned shift whose bucket span stays narrow, so a
+///    point lookup ("name = 'alice'") lands at shift 0 and a prefix range
+///    ("k0000".."k0999", 5 shared lead bytes) a few levels up; a write
+///    probes one bucket per populated level (at most 8);
+///  * a per-column "wide" list for everything else (unbounded or
+///    mixed-type bounds, ranges spanning > kMaxBucketSpan buckets at every
+///    ladder level).
 /// Matching candidates are still checked with PredicateRead::Covers, so the
 /// rw-edge set is exactly the one the linear walk produced — bucketing only
 /// prunes predicates that provably cannot cover the value (a double value
 /// below 2^53 probes the bucket of its floor, which any covering int range
 /// contains; NaN and magnitudes at or beyond 2^53, where int->double
 /// comparison turns lossy, degenerate to probing every bucket; bool/text/
-/// null values sit outside every both-int-bounded range under
-/// Value::Compare's type ordering). Guarded by the owning stripe's mutex.
+/// null values sit outside every both-int-bounded range, and non-text
+/// values outside every both-text-bounded range, under Value::Compare's
+/// type ordering — the uint64 prefix key is monotone in lexicographic
+/// order, so a covering text range always contains the value's key).
+/// Guarded by the owning stripe's mutex.
 class PredicateIndex {
  public:
   void Add(TxnId reader, const PredicateRead& predicate);
@@ -126,6 +138,11 @@ class PredicateIndex {
   };
   struct ColumnIndex {
     std::unordered_map<int64_t, std::vector<Entry>> buckets;
+    /// Text shift ladder: shift (0, 8, .., 56) -> prefix-key bucket ->
+    /// entries. std::map: iteration probes the populated levels only, and
+    /// there are at most 8.
+    std::map<int, std::unordered_map<uint64_t, std::vector<Entry>>>
+        text_levels;
     std::vector<Entry> wide;
   };
 
@@ -133,6 +150,10 @@ class PredicateIndex {
   /// Ranges spanning more buckets than this register in `wide` instead
   /// (bounds the per-predicate duplication to kMaxBucketSpan entries).
   static constexpr int64_t kMaxBucketSpan = 8;
+
+  /// First 8 bytes of `s`, big-endian, zero-padded: monotone with respect
+  /// to lexicographic order (s1 <= s2 implies Pack(s1) <= Pack(s2)).
+  static uint64_t PackTextPrefix(const std::string& s);
 
   static void ProbeList(const std::vector<Entry>& entries, const Row& values,
                         std::vector<TxnId>* out);

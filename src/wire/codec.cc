@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "wire/crc32.h"
+
 namespace brdb {
 
 void Encoder::PutU32(uint32_t v) {
@@ -75,11 +77,102 @@ Result<Frame> Frame::Decode(const std::string& bytes) {
     return Status::Corruption("frame: truncated or trailing bytes");
   }
   if (kind < static_cast<uint8_t>(FrameKind::kSubmit) ||
-      kind > static_cast<uint8_t>(FrameKind::kDecisionEvent)) {
+      kind > kMaxFrameKind) {
     return Status::Corruption("frame: unknown kind");
   }
   f.kind = static_cast<FrameKind>(kind);
   return f;
+}
+
+bool IsRequestFrameKind(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kSubmit:
+    case FrameKind::kQuery:
+    case FrameKind::kPrepare:
+    case FrameKind::kHeight:
+    case FrameKind::kSubscribeDecisions:
+    case FrameKind::kFetchBlocks:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsResponseFrameKind(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kStatusResponse:
+    case FrameKind::kResultResponse:
+    case FrameKind::kPrepareResponse:
+    case FrameKind::kHeightResponse:
+    case FrameKind::kFetchBlocksResponse:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------- socket framing ----------------
+
+std::string EncodeFramedBytes(const std::string& frame_bytes) {
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(frame_bytes.size()));
+  enc.PutU32(Crc32(frame_bytes));
+  enc.PutBytesRaw(frame_bytes);
+  return enc.Take();
+}
+
+Status FrameAssembler::Poison(const std::string& why) {
+  poisoned_ = true;
+  buf_.clear();
+  consumed_ = 0;
+  return Status::Corruption("stream: " + why);
+}
+
+void FrameAssembler::Compact() {
+  // Reclaim the consumed prefix once it dominates the buffer, so a
+  // long-lived connection doesn't hold every byte it ever received.
+  if (consumed_ > 4096 && consumed_ * 2 >= buf_.size()) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+Status FrameAssembler::Feed(const char* data, size_t n) {
+  if (poisoned_) return Status::Corruption("stream: poisoned");
+  // Validate a pending oversize declaration before buffering more: the
+  // length field alone must be enough to reject a hostile frame, without
+  // ever accumulating its payload.
+  if (buffered_bytes() >= 4) {
+    uint32_t len;
+    std::memcpy(&len, buf_.data() + consumed_, 4);
+    if (len > max_frame_bytes_) {
+      return Poison("declared frame exceeds max length");
+    }
+  }
+  buf_.append(data, n);
+  return Status::OK();
+}
+
+Status FrameAssembler::Next(Frame* out, bool* have) {
+  *have = false;
+  if (poisoned_) return Status::Corruption("stream: poisoned");
+  if (buffered_bytes() < 8) return Status::OK();
+  uint32_t len, crc;
+  std::memcpy(&len, buf_.data() + consumed_, 4);
+  std::memcpy(&crc, buf_.data() + consumed_ + 4, 4);
+  if (len > max_frame_bytes_) {
+    return Poison("declared frame exceeds max length");
+  }
+  if (buffered_bytes() < 8 + static_cast<size_t>(len)) return Status::OK();
+  const char* payload = buf_.data() + consumed_ + 8;
+  if (Crc32(payload, len) != crc) return Poison("frame CRC mismatch");
+  auto frame = Frame::Decode(std::string(payload, len));
+  if (!frame.ok()) return Poison(frame.status().message());
+  consumed_ += 8 + len;
+  Compact();
+  *out = std::move(frame).value();
+  *have = true;
+  return Status::OK();
 }
 
 void EncodeStatusTo(Encoder* enc, const Status& status) {
@@ -322,6 +415,174 @@ Result<DecisionEventBody> DecisionEventBody::Decode(const std::string& bytes) {
       !DecodeStatusFrom(&dec, &body.status) || !dec.GetU64(&body.block) ||
       !dec.AtEnd()) {
     return Status::Corruption("decision event: truncated");
+  }
+  return body;
+}
+
+// ---------------- channel-auth handshake bodies ----------------
+
+std::string HelloBody::Encode() const {
+  Encoder enc;
+  enc.PutU32(version);
+  enc.PutString(name);
+  enc.PutU8(purpose);
+  enc.PutU64(nonce);
+  enc.PutU64(chain_height);
+  return enc.Take();
+}
+
+Result<HelloBody> HelloBody::Decode(const std::string& bytes) {
+  Decoder dec(bytes);
+  HelloBody body;
+  if (!dec.GetU32(&body.version) || !dec.GetString(&body.name) ||
+      !dec.GetU8(&body.purpose) || !dec.GetU64(&body.nonce) ||
+      !dec.GetU64(&body.chain_height) || !dec.AtEnd()) {
+    return Status::Corruption("hello: truncated");
+  }
+  if (body.purpose > static_cast<uint8_t>(ChannelPurpose::kOrderer)) {
+    return Status::Corruption("hello: unknown purpose");
+  }
+  return body;
+}
+
+std::string AuthChallengeBody::Encode() const {
+  Encoder enc;
+  enc.PutString(server_name);
+  enc.PutU64(nonce);
+  enc.PutString(signature);
+  return enc.Take();
+}
+
+Result<AuthChallengeBody> AuthChallengeBody::Decode(const std::string& bytes) {
+  Decoder dec(bytes);
+  AuthChallengeBody body;
+  if (!dec.GetString(&body.server_name) || !dec.GetU64(&body.nonce) ||
+      !dec.GetString(&body.signature) || !dec.AtEnd()) {
+    return Status::Corruption("auth challenge: truncated");
+  }
+  return body;
+}
+
+std::string AuthProofBody::Encode() const {
+  Encoder enc;
+  enc.PutString(signature);
+  return enc.Take();
+}
+
+Result<AuthProofBody> AuthProofBody::Decode(const std::string& bytes) {
+  Decoder dec(bytes);
+  AuthProofBody body;
+  if (!dec.GetString(&body.signature) || !dec.AtEnd()) {
+    return Status::Corruption("auth proof: truncated");
+  }
+  return body;
+}
+
+std::string AuthResultBody::Encode() const {
+  Encoder enc;
+  EncodeStatusTo(&enc, status);
+  enc.PutString(server_name);
+  enc.PutU64(chain_height);
+  return enc.Take();
+}
+
+Result<AuthResultBody> AuthResultBody::Decode(const std::string& bytes) {
+  Decoder dec(bytes);
+  AuthResultBody body;
+  if (!DecodeStatusFrom(&dec, &body.status) ||
+      !dec.GetString(&body.server_name) || !dec.GetU64(&body.chain_height) ||
+      !dec.AtEnd()) {
+    return Status::Corruption("auth result: truncated");
+  }
+  return body;
+}
+
+std::string HandshakeTranscript(const std::string& role,
+                                const std::string& dialer_name,
+                                const std::string& acceptor_name,
+                                uint64_t dialer_nonce,
+                                uint64_t acceptor_nonce) {
+  Encoder enc;
+  enc.PutString("brdb-channel-auth-v1");
+  enc.PutString(role);
+  enc.PutString(dialer_name);
+  enc.PutString(acceptor_name);
+  enc.PutU64(dialer_nonce);
+  enc.PutU64(acceptor_nonce);
+  return enc.Take();
+}
+
+// ---------------- multi-process cluster bodies ----------------
+
+std::string NetRelayBody::Encode() const {
+  Encoder enc;
+  enc.PutString(from);
+  enc.PutString(to);
+  enc.PutString(type);
+  enc.PutString(payload);
+  return enc.Take();
+}
+
+Result<NetRelayBody> NetRelayBody::Decode(const std::string& bytes) {
+  Decoder dec(bytes);
+  NetRelayBody body;
+  if (!dec.GetString(&body.from) || !dec.GetString(&body.to) ||
+      !dec.GetString(&body.type) || !dec.GetString(&body.payload) ||
+      !dec.AtEnd()) {
+    return Status::Corruption("net relay: truncated");
+  }
+  return body;
+}
+
+std::string FetchBlocksBody::Encode() const {
+  Encoder enc;
+  enc.PutU64(from_height);
+  enc.PutU32(max_count);
+  return enc.Take();
+}
+
+Result<FetchBlocksBody> FetchBlocksBody::Decode(const std::string& bytes) {
+  Decoder dec(bytes);
+  FetchBlocksBody body;
+  if (!dec.GetU64(&body.from_height) || !dec.GetU32(&body.max_count) ||
+      !dec.AtEnd()) {
+    return Status::Corruption("fetch blocks: truncated");
+  }
+  return body;
+}
+
+std::string FetchBlocksResponseBody::Encode() const {
+  Encoder enc;
+  EncodeStatusTo(&enc, status);
+  enc.PutU32(static_cast<uint32_t>(encoded_blocks.size()));
+  for (const auto& b : encoded_blocks) enc.PutString(b);
+  return enc.Take();
+}
+
+Result<FetchBlocksResponseBody> FetchBlocksResponseBody::Decode(
+    const std::string& bytes) {
+  Decoder dec(bytes);
+  FetchBlocksResponseBody body;
+  if (!DecodeStatusFrom(&dec, &body.status)) {
+    return Status::Corruption("fetch blocks response: truncated status");
+  }
+  uint32_t n;
+  if (!dec.GetU32(&n)) {
+    return Status::Corruption("fetch blocks response: truncated count");
+  }
+  if (static_cast<size_t>(n) > bytes.size()) {
+    return Status::Corruption("fetch blocks response: count exceeds input");
+  }
+  body.encoded_blocks.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string b;
+    if (!dec.GetString(&b)) {
+      return Status::Corruption("fetch blocks response: truncated block");
+    }
+    body.encoded_blocks.push_back(std::move(b));
+  }
+  if (!dec.AtEnd()) {
+    return Status::Corruption("fetch blocks response: trailing bytes");
   }
   return body;
 }

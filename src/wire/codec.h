@@ -78,7 +78,26 @@ enum class FrameKind : uint8_t {
   kPrepareResponse = 7,  ///< peer → client: status + statement metadata
   kHeightResponse = 8,   ///< peer → client: committed height
   kDecisionEvent = 9,    ///< peer → client: commit/abort notification
+
+  // Socket transport (network/tcp_transport.h). A connection speaks
+  // nothing but the handshake kinds until kAuthResult succeeds.
+  kHello = 10,            ///< dialer → acceptor: open channel-auth
+  kAuthChallenge = 11,    ///< acceptor → dialer: nonce + server signature
+  kAuthProof = 12,        ///< dialer → acceptor: client signature
+  kAuthResult = 13,       ///< acceptor → dialer: verdict + server info
+  kSubscribeDecisions = 14,  ///< client → peer: start decision stream
+  kNetRelay = 15,         ///< process ↔ process: forwarded NetMessage
+  kFetchBlocks = 16,      ///< either direction: block range request (§3.6)
+  kFetchBlocksResponse = 17,  ///< blocks for a kFetchBlocks request
 };
+
+inline constexpr uint8_t kMaxFrameKind =
+    static_cast<uint8_t>(FrameKind::kFetchBlocksResponse);
+
+/// True for kinds that initiate a request a responder answers by seq.
+bool IsRequestFrameKind(FrameKind kind);
+/// True for kinds that answer a request (matched to a pending seq).
+bool IsResponseFrameKind(FrameKind kind);
 
 struct Frame {
   FrameKind kind = FrameKind::kStatusResponse;
@@ -87,6 +106,62 @@ struct Frame {
 
   std::string Encode() const;
   static Result<Frame> Decode(const std::string& bytes);
+};
+
+// ---------------- socket framing ----------------
+//
+// On a byte stream every frame is wrapped  u32 length | u32 crc32 | payload
+// (payload = Frame::Encode()). The length is validated against
+// kMaxFrameBytes and the CRC against the payload BEFORE the payload is
+// parsed — a hostile peer must not be able to make a node allocate
+// gigabytes or crash on garbage. A framing violation is a connection-fatal
+// kCorruption: the stream has lost sync and must be closed.
+
+/// Upper bound on one frame's payload. Large enough for a full-size block
+/// batch response, small enough that a forged length cannot balloon memory.
+inline constexpr size_t kMaxFrameBytes = 32u << 20;  // 32 MiB
+
+/// Wrap an encoded frame for a byte stream: length + CRC header + payload.
+std::string EncodeFramedBytes(const std::string& frame_bytes);
+inline std::string EncodeFramed(const Frame& frame) {
+  return EncodeFramedBytes(frame.Encode());
+}
+
+/// Incremental stream reassembler for the receive side of a socket. Feed()
+/// raw bytes as they arrive; Next() yields complete frames. Hostile-input
+/// contract: a declared length beyond `max_frame_bytes` or a CRC mismatch
+/// poisons the assembler (every later call returns kCorruption) because a
+/// byte stream cannot resynchronize after a framing error. The internal
+/// buffer never grows past header + one accepted frame beyond what the
+/// kernel actually delivered.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Append received bytes. Fails fast when a previously buffered header
+  /// already declared an oversize frame.
+  Status Feed(const char* data, size_t n);
+  Status Feed(const std::string& bytes) {
+    return Feed(bytes.data(), bytes.size());
+  }
+
+  /// Extract the next complete frame. Sets *have = false (and returns OK)
+  /// when more bytes are needed; kCorruption on length/CRC/decode
+  /// violations.
+  Status Next(Frame* out, bool* have);
+
+  size_t buffered_bytes() const { return buf_.size() - consumed_; }
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  Status Poison(const std::string& why);
+  void Compact();
+
+  size_t max_frame_bytes_;
+  std::string buf_;
+  size_t consumed_ = 0;  ///< prefix of buf_ already handed out
+  bool poisoned_ = false;
 };
 
 /// Status payload helpers shared by the response bodies.
@@ -171,6 +246,110 @@ struct DecisionEventBody {
 
   std::string Encode() const;
   static Result<DecisionEventBody> Decode(const std::string& bytes);
+};
+
+// ---------------- channel-auth handshake bodies ----------------
+//
+// Three-message mutual authentication before any other frame is accepted
+// on a TCP connection (docs/API.md "TCP framing"):
+//   dialer → kHello{name, purpose, nonce_c}        (unsigned)
+//   acceptor → kAuthChallenge{server, nonce_s, sig_s over transcript}
+//   dialer → kAuthProof{sig_c over transcript}
+//   acceptor → kAuthResult{status, ...}
+// Both signatures are Schnorr over the canonical transcript encoding
+// (HandshakeTranscript below), binding each side's identity to both
+// nonces so a recorded handshake cannot be replayed.
+
+enum class ChannelPurpose : uint8_t {
+  kClientSession = 0,  ///< a Session client speaking request frames
+  kPeerNode = 1,       ///< another database node (relay + fetch frames)
+  kOrderer = 2,        ///< the ordering service
+};
+
+/// kHello body (dialer → acceptor, unsigned).
+struct HelloBody {
+  uint32_t version = 1;
+  std::string name;  ///< dialer's registered identity name
+  uint8_t purpose = 0;  ///< ChannelPurpose
+  uint64_t nonce = 0;
+  uint64_t chain_height = 0;  ///< peer purpose: durable height (catch-up)
+
+  std::string Encode() const;
+  static Result<HelloBody> Decode(const std::string& bytes);
+};
+
+/// kAuthChallenge body (acceptor → dialer).
+struct AuthChallengeBody {
+  std::string server_name;
+  uint64_t nonce = 0;
+  std::string signature;  ///< Signature::Serialize over server transcript
+
+  std::string Encode() const;
+  static Result<AuthChallengeBody> Decode(const std::string& bytes);
+};
+
+/// kAuthProof body (dialer → acceptor).
+struct AuthProofBody {
+  std::string signature;  ///< Signature::Serialize over client transcript
+
+  std::string Encode() const;
+  static Result<AuthProofBody> Decode(const std::string& bytes);
+};
+
+/// kAuthResult body (acceptor → dialer): verdict + server info.
+struct AuthResultBody {
+  Status status;
+  std::string server_name;
+  uint64_t chain_height = 0;  ///< acceptor's committed height at accept
+
+  std::string Encode() const;
+  static Result<AuthResultBody> Decode(const std::string& bytes);
+};
+
+/// Canonical transcript bytes both handshake signatures cover. `role` is
+/// "s" for the acceptor's signature and "c" for the dialer's, so neither
+/// side's signature can be replayed as the other's.
+std::string HandshakeTranscript(const std::string& role,
+                                const std::string& dialer_name,
+                                const std::string& acceptor_name,
+                                uint64_t dialer_nonce,
+                                uint64_t acceptor_nonce);
+
+// ---------------- multi-process cluster bodies ----------------
+
+/// kNetRelay body: a SimNetwork NetMessage shipped between process
+/// domains (network/cluster.h). One-way; never answered.
+struct NetRelayBody {
+  std::string from;
+  std::string to;
+  std::string type;  ///< NetMessage type tag (kMsgBlock, kMsgVote, ...)
+  std::string payload;
+
+  std::string Encode() const;
+  static Result<NetRelayBody> Decode(const std::string& bytes);
+};
+
+/// kFetchBlocks body: §3.6 catch-up range request.
+struct FetchBlocksBody {
+  uint64_t from_height = 0;
+  uint32_t max_count = 0;
+
+  std::string Encode() const;
+  static Result<FetchBlocksBody> Decode(const std::string& bytes);
+};
+
+/// Server-side clamp on blocks per kFetchBlocksResponse, so a greedy
+/// max_count cannot build a response past kMaxFrameBytes; clients page.
+inline constexpr uint32_t kMaxFetchBlocksPerResponse = 256;
+
+/// kFetchBlocksResponse body: canonical block encodings, ascending and
+/// contiguous from the requested height (possibly fewer than asked).
+struct FetchBlocksResponseBody {
+  Status status;
+  std::vector<std::string> encoded_blocks;
+
+  std::string Encode() const;
+  static Result<FetchBlocksResponseBody> Decode(const std::string& bytes);
 };
 
 }  // namespace brdb

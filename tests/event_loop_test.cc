@@ -1,0 +1,290 @@
+// EventLoop (network/event_loop.h): the epoll reactor + timer wheel under
+// the TCP transport. Everything here drives the loop from the outside via
+// Post(), the only cross-thread entry point.
+#include "network/event_loop.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace brdb {
+namespace {
+
+/// Run `fn` on the loop thread and wait for it to finish.
+template <typename Fn>
+void OnLoop(EventLoop* loop, Fn fn) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  ASSERT_TRUE(loop->Post([&] {
+    fn();
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_one();
+  }));
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+}
+
+TEST(EventLoopTest, PostRunsOnLoopThread) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  bool in_loop = false;
+  OnLoop(&loop, [&] { in_loop = loop.InLoopThread(); });
+  EXPECT_TRUE(in_loop);
+  EXPECT_FALSE(loop.InLoopThread());
+  loop.Stop();
+}
+
+TEST(EventLoopTest, PostAfterStopReturnsFalse) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  loop.Stop();
+  EXPECT_FALSE(loop.Post([] {}));
+}
+
+TEST(EventLoopTest, TimerFires) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fired = false;
+  OnLoop(&loop, [&] {
+    loop.AddTimer(5'000, [&] {
+      std::lock_guard<std::mutex> lock(mu);
+      fired = true;
+      cv.notify_one();
+    });
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return fired; }));
+  loop.Stop();
+}
+
+TEST(EventLoopTest, TimersFireInDeadlineOrder) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> order;
+  OnLoop(&loop, [&] {
+    // Inserted out of order; must fire 1, 2, 3.
+    loop.AddTimer(30'000, [&] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(3);
+      cv.notify_one();
+    });
+    loop.AddTimer(2'000, [&] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(1);
+    });
+    loop.AddTimer(15'000, [&] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(2);
+    });
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return order.size() == 3; }));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  loop.Stop();
+}
+
+TEST(EventLoopTest, CancelledTimerNeverFires) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  std::atomic<bool> cancelled_fired{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool sentinel_fired = false;
+  OnLoop(&loop, [&] {
+    EventLoop::TimerId id =
+        loop.AddTimer(10'000, [&] { cancelled_fired = true; });
+    loop.CancelTimer(id);
+    // A later sentinel proves the wheel advanced past the cancelled slot.
+    loop.AddTimer(30'000, [&] {
+      std::lock_guard<std::mutex> lock(mu);
+      sentinel_fired = true;
+      cv.notify_one();
+    });
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return sentinel_fired; }));
+  EXPECT_FALSE(cancelled_fired.load());
+  loop.Stop();
+}
+
+TEST(EventLoopTest, TimerBeyondOneWheelRotationFires) {
+  // 512 slots x 1 ms = 512 ms per rotation; 700 ms wraps the wheel, so the
+  // entry shares a slot with earlier ticks and must NOT fire early.
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fired = false;
+  Micros fired_at = 0;
+  Micros start = RealClock::Shared()->NowMicros();
+  OnLoop(&loop, [&] {
+    loop.AddTimer(700'000, [&] {
+      std::lock_guard<std::mutex> lock(mu);
+      fired = true;
+      fired_at = RealClock::Shared()->NowMicros();
+      cv.notify_one();
+    });
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                          [&] { return fired; }));
+  EXPECT_GE(fired_at - start, 700'000);
+  loop.Stop();
+}
+
+TEST(EventLoopTest, ManyConcurrentTimersAllFire) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  constexpr int kTimers = 300;
+  std::mutex mu;
+  std::condition_variable cv;
+  int fired = 0;
+  OnLoop(&loop, [&] {
+    for (int i = 0; i < kTimers; ++i) {
+      loop.AddTimer(1'000 + (i % 50) * 1'000, [&] {
+        std::lock_guard<std::mutex> lock(mu);
+        if (++fired == kTimers) cv.notify_one();
+      });
+    }
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                          [&] { return fired == kTimers; }));
+  loop.Stop();
+}
+
+TEST(EventLoopTest, FdReadabilityDispatch) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  int fds[2];
+  ASSERT_EQ(0, pipe(fds));
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string received;
+  OnLoop(&loop, [&] {
+    ASSERT_TRUE(loop.AddFd(fds[0], /*want_write=*/false,
+                           [&](uint32_t events) {
+                             if (!(events & kFdReadable)) return;
+                             char buf[64];
+                             ssize_t n = read(fds[0], buf, sizeof(buf));
+                             std::lock_guard<std::mutex> lock(mu);
+                             if (n > 0) received.append(buf, n);
+                             cv.notify_one();
+                           })
+                    .ok());
+  });
+  ASSERT_EQ(5, write(fds[1], "hello", 5));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return received == "hello"; }));
+  }
+  OnLoop(&loop, [&] { loop.RemoveFd(fds[0]); });
+  loop.Stop();
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(EventLoopTest, RemoveFdDuringOwnHandlerIsSafe) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  int fds[2];
+  ASSERT_EQ(0, pipe(fds));
+  std::mutex mu;
+  std::condition_variable cv;
+  int calls = 0;
+  OnLoop(&loop, [&] {
+    ASSERT_TRUE(loop.AddFd(fds[0], false,
+                           [&](uint32_t) {
+                             loop.RemoveFd(fds[0]);  // self-removal
+                             std::lock_guard<std::mutex> lock(mu);
+                             ++calls;
+                             cv.notify_one();
+                           })
+                    .ok());
+  });
+  ASSERT_EQ(1, write(fds[1], "x", 1));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return calls == 1; }));
+  }
+  // More writes must not re-trigger the removed handler.
+  ASSERT_EQ(1, write(fds[1], "y", 1));
+  std::mutex mu2;
+  std::condition_variable cv2;
+  bool settled = false;
+  OnLoop(&loop, [&] {
+    loop.AddTimer(20'000, [&] {
+      std::lock_guard<std::mutex> lock(mu2);
+      settled = true;
+      cv2.notify_one();
+    });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu2);
+    ASSERT_TRUE(cv2.wait_for(lock, std::chrono::seconds(5),
+                             [&] { return settled; }));
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(1, calls);
+  loop.Stop();
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(EventLoopTest, PostsFromManyThreads) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::atomic<int> ran{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        loop.Post([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Drain: a post that completes after all the above were enqueued.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool drained = false;
+  loop.Post([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    drained = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return drained; }));
+  EXPECT_EQ(kThreads * kPerThread, ran.load());
+  loop.Stop();
+}
+
+TEST(EventLoopTest, StartAndStopAreIdempotent) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  ASSERT_TRUE(loop.Start().ok());  // idempotent while running
+  loop.Stop();
+  loop.Stop();  // idempotent after stop
+}
+
+}  // namespace
+}  // namespace brdb

@@ -1,0 +1,278 @@
+// FrameAssembler (wire/codec.h): the hostile-input boundary of the socket
+// transport. A byte stream cannot resynchronize after a framing error, so
+// every violation must poison the assembler permanently — and no declared
+// length may cause an allocation before it is validated.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "wire/codec.h"
+
+namespace brdb {
+namespace {
+
+Frame MakeFrame(FrameKind kind, uint64_t seq, const std::string& body) {
+  Frame f;
+  f.kind = kind;
+  f.seq = seq;
+  f.body = body;
+  return f;
+}
+
+/// Pull every currently-complete frame out of the assembler.
+std::vector<Frame> DrainAll(FrameAssembler* asm_, Status* final_status) {
+  std::vector<Frame> out;
+  for (;;) {
+    Frame f;
+    bool have = false;
+    Status st = asm_->Next(&f, &have);
+    if (!st.ok()) {
+      *final_status = st;
+      return out;
+    }
+    if (!have) {
+      *final_status = Status::OK();
+      return out;
+    }
+    out.push_back(std::move(f));
+  }
+}
+
+TEST(FrameAssemblerTest, RoundTripSingleFrame) {
+  FrameAssembler assembler;
+  Frame in = MakeFrame(FrameKind::kHeight, 42, "probe");
+  ASSERT_TRUE(assembler.Feed(EncodeFramed(in)).ok());
+  Status st;
+  auto frames = DrainAll(&assembler, &st);
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ(1u, frames.size());
+  EXPECT_EQ(FrameKind::kHeight, frames[0].kind);
+  EXPECT_EQ(42u, frames[0].seq);
+  EXPECT_EQ("probe", frames[0].body);
+}
+
+TEST(FrameAssemblerTest, ByteAtATimeDelivery) {
+  // TCP may deliver any fragmentation; one byte at a time is the worst.
+  FrameAssembler assembler;
+  Frame in = MakeFrame(FrameKind::kQuery, 7, std::string(300, 'q'));
+  std::string wire = EncodeFramed(in);
+  std::vector<Frame> got;
+  for (char c : wire) {
+    ASSERT_TRUE(assembler.Feed(&c, 1).ok());
+    Status st;
+    for (Frame& f : DrainAll(&assembler, &st)) got.push_back(std::move(f));
+    ASSERT_TRUE(st.ok());
+  }
+  ASSERT_EQ(1u, got.size());
+  EXPECT_EQ(in.body, got[0].body);
+}
+
+TEST(FrameAssemblerTest, ManyFramesInOneFeed) {
+  FrameAssembler assembler;
+  std::string wire;
+  for (uint64_t i = 0; i < 50; ++i) {
+    wire += EncodeFramed(
+        MakeFrame(FrameKind::kDecisionEvent, i, "d" + std::to_string(i)));
+  }
+  ASSERT_TRUE(assembler.Feed(wire).ok());
+  Status st;
+  auto frames = DrainAll(&assembler, &st);
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ(50u, frames.size());
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(i, frames[i].seq);
+    EXPECT_EQ("d" + std::to_string(i), frames[i].body);
+  }
+  EXPECT_EQ(0u, assembler.buffered_bytes());
+}
+
+TEST(FrameAssemblerTest, OversizeDeclaredLengthPoisons) {
+  // A forged 2 GiB length must be rejected at the header — before any
+  // payload-sized allocation — and poison the stream.
+  FrameAssembler assembler(/*max_frame_bytes=*/1024);
+  std::string header;
+  uint32_t huge = 0x7fffffff;
+  header.append(reinterpret_cast<const char*>(&huge), 4);
+  uint32_t crc = 0;
+  header.append(reinterpret_cast<const char*>(&crc), 4);
+  Status fed = assembler.Feed(header);
+  Frame f;
+  bool have = true;
+  Status st = assembler.Next(&f, &have);
+  EXPECT_TRUE(!fed.ok() || !st.ok());
+  EXPECT_TRUE(assembler.poisoned());
+  EXPECT_FALSE(have && st.ok());
+}
+
+TEST(FrameAssemblerTest, CrcMismatchPoisons) {
+  FrameAssembler assembler;
+  std::string wire = EncodeFramed(MakeFrame(FrameKind::kHeight, 1, "x"));
+  wire.back() ^= 0x01;  // flip one payload bit; header CRC now mismatches
+  (void)assembler.Feed(wire);
+  Frame f;
+  bool have = false;
+  Status st = assembler.Next(&f, &have);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(assembler.poisoned());
+}
+
+TEST(FrameAssemblerTest, UndecodablePayloadPoisons) {
+  // Correct length + CRC over garbage bytes: framing is fine, Frame::Decode
+  // is not. Still connection-fatal — the sender is broken or hostile.
+  FrameAssembler assembler;
+  std::string garbage = "\xff\xff\xff\xff not a frame";
+  (void)assembler.Feed(EncodeFramedBytes(garbage));
+  Frame f;
+  bool have = false;
+  Status st = assembler.Next(&f, &have);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(assembler.poisoned());
+}
+
+TEST(FrameAssemblerTest, PoisonIsPermanent) {
+  FrameAssembler assembler;
+  std::string bad = EncodeFramed(MakeFrame(FrameKind::kHeight, 1, "x"));
+  bad.back() ^= 0x01;
+  (void)assembler.Feed(bad);
+  Frame f;
+  bool have = false;
+  ASSERT_FALSE(assembler.Next(&f, &have).ok());
+  // A perfectly valid frame afterwards must NOT revive the stream.
+  std::string good = EncodeFramed(MakeFrame(FrameKind::kHeight, 2, "y"));
+  EXPECT_FALSE(assembler.Feed(good).ok() &&
+               assembler.Next(&f, &have).ok());
+  EXPECT_TRUE(assembler.poisoned());
+}
+
+TEST(FrameAssemblerTest, MaxSizeFrameIsAccepted) {
+  // Exactly at the limit passes; the limit is on the payload length.
+  constexpr size_t kLimit = 64 * 1024;
+  FrameAssembler assembler(kLimit);
+  Frame in = MakeFrame(FrameKind::kSubmit, 9, std::string(60 * 1024, 'b'));
+  std::string payload = in.Encode();
+  ASSERT_LE(payload.size(), kLimit);
+  ASSERT_TRUE(assembler.Feed(EncodeFramedBytes(payload)).ok());
+  Status st;
+  auto frames = DrainAll(&assembler, &st);
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ(1u, frames.size());
+  EXPECT_EQ(in.body, frames[0].body);
+}
+
+TEST(FrameAssemblerTest, JustOverLimitPoisons) {
+  constexpr size_t kLimit = 1024;
+  FrameAssembler assembler(kLimit);
+  std::string payload(kLimit + 1, 'z');
+  (void)assembler.Feed(EncodeFramedBytes(payload));
+  Frame f;
+  bool have = false;
+  Status st = assembler.Next(&f, &have);
+  EXPECT_FALSE(st.ok() && have);
+  EXPECT_TRUE(assembler.poisoned());
+}
+
+TEST(FrameAssemblerTest, TruncatedStreamReportsNeedMore) {
+  FrameAssembler assembler;
+  std::string wire =
+      EncodeFramed(MakeFrame(FrameKind::kQuery, 3, std::string(100, 'q')));
+  ASSERT_TRUE(assembler.Feed(wire.data(), wire.size() - 10).ok());
+  Frame f;
+  bool have = true;
+  ASSERT_TRUE(assembler.Next(&f, &have).ok());
+  EXPECT_FALSE(have);
+  EXPECT_FALSE(assembler.poisoned());
+  // The remainder completes it.
+  ASSERT_TRUE(assembler.Feed(wire.data() + wire.size() - 10, 10).ok());
+  ASSERT_TRUE(assembler.Next(&f, &have).ok());
+  EXPECT_TRUE(have);
+  EXPECT_EQ(3u, f.seq);
+}
+
+// ---- the new envelope bodies survive encode/decode round trips ----
+
+TEST(CodecEnvelopeTest, HelloRoundTrip) {
+  HelloBody in;
+  in.version = 1;
+  in.name = "peer-org2";
+  in.purpose = static_cast<uint8_t>(ChannelPurpose::kPeerNode);
+  in.nonce = 0xdeadbeefcafe1234ull;
+  in.chain_height = 77;
+  auto out = HelloBody::Decode(in.Encode());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(in.name, out.value().name);
+  EXPECT_EQ(in.purpose, out.value().purpose);
+  EXPECT_EQ(in.nonce, out.value().nonce);
+  EXPECT_EQ(in.chain_height, out.value().chain_height);
+}
+
+TEST(CodecEnvelopeTest, NetRelayRoundTrip) {
+  NetRelayBody in;
+  in.from = "peer:peer-org1";
+  in.to = "orderer";
+  in.type = "block";
+  in.payload = std::string("\x00\x01\x02", 3);
+  auto out = NetRelayBody::Decode(in.Encode());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(in.from, out.value().from);
+  EXPECT_EQ(in.to, out.value().to);
+  EXPECT_EQ(in.type, out.value().type);
+  EXPECT_EQ(in.payload, out.value().payload);
+}
+
+TEST(CodecEnvelopeTest, FetchBlocksRoundTrip) {
+  FetchBlocksBody req;
+  req.from_height = 12;
+  req.max_count = 256;
+  auto req_out = FetchBlocksBody::Decode(req.Encode());
+  ASSERT_TRUE(req_out.ok());
+  EXPECT_EQ(12u, req_out.value().from_height);
+  EXPECT_EQ(256u, req_out.value().max_count);
+
+  FetchBlocksResponseBody resp;
+  resp.status = Status::OK();
+  resp.encoded_blocks = {"blockA", "blockB"};
+  auto resp_out = FetchBlocksResponseBody::Decode(resp.Encode());
+  ASSERT_TRUE(resp_out.ok());
+  ASSERT_TRUE(resp_out.value().status.ok());
+  EXPECT_EQ(resp.encoded_blocks, resp_out.value().encoded_blocks);
+}
+
+TEST(CodecEnvelopeTest, AuthBodiesRoundTrip) {
+  AuthChallengeBody ch;
+  ch.server_name = "peer-org1";
+  ch.nonce = 99;
+  ch.signature = "sigbytes";
+  auto ch_out = AuthChallengeBody::Decode(ch.Encode());
+  ASSERT_TRUE(ch_out.ok());
+  EXPECT_EQ(ch.server_name, ch_out.value().server_name);
+  EXPECT_EQ(ch.nonce, ch_out.value().nonce);
+  EXPECT_EQ(ch.signature, ch_out.value().signature);
+
+  AuthProofBody pr;
+  pr.signature = "proofbytes";
+  auto pr_out = AuthProofBody::Decode(pr.Encode());
+  ASSERT_TRUE(pr_out.ok());
+  EXPECT_EQ(pr.signature, pr_out.value().signature);
+
+  AuthResultBody res;
+  res.status = Status::PermissionDenied("bad signature");
+  res.server_name = "peer-org1";
+  res.chain_height = 5;
+  auto res_out = AuthResultBody::Decode(res.Encode());
+  ASSERT_TRUE(res_out.ok());
+  EXPECT_EQ(res.status.code(), res_out.value().status.code());
+  EXPECT_EQ(5u, res_out.value().chain_height);
+}
+
+TEST(CodecEnvelopeTest, TranscriptBindsRoleAndNonces) {
+  std::string s = HandshakeTranscript("s", "client", "server", 1, 2);
+  EXPECT_NE(s, HandshakeTranscript("c", "client", "server", 1, 2));
+  EXPECT_NE(s, HandshakeTranscript("s", "client", "server", 3, 2));
+  EXPECT_NE(s, HandshakeTranscript("s", "client", "server", 1, 4));
+  EXPECT_NE(s, HandshakeTranscript("s", "other", "server", 1, 2));
+  EXPECT_EQ(s, HandshakeTranscript("s", "client", "server", 1, 2));
+}
+
+}  // namespace
+}  // namespace brdb

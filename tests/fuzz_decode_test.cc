@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "sql/parser.h"
 #include "wire/block.h"
+#include "wire/codec.h"
 #include "wire/transaction.h"
 
 namespace brdb {
@@ -97,6 +98,80 @@ TEST_P(DecodeFuzz, BitFlipsAreDetectedOrDecodeDifferently) {
     if (r.value().Encode() == bytes) continue;  // decoded back identically
     EXPECT_FALSE(r.value().Authenticate(reg).ok()) << "pos=" << pos;
   }
+}
+
+TEST_P(DecodeFuzz, EnvelopeBodiesNeverCrashOnGarbage) {
+  // The socket transport's frame bodies all parse bytes straight off the
+  // wire from a pre-authentication peer — Hello and the auth bodies parse
+  // BEFORE any signature check, so they are the most exposed surface.
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    std::string garbage = RandomBytes(&rng, 256);
+    (void)Frame::Decode(garbage);
+    (void)HelloBody::Decode(garbage);
+    (void)AuthChallengeBody::Decode(garbage);
+    (void)AuthProofBody::Decode(garbage);
+    (void)AuthResultBody::Decode(garbage);
+    (void)NetRelayBody::Decode(garbage);
+    (void)FetchBlocksBody::Decode(garbage);
+    (void)FetchBlocksResponseBody::Decode(garbage);
+    (void)SubmitRequestBody::Decode(garbage);
+  }
+  SUCCEED();
+}
+
+TEST_P(DecodeFuzz, EnvelopeTruncationsFailCleanly) {
+  Rng rng(GetParam());
+  HelloBody hello;
+  hello.version = 1;
+  hello.name = "peer-" + RandomBytes(&rng, 12);
+  hello.purpose = static_cast<uint8_t>(rng.Uniform(3));
+  hello.nonce = rng.Next();
+  hello.chain_height = rng.Uniform(1000);
+  std::string hb = hello.Encode();
+  for (size_t cut = 0; cut < hb.size(); ++cut) {
+    EXPECT_FALSE(HelloBody::Decode(hb.substr(0, cut)).ok()) << "cut=" << cut;
+  }
+
+  NetRelayBody relay;
+  relay.from = "peer:peer-org1";
+  relay.to = "orderer";
+  relay.type = "block";
+  relay.payload = RandomBytes(&rng, 64);
+  std::string rb = relay.Encode();
+  for (size_t cut = 0; cut < rb.size(); ++cut) {
+    EXPECT_FALSE(NetRelayBody::Decode(rb.substr(0, cut)).ok())
+        << "cut=" << cut;
+  }
+
+  FetchBlocksResponseBody resp;
+  resp.status = Status::OK();
+  for (int i = 0; i < 3; ++i) resp.encoded_blocks.push_back(RandomBytes(&rng, 40));
+  std::string fb = resp.Encode();
+  for (size_t cut = 0; cut < fb.size(); ++cut) {
+    EXPECT_FALSE(FetchBlocksResponseBody::Decode(fb.substr(0, cut)).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST_P(DecodeFuzz, FrameAssemblerSurvivesGarbageStreams) {
+  // Random bytes into the assembler must either report "need more", poison
+  // the stream with a clean error, or (astronomically unlikely) produce a
+  // valid frame — never crash or over-allocate past the frame cap.
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    FrameAssembler assembler(/*max_frame_bytes=*/4096);
+    for (int chunk = 0; chunk < 20 && !assembler.poisoned(); ++chunk) {
+      std::string bytes = RandomBytes(&rng, 64);
+      if (!assembler.Feed(bytes).ok()) break;
+      Frame f;
+      bool have = false;
+      while (assembler.Next(&f, &have).ok() && have) {
+      }
+    }
+    EXPECT_LE(assembler.buffered_bytes(), 4096u + 8);
+  }
+  SUCCEED();
 }
 
 TEST_P(DecodeFuzz, SqlParserNeverCrashesOnGarbage) {

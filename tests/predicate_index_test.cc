@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -145,6 +146,119 @@ TEST(PredicateIndexTest, NonIntValuesOnlySeeCoveringPredicates) {
             (std::vector<TxnId>{2}));
   // NULL sorts first: also covered only by the unbounded-lo range.
   EXPECT_EQ(SortedMatch(index, {Value::Null()}), (std::vector<TxnId>{2}));
+}
+
+PredicateRead MakeTextRange(int column, std::optional<std::string> lo,
+                            std::optional<std::string> hi, bool lo_inc = true,
+                            bool hi_inc = true) {
+  PredicateRead p;
+  p.table = 1;
+  p.column = column;
+  if (lo.has_value()) p.lo = Value::Text(*lo);
+  p.lo_inclusive = lo_inc;
+  if (hi.has_value()) p.hi = Value::Text(*hi);
+  p.hi_inclusive = hi_inc;
+  return p;
+}
+
+TEST(PredicateIndexTest, TextEqualityAndPrefixRangesMatchExactly) {
+  PredicateIndex index;
+  index.Add(1, MakeTextRange(0, "alice", "alice"));    // point, shift 0
+  index.Add(2, MakeTextRange(0, "k100", "k103"));      // narrow, low shift
+  index.Add(3, MakeTextRange(0, "k100", "k199"));      // shared "k1" prefix
+  index.Add(4, MakeTextRange(0, "a", "z"));            // keyspace-wide
+  index.Add(5, MakeTextRange(0, std::nullopt, "m"));   // half-open -> wide
+
+  EXPECT_EQ(SortedMatch(index, {Value::Text("alice")}),
+            (std::vector<TxnId>{1, 4, 5}));
+  EXPECT_EQ(SortedMatch(index, {Value::Text("k101")}),
+            (std::vector<TxnId>{2, 3, 4, 5}));
+  EXPECT_EQ(SortedMatch(index, {Value::Text("k150")}),
+            (std::vector<TxnId>{3, 4, 5}));
+  EXPECT_EQ(SortedMatch(index, {Value::Text("k200")}),
+            (std::vector<TxnId>{4, 5}));
+  EXPECT_EQ(SortedMatch(index, {Value::Text("zz")}),
+            (std::vector<TxnId>{}));
+  // Ints never probe the text ladder: only the half-open predicate's wide
+  // entry could cover, and "m" as an upper bound is above every int.
+  EXPECT_EQ(SortedMatch(index, {Value::Int(42)}), (std::vector<TxnId>{5}));
+}
+
+TEST(PredicateIndexTest, TextExclusiveBoundsRespected) {
+  PredicateIndex index;
+  index.Add(1, MakeTextRange(0, "b", "d", /*lo_inc=*/false,
+                             /*hi_inc=*/false));
+  EXPECT_EQ(SortedMatch(index, {Value::Text("b")}), (std::vector<TxnId>{}));
+  EXPECT_EQ(SortedMatch(index, {Value::Text("bb")}), (std::vector<TxnId>{1}));
+  EXPECT_EQ(SortedMatch(index, {Value::Text("c")}), (std::vector<TxnId>{1}));
+  EXPECT_EQ(SortedMatch(index, {Value::Text("d")}), (std::vector<TxnId>{}));
+}
+
+TEST(PredicateIndexTest, TextBeyondPackedPrefixStillExact) {
+  // Strings sharing their first 8 bytes collapse to one prefix key: the
+  // bucket probe finds them all, and Covers() must separate them.
+  PredicateIndex index;
+  index.Add(1, MakeTextRange(0, "prefix__AAA", "prefix__MMM"));
+  index.Add(2, MakeTextRange(0, "prefix__N", "prefix__R"));
+
+  EXPECT_EQ(SortedMatch(index, {Value::Text("prefix__CCC")}),
+            (std::vector<TxnId>{1}));
+  EXPECT_EQ(SortedMatch(index, {Value::Text("prefix__P")}),
+            (std::vector<TxnId>{2}));
+  EXPECT_EQ(SortedMatch(index, {Value::Text("prefix__zzz")}),
+            (std::vector<TxnId>{}));
+  // A different 8-byte prefix lands in a different bucket entirely.
+  EXPECT_EQ(SortedMatch(index, {Value::Text("prefiy__CCC")}),
+            (std::vector<TxnId>{}));
+}
+
+TEST(PredicateIndexTest, TextRemoveReadersPrunesLadder) {
+  PredicateIndex index;
+  index.Add(1, MakeTextRange(0, "alice", "alice"));
+  index.Add(2, MakeTextRange(0, "k100", "k199"));
+  index.Add(1, MakeTextRange(0, "a", "z"));
+  EXPECT_FALSE(index.empty());
+
+  index.RemoveReaders({1});
+  EXPECT_EQ(SortedMatch(index, {Value::Text("alice")}),
+            (std::vector<TxnId>{}));
+  EXPECT_EQ(SortedMatch(index, {Value::Text("k150")}),
+            (std::vector<TxnId>{2}));
+  index.RemoveReaders({2});
+  EXPECT_TRUE(index.empty());
+}
+
+TEST(PredicateIndexTest, TextFuzzAgainstLinearWalk) {
+  // Dedicated text sweep: random bounds of random lengths, heavy shared
+  // prefixes (so every ladder level gets populated), probes on either side
+  // of the 8-byte packing limit.
+  Rng rng(0xbead);
+  const char* prefixes[] = {"", "k", "key_", "prefix__", "prefix__long"};
+  auto random_text = [&]() {
+    std::string s = prefixes[rng.Uniform(5)];
+    for (size_t i = 0; i < rng.Uniform(6); ++i) {
+      s += static_cast<char>('a' + rng.Uniform(26));
+    }
+    return s;
+  };
+  for (int round = 0; round < 20; ++round) {
+    PredicateIndex index;
+    std::vector<std::pair<TxnId, PredicateRead>> reference;
+    for (TxnId reader = 1; reader <= 150; ++reader) {
+      std::string a = random_text();
+      std::string b = random_text();
+      if (b < a) std::swap(a, b);
+      PredicateRead p = MakeTextRange(0, a, b, rng.Uniform(2) == 0,
+                                      rng.Uniform(2) == 0);
+      index.Add(reader, p);
+      reference.emplace_back(reader, p);
+    }
+    for (int probe = 0; probe < 150; ++probe) {
+      Row values = {Value::Text(random_text())};
+      EXPECT_EQ(SortedMatch(index, values), BruteForce(reference, values))
+          << "round " << round << " probe " << probe;
+    }
+  }
 }
 
 TEST(PredicateIndexTest, RemoveReadersPrunesEverything) {

@@ -1,0 +1,225 @@
+// brdb_noded: hosts one database node or the ordering service as its own
+// OS process. scripts/run_cluster.sh launches five of these (4 nodes + 1
+// orderer) into a loopback TCP cluster.
+//
+// Port discovery: every process binds port 0 (unless --port is given),
+// writes "<name> <port>" to --port-file, and then polls --peers-file for
+// the full address list the launcher assembles from everyone's port file.
+//
+//   brdb_noded --role=orderer --orgs=org1,org2,org3,org4
+//       --port-file=/tmp/c/orderer.port --expected-peers=4
+//   brdb_noded --role=node --index=0 --orgs=org1,org2,org3,org4
+//       --flow=ote --port-file=/tmp/c/node0.port --peers-file=/tmp/c/peers
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "contracts/workload_contracts.h"
+#include "network/cluster.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+  }
+  long GetInt(const std::string& key, long def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      args.kv[arg.substr(2)] = "1";
+    } else {
+      args.kv[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return args;
+}
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void WritePortFile(const std::string& path, const std::string& name,
+                   uint16_t port) {
+  if (path.empty()) return;
+  // Write-then-rename so the launcher never reads a half-written file.
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << name << " " << port << "\n";
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+struct PeerLine {
+  std::string name;
+  uint16_t port = 0;
+};
+
+/// Poll `path` until it lists at least `expected` entries (or timeout).
+std::vector<PeerLine> WaitPeersFile(const std::string& path, size_t expected,
+                                    brdb::Micros timeout_us) {
+  const auto& clock = brdb::RealClock::Shared();
+  brdb::Micros deadline = clock->NowMicros() + timeout_us;
+  while (clock->NowMicros() < deadline && !g_stop) {
+    std::ifstream in(path);
+    std::vector<PeerLine> lines;
+    std::string name;
+    long port;
+    while (in >> name >> port) {
+      lines.push_back(PeerLine{name, static_cast<uint16_t>(port)});
+    }
+    if (lines.size() >= expected) return lines;
+    clock->SleepMicros(50'000);
+  }
+  return {};
+}
+
+int RunOrderer(const Args& args, const brdb::ClusterLayout& layout) {
+  brdb::OrdererProcessOptions opts;
+  opts.layout = layout;
+  opts.listen_port = static_cast<uint16_t>(args.GetInt("port", 0));
+  opts.expected_peers = static_cast<size_t>(args.GetInt("expected-peers", 0));
+  opts.peer_wait_timeout_us = args.GetInt("peer-wait-timeout-us", 15'000'000);
+  opts.config.block_size = static_cast<size_t>(args.GetInt("block-size", 100));
+  opts.config.block_timeout_us = args.GetInt("block-timeout-us", 100'000);
+  if (args.Get("orderer-type") == "kafka") {
+    opts.type = brdb::ClusterOrdererType::kKafka;
+  }
+
+  brdb::OrdererProcess orderer(opts);
+  brdb::Status st = orderer.StartServer();
+  if (!st.ok()) {
+    std::fprintf(stderr, "orderer start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  WritePortFile(args.Get("port-file"), "orderer-1", orderer.port());
+  std::fprintf(stderr, "brdb_noded orderer-1 listening on %u\n",
+               orderer.port());
+  st = orderer.WaitPeersAndStartOrdering();
+  if (!st.ok()) {
+    std::fprintf(stderr, "ordering start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "brdb_noded orderer-1 ordering started at height %llu\n",
+               static_cast<unsigned long long>(orderer.ordering()->Height()));
+  while (!g_stop) brdb::RealClock::Shared()->SleepMicros(50'000);
+  orderer.Stop();
+  return 0;
+}
+
+int RunNode(const Args& args, const brdb::ClusterLayout& layout) {
+  brdb::NodeProcessOptions opts;
+  opts.layout = layout;
+  opts.node_index = static_cast<size_t>(args.GetInt("index", 0));
+  if (opts.node_index >= layout.orgs.size()) {
+    std::fprintf(stderr, "--index out of range\n");
+    return 1;
+  }
+  opts.flow = args.Get("flow", "ote") == "eop"
+                  ? brdb::TransactionFlow::kExecuteOrderParallel
+                  : brdb::TransactionFlow::kOrderThenExecute;
+  opts.listen_port = static_cast<uint16_t>(args.GetInt("port", 0));
+  opts.executor_threads =
+      static_cast<size_t>(args.GetInt("executor-threads", 8));
+  opts.pipeline_depth = static_cast<size_t>(args.GetInt("pipeline-depth", 0));
+  opts.block_store_path = args.Get("block-store");
+
+  brdb::NodeProcess node(opts);
+  brdb::Status st = node.StartServer();
+  if (!st.ok()) {
+    std::fprintf(stderr, "node start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  // Identical workload contract set in every process — the determinism
+  // invariant starts at registration.
+  st = brdb::RegisterWorkloadContracts(node.node()->contracts());
+  if (!st.ok()) {
+    std::fprintf(stderr, "contract registration failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  WritePortFile(args.Get("port-file"), node.name(), node.port());
+  std::fprintf(stderr, "brdb_noded %s listening on %u\n", node.name().c_str(),
+               node.port());
+
+  // Everyone's addresses (orderer + all nodes, this one included).
+  std::vector<PeerLine> peers = WaitPeersFile(
+      args.Get("peers-file"), layout.orgs.size() + 1,
+      args.GetInt("peers-wait-timeout-us", 30'000'000));
+  if (peers.empty()) {
+    std::fprintf(stderr, "timed out waiting for %s\n",
+                 args.Get("peers-file").c_str());
+    return 1;
+  }
+  uint16_t orderer_port = 0;
+  std::vector<brdb::TcpPeerAddress> peer_nodes;
+  for (const PeerLine& line : peers) {
+    if (line.name.rfind("orderer-", 0) == 0) {
+      orderer_port = line.port;
+    } else if (line.name != node.name()) {
+      peer_nodes.push_back(brdb::TcpPeerAddress{line.name, "127.0.0.1",
+                                                line.port});
+    }
+  }
+  if (orderer_port == 0) {
+    std::fprintf(stderr, "no orderer in peers file\n");
+    return 1;
+  }
+  st = node.ConnectAndStart("127.0.0.1", orderer_port, std::move(peer_nodes));
+  if (!st.ok()) {
+    std::fprintf(stderr, "node connect failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  while (!g_stop) brdb::RealClock::Shared()->SleepMicros(50'000);
+  node.Stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  Args args = ParseArgs(argc, argv);
+
+  brdb::ClusterLayout layout;
+  std::string orgs = args.Get("orgs");
+  if (!orgs.empty()) layout.orgs = SplitCsv(orgs);
+  layout.clients_per_org =
+      static_cast<size_t>(args.GetInt("clients-per-org", 16));
+
+  std::string role = args.Get("role", "node");
+  if (role == "orderer") return RunOrderer(args, layout);
+  if (role == "node") return RunNode(args, layout);
+  std::fprintf(stderr, "unknown --role=%s (node|orderer)\n", role.c_str());
+  return 2;
+}
