@@ -9,8 +9,18 @@
 // a TcpTransport-backed Session as the load generator — alongside the
 // simulated LAN and WAN profiles for the paper's deployment contrast.
 // Results, including per-request commit-latency percentiles, are written
-// to BENCH_fig8a.json (path overridable via argv[1]).
+// to BENCH_fig8a.json (path overridable via a positional argument).
+//
+// With `--peers-file=<path>` the load generator instead dials a LIVE
+// external cluster — the peers file scripts/run_cluster.sh prints on
+// stdout — and runs one case against it (transport label "tcp-external").
+// `--flow=ote|eop` must match the cluster's flow and `--orgs=` its org
+// list (identities are derived, not exchanged, so both sides must agree
+// on the layout); the cluster must be fresh, since the bench deploys the
+// evaluation schema. Without the flag the in-process loopback cluster
+// remains the default ("tcp-loopback").
 #include <fstream>
+#include <sstream>
 #include <thread>
 
 #include "bench_common.h"
@@ -28,7 +38,7 @@ constexpr Micros kBlockTimeoutUs = 100'000;
 static const char* kRegions[] = {"emea", "amer", "apac", "latam"};
 
 struct CaseResult {
-  std::string transport;  ///< "tcp-loopback" | "sim-lan" | "sim-wan"
+  std::string transport;  ///< "tcp-loopback" | "tcp-external" | "sim-*"
   std::string flow;       ///< "OE" | "EOP"
   LoadResult load;
   bool ok = false;
@@ -242,6 +252,51 @@ Status DeploySchemaOverSockets(const std::vector<Session*>& admins,
   return Status::OK();
 }
 
+/// Offered-rate load loop shared by the in-process and external socket
+/// cases: paced complex_join submissions, majority-commit latencies from
+/// the transport's decision subscription, drain, stats into `out->load`.
+void RunLoadOverTransport(Session* client, Transport* transport, int* key,
+                          CaseResult* out) {
+  auto tracker = SocketLatencyTracker::Create(transport);
+  const auto& clock = RealClock::Shared();
+  int base = *key;
+  *key += kTotal;
+
+  Micros start = clock->NowMicros();
+  Micros gap = static_cast<Micros>(1e6 / kRate);
+  std::vector<TxnHandle> handles;
+  for (int i = 0; i < kTotal; ++i) {
+    Micros target = start + static_cast<Micros>(i) * gap;
+    Micros now = clock->NowMicros();
+    if (target > now) clock->SleepMicros(target - now);
+    TxnHandle h = client->Submit(
+        "complex_join", {Value::Int(base + i),
+                         Value::Text(kRegions[(base + i) % 4])});
+    if (h.submit_status().ok()) {
+      tracker->OnSubmit(h.txid());
+      handles.push_back(std::move(h));
+    }
+  }
+  Micros submit_end = clock->NowMicros();
+  // Drain: a majority decision on every submitted transaction. The tracker
+  // timestamps commits as notifications arrive, so waiting in submission
+  // order does not skew the latency samples.
+  for (TxnHandle& h : handles) (void)h.Wait(30'000'000);
+  Micros drain_end = clock->NowMicros();
+
+  auto stats = tracker->Snapshot();
+  double submit_s = static_cast<double>(submit_end - start) / 1e6;
+  double total_s = static_cast<double>(drain_end - start) / 1e6;
+  out->load.offered_tps = static_cast<double>(kTotal) / submit_s;
+  out->load.committed_tps = static_cast<double>(stats.committed) / total_s;
+  out->load.mean_latency_ms = stats.mean_latency_ms;
+  out->load.p50_latency_ms = stats.p50_latency_ms;
+  out->load.p95_latency_ms = stats.p95_latency_ms;
+  out->load.p99_latency_ms = stats.p99_latency_ms;
+  out->load.committed = stats.committed;
+  out->load.aborted = stats.aborted;
+}
+
 CaseResult RunSocketCase(TransactionFlow flow, const char* flow_name,
                          int* key) {
   CaseResult out;
@@ -266,50 +321,75 @@ CaseResult RunSocketCase(TransactionFlow flow, const char* flow_name,
     return out;
   }
 
-  auto tracker = SocketLatencyTracker::Create(transport.get());
-  const auto& clock = RealClock::Shared();
   cluster.node(0)->node()->metrics()->Reset();
-  int base = *key;
-  *key += kTotal;
-
-  Micros start = clock->NowMicros();
-  Micros gap = static_cast<Micros>(1e6 / kRate);
-  std::vector<TxnHandle> handles;
-  for (int i = 0; i < kTotal; ++i) {
-    Micros target = start + static_cast<Micros>(i) * gap;
-    Micros now = clock->NowMicros();
-    if (target > now) clock->SleepMicros(target - now);
-    TxnHandle h = client.Submit(
-        "complex_join", {Value::Int(base + i),
-                         Value::Text(kRegions[(base + i) % 4])});
-    if (h.submit_status().ok()) {
-      tracker->OnSubmit(h.txid());
-      handles.push_back(std::move(h));
-    }
-  }
-  Micros submit_end = clock->NowMicros();
-  // Drain: a majority decision on every submitted transaction. The tracker
-  // timestamps commits as notifications arrive, so waiting in submission
-  // order does not skew the latency samples.
-  for (TxnHandle& h : handles) (void)h.Wait(30'000'000);
-  Micros drain_end = clock->NowMicros();
-
-  auto stats = tracker->Snapshot();
-  double submit_s = static_cast<double>(submit_end - start) / 1e6;
-  double total_s = static_cast<double>(drain_end - start) / 1e6;
-  out.load.offered_tps = static_cast<double>(kTotal) / submit_s;
-  out.load.committed_tps = static_cast<double>(stats.committed) / total_s;
-  out.load.mean_latency_ms = stats.mean_latency_ms;
-  out.load.p50_latency_ms = stats.p50_latency_ms;
-  out.load.p95_latency_ms = stats.p95_latency_ms;
-  out.load.p99_latency_ms = stats.p99_latency_ms;
-  out.load.committed = stats.committed;
-  out.load.aborted = stats.aborted;
+  RunLoadOverTransport(&client, transport.get(), key, &out);
   out.load.node0 = cluster.node(0)->node()->metrics()->Snapshot();
 
   transport.reset();
   sessions.clear();
   cluster.Stop();
+  out.ok = true;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// External-cluster case: dial a live scripts/run_cluster.sh cluster.
+// ---------------------------------------------------------------------------
+
+/// Parse a run_cluster.sh peers file ("<name> <port>" per line; the
+/// cluster is loopback, so every address is 127.0.0.1). Orderer lines are
+/// dropped: the load generator only speaks to the nodes.
+std::vector<TcpPeerAddress> ReadPeersFile(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<TcpPeerAddress> nodes;
+  std::string name;
+  long port;
+  while (in >> name >> port) {
+    if (name.rfind("orderer-", 0) == 0) continue;
+    nodes.push_back(
+        TcpPeerAddress{name, "127.0.0.1", static_cast<uint16_t>(port)});
+  }
+  return nodes;
+}
+
+CaseResult RunExternalCase(TransactionFlow flow, const char* flow_name,
+                           const ClusterLayout& layout,
+                           std::vector<TcpPeerAddress> peers, int* key) {
+  CaseResult out;
+  out.transport = "tcp-external";
+  out.flow = flow_name;
+
+  // Same derived identity set as the external brdb_noded processes:
+  // BuildClusterIdentities is a pure function of the layout, so agreeing
+  // on the org list is all it takes to authenticate.
+  ClusterIdentities ids = BuildClusterIdentities(layout);
+  TcpTransportOptions topts;
+  topts.client_name = ids.clients[0].name;
+  topts.client_keys = ids.clients[0].keys;
+  topts.registry = ids.registry;
+  topts.flow = flow;
+  topts.peers = std::move(peers);
+  auto transport = std::make_shared<TcpTransport>(std::move(topts));
+  if (!transport->Start().ok() || !transport->WaitReady(10'000'000)) {
+    std::fprintf(stderr, "cannot reach the external cluster\n");
+    return out;
+  }
+
+  std::vector<std::unique_ptr<Session>> sessions;
+  std::vector<Session*> admins;
+  for (const Identity& admin : ids.admins) {
+    sessions.push_back(std::make_unique<Session>(admin, transport));
+    admins.push_back(sessions.back().get());
+  }
+  Session client(ids.clients[0], transport);
+  if (!DeploySchemaOverSockets(admins, &client).ok()) {
+    std::fprintf(stderr,
+                 "schema deploy failed (is the cluster fresh, and do "
+                 "--flow/--orgs match it?)\n");
+    return out;
+  }
+
+  RunLoadOverTransport(&client, transport.get(), key, &out);
   out.ok = true;
   return out;
 }
@@ -361,11 +441,61 @@ void PrintCase(const CaseResult& c) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_fig8a.json";
+  std::string json_path = "BENCH_fig8a.json";
+  std::string peers_file;
+  std::string flow_arg = "ote";
+  std::string orgs_arg;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--peers-file=", 0) == 0) {
+      peers_file = a.substr(13);
+    } else if (a.rfind("--flow=", 0) == 0) {
+      flow_arg = a.substr(7);
+    } else if (a.rfind("--orgs=", 0) == 0) {
+      orgs_arg = a.substr(7);
+    } else {
+      json_path = a;
+    }
+  }
+  int key = 3000000;
+
+  if (!peers_file.empty()) {
+    ClusterLayout layout;
+    if (!orgs_arg.empty()) {
+      layout.orgs.clear();
+      std::stringstream ss(orgs_arg);
+      std::string org;
+      while (std::getline(ss, org, ',')) {
+        if (!org.empty()) layout.orgs.push_back(org);
+      }
+    }
+    TransactionFlow flow = flow_arg == "eop"
+                               ? TransactionFlow::kExecuteOrderParallel
+                               : TransactionFlow::kOrderThenExecute;
+    const char* flow_name = flow_arg == "eop" ? "EOP" : "OE";
+    std::vector<TcpPeerAddress> peers = ReadPeersFile(peers_file);
+    if (peers.empty()) {
+      std::fprintf(stderr, "no node entries in %s\n", peers_file.c_str());
+      return 1;
+    }
+    std::printf("Figure 8(a): load against external cluster (%zu nodes, "
+                "%s)\n",
+                peers.size(), flow_name);
+    std::printf("%-4s %-14s %-10s %-10s %-10s %-10s %-10s\n", "flow",
+                "transport", "tps", "mean_ms", "p50_ms", "p95_ms",
+                "p99_ms");
+    std::vector<CaseResult> cases;
+    cases.push_back(
+        RunExternalCase(flow, flow_name, layout, std::move(peers), &key));
+    PrintCase(cases.back());
+    WriteJson(json_path, cases);
+    std::printf("wrote %s\n", json_path.c_str());
+    return cases.back().ok ? 0 : 1;
+  }
+
   std::printf("Figure 8(a): loopback TCP vs simulated LAN/WAN deployment\n");
   std::printf("%-4s %-14s %-10s %-10s %-10s %-10s %-10s\n", "flow",
               "transport", "tps", "mean_ms", "p50_ms", "p95_ms", "p99_ms");
-  int key = 3000000;
   std::vector<CaseResult> cases;
   struct Case {
     TransactionFlow flow;

@@ -9,8 +9,11 @@
 #      (checkpoint_writer_test), the fork + SIGKILL restart harness at
 #      pipeline depths 1 and 4 (recovery_test), and byzantine checkpoint
 #      divergence detection (byzantine_detection_test);
-#   2. fig8b determinism gate: the commit/abort counts of the fig8b
-#      workload must be byte-identical across pipeline depths {1, 2, 4};
+#   2. fig8b determinism gate: the ordered commit/abort decisions and the
+#      per-block write-set hashes of the fig8b workload must be
+#      byte-identical across pipeline depths {1, 2, 4} AND partition
+#      counts {1, 2, 4} — neither pipelining nor hash-partitioned
+#      execution may change what commits;
 #   3. socket smoke: scripts/run_cluster.sh boots a REAL 5-OS-process
 #      loopback cluster (4 brdb_noded nodes + 1 orderer over TCP), all
 #      five must publish ports and stay alive for the run;
@@ -20,7 +23,8 @@
 #      concurrent readers, the pipelined-node determinism test, the
 #      byzantine checkpoint-vote test, and the socket-transport tests:
 #      event_loop_test, frame_assembler_test, tcp_transport_test and
-#      tcp_cluster_test — the places where a data race would hide).
+#      tcp_cluster_test, plus the partition-local SSI stress and
+#      determinism tests — the places where a data race would hide).
 #      The fork-based recovery harness stays out of the tsan label:
 #      multi-threaded children of a forked gtest process are unsupported
 #      under ThreadSanitizer.
@@ -49,10 +53,11 @@ run_tier1() {
     echo "=== FAIL: tier-1 ctest regressed at pipeline depth 1 ===" >&2
     exit 1
   fi
-  echo "--- fig8b determinism across pipeline depths {1, 2, 4}"
+  echo "--- fig8b determinism: depths {1, 2, 4} x partitions {1, 2, 4}"
   if ! ./build/bench_fig8b_ordering_scalability --check-determinism; then
-    echo "=== FAIL: fig8b committed/aborted counts diverge between" \
-         "pipeline depths — the pipeline changed a commit decision ===" >&2
+    echo "=== FAIL: fig8b decisions or write-set hashes diverge between" \
+         "pipeline depths or partition counts — pipelining/partitioning" \
+         "changed a commit decision or committed state ===" >&2
     exit 1
   fi
   run_socket_smoke
@@ -99,7 +104,8 @@ run_tsan() {
   cmake --build build-tsan -j "${JOBS}" \
     --target txn_stripe_stress_test session_test btree_index_test \
              pipeline_test byzantine_detection_test event_loop_test \
-             frame_assembler_test tcp_transport_test tcp_cluster_test
+             frame_assembler_test tcp_transport_test tcp_cluster_test \
+             partition_stress_test partition_determinism_test
   ctest --test-dir build-tsan -L tsan --output-on-failure -j 1
 }
 

@@ -141,55 +141,88 @@ Status ContractRegistry::RegisterNative(const std::string& name,
   return Status::OK();
 }
 
-Status ContractRegistry::RegisterProcedure(SqlProcedure proc) {
+Status ContractRegistry::RegisterProcedure(SqlProcedure proc, BlockNum block) {
   BRDB_RETURN_NOT_OK(proc.Validate());
   std::lock_guard<std::mutex> lock(mu_);
   if (native_.count(proc.name)) {
     return Status::AlreadyExists("contract " + proc.name +
                                  " is a system contract");
   }
-  procedures_[proc.name] = std::move(proc);  // create or replace
+  const std::string name = proc.name;  // copy: proc is moved below
+  ProcedureVersion v;
+  v.block = block;
+  v.proc = std::move(proc);  // create or replace as of `block`
+  procedures_[name].push_back(std::move(v));
   return Status::OK();
 }
 
-Status ContractRegistry::DropProcedure(const std::string& name) {
+Status ContractRegistry::DropProcedure(const std::string& name,
+                                       BlockNum block) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (procedures_.erase(name) == 0) {
+  auto it = procedures_.find(name);
+  if (it == procedures_.end() || it->second.back().dropped) {
     return Status::NotFound("no procedure named " + name);
   }
+  ProcedureVersion v;
+  v.block = block;
+  v.dropped = true;
+  v.proc.name = name;
+  it->second.push_back(std::move(v));
   return Status::OK();
 }
 
 bool ContractRegistry::Has(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return native_.count(name) > 0 || procedures_.count(name) > 0;
+  if (native_.count(name) > 0) return true;
+  auto it = procedures_.find(name);
+  return it != procedures_.end() && !it->second.back().dropped;
 }
 
 std::vector<std::string> ContractRegistry::Names() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   for (const auto& [n, f] : native_) names.push_back(n);
-  for (const auto& [n, p] : procedures_) names.push_back(n);
+  for (const auto& [n, versions] : procedures_) {
+    if (!versions.back().dropped) names.push_back(n);
+  }
   return names;
 }
 
-Status ContractRegistry::Apply(const RegistryOp& op) {
+BlockNum ContractRegistry::LastChangeBlock(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = procedures_.find(name);
+  return it == procedures_.end() ? 0 : it->second.back().block;
+}
+
+Status ContractRegistry::Apply(const RegistryOp& op, BlockNum block) {
   switch (op.kind) {
     case RegistryOp::Kind::kRegisterProcedure: {
       SqlProcedure proc;
       proc.name = op.name;
       proc.body = op.body;
       proc.num_params = op.num_params;
-      return RegisterProcedure(std::move(proc));
+      return RegisterProcedure(std::move(proc), block);
     }
     case RegistryOp::Kind::kDropProcedure:
-      return DropProcedure(op.name);
+      return DropProcedure(op.name, block);
   }
   return Status::Internal("unknown registry op");
 }
 
-Status ContractRegistry::Invoke(const std::string& name,
-                                ContractContext* ctx) const {
+const ContractRegistry::ProcedureVersion* ContractRegistry::ResolveAtLocked(
+    const std::string& name, BlockNum at_height) const {
+  auto it = procedures_.find(name);
+  if (it == procedures_.end()) return nullptr;
+  const ProcedureVersion* found = nullptr;
+  for (const ProcedureVersion& v : it->second) {
+    if (v.block > at_height) break;  // ascending commit order
+    found = &v;
+  }
+  return found;
+}
+
+Status ContractRegistry::Invoke(const std::string& name, ContractContext* ctx,
+                                BlockNum at_height) const {
   NativeContractFn native;
   SqlProcedure proc;
   bool is_native = false;
@@ -200,11 +233,12 @@ Status ContractRegistry::Invoke(const std::string& name,
       native = n->second;
       is_native = true;
     } else {
-      auto p = procedures_.find(name);
-      if (p == procedures_.end()) {
-        return Status::NotFound("no smart contract named " + name);
+      const ProcedureVersion* v = ResolveAtLocked(name, at_height);
+      if (v == nullptr || v->dropped) {
+        return Status::NotFound("no smart contract named " + name +
+                                " at height " + std::to_string(at_height));
       }
-      proc = p->second;
+      proc = v->proc;
     }
   }
   if (is_native) return native(ctx);

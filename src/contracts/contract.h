@@ -19,10 +19,14 @@
 #include "crypto/identity.h"
 #include "sql/executor.h"
 #include "txn/txn_context.h"
+#include "wire/transaction.h"
 
 namespace brdb {
 
 class ContractRegistry;
+
+/// Sentinel height: resolve the newest registered contract version.
+inline constexpr BlockNum kLatestBlock = ~BlockNum{0};
 
 /// A deferred change to the contract registry. Contract execution must not
 /// mutate the registry directly: the transaction may still abort during the
@@ -111,36 +115,70 @@ struct SqlProcedure {
   Status Validate() const;
 };
 
+/// Contract registry with block-height versioning. Every committed
+/// registry change (deploy, upgrade, drop) is recorded as a version entry
+/// stamped with the block that committed it, and invocations resolve the
+/// version as of an explicit height: a transaction executing against
+/// snapshot height h runs the procedure that was current at h, no matter
+/// how many later blocks' registry ops have already been applied by the
+/// (pipelined) commit stage. This replaces the old "doom every in-flight
+/// transaction of an upgraded contract at apply time" rule, whose outcome
+/// depended on pipeline depth and apply timing.
 class ContractRegistry {
  public:
   ContractRegistry() = default;
 
   /// Install a native (C++) contract; used at node bootstrap for system
-  /// contracts and by benchmarks/examples for workload contracts.
+  /// contracts and by benchmarks/examples for workload contracts. Native
+  /// contracts are not versioned (they exist at every height).
   Status RegisterNative(const std::string& name, NativeContractFn fn);
 
-  /// Install or replace a SQL procedure (validated first).
-  Status RegisterProcedure(SqlProcedure proc);
+  /// Install or replace a SQL procedure (validated first), recorded at
+  /// `block` (0 = pre-genesis bootstrap; benchmarks and examples use the
+  /// default).
+  Status RegisterProcedure(SqlProcedure proc, BlockNum block = 0);
 
-  Status DropProcedure(const std::string& name);
+  Status DropProcedure(const std::string& name, BlockNum block = 0);
 
+  /// True if the newest version of `name` exists and is not dropped.
   bool Has(const std::string& name) const;
   std::vector<std::string> Names() const;
 
-  /// Apply a deferred registry op (called by the block processor for
-  /// committed transactions only).
-  Status Apply(const RegistryOp& op);
+  /// Block that committed the newest registry change for `name` (0 = never
+  /// changed on-chain, e.g. native or bootstrap-registered contracts). The
+  /// EOP commit rule aborts a transaction whose contract changed after its
+  /// snapshot height.
+  BlockNum LastChangeBlock(const std::string& name) const;
 
-  /// Invoke contract `name`. Runs the native fn or interprets the
-  /// procedure inside ctx's transaction.
-  Status Invoke(const std::string& name, ContractContext* ctx) const;
+  /// Apply a deferred registry op committed by `block` (called by the
+  /// block processor for committed transactions only, in block order).
+  Status Apply(const RegistryOp& op, BlockNum block);
+
+  /// Invoke contract `name` as of `at_height`: the native fn, or the
+  /// procedure version current at that block height (kLatestBlock = the
+  /// newest version), interpreted inside ctx's transaction.
+  Status Invoke(const std::string& name, ContractContext* ctx,
+                BlockNum at_height = kLatestBlock) const;
 
  private:
+  /// One registry change for a procedure name.
+  struct ProcedureVersion {
+    BlockNum block = 0;   ///< block whose commit applied this change
+    bool dropped = false;
+    SqlProcedure proc;    ///< valid when !dropped
+  };
+
   Status RunProcedure(const SqlProcedure& proc, ContractContext* ctx) const;
+
+  /// Newest version with block <= at_height (append order breaks ties, so
+  /// in-block sequences resolve to the last change). Requires mu_.
+  const ProcedureVersion* ResolveAtLocked(const std::string& name,
+                                          BlockNum at_height) const;
 
   mutable std::mutex mu_;
   std::map<std::string, NativeContractFn> native_;
-  std::map<std::string, SqlProcedure> procedures_;
+  /// Version entries per name, ascending block (appended in commit order).
+  std::map<std::string, std::vector<ProcedureVersion>> procedures_;
 };
 
 }  // namespace brdb

@@ -65,6 +65,7 @@ std::unique_ptr<BlockchainNetwork> BlockchainNetwork::Create(
     cfg.flow = options.flow;
     cfg.executor_threads = options.executor_threads;
     cfg.txn_lock_stripes = options.txn_lock_stripes;
+    cfg.partitions = options.partitions;
     cfg.pipeline_depth = options.pipeline_depth;
     cfg.index_backend = options.index_backend;
     cfg.sig_cache_capacity = options.sig_cache_capacity;

@@ -34,6 +34,10 @@ struct NetworkOptions {
   /// 1 = single-mutex baseline for benchmarks).
   size_t txn_lock_stripes = 0;
 
+  /// Partition executor groups per node (0 = default: $BRDB_PARTITIONS or
+  /// 1). See NodeConfig::partitions.
+  size_t partitions = 0;
+
   /// Block-pipeline depth per node: max blocks in flight, with block N+1's
   /// verify/execute overlapping block N's serial commit (0 = default,
   /// 1 = the exact legacy serial loop). See NodeConfig::pipeline_depth.

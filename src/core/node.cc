@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "sql/parser.h"
+#include "storage/partition.h"
 
 namespace brdb {
 
@@ -25,6 +26,19 @@ size_t ResolvePipelineDepth(size_t configured) {
   return 2;
 }
 
+/// NodeConfig::partitions resolution, mirroring the pipeline depth:
+/// explicit config wins, then $BRDB_PARTITIONS (check.sh sweeps it for the
+/// cross-partition determinism gate), then 1. The TxnManager normalizes
+/// the result to a power of two <= kMaxPartitions.
+size_t ResolvePartitions(size_t configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("BRDB_PARTITIONS")) {
+    int v = std::atoi(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 1;
+}
+
 }  // namespace
 
 DatabaseNode::DatabaseNode(NodeConfig config, Identity identity,
@@ -36,7 +50,9 @@ DatabaseNode::DatabaseNode(NodeConfig config, Identity identity,
       net_(net),
       ordering_(ordering),
       endpoint_("peer:" + config_.name),
-      db_(TxnManagerOptions{config_.txn_lock_stripes}, config_.index_backend),
+      db_(TxnManagerOptions{config_.txn_lock_stripes,
+                            ResolvePartitions(config_.partitions)},
+          config_.index_backend),
       engine_(&db_),
       checkpoints_(config_.name, config_.checkpoint_interval) {
   if (config_.block_store_path.empty()) {
@@ -72,7 +88,17 @@ DatabaseNode::DatabaseNode(NodeConfig config, Identity identity,
   backoff_rng_.seed(static_cast<unsigned>(
       std::hash<std::string>{}(config_.name) | 1u));
   pipeline_depth_ = ResolvePipelineDepth(config_.pipeline_depth);
-  executors_ = std::make_unique<ThreadPool>(config_.executor_threads);
+  partitions_ = db_.txn_manager()->partitions();  // normalized power of two
+  metrics_.SetPartitionCount(partitions_);
+  // Split the executor budget across the partition groups; group 0's pool
+  // doubles as the shared pool (signature verification, checkpoint
+  // capture). With one partition this is exactly the old single pool.
+  const size_t per_group =
+      std::max<size_t>(1, config_.executor_threads / partitions_);
+  executors_ = std::make_unique<ThreadPool>(per_group);
+  for (size_t p = 1; p < partitions_; ++p) {
+    extra_executors_.push_back(std::make_unique<ThreadPool>(per_group));
+  }
   verifier_ = std::make_unique<SignatureVerifier>(
       executors_.get(),
       config_.sig_cache_capacity == 0 ? 65536 : config_.sig_cache_capacity);
@@ -186,6 +212,7 @@ void DatabaseNode::RebuildContractsFromDeployments() {
   struct Deployed {
     int64_t id;
     std::string sql_text;
+    BlockNum block;  ///< block that committed the deployment (version stamp)
   };
   std::vector<Deployed> rows;
   for (RowId id : table.value()->ScanAllRowIds()) {
@@ -193,7 +220,7 @@ void DatabaseNode::RebuildContractsFromDeployments() {
     if (meta.creator_aborted || meta.xmax != 0) continue;
     const Row& row = table.value()->ValuesOf(id);
     if (row.size() < 4 || row[3].AsText() != "deployed") continue;
-    rows.push_back({row[0].AsInt(), row[1].AsText()});
+    rows.push_back({row[0].AsInt(), row[1].AsText(), meta.creator_block});
   }
   std::sort(rows.begin(), rows.end(),
             [](const Deployed& a, const Deployed& b) { return a.id < b.id; });
@@ -215,7 +242,7 @@ void DatabaseNode::RebuildContractsFromDeployments() {
       case DeploymentSql::Kind::kDdl:
         continue;  // tables came back with the checkpoint itself
     }
-    Status applied = contracts_.Apply(op);
+    Status applied = contracts_.Apply(op, dep.block);
     if (!applied.ok()) {
       BRDB_LOG(kWarn, config_.name)
           << "restoring deployment " << dep.id
@@ -581,8 +608,10 @@ std::shared_ptr<ExecEntry> DatabaseNode::StartExecution(
     }
   }
 
-  executors_->Submit([this, entry, eop_mode, started_by_block, auth,
-                      duplicate] {
+  const uint32_t home = RouteToPartition(tx);
+  metrics_.OnTxnRouted(home);
+  ExecutorGroup(home)->Submit([this, entry, eop_mode, started_by_block, auth,
+                               duplicate, home] {
     Micros t0 = RealClock::Shared()->NowMicros();
     auto finish = [&](const Status& st) {
       entry->exec_status = st;
@@ -647,27 +676,30 @@ std::shared_ptr<ExecEntry> DatabaseNode::StartExecution(
       }
     }
 
-    if (started_by_block > 0 && !contracts_.Has(entry->tx.contract())) {
-      // The contract may be deployed by a block up to block-1 whose
-      // commit is still in flight; resolve at the same committed height
-      // the legacy serial loop resolved at. (A genuinely unknown contract
-      // then fails inside Invoke, as before.)
-      if (!wait_height(
-              [&] { return committed_height_ >= started_by_block - 1; })) {
-        finish(Status::Unavailable("node stopping"));
-        return;
-      }
-    }
+    // Contract versions are resolved by block height (below), so no
+    // registry wait is needed here: the snapshot barriers above already
+    // guarantee every registry op at or below the resolution height has
+    // been applied, and ops from later in-flight blocks are stamped with
+    // their block number and skipped by ResolveAt regardless of timing.
 
     TxnInfo* info =
-        eop_mode ? db_.txn_manager()->Begin(snap, entry->tx.id())
-                 : db_.txn_manager()->BeginAtCurrentCsn(entry->tx.id());
+        eop_mode ? db_.txn_manager()->Begin(snap, entry->tx.id(), home)
+                 : db_.txn_manager()->BeginAtCurrentCsn(entry->tx.id(), home);
     entry->txn = std::make_unique<TxnContext>(&db_, info, TxnMode::kNormal);
 
     ContractContext cctx(entry->txn.get(), &engine_, &contracts_,
                          entry->tx.user(), entry->tx.args(), FlowOptions());
     cctx.set_invoker_role(role);
-    entry->exec_status = contracts_.Invoke(entry->tx.contract(), &cctx);
+    // Resolve the contract at the same height the transaction reads data:
+    // the client's snapshot height (EOP) or the state committed by the
+    // previous block (OTE). Client submissions and peer forwards
+    // (started_by_block == 0) are EOP and carry their snapshot height.
+    const BlockNum resolve_at =
+        eop_mode ? entry->tx.snapshot_height()
+                 : (started_by_block > 0 ? started_by_block - 1
+                                         : kLatestBlock);
+    entry->exec_status =
+        contracts_.Invoke(entry->tx.contract(), &cctx, resolve_at);
     entry->registry_ops = cctx.pending_registry_ops();
 
     entry->exec_us = RealClock::Shared()->NowMicros() - t0;
@@ -679,6 +711,14 @@ std::shared_ptr<ExecEntry> DatabaseNode::StartExecution(
     exec_cv_.notify_all();
   });
   return entry;
+}
+
+uint32_t DatabaseNode::RouteToPartition(const Transaction& tx) const {
+  if (partitions_ <= 1) return 0;
+  if (!tx.args().empty()) {
+    return PartitionOfValue(tx.args()[0], partitions_);
+  }
+  return PartitionOfValue(Value::Text(tx.id()), partitions_);
 }
 
 void DatabaseNode::WriteLedgerRows(
@@ -878,10 +918,32 @@ void DatabaseNode::CommitBlock(BlockWork* work) {
     Status st = e->exec_status;
     bool skip = config_.byzantine_skip_commit &&
                 pos + 1 == static_cast<int>(entries.size());
+    if (st.ok() && eop && e->txn != nullptr && !skip &&
+        contracts_.LastChangeBlock(e->tx.contract()) >
+            e->tx.snapshot_height()) {
+      // Contract-upgrade rule (EOP): the transaction executed the contract
+      // version current at its snapshot height, but a later block (or an
+      // earlier transaction of this block — ops apply in block order)
+      // changed it. Deciding here, by comparing version stamps, is
+      // independent of pipeline depth and apply timing — unlike the old
+      // rule that doomed whatever happened to be in flight when the
+      // registry op was applied.
+      st = Status::SerializationFailure(
+          "smart contract " + e->tx.contract() +
+          " updated after snapshot height " +
+          std::to_string(e->tx.snapshot_height()));
+    }
     if (st.ok() && e->txn != nullptr && !skip) {
       st = e->txn->CommitSerially(
           eop ? SsiPolicy::kBlockAware : SsiPolicy::kAbortDuringCommit,
           block.number(), pos, members);
+      // Partitioned-validation accounting: did this transaction stay inside
+      // one partition group, and how long did the cross-partition conflict
+      // merge take if not (both recorded by ValidateForCommit).
+      const TxnInfo* info = e->txn->info();
+      const uint64_t touched =
+          info->touched_partitions.load(std::memory_order_relaxed);
+      metrics_.OnTxnValidated((touched & (touched - 1)) != 0, info->merge_ns);
     } else if (e->txn != nullptr) {
       e->txn->Abort(st.ok() ? Status::Aborted("byzantine skip") : st);
       if (skip && st.ok()) st = Status::Aborted("byzantine skip");
@@ -891,23 +953,16 @@ void DatabaseNode::CommitBlock(BlockWork* work) {
     if (st.ok()) {
       metrics_.OnTxnCommitted();
       // Registry changes take effect only now that the transaction
-      // committed; replacing a contract aborts in-flight transactions
-      // that executed the old version (§3.7).
+      // committed, stamped with this block so executions resolve contract
+      // versions by height (§3.7). In-flight transactions that executed an
+      // older version abort deterministically at their own commit slot
+      // (EOP: the LastChangeBlock rule above; OTE: they resolve at their
+      // block's height, so they never see a stale version at all).
       for (const RegistryOp& op : e->registry_ops) {
-        Status applied = contracts_.Apply(op);
+        Status applied = contracts_.Apply(op, block.number());
         if (!applied.ok()) {
           BRDB_LOG(kWarn, config_.name)
               << "registry op failed: " << applied.ToString();
-        }
-        std::lock_guard<std::mutex> lock(exec_mu_);
-        for (auto& [txid, other] : active_) {
-          if (other->done || other->txn == nullptr) continue;
-          if (other->tx.contract() == op.name) {
-            db_.txn_manager()->Doom(
-                other->txn->id(),
-                Status::SerializationFailure(
-                    "smart contract updated during execution"));
-          }
         }
       }
     } else {
@@ -1166,6 +1221,17 @@ Result<sql::ResultSet> DatabaseNode::LocalExecute(
       TableSchema schema(stmt.value().create_table->table, std::move(cols));
       for (const auto& check : stmt.value().create_table->check_exprs) {
         schema.AddCheckConstraint(check);
+      }
+      if (!stmt.value().create_table->partition_column.empty()) {
+        int pc =
+            schema.ColumnIndex(stmt.value().create_table->partition_column);
+        if (pc < 0) {
+          return Status::InvalidArgument(
+              "PARTITION BY column " +
+              stmt.value().create_table->partition_column +
+              " is not a column of " + stmt.value().create_table->table);
+        }
+        schema.SetPartitionColumn(pc);
       }
       auto t = db_.CreateTable(std::move(schema), kPrivateSchema);
       if (!t.ok()) return t.status();

@@ -69,6 +69,14 @@ struct NodeConfig {
   /// historical single-mutex baseline, kept for benchmarks).
   size_t txn_lock_stripes = 0;
 
+  /// Partition executor groups (ROADMAP item 4): tables whose schema
+  /// declares PARTITION BY HASH shard rows across this many groups, each
+  /// with its own executor threads and partition-local SSI bookkeeping.
+  /// Commit/abort decisions and write-set hashes are byte-identical for
+  /// every value. 0 = default ($BRDB_PARTITIONS if set, else 1); rounded
+  /// up to a power of two, capped at kMaxPartitions.
+  size_t partitions = 0;
+
   /// Max blocks in flight in the block pipeline: block N+1's signature
   /// verification and execution overlap block N's serial commit while
   /// commits and notifications stay strictly block-ordered. 0 = default
@@ -186,6 +194,10 @@ class DatabaseNode {
 
   /// Resolved pipeline depth (config > $BRDB_PIPELINE_DEPTH > default 2).
   size_t pipeline_depth() const { return pipeline_depth_; }
+
+  /// Resolved partition-group count (config > $BRDB_PARTITIONS > 1),
+  /// normalized to a power of two.
+  size_t partitions() const { return partitions_; }
 
   /// Other peers' endpoints (for EOP forwarding).
   void SetPeerEndpoints(std::vector<std::string> endpoints);
@@ -331,6 +343,17 @@ class DatabaseNode {
                                             bool eop_mode,
                                             BlockNum started_by_block = 0);
 
+  /// Deterministic executor-group routing: the partition of the
+  /// transaction's first argument (point transactions land on the group
+  /// that owns their row) or a hash of the txid when there are no
+  /// arguments. Routing only picks threads and the TxnId allocation
+  /// sequence — never a commit decision.
+  uint32_t RouteToPartition(const Transaction& tx) const;
+  ThreadPool* ExecutorGroup(uint32_t partition) {
+    return partition == 0 ? executors_.get()
+                          : extra_executors_[partition - 1].get();
+  }
+
   void WriteLedgerRows(const Block& block,
                        const std::vector<std::shared_ptr<ExecEntry>>& entries);
   void UpdateLedgerStatuses(
@@ -360,6 +383,12 @@ class DatabaseNode {
   CheckpointManager checkpoints_;
   NodeMetrics metrics_;
   std::unique_ptr<ThreadPool> executors_;
+  /// Executor pools for partition groups 1..P-1 (group 0 shares
+  /// executors_, which also serves signature verification and checkpoint
+  /// capture). Routing is a pure function of the transaction (see
+  /// RouteToPartition) and is performance-only: it never affects commit
+  /// decisions.
+  std::vector<std::unique_ptr<ThreadPool>> extra_executors_;
   std::unique_ptr<SignatureVerifier> verifier_;
 
   std::vector<std::string> peer_endpoints_;
@@ -391,6 +420,7 @@ class DatabaseNode {
 
   std::atomic<bool> running_{false};
   size_t pipeline_depth_ = 1;  ///< resolved from config/env at construction
+  size_t partitions_ = 1;      ///< resolved + normalized at construction
   std::unique_ptr<BlockPipeline> pipeline_;
 };
 

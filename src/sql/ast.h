@@ -162,6 +162,7 @@ struct CreateTableStmt {
   std::string table;
   std::vector<ColumnDefAst> columns;
   std::vector<std::string> check_exprs;  // raw SQL text of CHECK (...)
+  std::string partition_column;          // PARTITION BY HASH (col); empty = none
 };
 
 struct CreateIndexStmt {

@@ -198,14 +198,16 @@ class Runner {
          const ExecOptions& opts,
          const std::map<std::string, Value>* named_params,
          const PreparedPlan* plan = nullptr,
-         std::atomic<uint64_t>* access_path_hits = nullptr)
+         std::atomic<uint64_t>* access_path_hits = nullptr,
+         std::atomic<uint64_t>* partition_pruned_scans = nullptr)
       : db_(db),
         ctx_(ctx),
         params_(params),
         opts_(opts),
         named_params_(named_params),
         plan_(plan),
-        access_path_hits_(access_path_hits) {}
+        access_path_hits_(access_path_hits),
+        partition_pruned_scans_(partition_pruned_scans) {}
 
   Result<ResultSet> Run(const Statement& stmt);
 
@@ -255,6 +257,7 @@ class Runner {
   const std::map<std::string, Value>* named_params_;
   const PreparedPlan* plan_;
   std::atomic<uint64_t>* access_path_hits_;
+  std::atomic<uint64_t>* partition_pruned_scans_;
 };
 
 Result<Relation> Runner::ScanBase(const TableRef& ref, const Expr* where,
@@ -346,6 +349,10 @@ Result<Relation> Runner::ScanBase(const TableRef& ref, const Expr* where,
 
   Status st;
   if (best_col >= 0) {
+    if (partition_pruned_scans_ != nullptr && table->partitions() > 1 &&
+        best_col == schema.partition_column() && best_range.is_equality()) {
+      partition_pruned_scans_->fetch_add(1, std::memory_order_relaxed);
+    }
     const Value* lo = best_range.lo ? &*best_range.lo : nullptr;
     const Value* hi = best_range.hi ? &*best_range.hi : nullptr;
     st = ctx_->ScanRange(table, best_col, lo, best_range.lo_inclusive, hi,
@@ -1034,6 +1041,15 @@ Result<ResultSet> Runner::RunCreateTable(const CreateTableStmt& stmt) {
   for (const auto& check : stmt.check_exprs) {
     schema.AddCheckConstraint(check);
   }
+  if (!stmt.partition_column.empty()) {
+    int pc = schema.ColumnIndex(stmt.partition_column);
+    if (pc < 0) {
+      return Status::InvalidArgument("PARTITION BY column " +
+                                     stmt.partition_column +
+                                     " is not a column of " + stmt.table);
+    }
+    schema.SetPartitionColumn(pc);
+  }
   auto t = db_->CreateTable(std::move(schema));
   if (!t.ok()) return t.status();
   return ResultSet{};
@@ -1415,7 +1431,7 @@ Result<ResultSet> SqlEngine::RunStatement(
     plan = nullptr;
   }
   Runner runner(db_, ctx, params, opts, named_params, plan,
-                &access_path_hits_);
+                &access_path_hits_, &partition_pruned_scans_);
   return runner.Run(stmt);
 }
 

@@ -190,6 +190,13 @@ class SqlEngine {
   /// re-running sargable analysis.
   uint64_t access_path_hits() const { return access_path_hits_.load(); }
 
+  /// Base-table scans whose best sargable range was an equality on the
+  /// table's partition column — the predicate read is pinned to a single
+  /// partition group instead of touching every partition.
+  uint64_t partition_pruned_scans() const {
+    return partition_pruned_scans_.load();
+  }
+
  private:
   /// Bounded FIFO plan cache; sized for a node's working set of distinct
   /// statements (system DML + contract bodies + client queries).
@@ -211,6 +218,7 @@ class SqlEngine {
   std::atomic<uint64_t> plan_hits_{0};
   std::atomic<uint64_t> plan_misses_{0};
   std::atomic<uint64_t> access_path_hits_{0};
+  std::atomic<uint64_t> partition_pruned_scans_{0};
 };
 
 }  // namespace sql

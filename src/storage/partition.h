@@ -1,0 +1,80 @@
+// Deterministic partition assignment (ROADMAP item 4).
+//
+// A table declares at most one partition column; every row version is
+// assigned to partition PartitionOfValue(values[partition_column]) at
+// append time and the assignment never changes (version payloads are
+// immutable). The SAME function pins equality predicates on the partition
+// column to a single partition group, which is what makes the partitioned
+// SSI bookkeeping exact: a writer probing the partition of the value it
+// writes sees precisely the readers that registered for that value.
+//
+// Requirements on the function:
+//  * pure — no per-process seed, no pointer identity, no locale. Every
+//    node, every restart and every partition count must agree, because
+//    commit/abort decisions must stay byte-identical across partition
+//    counts {1, 2, 8} (check.sh invariant).
+//  * type-strict — Int(1) and Double(1.0) hash differently. Predicate
+//    pinning therefore only pins when the constant's type matches the
+//    declared column type exactly; everything else registers in every
+//    partition group (correct, just unpruned).
+#ifndef BRDB_STORAGE_PARTITION_H_
+#define BRDB_STORAGE_PARTITION_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/value.h"
+
+namespace brdb {
+
+/// Hard cap on partition groups: the per-transaction touched-partition set
+/// is a uint64_t bitmask.
+inline constexpr size_t kMaxPartitions = 64;
+
+/// FNV-1a over the value's type tag and canonical payload bytes.
+/// `partitions` must be a power of two (TxnManager normalizes it).
+inline uint32_t PartitionOfValue(const Value& v, size_t partitions) {
+  if (partitions <= 1) return 0;
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&h](const void* data, size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;  // FNV-1a prime
+    }
+  };
+  const uint8_t tag = static_cast<uint8_t>(v.type());
+  mix(&tag, 1);
+  switch (v.type()) {
+    case ValueType::kInt: {
+      int64_t x = v.AsInt();
+      mix(&x, sizeof(x));
+      break;
+    }
+    case ValueType::kBool: {
+      uint8_t b = v.AsBool() ? 1 : 0;
+      mix(&b, 1);
+      break;
+    }
+    case ValueType::kDouble: {
+      double d = v.AsDouble();
+      uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      mix(&bits, sizeof(bits));
+      break;
+    }
+    case ValueType::kText: {
+      const std::string& s = v.AsText();
+      mix(s.data(), s.size());
+      break;
+    }
+    case ValueType::kNull:
+      break;  // type tag alone: all NULLs share one partition
+  }
+  h ^= h >> 33;  // fold high entropy into the masked low bits
+  return static_cast<uint32_t>(h & (partitions - 1));
+}
+
+}  // namespace brdb
+
+#endif  // BRDB_STORAGE_PARTITION_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "storage/partition.h"
 #include "wire/codec.h"
 
 namespace brdb {
@@ -10,6 +11,32 @@ namespace brdb {
 namespace {
 bool Contains(const std::vector<TxnId>& v, TxnId id) {
   return std::find(v.begin(), v.end(), id) != v.end();
+}
+
+// Partition group a predicate can be pinned to, or -1 for "register in the
+// shared group, touch every partition". Exactness requirement: if the
+// predicate covers a row, the pin must equal that row's stamped partition.
+// That holds for equality on the partition column with a constant of the
+// declared column type — a covered row has the identical value, hence the
+// identical hash. Declared-double columns are never pinned (ValidateRow
+// accepts ints where doubles are declared, so a covering constant can be a
+// different Value type with a different hash); unpartitioned tables stamp
+// every row 0, so any predicate on them pins to 0.
+int PredicatePartitionPin(const Table& table, const PredicateRead& p) {
+  if (table.partitions() <= 1) return 0;
+  const int pc = table.schema().partition_column();
+  if (pc < 0) return 0;
+  if (p.column != pc) return -1;
+  if (!p.lo.has_value() || !p.hi.has_value() || !p.lo_inclusive ||
+      !p.hi_inclusive) {
+    return -1;
+  }
+  const ValueType declared =
+      table.schema().columns()[static_cast<size_t>(pc)].type;
+  if (declared != ValueType::kInt && declared != ValueType::kText) return -1;
+  if (p.lo->type() != declared || p.hi->type() != declared) return -1;
+  if (p.lo->Compare(*p.hi) != 0) return -1;
+  return static_cast<int>(PartitionOfValue(*p.lo, table.partitions()));
 }
 }  // namespace
 
@@ -60,8 +87,6 @@ std::vector<VersionMeta>* TxnContext::AcquireMetaBuffer() {
 // needed for SSI side effects are computed inline below.)
 Result<TxnContext::Visibility> TxnContext::ClassifyVersion(
     Table* table, RowId id, const VersionMeta& meta) {
-  (void)table;
-  (void)id;
   TxnId self = info_->id;
 
   // Tombstoned versions (creating transaction aborted) are invisible to
@@ -116,7 +141,7 @@ Result<TxnContext::Visibility> TxnContext::ClassifyVersion(
       if (deleter_csn <= snap.csn) return Visibility::kInvisible;
       // Deleted by a transaction that committed after our snapshot: the row
       // is visible to us, and reading it creates an rw edge to the deleter.
-      mgr_->AddRwEdge(info_->id, meta.xmax);
+      mgr_->AddRwEdge(info_->id, meta.xmax, table->PartitionOf(id));
     }
     return Visibility::kVisible;
   }
@@ -160,7 +185,8 @@ Status TxnContext::ScanRowIds(Table* table, const std::vector<RowId>& ids,
     const size_t chunk = std::min(kScanChunk, ids.size() - base);
     if (tracked) {
       for (size_t i = 0; i < chunk; ++i) {
-        mgr_->RecordRowRead(info_, table->id(), ids[base + i]);
+        mgr_->RecordRowRead(info_, table->id(), ids[base + i],
+                            table->PartitionOf(ids[base + i]));
       }
     }
     table->MetasOf(ids.data() + base, chunk, metas);
@@ -179,7 +205,9 @@ Status TxnContext::ScanRowIds(Table* table, const std::vector<RowId>& ids,
             // rw edges to concurrent transactions that are deleting /
             // replacing the version we just read.
             for (TxnId cand : meta.xmax_candidates) {
-              if (cand != self) mgr_->AddRwEdge(self, cand);
+              if (cand != self) {
+                mgr_->AddRwEdge(self, cand, table->PartitionOf(id));
+              }
             }
           }
           if (!cb(id, table->ValuesOf(id))) stop = true;
@@ -197,7 +225,7 @@ Status TxnContext::ScanRowIds(Table* table, const std::vector<RowId>& ids,
           if (xmin_view.state == TxnState::kActive) {
             // Concurrent uncommitted insert matching our predicate: record
             // the rw (phantom) edge reader -> writer.
-            mgr_->AddRwEdge(self, meta.xmin);
+            mgr_->AddRwEdge(self, meta.xmin, table->PartitionOf(id));
           } else if (xmin_view.state == TxnState::kCommitted) {
             if (info_->snapshot.kind == Snapshot::Kind::kBlockHeight) {
               // Paper §3.4.1 rule 1: committed row from a block beyond our
@@ -213,7 +241,7 @@ Status TxnContext::ScanRowIds(Table* table, const std::vector<RowId>& ids,
             } else {
               // Committed after our CSN snapshot: rw edge.
               if (xmin_view.commit_csn > info_->snapshot.csn) {
-                mgr_->AddRwEdge(self, meta.xmin);
+                mgr_->AddRwEdge(self, meta.xmin, table->PartitionOf(id));
               }
             }
           }
@@ -236,7 +264,8 @@ Status TxnContext::ScanAll(Table* table, const RowCallback& cb) {
   predicate.table = table->id();
   predicate.column = -1;
   if (mode_ == TxnMode::kNormal) {
-    mgr_->RecordPredicate(info_, predicate);
+    mgr_->RecordPredicate(info_, predicate,
+                          PredicatePartitionPin(*table, predicate));
   }
   // Iterate in primary-key order when available so that scan order — and
   // therefore any order-sensitive contract logic — is identical on every
@@ -266,7 +295,8 @@ Status TxnContext::ScanRange(Table* table, int column, const Value* lo,
   if (hi != nullptr) predicate.hi = *hi;
   predicate.hi_inclusive = hi_inclusive;
   if (mode_ == TxnMode::kNormal) {
-    mgr_->RecordPredicate(info_, predicate);
+    mgr_->RecordPredicate(info_, predicate,
+                          PredicatePartitionPin(*table, predicate));
   }
   std::vector<RowId>* ids = AcquireScanBuffer();
   Status st =
@@ -344,7 +374,7 @@ Status TxnContext::Insert(Table* table, Row values) {
   w.new_row = id;
   const Row* new_values =
       mode_ == TxnMode::kNormal ? &table->ValuesOf(id) : nullptr;
-  mgr_->RecordWrite(info_, w, new_values, nullptr);
+  mgr_->RecordWrite(info_, w, new_values, nullptr, table->PartitionOf(id), 0);
   return Status::OK();
 }
 
@@ -368,7 +398,8 @@ Status TxnContext::Update(Table* table, RowId base, Row new_values) {
   const Row* nv = mode_ == TxnMode::kNormal ? &table->ValuesOf(id) : nullptr;
   const Row* bv =
       mode_ == TxnMode::kNormal ? &table->ValuesOf(base) : nullptr;
-  mgr_->RecordWrite(info_, w, nv, bv);
+  mgr_->RecordWrite(info_, w, nv, bv, table->PartitionOf(id),
+                    table->PartitionOf(base));
   return Status::OK();
 }
 
@@ -384,7 +415,7 @@ Status TxnContext::Delete(Table* table, RowId base) {
   w.base_row = base;
   const Row* bv =
       mode_ == TxnMode::kNormal ? &table->ValuesOf(base) : nullptr;
-  mgr_->RecordWrite(info_, w, nullptr, bv);
+  mgr_->RecordWrite(info_, w, nullptr, bv, 0, table->PartitionOf(base));
   return Status::OK();
 }
 

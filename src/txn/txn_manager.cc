@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <thread>
+
+#include "storage/partition.h"
 
 namespace brdb {
 
@@ -185,13 +188,42 @@ void PredicateIndex::RemoveReaders(const std::unordered_set<TxnId>& readers) {
   }
 }
 
+bool TxnInfo::HasInConflict(TxnId other) const {
+  for (uint32_t p = 0; p < num_slots; ++p) {
+    std::lock_guard<std::mutex> lock(slots[p].mu);
+    if (slots[p].in.count(other)) return true;
+  }
+  return false;
+}
+
+bool TxnInfo::HasOutConflict(TxnId other) const {
+  for (uint32_t p = 0; p < num_slots; ++p) {
+    std::lock_guard<std::mutex> lock(slots[p].mu);
+    if (slots[p].out.count(other)) return true;
+  }
+  return false;
+}
+
 TxnManager::TxnManager(const TxnManagerOptions& options) {
+  partitions_ = RoundUpPow2(
+      std::min(kMaxPartitions, std::max<size_t>(1, options.partitions)));
   size_t n =
       RoundUpPow2(options.stripes == 0 ? DefaultStripes() : options.stripes);
-  shard_mask_ = n - 1;
-  shards_ = std::vector<Shard>(n);
-  read_stripes_ = std::vector<ReadStripe>(n);
-  predicate_stripes_ = std::vector<PredicateStripe>(n);
+  stripe_mask_ = n - 1;
+  size_t total = n * partitions_;
+  shard_mask_ = total - 1;
+  shards_ = std::vector<Shard>(total);
+  read_stripes_ = std::vector<ReadStripe>(total);
+  predicate_stripes_ = std::vector<PredicateStripe>(total);
+  next_seq_ = std::make_unique<std::atomic<TxnId>[]>(partitions_);
+  for (size_t p = 0; p < partitions_; ++p) {
+    next_seq_[p].store(0, std::memory_order_relaxed);
+  }
+}
+
+TxnId TxnManager::AllocateId(uint32_t partition) {
+  TxnId seq = next_seq_[partition].fetch_add(1, std::memory_order_relaxed);
+  return seq * partitions_ + partition + 1;
 }
 
 template <typename Fn>
@@ -204,11 +236,16 @@ bool TxnManager::WithTxn(TxnId id, Fn fn) const {
   return true;
 }
 
-TxnInfo* TxnManager::Begin(Snapshot snapshot, std::string global_id) {
+TxnInfo* TxnManager::Begin(Snapshot snapshot, std::string global_id,
+                           uint32_t home_partition) {
   auto info = std::make_unique<TxnInfo>();
-  info->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  info->home_partition =
+      home_partition & static_cast<uint32_t>(partitions_ - 1);
+  info->id = AllocateId(info->home_partition);
   info->global_id = std::move(global_id);
   info->snapshot = snapshot;
+  info->num_slots = static_cast<uint32_t>(partitions_);
+  info->slots = std::make_unique<ConflictSlot[]>(partitions_);
   TxnInfo* ptr = info.get();
   Shard& shard = ShardOf(ptr->id);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -226,10 +263,15 @@ TxnInfo* TxnManager::Begin(Snapshot snapshot, std::string global_id) {
   return ptr;
 }
 
-TxnInfo* TxnManager::BeginAtCurrentCsn(std::string global_id) {
+TxnInfo* TxnManager::BeginAtCurrentCsn(std::string global_id,
+                                       uint32_t home_partition) {
   auto info = std::make_unique<TxnInfo>();
-  info->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  info->home_partition =
+      home_partition & static_cast<uint32_t>(partitions_ - 1);
+  info->id = AllocateId(info->home_partition);
   info->global_id = std::move(global_id);
+  info->num_slots = static_cast<uint32_t>(partitions_);
+  info->slots = std::make_unique<ConflictSlot[]>(partitions_);
   TxnInfo* ptr = info.get();
   Shard& shard = ShardOf(ptr->id);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -289,9 +331,11 @@ BlockNum TxnManager::CommitBlockOf(TxnId id) const {
   return StatusViewOf(id).commit_block;
 }
 
-void TxnManager::RecordRowRead(TxnInfo* reader, TableId table, RowId row) {
+void TxnManager::RecordRowRead(TxnInfo* reader, TableId table, RowId row,
+                               uint32_t partition) {
   reader->row_reads.emplace_back(table, row);  // owner thread
-  ReadStripe& stripe = ReadStripeOf(table, row);
+  reader->TouchPartition(partition);
+  ReadStripe& stripe = ReadStripeOf(partition, table, row);
   std::lock_guard<std::mutex> lock(stripe.mu);
   std::vector<TxnId>& readers = stripe.readers[{table, row}];
   if (std::find(readers.begin(), readers.end(), reader->id) ==
@@ -301,8 +345,21 @@ void TxnManager::RecordRowRead(TxnInfo* reader, TableId table, RowId row) {
   }
 }
 
-void TxnManager::RecordPredicate(TxnInfo* reader, PredicateRead predicate) {
-  PredicateStripe& stripe = PredicateStripeOf(predicate.table);
+void TxnManager::RecordPredicate(TxnInfo* reader, PredicateRead predicate,
+                                 int partition) {
+  // A pinned predicate (equality on the partition column) can only be
+  // covered by writes hashing to its partition, so it registers in that
+  // group alone and the reader stays partition-local. Everything else
+  // registers in the shared group 0 — which RecordWrite always probes —
+  // and conservatively marks the reader as touching every partition.
+  uint32_t group = 0;
+  if (partition >= 0 && static_cast<size_t>(partition) < partitions_) {
+    group = static_cast<uint32_t>(partition);
+    reader->TouchPartition(group);
+  } else {
+    reader->TouchAllPartitions();
+  }
+  PredicateStripe& stripe = PredicateStripeOf(group, predicate.table);
   {
     std::lock_guard<std::mutex> lock(stripe.mu);
     stripe.by_table[predicate.table].Add(reader->id, predicate);
@@ -324,32 +381,40 @@ bool TxnManager::Concurrent(const TxnStatusView& a, const TxnInfo& b) {
   return true;
 }
 
-void TxnManager::AddEdge(TxnId reader, TxnId writer) {
+void TxnManager::AddEdge(TxnId reader, TxnId writer, uint32_t partition) {
   if (reader == writer) return;
   TxnStatusView r = StatusViewOf(reader);
   TxnStatusView w = StatusViewOf(writer);
   if (!r.known || !w.known) return;
   if (r.state == TxnState::kAborted || w.state == TxnState::kAborted) return;
   WithTxn(reader, [&](TxnInfo* t) {
-    std::lock_guard<std::mutex> lock(t->conflict_mu);
-    t->out_conflicts.insert(writer);
+    t->TouchPartition(partition);
+    std::lock_guard<std::mutex> lock(t->slots[partition].mu);
+    t->slots[partition].out.insert(writer);
   });
   WithTxn(writer, [&](TxnInfo* t) {
-    std::lock_guard<std::mutex> lock(t->conflict_mu);
-    t->in_conflicts.insert(reader);
+    t->TouchPartition(partition);
+    std::lock_guard<std::mutex> lock(t->slots[partition].mu);
+    t->slots[partition].in.insert(reader);
   });
 }
 
 void TxnManager::RecordWrite(TxnInfo* writer, const WriteRecord& write,
-                             const Row* new_values, const Row* base_values) {
+                             const Row* new_values, const Row* base_values,
+                             uint32_t new_partition,
+                             uint32_t base_partition) {
   writer->writes.push_back(write);  // owner thread
 
   // rw edges from transactions that read the base version we are replacing
-  // or deleting.
+  // or deleting. Readers registered under the base row's partition, which
+  // is immutable — probing the same group sees exactly the same reader set
+  // a single-group layout would.
   if (base_values != nullptr && write.base_row != kInvalidRowId) {
+    writer->TouchPartition(base_partition);
     std::vector<TxnId> readers;
     {
-      ReadStripe& stripe = ReadStripeOf(write.table, write.base_row);
+      ReadStripe& stripe =
+          ReadStripeOf(base_partition, write.table, write.base_row);
       std::lock_guard<std::mutex> lock(stripe.mu);
       auto it = stripe.readers.find({write.table, write.base_row});
       if (it != stripe.readers.end()) readers = it->second;
@@ -359,42 +424,48 @@ void TxnManager::RecordWrite(TxnInfo* writer, const WriteRecord& write,
       TxnStatusView r = StatusViewOf(reader);
       if (!r.known || r.state == TxnState::kAborted) continue;
       if (!Concurrent(r, *writer)) continue;
-      AddEdge(reader, writer->id);
+      AddEdge(reader, writer->id, base_partition);
     }
   }
 
   // rw (predicate/phantom) edges from transactions whose scans cover the
   // values we are introducing. The per-table PredicateIndex prunes the
   // candidate set to the bucket of the written value instead of walking
-  // every registered predicate.
+  // every registered predicate. Pinned predicates live in the group of
+  // their equality value — only reachable when new_partition equals it —
+  // and every unpinned predicate lives in group 0, so probing
+  // {new_partition, 0} covers the full covering set exactly once.
   if (new_values != nullptr) {
+    writer->TouchPartition(new_partition);
     std::vector<TxnId> matching;
-    {
-      PredicateStripe& stripe = PredicateStripeOf(write.table);
+    auto probe_group = [&](uint32_t group) {
+      PredicateStripe& stripe = PredicateStripeOf(group, write.table);
       std::lock_guard<std::mutex> lock(stripe.mu);
       auto it = stripe.by_table.find(write.table);
       if (it != stripe.by_table.end()) {
         it->second.Match(*new_values, &matching);
       }
-    }
+    };
+    probe_group(new_partition);
+    if (new_partition != 0) probe_group(0);
     for (TxnId reader : matching) {
       if (reader == writer->id) continue;
       TxnStatusView r = StatusViewOf(reader);
       if (!r.known || r.state == TxnState::kAborted) continue;
       if (!Concurrent(r, *writer)) continue;
-      AddEdge(reader, writer->id);
+      AddEdge(reader, writer->id, new_partition);
     }
   }
 }
 
-void TxnManager::AddRwEdge(TxnId reader, TxnId writer) {
-  AddEdge(reader, writer);
+void TxnManager::AddRwEdge(TxnId reader, TxnId writer, uint32_t partition) {
+  AddEdge(reader, writer, partition);
 }
 
 void TxnManager::Doom(TxnId txn, const Status& reason) {
   WithTxn(txn, [&](TxnInfo* t) {
     if (t->state.load(std::memory_order_acquire) != TxnState::kActive) return;
-    std::lock_guard<std::mutex> lock(t->conflict_mu);
+    std::lock_guard<std::mutex> lock(t->doom_mu);
     if (!t->doomed.load(std::memory_order_relaxed)) {
       t->doom_reason = reason;
       t->doomed.store(true, std::memory_order_release);
@@ -412,30 +483,53 @@ bool TxnManager::IsDoomed(TxnId txn) const {
 Status TxnManager::DoomReason(TxnId txn) const {
   Status reason = Status::OK();
   WithTxn(txn, [&](TxnInfo* t) {
-    std::lock_guard<std::mutex> lock(t->conflict_mu);
+    std::lock_guard<std::mutex> lock(t->doom_mu);
     if (t->doomed.load(std::memory_order_relaxed)) reason = t->doom_reason;
   });
   return reason;
 }
 
 std::vector<TxnId> TxnManager::CopyConflicts(TxnId id, bool in) const {
-  std::vector<TxnId> out;
+  // Merge across the touched slots, ascending partition order. std::set
+  // iteration per slot plus set_union semantics keep the result sorted
+  // and deduplicated, so the output is independent of slot layout (and
+  // therefore of the partition count).
+  std::set<TxnId> merged;
   WithTxn(id, [&](TxnInfo* t) {
-    std::lock_guard<std::mutex> lock(t->conflict_mu);
-    const std::set<TxnId>& s = in ? t->in_conflicts : t->out_conflicts;
-    out.assign(s.begin(), s.end());
+    uint64_t touched = t->touched_partitions.load(std::memory_order_acquire);
+    for (uint32_t p = 0; p < t->num_slots; ++p) {
+      if (!((touched >> p) & 1)) continue;
+      std::lock_guard<std::mutex> lock(t->slots[p].mu);
+      const std::set<TxnId>& s = in ? t->slots[p].in : t->slots[p].out;
+      merged.insert(s.begin(), s.end());
+    }
   });
-  return out;
+  return std::vector<TxnId>(merged.begin(), merged.end());
 }
 
-Status TxnManager::ValidateAbortDuringCommit(TxnInfo* txn) {
+void TxnManager::MergeConflictsOf(const TxnInfo* txn, std::vector<TxnId>* ins,
+                                  std::vector<TxnId>* outs) {
+  std::set<TxnId> in_set, out_set;
+  uint64_t touched = txn->touched_partitions.load(std::memory_order_acquire);
+  for (uint32_t p = 0; p < txn->num_slots; ++p) {
+    if (!((touched >> p) & 1)) continue;
+    std::lock_guard<std::mutex> lock(txn->slots[p].mu);
+    in_set.insert(txn->slots[p].in.begin(), txn->slots[p].in.end());
+    out_set.insert(txn->slots[p].out.begin(), txn->slots[p].out.end());
+  }
+  ins->assign(in_set.begin(), in_set.end());
+  outs->assign(out_set.begin(), out_set.end());
+}
+
+Status TxnManager::ValidateAbortDuringCommit(TxnInfo* txn,
+                                             const std::vector<TxnId>& ins,
+                                             const std::vector<TxnId>& outs) {
   // Self pivot rule: this transaction has a committed outConflict and some
   // inConflict -> a dangerous structure with the out side committed first
   // (Figure 2(c)); the committing pivot must abort.
   // Doomed transactions are guaranteed to abort at their commit slot, so
   // they no longer participate in dangerous structures (dooming is itself
   // deterministic across nodes).
-  std::vector<TxnId> ins = CopyConflicts(txn->id, /*in=*/true);
   bool has_in = false;
   for (TxnId in : ins) {
     TxnStatusView v = StatusViewOf(in);
@@ -445,7 +539,7 @@ Status TxnManager::ValidateAbortDuringCommit(TxnInfo* txn) {
     }
   }
   if (has_in) {
-    for (TxnId out : CopyConflicts(txn->id, /*in=*/false)) {
+    for (TxnId out : outs) {
       TxnStatusView v = StatusViewOf(out);
       if (v.known && v.state == TxnState::kCommitted) {
         return Status::SerializationFailure(
@@ -510,10 +604,12 @@ Status TxnManager::ValidateAbortDuringCommit(TxnInfo* txn) {
 // serializable schedules (e.g. a pure chain F->N->T all commits) while
 // remaining anomaly-safe and byte-identical across nodes.
 Status TxnManager::ValidateBlockAware(
-    TxnInfo* txn, BlockNum block, const std::vector<TxnId>& block_members) {
+    TxnInfo* txn, BlockNum block, const std::vector<TxnId>& block_members,
+    const std::vector<TxnId>& ins, const std::vector<TxnId>& outs) {
+  (void)txn;
   (void)block_members;
   bool committed_same_block_out = false;
-  for (TxnId out : CopyConflicts(txn->id, /*in=*/false)) {
+  for (TxnId out : outs) {
     TxnStatusView o = StatusViewOf(out);
     if (!o.known || o.state != TxnState::kCommitted) continue;
     if (o.commit_block != block) {
@@ -524,7 +620,7 @@ Status TxnManager::ValidateBlockAware(
     committed_same_block_out = true;
   }
   if (committed_same_block_out) {
-    for (TxnId in : CopyConflicts(txn->id, /*in=*/true)) {
+    for (TxnId in : ins) {
       TxnStatusView m = StatusViewOf(in);
       if (m.known && m.state == TxnState::kCommitted &&
           m.commit_block == block) {
@@ -543,16 +639,53 @@ Status TxnManager::ValidateForCommit(TxnInfo* txn, SsiPolicy policy,
   assert(txn->state.load() == TxnState::kActive);
   txn->block_pos = block_pos;
   if (txn->doomed.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(txn->conflict_mu);
+    std::lock_guard<std::mutex> lock(txn->doom_mu);
     return txn->doom_reason;
   }
+
+  // Two-phase conflict merge, done once per validation: single-partition
+  // transactions touch one slot and skip cross-partition coordination
+  // entirely; multi-partition transactions pay a timed ordered merge.
+  // The merged sets are a union over slots, so they are byte-identical
+  // to what a single-slot layout produces.
+  const uint64_t touched =
+      txn->touched_partitions.load(std::memory_order_acquire);
+  const bool multi = (touched & (touched - 1)) != 0;
+  std::vector<TxnId> ins, outs;
+  if (multi) {
+    auto t0 = std::chrono::steady_clock::now();
+    MergeConflictsOf(txn, &ins, &outs);
+    txn->merge_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    multi_partition_validations_.fetch_add(1, std::memory_order_relaxed);
+    cross_partition_merge_ns_.fetch_add(txn->merge_ns,
+                                        std::memory_order_relaxed);
+  } else {
+    MergeConflictsOf(txn, &ins, &outs);
+    txn->merge_ns = 0;
+    single_partition_validations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   switch (policy) {
     case SsiPolicy::kAbortDuringCommit:
-      return ValidateAbortDuringCommit(txn);
+      return ValidateAbortDuringCommit(txn, ins, outs);
     case SsiPolicy::kBlockAware:
-      return ValidateBlockAware(txn, block, block_members);
+      return ValidateBlockAware(txn, block, block_members, ins, outs);
   }
   return Status::Internal("unknown SSI policy");
+}
+
+TxnPartitionCounters TxnManager::partition_counters() const {
+  TxnPartitionCounters c;
+  c.single_partition_validations =
+      single_partition_validations_.load(std::memory_order_relaxed);
+  c.multi_partition_validations =
+      multi_partition_validations_.load(std::memory_order_relaxed);
+  c.cross_partition_merge_ns =
+      cross_partition_merge_ns_.load(std::memory_order_relaxed);
+  return c;
 }
 
 void TxnManager::MarkCommitted(TxnInfo* txn, BlockNum block) {
@@ -576,24 +709,28 @@ void TxnManager::MarkAborted(TxnInfo* txn) {
                                           std::memory_order_acq_rel)) {
     return;
   }
-  // Aborted transactions no longer participate in any structure.
-  std::vector<TxnId> outs, ins;
-  {
-    std::lock_guard<std::mutex> lock(txn->conflict_mu);
-    outs.assign(txn->out_conflicts.begin(), txn->out_conflicts.end());
-    ins.assign(txn->in_conflicts.begin(), txn->in_conflicts.end());
-  }
-  for (TxnId out : outs) {
-    WithTxn(out, [&](TxnInfo* t) {
-      std::lock_guard<std::mutex> lock(t->conflict_mu);
-      t->in_conflicts.erase(txn->id);
-    });
-  }
-  for (TxnId in : ins) {
-    WithTxn(in, [&](TxnInfo* t) {
-      std::lock_guard<std::mutex> lock(t->conflict_mu);
-      t->out_conflicts.erase(txn->id);
-    });
+  // Aborted transactions no longer participate in any structure. An edge
+  // lives in the SAME slot index on both endpoints, so the peer erasure
+  // targets the matching slot.
+  for (uint32_t p = 0; p < txn->num_slots; ++p) {
+    std::vector<TxnId> outs, ins;
+    {
+      std::lock_guard<std::mutex> lock(txn->slots[p].mu);
+      outs.assign(txn->slots[p].out.begin(), txn->slots[p].out.end());
+      ins.assign(txn->slots[p].in.begin(), txn->slots[p].in.end());
+    }
+    for (TxnId out : outs) {
+      WithTxn(out, [&](TxnInfo* t) {
+        std::lock_guard<std::mutex> lock(t->slots[p].mu);
+        t->slots[p].in.erase(txn->id);
+      });
+    }
+    for (TxnId in : ins) {
+      WithTxn(in, [&](TxnInfo* t) {
+        std::lock_guard<std::mutex> lock(t->slots[p].mu);
+        t->slots[p].out.erase(txn->id);
+      });
+    }
   }
 }
 
@@ -609,11 +746,13 @@ size_t TxnManager::GarbageCollect() {
         continue;
       }
       min_begin = std::min(min_begin, info->begin_csn);
-      std::lock_guard<std::mutex> clock(info->conflict_mu);
-      referenced.insert(info->in_conflicts.begin(),
-                        info->in_conflicts.end());
-      referenced.insert(info->out_conflicts.begin(),
-                        info->out_conflicts.end());
+      for (uint32_t p = 0; p < info->num_slots; ++p) {
+        std::lock_guard<std::mutex> clock(info->slots[p].mu);
+        referenced.insert(info->slots[p].in.begin(),
+                          info->slots[p].in.end());
+        referenced.insert(info->slots[p].out.begin(),
+                          info->slots[p].out.end());
+      }
     }
   }
 

@@ -29,9 +29,26 @@
 //  * each TxnInfo carries its own mutex for its conflict sets; state,
 //    doom flag and commit CSN are published through atomics.
 // Lock order is always "one shard/stripe mutex, then at most one TxnInfo
-// conflict mutex"; no two shard locks nest, so the scheme is deadlock-free.
-// Stripe count 1 degenerates to the original single-mutex design and is
-// kept selectable as the benchmark baseline.
+// conflict-slot mutex"; no two shard locks nest, so the scheme is
+// deadlock-free. Stripe count 1 degenerates to the original single-mutex
+// design and is kept selectable as the benchmark baseline.
+//
+// Partitioned execution (ROADMAP item 4) layers a coarser, deterministic
+// sibling of the striping on top: with P partition groups every stripe
+// vector holds P disjoint groups of stripes, SIREAD/predicate
+// registrations carry the partition of the row (a pure function of the
+// row's partition-column value, storage/partition.h) and land in that
+// partition's group, and each TxnInfo keeps one conflict slot per
+// partition plus a touched-partition bitmask. A transaction that only
+// touched one partition validates against that slot alone — no
+// cross-partition coordination; a multi-partition transaction merges its
+// touched slots in ascending partition order at its (serial, block-
+// ordered) commit slot. Because registration and probing use the same
+// pure partition function, the merged edge set is the union over slots
+// and therefore independent of P — commit/abort decisions and write-set
+// hashes are byte-identical across partition counts {1, 2, 8} (check.sh
+// invariant). P = 1 reproduces the pre-partitioning layout exactly,
+// including TxnId allocation order.
 #ifndef BRDB_TXN_TXN_MANAGER_H_
 #define BRDB_TXN_TXN_MANAGER_H_
 
@@ -172,15 +189,27 @@ struct WriteRecord {
   RowId base_row = kInvalidRowId;  ///< replaced/deleted version (update/delete)
 };
 
+/// One partition's share of a transaction's SSI dependency sets:
+/// in = {R : R ->rw this}, out = {W : this ->rw W}, restricted to edges
+/// whose conflicting access happened in this partition.
+struct ConflictSlot {
+  mutable std::mutex mu;
+  std::set<TxnId> in;
+  std::set<TxnId> out;
+};
+
 /// All state of one node-local transaction.
 ///
-/// Thread-safety contract: `id`, `global_id`, `snapshot` and `begin_csn`
-/// are immutable after Begin(). `row_reads`, `predicates` and `writes` are
-/// written only by the owning executor thread (and read by the serial
-/// commit phase, which the execution barrier orders after execution).
-/// `state` and `doomed` are atomics; `commit_csn`/`commit_block` are
-/// published by the release store of `state = kCommitted`. The conflict
-/// sets and `doom_reason` are guarded by `conflict_mu`.
+/// Thread-safety contract: `id`, `global_id`, `snapshot`, `begin_csn` and
+/// `home_partition` are immutable after Begin(). `row_reads`, `predicates`
+/// and `writes` are written only by the owning executor thread (and read
+/// by the serial commit phase, which the execution barrier orders after
+/// execution). `state` and `doomed` are atomics; `commit_csn`/
+/// `commit_block` are published by the release store of
+/// `state = kCommitted`. `doom_reason` is guarded by `doom_mu`; each
+/// conflict slot is guarded by its own mutex. `touched_partitions` is a
+/// bitmask (bit p = this transaction read, wrote or scanned partition p);
+/// `merge_ns` is written only by the serial commit thread.
 struct TxnInfo {
   TxnId id = 0;
   std::string global_id;  ///< Transaction::id() carried in the block
@@ -190,17 +219,35 @@ struct TxnInfo {
   Csn commit_csn = 0;
   BlockNum commit_block = 0;  ///< block this txn committed in
   int block_pos = -1;         ///< position within the committing block
+  uint32_t home_partition = 0;  ///< executor-group routing hint only
 
   // Doom: a decision by SSI/ww-resolution that this transaction must abort
   // when it reaches its commit point (or immediately if still executing).
   std::atomic<bool> doomed{false};
-  Status doom_reason;  ///< guarded by conflict_mu
+  mutable std::mutex doom_mu;
+  Status doom_reason;  ///< guarded by doom_mu
 
-  // SSI dependency sets: in_conflicts = {R : R ->rw this},
-  // out_conflicts = {W : this ->rw W}. Guarded by conflict_mu.
-  mutable std::mutex conflict_mu;
-  std::set<TxnId> in_conflicts;
-  std::set<TxnId> out_conflicts;
+  // Partition-local SSI dependency slots (num_slots == partition count;
+  // allocated by Begin). std::mutex is not movable, so the slots live in a
+  // fixed-size array rather than a vector.
+  uint32_t num_slots = 0;
+  std::unique_ptr<ConflictSlot[]> slots;
+  std::atomic<uint64_t> touched_partitions{0};
+  uint64_t merge_ns = 0;  ///< commit thread only: last conflict-merge cost
+
+  void TouchPartition(uint32_t p) {
+    touched_partitions.fetch_or(1ULL << p, std::memory_order_acq_rel);
+  }
+  void TouchAllPartitions() {
+    uint64_t all =
+        num_slots >= 64 ? ~0ULL : ((1ULL << num_slots) - 1);
+    touched_partitions.fetch_or(all, std::memory_order_acq_rel);
+  }
+
+  /// Observability/tests: whether an edge to/from `other` exists in any
+  /// slot (locks each slot in turn).
+  bool HasInConflict(TxnId other) const;
+  bool HasOutConflict(TxnId other) const;
 
   // Read/write sets (owner thread only).
   std::vector<std::pair<TableId, RowId>> row_reads;
@@ -216,6 +263,26 @@ struct TxnManagerOptions {
   /// [4, 128]. 1 reproduces the historical single-mutex behavior and is
   /// used as the benchmark baseline.
   size_t stripes = 0;
+
+  /// Partition-group count (ROADMAP item 4). Rounded up to a power of
+  /// two, clamped to [1, kMaxPartitions]. Every stripe vector is
+  /// replicated per partition group and TxnIds are allocated from
+  /// per-partition sequences; 1 (the default) is byte-identical to the
+  /// pre-partitioning behavior. Partition assignment itself is a pure
+  /// function of the row key, so this knob must never change commit/abort
+  /// decisions — only which executor group and which stripe group does
+  /// the work.
+  size_t partitions = 1;
+};
+
+/// Observability counters for the partitioned fast path: how many commit
+/// validations merged a single touched partition slot (no cross-partition
+/// coordination) vs several, and the total nanoseconds spent in
+/// cross-partition conflict merges.
+struct TxnPartitionCounters {
+  uint64_t single_partition_validations = 0;
+  uint64_t multi_partition_validations = 0;
+  uint64_t cross_partition_merge_ns = 0;
 };
 
 /// Combined single-lookup view of another transaction's commit status.
@@ -240,15 +307,19 @@ class TxnManager {
   /// network-wide transaction id (may be empty for local/internal work).
   /// For CSN snapshots the GC horizon is clamped to the snapshot's CSN so
   /// a caller-sampled (possibly stale) snapshot can never be overtaken by
-  /// garbage collection.
-  TxnInfo* Begin(Snapshot snapshot, std::string global_id = "");
+  /// garbage collection. `home_partition` is the executor-group routing
+  /// hint; it selects the TxnId allocation sequence but never affects
+  /// commit decisions (decisions only compare ids for equality).
+  TxnInfo* Begin(Snapshot snapshot, std::string global_id = "",
+                 uint32_t home_partition = 0);
 
   /// Start a transaction reading at the current CSN. The snapshot CSN is
   /// sampled under the registry shard lock, making it atomic against the
   /// GC horizon computation — prefer this over
   /// Begin(Snapshot::AtCsn(CurrentCsn())), whose two steps leave a window
   /// where GC can collect transactions the snapshot still needs.
-  TxnInfo* BeginAtCurrentCsn(std::string global_id = "");
+  TxnInfo* BeginAtCurrentCsn(std::string global_id = "",
+                             uint32_t home_partition = 0);
 
   /// Current commit sequence number (the snapshot a new CSN transaction
   /// should read at).
@@ -267,25 +338,46 @@ class TxnManager {
   /// One-lookup combined view (hot path: MVCC visibility checks).
   TxnStatusView StatusViewOf(TxnId id) const;
 
+  /// Stripes per partition group times the partition count.
   size_t stripes() const { return shards_.size(); }
 
+  /// Normalized (power-of-two) partition-group count.
+  size_t partitions() const { return partitions_; }
+
+  /// Snapshot of the partitioned-validation counters.
+  TxnPartitionCounters partition_counters() const;
+
   // ---- SSI bookkeeping (called from TxnContext during execution) ----
+  //
+  // The `partition` arguments are the partition of the ROW the access
+  // touched (Table::PartitionOf — a pure function of the row's
+  // partition-column value). Registration and probing must agree on it;
+  // callers that run with a single partition group may leave the defaults.
 
   /// Record that `reader` read version `row` of `table` (SIREAD lock).
-  void RecordRowRead(TxnInfo* reader, TableId table, RowId row);
+  void RecordRowRead(TxnInfo* reader, TableId table, RowId row,
+                     uint32_t partition = 0);
 
-  /// Record a predicate scan.
-  void RecordPredicate(TxnInfo* reader, PredicateRead predicate);
+  /// Record a predicate scan. `partition` >= 0 pins the predicate to one
+  /// partition group (only writes hashing there can match — an equality
+  /// predicate on the table's partition column); -1 registers it in the
+  /// shared group 0, which every write probes, and marks the reader as
+  /// touching every partition.
+  void RecordPredicate(TxnInfo* reader, PredicateRead predicate,
+                       int partition = -1);
 
   /// Record a write and create writer-side rw edges: readers of the base
   /// version and predicate readers covering the new values become
-  /// in-conflicts of `writer`.
+  /// in-conflicts of `writer`. `new_partition`/`base_partition` are the
+  /// partitions of the written/replaced versions.
   void RecordWrite(TxnInfo* writer, const WriteRecord& write,
-                   const Row* new_values, const Row* base_values);
+                   const Row* new_values, const Row* base_values,
+                   uint32_t new_partition = 0, uint32_t base_partition = 0);
 
   /// Reader-side rw edge: `reader` observed that `writer` created a newer,
-  /// snapshot-invisible version (or an invisible matching insert).
-  void AddRwEdge(TxnId reader, TxnId writer);
+  /// snapshot-invisible version (or an invisible matching insert) in
+  /// `partition`.
+  void AddRwEdge(TxnId reader, TxnId writer, uint32_t partition = 0);
 
   /// Doom a transaction: it must abort at (or before) its commit point.
   /// The first doom reason sticks.
@@ -351,13 +443,19 @@ class TxnManager {
     std::unordered_map<TableId, PredicateIndex> by_table;
   };
 
+  // Stripe vectors hold `partitions_` disjoint groups of
+  // `stripe_mask_ + 1` stripes each; shard_mask_ spans the whole vector,
+  // so ShardOf's id masking is unchanged by partitioning (per-partition
+  // TxnId sequences keep the groups' id residues disjoint).
   Shard& ShardOf(TxnId id) { return shards_[id & shard_mask_]; }
   const Shard& ShardOf(TxnId id) const { return shards_[id & shard_mask_]; }
-  ReadStripe& ReadStripeOf(TableId table, RowId row) {
-    return read_stripes_[RowReadKeyHash{}({table, row}) & shard_mask_];
+  ReadStripe& ReadStripeOf(uint32_t partition, TableId table, RowId row) {
+    return read_stripes_[partition * (stripe_mask_ + 1) +
+                         (RowReadKeyHash{}({table, row}) & stripe_mask_)];
   }
-  PredicateStripe& PredicateStripeOf(TableId table) {
-    return predicate_stripes_[static_cast<size_t>(table) & shard_mask_];
+  PredicateStripe& PredicateStripeOf(uint32_t partition, TableId table) {
+    return predicate_stripes_[partition * (stripe_mask_ + 1) +
+                              (static_cast<size_t>(table) & stripe_mask_)];
   }
 
   /// Run `fn(TxnInfo*)` with the owning shard locked; false when unknown.
@@ -367,18 +465,40 @@ class TxnManager {
   /// True unless one of the two committed before the other began.
   static bool Concurrent(const TxnStatusView& a, const TxnInfo& b);
 
-  /// Add the rw edge reader -> writer (skips aborted/unknown endpoints).
-  void AddEdge(TxnId reader, TxnId writer);
+  /// Add the rw edge reader -> writer in both parties' slot `partition`
+  /// (skips aborted/unknown endpoints).
+  void AddEdge(TxnId reader, TxnId writer, uint32_t partition);
 
-  /// Copy a transaction's conflict set (in or out) under its lock.
+  /// Merge a transaction's conflict set (in or out) across its touched
+  /// slots, ascending partition order, each slot copied under its own
+  /// lock. Returns a sorted, deduplicated id list.
   std::vector<TxnId> CopyConflicts(TxnId id, bool in) const;
 
-  Status ValidateAbortDuringCommit(TxnInfo* txn);
-  Status ValidateBlockAware(TxnInfo* txn, BlockNum block,
-                            const std::vector<TxnId>& block_members);
+  /// The same two-phase merge for the committing transaction itself
+  /// (phase 1: lock + copy each touched slot in ascending partition
+  /// order; phase 2: union). Sorted and deduplicated by construction.
+  static void MergeConflictsOf(const TxnInfo* txn, std::vector<TxnId>* ins,
+                               std::vector<TxnId>* outs);
 
-  std::atomic<TxnId> next_id_{1};
+  Status ValidateAbortDuringCommit(TxnInfo* txn,
+                                   const std::vector<TxnId>& ins,
+                                   const std::vector<TxnId>& outs);
+  Status ValidateBlockAware(TxnInfo* txn, BlockNum block,
+                            const std::vector<TxnId>& block_members,
+                            const std::vector<TxnId>& ins,
+                            const std::vector<TxnId>& outs);
+
+  /// id = seq * partitions_ + partition + 1: partition-disjoint id
+  /// streams; partitions_ == 1 degenerates to the historical 1, 2, 3...
+  TxnId AllocateId(uint32_t partition);
+
+  size_t partitions_ = 1;
+  size_t stripe_mask_ = 0;  ///< stripes per partition group - 1
+  std::unique_ptr<std::atomic<TxnId>[]> next_seq_;
   std::atomic<Csn> csn_{0};
+  std::atomic<uint64_t> single_partition_validations_{0};
+  std::atomic<uint64_t> multi_partition_validations_{0};
+  std::atomic<uint64_t> cross_partition_merge_ns_{0};
   /// Serializes commit-CSN assignment so the committed state is published
   /// (release store of `state`) strictly BEFORE CurrentCsn() exposes the
   /// new CSN — a snapshot at CSN N must see every transaction with

@@ -20,24 +20,26 @@ class ContractFixture : public ::testing::Test {
   TxnManager* mgr() { return db_.txn_manager(); }
 
   /// Run `fn` inside a transaction as `invoker` with `role`, committing on
-  /// success.
+  /// success. `at_height` resolves the contract version as of that block.
   Status RunAs(const std::string& invoker, PrincipalRole role,
-               const std::string& contract, std::vector<Value> args) {
+               const std::string& contract, std::vector<Value> args,
+               BlockNum at_height = kLatestBlock) {
     TxnContext ctx(&db_, mgr()->Begin(Snapshot::AtCsn(mgr()->CurrentCsn())),
                    TxnMode::kNormal);
     ContractContext cctx(&ctx, &engine_, &registry_, invoker, std::move(args),
                          sql::ExecOptions());
     cctx.set_invoker_role(role);
-    Status st = registry_.Invoke(contract, &cctx);
+    Status st = registry_.Invoke(contract, &cctx, at_height);
     if (!st.ok()) {
       ctx.Abort(st);
       return st;
     }
-    st = ctx.CommitSerially(SsiPolicy::kAbortDuringCommit, next_block_++, 0,
+    const BlockNum block = next_block_++;
+    st = ctx.CommitSerially(SsiPolicy::kAbortDuringCommit, block, 0,
                             {ctx.id()});
     if (st.ok()) {
       for (const RegistryOp& op : cctx.pending_registry_ops()) {
-        BRDB_RETURN_NOT_OK(registry_.Apply(op));
+        BRDB_RETURN_NOT_OK(registry_.Apply(op, block));
       }
     }
     return st;
@@ -202,6 +204,55 @@ TEST_F(ContractFixture, RegistryLifecycle) {
   EXPECT_TRUE(registry_.DropProcedure("thing").ok());
   EXPECT_FALSE(registry_.Has("thing"));
   EXPECT_EQ(registry_.DropProcedure("thing").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ContractFixture, VersionsResolveByBlockHeight) {
+  TxnContext ddl(&db_, mgr()->Begin(Snapshot::AtCsn(0)), TxnMode::kInternal);
+  ASSERT_TRUE(
+      engine_.Execute(&ddl, "CREATE TABLE marks (k INT PRIMARY KEY, v INT)")
+          .ok());
+  ASSERT_TRUE(ddl.CommitInternal(0).ok());
+
+  SqlProcedure p;
+  p.name = "markv";
+  p.num_params = 1;
+  p.body = "INSERT INTO marks VALUES ($1, 1)";
+  ASSERT_TRUE(registry_.RegisterProcedure(p, /*block=*/5).ok());
+  p.body = "INSERT INTO marks VALUES ($1, 2)";
+  ASSERT_TRUE(registry_.RegisterProcedure(p, /*block=*/9).ok());
+  EXPECT_EQ(registry_.LastChangeBlock("markv"), 9u);
+
+  auto mark_at = [&](int64_t key, BlockNum at_height) {
+    return RunAs("alice", PrincipalRole::kClient, "markv", {Value::Int(key)},
+                 at_height);
+  };
+  auto value_of = [&](int64_t key) {
+    auto v = Scalar("SELECT v FROM marks WHERE k = $1", {Value::Int(key)});
+    return v.ok() ? v.value().AsInt() : -1;
+  };
+
+  // Before the first registration the contract does not exist.
+  EXPECT_EQ(mark_at(10, 4).code(), StatusCode::kNotFound);
+  // Heights 5..8 run version 1, 9+ version 2; kLatestBlock = newest.
+  ASSERT_TRUE(mark_at(11, 5).ok());
+  EXPECT_EQ(value_of(11), 1);
+  ASSERT_TRUE(mark_at(12, 8).ok());
+  EXPECT_EQ(value_of(12), 1);
+  ASSERT_TRUE(mark_at(13, 9).ok());
+  EXPECT_EQ(value_of(13), 2);
+  ASSERT_TRUE(mark_at(14, kLatestBlock).ok());
+  EXPECT_EQ(value_of(14), 2);
+
+  // Dropping at block 12 is itself a version: pre-drop heights still
+  // resolve (a pipelined block ordered before the drop must execute), the
+  // drop height and later do not.
+  ASSERT_TRUE(registry_.DropProcedure("markv", /*block=*/12).ok());
+  EXPECT_FALSE(registry_.Has("markv"));
+  EXPECT_EQ(registry_.LastChangeBlock("markv"), 12u);
+  ASSERT_TRUE(mark_at(15, 11).ok());
+  EXPECT_EQ(value_of(15), 2);
+  EXPECT_EQ(mark_at(16, 12).code(), StatusCode::kNotFound);
+  EXPECT_EQ(mark_at(17, kLatestBlock).code(), StatusCode::kNotFound);
 }
 
 TEST_F(ContractFixture, InvokeUnknownContractFails) {

@@ -1,0 +1,382 @@
+// Partitioned-execution determinism (ROADMAP item 4): partition assignment
+// is a pure function of the row key, so the partition-group count must
+// never change what is decided — only which executor group and which
+// stripe group does the work.
+//
+//  * A fig8b-shaped workload (range scans + read-modify-write updates with
+//    a hot range, plus point-equality updates) run at partitions {1, 2, 8}
+//    must produce byte-identical per-transaction commit/abort decisions
+//    AND byte-identical per-block write-set hashes.
+//  * Point transactions (equality on the partition column) must touch
+//    exactly one partition slot and validate without cross-partition
+//    coordination; range scans register in the shared group and validate
+//    as multi-partition.
+//  * The full node stack (PARTITION BY HASH DDL through governance, the
+//    per-partition executor groups, the partition metrics) must agree:
+//    identical committed state across partition counts, and the fast-path
+//    counters must actually move.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/blockchain_network.h"
+#include "ledger/checkpoint.h"
+#include "storage/database.h"
+#include "storage/partition.h"
+#include "txn/txn_context.h"
+
+namespace brdb {
+namespace {
+
+// Small fig8b shape: enough rows/blocks for real cross-block conflicts,
+// small enough to run three times (partitions 1, 2, 8) in one test.
+constexpr int kRows = 4096;
+constexpr int kScanWidth = 32;
+constexpr int kBlockSize = 32;
+constexpr int kBlocks = 12;
+constexpr int kSlices = 8;
+constexpr int kSliceRows = kRows / kSlices;
+constexpr BlockNum kSnapshotLag = 4;
+constexpr int kHotEvery = 16;   // 1-in-16 txns hit the shared hot range
+constexpr int kPointEvery = 4;  // 1-in-4 txns are point-equality updates
+
+TableSchema PartitionedAccountsSchema() {
+  TableSchema schema("accounts",
+                     {{"id", ValueType::kInt, true, true, false, false},
+                      {"balance", ValueType::kInt, false, false, false,
+                       false}});
+  schema.SetPartitionColumn(0);  // PARTITION BY HASH (id)
+  return schema;
+}
+
+/// Execute one transaction whose content is a pure function of
+/// (block, idx) — identical across partition counts by construction.
+/// Returns the context (not yet committed).
+std::unique_ptr<TxnContext> ExecuteTxn(Database* db, Table* accounts,
+                                       BlockNum block, int idx,
+                                       bool* exec_ok) {
+  Rng rng(0x9a17 + static_cast<uint64_t>(block) * 1315423911ULL +
+          static_cast<uint64_t>(idx));
+  BlockNum h = block > kSnapshotLag ? block - kSnapshotLag : 1;
+  const size_t partitions = db->txn_manager()->partitions();
+  int64_t lo_key;
+  int width = kScanWidth;
+  if (idx % kHotEvery == 0) {
+    lo_key = 0;  // shared hot range: deterministic cross-block conflicts
+  } else {
+    int64_t slice = static_cast<int64_t>(block % kSlices);
+    lo_key = slice * kSliceRows +
+             static_cast<int64_t>(rng.Uniform(kSliceRows - kScanWidth));
+  }
+  if (idx % kPointEvery == 3) width = 1;  // point-equality update
+  // Routing is a pure function of the first touched key (what the node's
+  // RouteToPartition does); it selects the TxnId sequence and must never
+  // affect decisions.
+  uint32_t home = PartitionOfValue(Value::Int(lo_key), partitions);
+  auto ctx = std::make_unique<TxnContext>(
+      db, db->txn_manager()->Begin(Snapshot::AtBlockHeight(h), "", home),
+      TxnMode::kNormal);
+  Value lo = Value::Int(lo_key);
+  Value hi = Value::Int(lo_key + width - 1);
+  RowId target = kInvalidRowId;
+  int64_t target_balance = 0, target_key = 0;
+  Status st = ctx->ScanRange(accounts, 0, &lo, true, &hi, true,
+                             [&](RowId id, const Row& values) {
+                               if (target == kInvalidRowId) {
+                                 target = id;
+                                 target_key = values[0].AsInt();
+                                 target_balance = values[1].AsInt();
+                               }
+                               return true;
+                             });
+  if (st.ok() && target != kInvalidRowId) {
+    st = ctx->Update(accounts, target,
+                     {Value::Int(target_key),
+                      Value::Int(target_balance + 1)});
+  }
+  *exec_ok = st.ok();
+  return ctx;
+}
+
+/// Run the workload at one partition count. Returns a signature holding
+/// every per-transaction decision and every per-block write-set hash —
+/// the byte-identical artifact compared across partition counts.
+std::string RunWorkload(size_t partitions,
+                        TxnPartitionCounters* counters_out = nullptr) {
+  Database db{TxnManagerOptions{/*stripes=*/0, partitions}};
+  Table* accounts = db.CreateTable(PartitionedAccountsSchema()).value();
+  {
+    TxnContext seed(&db,
+                    db.txn_manager()->Begin(
+                        Snapshot::AtCsn(db.txn_manager()->CurrentCsn())),
+                    TxnMode::kInternal);
+    for (int i = 0; i < kRows; ++i) {
+      (void)seed.Insert(accounts, {Value::Int(i), Value::Int(1000)});
+    }
+    (void)seed.CommitInternal(1);
+  }
+
+  std::ostringstream signature;
+  for (int bi = 0; bi < kBlocks; ++bi) {
+    BlockNum block = static_cast<BlockNum>(bi) + 2;
+    std::vector<std::unique_ptr<TxnContext>> ctxs;
+    std::vector<bool> exec_ok(kBlockSize, false);
+    for (int idx = 0; idx < kBlockSize; ++idx) {
+      bool ok = false;
+      ctxs.push_back(ExecuteTxn(&db, accounts, block, idx, &ok));
+      exec_ok[static_cast<size_t>(idx)] = ok;
+    }
+    std::vector<TxnId> members;
+    for (const auto& c : ctxs) members.push_back(c->id());
+    std::vector<std::string> write_sets;
+    signature << "block " << block << ": ";
+    for (int idx = 0; idx < kBlockSize; ++idx) {
+      TxnContext* ctx = ctxs[static_cast<size_t>(idx)].get();
+      if (!exec_ok[static_cast<size_t>(idx)]) {
+        ctx->Abort(Status::Aborted("execution failed"));
+        signature << "-";
+        continue;
+      }
+      Status st = ctx->CommitSerially(SsiPolicy::kBlockAware, block, idx,
+                                      members);
+      if (st.ok()) {
+        write_sets.push_back(ctx->EncodeWriteSet());
+        signature << "+";
+      } else {
+        signature << "-";
+      }
+    }
+    signature << " ws="
+              << CheckpointManager::ComputeWriteSetHash(block, write_sets)
+              << "\n";
+    db.txn_manager()->GarbageCollect();
+  }
+  if (counters_out != nullptr) {
+    *counters_out = db.txn_manager()->partition_counters();
+  }
+  return signature.str();
+}
+
+TEST(PartitionDeterminismTest,
+     DecisionsAndWriteSetHashesIdenticalAcrossPartitionCounts) {
+  TxnPartitionCounters c1, c2, c8;
+  std::string at_1 = RunWorkload(1, &c1);
+  std::string at_2 = RunWorkload(2, &c2);
+  std::string at_8 = RunWorkload(8, &c8);
+  EXPECT_EQ(at_1, at_2) << "partitions=2 diverged from partitions=1";
+  EXPECT_EQ(at_1, at_8) << "partitions=8 diverged from partitions=1";
+  // The workload must actually exercise both paths at partitions > 1:
+  // range scans validate as multi-partition, point updates may stay
+  // single-partition (a point update whose slice maps to group 0 still
+  // counts as single).
+  EXPECT_GT(c8.multi_partition_validations, 0u);
+  EXPECT_GT(c8.single_partition_validations, 0u);
+  // At one partition every validation is trivially single-partition.
+  EXPECT_EQ(c1.multi_partition_validations, 0u);
+  EXPECT_EQ(c1.cross_partition_merge_ns, 0u);
+}
+
+TEST(PartitionFastPathTest, PointTransactionTouchesExactlyOnePartition) {
+  constexpr size_t kParts = 8;
+  Database db{TxnManagerOptions{0, kParts}};
+  Table* accounts = db.CreateTable(PartitionedAccountsSchema()).value();
+  {
+    TxnContext seed(&db,
+                    db.txn_manager()->Begin(
+                        Snapshot::AtCsn(db.txn_manager()->CurrentCsn())),
+                    TxnMode::kInternal);
+    for (int i = 0; i < 64; ++i) {
+      (void)seed.Insert(accounts, {Value::Int(i), Value::Int(100)});
+    }
+    (void)seed.CommitInternal(1);
+  }
+
+  // Point transaction: equality scan on the partition column + update.
+  // It must touch exactly the partition its key hashes to.
+  const int64_t key = 17;
+  const uint32_t expected = PartitionOfValue(Value::Int(key), kParts);
+  TxnContext point(&db,
+                   db.txn_manager()->Begin(Snapshot::AtBlockHeight(1), "",
+                                           expected),
+                   TxnMode::kNormal);
+  Value k = Value::Int(key);
+  RowId target = kInvalidRowId;
+  int64_t balance = 0;
+  ASSERT_TRUE(point
+                  .ScanRange(accounts, 0, &k, true, &k, true,
+                             [&](RowId id, const Row& values) {
+                               target = id;
+                               balance = values[1].AsInt();
+                               return true;
+                             })
+                  .ok());
+  ASSERT_NE(target, kInvalidRowId);
+  ASSERT_TRUE(
+      point.Update(accounts, target, {k, Value::Int(balance + 1)}).ok());
+  const uint64_t touched = point.info()->touched_partitions.load();
+  EXPECT_EQ(touched, 1ULL << expected)
+      << "point txn touched partitions beyond its key's partition";
+  EXPECT_TRUE(point.CommitSerially(SsiPolicy::kBlockAware, 2, 0,
+                                   {point.id()})
+                  .ok());
+
+  // Range transaction: the predicate cannot be pinned, so it must be
+  // marked as touching every partition (any write anywhere could be a
+  // phantom for it).
+  TxnContext range(&db, db.txn_manager()->Begin(Snapshot::AtBlockHeight(2)),
+                   TxnMode::kNormal);
+  Value lo = Value::Int(0), hi = Value::Int(31);
+  ASSERT_TRUE(range
+                  .ScanRange(accounts, 0, &lo, true, &hi, true,
+                             [](RowId, const Row&) { return true; })
+                  .ok());
+  EXPECT_EQ(range.info()->touched_partitions.load(),
+            (1ULL << kParts) - 1);
+  EXPECT_TRUE(range.CommitSerially(SsiPolicy::kBlockAware, 3, 0,
+                                   {range.id()})
+                  .ok());
+
+  TxnPartitionCounters counters = db.txn_manager()->partition_counters();
+  EXPECT_GE(counters.single_partition_validations, 1u);
+  EXPECT_GE(counters.multi_partition_validations, 1u);
+}
+
+TEST(PartitionFastPathTest, TxnIdSequencesArePartitionDisjoint) {
+  constexpr size_t kParts = 8;
+  Database db{TxnManagerOptions{0, kParts}};
+  // id = seq * P + partition + 1: each group draws from its own residue
+  // class, so concurrent groups never contend on one id counter and P=1
+  // degenerates to the historical 1, 2, 3, ...
+  for (uint32_t p = 0; p < kParts; ++p) {
+    TxnInfo* a = db.txn_manager()->BeginAtCurrentCsn("", p);
+    TxnInfo* b = db.txn_manager()->BeginAtCurrentCsn("", p);
+    EXPECT_EQ(a->id % kParts, (p + 1) % kParts);
+    EXPECT_EQ(b->id, a->id + kParts);
+    EXPECT_EQ(a->home_partition, p);
+    db.txn_manager()->MarkAborted(a);
+    db.txn_manager()->MarkAborted(b);
+  }
+}
+
+// ---------- full node stack ----------
+
+NetworkOptions PartitionedOptions(size_t partitions) {
+  NetworkOptions opts;
+  opts.flow = TransactionFlow::kOrderThenExecute;
+  opts.orderer_type = OrdererType::kSolo;  // deterministic block packing
+  opts.orderer_config.block_size = 3;
+  opts.orderer_config.block_timeout_us = 20000;
+  opts.profile = NetworkProfile::Instant();
+  opts.executor_threads = 4;
+  opts.partitions = partitions;
+  return opts;
+}
+
+Status RegisterWorkloadContracts(BlockchainNetwork* net) {
+  BRDB_RETURN_NOT_OK(net->RegisterNativeContract(
+      "put", [](ContractContext* ctx) -> Status {
+        auto r = ctx->Execute("INSERT INTO kv VALUES ($1, $2)", ctx->args());
+        return r.ok() ? Status::OK() : r.status();
+      }));
+  BRDB_RETURN_NOT_OK(net->RegisterNativeContract(
+      "bump", [](ContractContext* ctx) -> Status {
+        auto r = ctx->Execute("UPDATE kv SET v = v + 1 WHERE k = $1",
+                              {ctx->args()[0]});
+        return r.ok() ? Status::OK() : r.status();
+      }));
+  return net->RegisterNativeContract(
+      "sweep", [](ContractContext* ctx) -> Status {
+        auto r = ctx->Execute(
+            "UPDATE kv SET v = v + 1 WHERE k >= $1 AND k <= $2",
+            ctx->args());
+        return r.ok() ? Status::OK() : r.status();
+      });
+}
+
+/// Sequentially submitted point/range workload over a PARTITION BY HASH
+/// table; returns "decisions | state" of node 0.
+std::string RunNodeWorkload(size_t partitions) {
+  auto net = BlockchainNetwork::Create(PartitionedOptions(partitions));
+  EXPECT_TRUE(RegisterWorkloadContracts(net.get()).ok());
+  EXPECT_TRUE(net->Start().ok());
+  EXPECT_TRUE(net->DeployContract(
+                     "CREATE TABLE kv (k INT PRIMARY KEY, v INT) "
+                     "PARTITION BY HASH (k)")
+                  .ok());
+  Client* alice = net->CreateClient("org1", "alice");
+  net->CreateClient("org1", "observer");
+
+  std::vector<std::string> txids;
+  auto submit = [&](const std::string& contract, std::vector<Value> args) {
+    auto t = alice->Invoke(contract, std::move(args));
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    if (!t.ok()) return;
+    txids.push_back(t.value());
+    // Decide each transaction before submitting the next: with only one
+    // transaction ever in flight, block packing is a pure function of
+    // the submission sequence (not of scheduler load racing the block
+    // timeout), so the decision/state signature is comparable across
+    // runs. Concurrent multi-partition conflicts are covered by the
+    // TxnManager-level test above and partition_stress_test.
+    Status st = alice->WaitForCommit(t.value(), 30000000);
+    EXPECT_NE(st.code(), StatusCode::kUnavailable) << st.ToString();
+  };
+  for (int k = 0; k < 12; ++k) {
+    submit("put", {Value::Int(k), Value::Int(0)});
+  }
+  // One deterministic abort per re-insert (PK violation)...
+  submit("put", {Value::Int(3), Value::Int(1)});
+  // ...point updates (partition fast path)...
+  for (int k = 0; k < 12; ++k) submit("bump", {Value::Int(k)});
+  // ...and range sweeps (cross-partition).
+  submit("sweep", {Value::Int(0), Value::Int(5)});
+  submit("sweep", {Value::Int(4), Value::Int(11)});
+
+  std::ostringstream sig;
+  for (const auto& t : txids) {
+    Status st = alice->WaitForCommit(t, 30000000);
+    EXPECT_NE(st.code(), StatusCode::kUnavailable) << st.ToString();
+    sig << (st.ok() ? "+" : "-");
+  }
+  auto r = net->node(0)->Query("observer", "SELECT k, v FROM kv");
+  EXPECT_TRUE(r.ok());
+  sig << " | ";
+  if (r.ok()) {
+    for (const auto& row : r.value().rows) {
+      sig << row[0].AsInt() << "=" << row[1].AsInt() << " ";
+    }
+  }
+
+  // Partition observability on the way out (only meaningful at P > 1).
+  if (partitions > 1) {
+    EXPECT_EQ(net->node(0)->partitions(), partitions);
+    MetricsSnapshot m = net->node(0)->metrics()->Snapshot();
+    EXPECT_GT(m.single_partition_txns, 0u)
+        << "point updates should validate without cross-partition merges";
+    EXPECT_GT(m.multi_partition_txns, 0u)
+        << "range sweeps should validate as multi-partition";
+    size_t occupied = 0;
+    for (uint64_t n : m.partition_txns) occupied += n > 0 ? 1 : 0;
+    EXPECT_GE(occupied, 2u)
+        << "routing should spread transactions over executor groups";
+    EXPECT_GT(net->node(0)->sql_engine()->partition_pruned_scans(), 0u)
+        << "equality scans on the partition column should count as "
+           "partition-pruned";
+  }
+  net->Stop();
+  return sig.str();
+}
+
+TEST(PartitionNodeTest, CommittedStateIdenticalAcrossPartitionCounts) {
+  std::string at_1 = RunNodeWorkload(1);
+  std::string at_2 = RunNodeWorkload(2);
+  std::string at_8 = RunNodeWorkload(8);
+  EXPECT_EQ(at_1, at_2);
+  EXPECT_EQ(at_1, at_8);
+}
+
+}  // namespace
+}  // namespace brdb

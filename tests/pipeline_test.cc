@@ -6,9 +6,11 @@
 // silently dropped) and surfaced in metrics.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
+#include <thread>
 
 #include "core/blockchain_network.h"
 
@@ -273,6 +275,98 @@ TEST(PipelineConcurrentTest, EopDecisionsIdenticalOnAllNodesAtDepth4) {
     EXPECT_EQ(net->node(0)->CheckpointMatches(b), net->num_nodes() - 1)
         << "write-set hash divergence at block " << b;
   }
+  net->Stop();
+}
+
+// Contract upgrade with blocks in flight at depth 4: contract versions
+// resolve by block height, so an invocation ordered before the upgrade
+// runs the old version even when the (pipelined) registry apply has
+// already installed the new one — and no in-flight invocation is doomed.
+// The seed aborted every active invocation of an upgraded contract at
+// apply time, which made the outcome depend on pipeline depth and timing.
+TEST(PipelineContractUpgradeTest, UpgradeWithBlocksInFlightAtDepth4) {
+  auto net = BlockchainNetwork::Create(
+      FastOptions(TransactionFlow::kOrderThenExecute, 4));
+  ASSERT_TRUE(net->Start().ok());
+  ASSERT_TRUE(
+      net->DeployContract("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+          .ok());
+  ASSERT_TRUE(net->DeployContract("CREATE PROCEDURE mark(1) AS "
+                                  "INSERT INTO kv VALUES ($1, 1)")
+                  .ok());
+  Client* alice = net->CreateClient("org1", "alice");
+  net->CreateClient("org1", "observer");
+
+  // Submit a continuous stream of invocations while the upgrade's
+  // three-step governance flow runs, so workload blocks are in flight
+  // around the registry apply; then a post-upgrade tail.
+  std::mutex txids_mu;
+  std::vector<std::pair<std::string, int64_t>> txids;  // txid -> key
+  std::atomic<bool> upgraded{false};
+  std::thread submitter([&] {
+    int64_t k = 0;
+    auto submit_one = [&] {
+      auto t = alice->Invoke("mark", {Value::Int(k)});
+      ASSERT_TRUE(t.ok()) << t.status().ToString();
+      std::lock_guard<std::mutex> lock(txids_mu);
+      txids.emplace_back(t.value(), k);
+      ++k;
+    };
+    while (!upgraded.load()) {
+      submit_one();
+      RealClock::Shared()->SleepMicros(2000);
+    }
+    for (int i = 0; i < 6; ++i) submit_one();
+  });
+  ASSERT_TRUE(net->DeployContract("CREATE PROCEDURE mark(1) AS "
+                                  "INSERT INTO kv VALUES ($1, 2)")
+                  .ok());
+  upgraded.store(true);
+  submitter.join();
+
+  // Every invocation must COMMIT: keys are distinct (no PK conflicts) and
+  // the workload never reads, so the only way to abort would be the old
+  // doom-on-apply rule.
+  BlockNum max_block = 0;
+  for (const auto& [txid, key] : txids) {
+    Status st = alice->WaitForCommit(txid, 30000000);
+    EXPECT_TRUE(st.ok()) << "key " << key
+                         << " aborted across the upgrade: " << st.ToString();
+    max_block = std::max(max_block, alice->DecidedBlockOf(txid));
+  }
+  ASSERT_TRUE(net->WaitForHeight(max_block, 30000000).ok());
+
+  // The version each key observed is a pure function of its block: blocks
+  // up to the upgrade block write 1, later blocks write 2 — one clean
+  // threshold, no interleaving from pipelined execution timing.
+  auto r = net->node(0)->Query("observer", "SELECT k, v FROM kv");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::map<int64_t, int64_t> value_of;
+  for (const auto& row : r.value().rows) {
+    value_of[row[0].AsInt()] = row[1].AsInt();
+  }
+  std::map<BlockNum, int64_t> version_of_block;
+  bool saw_v1 = false, saw_v2 = false;
+  for (const auto& [txid, key] : txids) {
+    BlockNum b = alice->DecidedBlockOf(txid);
+    ASSERT_TRUE(value_of.count(key)) << "committed key " << key << " missing";
+    int64_t v = value_of[key];
+    saw_v1 |= v == 1;
+    saw_v2 |= v == 2;
+    auto [it, inserted] = version_of_block.emplace(b, v);
+    EXPECT_EQ(it->second, v)
+        << "block " << b << " mixed contract versions";
+  }
+  EXPECT_TRUE(saw_v1) << "no pre-upgrade invocation committed";
+  EXPECT_TRUE(saw_v2) << "no post-upgrade invocation committed";
+  int64_t prev = 1;
+  for (const auto& [b, v] : version_of_block) {
+    EXPECT_GE(v, prev) << "version regressed at block " << b;
+    prev = v;
+  }
+
+  // All nodes converged on the same state.
+  EXPECT_EQ(TableDump(net->node(0)), TableDump(net->node(2)));
   net->Stop();
 }
 

@@ -377,15 +377,9 @@ TEST(PredicateIndexIntegrationTest, PhantomEdgeRecordedThroughBuckets) {
   Row new_values = {Value::Int(120)};
   mgr.RecordWrite(writer, w, &new_values, nullptr);
 
-  {
-    std::lock_guard<std::mutex> lock(writer->conflict_mu);
-    EXPECT_EQ(writer->in_conflicts.count(reader->id), 1u);
-    EXPECT_EQ(writer->in_conflicts.count(outside->id), 0u);
-  }
-  {
-    std::lock_guard<std::mutex> lock(reader->conflict_mu);
-    EXPECT_EQ(reader->out_conflicts.count(writer->id), 1u);
-  }
+  EXPECT_TRUE(writer->HasInConflict(reader->id));
+  EXPECT_FALSE(writer->HasInConflict(outside->id));
+  EXPECT_TRUE(reader->HasOutConflict(writer->id));
 }
 
 TEST(PredicateIndexIntegrationTest, FullScanPredicateAlwaysMatches) {
@@ -401,8 +395,7 @@ TEST(PredicateIndexIntegrationTest, FullScanPredicateAlwaysMatches) {
   Row new_values = {Value::Text("anything")};
   mgr.RecordWrite(writer, w, &new_values, nullptr);
 
-  std::lock_guard<std::mutex> lock(writer->conflict_mu);
-  EXPECT_EQ(writer->in_conflicts.count(reader->id), 1u);
+  EXPECT_TRUE(writer->HasInConflict(reader->id));
 }
 
 }  // namespace
