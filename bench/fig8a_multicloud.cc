@@ -97,9 +97,13 @@ class SocketLatencyTracker {
     return tracker;
   }
 
-  void OnSubmit(const std::string& txid) {
+  /// `scheduled_us` is the intended open-loop send instant (coordinated
+  /// omission: generator lag is system queueing the percentiles must
+  /// include). 0 falls back to now.
+  void OnSubmit(const std::string& txid, Micros scheduled_us = 0) {
     std::lock_guard<std::mutex> lock(mu_);
-    submit_us_[txid] = RealClock::Shared()->NowMicros();
+    submit_us_[txid] =
+        scheduled_us != 0 ? scheduled_us : RealClock::Shared()->NowMicros();
   }
 
   LatencyTracker::Stats Snapshot() const {
@@ -273,7 +277,7 @@ void RunLoadOverTransport(Session* client, Transport* transport, int* key,
         "complex_join", {Value::Int(base + i),
                          Value::Text(kRegions[(base + i) % 4])});
     if (h.submit_status().ok()) {
-      tracker->OnSubmit(h.txid());
+      tracker->OnSubmit(h.txid(), target);
       handles.push_back(std::move(h));
     }
   }

@@ -17,17 +17,22 @@
 #   3. socket smoke: scripts/run_cluster.sh boots a REAL 5-OS-process
 #      loopback cluster (4 brdb_noded nodes + 1 orderer over TCP), all
 #      five must publish ports and stay alive for the run;
-#   4. TSAN: a ThreadSanitizer build tree running the `tsan`-labelled
+#   4. chaos smoke: a seeded ~5 s ChaosSchedule (one partition + one node
+#      kill + one Byzantine peer) under open-loop load — brdb_chaos
+#      asserts zero honest divergence and that detection fired on every
+#      honest node, and exits non-zero otherwise (docs/ROBUSTNESS.md);
+#   5. TSAN: a ThreadSanitizer build tree running the `tsan`-labelled
 #      concurrency tests (the striped-commit stress test, the session
 #      pipelining tests, the B+-tree CREATE INDEX bulk-load under
 #      concurrent readers, the pipelined-node determinism test, the
 #      byzantine checkpoint-vote test, and the socket-transport tests:
 #      event_loop_test, frame_assembler_test, tcp_transport_test and
 #      tcp_cluster_test, plus the partition-local SSI stress and
-#      determinism tests — the places where a data race would hide).
-#      The fork-based recovery harness stays out of the tsan label:
-#      multi-threaded children of a forked gtest process are unsupported
-#      under ThreadSanitizer.
+#      determinism tests, the chaos-layer tests (chaos_test) and the
+#      SimNetwork tests (network_test) — the places where a data race
+#      would hide). The fork-based recovery harness stays out of the
+#      tsan label: multi-threaded children of a forked gtest process are
+#      unsupported under ThreadSanitizer.
 #
 # Usage: scripts/check.sh [--tier1-only | --tsan-only]
 set -euo pipefail
@@ -61,6 +66,7 @@ run_tier1() {
     exit 1
   fi
   run_socket_smoke
+  run_chaos_smoke
 }
 
 # Boot a real multi-process cluster over loopback TCP and verify every
@@ -95,6 +101,27 @@ run_socket_smoke() {
   echo "socket smoke OK (4 nodes + orderer over loopback TCP)"
 }
 
+# Seeded ~5 s fault schedule — one partition, one node kill, one Byzantine
+# peer — under open-loop load. brdb_chaos itself enforces the invariants
+# (zero honest divergence, detection fired on every honest node within one
+# checkpoint interval) and exits non-zero on violation.
+run_chaos_smoke() {
+  echo "=== chaos smoke: seeded partition + kill + byzantine schedule ==="
+  cmake --build build -j "${JOBS}" --target brdb_chaos
+  local chaos_out
+  chaos_out=$(mktemp /tmp/brdb_chaos_smoke.XXXXXX.json)
+  if ! ./build/brdb_chaos --smoke --seed=42 --out="${chaos_out}" \
+       > /dev/null 2>&1; then
+    echo "=== FAIL: chaos smoke violated an invariant (honest divergence" \
+         "or missed Byzantine detection); rerun" \
+         "./build/brdb_chaos --smoke --seed=42 for details ===" >&2
+    rm -f "${chaos_out}"
+    exit 1
+  fi
+  rm -f "${chaos_out}"
+  echo "chaos smoke OK (honest nodes agreed, detection fired)"
+}
+
 run_tsan() {
   echo "=== TSAN: concurrency tests under ThreadSanitizer ==="
   cmake -B build-tsan -S . \
@@ -105,7 +132,8 @@ run_tsan() {
     --target txn_stripe_stress_test session_test btree_index_test \
              pipeline_test byzantine_detection_test event_loop_test \
              frame_assembler_test tcp_transport_test tcp_cluster_test \
-             partition_stress_test partition_determinism_test
+             partition_stress_test partition_determinism_test \
+             chaos_test network_test
   ctest --test-dir build-tsan -L tsan --output-on-failure -j 1
 }
 

@@ -15,6 +15,13 @@
 #   --block-timeout-us=N  orderer block timeout (default 100000)
 #   --block-store=DIR     per-node durable block logs under DIR (default:
 #                         in-memory)
+#   --chaos-schedule=S    ChaosSchedule for every node process (inline with
+#                         ';' as the line separator, or @FILE). Exported as
+#                         BRDB_CHAOS_SCHEDULE; each node arms only the
+#                         byzantine events naming itself (network faults
+#                         need an injector-owning harness — see
+#                         docs/ROBUSTNESS.md).
+#   --chaos-seed=N        seed exported as BRDB_CHAOS_SEED (default 42)
 #
 # The peers file path is printed to stdout so a client process can dial
 # the live cluster: BuildClusterIdentities derives the same identity set
@@ -29,6 +36,8 @@ RUN_DIR=""
 BLOCK_SIZE=100
 BLOCK_TIMEOUT_US=100000
 BLOCK_STORE=""
+CHAOS_SCHEDULE=""
+CHAOS_SEED=42
 for arg in "$@"; do
   case "$arg" in
     --flow=*) FLOW="${arg#*=}" ;;
@@ -38,9 +47,19 @@ for arg in "$@"; do
     --block-size=*) BLOCK_SIZE="${arg#*=}" ;;
     --block-timeout-us=*) BLOCK_TIMEOUT_US="${arg#*=}" ;;
     --block-store=*) BLOCK_STORE="${arg#*=}" ;;
+    --chaos-schedule=*) CHAOS_SCHEDULE="${arg#*=}" ;;
+    --chaos-seed=*) CHAOS_SEED="${arg#*=}" ;;
     *) echo "unknown arg: $arg" >&2; exit 2 ;;
   esac
 done
+
+# Chaos arming rides to every child through the environment, so the same
+# flags work whether the cluster is launched here or a node is run by hand.
+if [[ -n "$CHAOS_SCHEDULE" ]]; then
+  export BRDB_CHAOS_SCHEDULE="$CHAOS_SCHEDULE"
+  export BRDB_CHAOS_SEED="$CHAOS_SEED"
+  echo "chaos schedule armed (seed $CHAOS_SEED): $CHAOS_SCHEDULE" >&2
+fi
 
 NODED=build/brdb_noded
 if [[ ! -x "$NODED" ]]; then
@@ -62,6 +81,23 @@ cleanup() {
   echo "shutting down cluster..." >&2
   for pid in "${PIDS[@]}"; do
     kill "$pid" 2>/dev/null || true
+  done
+  # Graceful window, then escalate: a child wedged in a fault window (a
+  # chaos schedule can leave one mid-reconnect) must not leak past script
+  # exit. kill -0 probes liveness; survivors get SIGKILL.
+  for _ in $(seq 1 50); do
+    ALIVE=0
+    for pid in "${PIDS[@]}"; do
+      kill -0 "$pid" 2>/dev/null && ALIVE=1
+    done
+    [[ "$ALIVE" -eq 0 ]] && break
+    sleep 0.1
+  done
+  for pid in "${PIDS[@]}"; do
+    if kill -0 "$pid" 2>/dev/null; then
+      echo "pid $pid ignored SIGTERM; sending SIGKILL" >&2
+      kill -9 "$pid" 2>/dev/null || true
+    fi
   done
   for pid in "${PIDS[@]}"; do
     wait "$pid" 2>/dev/null || true

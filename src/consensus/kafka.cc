@@ -130,6 +130,13 @@ void KafkaOrderingService::ConsumerLoop() {
   };
 
   while (running_.load() || offset < cluster_.LogSize()) {
+    if (paused_.load() && running_.load()) {
+      // Crashed orderer: stop consuming (no block cuts). Publishes keep
+      // landing in the kafka log, so un-pausing drains the backlog — the
+      // harness measures recovery as time-to-drain after resume.
+      RealClock::Shared()->SleepMicros(config_.tick_us);
+      continue;
+    }
     SimKafkaCluster::Record rec;
     if (!cluster_.Consume(&offset, &rec, config_.tick_us)) {
       if (!running_.load()) break;

@@ -48,6 +48,10 @@ class KafkaOrderingService : public OrderingCore {
   void SubmitCheckpointVote(const CheckpointVote& vote) override;
   void Start() override;
   void Stop() override;
+
+  /// Crash-orderer chaos: the consumer stops cutting blocks while paused;
+  /// the kafka log keeps accepting records, so resume drains the backlog.
+  void Pause(bool paused) override { paused_.store(paused); }
   std::vector<Identity> OrdererIdentities() const override {
     return orderers_;
   }
@@ -65,6 +69,7 @@ class KafkaOrderingService : public OrderingCore {
   std::vector<Identity> orderers_;
   SimKafkaCluster cluster_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> paused_{false};
   std::atomic<uint64_t> rr_{0};  // submit load-balancing
 
   // Shared epoch bookkeeping for the timer threads: transactions consumed

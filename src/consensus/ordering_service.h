@@ -62,6 +62,11 @@ class OrderingService {
   virtual void Start() = 0;
   virtual void Stop() = 0;
 
+  /// Chaos hook: pause/resume block formation ("crash-orderer"). While
+  /// paused, submissions still enqueue — resuming drains the backlog, so
+  /// recovery time is measurable. Default: unsupported no-op.
+  virtual void Pause(bool /*paused*/) {}
+
   virtual BlockNum Height() const = 0;
 
   /// Retransmission path for recovering peers (§3.6).

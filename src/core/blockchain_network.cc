@@ -12,6 +12,9 @@ std::unique_ptr<BlockchainNetwork> BlockchainNetwork::Create(
   net->options_ = options;
   net->registry_ = std::make_shared<CertificateRegistry>();
   net->net_ = std::make_unique<SimNetwork>(options.profile);
+  if (options.chaos != nullptr) {
+    net->net_->SetFaultInjector(options.chaos);
+  }
 
   // Identities: per organization one admin and one peer; orderers are
   // spread round-robin over the organizations.
@@ -87,6 +90,11 @@ std::unique_ptr<BlockchainNetwork> BlockchainNetwork::Create(
         std::find(options.byzantine_nodes.begin(),
                   options.byzantine_nodes.end(),
                   i) != options.byzantine_nodes.end();
+    auto byz = options.byzantine_policies.find(i);
+    if (byz != options.byzantine_policies.end()) {
+      cfg.byzantine = byz->second;
+    }
+    cfg.chaos = options.chaos;
     auto node = std::make_unique<DatabaseNode>(cfg, peer_ids[i],
                                                net->registry_,
                                                net->net_.get(),

@@ -70,7 +70,17 @@ struct NetworkOptions {
   std::string fault_injector_node;
 
   /// Node indexes configured to misbehave (skip commits, §3.5(3)).
+  /// Legacy shorthand for byzantine_policies with skip_commit.
   std::vector<size_t> byzantine_nodes;
+
+  /// Initial misbehavior policy per node index (network/chaos.h). Merged
+  /// with byzantine_nodes; runtime changes go through
+  /// DatabaseNode::SetByzantinePolicy (e.g. from a ChaosRunner).
+  std::map<size_t, ByzantinePolicy> byzantine_policies;
+
+  /// Network chaos injector armed on the SimNetwork and every node
+  /// (must outlive the network). See NetworkFaultInjector.
+  NetworkFaultInjector* chaos = nullptr;
 };
 
 class BlockchainNetwork {

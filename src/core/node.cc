@@ -87,6 +87,10 @@ DatabaseNode::DatabaseNode(NodeConfig config, Identity identity,
   }
   backoff_rng_.seed(static_cast<unsigned>(
       std::hash<std::string>{}(config_.name) | 1u));
+  // Merge the legacy skip-commit flag into the armed policy bitmask.
+  ByzantinePolicy initial = config_.byzantine;
+  initial.skip_commit = initial.skip_commit || config_.byzantine_skip_commit;
+  byz_mask_.store(initial.ToMask());
   pipeline_depth_ = ResolvePipelineDepth(config_.pipeline_depth);
   partitions_ = db_.txn_manager()->partitions();  // normalized power of two
   metrics_.SetPartitionCount(partitions_);
@@ -393,6 +397,11 @@ bool DatabaseNode::IsDuplicate(const std::string& txid) {
 
 Status DatabaseNode::SubmitTransaction(const Transaction& tx) {
   if (!running_.load()) return Status::Unavailable("node not running");
+  // A chaos kill severs this node's network entirely; the direct ordering
+  // call below bypasses SimNetwork, so gate it here too.
+  if (config_.chaos != nullptr && config_.chaos->EndpointDown(config_.name)) {
+    return Status::Unavailable("node network down (chaos kill)");
+  }
   if (config_.flow != TransactionFlow::kExecuteOrderParallel) {
     return Status::InvalidArgument(
         "order-then-execute clients submit to the ordering service");
@@ -527,8 +536,11 @@ bool DatabaseNode::FetchBlock(BlockNum next, Block* out) {
   // Missing block (§3.6): an observed gap triggers an immediate
   // retransmission fetch; even without one, poll ordering periodically —
   // a node whose deliveries were lost (partition, restart) must catch up
-  // on its own once connectivity returns.
-  if (gap || ++idle_polls_ % 50 == 0) {
+  // on its own once connectivity returns. The direct ordering call
+  // bypasses SimNetwork, so a chaos kill must gate it here — otherwise a
+  // "dead" node would keep catching up through the back door.
+  if ((gap || ++idle_polls_ % 50 == 0) &&
+      !(config_.chaos != nullptr && config_.chaos->EndpointDown(config_.name))) {
     auto missing = ordering_->GetBlock(next);
     if (missing.ok()) {
       EnqueueBlock(std::move(missing).value());
@@ -615,10 +627,11 @@ std::shared_ptr<ExecEntry> DatabaseNode::StartExecution(
     Micros t0 = RealClock::Shared()->NowMicros();
     auto finish = [&](const Status& st) {
       entry->exec_status = st;
-      {
-        std::lock_guard<std::mutex> lock(exec_mu_);
-        entry->done = true;
-      }
+      // Notify while holding the lock: the commit thread may observe
+      // done==true and finish node shutdown the instant the lock drops,
+      // so a notify after unlock could touch a destroyed cv.
+      std::lock_guard<std::mutex> lock(exec_mu_);
+      entry->done = true;
       exec_cv_.notify_all();
     };
     // Wait under blocks_mu_ until `pred` (a committed-height condition)
@@ -705,10 +718,11 @@ std::shared_ptr<ExecEntry> DatabaseNode::StartExecution(
     entry->exec_us = RealClock::Shared()->NowMicros() - t0;
     metrics_.OnTxnExecuted(entry->exec_us);
     {
+      // Notify under the lock — see `finish` above for the shutdown race.
       std::lock_guard<std::mutex> lock(exec_mu_);
       entry->done = true;
+      exec_cv_.notify_all();
     }
-    exec_cv_.notify_all();
   });
   return entry;
 }
@@ -871,6 +885,10 @@ void DatabaseNode::CommitBlock(BlockWork* work) {
   if (work->aborted) return;  // shutdown interrupted the prepare stage
   const Block& block = work->block;
   const bool eop = config_.flow == TransactionFlow::kExecuteOrderParallel;
+  // Snapshot the armed misbehavior policy once per block: a chaos event
+  // flipping it mid-block would otherwise tear (e.g. skip the commit but
+  // vote the honest hash).
+  const ByzantinePolicy byz = byzantine_policy();
   std::vector<std::shared_ptr<ExecEntry>>& entries = work->entries;
   std::vector<TxnNotification> decided;
   // Stage-3 clock starts here, not at work->t0: under pipelining the
@@ -916,8 +934,7 @@ void DatabaseNode::CommitBlock(BlockWork* work) {
                           const std::vector<TxnId>& members) {
     Micros c0 = RealClock::Shared()->NowMicros();
     Status st = e->exec_status;
-    bool skip = config_.byzantine_skip_commit &&
-                pos + 1 == static_cast<int>(entries.size());
+    bool skip = byz.skip_commit && pos + 1 == static_cast<int>(entries.size());
     if (st.ok() && eop && e->txn != nullptr && !skip &&
         contracts_.LastChangeBlock(e->tx.contract()) >
             e->tx.snapshot_height()) {
@@ -1005,13 +1022,23 @@ void DatabaseNode::CommitBlock(BlockWork* work) {
   }
   std::string ws_hash =
       CheckpointManager::ComputeWriteSetHash(block.number(), write_sets);
+  // RecordLocal always keeps the honestly computed hash: a
+  // divergent-writeset liar lies in its *vote*, not to itself, so it does
+  // not spuriously flag honest peers — but every honest peer flags it.
   bool vote_due = checkpoints_.RecordLocal(block.number(), ws_hash);
-  if (vote_due && config_.submit_checkpoints &&
+  if (vote_due && config_.submit_checkpoints && !byz.withhold_votes &&
       !block.transactions().empty()) {
+    std::string vote_hash = ws_hash;
+    if (byz.divergent_writeset) {
+      std::vector<std::string> tampered = write_sets;
+      tampered.push_back("byzantine-divergent-writeset");
+      vote_hash =
+          CheckpointManager::ComputeWriteSetHash(block.number(), tampered);
+    }
     CheckpointVote vote;
     vote.peer = config_.name;
     vote.block = block.number();
-    vote.write_set_hash = ws_hash;
+    vote.write_set_hash = vote_hash;
     vote.signature = identity_.Sign(vote.SignedPayload());
     ordering_->SubmitCheckpointVote(vote);
   }
@@ -1153,7 +1180,24 @@ Result<sql::ResultSet> DatabaseNode::Query(const std::string& user,
                  db_.txn_manager()->BeginAtCurrentCsn(),
                  TxnMode::kInternal);
   sql::ExecOptions opts;  // reads of the latest committed state
-  return engine_.ExecutePrepared(&ctx, *plan.value(), params, opts);
+  auto result = engine_.ExecutePrepared(&ctx, *plan.value(), params, opts);
+  if (result.ok() && byzantine_policy().tamper_reads) {
+    // Byzantine tamper-reads mode (§3.5): corrupt every value handed to
+    // the client. Detected client-side by cross-peer result comparison —
+    // reads bypass consensus, so only redundancy can catch a lying peer.
+    sql::ResultSet tampered = std::move(result).value();
+    for (Row& row : tampered.rows) {
+      for (Value& v : row) {
+        if (v.type() == ValueType::kInt) {
+          v = Value::Int(v.AsInt() + 1);
+        } else if (v.type() == ValueType::kText) {
+          v = Value::Text(v.AsText() + "\xE2\x88\x85");  // poisoned marker
+        }
+      }
+    }
+    return tampered;
+  }
+  return result;
 }
 
 Result<sql::PreparedInfo> DatabaseNode::PrepareQuery(const std::string& user,

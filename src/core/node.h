@@ -45,6 +45,7 @@
 #include "ledger/checkpoint.h"
 #include "ledger/checkpoint_writer.h"
 #include "ledger/fault_injector.h"
+#include "network/chaos.h"
 #include "network/sim_network.h"
 #include "sql/executor.h"
 #include "storage/database.h"
@@ -114,8 +115,18 @@ struct NodeConfig {
 
   /// Fault injection (§3.5(3)): skip committing the last transaction of
   /// every block, producing divergent write-set hashes that honest peers
-  /// detect through checkpointing.
+  /// detect through checkpointing. Legacy alias for byzantine.skip_commit;
+  /// both are OR-ed into the node's armed policy.
   bool byzantine_skip_commit = false;
+
+  /// Initial misbehavior policy (network/chaos.h). Runtime-armable too:
+  /// a ChaosRunner can flip the policy mid-run via SetByzantinePolicy.
+  ByzantinePolicy byzantine;
+
+  /// Network chaos injector (must outlive the node). Used for the pure
+  /// EndpointDown() check gating the paths that bypass SimNetwork: the
+  /// §3.6 catch-up RPC and EOP direct ordering submission.
+  NetworkFaultInjector* chaos = nullptr;
 
   /// Serial execution baseline (§5.1 "Comparison with Ethereum"): execute
   /// and commit transactions one at a time instead of concurrently.
@@ -256,6 +267,15 @@ class DatabaseNode {
   /// given block (checkpoint agreement).
   size_t CheckpointMatches(BlockNum block) const {
     return checkpoints_.MatchCount(block);
+  }
+
+  /// Arm/clear this node's misbehavior policy at runtime (chaos events).
+  /// Takes effect on the next committed block / query — no restart.
+  void SetByzantinePolicy(const ByzantinePolicy& policy) {
+    byz_mask_.store(policy.ToMask());
+  }
+  ByzantinePolicy byzantine_policy() const {
+    return ByzantinePolicy::FromMask(byz_mask_.load());
   }
 
  private:
@@ -419,6 +439,8 @@ class DatabaseNode {
   std::map<SubscriptionId, NotificationFn> subscribers_;
 
   std::atomic<bool> running_{false};
+  /// Armed ByzantinePolicy bitmask; read lock-free on the commit path.
+  std::atomic<uint32_t> byz_mask_{0};
   size_t pipeline_depth_ = 1;  ///< resolved from config/env at construction
   size_t partitions_ = 1;      ///< resolved + normalized at construction
   std::unique_ptr<BlockPipeline> pipeline_;

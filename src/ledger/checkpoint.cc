@@ -26,7 +26,8 @@ bool CheckpointManager::RecordLocal(BlockNum block, const std::string& hash) {
   if (it != peer_votes_.end()) {
     for (const auto& [peer, their_hash] : it->second) {
       if (their_hash != hash) {
-        divergences_.push_back({peer, block, their_hash, hash});
+        divergences_.push_back({peer, block, their_hash, hash,
+                                RealClock::Shared()->NowMicros()});
       }
     }
   }
@@ -41,7 +42,7 @@ std::optional<CheckpointDivergence> CheckpointManager::ObserveVote(
   auto it = local_hashes_.find(vote.block);
   if (it != local_hashes_.end() && it->second != vote.write_set_hash) {
     CheckpointDivergence d{vote.peer, vote.block, vote.write_set_hash,
-                           it->second};
+                           it->second, RealClock::Shared()->NowMicros()};
     divergences_.push_back(d);
     return d;
   }
@@ -70,6 +71,22 @@ size_t CheckpointManager::MatchCount(BlockNum block) const {
 std::vector<CheckpointDivergence> CheckpointManager::Divergences() const {
   std::lock_guard<std::mutex> lock(mu_);
   return divergences_;
+}
+
+std::vector<std::string> CheckpointManager::MissingVoters(
+    BlockNum block, const std::vector<std::string>& expected) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (local_hashes_.find(block) == local_hashes_.end()) return {};
+  std::vector<std::string> missing;
+  auto votes = peer_votes_.find(block);
+  for (const auto& peer : expected) {
+    if (peer == self_) continue;
+    if (votes == peer_votes_.end() ||
+        votes->second.find(peer) == votes->second.end()) {
+      missing.push_back(peer);
+    }
+  }
+  return missing;
 }
 
 }  // namespace brdb

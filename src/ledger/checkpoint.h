@@ -16,18 +16,23 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "wire/block.h"
 
 namespace brdb {
 
 /// A divergence event: `peer` reported a different write-set hash for
-/// `block` than we computed.
+/// `block` than we computed. `detected_at_us` is the wall-clock instant
+/// the mismatch was noticed — the chaos harness subtracts the fault's
+/// injection time from it to report detection latency as a metric, not
+/// just a boolean.
 struct CheckpointDivergence {
   std::string peer;
   BlockNum block = 0;
   std::string their_hash;
   std::string our_hash;
+  Micros detected_at_us = 0;
 };
 
 class CheckpointManager {
@@ -58,6 +63,14 @@ class CheckpointManager {
 
   /// All divergences observed so far.
   std::vector<CheckpointDivergence> Divergences() const;
+
+  /// Vote-absence audit: peers from `expected` whose vote for `block`
+  /// never arrived even though we committed it. A withhold-votes byzantine
+  /// peer produces no hash mismatch — its silence is the evidence, and
+  /// this is the only place it shows (§3.5). Returns empty if we have not
+  /// committed `block` ourselves (we cannot audit what we haven't seen).
+  std::vector<std::string> MissingVoters(
+      BlockNum block, const std::vector<std::string>& expected) const;
 
  private:
   std::string self_;

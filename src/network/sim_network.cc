@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "network/chaos.h"
+
 namespace brdb {
 
 SimNetwork::SimNetwork(NetworkProfile profile, uint64_t jitter_seed)
@@ -43,6 +45,14 @@ void SimNetwork::Send(NetMessage msg) {
     latency += static_cast<Micros>(
         static_cast<double>(msg.payload.size()) / profile_.bytes_per_us);
   }
+  // Chaos delay/duplication apply at send time; the injector's drop
+  // decision waits until delivery so a fault window opening mid-flight
+  // still catches queued messages (same as the built-in partitions).
+  bool duplicate = false;
+  if (injector_ != nullptr) {
+    latency += injector_->ExtraDelayUs();
+    duplicate = injector_->ShouldDuplicate();
+  }
   Micros deliver_at = clock->NowMicros() + latency;
 
   // FIFO per directed link: never deliver before the previous message on
@@ -54,6 +64,9 @@ void SimNetwork::Send(NetMessage msg) {
   }
   link_last_delivery_[link] = deliver_at;
 
+  if (duplicate) {
+    queue_.push(InFlight{deliver_at, next_seq_++, msg});
+  }
   queue_.push(InFlight{deliver_at, next_seq_++, std::move(msg)});
   cv_.notify_all();
 }
@@ -92,6 +105,11 @@ void SimNetwork::SetDropFilter(std::function<bool(const NetMessage&)> filter) {
   drop_filter_ = std::move(filter);
 }
 
+void SimNetwork::SetFaultInjector(NetworkFaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_ = injector;
+}
+
 void SimNetwork::WaitQuiescent() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return queue_.empty() && delivering_ == 0; });
@@ -117,6 +135,10 @@ void SimNetwork::DeliveryLoop() {
     queue_.pop();
 
     bool drop = partitions_.count({item.msg.from, item.msg.to}) > 0;
+    if (!drop && injector_ != nullptr &&
+        injector_->ShouldDrop(item.msg.from, item.msg.to)) {
+      drop = true;
+    }
     if (!drop && drop_filter_ && drop_filter_(item.msg)) drop = true;
     auto it = endpoints_.find(item.msg.to);
     if (it == endpoints_.end()) drop = true;

@@ -7,8 +7,11 @@
 //    matches the paper's single-datacenter deployment (5 Gbps, sub-ms RTT),
 //    the WAN profile its multi-cloud deployment (50-60 Mbps, tens of ms);
 //  * FIFO ordering per directed link (TCP-like);
-//  * fault injection: partitions (drop all messages on a link) and a
-//    per-message drop filter for byzantine tests.
+//  * fault injection: partitions (drop all messages on a link), a
+//    per-message drop filter for byzantine tests, and an optional
+//    NetworkFaultInjector (network/chaos.h) consulted on every message —
+//    kills/partitions/probabilistic loss at delivery time, extra delay
+//    and duplication at send time.
 //
 // Delivery runs on a dedicated thread ordered by deliver-time; handlers
 // must be fast and dispatch heavy work to their own executors.
@@ -30,6 +33,8 @@
 #include "common/status.h"
 
 namespace brdb {
+
+class NetworkFaultInjector;
 
 /// One network message. `type` routes to the handler's switch; `payload`
 /// is an opaque encoded body.
@@ -95,6 +100,13 @@ class SimNetwork {
   /// Arbitrary drop filter for byzantine tests; return true to drop.
   void SetDropFilter(std::function<bool(const NetMessage&)> filter);
 
+  /// Chaos hook (network/chaos.h): when set, every message consults the
+  /// injector — drop decisions (kills, partitions, probabilistic loss) at
+  /// delivery time like the built-in partitions, extra delay and
+  /// duplication at send time. The injector must outlive this network;
+  /// nullptr disarms.
+  void SetFaultInjector(NetworkFaultInjector* injector);
+
   /// Block until no messages are queued or in flight.
   void WaitQuiescent();
 
@@ -123,6 +135,7 @@ class SimNetwork {
   std::map<std::string, Handler> endpoints_;
   std::set<std::pair<std::string, std::string>> partitions_;
   std::function<bool(const NetMessage&)> drop_filter_;
+  NetworkFaultInjector* injector_ = nullptr;
   std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> queue_;
   std::map<std::pair<std::string, std::string>, Micros> link_last_delivery_;
   uint64_t next_seq_ = 0;

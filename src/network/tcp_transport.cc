@@ -14,6 +14,7 @@
 #include <random>
 
 #include "crypto/schnorr.h"
+#include "network/chaos.h"
 
 namespace brdb {
 
@@ -991,6 +992,15 @@ void FrameClient::Call(Frame request, Micros deadline_us,
     });
     pending_.emplace(seq, std::move(pending));
     SendFrameLocked(request);
+    // Chaos: an armed connection reset fires after the frame is written —
+    // the request may or may not reach the server, so FailConnection fails
+    // every pending with sent=true (the ambiguous case the retry policies
+    // must handle) and bounded-backoff reconnect kicks in.
+    if (options_.fault_injector != nullptr &&
+        options_.fault_injector->ConsumeConnectionReset(
+            options_.expected_server)) {
+      FailConnection(Status::Unavailable("injected connection reset"));
+    }
   });
   if (!posted) done(Status::Unavailable("event loop stopped"), false);
 }
@@ -1080,6 +1090,7 @@ Status TcpTransport::Start() {
     copts.expected_server = peer.name;
     copts.max_send_queue_bytes = options_.max_send_queue_bytes;
     copts.counters = &counters_;
+    copts.fault_injector = options_.fault_injector;
     copts.on_event = [this, i](const Frame& frame) { OnClientEvent(i, frame); };
     copts.on_connected = [this, i] {
       if (want_decisions_.load(std::memory_order_acquire)) SendSubscribe(i);

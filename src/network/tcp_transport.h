@@ -46,6 +46,8 @@
 
 namespace brdb {
 
+class NetworkFaultInjector;
+
 // ---------------- TcpServer ----------------
 
 struct TcpServerOptions {
@@ -184,6 +186,12 @@ struct FrameClientOptions {
   std::function<void(const Status&)> on_disconnected;
 
   TransportCounters* counters = nullptr;  ///< optional shared counters
+
+  /// Chaos hook (network/chaos.h): armed connection resets against
+  /// expected_server fire right after a request frame is written — the
+  /// request's fate is ambiguous (failed with sent=true), exercising the
+  /// reconnect + retry policies. Must outlive the client; null disarms.
+  NetworkFaultInjector* fault_injector = nullptr;
 };
 
 class FrameClient {
@@ -297,6 +305,10 @@ struct TcpTransportOptions {
   Micros submit_timeout_us = 30'000'000;
   Micros cooldown_us = 1'000'000;  ///< PeerSelector failure cooldown
   size_t max_send_queue_bytes = 8u << 20;
+
+  /// Chaos hook passed through to every FrameClient (see
+  /// FrameClientOptions::fault_injector). Must outlive the transport.
+  NetworkFaultInjector* fault_injector = nullptr;
 };
 
 class TcpTransport : public Transport {

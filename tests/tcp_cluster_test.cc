@@ -23,6 +23,7 @@
 #include "common/logging.h"
 #include "contracts/workload_contracts.h"
 #include "core/blockchain_network.h"
+#include "network/chaos.h"
 
 namespace brdb {
 namespace {
@@ -94,14 +95,16 @@ class SocketCluster {
     nodes_[i].reset();
   }
 
-  std::shared_ptr<TcpTransport> MakeTransport(const Identity& as,
-                                              Micros cooldown_us = 1'000'000) {
+  std::shared_ptr<TcpTransport> MakeTransport(
+      const Identity& as, Micros cooldown_us = 1'000'000,
+      NetworkFaultInjector* injector = nullptr) {
     TcpTransportOptions topts;
     topts.client_name = as.name;
     topts.client_keys = as.keys;
     topts.registry = BuildClusterIdentities(layout_).registry;
     topts.flow = config_.flow;
     topts.cooldown_us = cooldown_us;
+    topts.fault_injector = injector;
     for (auto& node : nodes_) {
       topts.peers.push_back(
           TcpPeerAddress{node->name(), "127.0.0.1", node->port()});
@@ -335,6 +338,70 @@ TEST(TcpClusterTest, NodeFailureSessionFailoverAndCooldown) {
     EXPECT_EQ(cluster.node(i)->node()->block_store()->Height(),
               cluster.node(0)->node()->block_store()->Height());
   }
+}
+
+// A NetworkFaultInjector armed on the transport's FrameClients fires
+// connection resets right after a request frame is written. Read-only
+// queries are idempotent, so TcpTransport::Query must ride out the reset
+// by retrying the SAME call on the next peer — the caller never sees it —
+// while the reset connection re-dials under bounded backoff.
+TEST(TcpClusterTest, QueryRetriesAcrossInjectedMidRequestResets) {
+  ClusterConfig config;
+  config.block_size = 1;
+  config.block_timeout_us = 50'000;
+  SocketCluster cluster(config);
+  ASSERT_TRUE(cluster.Start().ok());
+  ClusterIdentities ids = BuildClusterIdentities(cluster.layout());
+
+  NetworkFaultInjector inj;
+  constexpr Micros kCooldownUs = 100'000;
+  auto transport = cluster.MakeTransport(ids.clients[0], kCooldownUs, &inj);
+  ASSERT_NE(nullptr, transport);
+  ASSERT_TRUE(transport->WaitReady(10'000'000));
+
+  std::vector<std::unique_ptr<Session>> sessions;
+  std::vector<Session*> admins;
+  for (const Identity& admin : ids.admins) {
+    sessions.push_back(std::make_unique<Session>(admin, transport));
+    admins.push_back(sessions.back().get());
+  }
+  Session client(ids.clients[0], transport);
+  ASSERT_TRUE(DeployContractOverSessions(
+                  admins, "CREATE TABLE kv (k INT PRIMARY KEY, payload TEXT)")
+                  .ok());
+  for (int i = 0; i < 3; ++i) {
+    TxnHandle h = client.Submit(
+        "simple", {Value::Int(i), Value::Text("v" + std::to_string(i))});
+    ASSERT_TRUE(h.submit_status().ok());
+    ASSERT_TRUE(h.Wait(20'000'000).ok());
+  }
+
+  QueryRequest q;
+  q.user = ids.clients[0].name;
+  q.sql = "SELECT COUNT(*) FROM kv";
+
+  // One reset armed against one peer: round-robin reads WILL pick that
+  // peer, eat the reset mid-request, and transparently fail over. More
+  // probes than peers guarantees the armed slot comes up.
+  inj.ArmConnectionResets(cluster.node(0)->name(), 1);
+  for (int i = 0; i < 8; ++i) {
+    auto r = transport->Query(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_FALSE(r.value().rows.empty());
+    EXPECT_EQ(r.value().rows[0][0].AsInt(), 3);
+  }
+  EXPECT_EQ(1u, inj.resets_fired());
+
+  // The reset connection reconnects under bounded backoff; once the
+  // selector cooldown expires the peer serves reads again — arm another
+  // reset and repeat to prove the full cycle is repeatable.
+  RealClock::Shared()->SleepMicros(kCooldownUs + 200'000);
+  inj.ArmConnectionResets(cluster.node(0)->name(), 1);
+  for (int i = 0; i < 8; ++i) {
+    auto r = transport->Query(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  EXPECT_EQ(2u, inj.resets_fired());
 }
 
 TEST(TcpClusterTest, WholeClusterRestartCatchesUpOrderer) {

@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/identity.h"
+#include "network/chaos.h"
 #include "wire/codec.h"
 
 namespace brdb {
@@ -380,6 +381,84 @@ TEST(TcpTransportTest, ReconnectAfterServerRestart) {
   client.Shutdown();
   server2.Stop();
   loop2.Stop();
+  loop.Stop();
+}
+
+TEST(TcpTransportTest, InjectedResetIsAmbiguousAndClientReconnects) {
+  TestIdentities ids;
+  EchoServer server(ids);
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+
+  NetworkFaultInjector inj;
+  FrameClientOptions opts = ClientOptions(ids, server.port());
+  opts.fault_injector = &inj;
+  opts.reconnect_min_us = 10'000;
+  opts.reconnect_max_us = 100'000;
+  std::atomic<int> connects{0};
+  opts.on_connected = [&] { ++connects; };
+  FrameClient client(&loop, std::move(opts));
+  client.Connect();
+  ASSERT_TRUE(client.WaitReady(5'000'000));
+
+  // The reset fires right after the request frame hits the socket: the
+  // in-flight call must fail kUnavailable with sent=true — the request's
+  // fate is AMBIGUOUS (it may have been executed), so it is NOT
+  // blind-retry safe.
+  inj.ArmConnectionResets(ids.server.name, 1);
+  bool sent = false;
+  auto resp = client.CallBlocking(HeightProbe(), 2'000'000, &sent);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, resp.status().code());
+  EXPECT_TRUE(sent);
+  EXPECT_EQ(1u, inj.resets_fired());
+
+  // Bounded backoff re-dials and re-authenticates on its own; the very
+  // same client then serves requests again.
+  ASSERT_TRUE(client.WaitReady(10'000'000));
+  EXPECT_GE(connects.load(), 2);
+  resp = client.CallBlocking(HeightProbe(), 2'000'000);
+  EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+
+  client.Shutdown();
+  loop.Stop();
+}
+
+TEST(TcpTransportTest, IdempotentRetryLoopDrainsArmedResets) {
+  TestIdentities ids;
+  EchoServer server(ids);
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+
+  NetworkFaultInjector inj;
+  FrameClientOptions opts = ClientOptions(ids, server.port());
+  opts.fault_injector = &inj;
+  opts.reconnect_min_us = 10'000;
+  opts.reconnect_max_us = 100'000;
+  FrameClient client(&loop, std::move(opts));
+  client.Connect();
+  ASSERT_TRUE(client.WaitReady(5'000'000));
+
+  // Three resets armed; a read-only probe IS safe to retry, so the caller
+  // loop (the shape TcpTransport::Query uses) rides out every one of them
+  // and must land a success within a bounded number of attempts.
+  inj.ArmConnectionResets(ids.server.name, 3);
+  int failures = 0;
+  bool succeeded = false;
+  for (int attempt = 0; attempt < 30 && !succeeded; ++attempt) {
+    auto resp = client.CallBlocking(HeightProbe(), 2'000'000);
+    if (resp.ok()) {
+      succeeded = true;
+      break;
+    }
+    ++failures;
+    client.WaitReady(5'000'000);  // bounded-backoff reconnect window
+  }
+  EXPECT_TRUE(succeeded);
+  EXPECT_GE(failures, 3);  // each armed reset cost (at least) one attempt
+  EXPECT_EQ(3u, inj.resets_fired());
+
+  client.Shutdown();
   loop.Stop();
 }
 

@@ -10,18 +10,21 @@
 //       --port-file=/tmp/c/orderer.port --expected-peers=4
 //   brdb_noded --role=node --index=0 --orgs=org1,org2,org3,org4
 //       --flow=ote --port-file=/tmp/c/node0.port --peers-file=/tmp/c/peers
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
 #include "contracts/workload_contracts.h"
+#include "network/chaos.h"
 #include "network/cluster.h"
 
 namespace {
@@ -101,6 +104,82 @@ std::vector<PeerLine> WaitPeersFile(const std::string& path, size_t expected,
     clock->SleepMicros(50'000);
   }
   return {};
+}
+
+/// Node-side chaos arming. The schedule comes from --chaos-schedule= (or
+/// the BRDB_CHAOS_SCHEDULE environment variable run_cluster.sh exports):
+/// inline text with ';' as the line separator, or "@<path>" to read a
+/// file. A node process can only act on events that name itself — it arms
+/// just the byzantine windows matching its own name and leaves network
+/// faults (partitions, kills, resets) to harnesses that own a transport
+/// or injector. Seed comes from --chaos-seed= / BRDB_CHAOS_SEED for
+/// symmetry with those harnesses (unused here: byzantine arming is not
+/// probabilistic). Returns nullptr when no schedule is configured; exits
+/// on a malformed one — a typo'd fault script must not silently become a
+/// fault-free run.
+std::unique_ptr<brdb::ChaosRunner> MaybeStartChaos(const Args& args,
+                                                   brdb::DatabaseNode* node) {
+  std::string sched = args.Get("chaos-schedule");
+  if (sched.empty()) {
+    const char* env = std::getenv("BRDB_CHAOS_SCHEDULE");
+    if (env != nullptr) sched = env;
+  }
+  if (sched.empty()) return nullptr;
+
+  // "@<path>" loads a file — but inline schedule lines ALSO start with
+  // '@' ("@500ms kill ..."), so only a value with no whitespace and no
+  // ';' can be a file reference.
+  std::string text;
+  bool is_file = sched[0] == '@' &&
+                 sched.find(' ') == std::string::npos &&
+                 sched.find(';') == std::string::npos;
+  if (is_file) {
+    std::ifstream in(sched.substr(1));
+    if (!in) {
+      std::fprintf(stderr, "cannot read chaos schedule file %s\n",
+                   sched.c_str() + 1);
+      std::exit(2);
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  } else {
+    text = sched;
+    std::replace(text.begin(), text.end(), ';', '\n');
+  }
+  auto parsed = brdb::ChaosSchedule::Parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad chaos schedule: %s\n",
+                 parsed.status().ToString().c_str());
+    std::exit(2);
+  }
+  if (parsed.value().events.empty()) {
+    std::fprintf(stderr, "chaos schedule is empty\n");
+    std::exit(2);
+  }
+
+  brdb::ChaosTargets targets;
+  std::string self = node->name();
+  targets.set_byzantine = [node, self](const std::string& target,
+                                       const brdb::ByzantinePolicy& policy) {
+    if (self.find(target) != std::string::npos) {
+      std::fprintf(stderr, "brdb_noded %s: byzantine policy -> %s\n",
+                   self.c_str(),
+                   policy.any() ? policy.ToString().c_str() : "honest");
+      node->SetByzantinePolicy(policy);
+    }
+  };
+  auto runner = std::make_unique<brdb::ChaosRunner>(std::move(parsed).value(),
+                                                    std::move(targets));
+  runner->Start();
+  std::fprintf(stderr, "brdb_noded %s: chaos schedule armed (seed %ld)\n",
+               self.c_str(),
+               args.GetInt("chaos-seed",
+                           std::getenv("BRDB_CHAOS_SEED") != nullptr
+                               ? std::strtol(std::getenv("BRDB_CHAOS_SEED"),
+                                             nullptr, 10)
+                               : 42));
+  return runner;
 }
 
 int RunOrderer(const Args& args, const brdb::ClusterLayout& layout) {
@@ -199,7 +278,9 @@ int RunNode(const Args& args, const brdb::ClusterLayout& layout) {
     std::fprintf(stderr, "node connect failed: %s\n", st.ToString().c_str());
     return 1;
   }
+  std::unique_ptr<brdb::ChaosRunner> chaos = MaybeStartChaos(args, node.node());
   while (!g_stop) brdb::RealClock::Shared()->SleepMicros(50'000);
+  if (chaos) chaos->Stop();
   node.Stop();
   return 0;
 }
