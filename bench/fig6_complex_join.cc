@@ -51,13 +51,58 @@ void RunFlow(TransactionFlow flow, const char* label, int* key) {
   }
 }
 
+/// The contract's analytical core, run directly as a client query: join +
+/// aggregate over the committed history, per region.
+AnalyticsBench JoinBench() {
+  AnalyticsBench spec;
+  spec.name = "fig6";
+  spec.measured_sql =
+      "SELECT COALESCE(SUM(o.amount), 0) FROM orders o "
+      "JOIN customers c ON o.cust = c.cust_id WHERE c.region = $1";
+  for (const char* r : {"emea", "amer", "apac", "latam"}) {
+    spec.measured_params.push_back({Value::Text(r)});
+  }
+  spec.parity_queries.push_back({spec.measured_sql, spec.measured_params});
+  // Full scan and typed range scan over the fact table (zone-map path).
+  spec.parity_queries.push_back(
+      {"SELECT * FROM orders", {std::vector<Value>{}}});
+  spec.parity_queries.push_back(
+      {"SELECT o.order_id, o.amount FROM orders o "
+       "WHERE o.amount >= $1 AND o.amount <= $2",
+       {{Value::Int(20), Value::Int(40)}, {Value::Int(80), Value::Int(99)}}});
+  // Join emitting every matched pair (no aggregate), dimension-side filter.
+  spec.parity_queries.push_back(
+      {"SELECT o.order_id, c.region FROM orders o "
+       "JOIN customers c ON o.cust = c.cust_id WHERE c.cust_id <= $1",
+       {{Value::Int(30)}}});
+  return spec;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool check_parity = false;
+  bool skip_oltp = false;
+  std::string json_path = "BENCH_fig6.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--check-parity") {
+      check_parity = true;
+    } else if (a == "--skip-oltp") {
+      skip_oltp = true;
+    } else {
+      json_path = a;
+    }
+  }
+  if (check_parity) return RunParityGate(JoinBench());
+
   std::printf("Figure 6: complex-join contract\n");
-  int key = 1000000;  // result-table keys; disjoint from seed data
-  RunFlow(TransactionFlow::kOrderThenExecute, "(a) order-then-execute", &key);
-  RunFlow(TransactionFlow::kExecuteOrderParallel,
-          "(b) execute-order-in-parallel", &key);
-  return 0;
+  if (!skip_oltp) {
+    int key = 1000000;  // result-table keys; disjoint from seed data
+    RunFlow(TransactionFlow::kOrderThenExecute, "(a) order-then-execute",
+            &key);
+    RunFlow(TransactionFlow::kExecuteOrderParallel,
+            "(b) execute-order-in-parallel", &key);
+  }
+  return RunAnalyticsPhase(JoinBench(), json_path);
 }

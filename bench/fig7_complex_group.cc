@@ -51,13 +51,60 @@ void RunFlow(TransactionFlow flow, const char* label, int* key) {
   }
 }
 
+/// The contract's analytical core as a client query: join + grouped
+/// aggregate + ORDER BY over the committed history.
+AnalyticsBench GroupBench() {
+  AnalyticsBench spec;
+  spec.name = "fig7";
+  spec.measured_sql =
+      "SELECT c.region, SUM(o.amount) AS total FROM orders o "
+      "JOIN customers c ON o.cust = c.cust_id "
+      "WHERE c.cust_id >= $1 AND c.cust_id <= $2 "
+      "GROUP BY c.region ORDER BY total DESC, c.region ASC";
+  spec.measured_params = {{Value::Int(0), Value::Int(99)},
+                          {Value::Int(10), Value::Int(59)},
+                          {Value::Int(25), Value::Int(74)}};
+  spec.parity_queries.push_back({spec.measured_sql, spec.measured_params});
+  // Grouped aggregate without the join (slot-resolved hash aggregation).
+  spec.parity_queries.push_back(
+      {"SELECT o.cust, COUNT(*) AS n, SUM(o.amount) AS total FROM orders o "
+       "GROUP BY o.cust ORDER BY o.cust ASC",
+       {std::vector<Value>{}}});
+  // Top-1 (ORDER BY aggregate + LIMIT), the contract's exact statement.
+  spec.parity_queries.push_back(
+      {"SELECT c.region, SUM(o.amount) AS total FROM orders o "
+       "JOIN customers c ON o.cust = c.cust_id "
+       "WHERE c.cust_id >= $1 AND c.cust_id <= $2 "
+       "GROUP BY c.region ORDER BY total DESC, c.region ASC LIMIT 1",
+       {{Value::Int(0), Value::Int(49)}}});
+  return spec;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool check_parity = false;
+  bool skip_oltp = false;
+  std::string json_path = "BENCH_fig7.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--check-parity") {
+      check_parity = true;
+    } else if (a == "--skip-oltp") {
+      skip_oltp = true;
+    } else {
+      json_path = a;
+    }
+  }
+  if (check_parity) return RunParityGate(GroupBench());
+
   std::printf("Figure 7: complex-group contract\n");
-  int key = 2000000;
-  RunFlow(TransactionFlow::kOrderThenExecute, "(a) order-then-execute", &key);
-  RunFlow(TransactionFlow::kExecuteOrderParallel,
-          "(b) execute-order-in-parallel", &key);
-  return 0;
+  if (!skip_oltp) {
+    int key = 2000000;
+    RunFlow(TransactionFlow::kOrderThenExecute, "(a) order-then-execute",
+            &key);
+    RunFlow(TransactionFlow::kExecuteOrderParallel,
+            "(b) execute-order-in-parallel", &key);
+  }
+  return RunAnalyticsPhase(GroupBench(), json_path);
 }

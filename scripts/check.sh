@@ -14,6 +14,11 @@
 #      byte-identical across pipeline depths {1, 2, 4} AND partition
 #      counts {1, 2, 4} — neither pipelining nor hash-partitioned
 #      execution may change what commits;
+#      then the analytics parity gate: the fig6/fig7 analytical queries
+#      must return byte-identical results on the vectorized columnar path
+#      and the row-store path at every checked snapshot height, both
+#      fully sealed and with the history builder lagging (row-store tail
+#      top-up) — the HTAP split must never change a query result;
 #   3. socket smoke: scripts/run_cluster.sh boots a REAL 5-OS-process
 #      loopback cluster (4 brdb_noded nodes + 1 orderer over TCP), all
 #      five must publish ports and stay alive for the run;
@@ -28,9 +33,10 @@
 #      byzantine checkpoint-vote test, and the socket-transport tests:
 #      event_loop_test, frame_assembler_test, tcp_transport_test and
 #      tcp_cluster_test, plus the partition-local SSI stress and
-#      determinism tests, the chaos-layer tests (chaos_test) and the
-#      SimNetwork tests (network_test) — the places where a data race
-#      would hide). The fork-based recovery harness stays out of the
+#      determinism tests, the chaos-layer tests (chaos_test), the
+#      SimNetwork tests (network_test) and the columnar history-builder
+#      concurrency test (history_builder_test) — the places where a data
+#      race would hide). The fork-based recovery harness stays out of the
 #      tsan label: multi-threaded children of a forked gtest process are
 #      unsupported under ThreadSanitizer.
 #
@@ -63,6 +69,19 @@ run_tier1() {
     echo "=== FAIL: fig8b decisions or write-set hashes diverge between" \
          "pipeline depths or partition counts — pipelining/partitioning" \
          "changed a commit decision or committed state ===" >&2
+    exit 1
+  fi
+  echo "--- analytics parity: columnar vs row-store, byte-identical"
+  if ! ./build/bench_fig6_complex_join --check-parity; then
+    echo "=== FAIL: fig6 columnar execution diverged from the row store —" \
+         "the vectorized path returned different bytes at some snapshot" \
+         "height ===" >&2
+    exit 1
+  fi
+  if ! ./build/bench_fig7_complex_group --check-parity; then
+    echo "=== FAIL: fig7 columnar execution diverged from the row store —" \
+         "the vectorized path returned different bytes at some snapshot" \
+         "height ===" >&2
     exit 1
   fi
   run_socket_smoke
@@ -133,7 +152,7 @@ run_tsan() {
              pipeline_test byzantine_detection_test event_loop_test \
              frame_assembler_test tcp_transport_test tcp_cluster_test \
              partition_stress_test partition_determinism_test \
-             chaos_test network_test
+             chaos_test network_test history_builder_test
   ctest --test-dir build-tsan -L tsan --output-on-failure -j 1
 }
 

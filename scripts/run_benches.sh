@@ -119,6 +119,17 @@ else
        "and bench/micro_index.cc in this tree — absent in the seed worktree)"
 fi
 
+# Columnar analytics trajectory: row-store vs vectorized-columnar qps for
+# the fig6/fig7 analytical cores over sealed history, with parity spot
+# checks inside the run (BENCH_fig6.json / BENCH_fig7.json carry
+# host_cores, builder lag and the zone-map/vectorized counters).
+echo "== fig6 analytics: complex-join, row vs columnar" \
+     "(writes BENCH_fig6.json)"
+"./$BUILD/bench_fig6_complex_join" --skip-oltp BENCH_fig6.json
+echo "== fig7 analytics: complex-group, row vs columnar" \
+     "(writes BENCH_fig7.json)"
+"./$BUILD/bench_fig7_complex_group" --skip-oltp BENCH_fig7.json
+
 if [ "${QUICK:-0}" != "1" ]; then
   for b in fig5a_order_then_execute fig5b_execute_order_parallel \
            table4_oe_micrometrics table5_eop_micrometrics \
@@ -126,7 +137,12 @@ if [ "${QUICK:-0}" != "1" ]; then
     echo "== $b"
     "./$BUILD/bench_$b" | tee "BENCH_${b}.log"
   done
+  echo "== fig6/fig7 OLTP sweeps"
+  "./$BUILD/bench_fig6_complex_join" BENCH_fig6.json \
+      | tee BENCH_fig6_complex_join.log
+  "./$BUILD/bench_fig7_complex_group" BENCH_fig7.json \
+      | tee BENCH_fig7_complex_group.log
 fi
 
 echo "done. artifacts: BENCH_fig8b.json BENCH_recovery.json" \
-     "BENCH_micro_index.json"
+     "BENCH_micro_index.json BENCH_fig6.json BENCH_fig7.json"

@@ -82,6 +82,8 @@ std::unique_ptr<BlockchainNetwork> BlockchainNetwork::Create(
     cfg.block_store_segment_bytes = options.block_store_segment_bytes;
     cfg.fsync_batch_blocks = options.fsync_batch_blocks;
     cfg.state_checkpoint_interval = options.state_checkpoint_interval;
+    cfg.analytics_columnar = options.analytics_columnar;
+    cfg.analytics_segment_blocks = options.analytics_segment_blocks;
     if (options.fault_injector != nullptr &&
         options.fault_injector_node == cfg.name) {
       cfg.fault_injector = options.fault_injector;

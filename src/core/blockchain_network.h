@@ -81,6 +81,11 @@ struct NetworkOptions {
   /// Network chaos injector armed on the SimNetwork and every node
   /// (must outlive the network). See NetworkFaultInjector.
   NetworkFaultInjector* chaos = nullptr;
+
+  /// Columnar ledger history + vectorized analytics per node (see
+  /// NodeConfig::analytics_columnar; $BRDB_ANALYTICS overrides).
+  bool analytics_columnar = true;
+  size_t analytics_segment_blocks = 0;  ///< 0 = default (16 blocks)
 };
 
 class BlockchainNetwork {

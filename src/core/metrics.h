@@ -78,6 +78,17 @@ struct MetricsSnapshot {
   uint64_t multi_partition_txns = 0;
   double cross_partition_merge_us = 0;  // mean per multi-partition txn
   std::vector<uint64_t> partition_txns;
+
+  // Columnar analytics (HTAP split, storage/columnar.h). Sealed history
+  // segments built off the commit stream, the builder's lag behind the
+  // committed height (gauge, blocks), segments skipped entirely by zone
+  // maps, and how many SELECTs ran on the vectorized columnar path vs.
+  // started there but fell back to the row store.
+  uint64_t columnar_segments_sealed = 0;
+  uint64_t columnar_builder_lag = 0;
+  uint64_t zone_map_pruned_segments = 0;
+  uint64_t vectorized_scans = 0;
+  uint64_t row_fallback_scans = 0;
 };
 
 class NodeMetrics {
@@ -110,6 +121,11 @@ class NodeMetrics {
     multi_partition_txns_ = 0;
     cross_partition_merge_ns_ = 0;
     for (auto& c : partition_txns_) c = 0;
+    columnar_segments_sealed_ = 0;
+    columnar_builder_lag_ = 0;
+    zone_map_pruned_segments_ = 0;
+    vectorized_scans_ = 0;
+    row_fallback_scans_ = 0;
   }
 
   /// Number of partition executor groups this node runs (sizes the
@@ -172,6 +188,24 @@ class NodeMetrics {
     }
   }
 
+  /// Columnar-history gauges, published by the commit path after each
+  /// block (seals happen on the background builder thread).
+  void SetColumnarProgress(uint64_t segments_sealed, uint64_t builder_lag) {
+    columnar_segments_sealed_.store(segments_sealed,
+                                    std::memory_order_relaxed);
+    columnar_builder_lag_.store(builder_lag, std::memory_order_relaxed);
+  }
+
+  // Counter cells handed to sql::ExecOptions::Columnar so the executor
+  // increments node metrics directly.
+  std::atomic<uint64_t>* vectorized_scans_cell() { return &vectorized_scans_; }
+  std::atomic<uint64_t>* row_fallback_scans_cell() {
+    return &row_fallback_scans_;
+  }
+  std::atomic<uint64_t>* zone_map_pruned_cell() {
+    return &zone_map_pruned_segments_;
+  }
+
   uint64_t txns_committed() const { return txns_committed_.load(); }
   uint64_t txns_aborted() const { return txns_aborted_.load(); }
 
@@ -230,6 +264,11 @@ class NodeMetrics {
     for (size_t p = 0; p < pc; ++p) {
       s.partition_txns.push_back(partition_txns_[p].load());
     }
+    s.columnar_segments_sealed = columnar_segments_sealed_.load();
+    s.columnar_builder_lag = columnar_builder_lag_.load();
+    s.zone_map_pruned_segments = zone_map_pruned_segments_.load();
+    s.vectorized_scans = vectorized_scans_.load();
+    s.row_fallback_scans = row_fallback_scans_.load();
     s.mt = static_cast<double>(s.missing_txns) / s.elapsed_s;
     s.su = 100.0 * static_cast<double>(processing_us_.load()) /
            (s.elapsed_s * 1e6);
@@ -265,6 +304,11 @@ class NodeMetrics {
   std::atomic<uint64_t> cross_partition_merge_ns_{0};
   std::atomic<size_t> partition_count_{1};
   std::array<std::atomic<uint64_t>, kMaxPartitions> partition_txns_{};
+  std::atomic<uint64_t> columnar_segments_sealed_{0};
+  std::atomic<uint64_t> columnar_builder_lag_{0};
+  std::atomic<uint64_t> zone_map_pruned_segments_{0};
+  std::atomic<uint64_t> vectorized_scans_{0};
+  std::atomic<uint64_t> row_fallback_scans_{0};
 };
 
 }  // namespace brdb

@@ -39,6 +39,25 @@ size_t ResolvePartitions(size_t configured) {
   return 1;
 }
 
+/// NodeConfig::analytics_columnar resolution: $BRDB_ANALYTICS overrides
+/// (check.sh uses it to run the suite with the columnar path off), else the
+/// configured value.
+bool ResolveAnalytics(bool configured) {
+  if (const char* env = std::getenv("BRDB_ANALYTICS")) {
+    return std::atoi(env) != 0;
+  }
+  return configured;
+}
+
+BlockNum ResolveSegmentBlocks(size_t configured) {
+  if (configured > 0) return static_cast<BlockNum>(configured);
+  if (const char* env = std::getenv("BRDB_SEGMENT_BLOCKS")) {
+    int v = std::atoi(env);
+    if (v > 0) return static_cast<BlockNum>(v);
+  }
+  return 16;
+}
+
 }  // namespace
 
 DatabaseNode::DatabaseNode(NodeConfig config, Identity identity,
@@ -106,6 +125,15 @@ DatabaseNode::DatabaseNode(NodeConfig config, Identity identity,
   verifier_ = std::make_unique<SignatureVerifier>(
       executors_.get(),
       config_.sig_cache_capacity == 0 ? 65536 : config_.sig_cache_capacity);
+  analytics_enabled_ = ResolveAnalytics(config_.analytics_columnar);
+  history_opts_.segment_blocks =
+      ResolveSegmentBlocks(config_.analytics_segment_blocks);
+  history_opts_.archive_dir =
+      !config_.analytics_dir.empty()
+          ? config_.analytics_dir
+          : (config_.block_store_path.empty()
+                 ? ""
+                 : config_.block_store_path + "/columnar");
   Status st = RegisterSystemContracts(&contracts_);
   if (!st.ok()) {
     BRDB_LOG(kError, config_.name) << st.ToString();
@@ -147,6 +175,16 @@ Status DatabaseNode::Start() {
     committed_height_ = committed;
     executed_height_ = committed;
     idle_polls_ = 0;
+  }
+  if (analytics_enabled_) {
+    // Fresh store on every Start(): the version arena (as restored by the
+    // checkpoint/replay above) is the source of truth, so a restart
+    // re-derives the event history instead of double-feeding a survivor.
+    column_store_ = std::make_unique<ColumnStore>();
+    history_ = std::make_unique<HistoryBuilder>(&db_, column_store_.get(),
+                                                history_opts_);
+    history_->Bootstrap(committed);
+    history_->Start();
   }
   // Seeding the pipeline at `committed` makes recovery replay just the
   // normal pipeline path: FetchBlock serves committed+1..tip from the
@@ -261,6 +299,7 @@ void DatabaseNode::Stop() {
   height_cv_.notify_all();
   exec_cv_.notify_all();
   if (pipeline_ != nullptr) pipeline_->Stop();
+  if (history_ != nullptr) history_->Stop();
   net_->UnregisterEndpoint(endpoint_);
   executors_->Wait();
 }
@@ -969,6 +1008,24 @@ void DatabaseNode::CommitBlock(BlockWork* work) {
     commit_us_total += RealClock::Shared()->NowMicros() - c0;
     if (st.ok()) {
       metrics_.OnTxnCommitted();
+      if (column_store_ != nullptr && e->txn != nullptr) {
+        // Mirror the committed write set into the columnar event tail.
+        // commit_entry runs serially in block order, so events arrive with
+        // nondecreasing block stamps — the invariant the store's tail
+        // relies on. System/private tables stay row-store only.
+        for (const WriteRecord& w : e->txn->info()->writes) {
+          Table* t = db_.GetTableById(w.table);
+          if (t == nullptr || t->db_schema() != kBlockchainSchema) {
+            continue;
+          }
+          if (w.kind != WriteRecord::Kind::kDelete) {
+            column_store_->OnInsert(t, w.new_row, block.number());
+          }
+          if (w.kind != WriteRecord::Kind::kInsert) {
+            column_store_->OnDelete(t, w.base_row, block.number());
+          }
+        }
+      }
       // Registry changes take effect only now that the transaction
       // committed, stamped with this block so executions resolve contract
       // versions by height (§3.7). In-flight transactions that executed an
@@ -1075,6 +1132,16 @@ void DatabaseNode::CommitBlock(BlockWork* work) {
   // serialize + write on the executor pool.
   MaybeWriteStateCheckpoint(block, ws_hash);
 
+  if (history_ != nullptr) {
+    // All of this block's row events are in the store; queries pinned at
+    // any height <= block.number() are now fully answerable. Must precede
+    // the committed-height publication below, which is what query pinning
+    // reads.
+    history_->NotifyCommitted(block.number());
+    metrics_.SetColumnarProgress(column_store_->segments_sealed(),
+                                 history_->lag());
+  }
+
   // Publish the committed height *before* notifying: a client reacting to
   // its commit must never submit against the pre-block snapshot height.
   {
@@ -1160,9 +1227,29 @@ Status DatabaseNode::CheckQueryUser(const std::string& user) {
   return Status::OK();
 }
 
+/// True when every table a SELECT references is a blockchain-schema table —
+/// the precondition for running it at a pinned block-height snapshot
+/// (system/private rows carry creator_block 0 and would vanish under the
+/// block-stamp visibility filter). Unresolvable names return false; the
+/// row path reports the error identically.
+bool DatabaseNode::AllBlockchainTables(const sql::SelectStmt& select) {
+  auto is_blockchain = [&](const std::string& name) {
+    auto t = db_.GetTable(name);
+    return t.ok() && t.value()->db_schema() == kBlockchainSchema;
+  };
+  if (!select.from.has_value() || !is_blockchain(select.from->table)) {
+    return false;
+  }
+  for (const auto& j : select.joins) {
+    if (!is_blockchain(j.table.table)) return false;
+  }
+  return true;
+}
+
 Result<sql::ResultSet> DatabaseNode::Query(const std::string& user,
                                            const std::string& sql_text,
-                                           const std::vector<Value>& params) {
+                                           const std::vector<Value>& params,
+                                           QueryPath path) {
   BRDB_RETURN_NOT_OK(CheckQueryUser(user));
   if (!LooksLikeSelect(sql_text)) {
     return Status::PermissionDenied(
@@ -1176,10 +1263,27 @@ Result<sql::ResultSet> DatabaseNode::Query(const std::string& user,
         "only individual SELECT statements may bypass the transaction flow "
         "(paper §3.7)");
   }
+  // Analytics-eligible SELECTs pin a block-height snapshot — kForceRow
+  // included, so a parity comparison of the two paths reads the exact same
+  // snapshot. Everything else keeps the legacy CSN read of the latest
+  // committed state.
+  const bool pinnable =
+      history_ != nullptr && plan.value()->columnar_shape_ok() &&
+      AllBlockchainTables(*plan.value()->statement().select);
+  sql::ExecOptions opts;
   TxnContext ctx(&db_,
-                 db_.txn_manager()->BeginAtCurrentCsn(),
+                 pinnable
+                     ? db_.txn_manager()->Begin(Snapshot::AtBlockHeight(
+                           Height()))
+                     : db_.txn_manager()->BeginAtCurrentCsn(),
                  TxnMode::kInternal);
-  sql::ExecOptions opts;  // reads of the latest committed state
+  if (pinnable && path == QueryPath::kDefault) {
+    opts.columnar.enabled = true;
+    opts.columnar.store = column_store_.get();
+    opts.columnar.vectorized_scans = metrics_.vectorized_scans_cell();
+    opts.columnar.row_fallback_scans = metrics_.row_fallback_scans_cell();
+    opts.columnar.zone_map_pruned = metrics_.zone_map_pruned_cell();
+  }
   auto result = engine_.ExecutePrepared(&ctx, *plan.value(), params, opts);
   if (result.ok() && byzantine_policy().tamper_reads) {
     // Byzantine tamper-reads mode (§3.5): corrupt every value handed to

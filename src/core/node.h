@@ -45,6 +45,7 @@
 #include "ledger/checkpoint.h"
 #include "ledger/checkpoint_writer.h"
 #include "ledger/fault_injector.h"
+#include "ledger/history_builder.h"
 #include "network/chaos.h"
 #include "network/sim_network.h"
 #include "sql/executor.h"
@@ -131,6 +132,29 @@ struct NodeConfig {
   /// Serial execution baseline (§5.1 "Comparison with Ethereum"): execute
   /// and commit transactions one at a time instead of concurrently.
   bool serial_execution = false;
+
+  /// Columnar ledger history (storage/columnar.h): a background builder
+  /// consumes the commit stream and seals immutable per-table columnar
+  /// segments; client SELECTs touching only blockchain tables then run on
+  /// the vectorized analytics path at a pinned block-height snapshot, with
+  /// results byte-identical to the row store. Disabled: queries keep the
+  /// legacy row-store path. $BRDB_ANALYTICS=0/1 overrides.
+  bool analytics_columnar = true;
+
+  /// Blocks per sealed segment (0 = default 16, or $BRDB_SEGMENT_BLOCKS).
+  size_t analytics_segment_blocks = 0;
+
+  /// Directory for the CRC-framed sealed-segment archive. "" = derive
+  /// <block_store_path>/columnar when the block store is file-backed, else
+  /// keep segments in memory only.
+  std::string analytics_dir;
+};
+
+/// Which execution path Query() takes for an analytics-eligible SELECT.
+enum class QueryPath {
+  kDefault,   ///< columnar when eligible, row store otherwise
+  kForceRow,  ///< row-store execution at the same pinned snapshot
+              ///< (parity baseline for tests and benchmarks)
 };
 
 /// Final status of a transaction on this node, delivered to subscribers.
@@ -194,6 +218,8 @@ class DatabaseNode {
   BlockStore* block_store() { return block_store_.get(); }
   CheckpointManager* checkpoints() { return &checkpoints_; }
   NodeMetrics* metrics() { return &metrics_; }
+  ColumnStore* column_store() { return column_store_.get(); }
+  HistoryBuilder* history_builder() { return history_.get(); }
 
   /// Committed block height (blocks whose serial commit finished).
   BlockNum Height() const;
@@ -224,7 +250,8 @@ class DatabaseNode {
   /// Read-only query on this node (individual SELECT, not recorded on the
   /// chain, §3.7). `user` must be a registered identity.
   Result<sql::ResultSet> Query(const std::string& user, const std::string& sql,
-                               const std::vector<Value>& params = {});
+                               const std::vector<Value>& params = {},
+                               QueryPath path = QueryPath::kDefault);
 
   /// Provenance query: sees all committed row versions and the
   /// xmin/xmax/creator/deleter pseudo-columns (§4.2).
@@ -352,6 +379,10 @@ class DatabaseNode {
   /// Query-path user check: bootstrap registry first, then pgcerts.
   Status CheckQueryUser(const std::string& user);
 
+  /// True when every table a SELECT references is in the blockchain
+  /// schema — the precondition for pinning a block-height snapshot.
+  bool AllBlockchainTables(const sql::SelectStmt& select);
+
   /// Start concurrent execution of a transaction; returns the entry.
   /// `started_by_block` is the block whose prepare stage requested it
   /// (0 = client submission / peer forward). Block-started entries whose
@@ -396,6 +427,12 @@ class DatabaseNode {
   ContractRegistry contracts_;
   std::unique_ptr<BlockStore> block_store_;
   std::unique_ptr<CheckpointWriter> checkpoint_writer_;  // null = disabled
+  /// Columnar ledger history (null = analytics disabled). The store is
+  /// rebuilt from the row store's arenas on every Start() so a restart
+  /// (crash recovery, checkpoint restore) never double-feeds events.
+  std::unique_ptr<ColumnStore> column_store_;
+  std::unique_ptr<HistoryBuilder> history_;
+  HistoryBuilder::Options history_opts_;  ///< resolved at construction
   std::atomic<bool> capture_inflight_{false};
   /// Identities seeded before Start (SeedCertificate); replayed into a
   /// pristine database when a checkpoint restore has to be abandoned.
@@ -443,6 +480,7 @@ class DatabaseNode {
   std::atomic<uint32_t> byz_mask_{0};
   size_t pipeline_depth_ = 1;  ///< resolved from config/env at construction
   size_t partitions_ = 1;      ///< resolved + normalized at construction
+  bool analytics_enabled_ = false;  ///< resolved from config/env
   std::unique_ptr<BlockPipeline> pipeline_;
 };
 

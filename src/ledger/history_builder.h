@@ -1,0 +1,88 @@
+// Background builder that mirrors the committed block history into the
+// columnar store (storage/columnar.h). The commit thread publishes row
+// events (OnInsert/OnDelete on the ColumnStore) and then NotifyCommitted;
+// this builder's thread seals immutable segments once enough blocks have
+// accumulated, keeping the seal work — payload gathering, dictionary
+// building, archive fsync — entirely off the commit path. The only shared
+// state is the ColumnStore's event queues, appended by the commit thread
+// and trimmed under the store's mutex at seal time.
+#ifndef BRDB_LEDGER_HISTORY_BUILDER_H_
+#define BRDB_LEDGER_HISTORY_BUILDER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "storage/columnar.h"
+#include "storage/database.h"
+
+namespace brdb {
+
+class HistoryBuilder {
+ public:
+  struct Options {
+    /// Seal a segment once this many blocks are behind the watermark.
+    BlockNum segment_blocks = 16;
+    /// Archive directory for sealed segment files; empty disables the
+    /// on-disk mirror (in-memory columnar only).
+    std::string archive_dir;
+  };
+
+  HistoryBuilder(Database* db, ColumnStore* store, Options options)
+      : db_(db), store_(store), options_(options) {}
+  ~HistoryBuilder() { Stop(); }
+
+  HistoryBuilder(const HistoryBuilder&) = delete;
+  HistoryBuilder& operator=(const HistoryBuilder&) = delete;
+
+  /// Rebuild the event tail from the version arena after a restart: the
+  /// creator/deleter block stamps restored by the checkpoint are the
+  /// durable source of truth, so archived segment files never need to be
+  /// re-read for correctness. Call before Start(), with `committed` = the
+  /// restored chain height.
+  void Bootstrap(BlockNum committed);
+
+  void Start();
+  void Stop();
+
+  /// Commit-thread hook: all of `block`'s row events have been published
+  /// to the store; wake the sealer if enough history has accumulated.
+  void NotifyCommitted(BlockNum block);
+
+  /// Block until the watermark covers `target`, force-sealing if needed
+  /// (benchmarks and tests quiesce on this before measuring the sealed
+  /// path). False if `target` is not committed within the timeout.
+  bool WaitForWatermark(BlockNum target, int timeout_ms = 30000);
+
+  /// Blocks behind the commit frontier (the builder-lag gauge).
+  BlockNum lag() const {
+    BlockNum c = store_->committed();
+    BlockNum w = store_->watermark();
+    return c > w ? c - w : 0;
+  }
+
+  ColumnStore* store() { return store_; }
+
+ private:
+  void SealLoop();
+  Status SealTo(BlockNum target);
+
+  Database* db_;
+  ColumnStore* store_;
+  Options options_;
+
+  std::mutex mu_;  ///< guards stop_ and the cv
+  std::condition_variable cv_;
+  bool stop_ = false;
+  /// Serializes SealThrough between the loop and WaitForWatermark without
+  /// ever blocking the commit thread (which only touches mu_ briefly).
+  std::mutex seal_mu_;
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_LEDGER_HISTORY_BUILDER_H_

@@ -8,6 +8,7 @@
 
 #include "sql/eval.h"
 #include "sql/parser.h"
+#include "sql/vectorized.h"
 
 namespace brdb {
 namespace sql {
@@ -80,6 +81,7 @@ void CollectAggregates(const Expr& e,
 
 struct Relation {
   EvalScope scope;
+  std::vector<ValueType> col_types;  // declared type per scope slot
   std::vector<Row> rows;
   std::vector<RowId> rids;  // parallel to rows; only for single-table DML
 };
@@ -213,6 +215,7 @@ class Runner {
 
  private:
   Result<ResultSet> RunSelect(const SelectStmt& stmt);
+  Result<ResultSet> RunSelectImpl(const SelectStmt& stmt);
   Result<ResultSet> RunInsert(const InsertStmt& stmt);
   Result<ResultSet> RunUpdate(const UpdateStmt& stmt);
   Result<ResultSet> RunDelete(const DeleteStmt& stmt);
@@ -232,6 +235,22 @@ class Runner {
     return plan_ != nullptr ? plan_->FindAccessPath(stmt_node) : nullptr;
   }
   Status JoinInto(Relation* left, const JoinClause& join);
+
+  /// The columnar analytics path engages per SELECT when the options enable
+  /// it and the transaction is pinned to a block-height snapshot (the node
+  /// sets both up together for all-blockchain-table client queries). The
+  /// plan-shape flag is a cheap prepare-time pre-filter; per-operator
+  /// safety still falls back at runtime via columnar_fallback_.
+  bool ColumnarEligible() const {
+    if (!opts_.columnar.enabled || opts_.columnar.store == nullptr) {
+      return false;
+    }
+    if (ctx_->mode() != TxnMode::kInternal) return false;
+    if (ctx_->info()->snapshot.kind != Snapshot::Kind::kBlockHeight) {
+      return false;
+    }
+    return plan_ == nullptr || plan_->columnar_shape_ok();
+  }
 
   Status EnforceChecks(Table* table, const Row& row);
 
@@ -258,6 +277,14 @@ class Runner {
   const PreparedPlan* plan_;
   std::atomic<uint64_t>* access_path_hits_;
   std::atomic<uint64_t>* partition_pruned_scans_;
+
+  /// True while RunSelectImpl executes on the columnar path: base scans of
+  /// blockchain tables read sealed segments + tail instead of the MVCC
+  /// scan, and joins swap the index probe for a hash join when provably
+  /// result-identical. columnar_fallback_ signals "shape not provable —
+  /// rerun this statement on the row path" (Status::Aborted carrier).
+  bool use_columnar_ = false;
+  bool columnar_fallback_ = false;
 };
 
 Result<Relation> Runner::ScanBase(const TableRef& ref, const Expr* where,
@@ -271,12 +298,14 @@ Result<Relation> Runner::ScanBase(const TableRef& ref, const Expr* where,
   Relation rel;
   for (const auto& col : schema.columns()) {
     rel.scope.Add(ref.alias, col.name);
+    rel.col_types.push_back(col.type);
   }
   if (provenance) {
     rel.scope.Add(ref.alias, "xmin");
     rel.scope.Add(ref.alias, "xmax");
     rel.scope.Add(ref.alias, "creator");
     rel.scope.Add(ref.alias, "deleter");
+    rel.col_types.insert(rel.col_types.end(), 4, ValueType::kInt);
   }
 
   // Sargable access path: reuse the plan's prepare-time analysis when
@@ -341,6 +370,46 @@ Result<Relation> Runner::ScanBase(const TableRef& ref, const Expr* where,
     return rel;
   }
 
+  if (best_col < 0 && opts_.require_index_for_predicates && where != nullptr &&
+      where_touches_table) {
+    // Paper §4.3: in execute-order-in-parallel, predicate reads must be
+    // served by an index; otherwise the node aborts the transaction.
+    return Status::SerializationFailure(
+        "predicate on table " + ref.table +
+        " has no usable index (required by execute-order-in-parallel)");
+  }
+
+  const Value* lo = best_range.lo ? &*best_range.lo : nullptr;
+  const Value* hi = best_range.hi ? &*best_range.hi : nullptr;
+
+  if (use_columnar_ && !want_rids &&
+      table->db_schema() == kBlockchainSchema) {
+    // Columnar path: sealed segments + row-store tail at the transaction's
+    // pinned snapshot height. ColumnarScan reproduces the candidate set and
+    // emission order of the MVCC scan bit for bit, so everything downstream
+    // (residual WHERE, joins, aggregation) is shared with the row path.
+    // A full scan of a table with an indexed primary key emits in PK order
+    // (TxnContext::ScanAll iterates the PK index for cross-node scan-order
+    // determinism), which is exactly an unbounded range on the PK column.
+    int scan_col = best_col;
+    if (scan_col < 0) {
+      int pk = table->schema().pk_column();
+      if (pk >= 0 && table->HasIndexOn(pk)) scan_col = pk;
+    }
+    ColumnarScanStats cstats;
+    Status st = ColumnarScan(opts_.columnar.store->SnapshotFor(table),
+                             ctx_->info()->snapshot.height, scan_col, lo,
+                             best_range.lo_inclusive, hi,
+                             best_range.hi_inclusive, &rel.rows, &cstats);
+    if (!st.ok()) return st;
+    if (opts_.columnar.zone_map_pruned != nullptr &&
+        cstats.segments_pruned > 0) {
+      opts_.columnar.zone_map_pruned->fetch_add(cstats.segments_pruned,
+                                                std::memory_order_relaxed);
+    }
+    return rel;
+  }
+
   RowCallback cb = [&](RowId rid, const Row& values) {
     rel.rows.push_back(values);
     if (want_rids) rel.rids.push_back(rid);
@@ -353,19 +422,9 @@ Result<Relation> Runner::ScanBase(const TableRef& ref, const Expr* where,
         best_col == schema.partition_column() && best_range.is_equality()) {
       partition_pruned_scans_->fetch_add(1, std::memory_order_relaxed);
     }
-    const Value* lo = best_range.lo ? &*best_range.lo : nullptr;
-    const Value* hi = best_range.hi ? &*best_range.hi : nullptr;
     st = ctx_->ScanRange(table, best_col, lo, best_range.lo_inclusive, hi,
                          best_range.hi_inclusive, cb);
   } else {
-    if (opts_.require_index_for_predicates && where != nullptr &&
-        where_touches_table) {
-      // Paper §4.3: in execute-order-in-parallel, predicate reads must be
-      // served by an index; otherwise the node aborts the transaction.
-      return Status::SerializationFailure(
-          "predicate on table " + ref.table +
-          " has no usable index (required by execute-order-in-parallel)");
-    }
     st = ctx_->ScanAll(table, cb);
   }
   if (!st.ok()) return st;
@@ -379,9 +438,11 @@ Status Runner::JoinInto(Relation* left, const JoinClause& join) {
   const TableSchema& rschema = right_table->schema();
 
   EvalScope combined = left->scope;
+  std::vector<ValueType> combined_types = left->col_types;
   Relation right_proto;
   for (const auto& col : rschema.columns()) {
     right_proto.scope.Add(join.table.alias, col.name);
+    combined_types.push_back(col.type);
   }
   const bool provenance = ctx_->mode() == TxnMode::kProvenance;
   if (provenance) {
@@ -389,6 +450,7 @@ Status Runner::JoinInto(Relation* left, const JoinClause& join) {
     right_proto.scope.Add(join.table.alias, "xmax");
     right_proto.scope.Add(join.table.alias, "creator");
     right_proto.scope.Add(join.table.alias, "deleter");
+    combined_types.insert(combined_types.end(), 4, ValueType::kInt);
   }
   combined.Append(right_proto.scope);
 
@@ -430,6 +492,38 @@ Status Runner::JoinInto(Relation* left, const JoinClause& join) {
     break;
   }
 
+  // Columnar mode replaces the per-left-row index probe with a hash join —
+  // but only when provably result-identical: both key sides must be plain
+  // columns of the same declared type in {INT, TEXT, BOOL}. Those types
+  // never hold widened values, so Compare-equality coincides with native
+  // equality, the hash build (rid order) emits matches in exactly the
+  // index's posting order, and the match set is identical. A DOUBLE key
+  // (which may hold INTs) or a computed key expression is not provable, so
+  // the whole statement reruns on the row path.
+  bool columnar_hash = false;
+  int columnar_left_slot = -1;
+  if (use_columnar_ && left_key != nullptr && right_key_col >= 0 &&
+      right_table->HasIndexOn(right_key_col) && !provenance) {
+    const ValueType rt = rschema.columns()[static_cast<size_t>(right_key_col)]
+                             .type;
+    bool typed_ok = false;
+    if (left_key->kind == ExprKind::kColumn &&
+        (rt == ValueType::kInt || rt == ValueType::kText ||
+         rt == ValueType::kBool)) {
+      auto slot = left->scope.Resolve(left_key->qualifier, left_key->column);
+      if (slot.ok() &&
+          left->col_types[static_cast<size_t>(slot.value())] == rt) {
+        typed_ok = true;
+        columnar_left_slot = slot.value();
+      }
+    }
+    if (!typed_ok) {
+      columnar_fallback_ = true;
+      return Status::Aborted("columnar-fallback");
+    }
+    columnar_hash = true;
+  }
+
   std::vector<Row> out_rows;
   const size_t right_width = right_proto.scope.size();
 
@@ -446,7 +540,8 @@ Status Runner::JoinInto(Relation* left, const JoinClause& join) {
   };
 
   if (left_key != nullptr && right_key_col >= 0 &&
-      right_table->HasIndexOn(right_key_col) && !provenance) {
+      right_table->HasIndexOn(right_key_col) && !provenance &&
+      !columnar_hash) {
     // Index nested-loop join: probe the right index per left row.
     for (const Row& lrow : left->rows) {
       auto key = Eval(*left_key, RowCtx(left->scope, lrow));
@@ -479,7 +574,76 @@ Status Runner::JoinInto(Relation* left, const JoinClause& join) {
     if (!right_rel.ok()) return right_rel.status();
     const std::vector<Row>& rrows = right_rel.value().rows;
 
-    if (left_key != nullptr && right_key_col >= 0) {
+    if (left_key != nullptr && right_key_col >= 0 && columnar_hash) {
+      // Typed hash join: both key sides are plain columns of the same
+      // declared type (the columnar_hash gate above), so the build/probe
+      // map can key on the native representation — no per-probe Value
+      // encoding (Value::Hash allocates) and no per-row Eval (the left
+      // slot is pre-resolved). Build stays in rid order and probes read
+      // left rows in order, so emission matches the generic map exactly.
+      auto slot = right_rel.value().scope.Resolve(
+          join.table.alias, rschema.columns()[right_key_col].name);
+      if (!slot.ok()) return slot.status();
+      const size_t rslot = static_cast<size_t>(slot.value());
+      const ValueType rt =
+          rschema.columns()[static_cast<size_t>(right_key_col)].type;
+      std::unordered_map<int64_t, std::vector<size_t>> ibuild;
+      std::unordered_map<std::string, std::vector<size_t>> tbuild;
+      auto int_key = [rt](const Value& v) {
+        return rt == ValueType::kBool ? (v.AsBool() ? 1 : 0) : v.AsInt();
+      };
+      for (size_t i = 0; i < rrows.size(); ++i) {
+        const Value& k = rrows[i][rslot];
+        if (k.is_null()) continue;
+        if (rt == ValueType::kText) {
+          tbuild[k.AsText()].push_back(i);
+        } else {
+          ibuild[int_key(k)].push_back(i);
+        }
+      }
+      // A hash match on same-type non-null values already proves the equi
+      // conjunct true; if that is the whole ON clause, skip re-evaluation.
+      std::vector<const Expr*> on_conjuncts;
+      CollectConjuncts(*join.on, &on_conjuncts);
+      const bool skip_on_eval = on_conjuncts.size() == 1;
+      for (const Row& lrow : left->rows) {
+        const Value& key = lrow[static_cast<size_t>(columnar_left_slot)];
+        bool matched = false;
+        const std::vector<size_t>* posting = nullptr;
+        if (!key.is_null()) {
+          if (rt == ValueType::kText) {
+            auto it = tbuild.find(key.AsText());
+            if (it != tbuild.end()) posting = &it->second;
+          } else {
+            auto it = ibuild.find(int_key(key));
+            if (it != ibuild.end()) posting = &it->second;
+          }
+        }
+        if (posting != nullptr) {
+          for (size_t i : *posting) {
+            if (skip_on_eval) {
+              Row combined_row;
+              combined_row.reserve(lrow.size() + rrows[i].size());
+              combined_row.insert(combined_row.end(), lrow.begin(),
+                                  lrow.end());
+              combined_row.insert(combined_row.end(), rrows[i].begin(),
+                                  rrows[i].end());
+              out_rows.push_back(std::move(combined_row));
+              matched = true;
+              continue;
+            }
+            auto m = emit(lrow, rrows[i]);
+            if (!m.ok()) return m.status();
+            matched = matched || m.value();
+          }
+        }
+        if (!matched && join.left) {
+          Row combined_row = lrow;
+          combined_row.resize(combined_row.size() + right_width, Value::Null());
+          out_rows.push_back(std::move(combined_row));
+        }
+      }
+    } else if (left_key != nullptr && right_key_col >= 0) {
       std::unordered_map<Value, std::vector<size_t>, ValueHasher> build;
       // Right key column slot inside the right relation: resolve by name.
       auto slot = right_rel.value().scope.Resolve(
@@ -527,6 +691,7 @@ Status Runner::JoinInto(Relation* left, const JoinClause& join) {
   }
 
   left->scope = std::move(combined);
+  left->col_types = std::move(combined_types);
   left->rows = std::move(out_rows);
   left->rids.clear();
   return Status::OK();
@@ -576,6 +741,31 @@ struct AggAcc {
 };
 
 Result<ResultSet> Runner::RunSelect(const SelectStmt& stmt) {
+  if (stmt.from.has_value() && ColumnarEligible()) {
+    use_columnar_ = true;
+    columnar_fallback_ = false;
+    auto r = RunSelectImpl(stmt);
+    use_columnar_ = false;
+    if (!columnar_fallback_) {
+      if (r.ok() && opts_.columnar.vectorized_scans != nullptr) {
+        opts_.columnar.vectorized_scans->fetch_add(1,
+                                                   std::memory_order_relaxed);
+      }
+      return r;
+    }
+    // An operator shape could not be proven result-identical (e.g. an
+    // index join on a widening key type): rerun the whole statement on the
+    // row path. Correctness never depends on the columnar attempt.
+    columnar_fallback_ = false;
+    if (opts_.columnar.row_fallback_scans != nullptr) {
+      opts_.columnar.row_fallback_scans->fetch_add(1,
+                                                   std::memory_order_relaxed);
+    }
+  }
+  return RunSelectImpl(stmt);
+}
+
+Result<ResultSet> Runner::RunSelectImpl(const SelectStmt& stmt) {
   Relation rel;
   if (stmt.from.has_value()) {
     auto base = ScanBase(*stmt.from, stmt.where.get(), false,
@@ -653,10 +843,44 @@ Result<ResultSet> Runner::RunSelect(const SelectStmt& stmt) {
     };
     std::unordered_map<Row, Group, RowHasher> groups;
     std::vector<Row> group_order;  // deterministic iteration
+
+    // Slot-resolved fast path: a plain column reference evaluates to
+    // exactly Resolve + row[slot] (sql/eval.cc), so group keys and
+    // aggregate arguments that are bare columns read the slot directly
+    // instead of walking the expression tree per row. Anything else (or an
+    // unresolvable reference, which must keep producing the same error)
+    // stays on Eval.
+    auto column_slot = [&](const Expr& e) -> int {
+      if (e.kind != ExprKind::kColumn) return -1;
+      auto s = rel.scope.Resolve(e.qualifier, e.column);
+      return s.ok() ? s.value() : -1;
+    };
+    std::vector<int> group_slots;
+    for (const auto& g : stmt.group_by) group_slots.push_back(column_slot(*g));
+    struct AggPlan {
+      const std::string* key;
+      const Expr* expr;
+      int arg_slot = -1;  // -1 = Eval the argument (or no argument)
+    };
+    std::vector<AggPlan> agg_plans;
+    for (const auto& [agg_key, agg_expr] : aggs) {
+      AggPlan p;
+      p.key = &agg_key;
+      p.expr = agg_expr;
+      if (!agg_expr->star && !agg_expr->args.empty()) {
+        p.arg_slot = column_slot(*agg_expr->args[0]);
+      }
+      agg_plans.push_back(p);
+    }
+
     for (const Row& row : rel.rows) {
       Row key;
-      for (const auto& g : stmt.group_by) {
-        auto v = Eval(*g, RowCtx(rel.scope, row));
+      for (size_t gi = 0; gi < stmt.group_by.size(); ++gi) {
+        if (group_slots[gi] >= 0) {
+          key.push_back(row[static_cast<size_t>(group_slots[gi])]);
+          continue;
+        }
+        auto v = Eval(*stmt.group_by[gi], RowCtx(rel.scope, row));
         if (!v.ok()) return v.status();
         key.push_back(std::move(v).value());
       }
@@ -665,16 +889,18 @@ Result<ResultSet> Runner::RunSelect(const SelectStmt& stmt) {
         it->second.key_values = key;
         group_order.push_back(key);
       }
-      for (const auto& [agg_key, agg_expr] : aggs) {
+      for (const AggPlan& p : agg_plans) {
         Value arg = Value::Null();
-        if (!agg_expr->star && !agg_expr->args.empty()) {
-          auto v = Eval(*agg_expr->args[0], RowCtx(rel.scope, row));
+        if (p.arg_slot >= 0) {
+          arg = row[static_cast<size_t>(p.arg_slot)];
+        } else if (!p.expr->star && !p.expr->args.empty()) {
+          auto v = Eval(*p.expr->args[0], RowCtx(rel.scope, row));
           if (!v.ok()) return v.status();
           arg = std::move(v).value();
-        } else if (agg_expr->star) {
+        } else if (p.expr->star) {
           arg = Value::Int(1);  // COUNT(*) counts every row
         }
-        it->second.accs[agg_key].Update(agg_expr->func_name, arg);
+        it->second.accs[*p.key].Update(p.expr->func_name, arg);
       }
     }
     // Global aggregate over zero rows still emits one group.
@@ -891,7 +1117,7 @@ Result<ResultSet> Runner::RunInsert(const InsertStmt& stmt) {
 
   std::vector<Row> source_rows;
   if (stmt.select) {
-    auto sub = RunSelect(*stmt.select);
+    auto sub = RunSelectImpl(*stmt.select);
     if (!sub.ok()) return sub.status();
     for (Row& r : sub.value().rows) source_rows.push_back(std::move(r));
   } else {
@@ -1370,6 +1596,8 @@ Result<std::shared_ptr<const PreparedPlan>> SqlEngine::Prepare(
   plan->schema_version_ = version;
   plan->info_.type = plan->stmt_.type;
   plan->info_.param_count = MaxParamIndex(plan->stmt_);
+  plan->columnar_shape_ok_ = plan->stmt_.type == StatementType::kSelect &&
+                             plan->stmt_.select->from.has_value();
   InferParamTypes(plan->stmt_, db_, &plan->info_);
   // Physical access-path analysis: done once here, reused by every
   // execution of this plan until DDL bumps the schema version.

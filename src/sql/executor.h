@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "sql/ast.h"
+#include "storage/columnar.h"
 #include "storage/database.h"
 #include "txn/txn_context.h"
 
@@ -58,6 +59,26 @@ struct ExecOptions {
   /// Permit CREATE/DROP statements (the node layer disables this for
   /// direct client statements; DDL must go through deployment contracts).
   bool allow_ddl = true;
+
+  /// Columnar analytics path. Engaged only for SELECTs running in a
+  /// read-only kInternal transaction pinned to a block-height snapshot
+  /// (core/node.cc sets this up for client queries over blockchain
+  /// tables): base-table scans are served from the ColumnStore's sealed
+  /// segments + row-store tail instead of the MVCC scan, joins switch the
+  /// per-left-row index probe for a vectorized hash join where provably
+  /// result-identical, and aggregation runs slot-resolved. Results are
+  /// byte-identical to the row path by construction; statements whose
+  /// shape cannot be proven safe fall back to the row path (counted).
+  /// The scan height is the transaction's pinned block-height snapshot, so
+  /// scan and MVCC visibility can never diverge.
+  struct Columnar {
+    bool enabled = false;
+    const ColumnStore* store = nullptr;
+    std::atomic<uint64_t>* vectorized_scans = nullptr;   ///< SELECTs via columnar
+    std::atomic<uint64_t>* row_fallback_scans = nullptr; ///< eligible, fell back
+    std::atomic<uint64_t>* zone_map_pruned = nullptr;    ///< segments skipped
+  };
+  Columnar columnar;
 
   static ExecOptions OrderThenExecute() { return ExecOptions{}; }
   static ExecOptions ExecuteOrderParallel() {
@@ -132,6 +153,11 @@ class PreparedPlan {
     return it == access_paths_.end() ? nullptr : &it->second;
   }
 
+  /// Prepare-time gate for the columnar analytics path: the statement is a
+  /// base-table SELECT. Per-join safety (typed equi keys) is value- and
+  /// schema-dependent and stays a runtime decision with row-path fallback.
+  bool columnar_shape_ok() const { return columnar_shape_ok_; }
+
   /// Strict per-execution binding check: exact arity, and type agreement
   /// wherever a type was inferred. NULL always binds; INT binds where
   /// DOUBLE is expected (the engine's numeric widening rule).
@@ -143,6 +169,7 @@ class PreparedPlan {
   Statement stmt_;
   PreparedInfo info_;
   uint64_t schema_version_ = 0;
+  bool columnar_shape_ok_ = false;
   /// Immutable after Prepare(); keyed by statement-node address within
   /// `stmt_`, so lookups are pointer comparisons.
   std::unordered_map<const void*, AccessPath> access_paths_;

@@ -1,0 +1,238 @@
+#include "sql/vectorized.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace brdb {
+namespace sql {
+
+namespace {
+
+/// The B-tree range membership rule: NULL sorts before everything, so a
+/// NULL key lies in [lo, hi] exactly when lo is unbounded.
+bool InRange(const Value& v, const Value* lo, bool lo_inclusive,
+             const Value* hi, bool hi_inclusive) {
+  if (v.is_null()) return lo == nullptr;
+  if (lo != nullptr) {
+    int c = v.Compare(*lo);
+    if (c < 0 || (c == 0 && !lo_inclusive)) return false;
+  }
+  if (hi != nullptr) {
+    int c = v.Compare(*hi);
+    if (c > 0 || (c == 0 && !hi_inclusive)) return false;
+  }
+  return true;
+}
+
+struct Survivor {
+  RowId rid = 0;
+  const TableSegment* seg = nullptr;  ///< null = row-store tail
+  uint32_t idx = 0;                   ///< row within seg
+};
+
+/// True when the segment's zone map proves no row can fall in the range.
+bool ZoneMapPrunes(const ColumnChunk& chunk, const Value* lo,
+                   bool lo_inclusive, const Value* hi, bool hi_inclusive) {
+  if (lo != nullptr) {
+    // NULL keys fail a bounded lo, so only the non-null [min, max] matters.
+    if (chunk.min.is_null()) return true;  // no non-null values at all
+    int c = lo->Compare(chunk.max);
+    if (c > 0 || (c == 0 && !lo_inclusive)) return true;
+    if (hi != nullptr) {
+      c = hi->Compare(chunk.min);
+      if (c < 0 || (c == 0 && !hi_inclusive)) return true;
+    }
+    return false;
+  }
+  // Unbounded lo admits NULL keys: can only prune a null-free segment.
+  if (chunk.has_null) return false;
+  if (chunk.min.is_null()) return true;  // empty column
+  if (hi != nullptr) {
+    int c = hi->Compare(chunk.min);
+    if (c < 0 || (c == 0 && !hi_inclusive)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ColumnarScan(const ColumnStore::TableSnapshot& snap, BlockNum height,
+                    int best_col, const Value* lo, bool lo_inclusive,
+                    const Value* hi, bool hi_inclusive,
+                    std::vector<Row>* out_rows, ColumnarScanStats* stats) {
+  const auto& sealed_del = *snap.sealed_deletes;
+  std::unordered_map<RowId, BlockNum> tail_del;
+  for (const DeleteEvent& d : snap.tail_deletes) {
+    if (d.block <= height) tail_del.emplace(d.rid, d.block);
+  }
+  auto deleted = [&](RowId rid) {
+    auto it = sealed_del.find(rid);
+    if (it != sealed_del.end() && it->second <= height) return true;
+    return tail_del.find(rid) != tail_del.end();
+  };
+
+  const bool range = best_col >= 0;
+  std::vector<Survivor> survivors;
+
+  for (const auto& seg_ptr : snap.segments) {
+    const TableSegment& seg = *seg_ptr;
+    const size_t n = seg.num_rows();
+    if (n == 0) continue;
+    if (seg.first_block > height) continue;  // sealed after the snapshot
+
+    auto push = [&](size_t i) {
+      if (seg.creator_blocks[i] > height) return;
+      if (deleted(seg.rids[i])) return;
+      survivors.push_back(
+          Survivor{seg.rids[i], &seg, static_cast<uint32_t>(i)});
+    };
+
+    if (!range) {
+      if (stats != nullptr) ++stats->segments_scanned;
+      for (size_t i = 0; i < n; ++i) push(i);
+      continue;
+    }
+
+    const ColumnChunk& chunk = seg.columns[static_cast<size_t>(best_col)];
+    if (ZoneMapPrunes(chunk, lo, lo_inclusive, hi, hi_inclusive)) {
+      if (stats != nullptr) ++stats->segments_pruned;
+      continue;
+    }
+    if (stats != nullptr) ++stats->segments_scanned;
+
+    if (chunk.type == ValueType::kInt &&
+        (lo == nullptr || lo->type() == ValueType::kInt) &&
+        (hi == nullptr || hi->type() == ValueType::kInt)) {
+      // Typed pushdown: compare the int64 array directly.
+      const int64_t loi = lo != nullptr ? lo->AsInt() : 0;
+      const int64_t hii = hi != nullptr ? hi->AsInt() : 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (chunk.nulls[i] != 0) {
+          if (lo == nullptr) push(i);
+          continue;
+        }
+        const int64_t v = chunk.ints[i];
+        if (lo != nullptr && (v < loi || (v == loi && !lo_inclusive))) continue;
+        if (hi != nullptr && (v > hii || (v == hii && !hi_inclusive))) continue;
+        push(i);
+      }
+    } else if (chunk.type == ValueType::kText &&
+               (lo == nullptr || lo->type() == ValueType::kText) &&
+               (hi == nullptr || hi->type() == ValueType::kText)) {
+      // Typed pushdown: the sorted dictionary maps the text range to a
+      // per-segment code interval [code_lo, code_end).
+      uint32_t code_lo = 0;
+      uint32_t code_end = static_cast<uint32_t>(chunk.dict.size());
+      if (lo != nullptr) {
+        auto it = lo_inclusive
+                      ? std::lower_bound(chunk.dict.begin(), chunk.dict.end(),
+                                         lo->AsText())
+                      : std::upper_bound(chunk.dict.begin(), chunk.dict.end(),
+                                         lo->AsText());
+        code_lo = static_cast<uint32_t>(it - chunk.dict.begin());
+      }
+      if (hi != nullptr) {
+        auto it = hi_inclusive
+                      ? std::upper_bound(chunk.dict.begin(), chunk.dict.end(),
+                                         hi->AsText())
+                      : std::lower_bound(chunk.dict.begin(), chunk.dict.end(),
+                                         hi->AsText());
+        code_end = static_cast<uint32_t>(it - chunk.dict.begin());
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (chunk.nulls[i] != 0) {
+          if (lo == nullptr) push(i);
+          continue;
+        }
+        if (chunk.codes[i] >= code_lo && chunk.codes[i] < code_end) push(i);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (InRange(chunk.At(i), lo, lo_inclusive, hi, hi_inclusive)) push(i);
+      }
+    }
+  }
+
+  // Row-store tail above the watermark: blocks are nondecreasing in commit
+  // order, so the first event past the snapshot ends the walk.
+  const Table* table = snap.table;
+  for (const auto& [rid, block] : snap.tail_inserts) {
+    if (block > height) break;
+    if (deleted(rid)) continue;
+    const Row& vals = table->ValuesOf(rid);
+    if (range && !InRange(vals[static_cast<size_t>(best_col)], lo,
+                          lo_inclusive, hi, hi_inclusive)) {
+      continue;
+    }
+    survivors.push_back(Survivor{rid, nullptr, 0});
+  }
+
+  if (!range) {
+    // Full-scan contract: rid (append) order.
+    std::sort(survivors.begin(), survivors.end(),
+              [](const Survivor& a, const Survivor& b) { return a.rid < b.rid; });
+  } else {
+    // Range contract: (key, rid) order — what the index emits (posting
+    // lists are rid-ascending per key).
+    std::vector<Value> keys;
+    keys.reserve(survivors.size());
+    bool all_int = true;
+    for (const Survivor& s : survivors) {
+      keys.push_back(s.seg != nullptr
+                         ? s.seg->columns[static_cast<size_t>(best_col)].At(
+                               s.idx)
+                         : table->ValuesOf(s.rid)[static_cast<size_t>(
+                               best_col)]);
+      if (keys.back().type() != ValueType::kInt) all_int = false;
+    }
+    if (all_int) {
+      // Typed path: non-null INT keys compare natively, so sort compact
+      // (key, rid) pairs instead of calling Value::Compare per comparison.
+      std::vector<std::pair<int64_t, size_t>> order;
+      order.reserve(survivors.size());
+      for (size_t i = 0; i < survivors.size(); ++i) {
+        order.emplace_back(keys[i].AsInt(), i);
+      }
+      std::sort(order.begin(), order.end(),
+                [&](const std::pair<int64_t, size_t>& a,
+                    const std::pair<int64_t, size_t>& b) {
+                  if (a.first != b.first) return a.first < b.first;
+                  return survivors[a.second].rid < survivors[b.second].rid;
+                });
+      std::vector<Survivor> sorted;
+      sorted.reserve(survivors.size());
+      for (const auto& [k, i] : order) sorted.push_back(survivors[i]);
+      survivors = std::move(sorted);
+    } else {
+      std::vector<size_t> order(survivors.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        int c = keys[a].Compare(keys[b]);
+        if (c != 0) return c < 0;
+        return survivors[a].rid < survivors[b].rid;
+      });
+      std::vector<Survivor> sorted;
+      sorted.reserve(survivors.size());
+      for (size_t i : order) sorted.push_back(survivors[i]);
+      survivors = std::move(sorted);
+    }
+  }
+
+  out_rows->reserve(out_rows->size() + survivors.size());
+  for (const Survivor& s : survivors) {
+    if (s.seg != nullptr) {
+      Row r;
+      r.reserve(s.seg->columns.size());
+      for (const ColumnChunk& c : s.seg->columns) r.push_back(c.At(s.idx));
+      out_rows->push_back(std::move(r));
+    } else {
+      out_rows->push_back(table->ValuesOf(s.rid));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sql
+}  // namespace brdb

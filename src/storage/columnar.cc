@@ -1,0 +1,525 @@
+#include "storage/columnar.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "wire/codec.h"
+#include "wire/crc32.h"
+
+namespace brdb {
+
+namespace {
+
+constexpr char kColumnarMagic[8] = {'B', 'R', 'D', 'B', 'C', 'O', 'L', '1'};
+constexpr size_t kRecordPrefixBytes = 8;  // u32 len + u32 crc
+constexpr uint32_t kMaxRecordBytes = 1024u * 1024u * 1024u;
+
+std::string SegmentFileName(BlockNum first, BlockNum last) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "colseg-%010llu-%010llu.col",
+                static_cast<unsigned long long>(first),
+                static_cast<unsigned long long>(last));
+  return buf;
+}
+
+}  // namespace
+
+Value ColumnChunk::At(size_t row) const {
+  if (nulls[row] != 0) return Value::Null();
+  switch (type) {
+    case ValueType::kInt:
+      return Value::Int(ints[row]);
+    case ValueType::kBool:
+      return Value::Bool(ints[row] != 0);
+    case ValueType::kDouble:
+      return was_int[row] != 0 ? Value::Int(ints[row])
+                               : Value::Double(doubles[row]);
+    case ValueType::kText:
+      return Value::Text(dict[codes[row]]);
+    default:
+      return raws[row];
+  }
+}
+
+std::shared_ptr<const TableSegment> BuildSegment(
+    const Table& table, BlockNum first_block, BlockNum last_block,
+    std::vector<std::pair<RowId, BlockNum>> inserts,
+    std::vector<DeleteEvent> deletes) {
+  auto seg = std::make_shared<TableSegment>();
+  seg->table_name = table.schema().name();
+  seg->table_id = table.id();
+  seg->first_block = first_block;
+  seg->last_block = last_block;
+
+  std::sort(inserts.begin(), inserts.end());
+  std::sort(deletes.begin(), deletes.end(),
+            [](const DeleteEvent& a, const DeleteEvent& b) {
+              return a.rid < b.rid;
+            });
+  seg->deletes = std::move(deletes);
+
+  const size_t n = inserts.size();
+  seg->rids.reserve(n);
+  seg->creator_blocks.reserve(n);
+  for (const auto& [rid, block] : inserts) {
+    seg->rids.push_back(rid);
+    seg->creator_blocks.push_back(block);
+  }
+
+  const auto& columns = table.schema().columns();
+  seg->columns.resize(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    ColumnChunk& chunk = seg->columns[c];
+    chunk.type = columns[c].type;
+    chunk.nulls.assign(n, 0);
+    switch (chunk.type) {
+      case ValueType::kInt:
+      case ValueType::kBool:
+        chunk.ints.assign(n, 0);
+        break;
+      case ValueType::kDouble:
+        chunk.ints.assign(n, 0);
+        chunk.doubles.assign(n, 0);
+        chunk.was_int.assign(n, 0);
+        break;
+      case ValueType::kText:
+        chunk.codes.assign(n, 0);
+        break;
+      default:
+        chunk.raws.assign(n, Value::Null());
+        break;
+    }
+    // Dictionary pass for text columns: collect, sort, unique, then code.
+    std::vector<std::string> texts;
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = table.ValuesOf(seg->rids[i])[c];
+      if (v.is_null()) {
+        chunk.nulls[i] = 1;
+        chunk.has_null = true;
+        continue;
+      }
+      if (chunk.min.is_null() || v.Compare(chunk.min) < 0) chunk.min = v;
+      if (chunk.max.is_null() || v.Compare(chunk.max) > 0) chunk.max = v;
+      switch (chunk.type) {
+        case ValueType::kInt:
+          chunk.ints[i] = v.AsInt();
+          break;
+        case ValueType::kBool:
+          chunk.ints[i] = v.AsBool() ? 1 : 0;
+          break;
+        case ValueType::kDouble:
+          if (v.type() == ValueType::kInt) {
+            chunk.was_int[i] = 1;
+            chunk.ints[i] = v.AsInt();
+            chunk.doubles[i] = static_cast<double>(v.AsInt());
+          } else {
+            chunk.doubles[i] = v.AsDouble();
+          }
+          break;
+        case ValueType::kText:
+          texts.push_back(v.AsText());
+          break;
+        default:
+          chunk.raws[i] = v;
+          break;
+      }
+    }
+    if (chunk.type == ValueType::kText) {
+      std::sort(texts.begin(), texts.end());
+      texts.erase(std::unique(texts.begin(), texts.end()), texts.end());
+      chunk.dict = std::move(texts);
+      for (size_t i = 0; i < n; ++i) {
+        if (chunk.nulls[i] != 0) continue;
+        const std::string& s = table.ValuesOf(seg->rids[i])[c].AsText();
+        auto it =
+            std::lower_bound(chunk.dict.begin(), chunk.dict.end(), s);
+        chunk.codes[i] = static_cast<uint32_t>(it - chunk.dict.begin());
+      }
+    }
+  }
+  return seg;
+}
+
+// ---------------- serialization ----------------
+
+void TableSegment::EncodeTo(std::string* out) const {
+  Encoder enc;
+  enc.PutString(table_name);
+  enc.PutU32(table_id);
+  enc.PutU64(first_block);
+  enc.PutU64(last_block);
+  const uint64_t n = num_rows();
+  enc.PutU64(n);
+  enc.PutU32(static_cast<uint32_t>(columns.size()));
+  for (RowId rid : rids) enc.PutU64(rid);
+  for (BlockNum b : creator_blocks) enc.PutU64(b);
+  for (const ColumnChunk& chunk : columns) {
+    enc.PutU8(static_cast<uint8_t>(chunk.type));
+    enc.PutBytesRaw(std::string(
+        reinterpret_cast<const char*>(chunk.nulls.data()), chunk.nulls.size()));
+    switch (chunk.type) {
+      case ValueType::kInt:
+      case ValueType::kBool:
+        for (int64_t v : chunk.ints) enc.PutI64(v);
+        break;
+      case ValueType::kDouble: {
+        for (double d : chunk.doubles) {
+          uint64_t bits;
+          std::memcpy(&bits, &d, sizeof(bits));
+          enc.PutU64(bits);
+        }
+        enc.PutBytesRaw(std::string(
+            reinterpret_cast<const char*>(chunk.was_int.data()),
+            chunk.was_int.size()));
+        for (int64_t v : chunk.ints) enc.PutI64(v);
+        break;
+      }
+      case ValueType::kText:
+        enc.PutU32(static_cast<uint32_t>(chunk.dict.size()));
+        for (const std::string& s : chunk.dict) enc.PutString(s);
+        for (uint32_t code : chunk.codes) enc.PutU32(code);
+        break;
+      default:
+        for (const Value& v : chunk.raws) enc.PutValue(v);
+        break;
+    }
+    enc.PutU8(chunk.has_null ? 1 : 0);
+    enc.PutValue(chunk.min);
+    enc.PutValue(chunk.max);
+  }
+  enc.PutU64(deletes.size());
+  for (const DeleteEvent& d : deletes) {
+    enc.PutU64(d.rid);
+    enc.PutU64(d.block);
+  }
+  out->append(enc.buffer());
+}
+
+Result<std::shared_ptr<const TableSegment>> TableSegment::Decode(
+    const std::string& payload) {
+  auto fail = []() {
+    return Status::Corruption("columnar segment: truncated payload");
+  };
+  Decoder dec(payload);
+  auto seg = std::make_shared<TableSegment>();
+  uint32_t table_id = 0;
+  uint64_t n = 0;
+  uint32_t num_cols = 0;
+  if (!dec.GetString(&seg->table_name) || !dec.GetU32(&table_id) ||
+      !dec.GetU64(&seg->first_block) || !dec.GetU64(&seg->last_block) ||
+      !dec.GetU64(&n) || !dec.GetU32(&num_cols)) {
+    return fail();
+  }
+  seg->table_id = table_id;
+  if (n > payload.size() || num_cols > payload.size()) {
+    return Status::Corruption("columnar segment: absurd row/column count");
+  }
+  seg->rids.resize(n);
+  seg->creator_blocks.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!dec.GetU64(&seg->rids[i])) return fail();
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!dec.GetU64(&seg->creator_blocks[i])) return fail();
+  }
+  seg->columns.resize(num_cols);
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    ColumnChunk& chunk = seg->columns[c];
+    uint8_t type = 0;
+    if (!dec.GetU8(&type)) return fail();
+    chunk.type = static_cast<ValueType>(type);
+    chunk.nulls.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!dec.GetU8(&chunk.nulls[i])) return fail();
+    }
+    switch (chunk.type) {
+      case ValueType::kInt:
+      case ValueType::kBool:
+        chunk.ints.resize(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          if (!dec.GetI64(&chunk.ints[i])) return fail();
+        }
+        break;
+      case ValueType::kDouble: {
+        chunk.doubles.resize(n);
+        chunk.was_int.resize(n);
+        chunk.ints.resize(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          uint64_t bits = 0;
+          if (!dec.GetU64(&bits)) return fail();
+          std::memcpy(&chunk.doubles[i], &bits, sizeof(double));
+        }
+        for (uint64_t i = 0; i < n; ++i) {
+          if (!dec.GetU8(&chunk.was_int[i])) return fail();
+        }
+        for (uint64_t i = 0; i < n; ++i) {
+          if (!dec.GetI64(&chunk.ints[i])) return fail();
+        }
+        break;
+      }
+      case ValueType::kText: {
+        uint32_t dict_size = 0;
+        if (!dec.GetU32(&dict_size)) return fail();
+        if (dict_size > payload.size()) {
+          return Status::Corruption("columnar segment: absurd dict size");
+        }
+        chunk.dict.resize(dict_size);
+        for (uint32_t i = 0; i < dict_size; ++i) {
+          if (!dec.GetString(&chunk.dict[i])) return fail();
+        }
+        chunk.codes.resize(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          if (!dec.GetU32(&chunk.codes[i])) return fail();
+          if (chunk.nulls[i] == 0 && chunk.codes[i] >= dict_size) {
+            return Status::Corruption("columnar segment: code out of range");
+          }
+        }
+        break;
+      }
+      default: {
+        chunk.raws.resize(n, Value::Null());
+        for (uint64_t i = 0; i < n; ++i) {
+          auto v = dec.GetValue();
+          if (!v.ok()) return v.status();
+          chunk.raws[i] = std::move(v).value();
+        }
+        break;
+      }
+    }
+    uint8_t has_null = 0;
+    if (!dec.GetU8(&has_null)) return fail();
+    chunk.has_null = has_null != 0;
+    auto min = dec.GetValue();
+    if (!min.ok()) return min.status();
+    chunk.min = std::move(min).value();
+    auto max = dec.GetValue();
+    if (!max.ok()) return max.status();
+    chunk.max = std::move(max).value();
+  }
+  uint64_t num_deletes = 0;
+  if (!dec.GetU64(&num_deletes)) return fail();
+  if (num_deletes > payload.size()) {
+    return Status::Corruption("columnar segment: absurd delete count");
+  }
+  seg->deletes.resize(num_deletes);
+  for (uint64_t i = 0; i < num_deletes; ++i) {
+    if (!dec.GetU64(&seg->deletes[i].rid) ||
+        !dec.GetU64(&seg->deletes[i].block)) {
+      return fail();
+    }
+  }
+  return std::shared_ptr<const TableSegment>(std::move(seg));
+}
+
+namespace {
+
+Status WriteSegmentFile(
+    const std::string& dir, BlockNum first, BlockNum last,
+    const std::vector<std::shared_ptr<const TableSegment>>& segments) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string path =
+      (fs::path(dir) / SegmentFileName(first, last)).string();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Unavailable("columnar: cannot create " + tmp);
+  }
+  bool ok = std::fwrite(kColumnarMagic, 1, sizeof(kColumnarMagic), f) ==
+            sizeof(kColumnarMagic);
+  for (const auto& seg : segments) {
+    if (!ok) break;
+    std::string payload;
+    seg->EncodeTo(&payload);
+    Encoder frame;
+    frame.PutU32(static_cast<uint32_t>(payload.size()));
+    frame.PutU32(Crc32(payload));
+    frame.PutBytesRaw(payload);
+    const std::string& record = frame.buffer();
+    ok = std::fwrite(record.data(), 1, record.size(), f) == record.size();
+  }
+  if (ok) ok = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Unavailable("columnar: short write to " + tmp);
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::Unavailable("columnar: rename to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::shared_ptr<const TableSegment>>>
+ColumnStore::LoadSegmentFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("columnar: cannot open " + path);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, got);
+  }
+  std::fclose(f);
+  if (bytes.size() < sizeof(kColumnarMagic) ||
+      std::memcmp(bytes.data(), kColumnarMagic, sizeof(kColumnarMagic)) != 0) {
+    return Status::Corruption("columnar: bad magic in " + path);
+  }
+  std::vector<std::shared_ptr<const TableSegment>> out;
+  size_t pos = sizeof(kColumnarMagic);
+  while (pos < bytes.size()) {
+    if (pos + kRecordPrefixBytes > bytes.size()) break;  // torn tail
+    uint32_t len, crc;
+    std::memcpy(&len, bytes.data() + pos, 4);
+    std::memcpy(&crc, bytes.data() + pos + 4, 4);
+    if (len > kMaxRecordBytes) {
+      return Status::Corruption("columnar: absurd record length in " + path);
+    }
+    if (pos + kRecordPrefixBytes + len > bytes.size()) break;  // torn tail
+    std::string payload = bytes.substr(pos + kRecordPrefixBytes, len);
+    if (Crc32(payload) != crc) {
+      // A torn final record is tolerated; interior corruption is not.
+      if (pos + kRecordPrefixBytes + len == bytes.size()) break;
+      return Status::Corruption("columnar: record CRC mismatch in " + path);
+    }
+    auto seg = TableSegment::Decode(payload);
+    if (!seg.ok()) return seg.status();
+    out.push_back(std::move(seg).value());
+    pos += kRecordPrefixBytes + len;
+  }
+  return out;
+}
+
+// ---------------- ColumnStore ----------------
+
+ColumnStore::PerTable& ColumnStore::EntryLocked(const Table* table) {
+  PerTable& pt = tables_[table];
+  if (pt.table == nullptr) pt.table = table;
+  return pt;
+}
+
+void ColumnStore::OnInsert(const Table* table, RowId rid, BlockNum block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EntryLocked(table).tail_inserts.emplace_back(rid, block);
+}
+
+void ColumnStore::OnDelete(const Table* table, RowId rid, BlockNum block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EntryLocked(table).tail_deletes.push_back(DeleteEvent{rid, block});
+}
+
+Status ColumnStore::SealThrough(BlockNum target, const std::string& dir) {
+  struct Work {
+    const Table* table = nullptr;
+    std::vector<std::pair<RowId, BlockNum>> inserts;
+    std::vector<DeleteEvent> deletes;
+    size_t ins_n = 0;
+    size_t del_n = 0;
+    std::shared_ptr<const std::unordered_map<RowId, BlockNum>> old_deletes;
+  };
+  BlockNum from = 0;
+  std::vector<Work> work;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (target <= watermark_) return Status::OK();
+    from = watermark_ + 1;
+    for (auto& [table, pt] : tables_) {
+      // Events are appended in commit order, so blocks are nondecreasing:
+      // the sealable events are a prefix.
+      auto ins_end = std::upper_bound(
+          pt.tail_inserts.begin(), pt.tail_inserts.end(), target,
+          [](BlockNum t, const std::pair<RowId, BlockNum>& e) {
+            return t < e.second;
+          });
+      auto del_end = std::upper_bound(
+          pt.tail_deletes.begin(), pt.tail_deletes.end(), target,
+          [](BlockNum t, const DeleteEvent& e) { return t < e.block; });
+      Work w;
+      w.ins_n = static_cast<size_t>(ins_end - pt.tail_inserts.begin());
+      w.del_n = static_cast<size_t>(del_end - pt.tail_deletes.begin());
+      if (w.ins_n == 0 && w.del_n == 0) continue;
+      w.table = table;
+      w.inserts.assign(pt.tail_inserts.begin(), ins_end);
+      w.deletes.assign(pt.tail_deletes.begin(), del_end);
+      w.old_deletes = pt.sealed_deletes;
+      work.push_back(std::move(w));
+    }
+  }
+
+  // Build segments off the lock: payload reads are lock-free, and queries
+  // keep scanning the tail events meanwhile (they were copied, not moved).
+  struct Built {
+    const Table* table;
+    std::shared_ptr<const TableSegment> segment;
+    std::shared_ptr<const std::unordered_map<RowId, BlockNum>> merged;
+    size_t ins_n;
+    size_t del_n;
+  };
+  std::vector<Built> built;
+  std::vector<std::shared_ptr<const TableSegment>> archive;
+  for (Work& w : work) {
+    auto seg = BuildSegment(*w.table, from, target, std::move(w.inserts),
+                            std::move(w.deletes));
+    auto merged =
+        std::make_shared<std::unordered_map<RowId, BlockNum>>(*w.old_deletes);
+    for (const DeleteEvent& d : seg->deletes) merged->emplace(d.rid, d.block);
+    archive.push_back(seg);
+    built.push_back(Built{w.table, std::move(seg), std::move(merged), w.ins_n,
+                          w.del_n});
+  }
+
+  Status archive_status = Status::OK();
+  if (!dir.empty() && !archive.empty()) {
+    archive_status = WriteSegmentFile(dir, from, target, archive);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Built& b : built) {
+      PerTable& pt = tables_[b.table];
+      pt.segments.push_back(std::move(b.segment));
+      pt.sealed_deletes = std::move(b.merged);
+      pt.tail_inserts.erase(pt.tail_inserts.begin(),
+                            pt.tail_inserts.begin() +
+                                static_cast<ptrdiff_t>(b.ins_n));
+      pt.tail_deletes.erase(pt.tail_deletes.begin(),
+                            pt.tail_deletes.begin() +
+                                static_cast<ptrdiff_t>(b.del_n));
+    }
+    watermark_ = target;
+    watermark_pub_.store(target, std::memory_order_release);
+    segments_sealed_.fetch_add(built.size(), std::memory_order_relaxed);
+  }
+  return archive_status;
+}
+
+ColumnStore::TableSnapshot ColumnStore::SnapshotFor(const Table* table) const {
+  TableSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.watermark = watermark_;
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    snap.sealed_deletes =
+        std::make_shared<const std::unordered_map<RowId, BlockNum>>();
+    return snap;
+  }
+  const PerTable& pt = it->second;
+  snap.table = pt.table;
+  snap.segments = pt.segments;
+  snap.sealed_deletes = pt.sealed_deletes;
+  snap.tail_inserts = pt.tail_inserts;
+  snap.tail_deletes = pt.tail_deletes;
+  return snap;
+}
+
+}  // namespace brdb

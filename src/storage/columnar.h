@@ -1,0 +1,179 @@
+// Columnar ledger history (HTAP split, ROADMAP item 3).
+//
+// Committed block history is immutable, so it can be peeled off the OLTP
+// row store into append-only, per-table, Parquet-style columnar segments:
+// per-column typed arrays with min/max zone maps, dictionary-encoded text,
+// and a row-id column that keeps every columnar row joinable back to its
+// MVCC version (provenance). Segments are built in the background off the
+// commit stream (ledger/history_builder.h) and sealed at a block-height
+// watermark: a scan at snapshot height H reads sealed segments covering
+// blocks <= watermark and tops up the (watermark, H] tail from the row
+// store. Analytical queries over this layout must return byte-identical
+// results to the row-store executor at every snapshot height — the
+// vectorized path in src/sql is validated against that invariant.
+//
+// On disk, sealed segments reuse the block store's framing conventions
+// (magic header, CRC32-framed length-prefixed records, torn-tail
+// tolerance). The in-memory store is the source of truth after a restart
+// (rebuilt from the version arena, whose creator/deleter block stamps
+// survive checkpoint restore); the files are an archival mirror that lets
+// history eventually exceed RAM.
+#ifndef BRDB_STORAGE_COLUMNAR_H_
+#define BRDB_STORAGE_COLUMNAR_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace brdb {
+
+/// One column of a sealed segment: typed arrays plus a null bitmap and a
+/// min/max zone map. The representation preserves *exact* Value identity:
+/// a DOUBLE column may legally store INT values (schema widening), and
+/// SUM/encoding semantics differ between Int(5) and Double(5.0), so those
+/// rows carry a was_int marker with the original integer payload.
+struct ColumnChunk {
+  ValueType type = ValueType::kNull;  ///< declared column type
+  std::vector<uint8_t> nulls;         ///< 1 = NULL at this row
+
+  std::vector<int64_t> ints;     ///< kInt/kBool payloads; exact-int kDouble
+  std::vector<double> doubles;   ///< kDouble payloads (numeric view)
+  std::vector<uint8_t> was_int;  ///< kDouble: row stored an INT value
+  std::vector<uint32_t> codes;   ///< kText: index into dict
+  std::vector<std::string> dict; ///< kText: sorted unique strings
+  std::vector<Value> raws;       ///< fallback for undeclared types
+
+  bool has_null = false;
+  Value min, max;  ///< zone map over non-null values (Value::Compare order)
+
+  size_t size() const { return nulls.size(); }
+
+  /// Reconstruct the exact stored Value of one row.
+  Value At(size_t row) const;
+};
+
+/// A row deleted by a block's commit (rid may live in any earlier segment).
+struct DeleteEvent {
+  RowId rid = 0;
+  BlockNum block = 0;
+};
+
+/// An immutable sealed segment: every row INSERTED by blocks in
+/// (first_block-1, last_block], rid-sorted, plus the deletes those blocks
+/// committed. Rows deleted later stay in place — visibility at height H is
+/// creator_block <= H and no delete event <= H.
+struct TableSegment {
+  std::string table_name;
+  TableId table_id = 0;
+  BlockNum first_block = 0;
+  BlockNum last_block = 0;
+  std::vector<RowId> rids;              ///< ascending (provenance join key)
+  std::vector<BlockNum> creator_blocks; ///< parallel to rids
+  std::vector<ColumnChunk> columns;     ///< one per schema column
+  std::vector<DeleteEvent> deletes;     ///< sorted by rid
+
+  size_t num_rows() const { return rids.size(); }
+
+  /// Serialize to a CRC-framed record payload / parse one back.
+  void EncodeTo(std::string* out) const;
+  static Result<std::shared_ptr<const TableSegment>> Decode(
+      const std::string& payload);
+};
+
+/// Build a sealed segment for `table` from insert events (rid, block) and
+/// delete events, reading row payloads lock-free from the version arena.
+/// Events need not be sorted.
+std::shared_ptr<const TableSegment> BuildSegment(
+    const Table& table, BlockNum first_block, BlockNum last_block,
+    std::vector<std::pair<RowId, BlockNum>> inserts,
+    std::vector<DeleteEvent> deletes);
+
+/// The per-node columnar mirror of committed blockchain-table state.
+///
+/// Threading: event intake (OnInsert/OnDelete/SetCommitted) is called by
+/// the single serial-commit thread; SealThrough by the single builder
+/// thread; SnapshotFor by any query thread. The mutex guards the per-table
+/// maps; sealed segments and sealed-delete maps are immutable snapshots
+/// swapped under it, so queries hold no lock while scanning.
+class ColumnStore {
+ public:
+  /// A consistent cut of one table's columnar state: sealed segments
+  /// (blocks <= watermark), the merged sealed-delete map, and the
+  /// not-yet-sealed tail events in (watermark, committed].
+  struct TableSnapshot {
+    const Table* table = nullptr;
+    std::vector<std::shared_ptr<const TableSegment>> segments;
+    std::shared_ptr<const std::unordered_map<RowId, BlockNum>> sealed_deletes;
+    std::vector<std::pair<RowId, BlockNum>> tail_inserts;  ///< commit order
+    std::vector<DeleteEvent> tail_deletes;
+    BlockNum watermark = 0;
+  };
+
+  // ---- commit-thread intake ----
+  void OnInsert(const Table* table, RowId rid, BlockNum block);
+  void OnDelete(const Table* table, RowId rid, BlockNum block);
+  /// All events of `block` are in; the builder may seal through it.
+  void SetCommitted(BlockNum block) {
+    committed_.store(block, std::memory_order_release);
+  }
+
+  // ---- observability ----
+  BlockNum committed() const {
+    return committed_.load(std::memory_order_acquire);
+  }
+  BlockNum watermark() const {
+    return watermark_pub_.load(std::memory_order_acquire);
+  }
+  uint64_t segments_sealed() const {
+    return segments_sealed_.load(std::memory_order_relaxed);
+  }
+
+  // ---- sealing (builder thread; calls must be serialized) ----
+  /// Seal every event with block <= target. When `dir` is non-empty the
+  /// sealed segments are also archived to
+  /// `dir/colseg-<first>-<last>.col`; an archive write failure is
+  /// returned but the in-memory seal still takes effect (the arena can
+  /// always rebuild).
+  Status SealThrough(BlockNum target, const std::string& dir);
+
+  // ---- query side ----
+  /// Null table pointer in the result means the store has never seen the
+  /// table (no committed rows): segments and tail are empty, which is the
+  /// correct history.
+  TableSnapshot SnapshotFor(const Table* table) const;
+
+  /// Read back an archived segment file (tests / future catch-up serving).
+  static Result<std::vector<std::shared_ptr<const TableSegment>>>
+  LoadSegmentFile(const std::string& path);
+
+ private:
+  struct PerTable {
+    const Table* table = nullptr;
+    std::vector<std::shared_ptr<const TableSegment>> segments;
+    std::shared_ptr<const std::unordered_map<RowId, BlockNum>> sealed_deletes =
+        std::make_shared<const std::unordered_map<RowId, BlockNum>>();
+    /// Unsealed events, appended in commit order (blocks nondecreasing).
+    std::vector<std::pair<RowId, BlockNum>> tail_inserts;
+    std::vector<DeleteEvent> tail_deletes;
+  };
+
+  PerTable& EntryLocked(const Table* table);
+
+  mutable std::mutex mu_;
+  std::unordered_map<const Table*, PerTable> tables_;
+  BlockNum watermark_ = 0;  ///< guarded by mu_
+  std::atomic<BlockNum> watermark_pub_{0};
+  std::atomic<BlockNum> committed_{0};
+  std::atomic<uint64_t> segments_sealed_{0};
+};
+
+}  // namespace brdb
+
+#endif  // BRDB_STORAGE_COLUMNAR_H_

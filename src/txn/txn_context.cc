@@ -110,8 +110,22 @@ Result<TxnContext::Visibility> TxnContext::ClassifyVersion(
                                               : Visibility::kInvisible;
   }
   if (mode_ == TxnMode::kInternal) {
-    // Latest committed state.
     if (xmin_state != TxnState::kCommitted) return Visibility::kInvisible;
+    if (info_->snapshot.kind == Snapshot::Kind::kBlockHeight) {
+      // Height-pinned internal read (read-only analytics queries): a pure
+      // creator/deleter block-stamp filter with no SSI side effects and no
+      // stale-read aborts — exactly the visibility the columnar mirror
+      // reproduces, which is what makes row-vs-columnar parity provable.
+      const BlockNum h = info_->snapshot.height;
+      if (meta.creator_block == 0 || meta.creator_block > h) {
+        return Visibility::kInvisible;
+      }
+      if (meta.deleter_block != 0 && meta.deleter_block <= h) {
+        return Visibility::kInvisible;
+      }
+      return Visibility::kVisible;
+    }
+    // Latest committed state.
     if (Contains(meta.xmax_candidates, self)) return Visibility::kInvisible;
     if (meta.xmax != 0 &&
         CachedStatusOf(meta.xmax).state == TxnState::kCommitted) {
